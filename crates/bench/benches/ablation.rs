@@ -1,0 +1,33 @@
+//! Ablations of RUPAM's design choices (task DB, dynamic executors,
+//! locality, straggler handling, Res_factor).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{ablation, SEEDS};
+use rupam_cluster::ClusterSpec;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    let rows = ablation::run(&cluster, &SEEDS[..2]);
+    ablation::table(&rows).print();
+    let sweep = ablation::res_factor_sweep(&cluster, &[1.2, 1.5, 2.0, 3.0, 4.0], &SEEDS[..1]);
+    ablation::res_factor_table(&sweep).print();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("lr_no_db", |b| {
+        let cfg = rupam::RupamConfig { use_task_db: false, ..rupam::RupamConfig::default() };
+        let sched = rupam_bench::Sched::RupamWith(cfg);
+        b.iter(|| {
+            rupam_bench::run_workload(
+                &cluster,
+                rupam_workloads::Workload::LogisticRegression,
+                &sched,
+                SEEDS[0],
+            )
+            .makespan
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Fig. 2 — system utilisation under 4K×4K matrix multiplication on the
+//! two-node motivation cluster. Prints the paper-style series once, then
+//! times the simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::motivation;
+
+fn bench(c: &mut Criterion) {
+    let (cluster, report) = motivation::fig2_run(rupam_bench::SEEDS[0]);
+    motivation::fig2_table(&cluster, &report, 16).print();
+    c.bench_function("fig2/matmul_2node_spark", |b| {
+        b.iter(|| motivation::fig2_run(rupam_bench::SEEDS[0]).1.makespan)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 3 — PageRank task distribution and execution breakdown on the
+//! two-node cluster under stock Spark.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::motivation;
+
+fn bench(c: &mut Criterion) {
+    let (cluster, report) = motivation::fig3_run(rupam_bench::SEEDS[0]);
+    motivation::fig3_table(&cluster, &report).print();
+    println!(
+        "max/min task duration spread: {:.1}x (paper: up to 31x)",
+        motivation::fig3_duration_spread(&report)
+    );
+    c.bench_function("fig3/pagerank_2node_spark", |b| {
+        b.iter(|| motivation::fig3_run(rupam_bench::SEEDS[0]).1.makespan)
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 5 — overall performance of all seven workloads under stock Spark
+//! and RUPAM. Prints the full 5-seed table once, then times one
+//! representative head-to-head pair per benchmark iteration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{overall, SEEDS};
+use rupam_cluster::ClusterSpec;
+use rupam_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    let rows = overall::fig5(&cluster, &SEEDS);
+    overall::fig5_table(&rows).print();
+    let s = overall::fig5_summary(&rows);
+    println!(
+        "mean reduction {:.1}% (paper 37.7%) | iterative geomean {:.2}x (paper ~2.62x)",
+        s.mean_reduction * 100.0,
+        s.iterative_speedup
+    );
+    let mut g = c.benchmark_group("fig5");
+    g.sample_size(10);
+    g.bench_function("terasort_head_to_head", |b| {
+        b.iter(|| overall::quick_pair(&cluster, Workload::TeraSort, SEEDS[0]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

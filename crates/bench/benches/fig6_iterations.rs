@@ -1,0 +1,21 @@
+//! Fig. 6 — LR speedup under RUPAM vs number of workload iterations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{overall, SEEDS};
+use rupam_cluster::ClusterSpec;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    let counts = [1usize, 2, 4, 6, 8, 12, 16, 20];
+    let pts = overall::fig6(&cluster, &counts, &SEEDS[..3]);
+    overall::fig6_table(&pts).print();
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    g.bench_function("lr_8iter_pair", |b| {
+        b.iter(|| overall::fig6(&cluster, &[8], &SEEDS[..1])[0].speedup())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 7 — per-category execution-time breakdown for LR, SQL, PR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{breakdown, SEEDS};
+use rupam_cluster::ClusterSpec;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    let rows = breakdown::fig7(&cluster, SEEDS[0]);
+    breakdown::fig7_table(&rows).print();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("lr_breakdown", |b| {
+        b.iter(|| {
+            breakdown::project(&rupam_bench::run_workload(
+                &cluster,
+                rupam_workloads::Workload::LogisticRegression,
+                &rupam_bench::Sched::Rupam,
+                SEEDS[0],
+            ))
+            .compute
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

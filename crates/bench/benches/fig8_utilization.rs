@@ -1,0 +1,28 @@
+//! Fig. 8 — average system utilisation for LR, SQL, PR.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{utilization, SEEDS};
+use rupam_cluster::ClusterSpec;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    let rows = utilization::fig8(&cluster, SEEDS[0]);
+    utilization::fig8_table(&rows).print();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("lr_utilization", |b| {
+        b.iter(|| {
+            utilization::summarize(&rupam_bench::run_workload(
+                &cluster,
+                rupam_workloads::Workload::LogisticRegression,
+                &rupam_bench::Sched::Rupam,
+                SEEDS[0],
+            ))
+            .cpu
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 9 — standard deviation of per-node utilisation during PageRank.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{utilization, SEEDS};
+use rupam_cluster::ClusterSpec;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    let f = utilization::fig9(&cluster, SEEDS[0]);
+    utilization::fig9_table(&f).print();
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("pagerank_balance", |b| {
+        b.iter(|| utilization::fig9(&cluster, SEEDS[0]).rupam.cpu)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

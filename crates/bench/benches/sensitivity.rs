@@ -1,0 +1,34 @@
+//! Beyond-paper ablation: RUPAM's speedup as a function of cluster
+//! heterogeneity (uniform → Hydra-grade mixes).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{sensitivity, SEEDS};
+use rupam_workloads::Workload;
+
+fn bench(c: &mut Criterion) {
+    let ladder = sensitivity::default_ladder();
+    let rows = sensitivity::sweep(&ladder, Workload::LogisticRegression, &SEEDS[..2]);
+    sensitivity::table(Workload::LogisticRegression, &rows).print();
+    println!(
+        "speedup spread across mixes: {:.2}x",
+        sensitivity::speedup_spread(&rows)
+    );
+    let mut g = c.benchmark_group("sensitivity");
+    g.sample_size(10);
+    g.bench_function("uniform_thor_pair", |b| {
+        let cluster = rupam_cluster::ClusterSpec::hydra_mix(12, 0, 0);
+        b.iter(|| {
+            rupam_bench::run_workload(
+                &cluster,
+                Workload::TeraSort,
+                &rupam_bench::Sched::Rupam,
+                SEEDS[0],
+            )
+            .makespan
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

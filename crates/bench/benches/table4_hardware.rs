@@ -1,0 +1,17 @@
+//! Tables II & IV — cluster specifications and hardware microbenchmarks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::hardware;
+use rupam_cluster::ClusterSpec;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    hardware::table2(&cluster).print();
+    hardware::table4(&cluster).print();
+    c.bench_function("table4/microbench_model", |b| {
+        b.iter(|| hardware::table4_rows(&cluster).len())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

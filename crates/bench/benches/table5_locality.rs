@@ -1,0 +1,28 @@
+//! Table V — tasks per locality level under Spark vs RUPAM.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rupam_bench::{locality, SEEDS};
+use rupam_cluster::ClusterSpec;
+
+fn bench(c: &mut Criterion) {
+    let cluster = ClusterSpec::hydra();
+    let rows = locality::table5(&cluster, SEEDS[0]);
+    locality::table5_table(&rows).print();
+    let mut g = c.benchmark_group("table5");
+    g.sample_size(10);
+    g.bench_function("census_terasort", |b| {
+        b.iter(|| {
+            rupam_bench::run_workload(
+                &cluster,
+                rupam_workloads::Workload::TeraSort,
+                &rupam_bench::Sched::Rupam,
+                SEEDS[0],
+            )
+            .locality_counts()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! Ablations of RUPAM's design choices (DESIGN.md experiment index):
+//! the task-characteristics DB, dynamic executor sizing, locality
+//! awareness inside Algorithm 2, straggler handling, and the
+//! `Res_factor` sensitivity knob.
+
+use rupam::RupamConfig;
+use rupam_cluster::ClusterSpec;
+use rupam_metrics::table::{secs, speedup, Table};
+use rupam_simcore::stats;
+use rupam_workloads::Workload;
+
+use crate::harness::{repeat, Sched};
+
+/// One ablation variant.
+pub struct Variant {
+    /// Display name.
+    pub name: String,
+    /// Scheduler configuration.
+    pub sched: Sched,
+}
+
+/// The standard ablation ladder.
+pub fn variants() -> Vec<Variant> {
+    let mut out = vec![
+        Variant { name: "spark".into(), sched: Sched::Spark },
+        Variant { name: "rupam (full)".into(), sched: Sched::Rupam },
+    ];
+    let nodb = RupamConfig { use_task_db: false, ..RupamConfig::default() };
+    out.push(Variant { name: "rupam w/o task DB".into(), sched: Sched::RupamWith(nodb) });
+    let staticmem = RupamConfig { dynamic_executors: false, ..RupamConfig::default() };
+    out.push(Variant {
+        name: "rupam w/o dynamic executors".into(),
+        sched: Sched::RupamWith(staticmem),
+    });
+    let noloc = RupamConfig { use_locality: false, ..RupamConfig::default() };
+    out.push(Variant { name: "rupam w/o locality".into(), sched: Sched::RupamWith(noloc) });
+    let nostrag = RupamConfig { straggler_handling: false, ..RupamConfig::default() };
+    out.push(Variant {
+        name: "rupam w/o straggler handling".into(),
+        sched: Sched::RupamWith(nostrag),
+    });
+    out
+}
+
+/// One ablation result row.
+pub struct AblationRow {
+    /// Variant name.
+    pub name: String,
+    /// Mean seconds per workload (LR, PR order).
+    pub lr_secs: f64,
+    /// PageRank mean seconds.
+    pub pr_secs: f64,
+    /// Memory failures over the PR repetitions.
+    pub pr_memory_failures: usize,
+}
+
+/// Run the ablation ladder over LR (learning-sensitive) and PR
+/// (memory-sensitive).
+pub fn run(cluster: &ClusterSpec, seeds: &[u64]) -> Vec<AblationRow> {
+    variants()
+        .into_iter()
+        .map(|v| {
+            let lr = repeat(cluster, Workload::LogisticRegression, &v.sched, seeds);
+            let pr = repeat(cluster, Workload::PageRank, &v.sched, seeds);
+            AblationRow {
+                name: v.name,
+                lr_secs: lr.mean(),
+                pr_secs: pr.mean(),
+                pr_memory_failures: pr.memory_failures(),
+            }
+        })
+        .collect()
+}
+
+/// Render the ablation table (speedups relative to the Spark row).
+pub fn table(rows: &[AblationRow]) -> Table {
+    let spark_lr = rows[0].lr_secs;
+    let spark_pr = rows[0].pr_secs;
+    let mut t = Table::new(
+        "Ablation — contribution of each RUPAM design choice",
+        &["variant", "LR (s)", "LR speedup", "PR (s)", "PR speedup", "PR mem failures"],
+    );
+    for r in rows {
+        t.row(&[
+            r.name.clone(),
+            secs(r.lr_secs),
+            speedup(spark_lr / r.lr_secs),
+            secs(r.pr_secs),
+            speedup(spark_pr / r.pr_secs),
+            r.pr_memory_failures.to_string(),
+        ]);
+    }
+    t
+}
+
+/// `Res_factor` sensitivity sweep on LR.
+pub fn res_factor_sweep(cluster: &ClusterSpec, factors: &[f64], seeds: &[u64]) -> Vec<(f64, f64)> {
+    factors
+        .iter()
+        .map(|&res_factor| {
+            let cfg = RupamConfig { res_factor, ..RupamConfig::default() };
+            let rep = repeat(cluster, Workload::LogisticRegression, &Sched::RupamWith(cfg), seeds);
+            (res_factor, rep.mean())
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn res_factor_table(points: &[(f64, f64)]) -> Table {
+    let mut t = Table::new("Res_factor sensitivity (LR)", &["Res_factor", "LR (s)"]);
+    for (f, s) in points {
+        t.row(&[format!("{f:.1}"), secs(*s)]);
+    }
+    let _ = stats::mean(&[]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_has_six_variants() {
+        let vs = variants();
+        assert_eq!(vs.len(), 6);
+        assert_eq!(vs[0].name, "spark");
+    }
+
+    #[test]
+    fn ablation_runs_and_renders() {
+        let cluster = ClusterSpec::hydra();
+        let rows = run(&cluster, &[1]);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(r.lr_secs > 0.0 && r.pr_secs > 0.0, "{} produced empty runs", r.name);
+        }
+        let t = table(&rows);
+        assert_eq!(t.len(), 6);
+    }
+
+    #[test]
+    fn res_factor_sweep_runs() {
+        let cluster = ClusterSpec::hydra();
+        let pts = res_factor_sweep(&cluster, &[1.5, 2.0], &[1]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.1 > 0.0));
+    }
+}

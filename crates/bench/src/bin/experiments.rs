@@ -1,0 +1,144 @@
+//! `experiments` — regenerate every table and figure of the RUPAM paper.
+//!
+//! ```text
+//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation] [--quick]
+//! ```
+//!
+//! `--quick` runs one seed instead of the paper's five (for smoke runs).
+
+use std::env;
+
+use rupam_bench::harness::{placement_census, run_workload, Sched, SEEDS};
+use rupam_bench::{ablation, breakdown, hardware, locality, motivation, overall, utilization};
+use rupam_cluster::ClusterSpec;
+use rupam_workloads::Workload;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+    let seeds: Vec<u64> = if quick { vec![SEEDS[0]] } else { SEEDS.to_vec() };
+    let cluster = ClusterSpec::hydra();
+
+    // `debug <short>` prints the calibration census for one workload
+    if what == "debug" {
+        let short = args.iter().filter(|a| !a.starts_with("--")).nth(1).cloned().unwrap_or_default();
+        let w = Workload::ALL
+            .iter()
+            .copied()
+            .find(|w| w.short().eq_ignore_ascii_case(&short))
+            .unwrap_or_else(|| panic!("unknown workload {short:?}"));
+        for sched in [Sched::Spark, Sched::Rupam] {
+            let report = run_workload(&cluster, w, &sched, seeds[0]);
+            print!("{}", placement_census(&cluster, &report));
+        }
+        return;
+    }
+
+    let run = |name: &str| what == "all" || what == name;
+
+    if run("table2") {
+        hardware::table2(&cluster).print();
+        println!();
+    }
+    if run("table4") {
+        hardware::table4(&cluster).print();
+        println!();
+    }
+    if run("fig2") {
+        let (mcluster, report) = motivation::fig2_run(seeds[0]);
+        motivation::fig2_table(&mcluster, &report, 16).print();
+        println!();
+    }
+    if run("fig3") {
+        let (mcluster, report) = motivation::fig3_run(seeds[0]);
+        motivation::fig3_table(&mcluster, &report).print();
+        println!(
+            "  max/min successful task duration within the run: {:.1}x\n",
+            motivation::fig3_duration_spread(&report)
+        );
+    }
+    if run("fig5") {
+        let rows = overall::fig5(&cluster, &seeds);
+        overall::fig5_table(&rows).print();
+        let s = overall::fig5_summary(&rows);
+        println!(
+            "  mean execution-time reduction: {:.1}% (paper: 37.7%)\n  \
+             iterative workloads geomean speedup: {:.2}x (paper ~2.62x)\n  \
+             one-shot workloads geomean speedup: {:.2}x\n",
+            s.mean_reduction * 100.0,
+            s.iterative_speedup,
+            s.oneshot_speedup
+        );
+    }
+    if run("fig6") {
+        let counts = [1usize, 2, 4, 6, 8, 12, 16, 20];
+        let pts = overall::fig6(&cluster, &counts, &seeds[..seeds.len().min(3)]);
+        overall::fig6_table(&pts).print();
+        let sweep: Vec<(String, f64)> = pts
+            .iter()
+            .map(|p| (p.iterations.to_string(), p.speedup()))
+            .collect();
+        print!(
+            "{}",
+            rupam_metrics::chart::sweep_chart("RUPAM speedup vs LR iterations", &sweep, 40, "x")
+        );
+        println!();
+    }
+    if run("table5") {
+        let rows = locality::table5(&cluster, seeds[0]);
+        locality::table5_table(&rows).print();
+        println!();
+    }
+    if run("fig7") {
+        let rows = breakdown::fig7(&cluster, seeds[0]);
+        breakdown::fig7_table(&rows).print();
+        println!();
+    }
+    if run("fig8") {
+        let rows = utilization::fig8(&cluster, seeds[0]);
+        utilization::fig8_table(&rows).print();
+        println!();
+    }
+    if run("fig9") {
+        let f = utilization::fig9(&cluster, seeds[0]);
+        utilization::fig9_table(&f).print();
+        for (name, series) in
+            [("Spark", &f.spark_cpu_series), ("RUPAM", &f.rupam_cpu_series)]
+        {
+            let values: Vec<f64> = series.iter().map(|p| p.1).collect();
+            let values = rupam_metrics::chart::downsample(&values, 64);
+            print!(
+                "{}",
+                rupam_metrics::chart::bar_chart(
+                    &format!("{name}: per-second CPU-utilisation σ across nodes (PR)"),
+                    &values,
+                    6,
+                    "σ",
+                )
+            );
+        }
+        println!();
+    }
+    if run("sensitivity") || what == "all" {
+        let ladder = rupam_bench::sensitivity::default_ladder();
+        let rows = rupam_bench::sensitivity::sweep(
+            &ladder,
+            Workload::LogisticRegression,
+            &seeds[..seeds.len().min(2)],
+        );
+        rupam_bench::sensitivity::table(Workload::LogisticRegression, &rows).print();
+        println!();
+    }
+    if run("ablation") {
+        let rows = ablation::run(&cluster, &seeds[..seeds.len().min(2)]);
+        ablation::table(&rows).print();
+        let sweep = ablation::res_factor_sweep(&cluster, &[1.2, 1.5, 2.0, 3.0, 4.0], &seeds[..1]);
+        ablation::res_factor_table(&sweep).print();
+        println!();
+    }
+}

@@ -1,0 +1,123 @@
+//! Fig. 7 — performance breakdown of LR, SQL and PageRank into the
+//! paper's five categories (compute, GC, shuffle over the network,
+//! shuffle from/to disk, scheduler delay).
+
+use rupam_cluster::ClusterSpec;
+use rupam_metrics::breakdown::BreakdownCategory as C;
+use rupam_metrics::report::RunReport;
+use rupam_metrics::table::{secs, Table};
+use rupam_workloads::Workload;
+
+use crate::harness::{run_workload, Sched};
+
+/// The paper's Fig. 7 category totals, in seconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fig7Breakdown {
+    /// Compute (incl. serialisation, per Spark's `computetime`).
+    pub compute: f64,
+    /// Garbage collection.
+    pub gc: f64,
+    /// Shuffle over the network (incl. remote input fetch).
+    pub shuffle_net: f64,
+    /// Shuffle/input from and to local disk.
+    pub shuffle_disk: f64,
+    /// Scheduler delay.
+    pub scheduler: f64,
+}
+
+/// Project a run onto the Fig. 7 categories.
+pub fn project(report: &RunReport) -> Fig7Breakdown {
+    let b = report.breakdown_totals();
+    Fig7Breakdown {
+        compute: (b.get(C::Compute) + b.get(C::Serialization)).as_secs_f64(),
+        gc: b.get(C::Gc).as_secs_f64(),
+        shuffle_net: (b.get(C::ShuffleNet) + b.get(C::HdfsNet)).as_secs_f64(),
+        shuffle_disk: (b.get(C::ShuffleDisk) + b.get(C::HdfsDisk) + b.get(C::ShuffleWrite))
+            .as_secs_f64(),
+        scheduler: b.get(C::SchedulerDelay).as_secs_f64(),
+    }
+}
+
+/// One Fig. 7 panel: a workload under both schedulers.
+pub struct Fig7Row {
+    /// Workload.
+    pub workload: Workload,
+    /// Spark totals.
+    pub spark: Fig7Breakdown,
+    /// RUPAM totals.
+    pub rupam: Fig7Breakdown,
+}
+
+/// The paper's three panels: LR (machine learning), SQL (database),
+/// PR (graph).
+pub const FIG7_WORKLOADS: [Workload; 3] =
+    [Workload::LogisticRegression, Workload::Sql, Workload::PageRank];
+
+/// Run Fig. 7.
+pub fn fig7(cluster: &ClusterSpec, seed: u64) -> Vec<Fig7Row> {
+    FIG7_WORKLOADS
+        .iter()
+        .map(|&workload| {
+            let spark = project(&run_workload(cluster, workload, &Sched::Spark, seed));
+            let rupam = project(&run_workload(cluster, workload, &Sched::Rupam, seed));
+            Fig7Row { workload, spark, rupam }
+        })
+        .collect()
+}
+
+/// Render Fig. 7.
+pub fn fig7_table(rows: &[Fig7Row]) -> Table {
+    let mut t = Table::new(
+        "Fig. 7 — Performance breakdown (total task-seconds per category)",
+        &["workload", "sched", "Compute", "GC", "Shuffle-net", "Shuffle-disk", "Scheduler"],
+    );
+    for r in rows {
+        for (label, b) in [("Spark", &r.spark), ("RUPAM", &r.rupam)] {
+            t.row(&[
+                r.workload.short().to_string(),
+                label.to_string(),
+                secs(b.compute),
+                secs(b.gc),
+                secs(b.shuffle_net),
+                secs(b.shuffle_disk),
+                format!("{:.2}", b.scheduler),
+            ]);
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn projection_covers_categories() {
+        let cluster = ClusterSpec::hydra();
+        let report = run_workload(&cluster, Workload::TeraSort, &Sched::Spark, 3);
+        let p = project(&report);
+        assert!(p.compute > 0.0);
+        assert!(p.shuffle_disk > 0.0, "TeraSort must show disk shuffle");
+        assert!(p.scheduler > 0.0);
+    }
+
+    #[test]
+    fn fig7_rows_render() {
+        let cluster = ClusterSpec::hydra();
+        let rows = fig7(&cluster, 5);
+        assert_eq!(rows.len(), 3);
+        let t = fig7_table(&rows);
+        assert_eq!(t.len(), 6);
+        // every selected workload improves its compute time under RUPAM
+        // (§IV-D: "all selected workloads have improved compute times")
+        for r in &rows {
+            assert!(
+                r.rupam.compute < r.spark.compute * 1.35,
+                "{}: RUPAM compute {} should not blow up vs Spark {}",
+                r.workload,
+                r.rupam.compute,
+                r.spark.compute
+            );
+        }
+    }
+}

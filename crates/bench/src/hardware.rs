@@ -1,0 +1,87 @@
+//! Table II (Hydra node specifications) and Table IV (hardware
+//! characteristics microbenchmarks).
+
+use rupam_cluster::microbench::{table_iv, HardwareRow};
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_metrics::table::Table;
+
+/// Render Table II from the cluster spec.
+pub fn table2(cluster: &ClusterSpec) -> Table {
+    let mut t = Table::new(
+        "Table II — Specifications of Hydra cluster nodes",
+        &["Name", "CPU (GHz eff.)", "Cores", "Memory (GB)", "Network (GbE)", "SSD", "GPU", "#"],
+    );
+    let mut seen: Vec<String> = Vec::new();
+    for (_, spec) in cluster.iter() {
+        if seen.contains(&spec.class) {
+            continue;
+        }
+        seen.push(spec.class.clone());
+        let count = cluster.nodes_in_class(&spec.class).len();
+        t.row(&[
+            spec.class.clone(),
+            format!("{:.2}", spec.cpu_ghz),
+            spec.cores.to_string(),
+            format!("{:.0}", spec.mem.as_gib()),
+            format!("{:.0}", spec.net_bw * 8.0 / 1e9),
+            if spec.disk.is_ssd { "Y" } else { "N" }.to_string(),
+            if spec.gpus > 0 { "Y" } else { "N" }.to_string(),
+            count.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Compute Table IV rows (master on `stack1`, like the paper).
+pub fn table4_rows(cluster: &ClusterSpec) -> Vec<HardwareRow> {
+    let master = cluster
+        .nodes_in_class("stack")
+        .first()
+        .copied()
+        .unwrap_or(NodeId(0));
+    table_iv(cluster, master)
+}
+
+/// Render Table IV.
+pub fn table4(cluster: &ClusterSpec) -> Table {
+    let mut t = Table::new(
+        "Table IV — Hardware characteristics benchmarks (SysBench / Iperf models)",
+        &["SysBench", "CPU (sec)/latency (ms)", "I/O read (MB/s)", "I/O write (MB/s)", "Network (Mbits/s)"],
+    );
+    for row in table4_rows(cluster) {
+        t.row(&[
+            row.class.clone(),
+            format!("{:.2}/{:.2}", row.cpu.seconds, row.cpu.latency_ms),
+            format!("{:.0}", row.io.read_mbps),
+            format!("{:.0}", row.io.write_mbps),
+            format!("{:.0}", row.net_mbits),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_has_three_classes() {
+        let t = table2(&ClusterSpec::hydra());
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("thor") && s.contains("hulk") && s.contains("stack"));
+    }
+
+    #[test]
+    fn table4_reproduces_paper_ratios() {
+        let rows = table4_rows(&ClusterSpec::hydra());
+        let get = |c: &str| rows.iter().find(|r| r.class == c).unwrap();
+        // thor much faster per-core (≈3× calibrated; the paper's SysBench
+        // reports 5× — see EXPERIMENTS.md); thor SSD dominates; network uniform
+        assert!(get("hulk").cpu.seconds / get("thor").cpu.seconds > 2.5);
+        assert!(get("thor").io.read_mbps > 3.0 * get("stack").io.read_mbps);
+        assert!((get("thor").net_mbits - get("hulk").net_mbits).abs() < 20.0);
+        let rendered = table4(&ClusterSpec::hydra()).render();
+        assert!(rendered.contains("thor"));
+    }
+}

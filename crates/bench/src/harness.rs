@@ -1,0 +1,205 @@
+//! Run infrastructure.
+//!
+//! The paper's protocol: "we run all workloads five times and clear
+//! `DB_task_char` after each run, and record the average execution time
+//! and 95 % confidence interval". One simulated run per seed plays the
+//! role of one wall-clock repetition; a fresh scheduler per run plays
+//! the cleared DB. Repetitions execute in parallel worker threads
+//! (crossbeam scope) since each simulation is self-contained.
+
+use rupam::{FifoScheduler, RupamConfig, RupamScheduler, SparkScheduler};
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::Application;
+use rupam_dag::data::DataLayout;
+use rupam_exec::scheduler::Scheduler;
+use rupam_exec::{simulate, SimConfig, SimInput};
+use rupam_metrics::report::RunReport;
+use rupam_simcore::{stats, RngFactory};
+use rupam_workloads::Workload;
+
+/// The five repetition seeds (≈ the paper's five runs).
+pub const SEEDS: [u64; 5] = [101, 202, 303, 404, 505];
+
+/// Which scheduler to run.
+#[derive(Clone, Debug)]
+pub enum Sched {
+    /// Stock Spark 2.2 baseline.
+    Spark,
+    /// RUPAM with the paper's configuration.
+    Rupam,
+    /// RUPAM with a custom (ablation) configuration.
+    RupamWith(RupamConfig),
+    /// Locality-blind FIFO floor.
+    Fifo,
+}
+
+impl Sched {
+    /// Instantiate the scheduler.
+    pub fn make(&self) -> Box<dyn Scheduler + Send> {
+        match self {
+            Sched::Spark => Box::new(SparkScheduler::with_defaults()),
+            Sched::Rupam => Box::new(RupamScheduler::with_defaults()),
+            Sched::RupamWith(cfg) => Box::new(RupamScheduler::new(cfg.clone())),
+            Sched::Fifo => Box::new(FifoScheduler::new()),
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            Sched::Spark => "Spark".into(),
+            Sched::Rupam => "RUPAM".into(),
+            Sched::RupamWith(cfg) => {
+                let s = RupamScheduler::new(cfg.clone());
+                s.name().to_string()
+            }
+            Sched::Fifo => "FIFO".into(),
+        }
+    }
+}
+
+/// Run one pre-built application.
+pub fn run_app(
+    cluster: &ClusterSpec,
+    app: &Application,
+    layout: &DataLayout,
+    sched: &Sched,
+    seed: u64,
+) -> RunReport {
+    let config = SimConfig::default();
+    let input = SimInput { cluster, app, layout, config: &config, seed };
+    let mut scheduler = sched.make();
+    simulate(&input, scheduler.as_mut())
+}
+
+/// Build (with the seed-derived generator) and run one suite workload.
+pub fn run_workload(cluster: &ClusterSpec, w: Workload, sched: &Sched, seed: u64) -> RunReport {
+    let (app, layout) = w.build(cluster, &RngFactory::new(seed));
+    run_app(cluster, &app, &layout, sched, seed)
+}
+
+/// Summary of repeated runs.
+pub struct Repeated {
+    /// Makespans in seconds, one per seed.
+    pub secs: Vec<f64>,
+    /// Full report of each run (same order as [`SEEDS`]).
+    pub reports: Vec<RunReport>,
+}
+
+impl Repeated {
+    /// Mean makespan.
+    pub fn mean(&self) -> f64 {
+        stats::mean(&self.secs)
+    }
+
+    /// 95 % confidence half-width of the mean.
+    pub fn ci95(&self) -> f64 {
+        stats::ci95_half_width(&self.secs)
+    }
+
+    /// The first run's report (used for per-task analyses, like the
+    /// paper's single-run locality and breakdown tables).
+    pub fn first(&self) -> &RunReport {
+        &self.reports[0]
+    }
+
+    /// Total memory-related failures across the runs.
+    pub fn memory_failures(&self) -> usize {
+        self.reports.iter().map(|r| r.oom_failures + r.executor_losses).sum()
+    }
+}
+
+/// Run a workload once per seed, in parallel threads.
+pub fn repeat(cluster: &ClusterSpec, w: Workload, sched: &Sched, seeds: &[u64]) -> Repeated {
+    let mut reports: Vec<Option<RunReport>> = (0..seeds.len()).map(|_| None).collect();
+    crossbeam::thread::scope(|scope| {
+        for (slot, &seed) in reports.iter_mut().zip(seeds.iter()) {
+            let sched = sched.clone();
+            scope.spawn(move |_| {
+                *slot = Some(run_workload(cluster, w, &sched, seed));
+            });
+        }
+    })
+    .expect("repetition worker panicked");
+    let reports: Vec<RunReport> = reports.into_iter().map(|r| r.unwrap()).collect();
+    let secs = reports.iter().map(|r| r.makespan.as_secs_f64()).collect();
+    Repeated { secs, reports }
+}
+
+/// Debug census: per (stage template, node class) success counts and
+/// mean durations — the calibration view used while matching the paper's
+/// figures.
+pub fn placement_census(cluster: &ClusterSpec, report: &RunReport) -> String {
+    use std::collections::BTreeMap;
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} | makespan {} | completed {} | oom {} lost {} spec {} (wins {})",
+        report.scheduler_name,
+        report.makespan,
+        report.completed,
+        report.oom_failures,
+        report.executor_losses,
+        report.speculative_launched,
+        report.speculative_wins
+    );
+    let mut census: BTreeMap<(String, String), (usize, f64)> = BTreeMap::new();
+    for r in report.records.iter().filter(|r| r.outcome.is_success()) {
+        let class = cluster.node(r.node).class.clone();
+        let e = census.entry((r.template_key.clone(), class)).or_insert((0, 0.0));
+        e.0 += 1;
+        e.1 += r.duration().as_secs_f64();
+    }
+    for ((template, class), (n, tot)) in census {
+        let _ = writeln!(out, "  {template:<16} {class:<8} n={n:<4} avg={:.1}s", tot / n as f64);
+    }
+    out
+}
+
+/// Convenience: Spark-vs-RUPAM pair for one workload.
+pub fn head_to_head(cluster: &ClusterSpec, w: Workload, seeds: &[u64]) -> (Repeated, Repeated) {
+    let spark = repeat(cluster, w, &Sched::Spark, seeds);
+    let rupam = repeat(cluster, w, &Sched::Rupam, seeds);
+    (spark, rupam)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_workload_completes() {
+        let cluster = ClusterSpec::hydra();
+        let report = run_workload(&cluster, Workload::TeraSort, &Sched::Spark, 1);
+        assert!(report.completed);
+        assert_eq!(report.scheduler_name, "spark");
+    }
+
+    #[test]
+    fn repeat_collects_all_seeds() {
+        let cluster = ClusterSpec::hydra();
+        let rep = repeat(&cluster, Workload::TeraSort, &Sched::Rupam, &[1, 2, 3]);
+        assert_eq!(rep.secs.len(), 3);
+        assert!(rep.mean() > 0.0);
+        assert!(rep.ci95() >= 0.0);
+        assert_eq!(rep.reports.len(), 3);
+        assert_eq!(rep.first().seed, 1);
+    }
+
+    #[test]
+    fn repeat_is_deterministic() {
+        let cluster = ClusterSpec::hydra();
+        let a = repeat(&cluster, Workload::GramianMatrix, &Sched::Spark, &[7, 8]);
+        let b = repeat(&cluster, Workload::GramianMatrix, &Sched::Spark, &[7, 8]);
+        assert_eq!(a.secs, b.secs, "parallel repetitions must stay deterministic");
+    }
+
+    #[test]
+    fn sched_labels() {
+        assert_eq!(Sched::Spark.label(), "Spark");
+        assert_eq!(Sched::Rupam.label(), "RUPAM");
+        let cfg = RupamConfig { use_task_db: false, ..RupamConfig::default() };
+        assert_eq!(Sched::RupamWith(cfg).label(), "rupam-nodb");
+    }
+}

@@ -1,0 +1,31 @@
+//! # rupam-bench
+//!
+//! The experiment harness: everything needed to regenerate every table
+//! and figure of the paper's evaluation (§II-B and §IV), shared by the
+//! Criterion benches (`benches/`) and the `experiments` binary.
+//!
+//! | Module | Paper artefact |
+//! |---|---|
+//! | [`harness`] | run / repeat infrastructure (5 seeds ≈ the paper's 5 runs) |
+//! | [`motivation`] | Fig. 2 (MatMul utilisation) and Fig. 3 (PageRank skew) |
+//! | [`hardware`] | Table II (Hydra specs) and Table IV (microbenchmarks) |
+//! | [`overall`] | Fig. 5 (overall) and Fig. 6 (LR iteration sweep) |
+//! | [`locality`] | Table V (locality census) |
+//! | [`breakdown`] | Fig. 7 (per-category breakdown) |
+//! | [`utilization`] | Fig. 8 (average utilisation) and Fig. 9 (balance) |
+//! | [`ablation`] | design-choice ablations (DESIGN.md §5, last row) |
+//! | [`sensitivity`] | beyond-paper: RUPAM gain vs degree of cluster heterogeneity |
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod breakdown;
+pub mod hardware;
+pub mod harness;
+pub mod locality;
+pub mod motivation;
+pub mod overall;
+pub mod sensitivity;
+pub mod utilization;
+
+pub use harness::{placement_census, run_app, run_workload, Repeated, Sched, SEEDS};

@@ -1,0 +1,100 @@
+//! Table V — number of tasks at each locality level under stock Spark
+//! vs RUPAM (§IV-C).
+
+use rupam_cluster::ClusterSpec;
+use rupam_metrics::table::Table;
+use rupam_workloads::Workload;
+
+use crate::harness::{run_workload, Sched};
+
+/// One Table V row.
+pub struct LocalityRow {
+    /// Workload.
+    pub workload: Workload,
+    /// Spark counts `[PROCESS, NODE, RACK, ANY]`.
+    pub spark: [usize; 4],
+    /// RUPAM counts `[PROCESS, NODE, RACK, ANY]`.
+    pub rupam: [usize; 4],
+}
+
+impl LocalityRow {
+    /// Total attempts under Spark (retries inflate this on OOM-prone
+    /// workloads — the paper's TeraSort/TC observation).
+    pub fn spark_total(&self) -> usize {
+        self.spark.iter().sum()
+    }
+
+    /// Total attempts under RUPAM.
+    pub fn rupam_total(&self) -> usize {
+        self.rupam.iter().sum()
+    }
+}
+
+/// Run the census for every workload (single run per scheduler, like
+/// the paper's per-run table).
+pub fn table5(cluster: &ClusterSpec, seed: u64) -> Vec<LocalityRow> {
+    Workload::ALL
+        .iter()
+        .map(|&workload| {
+            let spark = run_workload(cluster, workload, &Sched::Spark, seed).locality_counts();
+            let rupam = run_workload(cluster, workload, &Sched::Rupam, seed).locality_counts();
+            LocalityRow { workload, spark, rupam }
+        })
+        .collect()
+}
+
+/// Render Table V (the paper prints PROCESS / NODE / ANY; rack-local
+/// counts are folded into ANY for presentation, matching "all workloads
+/// have zero RACK_LOCAL tasks" on its flat testbed).
+pub fn table5_table(rows: &[LocalityRow]) -> Table {
+    let mut t = Table::new(
+        "Table V — Number of tasks per locality level",
+        &[
+            "workload",
+            "PROCESS Spark",
+            "PROCESS RUPAM",
+            "NODE Spark",
+            "NODE RUPAM",
+            "ANY Spark",
+            "ANY RUPAM",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.workload.short().to_string(),
+            r.spark[0].to_string(),
+            r.rupam[0].to_string(),
+            r.spark[1].to_string(),
+            r.rupam[1].to_string(),
+            (r.spark[2] + r.spark[3]).to_string(),
+            (r.rupam[2] + r.rupam[3]).to_string(),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn census_counts_all_tasks() {
+        let cluster = ClusterSpec::hydra();
+        let rows = table5(&cluster, 7);
+        assert_eq!(rows.len(), 7);
+        for r in &rows {
+            // at least every task ran once under each scheduler
+            let (app, _) = r.workload.build(&cluster, &rupam_simcore::RngFactory::new(7));
+            assert!(
+                r.spark_total() >= app.total_tasks(),
+                "{}: spark census {} < total tasks {}",
+                r.workload,
+                r.spark_total(),
+                app.total_tasks()
+            );
+            assert!(r.rupam_total() >= app.total_tasks());
+        }
+        let t = table5_table(&rows);
+        assert_eq!(t.len(), 7);
+    }
+}

@@ -1,0 +1,214 @@
+//! The §II-B motivation experiments: Fig. 2 (per-resource utilisation of
+//! MatMul over time) and Fig. 3 (task skew of PageRank on the two-node
+//! cluster) — both run under *stock Spark*, since they motivate RUPAM.
+
+use rupam_cluster::monitor::MetricKey;
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_metrics::report::RunReport;
+use rupam_metrics::table::Table;
+use rupam_simcore::time::{SimDuration, SimTime};
+use rupam_simcore::{stats, RngFactory};
+use rupam_workloads::matmul::{self, MatMulParams};
+use rupam_workloads::pagerank::{self, PageRankParams};
+
+use crate::harness::{run_app, Sched};
+
+/// Fig. 2: run MatMul on the two-node cluster, returning the report
+/// whose monitor carries the utilisation histories.
+pub fn fig2_run(seed: u64) -> (ClusterSpec, RunReport) {
+    let cluster = ClusterSpec::two_node_motivation();
+    let (app, layout) = matmul::build(&cluster, &RngFactory::new(seed), &MatMulParams::default());
+    let report = run_app(&cluster, &app, &layout, &Sched::Spark, seed);
+    (cluster, report)
+}
+
+/// Cluster-mean utilisation of one metric resampled on `buckets` equal
+/// intervals over the run (the Fig. 2 curves).
+pub fn fig2_series(
+    cluster: &ClusterSpec,
+    report: &RunReport,
+    key: MetricKey,
+    buckets: usize,
+) -> Vec<(f64, f64)> {
+    assert!(buckets > 0);
+    let step = SimDuration(report.makespan.as_micros().max(buckets as u64) / buckets as u64);
+    (0..buckets)
+        .map(|b| {
+            let t0 = SimTime(step.as_micros() * b as u64);
+            let t1 = t0 + step;
+            // time-weighted bucket mean — instantaneous samples would
+            // miss the short network/disk bursts Fig. 2 highlights
+            let vals: Vec<f64> = (0..cluster.len())
+                .map(|i| {
+                    report
+                        .monitor
+                        .history(NodeId(i), key)
+                        .time_weighted_mean(t0, t1)
+                        .unwrap_or(0.0)
+                })
+                .collect();
+            (t0.as_secs_f64(), stats::mean(&vals))
+        })
+        .collect()
+}
+
+/// Render Fig. 2 as a table of bucket rows.
+pub fn fig2_table(cluster: &ClusterSpec, report: &RunReport, buckets: usize) -> Table {
+    let cpu = fig2_series(cluster, report, MetricKey::CpuUtil, buckets);
+    let mem = fig2_series(cluster, report, MetricKey::MemUsedGib, buckets);
+    let net = fig2_series(cluster, report, MetricKey::NetMBps, buckets);
+    let disk = fig2_series(cluster, report, MetricKey::DiskMBps, buckets);
+    let mut t = Table::new(
+        "Fig. 2 — System utilisation under 4K×4K matrix multiplication (cluster mean)",
+        &["t (s)", "CPU (%)", "Memory (GiB)", "Net (MB/s)", "Disk (MB/s)"],
+    );
+    for i in 0..cpu.len() {
+        t.row(&[
+            format!("{:.0}", cpu[i].0),
+            format!("{:.0}", cpu[i].1 * 100.0),
+            format!("{:.1}", mem[i].1),
+            format!("{:.0}", net[i].1),
+            format!("{:.0}", disk[i].1),
+        ]);
+    }
+    t
+}
+
+/// Fig. 3: PageRank on the two-node cluster under stock Spark.
+/// The paper uses a 2 GB input; we scale the default generator up.
+pub fn fig3_run(seed: u64) -> (ClusterSpec, RunReport) {
+    let cluster = ClusterSpec::two_node_motivation();
+    let params = PageRankParams {
+        input: rupam_simcore::units::ByteSize::gib(2),
+        partitions: 32,
+        iterations: 4,
+        // keep peaks inside the 2-node executors: skew, not OOM, is the
+        // point of Fig. 3
+        hot_peak_mem: rupam_simcore::units::ByteSize::gib(4),
+        ..PageRankParams::default()
+    };
+    let (app, layout) = pagerank::build(&cluster, &RngFactory::new(seed), &params);
+    let report = run_app(&cluster, &app, &layout, &Sched::Spark, seed);
+    (cluster, report)
+}
+
+/// Fig. 3 summary: per-node task counts and per-node mean breakdown.
+pub struct Fig3Node {
+    /// The node.
+    pub node: NodeId,
+    /// Tasks assigned (non-speculative attempts).
+    pub tasks: usize,
+    /// Mean compute seconds.
+    pub compute: f64,
+    /// Mean shuffle seconds.
+    pub shuffle: f64,
+    /// Mean serialisation seconds.
+    pub serialization: f64,
+    /// Mean scheduler-delay seconds.
+    pub sched_delay: f64,
+}
+
+/// Compute the Fig. 3 per-node summaries.
+pub fn fig3_summary(cluster: &ClusterSpec, report: &RunReport) -> Vec<Fig3Node> {
+    (0..cluster.len())
+        .map(|i| {
+            let node = NodeId(i);
+            let recs: Vec<_> = report
+                .records
+                .iter()
+                .filter(|r| r.node == node && r.outcome.is_success())
+                .collect();
+            let n = recs.len().max(1) as f64;
+            let mut compute = 0.0;
+            let mut shuffle = 0.0;
+            let mut ser = 0.0;
+            let mut sched = 0.0;
+            for r in &recs {
+                let (c, s, se, sd) = r.breakdown.coarse();
+                compute += c.as_secs_f64();
+                shuffle += s.as_secs_f64();
+                ser += se.as_secs_f64();
+                sched += sd.as_secs_f64();
+            }
+            Fig3Node {
+                node,
+                tasks: recs.len(),
+                compute: compute / n,
+                shuffle: shuffle / n,
+                serialization: ser / n,
+                sched_delay: sched / n,
+            }
+        })
+        .collect()
+}
+
+/// Render Fig. 3.
+pub fn fig3_table(cluster: &ClusterSpec, report: &RunReport) -> Table {
+    let mut t = Table::new(
+        "Fig. 3 — PageRank task distribution & breakdown on the 2-node cluster (stock Spark)",
+        &["node", "tasks", "compute (s)", "shuffle (s)", "serialization (s)", "sched delay (s)"],
+    );
+    for row in fig3_summary(cluster, report) {
+        t.row(&[
+            cluster.node(row.node).name.clone(),
+            row.tasks.to_string(),
+            format!("{:.2}", row.compute),
+            format!("{:.2}", row.shuffle),
+            format!("{:.3}", row.serialization),
+            format!("{:.3}", row.sched_delay),
+        ]);
+    }
+    t
+}
+
+/// Max-over-min spread of successful task durations (the paper observes
+/// up to 31× within one stage).
+pub fn fig3_duration_spread(report: &RunReport) -> f64 {
+    let durs = report.successful_durations_secs();
+    let max = durs.iter().cloned().fold(0.0f64, f64::max);
+    let min = durs.iter().cloned().fold(f64::INFINITY, f64::min);
+    if min.is_finite() && min > 0.0 {
+        max / min
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_shapes() {
+        let (cluster, report) = fig2_run(1);
+        assert!(report.completed);
+        let cpu = fig2_series(&cluster, &report, MetricKey::CpuUtil, 12);
+        assert_eq!(cpu.len(), 12);
+        // CPU is busy at some point
+        assert!(cpu.iter().any(|p| p.1 > 0.2));
+        // memory ramps up: later mean > earlier mean
+        let mem = fig2_series(&cluster, &report, MetricKey::MemUsedGib, 12);
+        let early: f64 = mem[..4].iter().map(|p| p.1).sum();
+        let late: f64 = mem[4..10].iter().map(|p| p.1).sum();
+        assert!(late > early, "memory should ramp through the middle stages");
+        // disk writes happen (shuffles)
+        let disk = fig2_series(&cluster, &report, MetricKey::DiskMBps, 12);
+        assert!(disk.iter().any(|p| p.1 > 1.0));
+        let t = fig2_table(&cluster, &report, 12);
+        assert_eq!(t.len(), 12);
+    }
+
+    #[test]
+    fn fig3_shows_skew() {
+        let (cluster, report) = fig3_run(1);
+        assert!(report.completed);
+        let rows = fig3_summary(&cluster, &report);
+        assert_eq!(rows.len(), 2);
+        let total: usize = rows.iter().map(|r| r.tasks).sum();
+        assert!(total >= 32 * 8, "all PageRank tasks should appear");
+        // duration spread within the run is large (paper: up to 31×)
+        assert!(fig3_duration_spread(&report) > 3.0);
+        let t = fig3_table(&cluster, &report);
+        assert_eq!(t.len(), 2);
+    }
+}

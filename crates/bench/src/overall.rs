@@ -1,0 +1,192 @@
+//! Fig. 5 (overall performance) and Fig. 6 (LR speedup vs iterations).
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::data::DataLayout;
+use rupam_metrics::table::{secs, speedup, Table};
+use rupam_simcore::{stats, RngFactory};
+use rupam_workloads::lr::{self, LrParams};
+use rupam_workloads::Workload;
+
+use crate::harness::{head_to_head, run_app, Repeated, Sched};
+
+/// One Fig. 5 row.
+pub struct OverallRow {
+    /// Workload.
+    pub workload: Workload,
+    /// Spark repetitions.
+    pub spark: Repeated,
+    /// RUPAM repetitions.
+    pub rupam: Repeated,
+}
+
+impl OverallRow {
+    /// Mean speedup of RUPAM over Spark.
+    pub fn speedup(&self) -> f64 {
+        self.spark.mean() / self.rupam.mean()
+    }
+}
+
+/// Fig. 5: run every Table III workload under both schedulers.
+pub fn fig5(cluster: &ClusterSpec, seeds: &[u64]) -> Vec<OverallRow> {
+    Workload::ALL
+        .iter()
+        .map(|&workload| {
+            let (spark, rupam) = head_to_head(cluster, workload, seeds);
+            OverallRow { workload, spark, rupam }
+        })
+        .collect()
+}
+
+/// Render Fig. 5 as the paper-style table.
+pub fn fig5_table(rows: &[OverallRow]) -> Table {
+    let mut t = Table::new(
+        "Fig. 5 — Overall performance (mean execution time, 5 runs, DB cleared between runs)",
+        &["workload", "Spark (s)", "±95%", "RUPAM (s)", "±95%", "speedup"],
+    );
+    for r in rows {
+        t.row(&[
+            r.workload.short().to_string(),
+            secs(r.spark.mean()),
+            secs(r.spark.ci95()),
+            secs(r.rupam.mean()),
+            secs(r.rupam.ci95()),
+            speedup(r.speedup()),
+        ]);
+    }
+    t
+}
+
+/// The paper's headline aggregates for Fig. 5.
+pub struct Fig5Summary {
+    /// Mean reduction of execution time across workloads (paper: 37.7 %).
+    pub mean_reduction: f64,
+    /// Geometric-mean speedup of the iterative workloads (paper ≈ 2.62).
+    pub iterative_speedup: f64,
+    /// Geometric-mean speedup of the one-shot workloads.
+    pub oneshot_speedup: f64,
+}
+
+/// Aggregate Fig. 5 rows the way the paper's prose does.
+pub fn fig5_summary(rows: &[OverallRow]) -> Fig5Summary {
+    let reductions: Vec<f64> = rows
+        .iter()
+        .map(|r| 1.0 - r.rupam.mean() / r.spark.mean())
+        .collect();
+    let iter: Vec<f64> = rows
+        .iter()
+        .filter(|r| r.workload.is_iterative())
+        .map(|r| r.speedup())
+        .collect();
+    let oneshot: Vec<f64> = rows
+        .iter()
+        .filter(|r| !r.workload.is_iterative())
+        .map(|r| r.speedup())
+        .collect();
+    Fig5Summary {
+        mean_reduction: stats::mean(&reductions),
+        iterative_speedup: stats::geomean(&iter),
+        oneshot_speedup: stats::geomean(&oneshot),
+    }
+}
+
+/// One Fig. 6 point.
+pub struct IterationPoint {
+    /// LR iteration count.
+    pub iterations: usize,
+    /// Spark mean seconds.
+    pub spark_secs: f64,
+    /// RUPAM mean seconds.
+    pub rupam_secs: f64,
+}
+
+impl IterationPoint {
+    /// RUPAM speedup at this iteration count.
+    pub fn speedup(&self) -> f64 {
+        self.spark_secs / self.rupam_secs
+    }
+}
+
+/// Fig. 6: sweep LR iteration counts; speedup should grow with
+/// iterations (paper: up to ≈ 3.4×) and never fall below ≈ 1×.
+pub fn fig6(cluster: &ClusterSpec, iteration_counts: &[usize], seeds: &[u64]) -> Vec<IterationPoint> {
+    iteration_counts
+        .iter()
+        .map(|&iterations| {
+            let mut spark = Vec::new();
+            let mut rupam = Vec::new();
+            for &seed in seeds {
+                let params = LrParams { iterations, ..LrParams::default() };
+                let (app, layout) = lr::build(cluster, &RngFactory::new(seed), &params);
+                spark.push(
+                    run_app(cluster, &app, &layout, &Sched::Spark, seed)
+                        .makespan
+                        .as_secs_f64(),
+                );
+                rupam.push(
+                    run_app(cluster, &app, &layout, &Sched::Rupam, seed)
+                        .makespan
+                        .as_secs_f64(),
+                );
+            }
+            IterationPoint {
+                iterations,
+                spark_secs: stats::mean(&spark),
+                rupam_secs: stats::mean(&rupam),
+            }
+        })
+        .collect()
+}
+
+/// Render Fig. 6 as a table.
+pub fn fig6_table(points: &[IterationPoint]) -> Table {
+    let mut t = Table::new(
+        "Fig. 6 — LR speedup vs workload iterations",
+        &["iterations", "Spark (s)", "RUPAM (s)", "speedup"],
+    );
+    for p in points {
+        t.row(&[
+            p.iterations.to_string(),
+            secs(p.spark_secs),
+            secs(p.rupam_secs),
+            speedup(p.speedup()),
+        ]);
+    }
+    t
+}
+
+/// Helper for benches: run one workload pair quickly (first seed only).
+pub fn quick_pair(cluster: &ClusterSpec, w: Workload, seed: u64) -> (f64, f64) {
+    let rngf = RngFactory::new(seed);
+    let (app, layout) = w.build(cluster, &rngf);
+    let _ = DataLayout::new();
+    let s = run_app(cluster, &app, &layout, &Sched::Spark, seed).makespan.as_secs_f64();
+    let r = run_app(cluster, &app, &layout, &Sched::Rupam, seed).makespan.as_secs_f64();
+    (s, r)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_row_speedup() {
+        let cluster = ClusterSpec::hydra();
+        let rows = fig5(&cluster, &[1]);
+        assert_eq!(rows.len(), 7);
+        let table = fig5_table(&rows);
+        assert_eq!(table.len(), 7);
+        for r in &rows {
+            assert!(r.spark.mean() > 0.0 && r.rupam.mean() > 0.0);
+        }
+    }
+
+    #[test]
+    fn fig6_points_shape() {
+        let cluster = ClusterSpec::hydra();
+        let pts = fig6(&cluster, &[1, 4], &[1]);
+        assert_eq!(pts.len(), 2);
+        assert!(pts[1].speedup() > pts[0].speedup() * 0.8, "speedup should not collapse with iterations");
+        let table = fig6_table(&pts);
+        assert_eq!(table.len(), 2);
+    }
+}

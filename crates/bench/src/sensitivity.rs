@@ -1,0 +1,129 @@
+//! Heterogeneity-sensitivity sweep (beyond-paper ablation).
+//!
+//! The paper argues RUPAM's value grows with hardware diversity ("rolling
+//! server upgrades … inherently make the systems more heterogeneous").
+//! This sweep quantifies that: run one workload across cluster mixes from
+//! uniform to strongly mixed and report the RUPAM-vs-Spark speedup at
+//! each point. The expectation (and the result recorded in
+//! EXPERIMENTS.md): speedup ≈ 1× on uniform hardware and grows with the
+//! diversity of the mix.
+
+use rupam_cluster::ClusterSpec;
+use rupam_metrics::table::{secs, speedup, Table};
+use rupam_simcore::stats;
+use rupam_workloads::Workload;
+
+use crate::harness::{repeat, Sched};
+
+/// One cluster-composition point.
+pub struct MixPoint {
+    /// Display label.
+    pub label: String,
+    /// The cluster under test.
+    pub cluster: ClusterSpec,
+}
+
+/// The default sweep ladder: uniform clusters of each class, then
+/// progressively mixed ones up to the paper's Hydra blend. Total node
+/// count stays fixed at 12 so capacity effects don't dominate.
+pub fn default_ladder() -> Vec<MixPoint> {
+    vec![
+        MixPoint { label: "12 thor (uniform fast)".into(), cluster: ClusterSpec::hydra_mix(12, 0, 0) },
+        MixPoint { label: "12 hulk (uniform slow)".into(), cluster: ClusterSpec::hydra_mix(0, 12, 0) },
+        MixPoint { label: "9 thor / 3 hulk".into(), cluster: ClusterSpec::hydra_mix(9, 3, 0) },
+        MixPoint { label: "6 thor / 6 hulk".into(), cluster: ClusterSpec::hydra_mix(6, 6, 0) },
+        MixPoint { label: "6 thor / 4 hulk / 2 stack (Hydra)".into(), cluster: ClusterSpec::hydra_mix(6, 4, 2) },
+        MixPoint { label: "3 thor / 6 hulk / 3 stack".into(), cluster: ClusterSpec::hydra_mix(3, 6, 3) },
+    ]
+}
+
+/// Result row of the sweep.
+pub struct MixResult {
+    /// Composition label.
+    pub label: String,
+    /// Spark mean seconds.
+    pub spark_secs: f64,
+    /// RUPAM mean seconds.
+    pub rupam_secs: f64,
+}
+
+impl MixResult {
+    /// RUPAM speedup at this mix.
+    pub fn speedup(&self) -> f64 {
+        self.spark_secs / self.rupam_secs
+    }
+}
+
+/// Run the sweep for one workload.
+pub fn sweep(points: &[MixPoint], workload: Workload, seeds: &[u64]) -> Vec<MixResult> {
+    points
+        .iter()
+        .map(|p| {
+            let spark = repeat(&p.cluster, workload, &Sched::Spark, seeds);
+            let rupam = repeat(&p.cluster, workload, &Sched::Rupam, seeds);
+            MixResult {
+                label: p.label.clone(),
+                spark_secs: spark.mean(),
+                rupam_secs: rupam.mean(),
+            }
+        })
+        .collect()
+}
+
+/// Render the sweep.
+pub fn table(workload: Workload, rows: &[MixResult]) -> Table {
+    let mut t = Table::new(
+        format!("Heterogeneity sensitivity — {} across cluster mixes", workload.name()),
+        &["cluster mix", "Spark (s)", "RUPAM (s)", "speedup"],
+    );
+    for r in rows {
+        t.row(&[r.label.clone(), secs(r.spark_secs), secs(r.rupam_secs), speedup(r.speedup())]);
+    }
+    t
+}
+
+/// Summary statistic: the spread between the best and worst speedup over
+/// the ladder (how much composition matters).
+pub fn speedup_spread(rows: &[MixResult]) -> f64 {
+    let speedups: Vec<f64> = rows.iter().map(|r| r.speedup()).collect();
+    let max = speedups.iter().cloned().fold(0.0f64, f64::max);
+    let min = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
+    let _ = stats::mean(&speedups);
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_twelve_nodes_everywhere() {
+        for p in default_ladder() {
+            assert_eq!(p.cluster.len(), 12, "{}", p.label);
+        }
+    }
+
+    #[test]
+    fn uniform_mix_is_near_parity_and_hydra_is_not() {
+        // cheap two-point version of the full sweep
+        let points = vec![
+            MixPoint { label: "uniform".into(), cluster: ClusterSpec::hydra_mix(12, 0, 0) },
+            MixPoint { label: "hydra".into(), cluster: ClusterSpec::hydra_mix(6, 4, 2) },
+        ];
+        let rows = sweep(&points, Workload::LogisticRegression, &[101]);
+        assert_eq!(rows.len(), 2);
+        let uniform = rows[0].speedup();
+        let hydra = rows[1].speedup();
+        assert!(
+            (0.8..1.4).contains(&uniform),
+            "uniform cluster should be near parity, got {uniform:.2}x"
+        );
+        assert!(
+            hydra > uniform,
+            "heterogeneity should widen the gap: uniform {uniform:.2}x vs hydra {hydra:.2}x"
+        );
+        let t = table(Workload::LogisticRegression, &rows);
+        assert_eq!(t.len(), 2);
+        assert!(speedup_spread(&rows) > 0.0);
+    }
+}

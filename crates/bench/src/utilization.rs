@@ -1,0 +1,179 @@
+//! Fig. 8 — average system utilisation (CPU, memory, network, disk) and
+//! Fig. 9 — load balance (std-dev of per-node utilisation over time).
+
+use rupam_cluster::monitor::MetricKey;
+use rupam_cluster::ClusterSpec;
+use rupam_metrics::report::RunReport;
+use rupam_metrics::table::Table;
+use rupam_simcore::time::SimDuration;
+use rupam_workloads::Workload;
+
+use crate::harness::{run_workload, Sched};
+
+/// Fig. 8's selected workloads (same three as Fig. 7).
+pub const FIG8_WORKLOADS: [Workload; 3] =
+    [Workload::LogisticRegression, Workload::Sql, Workload::PageRank];
+
+/// One Fig. 8 cell: the four average utilisation metrics of a run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct UtilSummary {
+    /// Mean busy-core fraction (Fig. 8a, "CPU User %").
+    pub cpu: f64,
+    /// Mean memory in use, GiB (Fig. 8b).
+    pub mem_gib: f64,
+    /// Mean network throughput, MB/s (Fig. 8c).
+    pub net_mbps: f64,
+    /// Mean disk throughput, MB/s (Fig. 8d).
+    pub disk_mbps: f64,
+}
+
+/// Average utilisation of one run.
+pub fn summarize(report: &RunReport) -> UtilSummary {
+    UtilSummary {
+        cpu: report.avg_utilization(MetricKey::CpuUtil),
+        mem_gib: report.avg_utilization(MetricKey::MemUsedGib),
+        net_mbps: report.avg_utilization(MetricKey::NetMBps),
+        disk_mbps: report.avg_utilization(MetricKey::DiskMBps),
+    }
+}
+
+/// One Fig. 8 row.
+pub struct Fig8Row {
+    /// Workload.
+    pub workload: Workload,
+    /// Spark utilisation.
+    pub spark: UtilSummary,
+    /// RUPAM utilisation.
+    pub rupam: UtilSummary,
+}
+
+/// Run Fig. 8.
+pub fn fig8(cluster: &ClusterSpec, seed: u64) -> Vec<Fig8Row> {
+    FIG8_WORKLOADS
+        .iter()
+        .map(|&workload| {
+            let spark = summarize(&run_workload(cluster, workload, &Sched::Spark, seed));
+            let rupam = summarize(&run_workload(cluster, workload, &Sched::Rupam, seed));
+            Fig8Row { workload, spark, rupam }
+        })
+        .collect()
+}
+
+/// Render Fig. 8.
+pub fn fig8_table(rows: &[Fig8Row]) -> Table {
+    let mut t = Table::new(
+        "Fig. 8 — Average system utilisation across the cluster",
+        &["workload", "sched", "CPU (%)", "Memory (GiB)", "Net (MB/s)", "Disk (MB/s)"],
+    );
+    for r in rows {
+        for (label, u) in [("Spark", &r.spark), ("RUPAM", &r.rupam)] {
+            t.row(&[
+                r.workload.short().to_string(),
+                label.to_string(),
+                format!("{:.1}", u.cpu * 100.0),
+                format!("{:.1}", u.mem_gib),
+                format!("{:.1}", u.net_mbps),
+                format!("{:.1}", u.disk_mbps),
+            ]);
+        }
+    }
+    t
+}
+
+/// Fig. 9: mean std-dev of per-node utilisation over time, per metric,
+/// for PageRank under both schedulers. Lower = better balanced.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BalanceSummary {
+    /// CPU-utilisation spread.
+    pub cpu: f64,
+    /// Network-throughput spread (MB/s).
+    pub net_mbps: f64,
+    /// Disk-throughput spread (MB/s).
+    pub disk_mbps: f64,
+}
+
+/// Compute the Fig. 9 balance summary of one run (memory is omitted,
+/// like the paper: RUPAM deliberately uses all available memory).
+pub fn balance(report: &RunReport) -> BalanceSummary {
+    let step = SimDuration::from_secs(1);
+    BalanceSummary {
+        cpu: report.utilization_stddev_mean(MetricKey::CpuUtil, step),
+        net_mbps: report.utilization_stddev_mean(MetricKey::NetMBps, step),
+        disk_mbps: report.utilization_stddev_mean(MetricKey::DiskMBps, step),
+    }
+}
+
+/// Fig. 9 result pair.
+pub struct Fig9 {
+    /// Spark balance.
+    pub spark: BalanceSummary,
+    /// RUPAM balance.
+    pub rupam: BalanceSummary,
+    /// Spark per-second CPU-stddev series (for plotting).
+    pub spark_cpu_series: Vec<(f64, f64)>,
+    /// RUPAM per-second CPU-stddev series.
+    pub rupam_cpu_series: Vec<(f64, f64)>,
+}
+
+/// Run Fig. 9 (PageRank).
+pub fn fig9(cluster: &ClusterSpec, seed: u64) -> Fig9 {
+    let spark_report = run_workload(cluster, Workload::PageRank, &Sched::Spark, seed);
+    let rupam_report = run_workload(cluster, Workload::PageRank, &Sched::Rupam, seed);
+    let series = |r: &RunReport| {
+        r.utilization_stddev_series(MetricKey::CpuUtil, SimDuration::from_secs(1))
+            .into_iter()
+            .map(|(t, v)| (t.as_secs_f64(), v))
+            .collect::<Vec<_>>()
+    };
+    Fig9 {
+        spark: balance(&spark_report),
+        rupam: balance(&rupam_report),
+        spark_cpu_series: series(&spark_report),
+        rupam_cpu_series: series(&rupam_report),
+    }
+}
+
+/// Render Fig. 9's summary.
+pub fn fig9_table(f: &Fig9) -> Table {
+    let mut t = Table::new(
+        "Fig. 9 — Std-dev of per-node utilisation during PageRank (lower = better balance)",
+        &["sched", "CPU util σ", "Net σ (MB/s)", "Disk σ (MB/s)"],
+    );
+    t.row(&[
+        "Spark".into(),
+        format!("{:.3}", f.spark.cpu),
+        format!("{:.2}", f.spark.net_mbps),
+        format!("{:.2}", f.spark.disk_mbps),
+    ]);
+    t.row(&[
+        "RUPAM".into(),
+        format!("{:.3}", f.rupam.cpu),
+        format!("{:.2}", f.rupam.net_mbps),
+        format!("{:.2}", f.rupam.disk_mbps),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_summary_nonzero() {
+        let cluster = ClusterSpec::hydra();
+        let report = run_workload(&cluster, Workload::TeraSort, &Sched::Spark, 2);
+        let u = summarize(&report);
+        assert!(u.cpu > 0.0 && u.cpu <= 1.0);
+        assert!(u.disk_mbps > 0.0, "TeraSort moves disk bytes");
+    }
+
+    #[test]
+    fn fig9_series_lengths_track_makespans() {
+        let cluster = ClusterSpec::hydra();
+        let f = fig9(&cluster, 3);
+        assert!(!f.spark_cpu_series.is_empty());
+        assert!(!f.rupam_cpu_series.is_empty());
+        let t = fig9_table(&f);
+        assert_eq!(t.len(), 2);
+    }
+}

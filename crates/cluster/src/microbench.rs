@@ -1,0 +1,188 @@
+//! Hardware microbenchmark models (paper §IV-A, Table IV).
+//!
+//! The paper characterises each Hydra node class with SysBench (CPU test:
+//! computing 20 000 primes; I/O test: 1 GB file with direct I/O) and Iperf
+//! (UDP throughput to the master, `stack1`). These functions evaluate the
+//! same benchmarks against a [`NodeSpec`], which lets the harness
+//! regenerate Table IV and — more importantly — validates that the
+//! simulated hardware reproduces the measured capability *ratios* the
+//! paper reports: thor ≈ 5× faster per core than hulk/stack with the
+//! lowest latency, hulk slightly ahead of stack, thor's SSD dominating
+//! both HDD classes, and near-identical network throughput across classes
+//! (every path to the 1 GbE master is capped by the master's NIC).
+
+use crate::node::NodeSpec;
+use crate::topology::ClusterSpec;
+use crate::NodeId;
+
+/// Giga-cycles the SysBench prime workload costs per event-latency unit.
+/// Calibrated so the model lands near the paper's absolute numbers.
+const CPU_BENCH_GCYCLES: f64 = 0.90;
+/// Giga-cycles of one SysBench event (used for the latency column).
+const CPU_EVENT_GCYCLES: f64 = 0.0014;
+/// Fraction of raw disk bandwidth a 1 GB direct-I/O test achieves.
+const DIRECT_IO_EFFICIENCY: f64 = 0.95;
+/// Fraction of line rate a UDP Iperf test achieves.
+const UDP_EFFICIENCY: f64 = 0.957;
+
+/// Result of the SysBench-style CPU benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpuBenchResult {
+    /// Total run time in seconds (Table IV "CPU (sec)").
+    pub seconds: f64,
+    /// Average event latency in milliseconds (Table IV "latency (ms)").
+    pub latency_ms: f64,
+}
+
+/// Result of the SysBench-style direct-I/O benchmark.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct IoBenchResult {
+    /// Sequential read throughput, MB/s.
+    pub read_mbps: f64,
+    /// Sequential write throughput, MB/s.
+    pub write_mbps: f64,
+}
+
+/// SysBench CPU test: compute 20 000 primes on all cores.
+///
+/// SysBench's prime test is event-latency bound: each worker thread
+/// repeatedly computes the prime table, so both total time and latency
+/// follow the *per-core* clock rather than the aggregate core count —
+/// which is how an 8-core thor beats a 32-core hulk 5× in the paper.
+pub fn cpu_bench(spec: &NodeSpec) -> CpuBenchResult {
+    assert!(spec.cpu_ghz > 0.0, "node without CPU");
+    CpuBenchResult {
+        seconds: CPU_BENCH_GCYCLES / spec.cpu_ghz,
+        latency_ms: CPU_EVENT_GCYCLES / spec.cpu_ghz * 1_000.0,
+    }
+}
+
+/// SysBench file I/O test: 1 GB file, direct I/O (no page-cache effect).
+pub fn io_bench(spec: &NodeSpec) -> IoBenchResult {
+    IoBenchResult {
+        read_mbps: spec.disk.read_bw * DIRECT_IO_EFFICIENCY / 1e6,
+        write_mbps: spec.disk.write_bw * DIRECT_IO_EFFICIENCY / 1e6,
+    }
+}
+
+/// Iperf UDP throughput between two nodes, in Mbit/s.
+///
+/// The achievable rate is the slower endpoint's NIC at UDP efficiency;
+/// with the paper's 1 GbE master every class measures ≈ 1 GbE regardless
+/// of its own NIC (§IV-A: "the results are similar for all the
+/// machines").
+pub fn net_bench(cluster: &ClusterSpec, from: NodeId, to: NodeId) -> f64 {
+    let a = cluster.node(from).net_bw;
+    let b = cluster.node(to).net_bw;
+    a.min(b) * UDP_EFFICIENCY * 8.0 / 1e6
+}
+
+/// A full Table IV row for one node class (benchmarked against the class's
+/// first node, with Iperf towards `master`).
+#[derive(Clone, Debug)]
+pub struct HardwareRow {
+    /// Node class name (`thor`, `hulk`, `stack`).
+    pub class: String,
+    /// CPU benchmark result.
+    pub cpu: CpuBenchResult,
+    /// I/O benchmark result.
+    pub io: IoBenchResult,
+    /// Iperf UDP throughput to the master, Mbit/s.
+    pub net_mbits: f64,
+}
+
+/// Regenerate Table IV: one row per hardware class present in `cluster`,
+/// Iperf measured against `master`.
+pub fn table_iv(cluster: &ClusterSpec, master: NodeId) -> Vec<HardwareRow> {
+    let mut seen: Vec<String> = Vec::new();
+    let mut rows = Vec::new();
+    for (id, spec) in cluster.iter() {
+        if seen.contains(&spec.class) {
+            continue;
+        }
+        seen.push(spec.class.clone());
+        rows.push(HardwareRow {
+            class: spec.class.clone(),
+            cpu: cpu_bench(spec),
+            io: io_bench(spec),
+            net_mbits: net_bench(cluster, id, master),
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hydra_rows() -> Vec<HardwareRow> {
+        let c = ClusterSpec::hydra();
+        // master runs on stack1 like the paper
+        let master = c.nodes_in_class("stack")[0];
+        table_iv(&c, master)
+    }
+
+    fn row<'a>(rows: &'a [HardwareRow], class: &str) -> &'a HardwareRow {
+        rows.iter().find(|r| r.class == class).unwrap()
+    }
+
+    #[test]
+    fn thor_is_about_5x_faster() {
+        let rows = hydra_rows();
+        let thor = row(&rows, "thor");
+        let hulk = row(&rows, "hulk");
+        let stack = row(&rows, "stack");
+        assert!(hulk.cpu.seconds / thor.cpu.seconds > 2.5);
+        assert!(stack.cpu.seconds / thor.cpu.seconds > 2.5);
+        assert!(stack.cpu.seconds / thor.cpu.seconds < 6.5);
+        // thor has the lowest latency; hulk slightly better than stack
+        assert!(thor.cpu.latency_ms < hulk.cpu.latency_ms);
+        assert!(hulk.cpu.latency_ms < stack.cpu.latency_ms);
+    }
+
+    #[test]
+    fn thor_ssd_dominates_io() {
+        let rows = hydra_rows();
+        let thor = row(&rows, "thor");
+        let hulk = row(&rows, "hulk");
+        assert!(thor.io.read_mbps > hulk.io.read_mbps * 3.0);
+        assert!(thor.io.write_mbps > hulk.io.write_mbps * 3.0);
+    }
+
+    #[test]
+    fn network_is_uniform_through_1gbe_master() {
+        let rows = hydra_rows();
+        let mbits: Vec<f64> = rows.iter().map(|r| r.net_mbits).collect();
+        // every class measures ≈ 1 GbE (within UDP efficiency)
+        for m in &mbits {
+            assert!((*m - 957.0).abs() < 10.0, "expected ~957 Mbit/s, got {m}");
+        }
+    }
+
+    #[test]
+    fn hulk_to_hulk_uses_10gbe() {
+        let c = ClusterSpec::hydra();
+        let hulks = c.nodes_in_class("hulk");
+        let mbits = net_bench(&c, hulks[0], hulks[1]);
+        assert!(mbits > 9_000.0, "hulk-to-hulk should see 10 GbE, got {mbits}");
+    }
+
+    #[test]
+    fn table_has_one_row_per_class() {
+        let rows = hydra_rows();
+        assert_eq!(rows.len(), 3);
+    }
+
+    #[test]
+    fn absolute_numbers_are_in_paper_ballpark() {
+        let rows = hydra_rows();
+        let thor = row(&rows, "thor");
+        let stack = row(&rows, "stack");
+        // paper: stack ≈ 1.1 s, thor ≈ 0.2 s; our compressed calibration
+        // puts stack ≈ 0.75 s (see EXPERIMENTS.md)
+        assert!(stack.cpu.seconds > 0.6 && stack.cpu.seconds < 1.3);
+        assert!(thor.cpu.seconds > 0.15 && thor.cpu.seconds < 0.3);
+        // thor SSD read ~ 480 MB/s
+        assert!(thor.io.read_mbps > 450.0 && thor.io.read_mbps < 520.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Per-node hardware specification (paper Table II) and static capability
+//! queries (the static half of Table I's node metrics: `cpufreq`, `gpu`,
+//! `ssd`, `netbandwith`).
+//!
+//! Conventions used across the workspace:
+//!
+//! * CPU capability is an *effective per-core clock* in GHz; a task's
+//!   compute demand is expressed in giga-cycles, so a task with demand `w`
+//!   running alone on a core finishes its compute phase in `w / cpu_ghz`
+//!   seconds. Tasks beyond the core count share `cores × cpu_ghz`.
+//! * Bandwidths (network, disk) are bytes/second and shared equally among
+//!   the tasks currently in a phase using that resource (fluid
+//!   processor-sharing model).
+//! * GPUs execute a task's GPU kernels at `gpu_gcps` giga-cycles/s —
+//!   several times any core, which is what makes routing GPU-capable tasks
+//!   to `stack` nodes worthwhile (paper §IV, Gramian/KMeans).
+
+use rupam_simcore::define_id;
+use rupam_simcore::units::ByteSize;
+
+use crate::resources::ResourceKind;
+
+define_id!(
+    /// Index of a node within its [`crate::topology::ClusterSpec`].
+    NodeId,
+    "node"
+);
+
+/// Persistent-storage specification for a node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiskSpec {
+    /// Whether the Spark intermediate-data disk is an SSD (Table I `ssd`).
+    pub is_ssd: bool,
+    /// Sequential read bandwidth, bytes/s.
+    pub read_bw: f64,
+    /// Sequential write bandwidth, bytes/s.
+    pub write_bw: f64,
+}
+
+impl DiskSpec {
+    /// A SATA SSD comparable to the thor nodes' 512 GB Crucial drive.
+    pub fn sata_ssd() -> Self {
+        DiskSpec {
+            is_ssd: true,
+            read_bw: 510.0 * 1e6,
+            write_bw: 430.0 * 1e6,
+        }
+    }
+
+    /// A 7200 rpm HDD comparable to the 1 TB Seagate drives on hulk/stack.
+    pub fn sata_hdd() -> Self {
+        DiskSpec {
+            is_ssd: false,
+            read_bw: 140.0 * 1e6,
+            write_bw: 120.0 * 1e6,
+        }
+    }
+}
+
+/// Static hardware description of one cluster node.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NodeSpec {
+    /// Host name, e.g. `thor3`.
+    pub name: String,
+    /// Hardware class, e.g. `thor` / `hulk` / `stack` (Table II rows).
+    pub class: String,
+    /// Number of CPU cores (task slots under stock Spark).
+    pub cores: u32,
+    /// Effective per-core clock in GHz (Table I `cpufreq`).
+    pub cpu_ghz: f64,
+    /// Installed RAM.
+    pub mem: ByteSize,
+    /// NIC bandwidth, bytes/s (Table I `netbandwith`).
+    pub net_bw: f64,
+    /// Storage device used for Spark intermediate data.
+    pub disk: DiskSpec,
+    /// Number of GPUs (Table I `gpu`).
+    pub gpus: u32,
+    /// GPU kernel execution rate in giga-cycles/s (only meaningful when
+    /// `gpus > 0`).
+    pub gpu_gcps: f64,
+    /// Rack index for locality (RACK_LOCAL vs ANY).
+    pub rack: usize,
+}
+
+impl NodeSpec {
+    /// Aggregate CPU rate of the node in giga-cycles/s (all cores).
+    #[inline]
+    pub fn total_cpu_gcps(&self) -> f64 {
+        self.cpu_ghz * self.cores as f64
+    }
+
+    /// The capability score RUPAM's Resource Queues sort by, per resource
+    /// kind (most capable first; §III-B1). Higher is better.
+    pub fn capability(&self, kind: ResourceKind) -> f64 {
+        match kind {
+            // Per-core speed is the dominant factor for a single
+            // (one-core) task's compute phase.
+            ResourceKind::Cpu => self.cpu_ghz,
+            ResourceKind::Mem => self.mem.as_f64(),
+            ResourceKind::Io => self.disk.read_bw + self.disk.write_bw,
+            ResourceKind::Net => self.net_bw,
+            ResourceKind::Gpu => self.gpus as f64 * self.gpu_gcps,
+        }
+    }
+
+    /// Whether the node has the resource at all (`C_i^r = 0` in the
+    /// paper's constraint formulation prevents mapping a task needing `r`
+    /// to node `i`).
+    pub fn has_resource(&self, kind: ResourceKind) -> bool {
+        self.capability(kind) > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> NodeSpec {
+        NodeSpec {
+            name: "n0".into(),
+            class: "test".into(),
+            cores: 8,
+            cpu_ghz: 2.0,
+            mem: ByteSize::gib(16),
+            net_bw: 125e6,
+            disk: DiskSpec::sata_ssd(),
+            gpus: 0,
+            gpu_gcps: 0.0,
+            rack: 0,
+        }
+    }
+
+    #[test]
+    fn total_cpu_rate() {
+        assert!((spec().total_cpu_gcps() - 16.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capability_vector() {
+        let s = spec();
+        assert_eq!(s.capability(ResourceKind::Cpu), 2.0);
+        assert_eq!(s.capability(ResourceKind::Mem), ByteSize::gib(16).as_f64());
+        assert!(s.capability(ResourceKind::Io) > 900e6);
+        assert_eq!(s.capability(ResourceKind::Net), 125e6);
+        assert_eq!(s.capability(ResourceKind::Gpu), 0.0);
+    }
+
+    #[test]
+    fn gpu_gate() {
+        let mut s = spec();
+        assert!(!s.has_resource(ResourceKind::Gpu));
+        s.gpus = 1;
+        s.gpu_gcps = 12.0;
+        assert!(s.has_resource(ResourceKind::Gpu));
+        assert_eq!(s.capability(ResourceKind::Gpu), 12.0);
+    }
+
+    #[test]
+    fn disk_presets() {
+        assert!(DiskSpec::sata_ssd().is_ssd);
+        assert!(!DiskSpec::sata_hdd().is_ssd);
+        assert!(DiskSpec::sata_ssd().read_bw > DiskSpec::sata_hdd().read_bw * 3.0);
+    }
+
+    #[test]
+    fn node_id_display() {
+        assert_eq!(format!("{}", NodeId(3)), "node3");
+        assert_eq!(NodeId::from(7).index(), 7);
+    }
+}

@@ -1,0 +1,170 @@
+//! The five resource dimensions of RUPAM's scheduling model.
+//!
+//! Fig. 4 of the paper shows one priority queue per resource type on both
+//! the node side ("Resource Queue") and the task side ("Task Queue"):
+//! CPU, MEM, I/O, NET, GPU. Everything in the workspace that is "per
+//! resource kind" is indexed by [`ResourceKind`].
+
+use std::fmt;
+
+/// One of the five resource dimensions RUPAM tracks (paper Fig. 4).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ResourceKind {
+    /// Processor capability / load (node metric `cpufreq`, `cpuutil`).
+    Cpu,
+    /// Memory capacity / free memory (`freememory`).
+    Mem,
+    /// Disk I/O capability / load (`ssd`, `diskutil`).
+    Io,
+    /// Network capability / load (`netbandwith`, `netutil`).
+    Net,
+    /// Accelerators (`gpu` idle count).
+    Gpu,
+}
+
+impl ResourceKind {
+    /// All five kinds, in the round-robin order the Dispatcher walks them
+    /// (Algorithm 2 dequeues "one node from each resource queue at a time
+    /// in a round-robin fashion so no task with a single resource type is
+    /// starved").
+    pub const ALL: [ResourceKind; 5] = [
+        ResourceKind::Cpu,
+        ResourceKind::Mem,
+        ResourceKind::Io,
+        ResourceKind::Net,
+        ResourceKind::Gpu,
+    ];
+
+    /// Number of resource kinds (the paper's `historyresource.size = 5`
+    /// lock condition).
+    pub const COUNT: usize = 5;
+
+    /// Dense index in `0..COUNT` for table-driven storage.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            ResourceKind::Cpu => 0,
+            ResourceKind::Mem => 1,
+            ResourceKind::Io => 2,
+            ResourceKind::Net => 3,
+            ResourceKind::Gpu => 4,
+        }
+    }
+
+    /// Inverse of [`ResourceKind::index`].
+    #[inline]
+    pub fn from_index(i: usize) -> ResourceKind {
+        Self::ALL[i]
+    }
+
+    /// Short upper-case label used in tables and traces.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResourceKind::Cpu => "CPU",
+            ResourceKind::Mem => "MEM",
+            ResourceKind::Io => "I/O",
+            ResourceKind::Net => "NET",
+            ResourceKind::Gpu => "GPU",
+        }
+    }
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A small fixed map from [`ResourceKind`] to `T`, used for per-kind
+/// queues, counters and capability vectors.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PerResource<T> {
+    slots: [T; ResourceKind::COUNT],
+}
+
+impl<T> PerResource<T> {
+    /// Build from a function of the kind.
+    pub fn from_fn(mut f: impl FnMut(ResourceKind) -> T) -> Self {
+        PerResource {
+            slots: ResourceKind::ALL.map(&mut f),
+        }
+    }
+
+    /// Shared access for one kind.
+    #[inline]
+    pub fn get(&self, kind: ResourceKind) -> &T {
+        &self.slots[kind.index()]
+    }
+
+    /// Mutable access for one kind.
+    #[inline]
+    pub fn get_mut(&mut self, kind: ResourceKind) -> &mut T {
+        &mut self.slots[kind.index()]
+    }
+
+    /// Iterate `(kind, &value)` pairs in canonical order.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceKind, &T)> {
+        ResourceKind::ALL.iter().map(move |&k| (k, self.get(k)))
+    }
+
+    /// Iterate `(kind, &mut value)` pairs in canonical order.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (ResourceKind, &mut T)> {
+        self.slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, v)| (ResourceKind::from_index(i), v))
+    }
+}
+
+impl<T> std::ops::Index<ResourceKind> for PerResource<T> {
+    type Output = T;
+    fn index(&self, kind: ResourceKind) -> &T {
+        self.get(kind)
+    }
+}
+
+impl<T> std::ops::IndexMut<ResourceKind> for PerResource<T> {
+    fn index_mut(&mut self, kind: ResourceKind) -> &mut T {
+        self.get_mut(kind)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for kind in ResourceKind::ALL {
+            assert_eq!(ResourceKind::from_index(kind.index()), kind);
+        }
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: std::collections::HashSet<_> =
+            ResourceKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), ResourceKind::COUNT);
+    }
+
+    #[test]
+    fn per_resource_indexing() {
+        let mut pr: PerResource<u32> = PerResource::from_fn(|k| k.index() as u32);
+        assert_eq!(pr[ResourceKind::Net], 3);
+        pr[ResourceKind::Gpu] = 99;
+        assert_eq!(*pr.get(ResourceKind::Gpu), 99);
+        let collected: Vec<_> = pr.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(collected.len(), 5);
+        assert_eq!(collected[0], (ResourceKind::Cpu, 0));
+        assert_eq!(collected[4], (ResourceKind::Gpu, 99));
+    }
+
+    #[test]
+    fn per_resource_iter_mut() {
+        let mut pr: PerResource<u32> = PerResource::default();
+        for (k, v) in pr.iter_mut() {
+            *v = k.index() as u32 * 10;
+        }
+        assert_eq!(pr[ResourceKind::Io], 20);
+    }
+}

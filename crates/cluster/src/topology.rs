@@ -1,0 +1,341 @@
+//! Cluster assembly and the paper's concrete testbeds.
+//!
+//! * [`ClusterSpec::hydra`] — the 12-node heterogeneous evaluation cluster
+//!   of §IV (Table II): 6 × `thor` (few fast cores, SSD, little RAM),
+//!   4 × `hulk` (many slow cores, most RAM, 10 GbE NIC) and 2 × `stack`
+//!   (moderate, one NVIDIA Tesla-class GPU each).
+//! * [`ClusterSpec::two_node_motivation`] — the §II-B two-node setup
+//!   (node-1: faster CPU, slower network; node-2: slower CPU, faster
+//!   network) used for the Fig. 2/Fig. 3 motivation experiments.
+
+use rupam_simcore::units::ByteSize;
+
+use crate::node::{DiskSpec, NodeId, NodeSpec};
+
+/// An immutable description of a cluster: nodes plus rack topology.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    nodes: Vec<NodeSpec>,
+    racks: usize,
+}
+
+impl ClusterSpec {
+    /// Build a cluster from explicit node specs.
+    ///
+    /// # Panics
+    /// Panics if `nodes` is empty or any rack index is out of range.
+    pub fn new(nodes: Vec<NodeSpec>) -> Self {
+        assert!(!nodes.is_empty(), "cluster needs at least one node");
+        let racks = nodes.iter().map(|n| n.rack).max().unwrap() + 1;
+        ClusterSpec { nodes, racks }
+    }
+
+    /// All nodes, indexable by [`NodeId`].
+    pub fn nodes(&self) -> &[NodeSpec] {
+        &self.nodes
+    }
+
+    /// The spec of one node.
+    pub fn node(&self, id: NodeId) -> &NodeSpec {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True iff the cluster has no nodes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of racks.
+    pub fn racks(&self) -> usize {
+        self.racks
+    }
+
+    /// Iterate `(NodeId, &NodeSpec)`.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeSpec)> {
+        self.nodes.iter().enumerate().map(|(i, n)| (NodeId(i), n))
+    }
+
+    /// Whether two nodes share a rack.
+    pub fn same_rack(&self, a: NodeId, b: NodeId) -> bool {
+        self.node(a).rack == self.node(b).rack
+    }
+
+    /// Total cluster memory.
+    pub fn total_mem(&self) -> ByteSize {
+        self.nodes.iter().map(|n| n.mem).sum()
+    }
+
+    /// The smallest node memory — what stock Spark must size its uniform
+    /// executors for (§IV: "we set the executor memory size to 14 GB to
+    /// accommodate the thor machines").
+    pub fn min_mem(&self) -> ByteSize {
+        self.nodes.iter().map(|n| n.mem).min().expect("non-empty")
+    }
+
+    /// Total core count.
+    pub fn total_cores(&self) -> u32 {
+        self.nodes.iter().map(|n| n.cores).sum()
+    }
+
+    /// Ids of nodes in a given hardware class.
+    pub fn nodes_in_class(&self, class: &str) -> Vec<NodeId> {
+        self.iter()
+            .filter(|(_, n)| n.class == class)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// The paper's Hydra cluster (Table II), 12 nodes in two racks.
+    ///
+    /// ```
+    /// use rupam_cluster::ClusterSpec;
+    ///
+    /// let hydra = ClusterSpec::hydra();
+    /// assert_eq!(hydra.len(), 12);
+    /// assert_eq!(hydra.nodes_in_class("thor").len(), 6);
+    /// assert_eq!(hydra.total_cores(), 208);
+    /// ```
+    ///
+    /// Effective per-core clocks are calibrated so the SysBench CPU model
+    /// in [`crate::microbench`] reproduces Table IV's *ordering* (thor
+    /// fastest by far, hulk slightly ahead of stack). The paper's SysBench
+    /// ratio is ≈ 5×; we use ≈ 3× for task execution, since a literal 5×
+    /// per-core gap makes any single-wave workload implode on the slow
+    /// tiers in ways the paper's end-to-end numbers do not show
+    /// (EXPERIMENTS.md records the deviation).
+    pub fn hydra() -> Self {
+        Self::hydra_mix(6, 4, 2)
+    }
+
+    /// A Hydra-style cluster with a custom class mix — `hydra()` is
+    /// `hydra_mix(6, 4, 2)`. Used by the heterogeneity-sensitivity
+    /// ablation ("how much of RUPAM's win survives as the cluster gets
+    /// more/less diverse?").
+    ///
+    /// # Panics
+    /// Panics if all three counts are zero.
+    pub fn hydra_mix(n_thor: usize, n_hulk: usize, n_stack: usize) -> Self {
+        assert!(
+            n_thor + n_hulk + n_stack > 0,
+            "cluster needs at least one node"
+        );
+        let mut nodes = Vec::with_capacity(n_thor + n_hulk + n_stack);
+        // thor: 8-core AMD FX-8320E, 16 GB RAM, 1 GbE, 512 GB SSD.
+        for i in 0..n_thor {
+            nodes.push(NodeSpec {
+                name: format!("thor{}", i + 1),
+                class: "thor".into(),
+                cores: 8,
+                cpu_ghz: 4.0,
+                mem: ByteSize::gib(16),
+                net_bw: 125e6, // 1 GbE
+                disk: DiskSpec::sata_ssd(),
+                gpus: 0,
+                gpu_gcps: 0.0,
+                rack: i % 2,
+            });
+        }
+        // hulk: 32-core AMD Opteron 6380, 64 GB RAM, 10 GbE NIC, HDD.
+        for i in 0..n_hulk {
+            nodes.push(NodeSpec {
+                name: format!("hulk{}", i + 1),
+                class: "hulk".into(),
+                cores: 32,
+                cpu_ghz: 1.30,
+                mem: ByteSize::gib(64),
+                net_bw: 1.25e9, // 10 GbE
+                disk: DiskSpec::sata_hdd(),
+                gpus: 0,
+                gpu_gcps: 0.0,
+                rack: i % 2,
+            });
+        }
+        // stack: 16-core Intel Xeon E5620, 48 GB RAM, 1 GbE, HDD,
+        // one NVIDIA Tesla C2050 each.
+        for i in 0..n_stack {
+            nodes.push(NodeSpec {
+                name: format!("stack{}", i + 1),
+                class: "stack".into(),
+                cores: 16,
+                cpu_ghz: 1.20,
+                mem: ByteSize::gib(48),
+                net_bw: 125e6,
+                disk: DiskSpec::sata_hdd(),
+                gpus: 1,
+                gpu_gcps: 18.0,
+                rack: i % 2,
+            });
+        }
+        ClusterSpec::new(nodes)
+    }
+
+    /// The §II-B motivation setup: two 16-core / 48 GB nodes where node-1
+    /// has the faster CPU but the slower network and node-2 the reverse
+    /// ("node-1 has a higher CPU processing capacity and lower network
+    /// throughput than node-2").
+    pub fn two_node_motivation() -> Self {
+        let node1 = NodeSpec {
+            name: "node-1".into(),
+            class: "fast-cpu".into(),
+            cores: 16,
+            cpu_ghz: 2.4,
+            mem: ByteSize::gib(48),
+            net_bw: 125e6, // 1 GbE
+            disk: DiskSpec::sata_hdd(),
+            gpus: 0,
+            gpu_gcps: 0.0,
+            rack: 0,
+        };
+        let node2 = NodeSpec {
+            name: "node-2".into(),
+            class: "fast-net".into(),
+            cores: 16,
+            cpu_ghz: 1.6,
+            mem: ByteSize::gib(48),
+            net_bw: 1.25e9, // 10 GbE
+            disk: DiskSpec::sata_hdd(),
+            gpus: 0,
+            gpu_gcps: 0.0,
+            rack: 0,
+        };
+        ClusterSpec::new(vec![node1, node2])
+    }
+
+    /// A uniform cluster of `n` identical mid-range nodes — the control
+    /// case where heterogeneity-aware scheduling should neither help nor
+    /// hurt much (used by tests and ablations).
+    pub fn homogeneous(n: usize) -> Self {
+        assert!(n > 0);
+        let nodes = (0..n)
+            .map(|i| NodeSpec {
+                name: format!("uniform{}", i + 1),
+                class: "uniform".into(),
+                cores: 16,
+                cpu_ghz: 2.0,
+                mem: ByteSize::gib(48),
+                net_bw: 125e6,
+                disk: DiskSpec::sata_hdd(),
+                gpus: 0,
+                gpu_gcps: 0.0,
+                rack: i % 2,
+            })
+            .collect();
+        ClusterSpec::new(nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::ResourceKind;
+
+    #[test]
+    fn hydra_matches_table_ii() {
+        let c = ClusterSpec::hydra();
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.nodes_in_class("thor").len(), 6);
+        assert_eq!(c.nodes_in_class("hulk").len(), 4);
+        assert_eq!(c.nodes_in_class("stack").len(), 2);
+        // memory capacities per Table II
+        let thor = c.node(c.nodes_in_class("thor")[0]);
+        let hulk = c.node(c.nodes_in_class("hulk")[0]);
+        let stack = c.node(c.nodes_in_class("stack")[0]);
+        assert_eq!(thor.mem, ByteSize::gib(16));
+        assert_eq!(hulk.mem, ByteSize::gib(64));
+        assert_eq!(stack.mem, ByteSize::gib(48));
+        assert_eq!(thor.cores, 8);
+        assert_eq!(hulk.cores, 32);
+        assert_eq!(stack.cores, 16);
+        // only thor has SSD; only stack has GPUs
+        assert!(thor.disk.is_ssd && !hulk.disk.is_ssd && !stack.disk.is_ssd);
+        assert_eq!(stack.gpus, 1);
+        assert_eq!(thor.gpus + hulk.gpus, 0);
+        // min memory is the thor 16 GB that forces Spark's 14 GB executors
+        assert_eq!(c.min_mem(), ByteSize::gib(16));
+    }
+
+    #[test]
+    fn hydra_capability_ordering() {
+        let c = ClusterSpec::hydra();
+        let thor = c.node(c.nodes_in_class("thor")[0]);
+        let hulk = c.node(c.nodes_in_class("hulk")[0]);
+        let stack = c.node(c.nodes_in_class("stack")[0]);
+        // thor per-core ≈ 3× others (Table IV reports 5× under SysBench;
+        // see EXPERIMENTS.md for the calibration note), hulk > stack
+        assert!(thor.cpu_ghz / hulk.cpu_ghz > 2.5);
+        assert!(thor.cpu_ghz / stack.cpu_ghz > 2.5);
+        assert!(hulk.cpu_ghz > stack.cpu_ghz);
+        // I/O: thor SSD dominates
+        assert!(thor.capability(ResourceKind::Io) > hulk.capability(ResourceKind::Io) * 2.0);
+        // GPU only on stack
+        assert!(stack.capability(ResourceKind::Gpu) > 0.0);
+    }
+
+    #[test]
+    fn motivation_cluster_shape() {
+        let c = ClusterSpec::two_node_motivation();
+        assert_eq!(c.len(), 2);
+        let n1 = c.node(NodeId(0));
+        let n2 = c.node(NodeId(1));
+        assert!(n1.cpu_ghz > n2.cpu_ghz, "node-1 has the faster CPU");
+        assert!(n1.net_bw < n2.net_bw, "node-1 has the slower network");
+        assert_eq!(n1.mem, n2.mem);
+        assert_eq!(n1.cores, n2.cores);
+    }
+
+    #[test]
+    fn rack_topology() {
+        let c = ClusterSpec::hydra();
+        assert_eq!(c.racks(), 2);
+        let thors = c.nodes_in_class("thor");
+        assert!(c.same_rack(thors[0], thors[2]));
+        assert!(!c.same_rack(thors[0], thors[1]));
+    }
+
+    #[test]
+    fn aggregates() {
+        let c = ClusterSpec::hydra();
+        assert_eq!(c.total_cores(), 6 * 8 + 4 * 32 + 2 * 16);
+        assert_eq!(
+            c.total_mem(),
+            ByteSize::gib(6 * 16 + 4 * 64 + 2 * 48)
+        );
+    }
+
+    #[test]
+    fn hydra_mix_composes() {
+        let c = ClusterSpec::hydra_mix(1, 2, 3);
+        assert_eq!(c.nodes_in_class("thor").len(), 1);
+        assert_eq!(c.nodes_in_class("hulk").len(), 2);
+        assert_eq!(c.nodes_in_class("stack").len(), 3);
+        assert_eq!(c.len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_mix_panics() {
+        ClusterSpec::hydra_mix(0, 0, 0);
+    }
+
+    #[test]
+    fn homogeneous_is_uniform() {
+        let c = ClusterSpec::homogeneous(4);
+        assert_eq!(c.len(), 4);
+        let first = c.node(NodeId(0));
+        for (_, n) in c.iter() {
+            assert_eq!(n.cpu_ghz, first.cpu_ghz);
+            assert_eq!(n.mem, first.mem);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_cluster_panics() {
+        ClusterSpec::new(vec![]);
+    }
+}

@@ -1,0 +1,535 @@
+//! The Dispatcher: Algorithm 2 (§III-C).
+//!
+//! Each offer round:
+//!
+//! 1. RM's Resource Queues rank the nodes per resource kind
+//!    (capability ↓, utilisation ↑).
+//! 2. The Dispatcher dequeues one node per resource kind in round-robin
+//!    order "to make sure no task with a single resource type is
+//!    starved", and matches it against the Task Queue of that kind.
+//! 3. For the candidate task list it enforces the memory-feasibility
+//!    check (`task.peakmemory ≤ node.freememory`), honours the
+//!    best-executor lock (`historyresource.size = 5 ∧ optexecutor =
+//!    node`), and picks the task with the best locality in the order
+//!    PROCESS_LOCAL, NODE_LOCAL, RACK_LOCAL, ANY.
+//!
+//! Unlike stock Spark's one-task-per-core slots, a node is available "as
+//! long as it has enough resources to execute a task" — the Dispatcher
+//! over-commits nodes whose *other* resources are idle (§III-C2), bounded
+//! by per-kind utilisation ceilings and an overall overcommit factor.
+
+use std::collections::HashMap;
+
+use rupam_simcore::units::ByteSize;
+
+use rupam_cluster::resources::ResourceKind;
+use rupam_cluster::NodeId;
+use rupam_dag::{Locality, TaskRef};
+use rupam_exec::scheduler::{Command, NodeView, OfferInput, PendingTaskView};
+
+use crate::config::RupamConfig;
+use crate::rm::ResourceQueues;
+use crate::tm::TaskManager;
+
+/// Per-node admission bookkeeping within one offer round (commands have
+/// not been applied yet, so the Dispatcher accounts its own claims).
+#[derive(Clone, Debug, Default)]
+struct Claims {
+    launches: usize,
+    mem: ByteSize,
+    cpu: usize,
+    net: usize,
+    io: usize,
+    gpu: u32,
+}
+
+/// Algorithm 2 over one offer snapshot.
+pub struct Dispatcher<'a> {
+    cfg: &'a RupamConfig,
+    input: &'a OfferInput<'a>,
+    pending: HashMap<TaskRef, &'a PendingTaskView>,
+    claims: Vec<Claims>,
+    /// Per-kind rotation offsets: Algorithm 2 *dequeues* a node from each
+    /// resource queue, so consecutive picks of one kind walk down the
+    /// queue instead of hammering the single best node (which would,
+    /// e.g., serialise every memory-bound task onto hulk1's one HDD).
+    rotation: [usize; ResourceKind::COUNT],
+}
+
+impl<'a> Dispatcher<'a> {
+    /// Prepare a dispatcher for one offer round.
+    pub fn new(cfg: &'a RupamConfig, input: &'a OfferInput<'a>) -> Self {
+        let pending = input.pending.iter().map(|p| (p.task, p)).collect();
+        Dispatcher {
+            cfg,
+            input,
+            pending,
+            claims: vec![Claims::default(); input.nodes.len()],
+            rotation: [0; ResourceKind::COUNT],
+        }
+    }
+
+    /// Estimated peak memory for admission: the observed peak when the
+    /// task (or the DB) knows it, else a conservative default.
+    fn peak_estimate(&self, tm: &TaskManager, view: &PendingTaskView) -> ByteSize {
+        if view.peak_mem_hint > ByteSize::ZERO {
+            return view.peak_mem_hint;
+        }
+        if let Some(char) = tm.lookup(view) {
+            if char.peak_mem > ByteSize::ZERO {
+                return char.peak_mem;
+            }
+        }
+        self.cfg.unknown_task_mem_estimate
+    }
+
+    fn free_mem_after_claims(&self, node: NodeId) -> ByteSize {
+        let v = &self.input.nodes[node.index()];
+        v.free_mem.saturating_sub(self.claims[node.index()].mem)
+    }
+
+    /// §III-C2 availability: "a node is available as long as it has
+    /// enough resources to execute a task" of the given kind.
+    pub fn has_room(&self, node: NodeId, kind: ResourceKind) -> bool {
+        let v: &NodeView = &self.input.nodes[node.index()];
+        if v.blocked {
+            return false;
+        }
+        let spec = self.input.cluster.node(node);
+        let claims = &self.claims[node.index()];
+        let cap = (spec.cores as f64 * self.cfg.overcommit_factor).ceil() as usize;
+        if v.running_count() + claims.launches >= cap {
+            return false;
+        }
+        let cores = spec.cores as f64;
+        // "fits after adding one more task" semantics: a ceiling of 1.0
+        // admits exactly one task per idle core, like Spark, while lower
+        // ceilings reserve headroom
+        match kind {
+            ResourceKind::Cpu => {
+                v.cpu_util + (claims.cpu + 1) as f64 / cores
+                    <= self.cfg.cpu_util_ceiling + 1e-9
+            }
+            ResourceKind::Mem => {
+                self.free_mem_after_claims(node) > self.cfg.unknown_task_mem_estimate
+            }
+            ResourceKind::Io => {
+                v.disk_util + (claims.io + 1) as f64 * 0.25
+                    <= self.cfg.disk_util_ceiling + 1e-9
+            }
+            ResourceKind::Net => {
+                v.net_util + (claims.net + 1) as f64 * 0.25
+                    <= self.cfg.net_util_ceiling + 1e-9
+            }
+            ResourceKind::Gpu => v.gpus_idle > claims.gpu,
+        }
+    }
+
+    fn note_claim(&mut self, node: NodeId, kind: ResourceKind, mem: ByteSize) {
+        let c = &mut self.claims[node.index()];
+        c.launches += 1;
+        c.mem += mem;
+        match kind {
+            ResourceKind::Cpu => c.cpu += 1,
+            ResourceKind::Io => c.io += 1,
+            ResourceKind::Net => c.net += 1,
+            ResourceKind::Gpu => c.gpu += 1,
+            ResourceKind::Mem => {}
+        }
+    }
+
+    /// Pick the next node with room from `queue_kind`'s Resource Queue,
+    /// rotating so equally-capable nodes share the load, and advance the
+    /// rotation for `rot_kind`.
+    fn pick_node(
+        &mut self,
+        queues: &ResourceQueues,
+        queue_kind: ResourceKind,
+        rot_kind: ResourceKind,
+    ) -> Option<NodeId> {
+        let nodes = queues.nodes(queue_kind);
+        if nodes.is_empty() {
+            return None;
+        }
+        // rotate only within the top capability tier — spreading across
+        // equal peers is load balancing, spilling to a weaker tier while
+        // the strong one has room would be a regression
+        let top_cap = self.input.cluster.node(nodes[0]).capability(queue_kind);
+        let tier = nodes
+            .iter()
+            .take_while(|&&n| {
+                (self.input.cluster.node(n).capability(queue_kind) - top_cap).abs()
+                    <= top_cap * 1e-9
+            })
+            .count();
+        let start = self.rotation[rot_kind.index()] % tier;
+        for i in 0..tier {
+            let n = nodes[(start + i) % tier];
+            if self.has_room(n, queue_kind) {
+                self.rotation[rot_kind.index()] = (start + i + 1) % tier;
+                return Some(n);
+            }
+        }
+        // top tier exhausted: fall through the rest of the queue in order
+        nodes[tier..]
+            .iter()
+            .copied()
+            .find(|&n| self.has_room(n, queue_kind))
+    }
+
+    /// Algorithm 2's `schedule_task`: pick the task from `kind`'s queue
+    /// that best matches `node`.
+    fn schedule_task(&self, tm: &TaskManager, kind: ResourceKind, node: NodeId) -> Option<TaskRef> {
+        let free_mem = self.free_mem_after_claims(node);
+        let mut best: Option<(TaskRef, Locality)> = None;
+        for task in tm.queues.iter_kind(kind) {
+            let Some(view) = self.pending.get(&task) else { continue };
+            let char = tm.lookup(view);
+            let locked_here = char
+                .as_ref()
+                .map(|c| {
+                    c.history_size() == ResourceKind::COUNT
+                        && c.best.map(|(n, _)| n == node).unwrap_or(false)
+                })
+                .unwrap_or(false);
+            if self.peak_estimate(tm, view) > free_mem {
+                // Algorithm 2 lines 12–16: the memory check is overridden
+                // only for fully-characterised tasks locked to this node
+                if locked_here {
+                    return Some(task);
+                }
+                continue;
+            }
+            if locked_here {
+                return Some(task);
+            }
+            let loc = if self.cfg.use_locality {
+                view.locality(self.input.cluster, node)
+            } else {
+                Locality::Any
+            };
+            if loc == Locality::ProcessLocal {
+                return Some(task);
+            }
+            if best.map(|(_, bl)| loc < bl).unwrap_or(true) {
+                best = Some((task, loc));
+            }
+        }
+        best.map(|(t, _)| t)
+    }
+
+    /// Run the round-robin matching loop, consuming matched tasks from
+    /// the TM queues. Returns launch commands.
+    pub fn dispatch(&mut self, tm: &mut TaskManager) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        let queues = ResourceQueues::build(self.input.cluster, &self.input.nodes);
+        loop {
+            let mut launched_any = false;
+            for kind in ResourceKind::ALL {
+                // next node from this kind's Resource Queue with room,
+                // starting after the previous pick (dequeue semantics)
+                let mut node = self.pick_node(&queues, kind, kind);
+                let mut fell_back_to_cpu = false;
+                if node.is_none() && kind == ResourceKind::Gpu {
+                    // §III-C3: GPU tasks are not held hostage by busy
+                    // GPUs — fall back to the most powerful idle CPU
+                    node = self.pick_node(&queues, ResourceKind::Cpu, ResourceKind::Cpu);
+                    fell_back_to_cpu = node.is_some();
+                }
+                let Some(node) = node else { continue };
+                let Some(task) = self.schedule_task(tm, kind, node) else { continue };
+                let view = self.pending[&task];
+                let use_gpu = kind == ResourceKind::Gpu
+                    && !fell_back_to_cpu
+                    && view.gpu_capable
+                    && self.input.nodes[node.index()].gpus_idle > self.claims[node.index()].gpu;
+                let mem = self.peak_estimate(tm, view);
+                let claim_kind = if fell_back_to_cpu { ResourceKind::Cpu } else { kind };
+                self.note_claim(node, claim_kind, mem);
+                tm.queues.remove(&task);
+                self.pending.remove(&task);
+                cmds.push(Command::Launch { task, node, use_gpu, speculative: false });
+                launched_any = true;
+            }
+            if !launched_any {
+                break;
+            }
+        }
+
+        // Progress safety valve: if the whole cluster is idle and policy
+        // found nothing (e.g. every estimate exceeds free memory on the
+        // preferred nodes), force the first pending task onto the node
+        // with the most free memory — a stuck cluster is strictly worse
+        // than any placement.
+        let cluster_idle = self
+            .input
+            .nodes
+            .iter()
+            .all(|v| v.running_count() + self.claims[v.node.index()].launches == 0);
+        if cmds.is_empty() && cluster_idle {
+            if let Some(view) = self
+                .input
+                .pending
+                .iter()
+                .find(|p| self.pending.contains_key(&p.task))
+            {
+                if let Some(node) = self
+                    .input
+                    .nodes
+                    .iter()
+                    .filter(|v| !v.blocked)
+                    .max_by_key(|v| (v.free_mem, std::cmp::Reverse(v.node)))
+                    .map(|v| v.node)
+                {
+                    tm.queues.remove(&view.task);
+                    cmds.push(Command::Launch {
+                        task: view.task,
+                        node,
+                        use_gpu: false,
+                        speculative: false,
+                    });
+                }
+            }
+        }
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_cluster::ClusterSpec;
+    use rupam_dag::app::{Application, StageId, StageKind};
+    use rupam_simcore::time::SimTime;
+
+    fn dummy_app() -> Application {
+        use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+        let mut b = rupam_dag::AppBuilder::new("d");
+        let j = b.begin_job();
+        b.add_stage(
+            j,
+            "r",
+            "d/r",
+            StageKind::Result,
+            vec![],
+            vec![TaskTemplate {
+                index: 0,
+                input: InputSource::Generated,
+                demand: TaskDemand::default(),
+            }],
+        );
+        b.build()
+    }
+
+    fn views(cluster: &ClusterSpec) -> Vec<NodeView> {
+        cluster
+            .iter()
+            .map(|(id, spec)| NodeView {
+                node: id,
+                executor_mem: spec.mem.saturating_sub(ByteSize::gib(2)),
+                mem_in_use: ByteSize::ZERO,
+                free_mem: spec.mem.saturating_sub(ByteSize::gib(2)),
+                running: vec![],
+                cpu_util: 0.0,
+                net_util: 0.0,
+                disk_util: 0.0,
+                gpus_idle: spec.gpus,
+                blocked: false,
+            })
+            .collect()
+    }
+
+    fn pview(index: usize, kind: StageKind) -> PendingTaskView {
+        PendingTaskView {
+            task: TaskRef { stage: StageId(0), index },
+            template_key: "d/r".into(),
+            stage_kind: kind,
+            attempt_no: 0,
+            peak_mem_hint: ByteSize::ZERO,
+            gpu_capable: false,
+            process_nodes: vec![],
+            node_local: vec![],
+        }
+    }
+
+    fn offer<'a>(
+        cluster: &'a ClusterSpec,
+        app: &'a Application,
+        nodes: Vec<NodeView>,
+        pending: Vec<PendingTaskView>,
+    ) -> OfferInput<'a> {
+        OfferInput { now: SimTime::ZERO, cluster, app, nodes, pending, speculatable: vec![] }
+    }
+
+    #[test]
+    fn dispatches_pending_tasks_across_kinds() {
+        let cluster = ClusterSpec::hydra();
+        let app = dummy_app();
+        let cfg = RupamConfig::default();
+        let mut tm = TaskManager::new(cfg.clone());
+        let pending: Vec<_> = (0..4).map(|i| pview(i, StageKind::ShuffleMap)).collect();
+        let input = offer(&cluster, &app, views(&cluster), pending.clone());
+        tm.submit_stage(app.stage(StageId(0)), &pending, SimTime::ZERO);
+        let mut d = Dispatcher::new(&cfg, &input);
+        let cmds = d.dispatch(&mut tm);
+        assert_eq!(cmds.len(), 4, "all pending tasks launch: {cmds:?}");
+        // each task launched exactly once
+        let mut tasks: Vec<usize> = cmds
+            .iter()
+            .map(|c| match c {
+                Command::Launch { task, .. } => task.index,
+                _ => panic!(),
+            })
+            .collect();
+        tasks.sort();
+        assert_eq!(tasks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn memory_check_protects_small_nodes() {
+        let cluster = ClusterSpec::hydra();
+        let app = dummy_app();
+        let cfg = RupamConfig::default();
+        let mut tm = TaskManager::new(cfg.clone());
+        // a task that needs 40 GiB: only hulk (62) and stack (46) fit
+        let mut p = pview(0, StageKind::ShuffleMap);
+        p.peak_mem_hint = ByteSize::gib(40);
+        tm.submit_stage(app.stage(StageId(0)), &[p.clone()], SimTime::ZERO);
+        let input = offer(&cluster, &app, views(&cluster), vec![p]);
+        let mut d = Dispatcher::new(&cfg, &input);
+        let cmds = d.dispatch(&mut tm);
+        assert_eq!(cmds.len(), 1);
+        match &cmds[0] {
+            Command::Launch { node, .. } => {
+                let class = &cluster.node(*node).class;
+                assert!(class == "hulk" || class == "stack", "picked {class}");
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn gpu_task_lands_on_gpu_node() {
+        let cluster = ClusterSpec::hydra();
+        let app = dummy_app();
+        let cfg = RupamConfig::default();
+        let mut tm = TaskManager::new(cfg.clone());
+        let mut p = pview(0, StageKind::ShuffleMap);
+        p.gpu_capable = true;
+        // teach the TM that this stage uses GPUs (a sibling was observed
+        // on one — §III-B2's stage-wide GPU marking)
+        {
+            use rupam_metrics::breakdown::TaskBreakdown;
+            use rupam_metrics::record::{AttemptOutcome, TaskRecord};
+            tm.record_finish(&TaskRecord {
+                task: TaskRef { stage: StageId(0), index: 99 },
+                template_key: "d/r".into(),
+                attempt: 0,
+                node: NodeId(10),
+                speculative: false,
+                locality: rupam_dag::Locality::Any,
+                launched_at: SimTime::ZERO,
+                finished_at: SimTime::from_secs_f64(1.0),
+                outcome: AttemptOutcome::Success,
+                breakdown: TaskBreakdown::new(),
+                peak_mem: ByteSize::mib(100),
+                used_gpu: true,
+            });
+        }
+        tm.submit_stage(app.stage(StageId(0)), &[p.clone()], SimTime::ZERO);
+        let input = offer(&cluster, &app, views(&cluster), vec![p]);
+        let mut d = Dispatcher::new(&cfg, &input);
+        let cmds = d.dispatch(&mut tm);
+        assert_eq!(cmds.len(), 1);
+        match &cmds[0] {
+            Command::Launch { node, use_gpu, .. } => {
+                assert_eq!(cluster.node(*node).class, "stack");
+                assert!(use_gpu);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn locality_breaks_ties() {
+        let cluster = ClusterSpec::hydra();
+        let app = dummy_app();
+        let cfg = RupamConfig::default();
+        let mut tm = TaskManager::new(cfg.clone());
+        // two CPU-bound-looking tasks; one NODE_LOCAL to the best thor
+        let thor_best = {
+            // determine which node the dispatcher will pick for CPU
+            let input = offer(&cluster, &app, views(&cluster), vec![]);
+            let q = crate::rm::ResourceQueues::build(&cluster, &input.nodes);
+            q.best(ResourceKind::Cpu).unwrap()
+        };
+        let mut far = pview(0, StageKind::ShuffleMap);
+        far.node_local = vec![]; // ANY everywhere
+        let mut near = pview(1, StageKind::ShuffleMap);
+        near.node_local = vec![thor_best];
+        tm.submit_stage(app.stage(StageId(0)), &[far.clone(), near.clone()], SimTime::ZERO);
+        let input = offer(&cluster, &app, views(&cluster), vec![far, near]);
+        let mut d = Dispatcher::new(&cfg, &input);
+        let cmds = d.dispatch(&mut tm);
+        // the first CPU dispatch must pick the NODE_LOCAL task (index 1)
+        let first_cpu = cmds
+            .iter()
+            .find_map(|c| match c {
+                Command::Launch { task, node, .. } if *node == thor_best => Some(task.index),
+                _ => None,
+            })
+            .expect("something launched on the best thor");
+        assert_eq!(first_cpu, 1, "locality should break the tie");
+    }
+
+    #[test]
+    fn overcommit_cap_respected() {
+        let cluster = ClusterSpec::hydra();
+        let app = dummy_app();
+        let cfg = RupamConfig { overcommit_factor: 1.0, ..RupamConfig::default() };
+        let mut tm = TaskManager::new(cfg.clone());
+        let pending: Vec<_> = (0..500).map(|i| pview(i, StageKind::ShuffleMap)).collect();
+        tm.submit_stage(app.stage(StageId(0)), &pending, SimTime::ZERO);
+        let input = offer(&cluster, &app, views(&cluster), pending);
+        let mut d = Dispatcher::new(&cfg, &input);
+        let cmds = d.dispatch(&mut tm);
+        // at factor 1.0 no more than total cores can launch
+        assert!(cmds.len() <= cluster.total_cores() as usize);
+        // per node: count
+        let mut per_node = vec![0usize; cluster.len()];
+        for c in &cmds {
+            if let Command::Launch { node, .. } = c {
+                per_node[node.index()] += 1;
+            }
+        }
+        for (i, &n) in per_node.iter().enumerate() {
+            assert!(
+                n <= cluster.node(NodeId(i)).cores as usize,
+                "node {i} got {n} tasks with overcommit 1.0"
+            );
+        }
+    }
+
+    #[test]
+    fn safety_valve_fires_on_idle_cluster() {
+        let cluster = ClusterSpec::hydra();
+        let app = dummy_app();
+        let cfg = RupamConfig::default();
+        let mut tm = TaskManager::new(cfg.clone());
+        // a task so large no estimate fits anywhere
+        let mut p = pview(0, StageKind::ShuffleMap);
+        p.peak_mem_hint = ByteSize::gib(200);
+        tm.submit_stage(app.stage(StageId(0)), &[p.clone()], SimTime::ZERO);
+        let input = offer(&cluster, &app, views(&cluster), vec![p]);
+        let mut d = Dispatcher::new(&cfg, &input);
+        let cmds = d.dispatch(&mut tm);
+        assert_eq!(cmds.len(), 1, "valve must keep the cluster moving");
+        match &cmds[0] {
+            Command::Launch { node, .. } => {
+                // most free memory = a hulk node
+                assert_eq!(cluster.node(*node).class, "hulk");
+            }
+            _ => panic!(),
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Resource Queues (§III-B1).
+//!
+//! For each resource type RUPAM keeps a priority queue of candidate
+//! nodes, "sorted with capacity in descending order (most
+//! powerful/capable/capacity first) and associated utilization in
+//! ascending order (least used first)". Queues are rebuilt from the
+//! offer-round snapshot — the paper likewise only inserts nodes that are
+//! ready to run a task and empties the queues between offer rounds,
+//! keeping the sorting cost low.
+
+use rupam_cluster::resources::{PerResource, ResourceKind};
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_exec::scheduler::NodeView;
+
+/// Per-kind utilisation of a node in `0..=1` (lower = more attractive).
+pub fn utilization(view: &NodeView, kind: ResourceKind) -> f64 {
+    match kind {
+        ResourceKind::Cpu => view.cpu_util,
+        ResourceKind::Mem => {
+            let cap = view.executor_mem.as_f64();
+            if cap <= 0.0 {
+                1.0
+            } else {
+                view.mem_in_use.as_f64() / cap
+            }
+        }
+        ResourceKind::Io => view.disk_util,
+        ResourceKind::Net => view.net_util,
+        ResourceKind::Gpu => {
+            let total = view.gpus_idle as f64
+                + view.running.iter().filter(|r| r.on_gpu).count() as f64;
+            if total <= 0.0 {
+                1.0
+            } else {
+                1.0 - view.gpus_idle as f64 / total
+            }
+        }
+    }
+}
+
+/// The five node priority queues, rebuilt each offer round.
+pub struct ResourceQueues {
+    queues: PerResource<Vec<NodeId>>,
+}
+
+impl ResourceQueues {
+    /// Build the queues from the current snapshot. Blocked (restarting)
+    /// nodes and nodes without the resource (`C_i^r = 0`) are excluded.
+    pub fn build(cluster: &ClusterSpec, views: &[NodeView]) -> Self {
+        let queues = PerResource::from_fn(|kind| {
+            let mut nodes: Vec<NodeId> = views
+                .iter()
+                .filter(|v| !v.blocked)
+                .filter(|v| cluster.node(v.node).has_resource(kind))
+                .map(|v| v.node)
+                .collect();
+            nodes.sort_by(|&a, &b| {
+                let spec_a = cluster.node(a);
+                let spec_b = cluster.node(b);
+                let cap = spec_b
+                    .capability(kind)
+                    .partial_cmp(&spec_a.capability(kind))
+                    .unwrap_or(std::cmp::Ordering::Equal);
+                let util_a = utilization(&views[a.index()], kind);
+                let util_b = utilization(&views[b.index()], kind);
+                cap.then(
+                    util_a
+                        .partial_cmp(&util_b)
+                        .unwrap_or(std::cmp::Ordering::Equal),
+                )
+                .then(a.cmp(&b))
+            });
+            nodes
+        });
+        ResourceQueues { queues }
+    }
+
+    /// Nodes for one resource kind, best first.
+    pub fn nodes(&self, kind: ResourceKind) -> &[NodeId] {
+        self.queues.get(kind)
+    }
+
+    /// The best node for one kind, if any qualifies.
+    pub fn best(&self, kind: ResourceKind) -> Option<NodeId> {
+        self.queues.get(kind).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_simcore::units::ByteSize;
+
+    fn views(cluster: &ClusterSpec) -> Vec<NodeView> {
+        cluster
+            .iter()
+            .map(|(id, spec)| NodeView {
+                node: id,
+                executor_mem: spec.mem,
+                mem_in_use: ByteSize::ZERO,
+                free_mem: spec.mem,
+                running: vec![],
+                cpu_util: 0.0,
+                net_util: 0.0,
+                disk_util: 0.0,
+                gpus_idle: spec.gpus,
+                blocked: false,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cpu_queue_leads_with_thor() {
+        let cluster = ClusterSpec::hydra();
+        let q = ResourceQueues::build(&cluster, &views(&cluster));
+        let best = q.best(ResourceKind::Cpu).unwrap();
+        assert_eq!(cluster.node(best).class, "thor");
+    }
+
+    #[test]
+    fn mem_queue_leads_with_hulk() {
+        let cluster = ClusterSpec::hydra();
+        let q = ResourceQueues::build(&cluster, &views(&cluster));
+        let best = q.best(ResourceKind::Mem).unwrap();
+        assert_eq!(cluster.node(best).class, "hulk");
+    }
+
+    #[test]
+    fn io_queue_leads_with_ssd() {
+        let cluster = ClusterSpec::hydra();
+        let q = ResourceQueues::build(&cluster, &views(&cluster));
+        let best = q.best(ResourceKind::Io).unwrap();
+        assert!(cluster.node(best).disk.is_ssd);
+    }
+
+    #[test]
+    fn gpu_queue_only_contains_gpu_nodes() {
+        let cluster = ClusterSpec::hydra();
+        let q = ResourceQueues::build(&cluster, &views(&cluster));
+        let gpu_nodes = q.nodes(ResourceKind::Gpu);
+        assert_eq!(gpu_nodes.len(), 2);
+        for n in gpu_nodes {
+            assert_eq!(cluster.node(*n).class, "stack");
+        }
+    }
+
+    #[test]
+    fn utilization_breaks_capability_ties() {
+        let cluster = ClusterSpec::hydra();
+        let mut vs = views(&cluster);
+        // load the first thor node's CPU
+        vs[0].cpu_util = 0.9;
+        let q = ResourceQueues::build(&cluster, &vs);
+        let best = q.best(ResourceKind::Cpu).unwrap();
+        assert_ne!(best, NodeId(0), "a loaded node must rank below idle peers");
+        assert_eq!(cluster.node(best).class, "thor");
+    }
+
+    #[test]
+    fn blocked_nodes_excluded() {
+        let cluster = ClusterSpec::hydra();
+        let mut vs = views(&cluster);
+        for v in vs.iter_mut() {
+            v.blocked = true;
+        }
+        let q = ResourceQueues::build(&cluster, &vs);
+        for kind in ResourceKind::ALL {
+            assert!(q.nodes(kind).is_empty());
+        }
+    }
+
+    #[test]
+    fn gpu_utilization_accounts_running_kernels() {
+        let cluster = ClusterSpec::hydra();
+        let mut vs = views(&cluster);
+        let stack_ids = cluster.nodes_in_class("stack");
+        // stack1 busy on its one GPU
+        let v = &mut vs[stack_ids[0].index()];
+        v.gpus_idle = 0;
+        v.running.push(rupam_exec::scheduler::RunningTaskView {
+            task: rupam_dag::TaskRef { stage: rupam_dag::StageId(0), index: 0 },
+            speculative: false,
+            elapsed: rupam_simcore::SimDuration::ZERO,
+            peak_mem: ByteSize::mib(100),
+            on_gpu: true,
+        });
+        let q = ResourceQueues::build(&cluster, &vs);
+        assert_eq!(q.best(ResourceKind::Gpu), Some(stack_ids[1]), "idle GPU node first");
+        assert!((utilization(&vs[stack_ids[0].index()], ResourceKind::Gpu) - 1.0).abs() < 1e-9);
+    }
+}

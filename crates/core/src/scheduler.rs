@@ -1,0 +1,416 @@
+//! `RupamScheduler` — the full system of Fig. 4 wired together.
+//!
+//! Per offer round:
+//!
+//! 1. newly pending tasks are submitted to the Task Manager, which
+//!    places them in per-resource Task Queues (DB lookup / Algorithm 1
+//!    first-contact rules);
+//! 2. straggler handling runs (memory-straggler kills, GPU/CPU races,
+//!    resource-straggler speculation) when enabled;
+//! 3. the Dispatcher (Algorithm 2) matches Resource Queues against Task
+//!    Queues round-robin and emits launches;
+//! 4. engine-flagged speculatable tasks are relocated to the best node
+//!    for their recorded bottleneck.
+
+use std::collections::HashMap;
+
+use rupam_simcore::time::{SimDuration, SimTime};
+use rupam_simcore::units::ByteSize;
+
+use rupam_cluster::resources::ResourceKind;
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_dag::app::{Application, Stage, StageId};
+use rupam_exec::scheduler::{Command, OfferInput, Scheduler};
+use rupam_metrics::record::{AttemptOutcome, TaskRecord};
+
+use crate::config::RupamConfig;
+use crate::dispatcher::Dispatcher;
+use crate::straggler::{
+    gpu_race_commands, memory_straggler_commands, relocation_target,
+    resource_straggler_candidates, StragglerState,
+};
+use crate::tm::TaskManager;
+
+/// The heterogeneity-aware task scheduler.
+pub struct RupamScheduler {
+    cfg: RupamConfig,
+    name: String,
+    tm: TaskManager,
+    straggler: StragglerState,
+    /// Template key per stage (for failure bookkeeping).
+    stage_templates: HashMap<StageId, String>,
+    min_node_mem: ByteSize,
+}
+
+impl RupamScheduler {
+    /// Build a scheduler with the given configuration. The reported name
+    /// encodes any ablation switches (`rupam`, `rupam-nodb`, …).
+    pub fn new(cfg: RupamConfig) -> Self {
+        let mut name = String::from("rupam");
+        if !cfg.use_task_db {
+            name.push_str("-nodb");
+        }
+        if !cfg.dynamic_executors {
+            name.push_str("-staticmem");
+        }
+        if !cfg.use_locality {
+            name.push_str("-noloc");
+        }
+        if !cfg.straggler_handling {
+            name.push_str("-nostrag");
+        }
+        RupamScheduler {
+            tm: TaskManager::new(cfg.clone()),
+            straggler: StragglerState::new(0),
+            stage_templates: HashMap::new(),
+            min_node_mem: ByteSize::gib(16),
+            cfg,
+            name,
+        }
+    }
+
+    /// The paper's configuration.
+    pub fn default_config() -> RupamConfig {
+        RupamConfig::default()
+    }
+
+    /// A scheduler with the paper's configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(RupamConfig::default())
+    }
+
+    /// Access the Task Manager (tests, ablation instrumentation).
+    pub fn tm(&self) -> &TaskManager {
+        &self.tm
+    }
+
+    /// Wipe the task-characteristics DB (the Fig. 5 protocol clears it
+    /// between repetitions).
+    pub fn clear_db(&self) {
+        self.tm.clear_db();
+    }
+}
+
+impl Scheduler for RupamScheduler {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn executor_memory(&self, cluster: &ClusterSpec, node: NodeId) -> ByteSize {
+        if self.cfg.dynamic_executors {
+            // §III-C2: "RUPAM changes the executor size … different nodes
+            // will have executors with different memory sizes"
+            cluster.node(node).mem.saturating_sub(self.cfg.os_reserved)
+        } else {
+            cluster.min_mem().saturating_sub(self.cfg.os_reserved)
+        }
+    }
+
+    fn decision_cost(&self) -> SimDuration {
+        self.cfg.decision_cost
+    }
+
+    fn on_app_start(&mut self, app: &Application, cluster: &ClusterSpec) {
+        self.straggler = StragglerState::new(cluster.len());
+        self.tm.reset_run_state();
+        self.min_node_mem = cluster.min_mem();
+        let smallest_exec = cluster
+            .iter()
+            .map(|(id, _)| self.executor_memory(cluster, id))
+            .min()
+            .unwrap_or(ByteSize::gib(14));
+        self.tm.set_smallest_executor(smallest_exec);
+        self.stage_templates = app
+            .stages
+            .iter()
+            .map(|s| (s.id, s.template_key.clone()))
+            .collect();
+    }
+
+    fn on_stage_ready(&mut self, _stage: &Stage, _now: SimTime) {
+        // tasks are picked up from `input.pending` at the next offer
+        // round; nothing to do eagerly
+    }
+
+    fn on_task_finished(&mut self, record: &TaskRecord, _now: SimTime) {
+        self.tm.record_finish(record);
+    }
+
+    fn on_task_failed(
+        &mut self,
+        task: rupam_dag::TaskRef,
+        node: NodeId,
+        outcome: AttemptOutcome,
+        _now: SimTime,
+    ) {
+        self.tm.queues.remove(&task);
+        if matches!(
+            outcome,
+            AttemptOutcome::OomFailure
+                | AttemptOutcome::ExecutorLost
+                | AttemptOutcome::MemoryStragglerKilled
+        ) {
+            if let Some(template) = self.stage_templates.get(&task.stage) {
+                // a memory death marks the task MEM-bound so the next
+                // placement favours large-memory nodes
+                self.tm
+                    .record_memory_failure(template, task.index, ByteSize::ZERO, node);
+            }
+        }
+    }
+
+    fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command> {
+        // 1. submit newly pending tasks to the TM queues
+        for view in &input.pending {
+            if !self.tm.queues.contains(&view.task) {
+                self.tm.requeue(view, input.now);
+            }
+        }
+
+        let mut cmds = Vec::new();
+
+        // 2. straggler handling
+        if self.cfg.straggler_handling {
+            cmds.extend(memory_straggler_commands(&self.cfg, &mut self.straggler, input));
+            cmds.extend(gpu_race_commands(&self.cfg, &mut self.straggler, input, &self.tm));
+            for (task, bad_node) in resource_straggler_candidates(&self.cfg, input, &self.tm) {
+                let kind = self
+                    .stage_templates
+                    .get(&task.stage)
+                    .and_then(|t| {
+                        self.tm
+                            .db()
+                            .read(&crate::db::TaskKey::new(t.clone(), task.index))
+                    })
+                    .and_then(|c| c.last_bottleneck)
+                    .unwrap_or(ResourceKind::Cpu);
+                if let Some(target) = relocation_target(input, kind, bad_node) {
+                    cmds.push(Command::Launch {
+                        task,
+                        node: target,
+                        use_gpu: kind == ResourceKind::Gpu,
+                        speculative: true,
+                    });
+                }
+            }
+        }
+
+        // 3. Algorithm 2 dispatch
+        let mut dispatcher = Dispatcher::new(&self.cfg, input);
+        cmds.extend(dispatcher.dispatch(&mut self.tm));
+
+        // 4. engine-flagged stragglers: relocate to the best node for
+        //    the task's recorded bottleneck
+        for s in &input.speculatable {
+            let kind = self
+                .tm
+                .lookup(s)
+                .and_then(|c| c.last_bottleneck)
+                .unwrap_or(if s.gpu_capable { ResourceKind::Gpu } else { ResourceKind::Cpu });
+            // find where the original runs so the copy lands elsewhere
+            let original_node = input
+                .nodes
+                .iter()
+                .find(|v| v.running.iter().any(|r| r.task == s.task))
+                .map(|v| v.node)
+                .unwrap_or(NodeId(0));
+            if let Some(target) = relocation_target(input, kind, original_node) {
+                cmds.push(Command::Launch {
+                    task: s.task,
+                    node: target,
+                    use_gpu: kind == ResourceKind::Gpu && s.gpu_capable,
+                    speculative: true,
+                });
+            }
+        }
+
+        cmds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::app::StageKind;
+    use rupam_dag::data::DataLayout;
+    use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+    use rupam_exec::{simulate, SimConfig, SimInput};
+    use rupam_simcore::RngFactory;
+
+    use crate::baseline::SparkScheduler;
+
+    #[test]
+    fn dynamic_executor_sizing() {
+        let cluster = ClusterSpec::hydra();
+        let s = RupamScheduler::with_defaults();
+        let thor = cluster.nodes_in_class("thor")[0];
+        let hulk = cluster.nodes_in_class("hulk")[0];
+        assert_eq!(s.executor_memory(&cluster, thor), ByteSize::gib(14));
+        assert_eq!(s.executor_memory(&cluster, hulk), ByteSize::gib(62));
+    }
+
+    #[test]
+    fn static_ablation_matches_spark_sizing() {
+        let cfg = RupamConfig { dynamic_executors: false, ..RupamConfig::default() };
+        let s = RupamScheduler::new(cfg);
+        assert_eq!(s.name(), "rupam-staticmem");
+        let cluster = ClusterSpec::hydra();
+        for (id, _) in cluster.iter() {
+            assert_eq!(s.executor_memory(&cluster, id), ByteSize::gib(14));
+        }
+    }
+
+    /// Build a compute-heavy iterative app whose tasks live on HDFS
+    /// blocks placed across the cluster.
+    fn compute_app(
+        cluster: &ClusterSpec,
+        seed: u64,
+        iterations: usize,
+        compute: f64,
+        peak: ByteSize,
+    ) -> (Application, DataLayout) {
+        let mut layout = DataLayout::new();
+        let mut rng = RngFactory::new(seed).stream("layout");
+        let n_parts = 24;
+        let blocks =
+            layout.place_blocks(cluster, &vec![ByteSize::mib(128); n_parts], 2, &mut rng);
+        let mut b = rupam_dag::AppBuilder::new("compute-app");
+        for _ in 0..iterations {
+            let j = b.begin_job();
+            let tasks: Vec<TaskTemplate> = (0..n_parts)
+                .map(|i| TaskTemplate {
+                    index: i,
+                    input: InputSource::CachedOrHdfs {
+                        key: rupam_dag::task::CacheKey::new("compute/data", i),
+                        fallback: blocks[i],
+                    },
+                    demand: TaskDemand {
+                        compute,
+                        input_bytes: ByteSize::mib(128),
+                        peak_mem: peak,
+                        cached_bytes: ByteSize::mib(192),
+                        shuffle_write: ByteSize::mib(4),
+                        ..TaskDemand::default()
+                    },
+                })
+                .collect();
+            let m = b.add_stage(j, "grad", "compute/data", StageKind::ShuffleMap, vec![], tasks);
+            b.add_stage(
+                j,
+                "agg",
+                "compute/agg",
+                StageKind::Result,
+                vec![m],
+                vec![TaskTemplate {
+                    index: 0,
+                    input: InputSource::Shuffle,
+                    demand: TaskDemand {
+                        compute: 1.0,
+                        shuffle_read: ByteSize::mib(4 * n_parts as u64),
+                        output_bytes: ByteSize::mib(1),
+                        peak_mem: ByteSize::mib(512),
+                        ..TaskDemand::default()
+                    },
+                }],
+            );
+        }
+        (b.build(), layout)
+    }
+
+    #[test]
+    fn rupam_completes_and_learns() {
+        let cluster = ClusterSpec::hydra();
+        let (app, layout) = compute_app(&cluster, 3, 3, 20.0, ByteSize::gib(1));
+        let cfg = SimConfig::default();
+        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 3 };
+        let mut rupam = RupamScheduler::with_defaults();
+        let report = simulate(&input, &mut rupam);
+        assert!(report.completed);
+        assert_eq!(report.scheduler_name, "rupam");
+        // the DB should now know the gradient tasks
+        assert!(!rupam.tm().db().is_empty());
+        let char = rupam
+            .tm()
+            .db()
+            .read(&crate::db::TaskKey::new("compute/data", 0))
+            .expect("task characterised");
+        assert!(char.runs >= 1);
+    }
+
+    #[test]
+    fn rupam_beats_spark_on_heterogeneous_iterative_compute() {
+        let cluster = ClusterSpec::hydra();
+        let cfg = SimConfig::default();
+        let mut spark_total = 0.0;
+        let mut rupam_total = 0.0;
+        for seed in [11, 12, 13] {
+            let (app, layout) = compute_app(&cluster, seed, 4, 20.0, ByteSize::gib(1));
+            let input =
+                SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed };
+            let mut spark = SparkScheduler::with_defaults();
+            let spark_report = simulate(&input, &mut spark);
+            let mut rupam = RupamScheduler::with_defaults();
+            let rupam_report = simulate(&input, &mut rupam);
+            assert!(spark_report.completed && rupam_report.completed);
+            spark_total += spark_report.makespan.as_secs_f64();
+            rupam_total += rupam_report.makespan.as_secs_f64();
+        }
+        assert!(
+            rupam_total < spark_total,
+            "RUPAM ({rupam_total:.1}s) should beat Spark ({spark_total:.1}s) on \
+             an iterative compute-bound workload on Hydra"
+        );
+    }
+
+    #[test]
+    fn rupam_avoids_memory_deaths_spark_suffers() {
+        let cluster = ClusterSpec::hydra();
+        // memory-hungry tasks: 6 GiB peak each; Spark's uniform 14 GiB
+        // executors choke when 8 cores × 6 GiB land on a thor node
+        let (app, layout) = compute_app(&cluster, 21, 2, 8.0, ByteSize::gib(6));
+        let cfg = SimConfig::default();
+        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 21 };
+        let mut spark = SparkScheduler::with_defaults();
+        let spark_report = simulate(&input, &mut spark);
+        let mut rupam = RupamScheduler::with_defaults();
+        let rupam_report = simulate(&input, &mut rupam);
+        let spark_deaths = spark_report.oom_failures + spark_report.executor_losses;
+        let rupam_deaths = rupam_report.oom_failures + rupam_report.executor_losses;
+        assert!(
+            spark_deaths > rupam_deaths,
+            "expected Spark ({spark_deaths}) to suffer more memory deaths than RUPAM ({rupam_deaths})"
+        );
+    }
+
+    #[test]
+    fn gpu_capable_work_reaches_gpus() {
+        let cluster = ClusterSpec::hydra();
+        let mut layout = DataLayout::new();
+        let mut rng = RngFactory::new(5).stream("layout");
+        let blocks = layout.place_blocks(&cluster, &[ByteSize::mib(64); 8], 2, &mut rng);
+        let mut b = rupam_dag::AppBuilder::new("gpu-app");
+        let j = b.begin_job();
+        let tasks: Vec<TaskTemplate> = (0..8)
+            .map(|i| TaskTemplate {
+                index: i,
+                input: InputSource::Hdfs(blocks[i]),
+                demand: TaskDemand {
+                    compute: 30.0,
+                    gpu_kernels: 28.0,
+                    input_bytes: ByteSize::mib(64),
+                    peak_mem: ByteSize::gib(1),
+                    ..TaskDemand::default()
+                },
+            })
+            .collect();
+        b.add_stage(j, "mult", "gpu/mult", StageKind::Result, vec![], tasks);
+        let app = b.build();
+        let cfg = SimConfig::default();
+        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 5 };
+        let mut rupam = RupamScheduler::with_defaults();
+        let report = simulate(&input, &mut rupam);
+        assert!(report.completed);
+        assert!(report.gpu_task_count() > 0, "no work reached the stack GPUs");
+    }
+}
+

@@ -1,0 +1,450 @@
+//! The Task Manager (TM): Algorithm 1 task characterisation and the
+//! per-resource Task Queues of Fig. 4.
+//!
+//! When tasks are submitted, TM looks each one up in `DB_task_char`:
+//!
+//! * known task → enqueue in the queue of its recorded bottleneck;
+//! * first contact, map stage → "considered to be bounded by all types
+//!   of resources and thus enqueued in all queues";
+//! * first contact, reduce stage → network-bound (reduce tasks fetch
+//!   shuffle data and ship results to the driver).
+//!
+//! When a task finishes, TM runs Algorithm 1 over its observed metrics
+//! (compute time vs shuffle read/write, GPU usage; we add the Fig. 4 MEM
+//! class for memory-dominated tasks) and banks the result in the DB for
+//! "future task iterations and job runs".
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use rupam_simcore::time::SimTime;
+use rupam_simcore::units::ByteSize;
+
+use rupam_cluster::resources::{PerResource, ResourceKind};
+use rupam_dag::app::{Stage, StageKind};
+use rupam_dag::TaskRef;
+use rupam_exec::scheduler::PendingTaskView;
+use rupam_metrics::record::TaskRecord;
+
+use crate::config::RupamConfig;
+use crate::db::{TaskChar, TaskCharDb, TaskKey};
+
+/// Algorithm 1: classify a finished task's bottleneck from its metrics.
+///
+/// Extended with the Fig. 4 MEM class: a task whose peak memory exceeds
+/// `mem_bound_fraction` of the smallest executor is memory-bound — it is
+/// placement-constrained by capacity more than by any bandwidth.
+pub fn classify(
+    record: &TaskRecord,
+    cfg: &RupamConfig,
+    smallest_executor: ByteSize,
+) -> ResourceKind {
+    if record.used_gpu {
+        return ResourceKind::Gpu;
+    }
+    if record.peak_mem.as_f64() > cfg.mem_bound_fraction * smallest_executor.as_f64() {
+        return ResourceKind::Mem;
+    }
+    let compute = record.compute_time().as_secs_f64();
+    let sread = record.shuffle_read_time().as_secs_f64();
+    let swrite = record.shuffle_write_time().as_secs_f64();
+    if compute > cfg.res_factor * sread.max(swrite) {
+        ResourceKind::Cpu
+    } else if sread > cfg.res_factor * swrite {
+        ResourceKind::Net
+    } else {
+        ResourceKind::Io
+    }
+}
+
+/// The five pending-task queues plus membership bookkeeping.
+#[derive(Default)]
+pub struct TaskQueues {
+    queues: PerResource<VecDeque<TaskRef>>,
+    /// Tasks currently enqueued anywhere (a first-contact task sits in
+    /// all five queues but counts once).
+    members: HashSet<TaskRef>,
+    /// When each member was first enqueued (GPU-race timing).
+    enqueued_at: HashMap<TaskRef, SimTime>,
+}
+
+impl TaskQueues {
+    /// Empty queues.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enqueue `task` into the given queues.
+    pub fn enqueue(&mut self, task: TaskRef, kinds: &[ResourceKind], now: SimTime) {
+        if self.members.insert(task) {
+            self.enqueued_at.insert(task, now);
+        }
+        for &k in kinds {
+            let q = self.queues.get_mut(k);
+            if !q.contains(&task) {
+                q.push_back(task);
+            }
+        }
+    }
+
+    /// Whether the task is pending in any queue.
+    pub fn contains(&self, task: &TaskRef) -> bool {
+        self.members.contains(task)
+    }
+
+    /// When the task entered the queues (None if not pending).
+    pub fn waiting_since(&self, task: &TaskRef) -> Option<SimTime> {
+        if self.members.contains(task) {
+            self.enqueued_at.get(task).copied()
+        } else {
+            None
+        }
+    }
+
+    /// Remove a task everywhere (it launched or completed). Lazily
+    /// cleans the per-kind deques on future pops.
+    pub fn remove(&mut self, task: &TaskRef) {
+        self.members.remove(task);
+        self.enqueued_at.remove(task);
+    }
+
+    /// Iterate the *live* tasks of one queue in FIFO order.
+    pub fn iter_kind<'q>(&'q self, kind: ResourceKind) -> impl Iterator<Item = TaskRef> + 'q {
+        self.queues
+            .get(kind)
+            .iter()
+            .copied()
+            .filter(move |t| self.members.contains(t))
+    }
+
+    /// Compact one queue, dropping launched tasks (called opportunistically).
+    pub fn compact(&mut self, kind: ResourceKind) {
+        let members = &self.members;
+        self.queues.get_mut(kind).retain(|t| members.contains(t));
+    }
+
+    /// Number of live pending tasks.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+/// The Task Manager.
+pub struct TaskManager {
+    cfg: RupamConfig,
+    db: TaskCharDb,
+    /// Pending tasks per resource kind.
+    pub queues: TaskQueues,
+    /// Successful durations per stage template (resource-straggler
+    /// thresholds).
+    finished_secs: HashMap<String, Vec<f64>>,
+    /// Stage templates observed using a GPU (§III-B2: one GPU sighting
+    /// marks the whole stage).
+    gpu_stages: HashSet<String>,
+    /// Smallest executor in the cluster (MEM-bound threshold).
+    smallest_executor: ByteSize,
+}
+
+impl TaskManager {
+    /// A TM with a fresh database.
+    pub fn new(cfg: RupamConfig) -> Self {
+        TaskManager {
+            cfg,
+            db: TaskCharDb::new(),
+            queues: TaskQueues::new(),
+            finished_secs: HashMap::new(),
+            gpu_stages: HashSet::new(),
+            smallest_executor: ByteSize::gib(14),
+        }
+    }
+
+    /// Set the smallest executor size (called at app start).
+    pub fn set_smallest_executor(&mut self, size: ByteSize) {
+        self.smallest_executor = size;
+    }
+
+    /// Access the characteristics database.
+    pub fn db(&self) -> &TaskCharDb {
+        &self.db
+    }
+
+    /// Reset run-local state, keeping the DB (cross-run learning) —
+    /// the harness calls [`TaskManager::clear_db`] separately when the
+    /// experiment protocol requires a cold DB.
+    pub fn reset_run_state(&mut self) {
+        self.queues = TaskQueues::new();
+        self.finished_secs.clear();
+        self.gpu_stages.clear();
+    }
+
+    /// Wipe the characteristics database (Fig. 5 protocol).
+    pub fn clear_db(&self) {
+        self.db.clear();
+    }
+
+    /// DB lookup for a pending task.
+    pub fn lookup(&self, view: &PendingTaskView) -> Option<TaskChar> {
+        if !self.cfg.use_task_db {
+            return None;
+        }
+        self.db.read(&TaskKey::new(view.template_key.clone(), view.task.index))
+    }
+
+    /// Which queues a submitted task belongs in.
+    pub fn queues_for(&self, view: &PendingTaskView) -> Vec<ResourceKind> {
+        if let Some(char) = self.lookup(view) {
+            if let Some(k) = char.last_bottleneck {
+                return vec![k];
+            }
+        }
+        if self.gpu_stages.contains(&view.template_key) {
+            // §III-B2: once TM sees any task of a stage using a GPU, it
+            // "marks all the tasks in the same stage to be GPU tasks"
+            return vec![ResourceKind::Gpu];
+        }
+        match view.stage_kind {
+            // first contact, map stage: bounded by everything
+            StageKind::ShuffleMap => ResourceKind::ALL.to_vec(),
+            // first contact, reduce stage: network-bound
+            StageKind::Result => vec![ResourceKind::Net],
+        }
+    }
+
+    /// Submit a ready stage's tasks.
+    pub fn submit_stage(&mut self, _stage: &Stage, views: &[PendingTaskView], now: SimTime) {
+        for v in views {
+            let kinds = self.queues_for(v);
+            self.queues.enqueue(v.task, &kinds, now);
+        }
+    }
+
+    /// Re-queue a failed / relocated task (re-characterised from the DB;
+    /// a memory-straggler kill marks it MEM-bound first — the paper sends
+    /// the task back to TM, which "analyzes the task metrics to determine
+    /// the bottleneck and enqueues it to the Task Queue again").
+    pub fn requeue(&mut self, view: &PendingTaskView, now: SimTime) {
+        let kinds = self.queues_for(view);
+        self.queues.enqueue(view.task, &kinds, now);
+    }
+
+    /// Record a finished task: classify, bank into the DB, update stage
+    /// statistics.
+    pub fn record_finish(&mut self, record: &TaskRecord) {
+        self.queues.remove(&record.task);
+        if record.used_gpu {
+            self.gpu_stages.insert(record.template_key.clone());
+        }
+        let bottleneck = classify(record, &self.cfg, self.smallest_executor);
+        if self.cfg.use_task_db {
+            let key = TaskKey::new(record.template_key.clone(), record.task.index);
+            let node = record.node;
+            let secs = record.duration().as_secs_f64();
+            let peak = record.peak_mem;
+            let gpu = record.used_gpu;
+            self.db.update(key, |c| c.observe(bottleneck, node, secs, peak, gpu));
+        }
+        self.finished_secs
+            .entry(record.template_key.clone())
+            .or_default()
+            .push(record.duration().as_secs_f64());
+    }
+
+    /// A failed attempt still teaches us its memory footprint (it is what
+    /// blew the node up). Marks the task MEM-bound.
+    pub fn record_memory_failure(&mut self, template_key: &str, index: usize, peak: ByteSize, node: rupam_cluster::NodeId) {
+        if !self.cfg.use_task_db {
+            return;
+        }
+        self.db
+            .update(TaskKey::new(template_key.to_string(), index), |c| {
+                c.observe(ResourceKind::Mem, node, f64::MAX, peak, false);
+            });
+    }
+
+    /// Median successful duration for a stage template, if any finished.
+    pub fn median_duration_secs(&self, template_key: &str) -> Option<f64> {
+        self.finished_secs
+            .get(template_key)
+            .filter(|v| !v.is_empty())
+            .map(|v| rupam_simcore::stats::median(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_cluster::NodeId;
+    use rupam_dag::app::StageId;
+    use rupam_dag::Locality;
+    use rupam_metrics::breakdown::{BreakdownCategory as C, TaskBreakdown};
+    use rupam_metrics::record::AttemptOutcome;
+
+    fn record(compute_s: u64, sread_s: u64, swrite_s: u64, peak_gib: u64, gpu: bool) -> TaskRecord {
+        let mut b = TaskBreakdown::new();
+        b.add(C::Compute, rupam_simcore::SimDuration::from_secs(compute_s));
+        b.add(C::ShuffleNet, rupam_simcore::SimDuration::from_secs(sread_s));
+        b.add(C::ShuffleWrite, rupam_simcore::SimDuration::from_secs(swrite_s));
+        TaskRecord {
+            task: TaskRef { stage: StageId(0), index: 0 },
+            template_key: "w/s".into(),
+            attempt: 0,
+            node: NodeId(1),
+            speculative: false,
+            locality: Locality::Any,
+            launched_at: SimTime::ZERO,
+            finished_at: SimTime::from_secs_f64((compute_s + sread_s + swrite_s) as f64),
+            outcome: AttemptOutcome::Success,
+            breakdown: b,
+            peak_mem: ByteSize::gib(peak_gib),
+            used_gpu: gpu,
+        }
+    }
+
+    fn cfg() -> RupamConfig {
+        RupamConfig::default()
+    }
+
+    #[test]
+    fn algorithm1_gpu_first() {
+        let r = record(10, 1, 1, 1, true);
+        assert_eq!(classify(&r, &cfg(), ByteSize::gib(14)), ResourceKind::Gpu);
+    }
+
+    #[test]
+    fn algorithm1_cpu_bound() {
+        // compute 10 > 2 × max(2, 1)
+        let r = record(10, 2, 1, 1, false);
+        assert_eq!(classify(&r, &cfg(), ByteSize::gib(14)), ResourceKind::Cpu);
+    }
+
+    #[test]
+    fn algorithm1_net_bound() {
+        // compute 2 ≤ 2×max(6,1); sread 6 > 2×swrite 1
+        let r = record(2, 6, 1, 1, false);
+        assert_eq!(classify(&r, &cfg(), ByteSize::gib(14)), ResourceKind::Net);
+    }
+
+    #[test]
+    fn algorithm1_disk_bound() {
+        // compute small, swrite dominates sread
+        let r = record(1, 2, 6, 1, false);
+        assert_eq!(classify(&r, &cfg(), ByteSize::gib(14)), ResourceKind::Io);
+    }
+
+    #[test]
+    fn algorithm1_mem_bound_extension() {
+        // 8 GiB peak > 25% of a 14 GiB executor
+        let r = record(10, 1, 1, 8, false);
+        assert_eq!(classify(&r, &cfg(), ByteSize::gib(14)), ResourceKind::Mem);
+    }
+
+    fn pview(stage: usize, index: usize, kind: StageKind, gpu: bool) -> PendingTaskView {
+        PendingTaskView {
+            task: TaskRef { stage: StageId(stage), index },
+            template_key: "w/s".into(),
+            stage_kind: kind,
+            attempt_no: 0,
+            peak_mem_hint: ByteSize::ZERO,
+            gpu_capable: gpu,
+            process_nodes: vec![],
+            node_local: vec![],
+        }
+    }
+
+    #[test]
+    fn first_contact_map_goes_everywhere() {
+        let tm = TaskManager::new(cfg());
+        let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false));
+        assert_eq!(kinds.len(), 5);
+    }
+
+    #[test]
+    fn first_contact_reduce_is_net() {
+        let tm = TaskManager::new(cfg());
+        let kinds = tm.queues_for(&pview(0, 0, StageKind::Result, false));
+        assert_eq!(kinds, vec![ResourceKind::Net]);
+    }
+
+    #[test]
+    fn gpu_membership_is_learned_not_assumed() {
+        let mut tm = TaskManager::new(cfg());
+        // first contact: GPU-capable or not, a map task goes everywhere —
+        // the TM has not *observed* GPU usage yet (the paper's GM case)
+        let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, true));
+        assert_eq!(kinds.len(), 5);
+        // observe one sibling using the GPU → whole stage marked GPU
+        tm.record_finish(&record(10, 1, 1, 1, true));
+        let kinds = tm.queues_for(&pview(0, 1, StageKind::ShuffleMap, true));
+        assert_eq!(kinds, vec![ResourceKind::Gpu]);
+    }
+
+    #[test]
+    fn known_task_goes_to_its_bottleneck_queue() {
+        let mut tm = TaskManager::new(cfg());
+        tm.record_finish(&record(10, 1, 1, 1, false)); // CPU-bound
+        let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false));
+        assert_eq!(kinds, vec![ResourceKind::Cpu]);
+    }
+
+    #[test]
+    fn db_ablation_forgets() {
+        let c = RupamConfig { use_task_db: false, ..cfg() };
+        let mut tm = TaskManager::new(c);
+        tm.record_finish(&record(10, 1, 1, 1, false));
+        let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false));
+        assert_eq!(kinds.len(), 5, "without the DB every contact is first contact");
+    }
+
+    #[test]
+    fn queue_membership_and_removal() {
+        let mut q = TaskQueues::new();
+        let t = TaskRef { stage: StageId(0), index: 1 };
+        q.enqueue(t, &ResourceKind::ALL, SimTime::ZERO);
+        assert!(q.contains(&t));
+        assert_eq!(q.len(), 1, "multi-queue membership counts once");
+        assert_eq!(q.iter_kind(ResourceKind::Cpu).count(), 1);
+        q.remove(&t);
+        assert!(!q.contains(&t));
+        assert_eq!(q.iter_kind(ResourceKind::Cpu).count(), 0, "lazy filtering hides removed tasks");
+        q.compact(ResourceKind::Cpu);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn waiting_since_tracked() {
+        let mut q = TaskQueues::new();
+        let t = TaskRef { stage: StageId(0), index: 0 };
+        let t0 = SimTime::from_secs_f64(5.0);
+        q.enqueue(t, &[ResourceKind::Gpu], t0);
+        assert_eq!(q.waiting_since(&t), Some(t0));
+        // re-enqueue does not reset the clock
+        q.enqueue(t, &[ResourceKind::Cpu], SimTime::from_secs_f64(9.0));
+        assert_eq!(q.waiting_since(&t), Some(t0));
+    }
+
+    #[test]
+    fn median_duration_per_template() {
+        let mut tm = TaskManager::new(cfg());
+        for secs in [10, 20, 30] {
+            tm.record_finish(&record(secs, 0, 0, 1, false));
+        }
+        assert_eq!(tm.median_duration_secs("w/s"), Some(20.0));
+        assert_eq!(tm.median_duration_secs("unknown"), None);
+    }
+
+    #[test]
+    fn memory_failure_marks_mem_bound() {
+        let mut tm = TaskManager::new(cfg());
+        tm.record_memory_failure("w/s", 0, ByteSize::gib(12), NodeId(3));
+        let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false));
+        assert_eq!(kinds, vec![ResourceKind::Mem]);
+        let char = tm.db().read(&TaskKey::new("w/s", 0)).unwrap();
+        assert_eq!(char.peak_mem, ByteSize::gib(12));
+        assert!(char.best.is_none() || char.best.unwrap().1 == f64::MAX,
+            "a failed run must never become the best executor");
+    }
+}

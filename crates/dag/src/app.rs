@@ -1,0 +1,311 @@
+//! Applications, jobs and stages (paper Fig. 1).
+//!
+//! A Spark application runs jobs sequentially (one per driver action);
+//! each job is a DAG of stages separated by shuffle dependencies; the
+//! final stage of a job is its *result* stage (`ResultTask`s in Spark),
+//! all earlier ones are *shuffle-map* stages (`ShuffleMapTask`s). RUPAM's
+//! first-contact heuristic keys off this distinction (Algorithm 1's
+//! "map stage ⇒ enqueue everywhere, reduce stage ⇒ network-bound").
+
+use rupam_simcore::define_id;
+
+use crate::task::{TaskRef, TaskTemplate};
+
+define_id!(
+    /// Index of a job within an application.
+    JobId,
+    "job"
+);
+define_id!(
+    /// Global index of a stage within an application (across jobs).
+    StageId,
+    "stage"
+);
+
+/// Whether a stage's tasks are `ShuffleMapTask`s or `ResultTask`s.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StageKind {
+    /// Intermediate stage writing shuffle output for children.
+    ShuffleMap,
+    /// Final stage of a job, sending results to the driver.
+    Result,
+}
+
+/// One stage: a set of identical-operation tasks over the partitions of
+/// an RDD.
+#[derive(Clone, Debug)]
+pub struct Stage {
+    /// Global stage id.
+    pub id: StageId,
+    /// Owning job.
+    pub job: JobId,
+    /// Human-readable name (`"lr/gradient iter=3"`).
+    pub name: String,
+    /// Stable identity across iterations — RUPAM's `DB_task_char` is
+    /// keyed by `(template_key, partition)`, so iteration 4's gradient
+    /// stage hits the characteristics iteration 3 recorded. Mirrors the
+    /// paper's observation that "data centers usually run the same
+    /// application on input data with similar patterns periodically".
+    pub template_key: String,
+    /// Map or result stage.
+    pub kind: StageKind,
+    /// Parent stages (shuffle dependencies), all in the same job.
+    pub parents: Vec<StageId>,
+    /// One task per partition.
+    pub tasks: Vec<TaskTemplate>,
+}
+
+impl Stage {
+    /// Number of tasks (partitions).
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Reference to the `index`-th task.
+    pub fn task_ref(&self, index: usize) -> TaskRef {
+        debug_assert!(index < self.tasks.len());
+        TaskRef { stage: self.id, index }
+    }
+}
+
+/// One job: the stages triggered by a single driver action.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Job id (jobs run in id order).
+    pub id: JobId,
+    /// Stages of this job, in creation (topological) order.
+    pub stages: Vec<StageId>,
+}
+
+/// A complete application: jobs in submission order plus the global
+/// stage table.
+#[derive(Clone, Debug)]
+pub struct Application {
+    /// Application name (`"PageRank"`).
+    pub name: String,
+    /// Jobs in submission order.
+    pub jobs: Vec<Job>,
+    /// All stages, indexable by [`StageId`].
+    pub stages: Vec<Stage>,
+}
+
+impl Application {
+    /// The stage with the given id.
+    pub fn stage(&self, id: StageId) -> &Stage {
+        &self.stages[id.index()]
+    }
+
+    /// The template of a task reference.
+    pub fn task(&self, r: TaskRef) -> &TaskTemplate {
+        &self.stage(r.stage).tasks[r.index]
+    }
+
+    /// Total number of tasks across all stages.
+    pub fn total_tasks(&self) -> usize {
+        self.stages.iter().map(|s| s.num_tasks()).sum()
+    }
+
+    /// Iterate all task references in (stage, index) order.
+    pub fn all_task_refs(&self) -> impl Iterator<Item = TaskRef> + '_ {
+        self.stages.iter().flat_map(|s| {
+            (0..s.num_tasks()).map(move |i| TaskRef { stage: s.id, index: i })
+        })
+    }
+}
+
+/// Incremental, validated construction of an [`Application`].
+///
+/// ```
+/// use rupam_dag::{AppBuilder, StageKind};
+/// use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+///
+/// let mut b = AppBuilder::new("demo");
+/// let job = b.begin_job();
+/// let map = b.add_stage(job, "map", "demo/map", StageKind::ShuffleMap, vec![], vec![
+///     TaskTemplate { index: 0, input: InputSource::Generated, demand: TaskDemand::default() },
+/// ]);
+/// b.add_stage(job, "reduce", "demo/reduce", StageKind::Result, vec![map], vec![
+///     TaskTemplate { index: 0, input: InputSource::Shuffle, demand: TaskDemand::default() },
+/// ]);
+/// let app = b.build();
+/// assert_eq!(app.total_tasks(), 2);
+/// ```
+pub struct AppBuilder {
+    app: Application,
+}
+
+impl AppBuilder {
+    /// Start building an application.
+    pub fn new(name: impl Into<String>) -> Self {
+        AppBuilder {
+            app: Application { name: name.into(), jobs: Vec::new(), stages: Vec::new() },
+        }
+    }
+
+    /// Open a new job; stages added to it run after all prior jobs finish.
+    pub fn begin_job(&mut self) -> JobId {
+        let id = JobId(self.app.jobs.len());
+        self.app.jobs.push(Job { id, stages: Vec::new() });
+        id
+    }
+
+    /// Add a stage to `job`.
+    ///
+    /// # Panics
+    /// Panics if `job` doesn't exist, a parent is missing or belongs to a
+    /// different job, `tasks` is empty, or task indices are not `0..n`.
+    pub fn add_stage(
+        &mut self,
+        job: JobId,
+        name: impl Into<String>,
+        template_key: impl Into<String>,
+        kind: StageKind,
+        parents: Vec<StageId>,
+        tasks: Vec<TaskTemplate>,
+    ) -> StageId {
+        assert!(job.index() < self.app.jobs.len(), "unknown job {job}");
+        assert!(!tasks.is_empty(), "stage needs at least one task");
+        for (i, t) in tasks.iter().enumerate() {
+            assert_eq!(t.index, i, "task indices must be 0..n in order");
+        }
+        let id = StageId(self.app.stages.len());
+        for p in &parents {
+            let parent = self
+                .app
+                .stages
+                .get(p.index())
+                .unwrap_or_else(|| panic!("unknown parent {p}"));
+            assert_eq!(parent.job, job, "shuffle dependencies must stay within one job");
+        }
+        self.app.stages.push(Stage {
+            id,
+            job,
+            name: name.into(),
+            template_key: template_key.into(),
+            kind,
+            parents,
+            tasks,
+        });
+        self.app.jobs[job.index()].stages.push(id);
+        id
+    }
+
+    /// Finish, validating the whole application:
+    /// every job non-empty with exactly one result stage (its last), and
+    /// every non-final stage a shuffle-map stage.
+    pub fn build(self) -> Application {
+        let app = self.app;
+        assert!(!app.jobs.is_empty(), "application has no jobs");
+        for job in &app.jobs {
+            assert!(!job.stages.is_empty(), "{} has no stages", job.id);
+            let last = *job.stages.last().unwrap();
+            for &sid in &job.stages {
+                let s = app.stage(sid);
+                if sid == last {
+                    assert_eq!(
+                        s.kind,
+                        StageKind::Result,
+                        "last stage of {} must be a Result stage",
+                        job.id
+                    );
+                } else {
+                    assert_eq!(
+                        s.kind,
+                        StageKind::ShuffleMap,
+                        "non-final stage {} must be ShuffleMap",
+                        sid
+                    );
+                }
+            }
+        }
+        app
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::task::{InputSource, TaskDemand};
+
+    fn tasks(n: usize) -> Vec<TaskTemplate> {
+        (0..n)
+            .map(|i| TaskTemplate {
+                index: i,
+                input: InputSource::Generated,
+                demand: TaskDemand::default(),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builds_two_stage_job() {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        let m = b.add_stage(j, "m", "t/m", StageKind::ShuffleMap, vec![], tasks(4));
+        let r = b.add_stage(j, "r", "t/r", StageKind::Result, vec![m], tasks(2));
+        let app = b.build();
+        assert_eq!(app.total_tasks(), 6);
+        assert_eq!(app.stage(r).parents, vec![m]);
+        assert_eq!(app.all_task_refs().count(), 6);
+        assert_eq!(app.task(TaskRef { stage: m, index: 3 }).index, 3);
+    }
+
+    #[test]
+    fn multi_job_ordering() {
+        let mut b = AppBuilder::new("t");
+        for _ in 0..3 {
+            let j = b.begin_job();
+            b.add_stage(j, "r", "t/r", StageKind::Result, vec![], tasks(1));
+        }
+        let app = b.build();
+        assert_eq!(app.jobs.len(), 3);
+        assert_eq!(app.jobs[1].id, JobId(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "within one job")]
+    fn cross_job_parent_rejected() {
+        let mut b = AppBuilder::new("t");
+        let j1 = b.begin_job();
+        let s1 = b.add_stage(j1, "r", "t/r", StageKind::Result, vec![], tasks(1));
+        let j2 = b.begin_job();
+        b.add_stage(j2, "r2", "t/r2", StageKind::Result, vec![s1], tasks(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one task")]
+    fn empty_stage_rejected() {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        b.add_stage(j, "r", "t/r", StageKind::Result, vec![], vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be a Result stage")]
+    fn job_must_end_in_result() {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        b.add_stage(j, "m", "t/m", StageKind::ShuffleMap, vec![], tasks(1));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "must be ShuffleMap")]
+    fn interior_result_rejected() {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        let s = b.add_stage(j, "r1", "t/r1", StageKind::Result, vec![], tasks(1));
+        b.add_stage(j, "r2", "t/r2", StageKind::Result, vec![s], tasks(1));
+        b.build();
+    }
+
+    #[test]
+    #[should_panic(expected = "indices must be 0..n")]
+    fn bad_task_indices_rejected() {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        let mut ts = tasks(2);
+        ts[1].index = 5;
+        b.add_stage(j, "r", "t/r", StageKind::Result, vec![], ts);
+    }
+}

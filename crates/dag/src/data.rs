@@ -1,0 +1,299 @@
+//! Data placement and locality.
+//!
+//! Spark's scheduler ranks candidate placements by locality level
+//! (§III-C1): `PROCESS_LOCAL` (data in the executor's JVM — here: the
+//! partition is in the executor's cache), `NODE_LOCAL` (an HDFS replica on
+//! the node), `RACK_LOCAL` (a replica in the same rack) and `ANY`. The
+//! baseline scheduler optimises this ordering exclusively; RUPAM uses it
+//! as a tie-breaker after resource matching.
+//!
+//! [`DataLayout`] is a minimal HDFS: input files are split into blocks,
+//! each replicated on `replication` nodes, rack-aware (second replica off
+//! the first's rack when possible).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rupam_simcore::define_id;
+use rupam_simcore::units::ByteSize;
+
+use rupam_cluster::{ClusterSpec, NodeId};
+
+define_id!(
+    /// Identifier of one HDFS block in a [`DataLayout`].
+    BlockId,
+    "block"
+);
+
+/// Spark's four locality levels, best first.
+///
+/// `Ord` is derived so that *better* locality compares *less*
+/// (`ProcessLocal < NodeLocal < RackLocal < Any`), matching the
+/// "in the order of PROCESS_LOCAL, NODE_LOCAL, RACK_LOCAL and ANY"
+/// preference walk in Algorithm 2.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Locality {
+    /// Data is inside the executor process (cached partition).
+    ProcessLocal,
+    /// Data is on the node's local disks.
+    NodeLocal,
+    /// Data is on a node in the same rack.
+    RackLocal,
+    /// Data is on a node in a different rack.
+    Any,
+}
+
+impl Locality {
+    /// All levels, best first.
+    pub const ALL: [Locality; 4] = [
+        Locality::ProcessLocal,
+        Locality::NodeLocal,
+        Locality::RackLocal,
+        Locality::Any,
+    ];
+
+    /// Paper-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Locality::ProcessLocal => "PROCESS_LOCAL",
+            Locality::NodeLocal => "NODE_LOCAL",
+            Locality::RackLocal => "RACK_LOCAL",
+            Locality::Any => "ANY",
+        }
+    }
+
+    /// True iff `self` is strictly better (more local) than `other`.
+    #[inline]
+    pub fn better_than(self, other: Locality) -> bool {
+        self < other
+    }
+}
+
+impl std::fmt::Display for Locality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One replicated HDFS block.
+#[derive(Clone, Debug)]
+pub struct Block {
+    /// Block id.
+    pub id: BlockId,
+    /// Block size.
+    pub size: ByteSize,
+    /// Nodes holding a replica.
+    pub replicas: Vec<NodeId>,
+}
+
+/// Block placement map for one simulated application run.
+#[derive(Clone, Debug, Default)]
+pub struct DataLayout {
+    blocks: Vec<Block>,
+}
+
+impl DataLayout {
+    /// An empty layout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Place `sizes.len()` blocks on `cluster` with the given replication
+    /// factor, rack-aware: the first replica lands on a uniformly random
+    /// node, subsequent replicas prefer other racks, then other nodes.
+    ///
+    /// Returns the new blocks' ids in input order.
+    pub fn place_blocks(
+        &mut self,
+        cluster: &ClusterSpec,
+        sizes: &[ByteSize],
+        replication: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<BlockId> {
+        assert!(replication >= 1, "replication factor must be >= 1");
+        let replication = replication.min(cluster.len());
+        let all_nodes: Vec<NodeId> = cluster.iter().map(|(id, _)| id).collect();
+        let mut ids = Vec::with_capacity(sizes.len());
+        for &size in sizes {
+            let first = *all_nodes.choose(rng).expect("non-empty cluster");
+            let mut replicas = vec![first];
+            // prefer off-rack candidates for the remaining replicas
+            let mut off_rack: Vec<NodeId> = all_nodes
+                .iter()
+                .copied()
+                .filter(|&n| n != first && !cluster.same_rack(n, first))
+                .collect();
+            let mut on_rack: Vec<NodeId> = all_nodes
+                .iter()
+                .copied()
+                .filter(|&n| n != first && cluster.same_rack(n, first))
+                .collect();
+            off_rack.shuffle(rng);
+            on_rack.shuffle(rng);
+            let mut pool = off_rack.into_iter().chain(on_rack);
+            while replicas.len() < replication {
+                match pool.next() {
+                    Some(n) => replicas.push(n),
+                    None => break,
+                }
+            }
+            let id = BlockId(self.blocks.len());
+            self.blocks.push(Block { id, size, replicas });
+            ids.push(id);
+        }
+        ids
+    }
+
+    /// The block with the given id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Number of blocks placed.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// True iff no blocks have been placed.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Whether `node` holds a replica of `block`.
+    pub fn is_replica(&self, block: BlockId, node: NodeId) -> bool {
+        self.block(block).replicas.contains(&node)
+    }
+
+    /// HDFS-read locality of `block` from `node` (ignoring caches, which
+    /// the executor layer checks first): `NodeLocal` if the node holds a
+    /// replica, `RackLocal` if some replica shares its rack, else `Any`.
+    pub fn hdfs_locality(&self, cluster: &ClusterSpec, block: BlockId, node: NodeId) -> Locality {
+        let b = self.block(block);
+        if b.replicas.contains(&node) {
+            return Locality::NodeLocal;
+        }
+        if b.replicas.iter().any(|&r| cluster.same_rack(r, node)) {
+            return Locality::RackLocal;
+        }
+        Locality::Any
+    }
+
+    /// A replica to read `block` from, as seen from `node`: the node
+    /// itself if it holds one, else a same-rack replica, else the first
+    /// replica.
+    pub fn read_source(&self, cluster: &ClusterSpec, block: BlockId, node: NodeId) -> NodeId {
+        let b = self.block(block);
+        if b.replicas.contains(&node) {
+            return node;
+        }
+        b.replicas
+            .iter()
+            .copied()
+            .find(|&r| cluster.same_rack(r, node))
+            .unwrap_or(b.replicas[0])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rupam_simcore::RngFactory;
+
+    #[test]
+    fn locality_ordering_best_first() {
+        assert!(Locality::ProcessLocal < Locality::NodeLocal);
+        assert!(Locality::NodeLocal < Locality::RackLocal);
+        assert!(Locality::RackLocal < Locality::Any);
+        assert!(Locality::ProcessLocal.better_than(Locality::Any));
+        assert!(!Locality::Any.better_than(Locality::Any));
+    }
+
+    #[test]
+    fn placement_respects_replication() {
+        let cluster = ClusterSpec::hydra();
+        let mut layout = DataLayout::new();
+        let mut rng = RngFactory::new(1).stream("place");
+        let sizes = vec![ByteSize::mib(128); 40];
+        let ids = layout.place_blocks(&cluster, &sizes, 3, &mut rng);
+        assert_eq!(ids.len(), 40);
+        for id in ids {
+            let b = layout.block(id);
+            assert_eq!(b.replicas.len(), 3);
+            // replicas distinct
+            let mut r = b.replicas.clone();
+            r.sort();
+            r.dedup();
+            assert_eq!(r.len(), 3);
+            // rack-aware: at least two racks covered
+            let racks: std::collections::HashSet<_> =
+                b.replicas.iter().map(|&n| cluster.node(n).rack).collect();
+            assert!(racks.len() >= 2, "replicas should span racks: {:?}", b.replicas);
+        }
+    }
+
+    #[test]
+    fn replication_clamped_to_cluster_size() {
+        let cluster = ClusterSpec::two_node_motivation();
+        let mut layout = DataLayout::new();
+        let mut rng = RngFactory::new(2).stream("place");
+        let ids = layout.place_blocks(&cluster, &[ByteSize::mib(64)], 5, &mut rng);
+        assert_eq!(layout.block(ids[0]).replicas.len(), 2);
+    }
+
+    #[test]
+    fn hdfs_locality_levels() {
+        let cluster = ClusterSpec::hydra();
+        let mut layout = DataLayout::new();
+        let mut rng = RngFactory::new(3).stream("place");
+        let ids = layout.place_blocks(&cluster, &[ByteSize::mib(128)], 2, &mut rng);
+        let b = layout.block(ids[0]).clone();
+        let holder = b.replicas[0];
+        assert_eq!(layout.hdfs_locality(&cluster, b.id, holder), Locality::NodeLocal);
+        // some node that holds no replica
+        let non_holder = cluster
+            .iter()
+            .map(|(id, _)| id)
+            .find(|id| !b.replicas.contains(id))
+            .unwrap();
+        let loc = layout.hdfs_locality(&cluster, b.id, non_holder);
+        assert!(loc == Locality::RackLocal || loc == Locality::Any);
+        assert_eq!(layout.read_source(&cluster, b.id, holder), holder);
+        let src = layout.read_source(&cluster, b.id, non_holder);
+        assert!(b.replicas.contains(&src));
+    }
+
+    #[test]
+    fn placement_is_deterministic_per_seed() {
+        let cluster = ClusterSpec::hydra();
+        let run = |seed| {
+            let mut layout = DataLayout::new();
+            let mut rng = RngFactory::new(seed).stream("place");
+            layout.place_blocks(&cluster, &[ByteSize::mib(128); 10], 2, &mut rng);
+            layout
+                .blocks
+                .iter()
+                .map(|b| b.replicas.clone())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_placement_valid(seed in any::<u64>(), n_blocks in 1usize..30, repl in 1usize..4) {
+            let cluster = ClusterSpec::hydra();
+            let mut layout = DataLayout::new();
+            let mut rng = RngFactory::new(seed).stream("prop");
+            let sizes = vec![ByteSize::mib(64); n_blocks];
+            let ids = layout.place_blocks(&cluster, &sizes, repl, &mut rng);
+            for id in ids {
+                let b = layout.block(id);
+                prop_assert_eq!(b.replicas.len(), repl.min(cluster.len()));
+                for r in &b.replicas {
+                    prop_assert!(r.index() < cluster.len());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # rupam-dag
+//!
+//! The Spark-like application model (paper Fig. 1): an
+//! [`app::Application`] is a sequence of jobs triggered by actions; each
+//! job is a DAG of [`app::Stage`]s separated by shuffle dependencies; each
+//! stage runs one [`task::TaskTemplate`] per partition of its RDD.
+//!
+//! * [`task`] — task templates and multi-dimensional demand vectors (the
+//!   task-side metrics of Table I: compute time, GPU use, shuffle
+//!   read/write volume, peak memory).
+//! * [`data`] — HDFS-like block placement with replication, and the four
+//!   Spark locality levels (`PROCESS_LOCAL` … `ANY`).
+//! * [`app`] — applications, jobs, stages, and construction/validation.
+//! * [`lineage`] — DAG utilities: topological order, readiness, critical
+//!   path lower bounds.
+
+#![warn(missing_docs)]
+
+pub mod app;
+pub mod data;
+pub mod lineage;
+pub mod task;
+
+pub use app::{AppBuilder, Application, Job, JobId, Stage, StageId, StageKind};
+pub use data::{BlockId, DataLayout, Locality};
+pub use task::{CacheKey, InputSource, TaskDemand, TaskRef, TaskTemplate};

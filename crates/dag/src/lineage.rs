@@ -1,0 +1,321 @@
+//! DAG utilities: readiness tracking and idealised lower bounds.
+//!
+//! [`StageTracker`] drives stage readiness during a run (a stage is ready
+//! when all its shuffle parents completed and its job is active; jobs run
+//! sequentially). [`ideal_lower_bound`] computes the critical-path
+//! makespan with infinite parallelism on the best possible hardware — a
+//! bound no correct scheduler can beat, used as a simulation-wide sanity
+//! invariant in tests.
+
+use rupam_simcore::time::SimDuration;
+
+use rupam_cluster::ClusterSpec;
+
+use crate::app::{Application, StageId, StageKind};
+use crate::task::TaskDemand;
+
+/// Runtime readiness tracker over an application's job/stage structure.
+#[derive(Clone, Debug)]
+pub struct StageTracker {
+    /// Remaining (unfinished) task count per stage.
+    remaining: Vec<usize>,
+    /// Unfinished parent count per stage.
+    waiting_parents: Vec<usize>,
+    /// Stages already surfaced as ready.
+    released: Vec<bool>,
+    /// Index of the currently active job.
+    active_job: usize,
+    /// Remaining stages in the active job.
+    stages_left_in_job: usize,
+}
+
+impl StageTracker {
+    /// A tracker positioned before the first job.
+    pub fn new(app: &Application) -> Self {
+        let remaining = app.stages.iter().map(|s| s.num_tasks()).collect();
+        let waiting_parents = app.stages.iter().map(|s| s.parents.len()).collect();
+        let mut t = StageTracker {
+            remaining,
+            waiting_parents,
+            released: vec![false; app.stages.len()],
+            active_job: 0,
+            stages_left_in_job: 0,
+        };
+        t.stages_left_in_job = app.jobs.first().map(|j| j.stages.len()).unwrap_or(0);
+        t
+    }
+
+    /// Stages that become ready right now (initially: the active job's
+    /// parentless stages). Each stage is surfaced exactly once.
+    pub fn take_ready(&mut self, app: &Application) -> Vec<StageId> {
+        let mut out = Vec::new();
+        if self.active_job >= app.jobs.len() {
+            return out;
+        }
+        for &sid in &app.jobs[self.active_job].stages {
+            let i = sid.index();
+            if !self.released[i] && self.waiting_parents[i] == 0 {
+                self.released[i] = true;
+                out.push(sid);
+            }
+        }
+        out
+    }
+
+    /// Record one finished task of `stage`; returns stages newly ready.
+    pub fn task_finished(&mut self, app: &Application, stage: StageId) -> Vec<StageId> {
+        let i = stage.index();
+        assert!(self.remaining[i] > 0, "finished more tasks than {stage} has");
+        self.remaining[i] -= 1;
+        if self.remaining[i] > 0 {
+            return Vec::new();
+        }
+        // stage complete: unblock children, maybe advance the job
+        for s in &app.stages {
+            if s.parents.contains(&stage) {
+                self.waiting_parents[s.id.index()] -= 1;
+            }
+        }
+        self.stages_left_in_job -= 1;
+        if self.stages_left_in_job == 0 {
+            self.active_job += 1;
+            if let Some(job) = app.jobs.get(self.active_job) {
+                self.stages_left_in_job = job.stages.len();
+            }
+        }
+        self.take_ready(app)
+    }
+
+    /// True when every job has completed.
+    pub fn all_done(&self, app: &Application) -> bool {
+        self.active_job >= app.jobs.len()
+    }
+
+    /// Remaining tasks in `stage`.
+    pub fn remaining_in(&self, stage: StageId) -> usize {
+        self.remaining[stage.index()]
+    }
+
+    /// Whether `stage` has been surfaced as ready.
+    pub fn is_released(&self, stage: StageId) -> bool {
+        self.released[stage.index()]
+    }
+}
+
+/// The fastest conceivable execution of one task anywhere in `cluster`:
+/// every phase at the single best rate in the cluster, no contention, no
+/// GC, no queueing.
+fn ideal_task_secs(cluster: &ClusterSpec, d: &TaskDemand) -> f64 {
+    let best_ghz = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.cpu_ghz)
+        .fold(0.0f64, f64::max);
+    let best_gpu = cluster
+        .nodes()
+        .iter()
+        .map(|n| if n.gpus > 0 { n.gpu_gcps } else { 0.0 })
+        .fold(0.0f64, f64::max);
+    let best_disk_r = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.disk.read_bw)
+        .fold(0.0f64, f64::max);
+    let best_disk_w = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.disk.write_bw)
+        .fold(0.0f64, f64::max);
+    let best_net = cluster
+        .nodes()
+        .iter()
+        .map(|n| n.net_bw)
+        .fold(0.0f64, f64::max);
+    // GPU-capable kernels run at the better of (best GPU, best core);
+    // plain compute on the best core.
+    let plain = d.compute - d.gpu_kernels;
+    let mut secs = plain.max(0.0) / best_ghz;
+    secs += d.gpu_kernels / best_gpu.max(best_ghz);
+    // reads could be local-disk at best; writes local disk; driver output
+    // crosses the network at best rate
+    secs += d.input_bytes.as_f64() / best_disk_r.max(best_net);
+    secs += d.shuffle_read.as_f64() / best_disk_r.max(best_net);
+    secs += d.shuffle_write.as_f64() / best_disk_w;
+    secs += d.output_bytes.as_f64() / best_net;
+    secs
+}
+
+/// Critical-path lower bound on makespan: jobs are sequential; within a
+/// job, a stage cannot start before its longest parent chain; a stage
+/// cannot finish faster than its slowest task run under ideal conditions.
+pub fn ideal_lower_bound(app: &Application, cluster: &ClusterSpec) -> SimDuration {
+    let mut total = 0.0f64;
+    let mut finish_at: Vec<f64> = vec![0.0; app.stages.len()];
+    for job in &app.jobs {
+        let mut job_span = 0.0f64;
+        for &sid in &job.stages {
+            let s = app.stage(sid);
+            let start = s
+                .parents
+                .iter()
+                .map(|p| finish_at[p.index()])
+                .fold(0.0f64, f64::max);
+            let dur = s
+                .tasks
+                .iter()
+                .map(|t| ideal_task_secs(cluster, &t.demand))
+                .fold(0.0f64, f64::max);
+            finish_at[sid.index()] = start + dur;
+            job_span = job_span.max(start + dur);
+        }
+        total += job_span;
+    }
+    SimDuration::from_secs_f64(total)
+}
+
+/// Sanity check an application against a cluster: every GPU demand is
+/// servable (some node has a GPU) and no task's peak memory exceeds the
+/// largest node's memory. Returns a human-readable error.
+pub fn validate_against_cluster(app: &Application, cluster: &ClusterSpec) -> Result<(), String> {
+    let has_gpu = cluster.nodes().iter().any(|n| n.gpus > 0);
+    let max_mem = cluster.nodes().iter().map(|n| n.mem).max().unwrap();
+    for s in &app.stages {
+        for t in &s.tasks {
+            if t.demand.peak_mem > max_mem {
+                return Err(format!(
+                    "task {} of {} needs {} peak memory but the largest node has {}",
+                    t.index, s.name, t.demand.peak_mem, max_mem
+                ));
+            }
+            // GPU-capable tasks can always fall back to CPU, so a GPU-less
+            // cluster is only a problem if the task has *no* CPU work.
+            if t.demand.is_gpu_capable() && !has_gpu && t.demand.compute <= 0.0 {
+                return Err(format!(
+                    "task {} of {} is GPU-only but the cluster has no GPUs",
+                    t.index, s.name
+                ));
+            }
+        }
+        if matches!(s.kind, StageKind::Result) && !s.parents.is_empty() {
+            // result stages with parents read shuffle data — nothing to
+            // validate, but keep the arm for clarity
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::{AppBuilder, StageKind};
+    use crate::task::{InputSource, TaskTemplate};
+    use rupam_simcore::units::ByteSize;
+
+    fn simple_app() -> Application {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        let t = |n: usize, compute: f64| {
+            (0..n)
+                .map(|i| TaskTemplate {
+                    index: i,
+                    input: InputSource::Generated,
+                    demand: TaskDemand { compute, ..TaskDemand::default() },
+                })
+                .collect::<Vec<_>>()
+        };
+        let m = b.add_stage(j, "m", "t/m", StageKind::ShuffleMap, vec![], t(3, 10.0));
+        b.add_stage(j, "r", "t/r", StageKind::Result, vec![m], t(2, 5.0));
+        b.build()
+    }
+
+    #[test]
+    fn tracker_releases_in_dependency_order() {
+        let app = simple_app();
+        let mut tr = StageTracker::new(&app);
+        let ready = tr.take_ready(&app);
+        assert_eq!(ready, vec![StageId(0)]);
+        // re-asking yields nothing new
+        assert!(tr.take_ready(&app).is_empty());
+        // finish the map stage's 3 tasks
+        assert!(tr.task_finished(&app, StageId(0)).is_empty());
+        assert!(tr.task_finished(&app, StageId(0)).is_empty());
+        let ready = tr.task_finished(&app, StageId(0));
+        assert_eq!(ready, vec![StageId(1)]);
+        assert!(!tr.all_done(&app));
+        tr.task_finished(&app, StageId(1));
+        tr.task_finished(&app, StageId(1));
+        assert!(tr.all_done(&app));
+    }
+
+    #[test]
+    fn tracker_sequences_jobs() {
+        let mut b = AppBuilder::new("t");
+        for _ in 0..2 {
+            let j = b.begin_job();
+            b.add_stage(
+                j,
+                "r",
+                "t/r",
+                StageKind::Result,
+                vec![],
+                vec![TaskTemplate {
+                    index: 0,
+                    input: InputSource::Generated,
+                    demand: TaskDemand::default(),
+                }],
+            );
+        }
+        let app = b.build();
+        let mut tr = StageTracker::new(&app);
+        assert_eq!(tr.take_ready(&app), vec![StageId(0)]);
+        // job 2's stage must NOT be ready yet
+        assert!(tr.take_ready(&app).is_empty());
+        let ready = tr.task_finished(&app, StageId(0));
+        assert_eq!(ready, vec![StageId(1)]);
+    }
+
+    #[test]
+    fn lower_bound_positive_and_stable() {
+        let app = simple_app();
+        let cluster = ClusterSpec::hydra();
+        let lb = ideal_lower_bound(&app, &cluster);
+        // compute 10 Gcycles at thor's 4 GHz => 2.5 s, plus reduce 1.25 s
+        assert!((lb.as_secs_f64() - 3.75).abs() < 1e-6, "lb = {lb}");
+    }
+
+    #[test]
+    fn validation_catches_oversized_memory() {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        b.add_stage(
+            j,
+            "r",
+            "t/r",
+            StageKind::Result,
+            vec![],
+            vec![TaskTemplate {
+                index: 0,
+                input: InputSource::Generated,
+                demand: TaskDemand { peak_mem: ByteSize::gib(1000), ..TaskDemand::default() },
+            }],
+        );
+        let app = b.build();
+        assert!(validate_against_cluster(&app, &ClusterSpec::hydra()).is_err());
+    }
+
+    #[test]
+    fn validation_accepts_simple_app() {
+        assert!(validate_against_cluster(&simple_app(), &ClusterSpec::hydra()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "more tasks")]
+    fn over_finishing_panics() {
+        let app = simple_app();
+        let mut tr = StageTracker::new(&app);
+        tr.take_ready(&app);
+        for _ in 0..4 {
+            tr.task_finished(&app, StageId(0));
+        }
+    }
+}

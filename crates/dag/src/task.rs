@@ -1,0 +1,188 @@
+//! Task templates and demand vectors.
+//!
+//! A [`TaskTemplate`] describes one task of a stage before it runs: where
+//! its input lives and how much of each resource it will consume (the
+//! *ground truth* the simulator executes). Schedulers never see the
+//! demand directly — stock Spark ignores it entirely and RUPAM learns an
+//! approximation of it through the Task Manager's observed metrics
+//! (Table I, right side), exactly as in the paper.
+
+use rupam_simcore::units::ByteSize;
+
+use crate::app::StageId;
+use crate::data::BlockId;
+
+/// Key identifying a cacheable RDD partition: the producing stage's
+/// template key plus the partition index. Stable across iterations (all
+/// `lr/gradient` stages share a template key), so iteration `i + 1` can
+/// hit partitions cached by iteration `i`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct CacheKey {
+    /// Template key of the RDD (e.g. `"lr/points"`).
+    pub rdd: String,
+    /// Partition index within the RDD.
+    pub partition: usize,
+}
+
+impl CacheKey {
+    /// Convenience constructor.
+    pub fn new(rdd: impl Into<String>, partition: usize) -> Self {
+        CacheKey { rdd: rdd.into(), partition }
+    }
+}
+
+impl std::fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{}]", self.rdd, self.partition)
+    }
+}
+
+/// Where a task's input partition comes from.
+#[derive(Clone, Debug)]
+pub enum InputSource {
+    /// Read an HDFS block (first-touch of input data).
+    Hdfs(BlockId),
+    /// Prefer an executor-cached partition; fall back to the HDFS block
+    /// (or recomputation, modelled as the same cost) on a cache miss.
+    /// This is Spark's `RDD.cache()` path for iterative workloads.
+    CachedOrHdfs {
+        /// Cache key of the partition.
+        key: CacheKey,
+        /// HDFS block to fall back to on a miss.
+        fallback: BlockId,
+    },
+    /// Read the shuffle output of the parent stages (reduce-side input).
+    /// Volume and locations come from the map side at run time.
+    Shuffle,
+    /// Generated in place (e.g. synthetic data sources); no read phase.
+    Generated,
+}
+
+/// Ground-truth multi-dimensional resource demand of one task.
+///
+/// All compute quantities are in giga-cycles on a 1 GHz reference core;
+/// a node with `cpu_ghz = 4.0` executes them 4× faster.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TaskDemand {
+    /// CPU work of the task body.
+    pub compute: f64,
+    /// Portion of the work that can run on a GPU instead (giga-cycles
+    /// equivalent). Zero for non-GPU tasks. When executed on a GPU the
+    /// kernels run at the node's `gpu_gcps`; on CPU they run like normal
+    /// compute (the paper's OpenBLAS fallback).
+    pub gpu_kernels: f64,
+    /// Input bytes read from HDFS / cache.
+    pub input_bytes: ByteSize,
+    /// Shuffle bytes fetched from parent-stage map outputs.
+    pub shuffle_read: ByteSize,
+    /// Shuffle bytes written to local disk for child stages.
+    pub shuffle_write: ByteSize,
+    /// Result bytes sent back to the driver (Result stages).
+    pub output_bytes: ByteSize,
+    /// Peak JVM memory held while running.
+    pub peak_mem: ByteSize,
+    /// Bytes of the produced partition kept in the executor cache when
+    /// the stage caches its output (0 = nothing cached).
+    pub cached_bytes: ByteSize,
+}
+
+impl Default for TaskDemand {
+    fn default() -> Self {
+        TaskDemand {
+            compute: 0.0,
+            gpu_kernels: 0.0,
+            input_bytes: ByteSize::ZERO,
+            shuffle_read: ByteSize::ZERO,
+            shuffle_write: ByteSize::ZERO,
+            output_bytes: ByteSize::ZERO,
+            peak_mem: ByteSize::mib(256),
+            cached_bytes: ByteSize::ZERO,
+        }
+    }
+}
+
+impl TaskDemand {
+    /// Whether any part of the task can use a GPU.
+    #[inline]
+    pub fn is_gpu_capable(&self) -> bool {
+        self.gpu_kernels > 0.0
+    }
+
+    /// Total bytes that move through the task (used by the GC model:
+    /// garbage scales with data churned).
+    pub fn bytes_touched(&self) -> ByteSize {
+        self.input_bytes + self.shuffle_read + self.shuffle_write + self.output_bytes
+    }
+}
+
+/// One task of a stage, pre-execution.
+#[derive(Clone, Debug)]
+pub struct TaskTemplate {
+    /// Partition index within the stage.
+    pub index: usize,
+    /// Input location.
+    pub input: InputSource,
+    /// Ground-truth demand.
+    pub demand: TaskDemand,
+}
+
+/// Globally unique reference to a task: `(stage, index)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TaskRef {
+    /// Stage the task belongs to.
+    pub stage: StageId,
+    /// Partition index within the stage.
+    pub index: usize,
+}
+
+impl std::fmt::Display for TaskRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}.{}", self.stage, self.index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_demand_is_inert() {
+        let d = TaskDemand::default();
+        assert!(!d.is_gpu_capable());
+        assert_eq!(d.compute, 0.0);
+        assert_eq!(d.bytes_touched(), ByteSize::ZERO);
+    }
+
+    #[test]
+    fn gpu_capability() {
+        let d = TaskDemand { gpu_kernels: 5.0, ..TaskDemand::default() };
+        assert!(d.is_gpu_capable());
+    }
+
+    #[test]
+    fn bytes_touched_sums_flows() {
+        let d = TaskDemand {
+            input_bytes: ByteSize::mib(100),
+            shuffle_read: ByteSize::mib(50),
+            shuffle_write: ByteSize::mib(25),
+            output_bytes: ByteSize::mib(5),
+            ..TaskDemand::default()
+        };
+        assert_eq!(d.bytes_touched(), ByteSize::mib(180));
+    }
+
+    #[test]
+    fn cache_key_display_and_eq() {
+        let a = CacheKey::new("lr/points", 3);
+        let b = CacheKey::new("lr/points", 3);
+        assert_eq!(a, b);
+        assert_eq!(format!("{a}"), "lr/points[3]");
+        assert_ne!(a, CacheKey::new("lr/points", 4));
+    }
+
+    #[test]
+    fn task_ref_display() {
+        let r = TaskRef { stage: StageId(2), index: 7 };
+        assert_eq!(format!("{r}"), "stage2.7");
+    }
+}

@@ -1,0 +1,32 @@
+//! # rupam-exec
+//!
+//! The execution substrate: a deterministic discrete-event simulator of a
+//! Spark-like cluster engine, plus the pluggable [`scheduler::Scheduler`]
+//! trait both the baseline Spark scheduler and RUPAM implement.
+//!
+//! * [`config`] — all tunables of the simulation (heartbeat cadence,
+//!   speculation policy, cost model, memory/OOM model).
+//! * [`costmodel`] — translates a task's demand vector into a sequence of
+//!   resource *phases* (network fetch, disk read, serialisation, compute
+//!   or GPU kernels, GC, shuffle write, driver output).
+//! * [`cache`] — per-executor LRU partition cache (Spark storage memory).
+//! * [`scheduler`] — the offer-based scheduler interface and the
+//!   read-only views schedulers decide from.
+//! * [`speculation`] — Spark's speculative-execution policy (quantile +
+//!   multiplier) shared by all schedulers.
+//! * [`engine`] — the simulation driver: fluid processor-sharing
+//!   contention, OOM/executor-loss model, race resolution, utilisation
+//!   recording. Produces a [`rupam_metrics::RunReport`].
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod costmodel;
+pub mod engine;
+pub mod scheduler;
+pub mod speculation;
+
+pub use config::SimConfig;
+pub use engine::{simulate, SimInput};
+pub use scheduler::{Command, NodeView, OfferInput, PendingTaskView, Scheduler};

@@ -1,0 +1,244 @@
+//! The pluggable scheduler interface.
+//!
+//! The engine mirrors Spark's offer-based protocol: it notifies the
+//! scheduler of lifecycle events (`on_stage_ready`, `on_task_finished`,
+//! `on_task_failed`) and, whenever capacity might have appeared (a task
+//! finished, a heartbeat arrived, an executor came back), builds a
+//! read-only [`OfferInput`] snapshot and asks the scheduler for
+//! [`Command`]s. Commands are validated against live state before being
+//! applied, so schedulers may act on slightly stale views safely — just
+//! like real drivers do.
+
+use rupam_simcore::time::{SimDuration, SimTime};
+use rupam_simcore::units::ByteSize;
+
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_dag::app::{Application, Stage, StageKind};
+use rupam_dag::{Locality, TaskRef};
+use rupam_metrics::record::{AttemptOutcome, TaskRecord};
+
+/// A summary of one running attempt, visible to schedulers (for RUPAM's
+/// memory-straggler detection and resource-aware speculation).
+#[derive(Clone, Debug)]
+pub struct RunningTaskView {
+    /// The task being run.
+    pub task: TaskRef,
+    /// Whether this copy is speculative.
+    pub speculative: bool,
+    /// Time since launch.
+    pub elapsed: SimDuration,
+    /// Memory the attempt holds.
+    pub peak_mem: ByteSize,
+    /// Whether it runs its kernels on a GPU.
+    pub on_gpu: bool,
+}
+
+/// Read-only view of one node at offer time.
+#[derive(Clone, Debug)]
+pub struct NodeView {
+    /// The node.
+    pub node: NodeId,
+    /// Executor heap size on this node (scheduler-determined at start).
+    pub executor_mem: ByteSize,
+    /// Memory held by running attempts.
+    pub mem_in_use: ByteSize,
+    /// Free executor memory (`executor_mem - mem_in_use`).
+    pub free_mem: ByteSize,
+    /// Running attempts.
+    pub running: Vec<RunningTaskView>,
+    /// Busy-core fraction right now.
+    pub cpu_util: f64,
+    /// NIC utilisation fraction right now.
+    pub net_util: f64,
+    /// Disk utilisation fraction right now.
+    pub disk_util: f64,
+    /// GPUs not currently executing kernels.
+    pub gpus_idle: u32,
+    /// True while the executor JVM is restarting (nothing can launch).
+    pub blocked: bool,
+}
+
+impl NodeView {
+    /// Number of running attempts (stock Spark's slot accounting).
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+}
+
+/// One pending (launchable) task at offer time.
+#[derive(Clone, Debug)]
+pub struct PendingTaskView {
+    /// The task.
+    pub task: TaskRef,
+    /// Template key of its stage (RUPAM's `DB_task_char` key part).
+    pub template_key: String,
+    /// Map or result stage (Algorithm 1's first-contact heuristic).
+    pub stage_kind: StageKind,
+    /// Attempt number this launch would get (0 = first).
+    pub attempt_no: u32,
+    /// Ground-truth-free memory hint: the *observed* peak of the previous
+    /// attempt if any, else the stage-level conservative estimate Spark
+    /// exposes through its memory manager. RUPAM's Algorithm 2 compares
+    /// this against node free memory.
+    pub peak_mem_hint: ByteSize,
+    /// Whether the task has GPU kernels (known statically in the paper:
+    /// BLAS-backed stages are marked once one task is seen using a GPU).
+    pub gpu_capable: bool,
+    /// Nodes whose executor cache holds the input (`PROCESS_LOCAL`).
+    pub process_nodes: Vec<NodeId>,
+    /// Nodes with an HDFS replica or ≥ 20 % of the shuffle input
+    /// (`NODE_LOCAL`).
+    pub node_local: Vec<NodeId>,
+}
+
+impl PendingTaskView {
+    /// Locality this task would achieve on `node`.
+    pub fn locality(&self, cluster: &ClusterSpec, node: NodeId) -> Locality {
+        if self.process_nodes.contains(&node) {
+            return Locality::ProcessLocal;
+        }
+        if self.node_local.contains(&node) {
+            return Locality::NodeLocal;
+        }
+        if self
+            .node_local
+            .iter()
+            .any(|&n| cluster.same_rack(n, node))
+        {
+            return Locality::RackLocal;
+        }
+        Locality::Any
+    }
+
+    /// Best locality achievable anywhere right now.
+    pub fn best_locality(&self) -> Locality {
+        if !self.process_nodes.is_empty() {
+            Locality::ProcessLocal
+        } else if !self.node_local.is_empty() {
+            Locality::NodeLocal
+        } else {
+            Locality::Any
+        }
+    }
+}
+
+/// The full offer-round snapshot.
+pub struct OfferInput<'a> {
+    /// Current time.
+    pub now: SimTime,
+    /// Cluster topology.
+    pub cluster: &'a ClusterSpec,
+    /// The application being run.
+    pub app: &'a Application,
+    /// Per-node views, indexed by node id.
+    pub nodes: Vec<NodeView>,
+    /// All launchable regular tasks, in (stage, index) order.
+    pub pending: Vec<PendingTaskView>,
+    /// Running tasks eligible for a speculative copy, per Spark's policy
+    /// (plus whatever the scheduler adds on its own authority).
+    pub speculatable: Vec<PendingTaskView>,
+}
+
+/// An action a scheduler requests.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// Launch a pending task (or a speculative copy of a running one).
+    Launch {
+        /// Task to launch.
+        task: TaskRef,
+        /// Target node.
+        node: NodeId,
+        /// Execute GPU kernels on a GPU (engine falls back to CPU when
+        /// the task has no kernels).
+        use_gpu: bool,
+        /// Launch as a speculative / racing copy of a running attempt.
+        speculative: bool,
+    },
+    /// Kill a *running* attempt and requeue its task (RUPAM's
+    /// memory-straggler relocation, §III-C3).
+    KillAndRequeue {
+        /// Task whose running attempt dies.
+        task: TaskRef,
+        /// Node it is running on (guards against stale views).
+        node: NodeId,
+    },
+}
+
+/// A task scheduler: stock Spark, RUPAM, or an ablation variant.
+pub trait Scheduler {
+    /// Human-readable name used in reports.
+    fn name(&self) -> &str;
+
+    /// Executor heap size to launch on `node`. Stock Spark returns one
+    /// uniform size; RUPAM sizes per node (§III-C2).
+    fn executor_memory(&self, cluster: &ClusterSpec, node: NodeId) -> ByteSize;
+
+    /// Per-decision overhead charged to each launched task as scheduler
+    /// delay.
+    fn decision_cost(&self) -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+
+    /// Called once before the run.
+    fn on_app_start(&mut self, _app: &Application, _cluster: &ClusterSpec) {}
+
+    /// A stage's tasks became launchable.
+    fn on_stage_ready(&mut self, _stage: &Stage, _now: SimTime) {}
+
+    /// An attempt finished successfully; `record` carries the observed
+    /// task metrics (Table I, right side) RUPAM's TM banks.
+    fn on_task_finished(&mut self, _record: &TaskRecord, _now: SimTime) {}
+
+    /// An attempt failed (OOM, executor loss, straggler kill) and the
+    /// task went back to pending.
+    fn on_task_failed(
+        &mut self,
+        _task: TaskRef,
+        _node: NodeId,
+        _outcome: AttemptOutcome,
+        _now: SimTime,
+    ) {
+    }
+
+    /// Produce commands for the current snapshot.
+    fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::StageId;
+
+    fn view(process: Vec<NodeId>, node_local: Vec<NodeId>) -> PendingTaskView {
+        PendingTaskView {
+            task: TaskRef { stage: StageId(0), index: 0 },
+            template_key: "t".into(),
+            stage_kind: StageKind::ShuffleMap,
+            attempt_no: 0,
+            peak_mem_hint: ByteSize::mib(256),
+            gpu_capable: false,
+            process_nodes: process,
+            node_local,
+        }
+    }
+
+    #[test]
+    fn locality_resolution() {
+        let cluster = ClusterSpec::hydra();
+        // thor nodes 0 and 2 share rack 0; thor 1 is rack 1
+        let v = view(vec![NodeId(0)], vec![NodeId(2)]);
+        assert_eq!(v.locality(&cluster, NodeId(0)), Locality::ProcessLocal);
+        assert_eq!(v.locality(&cluster, NodeId(2)), Locality::NodeLocal);
+        // node 4 (thor5) is rack 0, same rack as the NODE_LOCAL holder 2
+        assert_eq!(v.locality(&cluster, NodeId(4)), Locality::RackLocal);
+        // node 1 (thor2) is rack 1: no replica, different rack
+        assert_eq!(v.locality(&cluster, NodeId(1)), Locality::Any);
+    }
+
+    #[test]
+    fn best_locality() {
+        assert_eq!(view(vec![NodeId(0)], vec![]).best_locality(), Locality::ProcessLocal);
+        assert_eq!(view(vec![], vec![NodeId(0)]).best_locality(), Locality::NodeLocal);
+        assert_eq!(view(vec![], vec![]).best_locality(), Locality::Any);
+    }
+}

@@ -1,0 +1,178 @@
+//! Execution-time breakdown categories.
+//!
+//! Fig. 3 splits task time into compute / shuffle / serialisation /
+//! scheduler delay; Fig. 7 refines shuffle into network vs disk and adds
+//! GC. [`TaskBreakdown`] carries the union of both decompositions, so
+//! either figure can be produced from the same records.
+
+use rupam_simcore::time::SimDuration;
+
+/// One category of task execution time.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BreakdownCategory {
+    /// Time from "task could launch" to "task started", plus the
+    /// scheduler's per-decision cost.
+    SchedulerDelay,
+    /// Data (de)serialisation on the CPU.
+    Serialization,
+    /// Shuffle bytes fetched over the network.
+    ShuffleNet,
+    /// Shuffle bytes read from local disk.
+    ShuffleDisk,
+    /// Shuffle bytes written to local disk.
+    ShuffleWrite,
+    /// HDFS input read from local disk (Spark reports input scan apart
+    /// from shuffle; Algorithm 1 must not see it as `shuffleread`).
+    HdfsDisk,
+    /// HDFS input fetched from a remote replica.
+    HdfsNet,
+    /// Task body computation (CPU or GPU).
+    Compute,
+    /// JVM garbage collection.
+    Gc,
+}
+
+impl BreakdownCategory {
+    /// All categories in presentation order.
+    pub const ALL: [BreakdownCategory; 9] = [
+        BreakdownCategory::SchedulerDelay,
+        BreakdownCategory::Serialization,
+        BreakdownCategory::ShuffleNet,
+        BreakdownCategory::ShuffleDisk,
+        BreakdownCategory::ShuffleWrite,
+        BreakdownCategory::HdfsDisk,
+        BreakdownCategory::HdfsNet,
+        BreakdownCategory::Compute,
+        BreakdownCategory::Gc,
+    ];
+
+    /// Label used in printed tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakdownCategory::SchedulerDelay => "Scheduler",
+            BreakdownCategory::Serialization => "Serialization",
+            BreakdownCategory::ShuffleNet => "Shuffle-net",
+            BreakdownCategory::ShuffleDisk => "Shuffle-disk",
+            BreakdownCategory::ShuffleWrite => "Shuffle-write",
+            BreakdownCategory::HdfsDisk => "Input-disk",
+            BreakdownCategory::HdfsNet => "Input-net",
+            BreakdownCategory::Compute => "Compute",
+            BreakdownCategory::Gc => "GC",
+        }
+    }
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|c| *c == self).unwrap()
+    }
+}
+
+impl std::fmt::Display for BreakdownCategory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Time spent per category by one task attempt.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TaskBreakdown {
+    slots: [SimDuration; 9],
+}
+
+impl TaskBreakdown {
+    /// All-zero breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Time in one category.
+    #[inline]
+    pub fn get(&self, cat: BreakdownCategory) -> SimDuration {
+        self.slots[cat.index()]
+    }
+
+    /// Add time to a category.
+    #[inline]
+    pub fn add(&mut self, cat: BreakdownCategory, d: SimDuration) {
+        self.slots[cat.index()] += d;
+    }
+
+    /// Sum of all categories — the attempt's total runtime.
+    pub fn total(&self) -> SimDuration {
+        self.slots
+            .iter()
+            .fold(SimDuration::ZERO, |a, &b| a + b)
+    }
+
+    /// Element-wise accumulation (for per-workload totals).
+    pub fn accumulate(&mut self, other: &TaskBreakdown) {
+        for (a, b) in self.slots.iter_mut().zip(other.slots.iter()) {
+            *a += *b;
+        }
+    }
+
+    /// Fig. 3's coarser decomposition: (compute+gc, shuffle+input-read,
+    /// serialisation, scheduler delay).
+    pub fn coarse(&self) -> (SimDuration, SimDuration, SimDuration, SimDuration) {
+        let compute = self.get(BreakdownCategory::Compute) + self.get(BreakdownCategory::Gc);
+        let shuffle = self.get(BreakdownCategory::ShuffleNet)
+            + self.get(BreakdownCategory::ShuffleDisk)
+            + self.get(BreakdownCategory::ShuffleWrite)
+            + self.get(BreakdownCategory::HdfsDisk)
+            + self.get(BreakdownCategory::HdfsNet);
+        (
+            compute,
+            shuffle,
+            self.get(BreakdownCategory::Serialization),
+            self.get(BreakdownCategory::SchedulerDelay),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_total() {
+        let mut b = TaskBreakdown::new();
+        b.add(BreakdownCategory::Compute, SimDuration::from_secs(3));
+        b.add(BreakdownCategory::Gc, SimDuration::from_secs(1));
+        b.add(BreakdownCategory::Compute, SimDuration::from_secs(2));
+        assert_eq!(b.get(BreakdownCategory::Compute), SimDuration::from_secs(5));
+        assert_eq!(b.total(), SimDuration::from_secs(6));
+    }
+
+    #[test]
+    fn accumulate_merges() {
+        let mut a = TaskBreakdown::new();
+        a.add(BreakdownCategory::ShuffleNet, SimDuration::from_secs(1));
+        let mut b = TaskBreakdown::new();
+        b.add(BreakdownCategory::ShuffleNet, SimDuration::from_secs(2));
+        b.add(BreakdownCategory::SchedulerDelay, SimDuration::from_millis(5));
+        a.accumulate(&b);
+        assert_eq!(a.get(BreakdownCategory::ShuffleNet), SimDuration::from_secs(3));
+        assert_eq!(a.get(BreakdownCategory::SchedulerDelay), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn coarse_projection() {
+        let mut b = TaskBreakdown::new();
+        b.add(BreakdownCategory::Compute, SimDuration::from_secs(4));
+        b.add(BreakdownCategory::Gc, SimDuration::from_secs(1));
+        b.add(BreakdownCategory::ShuffleNet, SimDuration::from_secs(2));
+        b.add(BreakdownCategory::ShuffleWrite, SimDuration::from_secs(1));
+        b.add(BreakdownCategory::Serialization, SimDuration::from_millis(100));
+        let (c, s, ser, sched) = b.coarse();
+        assert_eq!(c, SimDuration::from_secs(5));
+        assert_eq!(s, SimDuration::from_secs(3));
+        assert_eq!(ser, SimDuration::from_millis(100));
+        assert_eq!(sched, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let set: std::collections::HashSet<_> =
+            BreakdownCategory::ALL.iter().map(|c| c.label()).collect();
+        assert_eq!(set.len(), BreakdownCategory::ALL.len());
+    }
+}

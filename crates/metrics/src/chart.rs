@@ -1,0 +1,146 @@
+//! Minimal ASCII charts for the paper-figure series the harness prints:
+//! a vertical-bar chart for time series (Fig. 2 utilisation, Fig. 9
+//! spread) and a labelled line for sweeps (Fig. 6 speedups).
+//!
+//! Terminal output only — the point is to make `cargo bench` /
+//! `experiments` output self-contained, not to replace a plotting stack.
+
+use std::fmt::Write as _;
+
+/// Render a series as column bars of height `rows` (values scaled to the
+/// series maximum). `labels` annotates the x-axis extremes.
+pub fn bar_chart(title: &str, values: &[f64], rows: usize, unit: &str) -> String {
+    assert!(rows >= 1, "need at least one row");
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {title} --");
+    if values.is_empty() {
+        let _ = writeln!(out, "(empty series)");
+        return out;
+    }
+    let max = values.iter().cloned().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        let _ = writeln!(out, "(all zero; n={})", values.len());
+        return out;
+    }
+    // quantise every value to 0..=rows
+    let heights: Vec<usize> = values
+        .iter()
+        .map(|v| ((v / max) * rows as f64).round().clamp(0.0, rows as f64) as usize)
+        .collect();
+    for row in (1..=rows).rev() {
+        // y-axis tick on the top and middle rows
+        let tick = if row == rows {
+            format!("{max:>8.1} |")
+        } else if row == rows.div_ceil(2) {
+            format!("{:>8.1} |", max * row as f64 / rows as f64)
+        } else {
+            format!("{:>8} |", "")
+        };
+        let _ = write!(out, "{tick}");
+        for &h in &heights {
+            let _ = write!(out, "{}", if h >= row { '#' } else { ' ' });
+        }
+        let _ = writeln!(out);
+    }
+    let _ = writeln!(out, "{:>8} +{}", "0", "-".repeat(values.len()));
+    let _ = writeln!(out, "{:>10}n={} max={max:.1} {unit}", "", values.len());
+    out
+}
+
+/// Render an `(x, y)` sweep as one labelled row per point with a
+/// proportional bar — readable for the Fig. 6-style iteration sweeps.
+pub fn sweep_chart(title: &str, points: &[(String, f64)], width: usize, unit: &str) -> String {
+    assert!(width >= 1);
+    let mut out = String::new();
+    let _ = writeln!(out, "-- {title} --");
+    if points.is_empty() {
+        let _ = writeln!(out, "(no points)");
+        return out;
+    }
+    let max = points.iter().map(|p| p.1).fold(0.0f64, f64::max);
+    let label_w = points.iter().map(|p| p.0.len()).max().unwrap_or(1);
+    for (label, v) in points {
+        let bar = if max > 0.0 {
+            ((v / max) * width as f64).round().clamp(0.0, width as f64) as usize
+        } else {
+            0
+        };
+        let _ = writeln!(
+            out,
+            "{label:>label_w$} | {}{} {v:.2} {unit}",
+            "█".repeat(bar),
+            " ".repeat(width - bar),
+        );
+    }
+    out
+}
+
+/// Down-sample a long series to at most `n` buckets by averaging — keeps
+/// charts terminal-width even for second-granularity histories.
+pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
+    assert!(n >= 1);
+    if values.len() <= n {
+        return values.to_vec();
+    }
+    let mut out = Vec::with_capacity(n);
+    let chunk = values.len() as f64 / n as f64;
+    for i in 0..n {
+        let lo = (i as f64 * chunk) as usize;
+        let hi = (((i + 1) as f64 * chunk) as usize).min(values.len()).max(lo + 1);
+        let slice = &values[lo..hi];
+        out.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let s = bar_chart("demo", &[1.0, 2.0, 4.0], 4, "MB/s");
+        assert!(s.contains("-- demo --"));
+        assert!(s.contains("max=4.0 MB/s"));
+        // tallest column reaches the top row; shortest only the bottom
+        let lines: Vec<&str> = s.lines().collect();
+        let top = lines[1];
+        assert!(top.ends_with("  #"), "top row should only show the max column: {top:?}");
+    }
+
+    #[test]
+    fn bar_chart_handles_degenerate_input() {
+        assert!(bar_chart("e", &[], 3, "x").contains("empty"));
+        assert!(bar_chart("z", &[0.0, 0.0], 3, "x").contains("all zero"));
+    }
+
+    #[test]
+    fn sweep_chart_orders_and_scales() {
+        let pts = vec![("1".to_string(), 1.0), ("20".to_string(), 2.5)];
+        let s = sweep_chart("speedup", &pts, 10, "x");
+        assert!(s.contains("1.00 x"));
+        assert!(s.contains("2.50 x"));
+        // the larger value gets the full-width bar
+        let full: String = "█".repeat(10);
+        assert!(s.contains(&full));
+    }
+
+    #[test]
+    fn downsample_preserves_mean_roughly() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let d = downsample(&values, 10);
+        assert_eq!(d.len(), 10);
+        let mean_in = values.iter().sum::<f64>() / 100.0;
+        let mean_out = d.iter().sum::<f64>() / 10.0;
+        assert!((mean_in - mean_out).abs() < 1.0);
+        // short series pass through
+        assert_eq!(downsample(&[1.0, 2.0], 10), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn downsample_single_bucket() {
+        let d = downsample(&[2.0, 4.0, 6.0], 1);
+        assert_eq!(d.len(), 1);
+        assert!((d[0] - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,146 @@
+//! Plain-text exports of run data for external analysis: task records
+//! and utilisation histories as CSV (no serialization dependency — the
+//! formats are trivial and the writer is 50 lines).
+
+use std::fmt::Write as _;
+
+use rupam_cluster::monitor::MetricKey;
+use rupam_cluster::NodeId;
+
+use crate::breakdown::BreakdownCategory;
+use crate::report::RunReport;
+
+fn escape(field: &str) -> String {
+    if field.contains([',', '"', '\n']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// One CSV row per task attempt, with the full breakdown expanded into
+/// columns.
+pub fn records_csv(report: &RunReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "stage,index,template,attempt,node,speculative,locality,launched_s,finished_s,outcome,peak_mem_bytes,used_gpu"
+    );
+    for cat in BreakdownCategory::ALL {
+        let _ = write!(out, ",{}_s", cat.label().to_lowercase().replace([' ', '-'], "_"));
+    }
+    let _ = writeln!(out);
+    for r in &report.records {
+        let _ = write!(
+            out,
+            "{},{},{},{},{},{},{},{:.6},{:.6},{:?},{},{}",
+            r.task.stage.index(),
+            r.task.index,
+            escape(&r.template_key),
+            r.attempt,
+            r.node.index(),
+            r.speculative,
+            r.locality.label(),
+            r.launched_at.as_secs_f64(),
+            r.finished_at.as_secs_f64(),
+            r.outcome,
+            r.peak_mem.bytes(),
+            r.used_gpu,
+        );
+        for cat in BreakdownCategory::ALL {
+            let _ = write!(out, ",{:.6}", r.breakdown.get(cat).as_secs_f64());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// One CSV row per monitor sample of one metric:
+/// `node,time_s,value`.
+pub fn utilization_csv(report: &RunReport, key: MetricKey) -> String {
+    let mut out = String::from("node,time_s,value\n");
+    for i in 0..report.monitor.len() {
+        for (t, v) in report.monitor.history(NodeId(i), key).points() {
+            let _ = writeln!(out, "{},{:.6},{:.6}", i, t.as_secs_f64(), v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::TaskBreakdown;
+    use crate::record::{AttemptOutcome, TaskRecord};
+    use rupam_cluster::monitor::{HeartbeatSnapshot, NodeMetrics};
+    use rupam_cluster::{ClusterSpec, ResourceMonitor};
+    use rupam_dag::{Locality, StageId, TaskRef};
+    use rupam_simcore::time::{SimDuration, SimTime};
+    use rupam_simcore::units::ByteSize;
+
+    fn report() -> RunReport {
+        let mut breakdown = TaskBreakdown::new();
+        breakdown.add(BreakdownCategory::Compute, SimDuration::from_secs(2));
+        let mut monitor = ResourceMonitor::new(&ClusterSpec::two_node_motivation());
+        monitor.ingest(HeartbeatSnapshot {
+            node: NodeId(0),
+            at: SimTime::from_secs_f64(1.0),
+            metrics: NodeMetrics { cpu_util: 0.5, ..NodeMetrics::default() },
+        });
+        RunReport {
+            app_name: "t".into(),
+            scheduler_name: "s".into(),
+            seed: 0,
+            makespan: SimDuration::from_secs(10),
+            completed: true,
+            records: vec![TaskRecord {
+                task: TaskRef { stage: StageId(1), index: 2 },
+                template_key: "demo, with comma".into(),
+                attempt: 0,
+                node: NodeId(1),
+                speculative: false,
+                locality: Locality::NodeLocal,
+                launched_at: SimTime::from_secs_f64(1.0),
+                finished_at: SimTime::from_secs_f64(3.0),
+                outcome: AttemptOutcome::Success,
+                breakdown,
+                peak_mem: ByteSize::mib(100),
+                used_gpu: false,
+            }],
+            monitor,
+            oom_failures: 0,
+            executor_losses: 0,
+            speculative_launched: 0,
+            speculative_wins: 0,
+        }
+    }
+
+    #[test]
+    fn records_csv_shape() {
+        let csv = records_csv(&report());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2, "header + one record");
+        let header_cols = lines[0].split(',').count();
+        // the quoted template field contains a comma — count on the header
+        assert_eq!(header_cols, 12 + BreakdownCategory::ALL.len());
+        assert!(lines[1].contains("\"demo, with comma\""));
+        assert!(lines[1].contains("NODE_LOCAL"));
+        assert!(lines[1].contains("Success"));
+    }
+
+    #[test]
+    fn csv_escaping() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a,b"), "\"a,b\"");
+        assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn utilization_csv_shape() {
+        let csv = utilization_csv(&report(), MetricKey::CpuUtil);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "node,time_s,value");
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].starts_with("0,1.000000,0.5"));
+    }
+}

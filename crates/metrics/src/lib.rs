@@ -1,0 +1,29 @@
+//! # rupam-metrics
+//!
+//! Run reports and evaluation plumbing:
+//!
+//! * [`breakdown`] — per-task execution-time breakdown into the paper's
+//!   categories (compute, GC, shuffle over network, shuffle from disk,
+//!   serialisation, scheduler delay; Figs. 3 and 7).
+//! * [`record`] — immutable per-attempt records emitted by the simulator.
+//! * [`report`] — whole-run reports: makespan, locality table (Table V),
+//!   breakdown aggregation (Fig. 7), utilisation summaries (Figs. 2/8/9).
+//! * [`table`] — fixed-width text tables for the paper-style printouts.
+//! * [`chart`] — terminal bar/sweep charts for the figure series.
+//! * [`timeline`] — per-node ASCII Gantt views and waste accounting.
+//! * [`export`] — CSV writers for records and utilisation histories.
+
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod chart;
+pub mod export;
+pub mod record;
+pub mod report;
+pub mod table;
+pub mod timeline;
+
+pub use breakdown::{BreakdownCategory, TaskBreakdown};
+pub use record::{AttemptOutcome, TaskRecord};
+pub use report::RunReport;
+pub use table::Table;

@@ -1,0 +1,264 @@
+//! Whole-run reports.
+//!
+//! [`RunReport`] is what one simulated application run produces: the
+//! makespan, every attempt record, the resource-monitor histories and the
+//! failure counters. All of the paper's evaluation artefacts (Figs. 2-9,
+//! Table V) are projections of this struct.
+
+use rupam_simcore::series::stddev_across;
+use rupam_simcore::stats;
+use rupam_simcore::time::{SimDuration, SimTime};
+
+use rupam_cluster::monitor::MetricKey;
+use rupam_cluster::{NodeId, ResourceMonitor};
+use rupam_dag::Locality;
+
+use crate::breakdown::TaskBreakdown;
+use crate::record::TaskRecord;
+
+/// Complete result of one simulated application run.
+pub struct RunReport {
+    /// Application name.
+    pub app_name: String,
+    /// Scheduler that produced the run.
+    pub scheduler_name: String,
+    /// Experiment seed.
+    pub seed: u64,
+    /// End-to-end execution time.
+    pub makespan: SimDuration,
+    /// Whether the application finished (false = aborted, e.g. a task
+    /// exhausted its retries).
+    pub completed: bool,
+    /// Every attempt that ran, in completion order.
+    pub records: Vec<TaskRecord>,
+    /// Resource-monitor state with full utilisation histories.
+    pub monitor: ResourceMonitor,
+    /// Count of task-level OOM failures.
+    pub oom_failures: usize,
+    /// Count of executor (worker JVM) losses.
+    pub executor_losses: usize,
+    /// Speculative / racing copies launched.
+    pub speculative_launched: usize,
+    /// Speculative / racing copies that beat the original.
+    pub speculative_wins: usize,
+}
+
+impl RunReport {
+    /// Table V's locality census: how many non-speculative attempts
+    /// launched at each locality level. Retried attempts count again —
+    /// that is exactly why stock Spark shows *more* total tasks than
+    /// RUPAM on OOM-prone workloads in the paper.
+    pub fn locality_counts(&self) -> [usize; 4] {
+        let mut counts = [0usize; 4];
+        for r in self.records.iter().filter(|r| !r.speculative) {
+            let idx = Locality::ALL.iter().position(|l| *l == r.locality).unwrap();
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Total non-speculative attempts (the Table V row sum).
+    pub fn total_attempts(&self) -> usize {
+        self.records.iter().filter(|r| !r.speculative).count()
+    }
+
+    /// Fig. 7: per-category time summed over successful attempts.
+    pub fn breakdown_totals(&self) -> TaskBreakdown {
+        let mut total = TaskBreakdown::new();
+        for r in self.records.iter().filter(|r| r.outcome.is_success()) {
+            total.accumulate(&r.breakdown);
+        }
+        total
+    }
+
+    /// Fig. 8: cluster-average of one utilisation metric over the whole
+    /// run (time-weighted mean per node, then averaged across nodes).
+    pub fn avg_utilization(&self, key: MetricKey) -> f64 {
+        let end = SimTime::ZERO + self.makespan;
+        let per_node: Vec<f64> = (0..self.monitor.len())
+            .map(|i| {
+                self.monitor
+                    .history(NodeId(i), key)
+                    .time_weighted_mean(SimTime::ZERO, end)
+                    .unwrap_or(0.0)
+            })
+            .collect();
+        stats::mean(&per_node)
+    }
+
+    /// Fig. 9: the standard deviation of per-node utilisation sampled on
+    /// a fixed grid over the run.
+    pub fn utilization_stddev_series(&self, key: MetricKey, step: SimDuration) -> Vec<(SimTime, f64)> {
+        let end = SimTime::ZERO + self.makespan;
+        let series = self.monitor.histories(key);
+        stddev_across(&series, SimTime::ZERO, end, step)
+    }
+
+    /// Mean of the Fig. 9 series — a single load-balance score.
+    pub fn utilization_stddev_mean(&self, key: MetricKey, step: SimDuration) -> f64 {
+        let pts = self.utilization_stddev_series(key, step);
+        stats::mean(&pts.iter().map(|p| p.1).collect::<Vec<_>>())
+    }
+
+    /// Fig. 3: number of non-speculative attempts per node.
+    pub fn tasks_per_node(&self) -> Vec<(NodeId, usize)> {
+        let mut counts = vec![0usize; self.monitor.len()];
+        for r in self.records.iter().filter(|r| !r.speculative) {
+            counts[r.node.index()] += 1;
+        }
+        counts
+            .into_iter()
+            .enumerate()
+            .map(|(i, c)| (NodeId(i), c))
+            .collect()
+    }
+
+    /// Successful first-result durations per task — the distribution the
+    /// Fig. 3 skew analysis inspects.
+    pub fn successful_durations_secs(&self) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .map(|r| r.duration().as_secs_f64())
+            .collect()
+    }
+
+    /// Per-stage execution spans: `(stage, first launch, last successful
+    /// finish)` in stage-id order — the stage-level view of the run that
+    /// the per-iteration analyses (Fig. 6's learning curve) build on.
+    pub fn stage_spans(&self) -> Vec<(rupam_dag::StageId, SimTime, SimTime)> {
+        use std::collections::BTreeMap;
+        let mut spans: BTreeMap<usize, (SimTime, SimTime)> = BTreeMap::new();
+        for r in &self.records {
+            let e = spans
+                .entry(r.task.stage.index())
+                .or_insert((r.launched_at, r.finished_at));
+            e.0 = e.0.min(r.launched_at);
+            if r.outcome.is_success() {
+                e.1 = e.1.max(r.finished_at);
+            }
+        }
+        spans
+            .into_iter()
+            .map(|(i, (a, b))| (rupam_dag::StageId(i), a, b))
+            .collect()
+    }
+
+    /// Successful attempts that ran on a GPU.
+    pub fn gpu_task_count(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.outcome.is_success() && r.used_gpu)
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::BreakdownCategory as C;
+    use crate::record::AttemptOutcome;
+    use rupam_cluster::ClusterSpec;
+    use rupam_dag::{StageId, TaskRef};
+    use rupam_simcore::units::ByteSize;
+
+    fn mk_record(node: usize, locality: Locality, outcome: AttemptOutcome, spec: bool) -> TaskRecord {
+        let mut b = TaskBreakdown::new();
+        b.add(C::Compute, SimDuration::from_secs(2));
+        TaskRecord {
+            task: TaskRef { stage: StageId(0), index: 0 },
+            template_key: "x".into(),
+            attempt: 0,
+            node: NodeId(node),
+            speculative: spec,
+            locality,
+            launched_at: SimTime::ZERO,
+            finished_at: SimTime::from_secs_f64(2.0),
+            outcome,
+            breakdown: b,
+            peak_mem: ByteSize::mib(100),
+            used_gpu: false,
+        }
+    }
+
+    fn report(records: Vec<TaskRecord>) -> RunReport {
+        RunReport {
+            app_name: "t".into(),
+            scheduler_name: "s".into(),
+            seed: 0,
+            makespan: SimDuration::from_secs(10),
+            completed: true,
+            records,
+            monitor: ResourceMonitor::new(&ClusterSpec::two_node_motivation()),
+            oom_failures: 0,
+            executor_losses: 0,
+            speculative_launched: 0,
+            speculative_wins: 0,
+        }
+    }
+
+    #[test]
+    fn locality_census_skips_speculative_counts_retries() {
+        let recs = vec![
+            mk_record(0, Locality::ProcessLocal, AttemptOutcome::Success, false),
+            mk_record(0, Locality::NodeLocal, AttemptOutcome::OomFailure, false),
+            mk_record(1, Locality::NodeLocal, AttemptOutcome::Success, false),
+            mk_record(1, Locality::Any, AttemptOutcome::Success, true), // speculative
+        ];
+        let rep = report(recs);
+        assert_eq!(rep.locality_counts(), [1, 2, 0, 0]);
+        assert_eq!(rep.total_attempts(), 3);
+    }
+
+    #[test]
+    fn breakdown_only_counts_successes() {
+        let recs = vec![
+            mk_record(0, Locality::Any, AttemptOutcome::Success, false),
+            mk_record(0, Locality::Any, AttemptOutcome::OomFailure, false),
+        ];
+        let rep = report(recs);
+        assert_eq!(rep.breakdown_totals().get(C::Compute), SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn tasks_per_node_counts() {
+        let recs = vec![
+            mk_record(0, Locality::Any, AttemptOutcome::Success, false),
+            mk_record(1, Locality::Any, AttemptOutcome::Success, false),
+            mk_record(1, Locality::Any, AttemptOutcome::Success, false),
+        ];
+        let rep = report(recs);
+        let per_node = rep.tasks_per_node();
+        assert_eq!(per_node[0].1, 1);
+        assert_eq!(per_node[1].1, 2);
+    }
+
+    #[test]
+    fn stage_spans_cover_launch_to_finish() {
+        let mut early = mk_record(0, Locality::Any, AttemptOutcome::Success, false);
+        early.task = TaskRef { stage: StageId(1), index: 0 };
+        early.launched_at = SimTime::from_secs_f64(1.0);
+        early.finished_at = SimTime::from_secs_f64(3.0);
+        let mut late = mk_record(1, Locality::Any, AttemptOutcome::Success, false);
+        late.task = TaskRef { stage: StageId(1), index: 1 };
+        late.launched_at = SimTime::from_secs_f64(2.0);
+        late.finished_at = SimTime::from_secs_f64(6.0);
+        let rep = report(vec![early, late]);
+        let spans = rep.stage_spans();
+        assert_eq!(spans.len(), 1);
+        let (sid, a, b) = spans[0];
+        assert_eq!(sid, StageId(1));
+        assert_eq!(a, SimTime::from_secs_f64(1.0));
+        assert_eq!(b, SimTime::from_secs_f64(6.0));
+    }
+
+    #[test]
+    fn empty_monitor_utilization_is_zero() {
+        let rep = report(vec![]);
+        assert_eq!(rep.avg_utilization(MetricKey::CpuUtil), 0.0);
+        assert_eq!(
+            rep.utilization_stddev_mean(MetricKey::CpuUtil, SimDuration::from_secs(1)),
+            0.0
+        );
+    }
+}

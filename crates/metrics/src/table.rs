@@ -1,0 +1,149 @@
+//! Minimal fixed-width text tables for the paper-style printouts the
+//! benchmark harness emits (`cargo bench` regenerates each figure/table
+//! as text rows).
+
+use std::fmt::Write as _;
+
+/// A simple left-aligned text table.
+pub struct Table {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row; must match the header width.
+    pub fn row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience: append a row of displayable cells.
+    pub fn row_display<D: std::fmt::Display>(&mut self, cells: &[D]) -> &mut Self {
+        let cells: Vec<String> = cells.iter().map(|c| c.to_string()).collect();
+        self.row(&cells)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let line_width: usize = widths.iter().sum::<usize>() + 3 * ncols - 1;
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i]);
+                if i + 1 < ncols {
+                    let _ = write!(out, " | ");
+                }
+            }
+            let _ = writeln!(out);
+        };
+        write_row(&mut out, &self.header);
+        let _ = writeln!(out, "{}", "-".repeat(line_width));
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with a sensible precision for table cells.
+pub fn secs(v: f64) -> String {
+    if v >= 100.0 {
+        format!("{v:.0}")
+    } else if v >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Format a ratio as `N.NNx`.
+pub fn speedup(v: f64) -> String {
+    format!("{v:.2}x")
+}
+
+/// Format a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["name", "value"]);
+        t.row(&["alpha".into(), "1".into()]);
+        t.row(&["b".into(), "22222".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("name  | value"));
+        assert!(s.contains("alpha | 1"));
+        assert!(s.contains("b     | 22222"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn row_display_stringifies() {
+        let mut t = Table::new("D", &["a", "b"]);
+        t.row_display(&[1.5, 2.25]);
+        assert!(t.render().contains("1.5 | 2.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn width_mismatch_panics() {
+        let mut t = Table::new("D", &["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(secs(123.4), "123");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(speedup(2.5), "2.50x");
+        assert_eq!(pct(0.377), "37.7%");
+    }
+}

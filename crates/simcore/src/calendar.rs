@@ -1,0 +1,209 @@
+//! Event calendar: a priority queue of `(SimTime, E)` entries with
+//! deterministic FIFO tie breaking among events scheduled for the same
+//! instant. Determinism is load-bearing for the whole reproduction — every
+//! experiment in the paper harness runs with fixed seeds and must produce
+//! identical traces across runs and machines.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (then
+        // first-scheduled) entry surfaces first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic event calendar.
+///
+/// Events popped from the calendar are totally ordered by `(time,
+/// insertion sequence)`: two events scheduled for the same instant come
+/// back in the order they were scheduled.
+///
+/// ```
+/// use rupam_simcore::{Calendar, SimTime};
+///
+/// let mut cal = Calendar::new();
+/// cal.schedule(SimTime(20), "late");
+/// cal.schedule(SimTime(10), "early");
+/// assert_eq!(cal.pop(), Some((SimTime(10), "early")));
+/// assert_eq!(cal.now(), SimTime(10));
+/// ```
+pub struct Calendar<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+}
+
+impl<E> Default for Calendar<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Calendar<E> {
+    /// An empty calendar positioned at t = 0.
+    pub fn new() -> Self {
+        Calendar {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current simulation time: the timestamp of the last popped event
+    /// (t = 0 before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error and panics in debug builds;
+    /// in release builds the event is clamped to `now` so the simulation
+    /// degrades rather than corrupts its clock.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { at, seq, event });
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Pop the next event, advancing `now` to its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let entry = self.heap.pop()?;
+        debug_assert!(entry.at >= self.now);
+        self.now = entry.at;
+        Some((entry.at, entry.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True iff no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drop every pending event (used when an experiment aborts a run).
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(30), "c");
+        cal.schedule(SimTime(10), "a");
+        cal.schedule(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn fifo_among_ties() {
+        let mut cal = Calendar::new();
+        for i in 0..10 {
+            cal.schedule(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| cal.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(100), ());
+        assert_eq!(cal.now(), SimTime::ZERO);
+        cal.pop();
+        assert_eq!(cal.now(), SimTime(100));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut cal = Calendar::new();
+        cal.schedule(SimTime(10), 1);
+        let (t, e) = cal.pop().unwrap();
+        assert_eq!((t, e), (SimTime(10), 1));
+        // schedule relative to the new `now`
+        cal.schedule(cal.now() + SimDuration(5), 2);
+        cal.schedule(cal.now() + SimDuration(1), 3);
+        assert_eq!(cal.pop().unwrap().1, 3);
+        assert_eq!(cal.pop().unwrap().1, 2);
+        assert!(cal.pop().is_none());
+    }
+
+    #[test]
+    fn len_and_clear() {
+        let mut cal = Calendar::new();
+        assert!(cal.is_empty());
+        cal.schedule(SimTime(1), ());
+        cal.schedule(SimTime(2), ());
+        assert_eq!(cal.len(), 2);
+        cal.clear();
+        assert!(cal.is_empty());
+    }
+
+    proptest! {
+        /// Popped timestamps are non-decreasing, and same-timestamp events
+        /// keep insertion order, for arbitrary schedules.
+        #[test]
+        fn prop_total_order(times in proptest::collection::vec(0u64..1_000, 1..200)) {
+            let mut cal = Calendar::new();
+            for (i, t) in times.iter().enumerate() {
+                cal.schedule(SimTime(*t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, idx)) = cal.pop() {
+                if let Some((lt, lidx)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(idx > lidx, "FIFO violated among ties");
+                    }
+                }
+                prop_assert_eq!(SimTime(times[idx]), t);
+                last = Some((t, idx));
+            }
+        }
+    }
+}

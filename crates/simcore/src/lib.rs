@@ -1,0 +1,65 @@
+//! # rupam-simcore
+//!
+//! Deterministic discrete-event simulation kernel shared by every other
+//! crate in the RUPAM reproduction workspace.
+//!
+//! The kernel deliberately contains no cluster or Spark knowledge; it only
+//! provides the primitives a reproducible simulation needs:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time,
+//!   totally ordered and overflow-checked.
+//! * [`calendar::Calendar`] — an event calendar with deterministic tie
+//!   breaking (FIFO among events scheduled for the same instant).
+//! * [`rng::RngFactory`] — seed-derived independent RNG streams, so adding
+//!   a random draw in one component never perturbs another component's
+//!   stream.
+//! * [`series::TimeSeries`] and [`stats`] — weighted time-series recording
+//!   and the summary statistics (mean, standard deviation, confidence
+//!   intervals, percentiles) used by the paper's evaluation.
+
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod rng;
+pub mod series;
+pub mod stats;
+pub mod time;
+pub mod units;
+
+pub use calendar::Calendar;
+pub use rng::RngFactory;
+pub use series::TimeSeries;
+pub use time::{SimDuration, SimTime};
+pub use units::{ByteSize, GIB, KIB, MIB, TIB};
+
+/// Declare a `usize`-backed index newtype with `Display` and arithmetic-free
+/// semantics. Used for node / task / stage / … identifiers across the
+/// workspace so that mixing up id spaces is a type error.
+#[macro_export]
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:expr) => {
+        $(#[$meta])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Raw index value.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl ::std::fmt::Display for $name {
+            fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(v: usize) -> Self {
+                Self(v)
+            }
+        }
+    };
+}

@@ -1,0 +1,175 @@
+//! Seed-derived RNG streams.
+//!
+//! Every stochastic component (workload generator, jitter model, failure
+//! injection, …) gets its *own* stream derived from the experiment seed and
+//! a stable label. Adding a random draw to one component therefore never
+//! shifts the values another component sees — experiments stay
+//! reproducible as the codebase evolves.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Derives independent [`StdRng`] streams from a single experiment seed.
+#[derive(Clone, Debug)]
+pub struct RngFactory {
+    seed: u64,
+}
+
+impl RngFactory {
+    /// A factory for experiment seed `seed`.
+    pub fn new(seed: u64) -> Self {
+        RngFactory { seed }
+    }
+
+    /// The experiment seed this factory derives from.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A dedicated stream for the component identified by `label`.
+    ///
+    /// The same `(seed, label)` pair always yields the same stream; distinct
+    /// labels yield streams that are independent for all practical purposes
+    /// (the label is mixed into the seed with an FNV-1a hash followed by a
+    /// SplitMix64 finalizer).
+    pub fn stream(&self, label: &str) -> StdRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in label.as_bytes() {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mixed = splitmix64(self.seed ^ h);
+        StdRng::seed_from_u64(mixed)
+    }
+
+    /// A sub-stream for the `index`-th instance of a replicated component
+    /// (e.g. per-task jitter).
+    pub fn indexed_stream(&self, label: &str, index: usize) -> StdRng {
+        self.stream(&format!("{label}#{index}"))
+    }
+}
+
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Draw a sample from a Zipf-like distribution over `n` ranks with skew
+/// exponent `s` (s = 0 is uniform). Returns a rank in `0..n`.
+///
+/// Used by workload generators to model data skew (the paper's §II-B2
+/// motivation: tasks within one stage differ heavily because of skewed
+/// partition and shuffle sizes).
+pub fn zipf_rank(rng: &mut impl Rng, n: usize, s: f64) -> usize {
+    assert!(n > 0, "zipf over empty domain");
+    if s == 0.0 {
+        return rng.gen_range(0..n);
+    }
+    // Inverse-CDF sampling over the (small) rank domain. Workload
+    // generators call this with n = partition counts (hundreds), so the
+    // linear scan is fine and keeps the dependency footprint at plain
+    // `rand`.
+    let norm: f64 = (1..=n).map(|k| (k as f64).powf(-s)).sum();
+    let target = rng.gen_range(0.0..1.0) * norm;
+    let mut acc = 0.0;
+    for k in 1..=n {
+        acc += (k as f64).powf(-s);
+        if acc >= target {
+            return k - 1;
+        }
+    }
+    n - 1
+}
+
+/// Multiplicative jitter in `[1 - amplitude, 1 + amplitude]`.
+pub fn jitter(rng: &mut impl Rng, amplitude: f64) -> f64 {
+    debug_assert!((0.0..1.0).contains(&amplitude));
+    1.0 + rng.gen_range(-amplitude..=amplitude)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::RngCore;
+
+    #[test]
+    fn same_label_same_stream() {
+        let f = RngFactory::new(42);
+        let mut a = f.stream("alpha");
+        let mut b = f.stream("alpha");
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        let f = RngFactory::new(42);
+        let mut a = f.stream("alpha");
+        let mut b = f.stream("beta");
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = RngFactory::new(1).stream("x");
+        let mut b = RngFactory::new(2).stream("x");
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn indexed_streams_are_distinct() {
+        let f = RngFactory::new(7);
+        let mut s0 = f.indexed_stream("task", 0);
+        let mut s1 = f.indexed_stream("task", 1);
+        assert_ne!(s0.next_u64(), s1.next_u64());
+    }
+
+    #[test]
+    fn zipf_skews_toward_low_ranks() {
+        let f = RngFactory::new(3);
+        let mut rng = f.stream("zipf");
+        let n = 50;
+        let mut counts = vec![0usize; n];
+        for _ in 0..20_000 {
+            counts[zipf_rank(&mut rng, n, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[n / 2] * 5, "rank 0 should dominate: {counts:?}");
+        assert!(counts[0] > counts[n - 1] * 10);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_roughly_uniform() {
+        let f = RngFactory::new(9);
+        let mut rng = f.stream("uniform");
+        let n = 10;
+        let mut counts = vec![0usize; n];
+        for _ in 0..50_000 {
+            counts[zipf_rank(&mut rng, n, 0.0)] += 1;
+        }
+        for &c in &counts {
+            assert!((c as f64 - 5_000.0).abs() < 600.0, "not uniform: {counts:?}");
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_zipf_in_range(seed in any::<u64>(), n in 1usize..64, s in 0.0f64..3.0) {
+            let mut rng = RngFactory::new(seed).stream("prop");
+            let r = zipf_rank(&mut rng, n, s);
+            prop_assert!(r < n);
+        }
+
+        #[test]
+        fn prop_jitter_bounds(seed in any::<u64>(), amp in 0.0f64..0.99) {
+            let mut rng = RngFactory::new(seed).stream("jit");
+            let j = jitter(&mut rng, amp);
+            prop_assert!(j >= 1.0 - amp - 1e-12 && j <= 1.0 + amp + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Data-size units. Shuffle volumes, memory capacities and I/O bandwidths
+//! are all expressed in bytes (`ByteSize`); bandwidths are bytes/second as
+//! `f64` because the fluid cost model divides them continuously.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// One kibibyte.
+pub const KIB: u64 = 1 << 10;
+/// One mebibyte.
+pub const MIB: u64 = 1 << 20;
+/// One gibibyte.
+pub const GIB: u64 = 1 << 30;
+/// One tebibyte.
+pub const TIB: u64 = 1 << 40;
+
+/// A size in bytes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ByteSize(pub u64);
+
+impl ByteSize {
+    /// Zero bytes.
+    pub const ZERO: ByteSize = ByteSize(0);
+
+    /// `n` kibibytes.
+    pub const fn kib(n: u64) -> Self {
+        ByteSize(n * KIB)
+    }
+    /// `n` mebibytes.
+    pub const fn mib(n: u64) -> Self {
+        ByteSize(n * MIB)
+    }
+    /// `n` gibibytes.
+    pub const fn gib(n: u64) -> Self {
+        ByteSize(n * GIB)
+    }
+    /// A fractional number of gibibytes (for Table III's "0.95 GB" inputs).
+    pub fn gib_f64(n: f64) -> Self {
+        debug_assert!(n >= 0.0);
+        ByteSize((n * GIB as f64).round() as u64)
+    }
+
+    /// Raw byte count.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        self.0
+    }
+
+    /// Size as floating-point bytes (for rate arithmetic).
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Size in mebibytes.
+    #[inline]
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / MIB as f64
+    }
+
+    /// Size in gibibytes.
+    #[inline]
+    pub fn as_gib(self) -> f64 {
+        self.0 as f64 / GIB as f64
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scale by a non-negative factor, rounding to whole bytes.
+    #[inline]
+    pub fn scale(self, f: f64) -> ByteSize {
+        debug_assert!(f >= 0.0 && f.is_finite());
+        ByteSize((self.0 as f64 * f).round() as u64)
+    }
+
+    /// Integer division into `n` equal shards (last shard may be short).
+    #[inline]
+    pub fn per_shard(self, n: usize) -> ByteSize {
+        assert!(n > 0);
+        ByteSize(self.0 / n as u64)
+    }
+}
+
+impl Add for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn add(self, rhs: ByteSize) -> ByteSize {
+        ByteSize(self.0.checked_add(rhs.0).expect("ByteSize overflow"))
+    }
+}
+
+impl AddAssign for ByteSize {
+    #[inline]
+    fn add_assign(&mut self, rhs: ByteSize) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn sub(self, rhs: ByteSize) -> ByteSize {
+        debug_assert!(self.0 >= rhs.0, "ByteSize underflow");
+        ByteSize(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for ByteSize {
+    type Output = ByteSize;
+    #[inline]
+    fn mul(self, rhs: u64) -> ByteSize {
+        ByteSize(self.0.checked_mul(rhs).expect("ByteSize overflow"))
+    }
+}
+
+impl Sum for ByteSize {
+    fn sum<I: Iterator<Item = ByteSize>>(iter: I) -> ByteSize {
+        iter.fold(ByteSize::ZERO, |a, b| a + b)
+    }
+}
+
+impl fmt::Display for ByteSize {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        if b >= TIB {
+            write!(f, "{:.2} TiB", b as f64 / TIB as f64)
+        } else if b >= GIB {
+            write!(f, "{:.2} GiB", b as f64 / GIB as f64)
+        } else if b >= MIB {
+            write!(f, "{:.2} MiB", b as f64 / MIB as f64)
+        } else if b >= KIB {
+            write!(f, "{:.2} KiB", b as f64 / KIB as f64)
+        } else {
+            write!(f, "{b} B")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(ByteSize::kib(2).bytes(), 2048);
+        assert_eq!(ByteSize::mib(1).bytes(), MIB);
+        assert_eq!(ByteSize::gib(3).bytes(), 3 * GIB);
+        assert_eq!(ByteSize::gib_f64(0.5).bytes(), GIB / 2);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = ByteSize::mib(10);
+        let b = ByteSize::mib(4);
+        assert_eq!(a + b, ByteSize::mib(14));
+        assert_eq!(a - b, ByteSize::mib(6));
+        assert_eq!(b * 3, ByteSize::mib(12));
+        assert_eq!(a.saturating_sub(ByteSize::gib(1)), ByteSize::ZERO);
+        assert_eq!(a.scale(0.5), ByteSize::mib(5));
+        assert_eq!(ByteSize::mib(10).per_shard(5), ByteSize::mib(2));
+    }
+
+    #[test]
+    fn sum_and_display() {
+        let total: ByteSize = [ByteSize::mib(1), ByteSize::mib(2)].into_iter().sum();
+        assert_eq!(total, ByteSize::mib(3));
+        assert_eq!(format!("{}", ByteSize::gib(2)), "2.00 GiB");
+        assert_eq!(format!("{}", ByteSize(512)), "512 B");
+        assert_eq!(format!("{}", ByteSize::kib(1536)), "1.50 MiB");
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((ByteSize::gib(1).as_mib() - 1024.0).abs() < 1e-9);
+        assert!((ByteSize::mib(512).as_gib() - 0.5).abs() < 1e-9);
+    }
+}

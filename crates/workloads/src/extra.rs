@@ -1,0 +1,404 @@
+//! Beyond-paper workloads.
+//!
+//! The paper's suite stops at Table III; SparkBench itself carries more
+//! applications. These three exercise scheduler behaviours the core
+//! suite under-samples and double as worked examples of the generator
+//! API:
+//!
+//! * [`als`] — Alternating Least Squares: *two* alternating cacheable
+//!   RDDs per iteration (user factors / item factors), so the cache and
+//!   the characteristics DB juggle twice the templates.
+//! * [`wordcount`] — the canonical scan→reduce job: pure I/O + light
+//!   compute, a clean probe of SSD routing with no memory story at all.
+//! * [`svm`] — SVM training: LR-shaped iterations but with a heavy
+//!   broadcast (driver → every task) each round, stressing the network
+//!   on *every* iteration rather than only at shuffles.
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{CacheKey, InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::gen;
+
+/// Tunables for the ALS generator.
+#[derive(Clone, Debug)]
+pub struct AlsParams {
+    /// Ratings-matrix size.
+    pub input: ByteSize,
+    /// Alternation rounds (each round = user solve + item solve).
+    pub rounds: usize,
+    /// Factor-solve compute per partition, giga-cycles.
+    pub solve_gcycles: f64,
+    /// Peak memory per solve task.
+    pub peak_mem: ByteSize,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for AlsParams {
+    fn default() -> Self {
+        AlsParams {
+            input: ByteSize::gib(2),
+            rounds: 4,
+            solve_gcycles: 18.0,
+            peak_mem: ByteSize::mib(768),
+            jitter: 0.10,
+        }
+    }
+}
+
+/// Build the ALS application: per round, one stage solving user factors
+/// against cached item factors, then one solving item factors against
+/// cached user factors.
+pub fn als(cluster: &ClusterSpec, rngf: &RngFactory, p: &AlsParams) -> (Application, DataLayout) {
+    assert!(p.rounds >= 1);
+    let mut rng = rngf.stream("als");
+    let n = gen::partitions_for(p.input);
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &gen::block_sizes(p.input, n), 2, &mut rng);
+    let block_bytes = p.input.per_shard(n);
+
+    let mut b = AppBuilder::new("ALS");
+    for round in 0..p.rounds {
+        for side in ["user", "item"] {
+            let j = b.begin_job();
+            let rdd = format!("als/{side}");
+            let solve: Vec<TaskTemplate> = (0..n)
+                .map(|i| {
+                    let jit = gen::jitter(&mut rng, p.jitter);
+                    TaskTemplate {
+                        index: i,
+                        input: InputSource::CachedOrHdfs {
+                            key: CacheKey::new(rdd.clone(), i),
+                            fallback: blocks[i],
+                        },
+                        demand: TaskDemand {
+                            compute: p.solve_gcycles * jit,
+                            input_bytes: block_bytes,
+                            shuffle_write: ByteSize::mib(8),
+                            peak_mem: p.peak_mem.scale(jit),
+                            cached_bytes: block_bytes.scale(1.2),
+                            ..TaskDemand::default()
+                        },
+                    }
+                })
+                .collect();
+            let solve_stage = b.add_stage(
+                j,
+                format!("solve-{side} r{round}"),
+                rdd,
+                StageKind::ShuffleMap,
+                vec![],
+                solve,
+            );
+            b.add_stage(
+                j,
+                format!("gather-{side} r{round}"),
+                "als/gather",
+                StageKind::Result,
+                vec![solve_stage],
+                vec![TaskTemplate {
+                    index: 0,
+                    input: InputSource::Shuffle,
+                    demand: TaskDemand {
+                        compute: 1.0,
+                        shuffle_read: ByteSize::mib(8 * n as u64),
+                        output_bytes: ByteSize::mib(2),
+                        peak_mem: ByteSize::mib(512),
+                        ..TaskDemand::default()
+                    },
+                }],
+            );
+        }
+    }
+    (b.build(), layout)
+}
+
+/// Tunables for the WordCount generator.
+#[derive(Clone, Debug)]
+pub struct WordCountParams {
+    /// Corpus size.
+    pub input: ByteSize,
+    /// Reducers.
+    pub reducers: usize,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for WordCountParams {
+    fn default() -> Self {
+        WordCountParams { input: ByteSize::gib(8), reducers: 16, jitter: 0.10 }
+    }
+}
+
+/// Build the WordCount application: one scan stage (read-heavy, light
+/// compute, small combiner output) and one count reduce.
+pub fn wordcount(
+    cluster: &ClusterSpec,
+    rngf: &RngFactory,
+    p: &WordCountParams,
+) -> (Application, DataLayout) {
+    let mut rng = rngf.stream("wordcount");
+    let n = gen::partitions_for(p.input);
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &gen::block_sizes(p.input, n), 2, &mut rng);
+    let block_bytes = p.input.per_shard(n);
+
+    let mut b = AppBuilder::new("WordCount");
+    let j = b.begin_job();
+    let scan: Vec<TaskTemplate> = (0..n)
+        .map(|i| {
+            let jit = gen::jitter(&mut rng, p.jitter);
+            TaskTemplate {
+                index: i,
+                input: InputSource::Hdfs(blocks[i]),
+                demand: TaskDemand {
+                    compute: 1.5 * jit,
+                    input_bytes: block_bytes,
+                    shuffle_write: ByteSize::mib(6).scale(jit), // combiner output
+                    peak_mem: ByteSize::mib(384),
+                    ..TaskDemand::default()
+                },
+            }
+        })
+        .collect();
+    let scan_stage = b.add_stage(j, "tokenize", "wc/scan", StageKind::ShuffleMap, vec![], scan);
+    let count: Vec<TaskTemplate> = (0..p.reducers)
+        .map(|i| TaskTemplate {
+            index: i,
+            input: InputSource::Shuffle,
+            demand: TaskDemand {
+                compute: 1.0 * gen::jitter(&mut rng, p.jitter),
+                shuffle_read: ByteSize(6 * 1024 * 1024 * n as u64 / p.reducers as u64),
+                output_bytes: ByteSize::mib(1),
+                peak_mem: ByteSize::mib(384),
+                ..TaskDemand::default()
+            },
+        })
+        .collect();
+    b.add_stage(j, "count", "wc/count", StageKind::Result, vec![scan_stage], count);
+    (b.build(), layout)
+}
+
+/// Tunables for the SVM generator.
+#[derive(Clone, Debug)]
+pub struct SvmParams {
+    /// Training-set size.
+    pub input: ByteSize,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Per-partition compute, giga-cycles.
+    pub compute_gcycles: f64,
+    /// Broadcast model size received by every task, every iteration.
+    pub broadcast: ByteSize,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for SvmParams {
+    fn default() -> Self {
+        SvmParams {
+            input: ByteSize::gib(4),
+            iterations: 6,
+            compute_gcycles: 16.0,
+            broadcast: ByteSize::mib(96),
+            jitter: 0.10,
+        }
+    }
+}
+
+/// Build the SVM application: per iteration, every gradient task first
+/// pulls the broadcast model over the network (modelled as remote
+/// shuffle input), then computes against cached points.
+pub fn svm(cluster: &ClusterSpec, rngf: &RngFactory, p: &SvmParams) -> (Application, DataLayout) {
+    assert!(p.iterations >= 1);
+    let mut rng = rngf.stream("svm");
+    let n = gen::partitions_for(p.input);
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &gen::block_sizes(p.input, n), 2, &mut rng);
+    let block_bytes = p.input.per_shard(n);
+
+    let mut b = AppBuilder::new("SVM");
+    for iter in 0..p.iterations {
+        let j = b.begin_job();
+        let grad: Vec<TaskTemplate> = (0..n)
+            .map(|i| {
+                let jit = gen::jitter(&mut rng, p.jitter);
+                TaskTemplate {
+                    index: i,
+                    input: InputSource::CachedOrHdfs {
+                        key: CacheKey::new("svm/points", i),
+                        fallback: blocks[i],
+                    },
+                    demand: TaskDemand {
+                        compute: p.compute_gcycles * jit,
+                        input_bytes: block_bytes,
+                        // the broadcast pull: network-borne every round
+                        shuffle_read: p.broadcast,
+                        shuffle_write: ByteSize::mib(3),
+                        peak_mem: ByteSize::mib(640).scale(jit),
+                        cached_bytes: block_bytes.scale(1.25),
+                        ..TaskDemand::default()
+                    },
+                }
+            })
+            .collect();
+        let grad_stage = b.add_stage(
+            j,
+            format!("gradient iter={iter}"),
+            "svm/points",
+            StageKind::ShuffleMap,
+            vec![],
+            grad,
+        );
+        b.add_stage(
+            j,
+            format!("update iter={iter}"),
+            "svm/update",
+            StageKind::Result,
+            vec![grad_stage],
+            vec![TaskTemplate {
+                index: 0,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: 1.0,
+                    shuffle_read: ByteSize::mib(3 * n as u64),
+                    output_bytes: ByteSize::mib(2),
+                    peak_mem: ByteSize::mib(512),
+                    ..TaskDemand::default()
+                },
+            }],
+        );
+    }
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn als_alternates_two_cached_rdds() {
+        let cluster = ClusterSpec::hydra();
+        let (app, layout) = als(&cluster, &RngFactory::new(1), &AlsParams::default());
+        assert_eq!(app.jobs.len(), 8, "4 rounds × 2 sides");
+        let templates: std::collections::HashSet<&str> = app
+            .stages
+            .iter()
+            .map(|s| s.template_key.as_str())
+            .collect();
+        assert!(templates.contains("als/user") && templates.contains("als/item"));
+        assert!(!layout.is_empty());
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn wordcount_is_pure_io() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = wordcount(&cluster, &RngFactory::new(2), &WordCountParams::default());
+        assert_eq!(app.jobs.len(), 1);
+        for s in &app.stages {
+            for t in &s.tasks {
+                assert!(t.demand.compute < 3.0, "wordcount must stay light on compute");
+                assert!(t.demand.peak_mem < ByteSize::mib(512));
+                assert!(!t.demand.is_gpu_capable());
+            }
+        }
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn svm_broadcasts_every_iteration() {
+        let cluster = ClusterSpec::hydra();
+        let p = SvmParams::default();
+        let (app, _) = svm(&cluster, &RngFactory::new(3), &p);
+        assert_eq!(app.jobs.len(), 6);
+        // every gradient task pulls the broadcast
+        for s in app.stages.iter().filter(|s| s.template_key == "svm/points") {
+            for t in &s.tasks {
+                assert_eq!(t.demand.shuffle_read, p.broadcast);
+            }
+        }
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn extras_are_deterministic() {
+        let cluster = ClusterSpec::hydra();
+        let fingerprint = |seed: u64| {
+            let (a, _) = als(&cluster, &RngFactory::new(seed), &AlsParams::default());
+            let (w, _) = wordcount(&cluster, &RngFactory::new(seed), &WordCountParams::default());
+            let (s, _) = svm(&cluster, &RngFactory::new(seed), &SvmParams::default());
+            (
+                a.stages[0].tasks[0].demand.compute,
+                w.stages[0].tasks[0].demand.compute,
+                s.stages[0].tasks[0].demand.compute,
+            )
+        };
+        assert_eq!(fingerprint(9), fingerprint(9));
+        assert_ne!(fingerprint(9), fingerprint(10));
+    }
+
+    #[test]
+    fn extras_run_end_to_end() {
+        // smoke: each extra workload completes under RUPAM via the engine
+        use rupam_exec::{simulate, SimConfig, SimInput};
+        let cluster = ClusterSpec::hydra();
+        let cfg = SimConfig::default();
+        let rngf = RngFactory::new(5);
+        let builds = [
+            als(&cluster, &rngf, &AlsParams { rounds: 1, ..AlsParams::default() }),
+            wordcount(&cluster, &rngf, &WordCountParams { input: ByteSize::gib(1), ..WordCountParams::default() }),
+            svm(&cluster, &rngf, &SvmParams { iterations: 1, ..SvmParams::default() }),
+        ];
+        for (app, layout) in &builds {
+            let input = SimInput { cluster: &cluster, app, layout, config: &cfg, seed: 5 };
+            // the engine takes any Scheduler; use the cheap FIFO here to
+            // keep the smoke fast and scheduler-independent
+            struct Fifo(Vec<usize>);
+            impl rupam_exec::Scheduler for Fifo {
+                fn name(&self) -> &str { "smoke-fifo" }
+                fn executor_memory(
+                    &self,
+                    c: &ClusterSpec,
+                    n: rupam_cluster::NodeId,
+                ) -> ByteSize {
+                    c.node(n).mem
+                }
+                fn on_app_start(&mut self, _: &Application, c: &ClusterSpec) {
+                    self.0 = c.nodes().iter().map(|n| n.cores as usize).collect();
+                }
+                fn offer_round(
+                    &mut self,
+                    input: &rupam_exec::OfferInput<'_>,
+                ) -> Vec<rupam_exec::Command> {
+                    let mut used: Vec<usize> =
+                        input.nodes.iter().map(|n| n.running_count()).collect();
+                    input
+                        .pending
+                        .iter()
+                        .filter_map(|p| {
+                            let i = (0..input.nodes.len())
+                                .find(|&i| !input.nodes[i].blocked && used[i] < self.0[i])?;
+                            used[i] += 1;
+                            Some(rupam_exec::Command::Launch {
+                                task: p.task,
+                                node: rupam_cluster::NodeId(i),
+                                use_gpu: false,
+                                speculative: false,
+                            })
+                        })
+                        .collect()
+                }
+            }
+            let mut sched = Fifo(Vec::new());
+            let report = simulate(&input, &mut sched);
+            assert!(report.completed, "{} did not complete", app.name);
+        }
+    }
+}

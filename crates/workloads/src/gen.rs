@@ -1,0 +1,101 @@
+//! Shared generator utilities: partition sizing, deterministic skew
+//! profiles and per-task jitter.
+
+use rand::Rng;
+use rand::seq::SliceRandom;
+use rupam_simcore::units::ByteSize;
+
+/// HDFS block size used by all workloads (Spark's default split).
+pub const BLOCK: ByteSize = ByteSize(128 * 1024 * 1024);
+
+/// Number of partitions an input of `size` splits into (≥ 1).
+pub fn partitions_for(size: ByteSize) -> usize {
+    size.bytes().div_ceil(BLOCK.bytes()).max(1) as usize
+}
+
+/// Even block sizes for an input (`n − 1` full blocks plus a remainder).
+pub fn block_sizes(total: ByteSize, n: usize) -> Vec<ByteSize> {
+    assert!(n > 0);
+    let per = total.bytes() / n as u64;
+    let mut sizes = vec![ByteSize(per); n];
+    sizes[n - 1] = ByteSize(total.bytes() - per * (n as u64 - 1));
+    sizes
+}
+
+/// A deterministic Zipf-like skew profile over `n` partitions: weights
+/// with mean 1.0, the heaviest partition `w[hot] ≈ skew_ratio ×` the mean,
+/// randomly permuted so the hot partitions are not always index 0.
+///
+/// Models the §II-B2 observation that "tasks in the same stage have
+/// different execution times … due to data skewness, shuffle operations".
+pub fn skew_profile(rng: &mut impl Rng, n: usize, zipf_s: f64) -> Vec<f64> {
+    assert!(n > 0);
+    let raw: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-zipf_s)).collect();
+    let mean = raw.iter().sum::<f64>() / n as f64;
+    let mut weights: Vec<f64> = raw.into_iter().map(|w| w / mean).collect();
+    weights.shuffle(rng);
+    weights
+}
+
+/// Multiplicative jitter in `[1 − amp, 1 + amp]`.
+pub fn jitter(rng: &mut impl Rng, amp: f64) -> f64 {
+    rupam_simcore::rng::jitter(rng, amp)
+}
+
+/// Scale a byte quantity by a weight, guarding non-negative rounding.
+pub fn scaled(bytes: ByteSize, w: f64) -> ByteSize {
+    bytes.scale(w.max(0.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_simcore::RngFactory;
+
+    #[test]
+    fn partition_counts() {
+        assert_eq!(partitions_for(ByteSize::gib(6)), 48);
+        assert_eq!(partitions_for(ByteSize::gib(4)), 32);
+        assert_eq!(partitions_for(ByteSize::mib(1)), 1);
+        assert_eq!(partitions_for(ByteSize::mib(129)), 2);
+    }
+
+    #[test]
+    fn block_sizes_sum_to_total() {
+        let total = ByteSize::gib_f64(0.95);
+        let sizes = block_sizes(total, 8);
+        assert_eq!(sizes.len(), 8);
+        let sum: ByteSize = sizes.iter().copied().sum();
+        assert_eq!(sum, total);
+    }
+
+    #[test]
+    fn skew_profile_mean_one_and_skewed() {
+        let mut rng = RngFactory::new(1).stream("skew");
+        let w = skew_profile(&mut rng, 32, 1.1);
+        let mean = w.iter().sum::<f64>() / w.len() as f64;
+        assert!((mean - 1.0).abs() < 1e-9);
+        let max = w.iter().cloned().fold(0.0f64, f64::max);
+        let min = w.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max / min > 5.0, "expected heavy skew, got max/min = {}", max / min);
+    }
+
+    #[test]
+    fn skew_profile_deterministic() {
+        let run = |seed| {
+            let mut rng = RngFactory::new(seed).stream("skew");
+            skew_profile(&mut rng, 16, 1.0)
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn zero_skew_is_flat() {
+        let mut rng = RngFactory::new(2).stream("skew");
+        let w = skew_profile(&mut rng, 8, 0.0);
+        for x in w {
+            assert!((x - 1.0).abs() < 1e-12);
+        }
+    }
+}

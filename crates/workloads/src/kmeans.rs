@@ -1,0 +1,158 @@
+//! KMeans (SparkBench, Table III: 3.7 GB) — iterative, GPU-accelerated.
+//!
+//! Each iteration assigns points to centroids (a dense distance
+//! computation that the paper's BLAS-backed implementation offloads to
+//! NVBLAS when a GPU is present) and then reduces new centroids. Points
+//! are cached after the first pass. Five iterations (the paper:
+//! "KMeans' five iterations enable RUPAM to better match tasks with
+//! suitable resources", yielding a 2.49× speedup).
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{CacheKey, InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::gen;
+
+/// Tunables for the KMeans generator.
+#[derive(Clone, Debug)]
+pub struct KMeansParams {
+    /// Point-set size (Table III: 3.7 GB).
+    pub input: ByteSize,
+    /// Lloyd iterations.
+    pub iterations: usize,
+    /// Assignment compute per partition, giga-cycles.
+    pub compute_gcycles: f64,
+    /// Fraction of the assignment compute that runs as GPU kernels.
+    pub gpu_fraction: f64,
+    /// Peak memory per assignment task.
+    pub peak_mem: ByteSize,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for KMeansParams {
+    fn default() -> Self {
+        KMeansParams {
+            input: ByteSize::gib_f64(3.7),
+            iterations: 5,
+            compute_gcycles: 40.0,
+            gpu_fraction: 0.85,
+            peak_mem: ByteSize::mib(640),
+            jitter: 0.10,
+        }
+    }
+}
+
+/// Build the KMeans application and its block placement.
+pub fn build(
+    cluster: &ClusterSpec,
+    rngf: &RngFactory,
+    p: &KMeansParams,
+) -> (Application, DataLayout) {
+    assert!(p.iterations >= 1);
+    assert!((0.0..=1.0).contains(&p.gpu_fraction));
+    let mut rng = rngf.stream("kmeans");
+    let n = gen::partitions_for(p.input);
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &gen::block_sizes(p.input, n), 2, &mut rng);
+    let block_bytes = p.input.per_shard(n);
+
+    let mut b = AppBuilder::new("KMeans");
+    for iter in 0..p.iterations {
+        let j = b.begin_job();
+        let assign: Vec<TaskTemplate> = (0..n)
+            .map(|i| {
+                let jit = gen::jitter(&mut rng, p.jitter);
+                let compute = p.compute_gcycles * jit;
+                TaskTemplate {
+                    index: i,
+                    input: InputSource::CachedOrHdfs {
+                        key: CacheKey::new("kmeans/points", i),
+                        fallback: blocks[i],
+                    },
+                    demand: TaskDemand {
+                        compute,
+                        gpu_kernels: compute * p.gpu_fraction,
+                        input_bytes: block_bytes,
+                        shuffle_write: ByteSize::mib(4),
+                        peak_mem: p.peak_mem.scale(jit),
+                        cached_bytes: block_bytes.scale(1.25),
+                        ..TaskDemand::default()
+                    },
+                }
+            })
+            .collect();
+        let assign_stage = b.add_stage(
+            j,
+            format!("assign iter={iter}"),
+            "kmeans/points",
+            StageKind::ShuffleMap,
+            vec![],
+            assign,
+        );
+        b.add_stage(
+            j,
+            format!("update iter={iter}"),
+            "kmeans/update",
+            StageKind::Result,
+            vec![assign_stage],
+            vec![TaskTemplate {
+                index: 0,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: 1.5,
+                    shuffle_read: ByteSize::mib(4 * n as u64),
+                    output_bytes: ByteSize::mib(1),
+                    peak_mem: ByteSize::mib(512),
+                    ..TaskDemand::default()
+                },
+            }],
+        );
+    }
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn structure() {
+        let cluster = ClusterSpec::hydra();
+        let (app, layout) = build(&cluster, &RngFactory::new(1), &KMeansParams::default());
+        assert_eq!(app.jobs.len(), 5);
+        // 3.7 GiB / 128 MiB → 30 partitions
+        let n = gen::partitions_for(ByteSize::gib_f64(3.7));
+        assert_eq!(n, 30);
+        assert_eq!(app.total_tasks(), 5 * (n + 1));
+        assert_eq!(layout.len(), n);
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn assignment_is_gpu_capable() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(2), &KMeansParams::default());
+        let t = &app.stages[0].tasks[0].demand;
+        assert!(t.is_gpu_capable());
+        assert!(t.gpu_kernels < t.compute, "kernels are a fraction of total compute");
+        assert!(t.gpu_kernels > t.compute * 0.5);
+        // the reduce side is not GPU work
+        assert!(!app.stages[1].tasks[0].demand.is_gpu_capable());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = ClusterSpec::hydra();
+        let d = |seed| {
+            let (app, _) = build(&cluster, &RngFactory::new(seed), &KMeansParams::default());
+            app.stages[0].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+        };
+        assert_eq!(d(4), d(4));
+    }
+}

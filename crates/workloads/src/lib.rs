@@ -1,0 +1,40 @@
+//! # rupam-workloads
+//!
+//! SparkBench-shaped workload generators (paper Table III) plus the
+//! 4K×4K matrix-multiplication motivation application of §II-B.
+//!
+//! Each generator builds a [`rupam_dag::Application`] — jobs, stages and
+//! per-task demand vectors — plus the HDFS block placement for its input.
+//! Demands are derived from each algorithm's structure (iterative vs
+//! one-shot, shuffle volumes, skew, GPU kernels, memory footprints) and
+//! the paper's measurements; `EXPERIMENTS.md` records the calibration.
+//!
+//! | Workload | Input (Table III) | Character |
+//! |---|---|---|
+//! | [`lr`] Logistic Regression | 6 GB | iterative, compute-bound, cacheable |
+//! | [`terasort`] TeraSort | 4 GB | one-shot, disk/shuffle-bound |
+//! | [`sql`] SQL | 35 GB | per-query one-shot, shuffle+memory heavy |
+//! | [`pagerank`] PageRank | 0.95 GB (500 K vertices) | iterative, skewed shuffles, memory heavy |
+//! | [`triangle`] Triangle Count | 0.95 GB (500 K vertices) | multi-phase, memory heavy |
+//! | [`gramian`] Gramian Matrix | 0.96 GB (8 K × 8 K) | one-shot, GPU-accelerated |
+//! | [`kmeans`] KMeans | 3.7 GB | iterative, GPU-accelerated, cacheable |
+//! | [`matmul`] MatMul (motivation) | 4 K × 4 K | multi-stage resource phases (Fig. 2) |
+//!
+//! [`extra`] carries three beyond-paper workloads (ALS, WordCount, SVM)
+//! that double as worked examples of the generator API.
+
+#![warn(missing_docs)]
+
+pub mod extra;
+pub mod gen;
+pub mod gramian;
+pub mod kmeans;
+pub mod lr;
+pub mod matmul;
+pub mod pagerank;
+pub mod sql;
+pub mod suite;
+pub mod terasort;
+pub mod triangle;
+
+pub use suite::{Workload, WorkloadBuild};

@@ -1,0 +1,164 @@
+//! Logistic Regression (SparkBench `LogisticRegression`, Table III: 6 GB).
+//!
+//! The classic iterative Spark workload: the training set is cached after
+//! the first pass, then every iteration runs one compute-heavy gradient
+//! stage over the cached partitions plus a tiny tree-aggregate. Compute
+//! dominates (the gradient is a dense dot product per sample), shuffles
+//! are negligible — exactly the task profile RUPAM routes to fast-clocked
+//! nodes, and the workload the paper sweeps in Fig. 6 to show the
+//! DB-driven speedup growing with iteration count (up to ≈ 3.4×).
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{CacheKey, InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::gen;
+
+/// Tunables for the LR generator.
+#[derive(Clone, Debug)]
+pub struct LrParams {
+    /// Training-set size (Table III: 6 GB).
+    pub input: ByteSize,
+    /// Number of regression iterations.
+    pub iterations: usize,
+    /// Gradient compute per partition, giga-cycles.
+    pub compute_gcycles: f64,
+    /// Peak memory per gradient task.
+    pub peak_mem: ByteSize,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for LrParams {
+    fn default() -> Self {
+        LrParams {
+            input: ByteSize::gib(6),
+            iterations: 8,
+            compute_gcycles: 30.0,
+            peak_mem: ByteSize::mib(512),
+            jitter: 0.10,
+        }
+    }
+}
+
+/// Build the LR application and its block placement.
+pub fn build(cluster: &ClusterSpec, rngf: &RngFactory, p: &LrParams) -> (Application, DataLayout) {
+    assert!(p.iterations >= 1, "LR needs at least one iteration");
+    let mut rng = rngf.stream("lr");
+    let n = gen::partitions_for(p.input);
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &gen::block_sizes(p.input, n), 2, &mut rng);
+    let block_bytes = p.input.per_shard(n);
+
+    let mut b = AppBuilder::new("LogisticRegression");
+    for iter in 0..p.iterations {
+        let j = b.begin_job();
+        let gradient: Vec<TaskTemplate> = (0..n)
+            .map(|i| {
+                let jit = gen::jitter(&mut rng, p.jitter);
+                TaskTemplate {
+                    index: i,
+                    input: InputSource::CachedOrHdfs {
+                        key: CacheKey::new("lr/points", i),
+                        fallback: blocks[i],
+                    },
+                    demand: TaskDemand {
+                        compute: p.compute_gcycles * jit,
+                        input_bytes: block_bytes,
+                        shuffle_write: ByteSize::mib(2),
+                        peak_mem: p.peak_mem.scale(jit),
+                        // deserialised points are ~25% larger than raw
+                        cached_bytes: block_bytes.scale(1.25),
+                        ..TaskDemand::default()
+                    },
+                }
+            })
+            .collect();
+        let grad_stage = b.add_stage(
+            j,
+            format!("gradient iter={iter}"),
+            "lr/points",
+            StageKind::ShuffleMap,
+            vec![],
+            gradient,
+        );
+        b.add_stage(
+            j,
+            format!("aggregate iter={iter}"),
+            "lr/aggregate",
+            StageKind::Result,
+            vec![grad_stage],
+            vec![TaskTemplate {
+                index: 0,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: 1.0,
+                    shuffle_read: ByteSize::mib(2 * n as u64),
+                    output_bytes: ByteSize::mib(1),
+                    peak_mem: ByteSize::mib(512),
+                    ..TaskDemand::default()
+                },
+            }],
+        );
+    }
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn structure_matches_iterations() {
+        let cluster = ClusterSpec::hydra();
+        let (app, layout) = build(&cluster, &RngFactory::new(1), &LrParams::default());
+        assert_eq!(app.jobs.len(), 8);
+        assert_eq!(app.stages.len(), 16);
+        // 6 GiB / 128 MiB = 48 gradient tasks per iteration + 1 aggregate
+        assert_eq!(app.total_tasks(), 8 * (48 + 1));
+        assert_eq!(layout.len(), 48);
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn gradient_is_compute_dominant() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(1), &LrParams::default());
+        let grad = &app.stages[0].tasks[0].demand;
+        assert!(grad.compute > 20.0);
+        assert!(grad.shuffle_write < ByteSize::mib(8));
+        assert!(!grad.is_gpu_capable());
+        assert!(grad.cached_bytes > ByteSize::ZERO, "LR caches its points");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cluster = ClusterSpec::hydra();
+        let demands = |seed: u64| {
+            let (app, _) = build(&cluster, &RngFactory::new(seed), &LrParams::default());
+            app.stages[0].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+        };
+        assert_eq!(demands(9), demands(9));
+        assert_ne!(demands(9), demands(10));
+    }
+
+    #[test]
+    fn iterations_scale_structure() {
+        let cluster = ClusterSpec::hydra();
+        let p = LrParams { iterations: 3, ..LrParams::default() };
+        let (app, _) = build(&cluster, &RngFactory::new(1), &p);
+        assert_eq!(app.jobs.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_rejected() {
+        let p = LrParams { iterations: 0, ..LrParams::default() };
+        build(&ClusterSpec::hydra(), &RngFactory::new(1), &p);
+    }
+}

@@ -1,0 +1,204 @@
+//! The §II-B motivation application: 4 K × 4 K matrix multiplication on
+//! the two-node cluster, instrumented for Fig. 2.
+//!
+//! The paper's Fig. 2 shows this application's cluster-wide utilisation
+//! over time: a CPU spike in the early data-processing stage, memory
+//! ramping through the middle, network spikes at the beginning and end
+//! (reduce operations), low disk reads but high disk writes around the
+//! shuffles. The stage structure below reproduces those phases: a
+//! network/disk-heavy load stage that caches the matrices, memory-heavy
+//! tile stages, a compute-heavy multiply and a network-heavy reduce.
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{CacheKey, InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::gen;
+
+/// Tunables for the MatMul motivation app.
+#[derive(Clone, Debug)]
+pub struct MatMulParams {
+    /// Total input (two 4 K × 4 K dense matrices).
+    pub input: ByteSize,
+    /// Tile partitions.
+    pub partitions: usize,
+    /// Multiply compute per tile pair, giga-cycles.
+    pub multiply_gcycles: f64,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for MatMulParams {
+    fn default() -> Self {
+        MatMulParams {
+            // 2 × (4096² × 8 B) = 256 MiB of raw doubles; on-disk text
+            // representations in SparkBench are ≈ 4× larger
+            input: ByteSize::gib(1),
+            partitions: 8,
+            multiply_gcycles: 45.0,
+            jitter: 0.08,
+        }
+    }
+}
+
+/// Build the MatMul application and its block placement.
+pub fn build(
+    cluster: &ClusterSpec,
+    rngf: &RngFactory,
+    p: &MatMulParams,
+) -> (Application, DataLayout) {
+    let mut rng = rngf.stream("matmul");
+    let mut layout = DataLayout::new();
+    // single-replica placement: on the 2-node testbed half the input
+    // reads cross the network, producing Fig. 2's opening network spike
+    let blocks =
+        layout.place_blocks(cluster, &gen::block_sizes(p.input, p.partitions), 1, &mut rng);
+    let part_bytes = p.input.per_shard(p.partitions);
+
+    let mut b = AppBuilder::new("MatMul4Kx4K");
+    let j = b.begin_job();
+
+    // stage 1: parse the matrices — CPU spike + network/disk input reads
+    let load: Vec<TaskTemplate> = (0..p.partitions)
+        .map(|i| {
+            let jit = gen::jitter(&mut rng, p.jitter);
+            TaskTemplate {
+                index: i,
+                input: InputSource::Hdfs(blocks[i]),
+                demand: TaskDemand {
+                    compute: 12.0 * jit, // parsing is CPU-visible
+                    input_bytes: part_bytes,
+                    shuffle_write: ByteSize::mib(96).scale(jit),
+                    peak_mem: ByteSize::gib(2).scale(jit),
+                    cached_bytes: part_bytes.scale(0.3), // parsed doubles
+                    ..TaskDemand::default()
+                },
+            }
+        })
+        .collect();
+    let load_stage = b.add_stage(j, "parse", "matmul/parse", StageKind::ShuffleMap, vec![], load);
+
+    // stage 2: tile regrouping — memory-resident, shuffle write heavy
+    let tiles: Vec<TaskTemplate> = (0..p.partitions)
+        .map(|i| {
+            let jit = gen::jitter(&mut rng, p.jitter);
+            TaskTemplate {
+                index: i,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: 6.0 * jit,
+                    shuffle_read: ByteSize::mib(96),
+                    shuffle_write: ByteSize::mib(128).scale(jit),
+                    peak_mem: ByteSize::gib(4).scale(jit),
+                    ..TaskDemand::default()
+                },
+            }
+        })
+        .collect();
+    let tile_stage =
+        b.add_stage(j, "tiles", "matmul/tiles", StageKind::ShuffleMap, vec![load_stage], tiles);
+
+    // stage 3: tile multiply — the late CPU surge of Fig. 2a
+    let mult: Vec<TaskTemplate> = (0..p.partitions)
+        .map(|i| {
+            let jit = gen::jitter(&mut rng, p.jitter);
+            TaskTemplate {
+                index: i,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: p.multiply_gcycles * jit,
+                    shuffle_read: ByteSize::mib(128),
+                    shuffle_write: ByteSize::mib(64).scale(jit),
+                    peak_mem: ByteSize::gib_f64(3.5).scale(jit),
+                    ..TaskDemand::default()
+                },
+            }
+        })
+        .collect();
+    let mult_stage =
+        b.add_stage(j, "multiply", "matmul/multiply", StageKind::ShuffleMap, vec![tile_stage], mult);
+
+    // stage 4: assemble the result — the closing network spike
+    let reduce: Vec<TaskTemplate> = (0..p.partitions / 2)
+        .map(|i| TaskTemplate {
+            index: i,
+            input: InputSource::Shuffle,
+            demand: TaskDemand {
+                compute: 3.0 * gen::jitter(&mut rng, p.jitter),
+                shuffle_read: ByteSize::mib(128),
+                output_bytes: ByteSize::mib(32),
+                peak_mem: ByteSize::gib(2),
+                ..TaskDemand::default()
+            },
+        })
+        .collect();
+    b.add_stage(j, "assemble", "matmul/assemble", StageKind::Result, vec![mult_stage], reduce);
+
+    let _ = CacheKey::new("matmul/parse", 0); // cached via cached_bytes above
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn four_stage_pipeline() {
+        let cluster = ClusterSpec::two_node_motivation();
+        let (app, layout) = build(&cluster, &RngFactory::new(1), &MatMulParams::default());
+        assert_eq!(app.jobs.len(), 1);
+        assert_eq!(app.stages.len(), 4);
+        assert_eq!(app.total_tasks(), 8 + 8 + 8 + 4);
+        assert_eq!(layout.len(), 8);
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn phases_have_distinct_profiles() {
+        let cluster = ClusterSpec::two_node_motivation();
+        let (app, _) = build(&cluster, &RngFactory::new(2), &MatMulParams::default());
+        let stage_compute =
+            |i: usize| app.stages[i].tasks.iter().map(|t| t.demand.compute).sum::<f64>();
+        // the multiply stage dominates compute
+        assert!(stage_compute(2) > stage_compute(0));
+        assert!(stage_compute(2) > stage_compute(1) * 3.0);
+        // the tile stage holds the most memory
+        let peak = |i: usize| {
+            app.stages[i]
+                .tasks
+                .iter()
+                .map(|t| t.demand.peak_mem.as_gib())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(peak(1) > peak(0));
+        // writes dominate reads on disk overall (Fig. 2c)
+        let writes: ByteSize = app
+            .stages
+            .iter()
+            .flat_map(|s| s.tasks.iter())
+            .map(|t| t.demand.shuffle_write)
+            .sum();
+        let input_reads: ByteSize = app
+            .stages
+            .iter()
+            .flat_map(|s| s.tasks.iter())
+            .map(|t| t.demand.input_bytes)
+            .sum();
+        assert!(writes > input_reads);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = ClusterSpec::two_node_motivation();
+        let d = |seed| {
+            let (app, _) = build(&cluster, &RngFactory::new(seed), &MatMulParams::default());
+            app.stages[2].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+        };
+        assert_eq!(d(12), d(12));
+    }
+}

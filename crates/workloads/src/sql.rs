@@ -1,0 +1,200 @@
+//! SQL (SparkBench, Table III: 35 GB) — per-query one-shot analytics.
+//!
+//! Each query scans the fact table, shuffles into a hash join (the
+//! memory-hungry part) and aggregates. "SQL has only one iteration per
+//! SQL query with no data that needs to be preserved across queries, but
+//! involves a lot of shuffle operations for data join, so GC is
+//! triggered often" (§IV-D) — the paper measures a modest 1.19× for
+//! RUPAM here, with *higher* GC and shuffle overheads than stock Spark
+//! because RUPAM grows executors to node capacity and trades locality
+//! for resource fit.
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::gen;
+
+/// Tunables for the SQL generator.
+#[derive(Clone, Debug)]
+pub struct SqlParams {
+    /// Fact-table size (Table III: 35 GB).
+    pub input: ByteSize,
+    /// Number of queries (each its own job).
+    pub queries: usize,
+    /// Join parallelism.
+    pub join_partitions: usize,
+    /// Aggregate parallelism.
+    pub agg_partitions: usize,
+    /// Scan selectivity: shuffle bytes per scanned block.
+    pub scan_output: ByteSize,
+    /// Peak memory of a join task (hash tables).
+    pub join_peak_mem: ByteSize,
+    /// Skew exponent on the join keys.
+    pub skew: f64,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for SqlParams {
+    fn default() -> Self {
+        SqlParams {
+            input: ByteSize::gib(35),
+            queries: 4,
+            join_partitions: 32,
+            agg_partitions: 16,
+            scan_output: ByteSize::mib(36),
+            join_peak_mem: ByteSize::gib(4),
+            skew: 0.8,
+            jitter: 0.10,
+        }
+    }
+}
+
+/// Build the SQL application and its block placement.
+pub fn build(cluster: &ClusterSpec, rngf: &RngFactory, p: &SqlParams) -> (Application, DataLayout) {
+    assert!(p.queries >= 1);
+    let mut rng = rngf.stream("sql");
+    let n = gen::partitions_for(p.input);
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &gen::block_sizes(p.input, n), 2, &mut rng);
+    let block_bytes = p.input.per_shard(n);
+
+    let mut b = AppBuilder::new("SQL");
+    for q in 0..p.queries {
+        let j = b.begin_job();
+        // scan + filter
+        let scan: Vec<TaskTemplate> = (0..n)
+            .map(|i| {
+                let jit = gen::jitter(&mut rng, p.jitter);
+                TaskTemplate {
+                    index: i,
+                    input: InputSource::Hdfs(blocks[i]),
+                    demand: TaskDemand {
+                        compute: 3.0 * jit,
+                        input_bytes: block_bytes,
+                        shuffle_write: p.scan_output.scale(jit),
+                        peak_mem: ByteSize::mib(400).scale(jit),
+                        ..TaskDemand::default()
+                    },
+                }
+            })
+            .collect();
+        let scan_stage = b.add_stage(
+            j,
+            format!("scan q{q}"),
+            "sql/scan",
+            StageKind::ShuffleMap,
+            vec![],
+            scan,
+        );
+        // hash join over skewed keys
+        let total_scanned = p.scan_output.bytes() * n as u64;
+        let per_join = ByteSize(total_scanned / p.join_partitions as u64);
+        let weights = gen::skew_profile(&mut rng, p.join_partitions, p.skew);
+        let wmax = weights.iter().cloned().fold(0.0f64, f64::max);
+        let join: Vec<TaskTemplate> = (0..p.join_partitions)
+            .map(|i| {
+                let w = weights[i];
+                let jit = gen::jitter(&mut rng, p.jitter);
+                TaskTemplate {
+                    index: i,
+                    input: InputSource::Shuffle,
+                    demand: TaskDemand {
+                        compute: 6.0 * w * jit,
+                        shuffle_read: gen::scaled(per_join, w),
+                        shuffle_write: gen::scaled(ByteSize::mib(50), w),
+                        peak_mem: p.join_peak_mem.scale((0.25 + 0.75 * w / wmax) * jit),
+                        ..TaskDemand::default()
+                    },
+                }
+            })
+            .collect();
+        let join_stage = b.add_stage(
+            j,
+            format!("join q{q}"),
+            "sql/join",
+            StageKind::ShuffleMap,
+            vec![scan_stage],
+            join,
+        );
+        // aggregation
+        let agg_read = ByteSize(50 * 1024 * 1024 * p.join_partitions as u64 / p.agg_partitions as u64);
+        let agg: Vec<TaskTemplate> = (0..p.agg_partitions)
+            .map(|i| TaskTemplate {
+                index: i,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: 2.0 * gen::jitter(&mut rng, p.jitter),
+                    shuffle_read: agg_read,
+                    output_bytes: ByteSize::mib(4),
+                    peak_mem: ByteSize::gib(1),
+                    ..TaskDemand::default()
+                },
+            })
+            .collect();
+        b.add_stage(j, format!("agg q{q}"), "sql/agg", StageKind::Result, vec![join_stage], agg);
+    }
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn structure() {
+        let cluster = ClusterSpec::hydra();
+        let (app, layout) = build(&cluster, &RngFactory::new(1), &SqlParams::default());
+        assert_eq!(app.jobs.len(), 4);
+        let n = gen::partitions_for(ByteSize::gib(35));
+        assert_eq!(n, 280);
+        assert_eq!(app.total_tasks(), 4 * (n + 32 + 16));
+        assert_eq!(layout.len(), n);
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn joins_are_memory_hungry_and_skewed() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(2), &SqlParams::default());
+        let join = &app.stages[1];
+        assert_eq!(join.template_key, "sql/join");
+        let peaks: Vec<f64> = join.tasks.iter().map(|t| t.demand.peak_mem.as_gib()).collect();
+        let max = peaks.iter().cloned().fold(0.0f64, f64::max);
+        let min = peaks.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max > 3.0, "hot join partitions should need > 3 GiB, got {max:.1}");
+        assert!(max / min > 1.5, "expected skewed memory needs");
+        let reads: Vec<f64> = join.tasks.iter().map(|t| t.demand.shuffle_read.as_mib()).collect();
+        let rmax = reads.iter().cloned().fold(0.0f64, f64::max);
+        let rmin = reads.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(rmax / rmin > 3.0, "expected skewed shuffle reads");
+    }
+
+    #[test]
+    fn no_caching_between_queries() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(3), &SqlParams::default());
+        for s in &app.stages {
+            for t in &s.tasks {
+                assert_eq!(t.demand.cached_bytes, ByteSize::ZERO, "SQL preserves nothing");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = ClusterSpec::hydra();
+        let d = |seed| {
+            let (app, _) = build(&cluster, &RngFactory::new(seed), &SqlParams::default());
+            app.stages[1].tasks.iter().map(|t| t.demand.shuffle_read.bytes()).collect::<Vec<_>>()
+        };
+        assert_eq!(d(4), d(4));
+        assert_ne!(d(4), d(5));
+    }
+}

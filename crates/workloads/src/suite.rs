@@ -1,0 +1,191 @@
+//! The evaluation suite (paper Table III): a uniform handle over all
+//! seven SparkBench workloads, in the paper's presentation order.
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::Application;
+use rupam_dag::data::DataLayout;
+use rupam_simcore::RngFactory;
+
+/// A built workload: application plus its data placement.
+pub type WorkloadBuild = (Application, DataLayout);
+
+/// The seven evaluated workloads (Table III).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Workload {
+    /// Logistic Regression, 6 GB.
+    LogisticRegression,
+    /// TeraSort, 4 GB.
+    TeraSort,
+    /// SQL, 35 GB.
+    Sql,
+    /// PageRank, 0.95 GB (500 K vertices).
+    PageRank,
+    /// Triangle Count, 0.95 GB (500 K vertices).
+    TriangleCount,
+    /// Gramian Matrix, 0.96 GB (8 K × 8 K).
+    GramianMatrix,
+    /// KMeans, 3.7 GB.
+    KMeans,
+}
+
+impl Workload {
+    /// All workloads in the paper's Fig. 5 order.
+    pub const ALL: [Workload; 7] = [
+        Workload::LogisticRegression,
+        Workload::Sql,
+        Workload::TeraSort,
+        Workload::PageRank,
+        Workload::TriangleCount,
+        Workload::GramianMatrix,
+        Workload::KMeans,
+    ];
+
+    /// Paper's short label.
+    pub fn short(self) -> &'static str {
+        match self {
+            Workload::LogisticRegression => "LR",
+            Workload::TeraSort => "TeraSort",
+            Workload::Sql => "SQL",
+            Workload::PageRank => "PR",
+            Workload::TriangleCount => "TC",
+            Workload::GramianMatrix => "GM",
+            Workload::KMeans => "KMeans",
+        }
+    }
+
+    /// Full name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Workload::LogisticRegression => "Logistic Regression",
+            Workload::TeraSort => "TeraSort",
+            Workload::Sql => "SQL",
+            Workload::PageRank => "PageRank",
+            Workload::TriangleCount => "Triangle Count",
+            Workload::GramianMatrix => "Gramian Matrix",
+            Workload::KMeans => "KMeans",
+        }
+    }
+
+    /// Table III input-size column.
+    pub fn input_description(self) -> &'static str {
+        match self {
+            Workload::LogisticRegression => "6 GB",
+            Workload::TeraSort => "4 GB",
+            Workload::Sql => "35 GB",
+            Workload::PageRank => "0.95 GB (500K vertices)",
+            Workload::TriangleCount => "0.95 GB (500K vertices)",
+            Workload::GramianMatrix => "0.96 GB (8K*8K matrix)",
+            Workload::KMeans => "3.7 GB",
+        }
+    }
+
+    /// Whether the workload runs multiple iterations/phases (the paper's
+    /// Fig. 5 analysis splits speed-ups along this line).
+    pub fn is_iterative(self) -> bool {
+        matches!(
+            self,
+            Workload::LogisticRegression
+                | Workload::PageRank
+                | Workload::TriangleCount
+                | Workload::KMeans
+        )
+    }
+
+    /// Build the workload with its default (paper) parameters.
+    ///
+    /// ```
+    /// use rupam_cluster::ClusterSpec;
+    /// use rupam_simcore::RngFactory;
+    /// use rupam_workloads::Workload;
+    ///
+    /// let cluster = ClusterSpec::hydra();
+    /// let (app, layout) = Workload::TeraSort.build(&cluster, &RngFactory::new(7));
+    /// assert_eq!(app.total_tasks(), 64); // 32 maps + 32 reduces
+    /// assert_eq!(layout.len(), 32);
+    /// ```
+    pub fn build(self, cluster: &ClusterSpec, rngf: &RngFactory) -> WorkloadBuild {
+        match self {
+            Workload::LogisticRegression => {
+                crate::lr::build(cluster, rngf, &crate::lr::LrParams::default())
+            }
+            Workload::TeraSort => {
+                crate::terasort::build(cluster, rngf, &crate::terasort::TeraSortParams::default())
+            }
+            Workload::Sql => crate::sql::build(cluster, rngf, &crate::sql::SqlParams::default()),
+            Workload::PageRank => {
+                crate::pagerank::build(cluster, rngf, &crate::pagerank::PageRankParams::default())
+            }
+            Workload::TriangleCount => {
+                crate::triangle::build(cluster, rngf, &crate::triangle::TriangleParams::default())
+            }
+            Workload::GramianMatrix => {
+                crate::gramian::build(cluster, rngf, &crate::gramian::GramianParams::default())
+            }
+            Workload::KMeans => {
+                crate::kmeans::build(cluster, rngf, &crate::kmeans::KMeansParams::default())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.short())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn all_workloads_build_and_validate_on_hydra() {
+        let cluster = ClusterSpec::hydra();
+        let rngf = RngFactory::new(1);
+        for w in Workload::ALL {
+            let (app, layout) = w.build(&cluster, &rngf);
+            assert!(app.total_tasks() > 0, "{w} has no tasks");
+            assert!(!layout.is_empty(), "{w} placed no blocks");
+            validate_against_cluster(&app, &cluster)
+                .unwrap_or_else(|e| panic!("{w} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn iterative_split_matches_paper() {
+        use Workload::*;
+        assert!(LogisticRegression.is_iterative());
+        assert!(PageRank.is_iterative());
+        assert!(TriangleCount.is_iterative());
+        assert!(KMeans.is_iterative());
+        assert!(!TeraSort.is_iterative());
+        assert!(!Sql.is_iterative());
+        assert!(!GramianMatrix.is_iterative());
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut shorts: Vec<&str> = Workload::ALL.iter().map(|w| w.short()).collect();
+        shorts.sort();
+        shorts.dedup();
+        assert_eq!(shorts.len(), 7);
+        assert_eq!(format!("{}", Workload::PageRank), "PR");
+    }
+
+    #[test]
+    fn gpu_workloads_are_gm_and_kmeans() {
+        let cluster = ClusterSpec::hydra();
+        let rngf = RngFactory::new(2);
+        for w in Workload::ALL {
+            let (app, _) = w.build(&cluster, &rngf);
+            let uses_gpu = app
+                .stages
+                .iter()
+                .flat_map(|s| s.tasks.iter())
+                .any(|t| t.demand.is_gpu_capable());
+            let expected = matches!(w, Workload::GramianMatrix | Workload::KMeans);
+            assert_eq!(uses_gpu, expected, "{w}: GPU capability mismatch");
+        }
+    }
+}

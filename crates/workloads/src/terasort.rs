@@ -1,0 +1,147 @@
+//! TeraSort (SparkBench, Table III: 4 GB) — one-shot, I/O- and
+//! shuffle-bound.
+//!
+//! A range-partitioning map pass that writes the entire input as shuffle
+//! data, then a sort-and-write reduce pass. Both sides move the full
+//! 4 GB through disk and network with little compute — the profile that
+//! benefits from RUPAM routing tasks to the SSD-equipped `thor` nodes
+//! (paper Fig. 5: 1.32×; one-shot, so the gain is placement, not
+//! learning).
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::gen;
+
+/// Tunables for the TeraSort generator.
+#[derive(Clone, Debug)]
+pub struct TeraSortParams {
+    /// Data size (Table III: 4 GB).
+    pub input: ByteSize,
+    /// Map-side partition compute, giga-cycles.
+    pub map_compute: f64,
+    /// Reduce-side sort compute, giga-cycles.
+    pub sort_compute: f64,
+    /// Peak memory per task (sort buffers).
+    pub peak_mem: ByteSize,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for TeraSortParams {
+    fn default() -> Self {
+        TeraSortParams {
+            input: ByteSize::gib(4),
+            map_compute: 2.5,
+            sort_compute: 4.0,
+            peak_mem: ByteSize::gib_f64(1.25),
+            jitter: 0.10,
+        }
+    }
+}
+
+/// Build the TeraSort application and its block placement.
+pub fn build(
+    cluster: &ClusterSpec,
+    rngf: &RngFactory,
+    p: &TeraSortParams,
+) -> (Application, DataLayout) {
+    let mut rng = rngf.stream("terasort");
+    let n = gen::partitions_for(p.input);
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &gen::block_sizes(p.input, n), 2, &mut rng);
+    let block_bytes = p.input.per_shard(n);
+
+    let mut b = AppBuilder::new("TeraSort");
+    let j = b.begin_job();
+    let map: Vec<TaskTemplate> = (0..n)
+        .map(|i| {
+            let jit = gen::jitter(&mut rng, p.jitter);
+            TaskTemplate {
+                index: i,
+                input: InputSource::Hdfs(blocks[i]),
+                demand: TaskDemand {
+                    compute: p.map_compute * jit,
+                    input_bytes: block_bytes,
+                    shuffle_write: block_bytes, // everything is shuffled
+                    peak_mem: p.peak_mem.scale(jit),
+                    ..TaskDemand::default()
+                },
+            }
+        })
+        .collect();
+    let map_stage = b.add_stage(j, "range-partition", "terasort/map", StageKind::ShuffleMap, vec![], map);
+    let reduce: Vec<TaskTemplate> = (0..n)
+        .map(|i| {
+            let jit = gen::jitter(&mut rng, p.jitter);
+            TaskTemplate {
+                index: i,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: p.sort_compute * jit,
+                    shuffle_read: block_bytes,
+                    // sorted output written back to HDFS (local disk)
+                    shuffle_write: block_bytes,
+                    output_bytes: ByteSize::mib(1),
+                    peak_mem: p.peak_mem.scale(jit),
+                    ..TaskDemand::default()
+                },
+            }
+        })
+        .collect();
+    b.add_stage(j, "sort-write", "terasort/reduce", StageKind::Result, vec![map_stage], reduce);
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn structure() {
+        let cluster = ClusterSpec::hydra();
+        let (app, layout) = build(&cluster, &RngFactory::new(1), &TeraSortParams::default());
+        assert_eq!(app.jobs.len(), 1, "TeraSort is one-shot");
+        assert_eq!(app.total_tasks(), 32 + 32);
+        assert_eq!(layout.len(), 32);
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn everything_is_shuffled() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(2), &TeraSortParams::default());
+        let total_write: ByteSize = app.stages[0].tasks.iter().map(|t| t.demand.shuffle_write).sum();
+        let total_read: ByteSize = app.stages[1].tasks.iter().map(|t| t.demand.shuffle_read).sum();
+        assert_eq!(total_write, ByteSize::gib(4));
+        assert_eq!(total_read, ByteSize::gib(4));
+    }
+
+    #[test]
+    fn io_dominates_compute() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(3), &TeraSortParams::default());
+        for stage in &app.stages {
+            for t in &stage.tasks {
+                assert!(t.demand.compute < 6.0, "TeraSort is not compute-bound");
+                assert!(!t.demand.is_gpu_capable());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = ClusterSpec::hydra();
+        let d = |seed| {
+            let (app, _) = build(&cluster, &RngFactory::new(seed), &TeraSortParams::default());
+            app.stages[0].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+        };
+        assert_eq!(d(11), d(11));
+    }
+}

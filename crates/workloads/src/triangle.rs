@@ -1,0 +1,206 @@
+//! Triangle Count (SparkBench, Table III: 0.95 GB, 500 K vertices) —
+//! multi-phase, shuffle- and memory-heavy graph analytics.
+//!
+//! Each phase builds neighbourhoods, materialises triads (the expensive,
+//! skewed, memory-hungry shuffle) and counts closures. The algorithm
+//! runs several passes over the same graph (canonicalised directions,
+//! then triad checks), so the stage templates repeat and RUPAM's DB pays
+//! off — the paper groups TC with the multi-iteration winners.
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{CacheKey, InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::gen;
+
+/// Tunables for the Triangle Count generator.
+#[derive(Clone, Debug)]
+pub struct TriangleParams {
+    /// Edge-list size (Table III: 0.95 GB).
+    pub input: ByteSize,
+    /// Graph partitions.
+    pub partitions: usize,
+    /// Triad partitions (the wide middle stage).
+    pub triad_partitions: usize,
+    /// Number of passes over the graph.
+    pub phases: usize,
+    /// Base peak memory; triads add skewed extra.
+    pub base_peak_mem: ByteSize,
+    /// Extra memory on hot triad partitions.
+    pub hot_peak_mem: ByteSize,
+    /// Degree-skew exponent.
+    pub skew: f64,
+    /// Demand jitter amplitude.
+    pub jitter: f64,
+}
+
+impl Default for TriangleParams {
+    fn default() -> Self {
+        TriangleParams {
+            input: ByteSize::gib_f64(0.95),
+            partitions: 8,
+            triad_partitions: 16,
+            phases: 3,
+            base_peak_mem: ByteSize::mib(700),
+            hot_peak_mem: ByteSize::gib(6),
+            skew: 1.0,
+            jitter: 0.10,
+        }
+    }
+}
+
+/// Build the Triangle Count application and its block placement.
+pub fn build(
+    cluster: &ClusterSpec,
+    rngf: &RngFactory,
+    p: &TriangleParams,
+) -> (Application, DataLayout) {
+    assert!(p.phases >= 1);
+    let mut rng = rngf.stream("triangle");
+    let mut layout = DataLayout::new();
+    let blocks =
+        layout.place_blocks(cluster, &gen::block_sizes(p.input, p.partitions), 2, &mut rng);
+    let part_bytes = p.input.per_shard(p.partitions);
+    let weights = gen::skew_profile(&mut rng, p.triad_partitions, p.skew);
+    let wmax = weights.iter().cloned().fold(0.0f64, f64::max);
+
+    let mut b = AppBuilder::new("TriangleCount");
+    for phase in 0..p.phases {
+        let j = b.begin_job();
+        let neighb: Vec<TaskTemplate> = (0..p.partitions)
+            .map(|i| {
+                let jit = gen::jitter(&mut rng, p.jitter);
+                TaskTemplate {
+                    index: i,
+                    input: InputSource::CachedOrHdfs {
+                        key: CacheKey::new("tc/edges", i),
+                        fallback: blocks[i],
+                    },
+                    demand: TaskDemand {
+                        compute: 6.0 * jit,
+                        input_bytes: part_bytes,
+                        shuffle_write: ByteSize::mib(150).scale(jit),
+                        peak_mem: ByteSize::mib(700).scale(jit),
+                        cached_bytes: part_bytes.scale(1.3),
+                        ..TaskDemand::default()
+                    },
+                }
+            })
+            .collect();
+        let neighb_stage = b.add_stage(
+            j,
+            format!("neighbourhoods p{phase}"),
+            "tc/edges",
+            StageKind::ShuffleMap,
+            vec![],
+            neighb,
+        );
+        let triad_read =
+            ByteSize(150 * 1024 * 1024 * p.partitions as u64 / p.triad_partitions as u64);
+        let triads: Vec<TaskTemplate> = (0..p.triad_partitions)
+            .map(|i| {
+                let w = weights[i];
+                let jit = gen::jitter(&mut rng, p.jitter);
+                TaskTemplate {
+                    index: i,
+                    input: InputSource::Shuffle,
+                    demand: TaskDemand {
+                        compute: 9.0 * (0.5 + 0.5 * w.min(1.5)) * jit,
+                        shuffle_read: gen::scaled(triad_read, w.min(2.5)),
+                        shuffle_write: ByteSize::mib(120).scale((w * jit).min(2.5)),
+                        peak_mem: p.base_peak_mem
+                            + p.hot_peak_mem.scale((w / wmax).powi(2) * jit),
+                        ..TaskDemand::default()
+                    },
+                }
+            })
+            .collect();
+        let triad_stage = b.add_stage(
+            j,
+            format!("triads p{phase}"),
+            "tc/triads",
+            StageKind::ShuffleMap,
+            vec![neighb_stage],
+            triads,
+        );
+        let count_read =
+            ByteSize(120 * 1024 * 1024 * p.triad_partitions as u64 / p.partitions as u64);
+        let count: Vec<TaskTemplate> = (0..p.partitions)
+            .map(|i| TaskTemplate {
+                index: i,
+                input: InputSource::Shuffle,
+                demand: TaskDemand {
+                    compute: 3.0 * gen::jitter(&mut rng, p.jitter),
+                    shuffle_read: count_read,
+                    output_bytes: ByteSize::mib(1),
+                    peak_mem: ByteSize::mib(800),
+                    ..TaskDemand::default()
+                },
+            })
+            .collect();
+        b.add_stage(
+            j,
+            format!("count p{phase}"),
+            "tc/count",
+            StageKind::Result,
+            vec![triad_stage],
+            count,
+        );
+    }
+    (b.build(), layout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::lineage::validate_against_cluster;
+
+    #[test]
+    fn structure() {
+        let cluster = ClusterSpec::hydra();
+        let (app, layout) = build(&cluster, &RngFactory::new(1), &TriangleParams::default());
+        assert_eq!(app.jobs.len(), 3);
+        assert_eq!(app.stages.len(), 9);
+        assert_eq!(app.total_tasks(), 3 * (8 + 16 + 8));
+        assert_eq!(layout.len(), 8);
+        validate_against_cluster(&app, &cluster).unwrap();
+    }
+
+    #[test]
+    fn triads_are_the_hot_stage() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(2), &TriangleParams::default());
+        let triads = &app.stages[1];
+        assert_eq!(triads.template_key, "tc/triads");
+        let max_peak = triads
+            .tasks
+            .iter()
+            .map(|t| t.demand.peak_mem.as_gib())
+            .fold(0.0f64, f64::max);
+        assert!(max_peak > 5.0, "hot triads must be memory heavy, got {max_peak:.1}");
+        let total_read: ByteSize = triads.tasks.iter().map(|t| t.demand.shuffle_read).sum();
+        assert!(total_read > ByteSize::gib(1), "triads shuffle more than the input");
+    }
+
+    #[test]
+    fn templates_repeat_across_phases() {
+        let cluster = ClusterSpec::hydra();
+        let (app, _) = build(&cluster, &RngFactory::new(3), &TriangleParams::default());
+        assert_eq!(app.stages[0].template_key, app.stages[3].template_key);
+        assert_eq!(app.stages[1].template_key, app.stages[4].template_key);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cluster = ClusterSpec::hydra();
+        let d = |seed| {
+            let (app, _) = build(&cluster, &RngFactory::new(seed), &TriangleParams::default());
+            app.stages[1].tasks.iter().map(|t| t.demand.peak_mem.bytes()).collect::<Vec<_>>()
+        };
+        assert_eq!(d(8), d(8));
+    }
+}

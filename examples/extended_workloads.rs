@@ -1,0 +1,51 @@
+//! Beyond the paper's suite: run the extra SparkBench-style workloads
+//! (ALS, WordCount, SVM) under FIFO, stock Spark and RUPAM, and render a
+//! per-node execution timeline for one of them.
+
+use rupam_bench::{run_app, Sched};
+use rupam_cluster::ClusterSpec;
+use rupam_metrics::timeline;
+use rupam_simcore::RngFactory;
+use rupam_workloads::extra::{als, svm, wordcount, AlsParams, SvmParams, WordCountParams};
+
+fn main() {
+    let cluster = ClusterSpec::hydra();
+    let rngf = RngFactory::new(77);
+
+    let builds = vec![
+        ("ALS", als(&cluster, &rngf, &AlsParams::default())),
+        ("WordCount", wordcount(&cluster, &rngf, &WordCountParams::default())),
+        ("SVM", svm(&cluster, &rngf, &SvmParams::default())),
+    ];
+
+    println!(
+        "{:<10} | {:>9} | {:>9} | {:>9} | {:>8} | {:>8}",
+        "workload", "FIFO (s)", "Spark (s)", "RUPAM (s)", "vs FIFO", "vs Spark"
+    );
+    println!("{}", "-".repeat(68));
+    for (name, (app, layout)) in &builds {
+        let fifo = run_app(&cluster, app, layout, &Sched::Fifo, 77).makespan.as_secs_f64();
+        let spark = run_app(&cluster, app, layout, &Sched::Spark, 77).makespan.as_secs_f64();
+        let rupam = run_app(&cluster, app, layout, &Sched::Rupam, 77).makespan.as_secs_f64();
+        println!(
+            "{name:<10} | {fifo:>9.1} | {spark:>9.1} | {rupam:>9.1} | {:>7.2}x | {:>7.2}x",
+            fifo / rupam,
+            spark / rupam
+        );
+    }
+
+    // timeline of the SVM run under RUPAM: broadcast pulls + gradient
+    // waves are clearly visible
+    let (app, layout) = &builds[2].1;
+    let report = run_app(&cluster, app, layout, &Sched::Rupam, 77);
+    let names: Vec<String> = cluster.iter().map(|(_, n)| n.name.clone()).collect();
+    println!();
+    print!("{}", timeline::render(&report, &names, 72));
+    let w = timeline::waste(&report);
+    println!(
+        "\nwasted work: {:.1}s in {} failed attempts, {:.1}s in losing race copies",
+        w.failed_secs.max(0.0),
+        w.failed_attempts,
+        w.race_secs.max(0.0)
+    );
+}

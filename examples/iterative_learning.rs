@@ -1,0 +1,56 @@
+//! The paper's key dynamic (Fig. 6): RUPAM's task-characteristics DB
+//! makes iterative workloads faster the longer they run — the first
+//! iteration explores, later iterations exploit.
+//!
+//! This example sweeps Logistic Regression iteration counts and prints
+//! the speedup curve, then inspects what the Task Manager actually
+//! learned about one gradient task.
+
+use rupam::db::TaskKey;
+use rupam::RupamScheduler;
+use rupam_cluster::ClusterSpec;
+use rupam_exec::{simulate, SimConfig, SimInput};
+use rupam_simcore::RngFactory;
+use rupam_workloads::lr::{self, LrParams};
+
+fn main() {
+    let cluster = ClusterSpec::hydra();
+    let config = SimConfig::default();
+    let seed = 7;
+
+    println!("LR speedup vs iteration count (cf. paper Fig. 6):\n");
+    println!("{:>10} | {:>10} | {:>10} | {:>8}", "iterations", "Spark (s)", "RUPAM (s)", "speedup");
+    println!("{}", "-".repeat(48));
+    for iterations in [1usize, 2, 4, 8, 16] {
+        let params = LrParams { iterations, ..LrParams::default() };
+        let (app, layout) = lr::build(&cluster, &RngFactory::new(seed), &params);
+        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &config, seed };
+
+        let mut spark = rupam::SparkScheduler::with_defaults();
+        let spark_secs = simulate(&input, &mut spark).makespan.as_secs_f64();
+        let mut rupam = RupamScheduler::with_defaults();
+        let rupam_secs = simulate(&input, &mut rupam).makespan.as_secs_f64();
+        println!(
+            "{iterations:>10} | {spark_secs:>10.1} | {rupam_secs:>10.1} | {:>7.2}x",
+            spark_secs / rupam_secs
+        );
+    }
+
+    // peek into DB_task_char after a full run
+    let params = LrParams { iterations: 8, ..LrParams::default() };
+    let (app, layout) = lr::build(&cluster, &RngFactory::new(seed), &params);
+    let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &config, seed };
+    let mut rupam = RupamScheduler::with_defaults();
+    let _ = simulate(&input, &mut rupam);
+    if let Some(char) = rupam.tm().db().read(&TaskKey::new("lr/points", 0)) {
+        println!(
+            "\nDB_task_char[lr/points, 0] after the run:\n  runs: {}\n  last bottleneck: {:?}\n  \
+             bottlenecks observed (historyresource): {}\n  best executor: {:?}\n  peak memory: {}",
+            char.runs,
+            char.last_bottleneck,
+            char.history_size(),
+            char.best.map(|(n, s)| format!("{} @ {:.1}s", cluster.node(n).name, s)),
+            char.peak_mem,
+        );
+    }
+}

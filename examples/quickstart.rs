@@ -1,0 +1,44 @@
+//! Quickstart: run one workload on the paper's Hydra cluster under both
+//! stock Spark and RUPAM, and compare.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use rupam_bench::{run_workload, Sched};
+use rupam_cluster::ClusterSpec;
+use rupam_workloads::Workload;
+
+fn main() {
+    // the paper's 12-node heterogeneous cluster (Table II)
+    let cluster = ClusterSpec::hydra();
+    println!(
+        "Cluster: {} nodes, {} cores, {} total memory\n",
+        cluster.len(),
+        cluster.total_cores(),
+        cluster.total_mem()
+    );
+
+    let workload = Workload::KMeans;
+    println!("Workload: {} ({})", workload.name(), workload.input_description());
+
+    for sched in [Sched::Spark, Sched::Rupam] {
+        let report = run_workload(&cluster, workload, &sched, 42);
+        println!(
+            "\n{:<6} makespan {:>8}  | tasks {:>4} | OOM failures {} | executor losses {} \
+             | speculative copies {} (wins {}) | GPU tasks {}",
+            sched.label(),
+            format!("{}", report.makespan),
+            report.total_attempts(),
+            report.oom_failures,
+            report.executor_losses,
+            report.speculative_launched,
+            report.speculative_wins,
+            report.gpu_task_count(),
+        );
+        let [process, node, rack, any] = report.locality_counts();
+        println!(
+            "       locality: {process} PROCESS_LOCAL, {node} NODE_LOCAL, {rack} RACK_LOCAL, {any} ANY"
+        );
+    }
+}

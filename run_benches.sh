@@ -1,0 +1,8 @@
+#!/bin/bash
+# Run the full Criterion benchmark suite, capturing everything the
+# benches print (each bench regenerates its paper table/figure first).
+set -u
+cd /root/repo
+: > bench_output.txt
+cargo bench --workspace 2>&1 | tee -a bench_output.txt
+echo "ALL_BENCHES_DONE rc=$?" >> bench_output.txt

@@ -1,0 +1,189 @@
+//! `rupam-sim` — run one scheduling scenario from the command line.
+//!
+//! ```text
+//! rupam-sim [--cluster hydra|two-node|uniform:<n>|mix:<thor>,<hulk>,<stack>]
+//!           [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]
+//!           [--scheduler spark|rupam|fifo]
+//!           [--seed <n>] [--timeline] [--census] [--compare]
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! rupam-sim --workload PR --compare --timeline
+//! rupam-sim --cluster mix:9,3,0 --workload LR --scheduler rupam --census
+//! ```
+
+use std::env;
+use std::process::exit;
+
+use rupam_bench::{placement_census, run_workload, Sched};
+use rupam_cluster::ClusterSpec;
+use rupam_metrics::timeline;
+use rupam_workloads::Workload;
+
+struct Options {
+    cluster: ClusterSpec,
+    cluster_label: String,
+    workload: Workload,
+    scheduler: Sched,
+    seed: u64,
+    timeline: bool,
+    census: bool,
+    compare: bool,
+    csv: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rupam-sim [--cluster hydra|two-node|uniform:<n>|mix:<t>,<h>,<s>]\n\
+         \x20                [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]\n\
+         \x20                [--scheduler spark|rupam|fifo] [--seed <n>]\n\
+         \x20                [--timeline] [--census] [--compare] [--csv <path>]"
+    );
+    exit(2)
+}
+
+fn parse_cluster(spec: &str) -> Option<(ClusterSpec, String)> {
+    if spec == "hydra" {
+        return Some((ClusterSpec::hydra(), "hydra (6 thor / 4 hulk / 2 stack)".into()));
+    }
+    if spec == "two-node" {
+        return Some((ClusterSpec::two_node_motivation(), "two-node motivation".into()));
+    }
+    if let Some(n) = spec.strip_prefix("uniform:") {
+        let n: usize = n.parse().ok().filter(|&n| n > 0)?;
+        return Some((ClusterSpec::homogeneous(n), format!("{n} uniform nodes")));
+    }
+    if let Some(mix) = spec.strip_prefix("mix:") {
+        let parts: Vec<usize> = mix.split(',').map(|p| p.parse().ok()).collect::<Option<_>>()?;
+        if parts.len() != 3 || parts.iter().sum::<usize>() == 0 {
+            return None;
+        }
+        return Some((
+            ClusterSpec::hydra_mix(parts[0], parts[1], parts[2]),
+            format!("{} thor / {} hulk / {} stack", parts[0], parts[1], parts[2]),
+        ));
+    }
+    None
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        cluster: ClusterSpec::hydra(),
+        cluster_label: "hydra (6 thor / 4 hulk / 2 stack)".into(),
+        workload: Workload::LogisticRegression,
+        scheduler: Sched::Rupam,
+        seed: 101,
+        timeline: false,
+        census: false,
+        compare: false,
+        csv: None,
+    };
+    let mut args = env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cluster" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match parse_cluster(&v) {
+                    Some((c, label)) => {
+                        opts.cluster = c;
+                        opts.cluster_label = label;
+                    }
+                    None => {
+                        eprintln!("unknown cluster spec {v:?}");
+                        usage()
+                    }
+                }
+            }
+            "--workload" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match Workload::ALL.iter().find(|w| w.short().eq_ignore_ascii_case(&v)) {
+                    Some(w) => opts.workload = *w,
+                    None => {
+                        eprintln!("unknown workload {v:?}");
+                        usage()
+                    }
+                }
+            }
+            "--scheduler" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.scheduler = match v.to_ascii_lowercase().as_str() {
+                    "spark" => Sched::Spark,
+                    "rupam" => Sched::Rupam,
+                    "fifo" => Sched::Fifo,
+                    _ => {
+                        eprintln!("unknown scheduler {v:?}");
+                        usage()
+                    }
+                };
+            }
+            "--seed" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.seed = v.parse().unwrap_or_else(|_| usage());
+            }
+            "--csv" => opts.csv = Some(args.next().unwrap_or_else(|| usage())),
+            "--timeline" => opts.timeline = true,
+            "--census" => opts.census = true,
+            "--compare" => opts.compare = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    opts
+}
+
+fn run_one(opts: &Options, sched: &Sched) {
+    let report = run_workload(&opts.cluster, opts.workload, sched, opts.seed);
+    let waste = timeline::waste(&report);
+    println!(
+        "{:<6} | makespan {:>9} | completed {} | oom {} | exec-lost {} | spec {} (wins {}) \
+         | gpu tasks {} | wasted {:.1}s",
+        sched.label(),
+        format!("{}", report.makespan),
+        report.completed,
+        report.oom_failures,
+        report.executor_losses,
+        report.speculative_launched,
+        report.speculative_wins,
+        report.gpu_task_count(),
+        (waste.failed_secs + waste.race_secs).max(0.0),
+    );
+    if opts.census {
+        print!("{}", placement_census(&opts.cluster, &report));
+    }
+    if opts.timeline {
+        let names: Vec<String> =
+            opts.cluster.iter().map(|(_, n)| n.name.clone()).collect();
+        print!("{}", timeline::render(&report, &names, 72));
+    }
+    if let Some(path) = &opts.csv {
+        let csv = rupam_metrics::export::records_csv(&report);
+        let file = format!("{path}.{}.csv", sched.label().to_lowercase());
+        match std::fs::write(&file, csv) {
+            Ok(()) => println!("wrote task records to {file}"),
+            Err(e) => eprintln!("could not write {file}: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "cluster: {} | workload: {} ({}) | seed {}",
+        opts.cluster_label,
+        opts.workload.name(),
+        opts.workload.input_description(),
+        opts.seed
+    );
+    if opts.compare {
+        for sched in [Sched::Fifo, Sched::Spark, Sched::Rupam] {
+            run_one(&opts, &sched);
+        }
+    } else {
+        run_one(&opts, &opts.scheduler.clone());
+    }
+}

@@ -1,0 +1,24 @@
+//! # rupam-suite
+//!
+//! Umbrella crate for the RUPAM reproduction workspace. Re-exports the
+//! public API of every member crate so examples and downstream users can
+//! depend on a single crate:
+//!
+//! ```
+//! use rupam_suite::prelude::*;
+//! ```
+//!
+//! See `README.md` for the quickstart and `DESIGN.md` for the system
+//! inventory.
+
+pub use rupam as core;
+pub use rupam_bench as bench;
+pub use rupam_cluster as cluster;
+pub use rupam_dag as dag;
+pub use rupam_exec as exec;
+pub use rupam_metrics as metrics;
+pub use rupam_simcore as simcore;
+pub use rupam_workloads as workloads;
+
+/// Convenient glob-import surface for examples and tests.
+pub mod prelude;

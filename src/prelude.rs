@@ -1,0 +1,3 @@
+//! One-stop imports for examples, tests and downstream code.
+
+pub use rupam_simcore::{ByteSize, RngFactory, SimDuration, SimTime};

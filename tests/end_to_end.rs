@@ -1,0 +1,128 @@
+//! End-to-end integration: every suite workload runs to completion on the
+//! paper's Hydra cluster under both schedulers, respects physical lower
+//! bounds, and stays deterministic.
+
+use rupam_bench::{run_workload, Sched};
+use rupam_cluster::ClusterSpec;
+use rupam_dag::lineage::ideal_lower_bound;
+use rupam_simcore::RngFactory;
+use rupam_workloads::Workload;
+
+/// Cheap per-test workloads (SQL's 1 440 tasks are exercised separately).
+const FAST_WORKLOADS: [Workload; 5] = [
+    Workload::TeraSort,
+    Workload::GramianMatrix,
+    Workload::PageRank,
+    Workload::TriangleCount,
+    Workload::KMeans,
+];
+
+#[test]
+fn every_workload_completes_under_both_schedulers() {
+    let cluster = ClusterSpec::hydra();
+    for w in Workload::ALL {
+        for sched in [Sched::Spark, Sched::Rupam] {
+            let report = run_workload(&cluster, w, &sched, 101);
+            assert!(
+                report.completed,
+                "{w} under {} did not complete (oom={}, lost={})",
+                sched.label(),
+                report.oom_failures,
+                report.executor_losses
+            );
+            // every task succeeded exactly once
+            let (app, _) = w.build(&cluster, &RngFactory::new(101));
+            let mut winners: Vec<_> = report
+                .records
+                .iter()
+                .filter(|r| r.outcome.is_success())
+                .map(|r| r.task)
+                .collect();
+            winners.sort();
+            winners.dedup();
+            assert_eq!(
+                winners.len(),
+                app.total_tasks(),
+                "{w}/{}: tasks completed once each",
+                sched.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn makespans_respect_ideal_lower_bounds() {
+    let cluster = ClusterSpec::hydra();
+    for w in FAST_WORKLOADS {
+        let (app, _) = w.build(&cluster, &RngFactory::new(7));
+        let lb = ideal_lower_bound(&app, &cluster);
+        for sched in [Sched::Spark, Sched::Rupam] {
+            let report = run_workload(&cluster, w, &sched, 7);
+            assert!(
+                report.makespan >= lb,
+                "{w}/{}: makespan {} beats the physical lower bound {}",
+                sched.label(),
+                report.makespan,
+                lb
+            );
+        }
+    }
+}
+
+#[test]
+fn full_runs_are_deterministic() {
+    let cluster = ClusterSpec::hydra();
+    for sched in [Sched::Spark, Sched::Rupam] {
+        let a = run_workload(&cluster, Workload::PageRank, &sched, 303);
+        let b = run_workload(&cluster, Workload::PageRank, &sched, 303);
+        assert_eq!(a.makespan, b.makespan, "{} PR not deterministic", sched.label());
+        assert_eq!(a.records.len(), b.records.len());
+        assert_eq!(a.oom_failures, b.oom_failures);
+        for (x, y) in a.records.iter().zip(b.records.iter()) {
+            assert_eq!(x.task, y.task);
+            assert_eq!(x.node, y.node);
+            assert_eq!(x.finished_at, y.finished_at);
+            assert_eq!(x.outcome, y.outcome);
+        }
+    }
+}
+
+#[test]
+fn seeds_change_outcomes() {
+    let cluster = ClusterSpec::hydra();
+    let a = run_workload(&cluster, Workload::TeraSort, &Sched::Spark, 1);
+    let b = run_workload(&cluster, Workload::TeraSort, &Sched::Spark, 2);
+    assert_ne!(
+        a.makespan, b.makespan,
+        "different seeds should produce different placements/makespans"
+    );
+}
+
+#[test]
+fn locality_counts_account_for_every_attempt() {
+    let cluster = ClusterSpec::hydra();
+    for sched in [Sched::Spark, Sched::Rupam] {
+        let report = run_workload(&cluster, Workload::TriangleCount, &sched, 11);
+        let total: usize = report.locality_counts().iter().sum();
+        assert_eq!(total, report.total_attempts());
+        let (app, _) = Workload::TriangleCount.build(&cluster, &RngFactory::new(11));
+        assert!(total >= app.total_tasks(), "{}", sched.label());
+    }
+}
+
+#[test]
+fn utilization_histories_cover_the_run() {
+    let cluster = ClusterSpec::hydra();
+    let report = run_workload(&cluster, Workload::KMeans, &Sched::Rupam, 5);
+    // every node reported something, and at least one node shows real load
+    let mut any_busy = false;
+    for i in 0..cluster.len() {
+        let h = report
+            .monitor
+            .history(rupam_cluster::NodeId(i), rupam_cluster::monitor::MetricKey::CpuUtil);
+        if h.points().iter().any(|p| p.1 > 0.5) {
+            any_busy = true;
+        }
+    }
+    assert!(any_busy, "no node ever exceeded 50% CPU during KMeans");
+}

@@ -1,0 +1,172 @@
+//! The paper's headline claims, as executable assertions (shapes, not
+//! absolute numbers — see EXPERIMENTS.md for the full quantitative
+//! comparison).
+
+use rupam_bench::{run_workload, Sched};
+use rupam_cluster::ClusterSpec;
+use rupam_simcore::RngFactory;
+use rupam_workloads::lr::{self, LrParams};
+use rupam_workloads::Workload;
+
+fn pair(w: Workload, seed: u64) -> (f64, f64) {
+    let cluster = ClusterSpec::hydra();
+    let spark = run_workload(&cluster, w, &Sched::Spark, seed).makespan.as_secs_f64();
+    let rupam = run_workload(&cluster, w, &Sched::Rupam, seed).makespan.as_secs_f64();
+    (spark, rupam)
+}
+
+#[test]
+fn rupam_beats_spark_on_iterative_workloads() {
+    // §IV-B: iterative workloads (LR, PR, TC, KMeans) gain the most
+    for w in [Workload::LogisticRegression, Workload::KMeans, Workload::PageRank] {
+        let (spark, rupam) = pair(w, 101);
+        assert!(
+            rupam < spark,
+            "{w}: RUPAM ({rupam:.0}s) should beat Spark ({spark:.0}s)"
+        );
+    }
+}
+
+#[test]
+fn single_iteration_gramian_is_near_parity() {
+    // §IV-B: "GM only shows a negligible 1.4% performance improvement …
+    // GM only has one iteration of computation, which makes it difficult
+    // for RUPAM to test and determine an appropriate resource"
+    let (spark, rupam) = pair(Workload::GramianMatrix, 101);
+    let ratio = spark / rupam;
+    assert!(
+        (0.8..1.8).contains(&ratio),
+        "GM should be roughly scheduler-neutral, got {ratio:.2}x"
+    );
+}
+
+#[test]
+fn lr_speedup_grows_with_iterations() {
+    // Fig. 6: speedup rises with iteration count and never drops
+    // meaningfully below 1×
+    let cluster = ClusterSpec::hydra();
+    let speedup_at = |iterations: usize| {
+        let params = LrParams { iterations, ..LrParams::default() };
+        let (app, layout) = lr::build(&cluster, &RngFactory::new(101), &params);
+        let spark = rupam_bench::run_app(&cluster, &app, &layout, &Sched::Spark, 101)
+            .makespan
+            .as_secs_f64();
+        let rupam = rupam_bench::run_app(&cluster, &app, &layout, &Sched::Rupam, 101)
+            .makespan
+            .as_secs_f64();
+        spark / rupam
+    };
+    let s1 = speedup_at(1);
+    let s8 = speedup_at(8);
+    assert!(s8 > s1, "speedup must grow with iterations: s1={s1:.2} s8={s8:.2}");
+    assert!(s1 > 0.85, "RUPAM should roughly match Spark even at 1 iteration, got {s1:.2}");
+    assert!(s8 > 1.5, "by 8 iterations the DB should pay off, got {s8:.2}");
+}
+
+#[test]
+fn spark_suffers_memory_failures_on_pagerank_rupam_does_not() {
+    // §IV-B: "Some workloads, such as PR, are memory intensive such that
+    // default Spark fails with memory error in some runs … In contrast,
+    // RUPAM finishes without memory errors"
+    let cluster = ClusterSpec::hydra();
+    let mut spark_failures = 0usize;
+    let mut rupam_failures = 0usize;
+    for seed in [101, 202, 303] {
+        let s = run_workload(&cluster, Workload::PageRank, &Sched::Spark, seed);
+        let r = run_workload(&cluster, Workload::PageRank, &Sched::Rupam, seed);
+        spark_failures += s.oom_failures + s.executor_losses;
+        rupam_failures += r.oom_failures + r.executor_losses;
+    }
+    assert!(spark_failures > 0, "Spark should hit memory trouble on PR");
+    assert!(
+        rupam_failures < spark_failures / 2,
+        "RUPAM ({rupam_failures}) should suffer far fewer memory failures than Spark ({spark_failures})"
+    );
+}
+
+#[test]
+fn spark_keeps_more_process_local_tasks() {
+    // Table V: "for all workloads, default Spark has more PROCESS_LOCAL
+    // tasks than RUPAM … RUPAM trades locality for better matching
+    // resources"
+    let cluster = ClusterSpec::hydra();
+    let spark = run_workload(&cluster, Workload::LogisticRegression, &Sched::Spark, 101);
+    let rupam = run_workload(&cluster, Workload::LogisticRegression, &Sched::Rupam, 101);
+    let s = spark.locality_counts();
+    let r = rupam.locality_counts();
+    assert!(
+        s[0] >= r[0],
+        "Spark PROCESS_LOCAL ({}) should be >= RUPAM's ({})",
+        s[0],
+        r[0]
+    );
+}
+
+#[test]
+fn rupam_balances_network_utilization_better_on_pagerank() {
+    // Fig. 9: lower std-dev of per-node utilisation under RUPAM. Our
+    // reproduction matches the paper's direction on the network axis
+    // (RUPAM spreads the skewed shuffles); on the CPU axis RUPAM's
+    // deliberate concentration of compute onto the fast tier raises the
+    // across-node spread instead — recorded as a deviation in
+    // EXPERIMENTS.md.
+    use rupam_cluster::monitor::MetricKey;
+    use rupam_simcore::SimDuration;
+    let cluster = ClusterSpec::hydra();
+    let spark = run_workload(&cluster, Workload::PageRank, &Sched::Spark, 101);
+    let rupam = run_workload(&cluster, Workload::PageRank, &Sched::Rupam, 101);
+    let s = spark.utilization_stddev_mean(MetricKey::NetMBps, SimDuration::from_secs(1));
+    let r = rupam.utilization_stddev_mean(MetricKey::NetMBps, SimDuration::from_secs(1));
+    assert!(
+        r < s * 1.1,
+        "RUPAM network spread ({r:.1} MB/s) should not exceed Spark's ({s:.1} MB/s)"
+    );
+    // CPU spread must at least stay the same order of magnitude
+    let s_cpu = spark.utilization_stddev_mean(MetricKey::CpuUtil, SimDuration::from_secs(1));
+    let r_cpu = rupam.utilization_stddev_mean(MetricKey::CpuUtil, SimDuration::from_secs(1));
+    assert!(r_cpu < s_cpu * 3.0, "CPU spread blew up: {r_cpu:.3} vs {s_cpu:.3}");
+}
+
+#[test]
+fn rupam_uses_more_memory_on_average() {
+    // Fig. 8b: "for memory, RUPAM shows a higher usage than default Spark
+    // for all workloads" (dynamic executor sizing)
+    use rupam_cluster::monitor::MetricKey;
+    let cluster = ClusterSpec::hydra();
+    let spark = run_workload(&cluster, Workload::Sql, &Sched::Spark, 101);
+    let rupam = run_workload(&cluster, Workload::Sql, &Sched::Rupam, 101);
+    let s = spark.avg_utilization(MetricKey::MemUsedGib);
+    let r = rupam.avg_utilization(MetricKey::MemUsedGib);
+    assert!(
+        r > s * 0.9,
+        "RUPAM mean memory use ({r:.1} GiB) should not be far below Spark's ({s:.1} GiB)"
+    );
+}
+
+#[test]
+fn gpu_workloads_reach_gpus_under_rupam() {
+    let cluster = ClusterSpec::hydra();
+    for w in [Workload::KMeans, Workload::GramianMatrix] {
+        let report = run_workload(&cluster, w, &Sched::Rupam, 101);
+        assert!(report.gpu_task_count() > 0, "{w}: no tasks ran on a GPU");
+    }
+}
+
+#[test]
+fn heterogeneity_awareness_is_harmless_on_a_homogeneous_cluster() {
+    // control experiment: with nothing to exploit, RUPAM should roughly
+    // match Spark rather than regress
+    let cluster = ClusterSpec::homogeneous(12);
+    let (app, layout) =
+        Workload::TeraSort.build(&cluster, &RngFactory::new(42));
+    let spark = rupam_bench::run_app(&cluster, &app, &layout, &Sched::Spark, 42)
+        .makespan
+        .as_secs_f64();
+    let rupam = rupam_bench::run_app(&cluster, &app, &layout, &Sched::Rupam, 42)
+        .makespan
+        .as_secs_f64();
+    assert!(
+        rupam < spark * 1.35,
+        "RUPAM ({rupam:.0}s) should not badly regress vs Spark ({spark:.0}s) on uniform hardware"
+    );
+}

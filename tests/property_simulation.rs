@@ -1,0 +1,149 @@
+//! Property-based cross-crate tests: for arbitrary small applications on
+//! arbitrary heterogeneous clusters, both schedulers must satisfy the
+//! simulation's global invariants.
+
+use proptest::prelude::*;
+
+use rupam_bench::{run_app, Sched};
+use rupam_cluster::{ClusterSpec, DiskSpec, NodeSpec};
+use rupam_dag::app::{Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::lineage::ideal_lower_bound;
+use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::AppBuilder;
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+/// A generated cluster description: per node (cores, ghz ×10, mem GiB,
+/// fast-nic?, ssd?, gpus).
+fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
+    proptest::collection::vec(
+        (2u32..16, 8u64..40, 8u64..64, any::<bool>(), any::<bool>(), 0u32..2),
+        2..5,
+    )
+    .prop_map(|nodes| {
+        let specs = nodes
+            .into_iter()
+            .enumerate()
+            .map(|(i, (cores, ghz10, mem, fast_nic, ssd, gpus))| NodeSpec {
+                name: format!("n{i}"),
+                class: format!("class{}", i % 2),
+                cores,
+                cpu_ghz: ghz10 as f64 / 10.0,
+                mem: ByteSize::gib(mem),
+                net_bw: if fast_nic { 1.25e9 } else { 125e6 },
+                disk: if ssd { DiskSpec::sata_ssd() } else { DiskSpec::sata_hdd() },
+                gpus,
+                gpu_gcps: if gpus > 0 { 20.0 } else { 0.0 },
+                rack: i % 2,
+            })
+            .collect();
+        ClusterSpec::new(specs)
+    })
+}
+
+/// A generated two-stage application: (map tasks, reduce tasks, compute,
+/// shuffle MiB, peak MiB, gpu?).
+fn arb_app_params() -> impl Strategy<Value = (usize, usize, f64, u64, u64, bool)> {
+    (1usize..12, 1usize..6, 1.0f64..20.0, 1u64..128, 64u64..2048, any::<bool>())
+}
+
+fn build_app(
+    cluster: &ClusterSpec,
+    seed: u64,
+    (maps, reduces, compute, shuffle_mib, peak_mib, gpu): (usize, usize, f64, u64, u64, bool),
+) -> (Application, DataLayout) {
+    let mut rng = RngFactory::new(seed).stream("prop/layout");
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(cluster, &vec![ByteSize::mib(64); maps], 2, &mut rng);
+    let mut b = AppBuilder::new("prop-app");
+    let j = b.begin_job();
+    let map_tasks: Vec<TaskTemplate> = (0..maps)
+        .map(|i| TaskTemplate {
+            index: i,
+            input: InputSource::Hdfs(blocks[i]),
+            demand: TaskDemand {
+                compute,
+                gpu_kernels: if gpu { compute * 0.8 } else { 0.0 },
+                input_bytes: ByteSize::mib(64),
+                shuffle_write: ByteSize::mib(shuffle_mib),
+                peak_mem: ByteSize::mib(peak_mib),
+                ..TaskDemand::default()
+            },
+        })
+        .collect();
+    let map_stage = b.add_stage(j, "m", "prop/m", StageKind::ShuffleMap, vec![], map_tasks);
+    let reduce_tasks: Vec<TaskTemplate> = (0..reduces)
+        .map(|i| TaskTemplate {
+            index: i,
+            input: InputSource::Shuffle,
+            demand: TaskDemand {
+                compute: compute / 2.0,
+                shuffle_read: ByteSize::mib(shuffle_mib * maps as u64 / reduces as u64),
+                output_bytes: ByteSize::mib(1),
+                peak_mem: ByteSize::mib(peak_mib / 2),
+                ..TaskDemand::default()
+            },
+        })
+        .collect();
+    b.add_stage(j, "r", "prop/r", StageKind::Result, vec![map_stage], reduce_tasks);
+    (b.build(), layout)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// Both schedulers finish arbitrary apps, complete every task exactly
+    /// once, never beat the physical lower bound, and account for every
+    /// attempt in the locality census.
+    #[test]
+    fn prop_simulation_invariants(
+        cluster in arb_cluster(),
+        params in arb_app_params(),
+        seed in 0u64..1_000,
+    ) {
+        let (app, layout) = build_app(&cluster, seed, params);
+        let lb = ideal_lower_bound(&app, &cluster);
+        for sched in [Sched::Spark, Sched::Rupam] {
+            let report = run_app(&cluster, &app, &layout, &sched, seed);
+            prop_assert!(report.completed, "{} did not complete", sched.label());
+            prop_assert!(report.makespan >= lb,
+                "{}: makespan {} < lower bound {}", sched.label(), report.makespan, lb);
+            let mut winners: Vec<_> = report
+                .records
+                .iter()
+                .filter(|r| r.outcome.is_success())
+                .map(|r| r.task)
+                .collect();
+            winners.sort();
+            winners.dedup();
+            prop_assert_eq!(winners.len(), app.total_tasks());
+            let census: usize = report.locality_counts().iter().sum();
+            prop_assert_eq!(census, report.total_attempts());
+            // reduce cannot start before the last map finished
+            let last_map = report.records.iter()
+                .filter(|r| r.template_key == "prop/m" && r.outcome.is_success())
+                .map(|r| r.finished_at).max().unwrap();
+            let first_reduce = report.records.iter()
+                .filter(|r| r.template_key == "prop/r")
+                .map(|r| r.launched_at).min().unwrap();
+            prop_assert!(first_reduce >= last_map, "shuffle barrier violated");
+        }
+    }
+
+    /// Simulations are a pure function of their inputs.
+    #[test]
+    fn prop_simulation_deterministic(
+        params in arb_app_params(),
+        seed in 0u64..1_000,
+    ) {
+        let cluster = ClusterSpec::two_node_motivation();
+        let (app, layout) = build_app(&cluster, seed, params);
+        for sched in [Sched::Spark, Sched::Rupam] {
+            let a = run_app(&cluster, &app, &layout, &sched, seed);
+            let b = run_app(&cluster, &app, &layout, &sched, seed);
+            prop_assert_eq!(a.makespan, b.makespan);
+            prop_assert_eq!(a.records.len(), b.records.len());
+        }
+    }
+}
