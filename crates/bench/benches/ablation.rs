@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation");
     g.sample_size(10);
     g.bench_function("lr_no_db", |b| {
-        let cfg = rupam::RupamConfig { use_task_db: false, ..rupam::RupamConfig::default() };
+        let cfg = rupam::RupamConfig {
+            use_task_db: false,
+            ..rupam::RupamConfig::default()
+        };
         let sched = rupam_bench::Sched::RupamWith(cfg);
         b.iter(|| {
             rupam_bench::run_workload(

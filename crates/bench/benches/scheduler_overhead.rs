@@ -55,6 +55,23 @@ fn bench(c: &mut Criterion) {
             .makespan
         })
     });
+
+    // upper bound on the decision-trace subsystem's cost: the same run
+    // with the trace ring *and* the invariant auditor on every offer
+    // round — the disabled path (a `None` check) is strictly cheaper
+    c.bench_function("overhead/full_offer_round_sim_audited", |b| {
+        b.iter(|| {
+            rupam_bench::run_workload_observed(
+                &cluster,
+                rupam_workloads::Workload::GramianMatrix,
+                &rupam_bench::Sched::Rupam,
+                SEEDS[0],
+                &rupam_exec::SimOptions::audited(),
+            )
+            .0
+            .makespan
+        })
+    });
 }
 
 criterion_group!(benches, bench);

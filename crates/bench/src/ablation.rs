@@ -22,19 +22,43 @@ pub struct Variant {
 /// The standard ablation ladder.
 pub fn variants() -> Vec<Variant> {
     let mut out = vec![
-        Variant { name: "spark".into(), sched: Sched::Spark },
-        Variant { name: "rupam (full)".into(), sched: Sched::Rupam },
+        Variant {
+            name: "spark".into(),
+            sched: Sched::Spark,
+        },
+        Variant {
+            name: "rupam (full)".into(),
+            sched: Sched::Rupam,
+        },
     ];
-    let nodb = RupamConfig { use_task_db: false, ..RupamConfig::default() };
-    out.push(Variant { name: "rupam w/o task DB".into(), sched: Sched::RupamWith(nodb) });
-    let staticmem = RupamConfig { dynamic_executors: false, ..RupamConfig::default() };
+    let nodb = RupamConfig {
+        use_task_db: false,
+        ..RupamConfig::default()
+    };
+    out.push(Variant {
+        name: "rupam w/o task DB".into(),
+        sched: Sched::RupamWith(nodb),
+    });
+    let staticmem = RupamConfig {
+        dynamic_executors: false,
+        ..RupamConfig::default()
+    };
     out.push(Variant {
         name: "rupam w/o dynamic executors".into(),
         sched: Sched::RupamWith(staticmem),
     });
-    let noloc = RupamConfig { use_locality: false, ..RupamConfig::default() };
-    out.push(Variant { name: "rupam w/o locality".into(), sched: Sched::RupamWith(noloc) });
-    let nostrag = RupamConfig { straggler_handling: false, ..RupamConfig::default() };
+    let noloc = RupamConfig {
+        use_locality: false,
+        ..RupamConfig::default()
+    };
+    out.push(Variant {
+        name: "rupam w/o locality".into(),
+        sched: Sched::RupamWith(noloc),
+    });
+    let nostrag = RupamConfig {
+        straggler_handling: false,
+        ..RupamConfig::default()
+    };
     out.push(Variant {
         name: "rupam w/o straggler handling".into(),
         sched: Sched::RupamWith(nostrag),
@@ -78,7 +102,14 @@ pub fn table(rows: &[AblationRow]) -> Table {
     let spark_pr = rows[0].pr_secs;
     let mut t = Table::new(
         "Ablation — contribution of each RUPAM design choice",
-        &["variant", "LR (s)", "LR speedup", "PR (s)", "PR speedup", "PR mem failures"],
+        &[
+            "variant",
+            "LR (s)",
+            "LR speedup",
+            "PR (s)",
+            "PR speedup",
+            "PR mem failures",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -98,8 +129,16 @@ pub fn res_factor_sweep(cluster: &ClusterSpec, factors: &[f64], seeds: &[u64]) -
     factors
         .iter()
         .map(|&res_factor| {
-            let cfg = RupamConfig { res_factor, ..RupamConfig::default() };
-            let rep = repeat(cluster, Workload::LogisticRegression, &Sched::RupamWith(cfg), seeds);
+            let cfg = RupamConfig {
+                res_factor,
+                ..RupamConfig::default()
+            };
+            let rep = repeat(
+                cluster,
+                Workload::LogisticRegression,
+                &Sched::RupamWith(cfg),
+                seeds,
+            );
             (res_factor, rep.mean())
         })
         .collect()
@@ -132,7 +171,11 @@ mod tests {
         let rows = run(&cluster, &[1]);
         assert_eq!(rows.len(), 6);
         for r in &rows {
-            assert!(r.lr_secs > 0.0 && r.pr_secs > 0.0, "{} produced empty runs", r.name);
+            assert!(
+                r.lr_secs > 0.0 && r.pr_secs > 0.0,
+                "{} produced empty runs",
+                r.name
+            );
         }
         let t = table(&rows);
         assert_eq!(t.len(), 6);

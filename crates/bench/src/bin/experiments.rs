@@ -21,12 +21,21 @@ fn main() {
         .find(|a| !a.starts_with("--"))
         .cloned()
         .unwrap_or_else(|| "all".to_string());
-    let seeds: Vec<u64> = if quick { vec![SEEDS[0]] } else { SEEDS.to_vec() };
+    let seeds: Vec<u64> = if quick {
+        vec![SEEDS[0]]
+    } else {
+        SEEDS.to_vec()
+    };
     let cluster = ClusterSpec::hydra();
 
     // `debug <short>` prints the calibration census for one workload
     if what == "debug" {
-        let short = args.iter().filter(|a| !a.starts_with("--")).nth(1).cloned().unwrap_or_default();
+        let short = args
+            .iter()
+            .filter(|a| !a.starts_with("--"))
+            .nth(1)
+            .cloned()
+            .unwrap_or_default();
         let w = Workload::ALL
             .iter()
             .copied()
@@ -107,9 +116,10 @@ fn main() {
     if run("fig9") {
         let f = utilization::fig9(&cluster, seeds[0]);
         utilization::fig9_table(&f).print();
-        for (name, series) in
-            [("Spark", &f.spark_cpu_series), ("RUPAM", &f.rupam_cpu_series)]
-        {
+        for (name, series) in [
+            ("Spark", &f.spark_cpu_series),
+            ("RUPAM", &f.rupam_cpu_series),
+        ] {
             let values: Vec<f64> = series.iter().map(|p| p.1).collect();
             let values = rupam_metrics::chart::downsample(&values, 64);
             print!(

@@ -50,8 +50,11 @@ pub struct Fig7Row {
 
 /// The paper's three panels: LR (machine learning), SQL (database),
 /// PR (graph).
-pub const FIG7_WORKLOADS: [Workload; 3] =
-    [Workload::LogisticRegression, Workload::Sql, Workload::PageRank];
+pub const FIG7_WORKLOADS: [Workload; 3] = [
+    Workload::LogisticRegression,
+    Workload::Sql,
+    Workload::PageRank,
+];
 
 /// Run Fig. 7.
 pub fn fig7(cluster: &ClusterSpec, seed: u64) -> Vec<Fig7Row> {
@@ -60,7 +63,11 @@ pub fn fig7(cluster: &ClusterSpec, seed: u64) -> Vec<Fig7Row> {
         .map(|&workload| {
             let spark = project(&run_workload(cluster, workload, &Sched::Spark, seed));
             let rupam = project(&run_workload(cluster, workload, &Sched::Rupam, seed));
-            Fig7Row { workload, spark, rupam }
+            Fig7Row {
+                workload,
+                spark,
+                rupam,
+            }
         })
         .collect()
 }
@@ -69,7 +76,15 @@ pub fn fig7(cluster: &ClusterSpec, seed: u64) -> Vec<Fig7Row> {
 pub fn fig7_table(rows: &[Fig7Row]) -> Table {
     let mut t = Table::new(
         "Fig. 7 — Performance breakdown (total task-seconds per category)",
-        &["workload", "sched", "Compute", "GC", "Shuffle-net", "Shuffle-disk", "Scheduler"],
+        &[
+            "workload",
+            "sched",
+            "Compute",
+            "GC",
+            "Shuffle-net",
+            "Shuffle-disk",
+            "Scheduler",
+        ],
     );
     for r in rows {
         for (label, b) in [("Spark", &r.spark), ("RUPAM", &r.rupam)] {

@@ -9,7 +9,16 @@ use rupam_metrics::table::Table;
 pub fn table2(cluster: &ClusterSpec) -> Table {
     let mut t = Table::new(
         "Table II — Specifications of Hydra cluster nodes",
-        &["Name", "CPU (GHz eff.)", "Cores", "Memory (GB)", "Network (GbE)", "SSD", "GPU", "#"],
+        &[
+            "Name",
+            "CPU (GHz eff.)",
+            "Cores",
+            "Memory (GB)",
+            "Network (GbE)",
+            "SSD",
+            "GPU",
+            "#",
+        ],
     );
     let mut seen: Vec<String> = Vec::new();
     for (_, spec) in cluster.iter() {
@@ -46,7 +55,13 @@ pub fn table4_rows(cluster: &ClusterSpec) -> Vec<HardwareRow> {
 pub fn table4(cluster: &ClusterSpec) -> Table {
     let mut t = Table::new(
         "Table IV — Hardware characteristics benchmarks (SysBench / Iperf models)",
-        &["SysBench", "CPU (sec)/latency (ms)", "I/O read (MB/s)", "I/O write (MB/s)", "Network (Mbits/s)"],
+        &[
+            "SysBench",
+            "CPU (sec)/latency (ms)",
+            "I/O read (MB/s)",
+            "I/O write (MB/s)",
+            "Network (Mbits/s)",
+        ],
     );
     for row in table4_rows(cluster) {
         t.row(&[

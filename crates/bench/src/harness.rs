@@ -12,7 +12,7 @@ use rupam_cluster::ClusterSpec;
 use rupam_dag::app::Application;
 use rupam_dag::data::DataLayout;
 use rupam_exec::scheduler::Scheduler;
-use rupam_exec::{simulate, SimConfig, SimInput};
+use rupam_exec::{simulate, simulate_observed, SimConfig, SimInput, SimObservation, SimOptions};
 use rupam_metrics::report::RunReport;
 use rupam_simcore::{stats, RngFactory};
 use rupam_workloads::Workload;
@@ -67,7 +67,13 @@ pub fn run_app(
     seed: u64,
 ) -> RunReport {
     let config = SimConfig::default();
-    let input = SimInput { cluster, app, layout, config: &config, seed };
+    let input = SimInput {
+        cluster,
+        app,
+        layout,
+        config: &config,
+        seed,
+    };
     let mut scheduler = sched.make();
     simulate(&input, scheduler.as_mut())
 }
@@ -76,6 +82,39 @@ pub fn run_app(
 pub fn run_workload(cluster: &ClusterSpec, w: Workload, sched: &Sched, seed: u64) -> RunReport {
     let (app, layout) = w.build(cluster, &RngFactory::new(seed));
     run_app(cluster, &app, &layout, sched, seed)
+}
+
+/// Like [`run_app`], but with decision tracing / invariant auditing.
+pub fn run_app_observed(
+    cluster: &ClusterSpec,
+    app: &Application,
+    layout: &DataLayout,
+    sched: &Sched,
+    seed: u64,
+    opts: &SimOptions,
+) -> (RunReport, SimObservation) {
+    let config = SimConfig::default();
+    let input = SimInput {
+        cluster,
+        app,
+        layout,
+        config: &config,
+        seed,
+    };
+    let mut scheduler = sched.make();
+    simulate_observed(&input, scheduler.as_mut(), opts)
+}
+
+/// Like [`run_workload`], but with decision tracing / invariant auditing.
+pub fn run_workload_observed(
+    cluster: &ClusterSpec,
+    w: Workload,
+    sched: &Sched,
+    seed: u64,
+    opts: &SimOptions,
+) -> (RunReport, SimObservation) {
+    let (app, layout) = w.build(cluster, &RngFactory::new(seed));
+    run_app_observed(cluster, &app, &layout, sched, seed, opts)
 }
 
 /// Summary of repeated runs.
@@ -105,7 +144,10 @@ impl Repeated {
 
     /// Total memory-related failures across the runs.
     pub fn memory_failures(&self) -> usize {
-        self.reports.iter().map(|r| r.oom_failures + r.executor_losses).sum()
+        self.reports
+            .iter()
+            .map(|r| r.oom_failures + r.executor_losses)
+            .sum()
     }
 }
 
@@ -147,12 +189,18 @@ pub fn placement_census(cluster: &ClusterSpec, report: &RunReport) -> String {
     let mut census: BTreeMap<(String, String), (usize, f64)> = BTreeMap::new();
     for r in report.records.iter().filter(|r| r.outcome.is_success()) {
         let class = cluster.node(r.node).class.clone();
-        let e = census.entry((r.template_key.clone(), class)).or_insert((0, 0.0));
+        let e = census
+            .entry((r.template_key.clone(), class))
+            .or_insert((0, 0.0));
         e.0 += 1;
         e.1 += r.duration().as_secs_f64();
     }
     for ((template, class), (n, tot)) in census {
-        let _ = writeln!(out, "  {template:<16} {class:<8} n={n:<4} avg={:.1}s", tot / n as f64);
+        let _ = writeln!(
+            out,
+            "  {template:<16} {class:<8} n={n:<4} avg={:.1}s",
+            tot / n as f64
+        );
     }
     out
 }
@@ -192,14 +240,20 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let a = repeat(&cluster, Workload::GramianMatrix, &Sched::Spark, &[7, 8]);
         let b = repeat(&cluster, Workload::GramianMatrix, &Sched::Spark, &[7, 8]);
-        assert_eq!(a.secs, b.secs, "parallel repetitions must stay deterministic");
+        assert_eq!(
+            a.secs, b.secs,
+            "parallel repetitions must stay deterministic"
+        );
     }
 
     #[test]
     fn sched_labels() {
         assert_eq!(Sched::Spark.label(), "Spark");
         assert_eq!(Sched::Rupam.label(), "RUPAM");
-        let cfg = RupamConfig { use_task_db: false, ..RupamConfig::default() };
+        let cfg = RupamConfig {
+            use_task_db: false,
+            ..RupamConfig::default()
+        };
         assert_eq!(Sched::RupamWith(cfg).label(), "rupam-nodb");
     }
 }

@@ -28,4 +28,7 @@ pub mod overall;
 pub mod sensitivity;
 pub mod utilization;
 
-pub use harness::{placement_census, run_app, run_workload, Repeated, Sched, SEEDS};
+pub use harness::{
+    placement_census, run_app, run_app_observed, run_workload, run_workload_observed, Repeated,
+    Sched, SEEDS,
+};

@@ -38,7 +38,11 @@ pub fn table5(cluster: &ClusterSpec, seed: u64) -> Vec<LocalityRow> {
         .map(|&workload| {
             let spark = run_workload(cluster, workload, &Sched::Spark, seed).locality_counts();
             let rupam = run_workload(cluster, workload, &Sched::Rupam, seed).locality_counts();
-            LocalityRow { workload, spark, rupam }
+            LocalityRow {
+                workload,
+                spark,
+                rupam,
+            }
         })
         .collect()
 }
@@ -84,7 +88,9 @@ mod tests {
         assert_eq!(rows.len(), 7);
         for r in &rows {
             // at least every task ran once under each scheduler
-            let (app, _) = r.workload.build(&cluster, &rupam_simcore::RngFactory::new(7));
+            let (app, _) = r
+                .workload
+                .build(&cluster, &rupam_simcore::RngFactory::new(7));
             assert!(
                 r.spark_total() >= app.total_tasks(),
                 "{}: spark census {} < total tasks {}",

@@ -60,7 +60,13 @@ pub fn fig2_table(cluster: &ClusterSpec, report: &RunReport, buckets: usize) -> 
     let disk = fig2_series(cluster, report, MetricKey::DiskMBps, buckets);
     let mut t = Table::new(
         "Fig. 2 — System utilisation under 4K×4K matrix multiplication (cluster mean)",
-        &["t (s)", "CPU (%)", "Memory (GiB)", "Net (MB/s)", "Disk (MB/s)"],
+        &[
+            "t (s)",
+            "CPU (%)",
+            "Memory (GiB)",
+            "Net (MB/s)",
+            "Disk (MB/s)",
+        ],
     );
     for i in 0..cpu.len() {
         t.row(&[
@@ -146,7 +152,14 @@ pub fn fig3_summary(cluster: &ClusterSpec, report: &RunReport) -> Vec<Fig3Node> 
 pub fn fig3_table(cluster: &ClusterSpec, report: &RunReport) -> Table {
     let mut t = Table::new(
         "Fig. 3 — PageRank task distribution & breakdown on the 2-node cluster (stock Spark)",
-        &["node", "tasks", "compute (s)", "shuffle (s)", "serialization (s)", "sched delay (s)"],
+        &[
+            "node",
+            "tasks",
+            "compute (s)",
+            "shuffle (s)",
+            "serialization (s)",
+            "sched delay (s)",
+        ],
     );
     for row in fig3_summary(cluster, report) {
         t.row(&[

@@ -32,7 +32,11 @@ pub fn fig5(cluster: &ClusterSpec, seeds: &[u64]) -> Vec<OverallRow> {
         .iter()
         .map(|&workload| {
             let (spark, rupam) = head_to_head(cluster, workload, seeds);
-            OverallRow { workload, spark, rupam }
+            OverallRow {
+                workload,
+                spark,
+                rupam,
+            }
         })
         .collect()
 }
@@ -41,7 +45,14 @@ pub fn fig5(cluster: &ClusterSpec, seeds: &[u64]) -> Vec<OverallRow> {
 pub fn fig5_table(rows: &[OverallRow]) -> Table {
     let mut t = Table::new(
         "Fig. 5 — Overall performance (mean execution time, 5 runs, DB cleared between runs)",
-        &["workload", "Spark (s)", "±95%", "RUPAM (s)", "±95%", "speedup"],
+        &[
+            "workload",
+            "Spark (s)",
+            "±95%",
+            "RUPAM (s)",
+            "±95%",
+            "speedup",
+        ],
     );
     for r in rows {
         t.row(&[
@@ -108,14 +119,21 @@ impl IterationPoint {
 
 /// Fig. 6: sweep LR iteration counts; speedup should grow with
 /// iterations (paper: up to ≈ 3.4×) and never fall below ≈ 1×.
-pub fn fig6(cluster: &ClusterSpec, iteration_counts: &[usize], seeds: &[u64]) -> Vec<IterationPoint> {
+pub fn fig6(
+    cluster: &ClusterSpec,
+    iteration_counts: &[usize],
+    seeds: &[u64],
+) -> Vec<IterationPoint> {
     iteration_counts
         .iter()
         .map(|&iterations| {
             let mut spark = Vec::new();
             let mut rupam = Vec::new();
             for &seed in seeds {
-                let params = LrParams { iterations, ..LrParams::default() };
+                let params = LrParams {
+                    iterations,
+                    ..LrParams::default()
+                };
                 let (app, layout) = lr::build(cluster, &RngFactory::new(seed), &params);
                 spark.push(
                     run_app(cluster, &app, &layout, &Sched::Spark, seed)
@@ -159,8 +177,12 @@ pub fn quick_pair(cluster: &ClusterSpec, w: Workload, seed: u64) -> (f64, f64) {
     let rngf = RngFactory::new(seed);
     let (app, layout) = w.build(cluster, &rngf);
     let _ = DataLayout::new();
-    let s = run_app(cluster, &app, &layout, &Sched::Spark, seed).makespan.as_secs_f64();
-    let r = run_app(cluster, &app, &layout, &Sched::Rupam, seed).makespan.as_secs_f64();
+    let s = run_app(cluster, &app, &layout, &Sched::Spark, seed)
+        .makespan
+        .as_secs_f64();
+    let r = run_app(cluster, &app, &layout, &Sched::Rupam, seed)
+        .makespan
+        .as_secs_f64();
     (s, r)
 }
 
@@ -185,7 +207,10 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let pts = fig6(&cluster, &[1, 4], &[1]);
         assert_eq!(pts.len(), 2);
-        assert!(pts[1].speedup() > pts[0].speedup() * 0.8, "speedup should not collapse with iterations");
+        assert!(
+            pts[1].speedup() > pts[0].speedup() * 0.8,
+            "speedup should not collapse with iterations"
+        );
         let table = fig6_table(&pts);
         assert_eq!(table.len(), 2);
     }

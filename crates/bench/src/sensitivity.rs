@@ -28,12 +28,30 @@ pub struct MixPoint {
 /// count stays fixed at 12 so capacity effects don't dominate.
 pub fn default_ladder() -> Vec<MixPoint> {
     vec![
-        MixPoint { label: "12 thor (uniform fast)".into(), cluster: ClusterSpec::hydra_mix(12, 0, 0) },
-        MixPoint { label: "12 hulk (uniform slow)".into(), cluster: ClusterSpec::hydra_mix(0, 12, 0) },
-        MixPoint { label: "9 thor / 3 hulk".into(), cluster: ClusterSpec::hydra_mix(9, 3, 0) },
-        MixPoint { label: "6 thor / 6 hulk".into(), cluster: ClusterSpec::hydra_mix(6, 6, 0) },
-        MixPoint { label: "6 thor / 4 hulk / 2 stack (Hydra)".into(), cluster: ClusterSpec::hydra_mix(6, 4, 2) },
-        MixPoint { label: "3 thor / 6 hulk / 3 stack".into(), cluster: ClusterSpec::hydra_mix(3, 6, 3) },
+        MixPoint {
+            label: "12 thor (uniform fast)".into(),
+            cluster: ClusterSpec::hydra_mix(12, 0, 0),
+        },
+        MixPoint {
+            label: "12 hulk (uniform slow)".into(),
+            cluster: ClusterSpec::hydra_mix(0, 12, 0),
+        },
+        MixPoint {
+            label: "9 thor / 3 hulk".into(),
+            cluster: ClusterSpec::hydra_mix(9, 3, 0),
+        },
+        MixPoint {
+            label: "6 thor / 6 hulk".into(),
+            cluster: ClusterSpec::hydra_mix(6, 6, 0),
+        },
+        MixPoint {
+            label: "6 thor / 4 hulk / 2 stack (Hydra)".into(),
+            cluster: ClusterSpec::hydra_mix(6, 4, 2),
+        },
+        MixPoint {
+            label: "3 thor / 6 hulk / 3 stack".into(),
+            cluster: ClusterSpec::hydra_mix(3, 6, 3),
+        },
     ]
 }
 
@@ -73,11 +91,19 @@ pub fn sweep(points: &[MixPoint], workload: Workload, seeds: &[u64]) -> Vec<MixR
 /// Render the sweep.
 pub fn table(workload: Workload, rows: &[MixResult]) -> Table {
     let mut t = Table::new(
-        format!("Heterogeneity sensitivity — {} across cluster mixes", workload.name()),
+        format!(
+            "Heterogeneity sensitivity — {} across cluster mixes",
+            workload.name()
+        ),
         &["cluster mix", "Spark (s)", "RUPAM (s)", "speedup"],
     );
     for r in rows {
-        t.row(&[r.label.clone(), secs(r.spark_secs), secs(r.rupam_secs), speedup(r.speedup())]);
+        t.row(&[
+            r.label.clone(),
+            secs(r.spark_secs),
+            secs(r.rupam_secs),
+            speedup(r.speedup()),
+        ]);
     }
     t
 }
@@ -107,8 +133,14 @@ mod tests {
     fn uniform_mix_is_near_parity_and_hydra_is_not() {
         // cheap two-point version of the full sweep
         let points = vec![
-            MixPoint { label: "uniform".into(), cluster: ClusterSpec::hydra_mix(12, 0, 0) },
-            MixPoint { label: "hydra".into(), cluster: ClusterSpec::hydra_mix(6, 4, 2) },
+            MixPoint {
+                label: "uniform".into(),
+                cluster: ClusterSpec::hydra_mix(12, 0, 0),
+            },
+            MixPoint {
+                label: "hydra".into(),
+                cluster: ClusterSpec::hydra_mix(6, 4, 2),
+            },
         ];
         let rows = sweep(&points, Workload::LogisticRegression, &[101]);
         assert_eq!(rows.len(), 2);

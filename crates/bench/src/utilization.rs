@@ -11,8 +11,11 @@ use rupam_workloads::Workload;
 use crate::harness::{run_workload, Sched};
 
 /// Fig. 8's selected workloads (same three as Fig. 7).
-pub const FIG8_WORKLOADS: [Workload; 3] =
-    [Workload::LogisticRegression, Workload::Sql, Workload::PageRank];
+pub const FIG8_WORKLOADS: [Workload; 3] = [
+    Workload::LogisticRegression,
+    Workload::Sql,
+    Workload::PageRank,
+];
 
 /// One Fig. 8 cell: the four average utilisation metrics of a run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -54,7 +57,11 @@ pub fn fig8(cluster: &ClusterSpec, seed: u64) -> Vec<Fig8Row> {
         .map(|&workload| {
             let spark = summarize(&run_workload(cluster, workload, &Sched::Spark, seed));
             let rupam = summarize(&run_workload(cluster, workload, &Sched::Rupam, seed));
-            Fig8Row { workload, spark, rupam }
+            Fig8Row {
+                workload,
+                spark,
+                rupam,
+            }
         })
         .collect()
 }
@@ -63,7 +70,14 @@ pub fn fig8(cluster: &ClusterSpec, seed: u64) -> Vec<Fig8Row> {
 pub fn fig8_table(rows: &[Fig8Row]) -> Table {
     let mut t = Table::new(
         "Fig. 8 — Average system utilisation across the cluster",
-        &["workload", "sched", "CPU (%)", "Memory (GiB)", "Net (MB/s)", "Disk (MB/s)"],
+        &[
+            "workload",
+            "sched",
+            "CPU (%)",
+            "Memory (GiB)",
+            "Net (MB/s)",
+            "Disk (MB/s)",
+        ],
     );
     for r in rows {
         for (label, u) in [("Spark", &r.spark), ("RUPAM", &r.rupam)] {

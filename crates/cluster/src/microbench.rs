@@ -164,7 +164,10 @@ mod tests {
         let c = ClusterSpec::hydra();
         let hulks = c.nodes_in_class("hulk");
         let mbits = net_bench(&c, hulks[0], hulks[1]);
-        assert!(mbits > 9_000.0, "hulk-to-hulk should see 10 GbE, got {mbits}");
+        assert!(
+            mbits > 9_000.0,
+            "hulk-to-hulk should see 10 GbE, got {mbits}"
+        );
     }
 
     #[test]

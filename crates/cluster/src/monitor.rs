@@ -121,7 +121,10 @@ impl ResourceMonitor {
     /// Ingest one heartbeat, updating the latest view and all histories.
     pub fn ingest(&mut self, hb: HeartbeatSnapshot) {
         let rec = &mut self.records[hb.node.index()];
-        debug_assert!(hb.at >= rec.latest_at, "heartbeats must be monotone per node");
+        debug_assert!(
+            hb.at >= rec.latest_at,
+            "heartbeats must be monotone per node"
+        );
         rec.latest = hb.metrics;
         rec.latest_at = hb.at;
         for key in MetricKey::ALL {
@@ -216,8 +219,16 @@ mod tests {
     fn histories_across_nodes() {
         let mut m = monitor();
         let t = SimTime::from_secs_f64(2.0);
-        m.ingest(HeartbeatSnapshot { node: NodeId(0), at: t, metrics: metrics(0.2, 1) });
-        m.ingest(HeartbeatSnapshot { node: NodeId(1), at: t, metrics: metrics(0.8, 2) });
+        m.ingest(HeartbeatSnapshot {
+            node: NodeId(0),
+            at: t,
+            metrics: metrics(0.2, 1),
+        });
+        m.ingest(HeartbeatSnapshot {
+            node: NodeId(1),
+            at: t,
+            metrics: metrics(0.8, 2),
+        });
         let hs = m.histories(MetricKey::CpuUtil);
         assert_eq!(hs.len(), 2);
         let sd = rupam_simcore::series::stddev_across(

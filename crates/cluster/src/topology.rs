@@ -301,10 +301,7 @@ mod tests {
     fn aggregates() {
         let c = ClusterSpec::hydra();
         assert_eq!(c.total_cores(), 6 * 8 + 4 * 32 + 2 * 16);
-        assert_eq!(
-            c.total_mem(),
-            ByteSize::gib(6 * 16 + 4 * 64 + 2 * 48)
-        );
+        assert_eq!(c.total_mem(), ByteSize::gib(6 * 16 + 4 * 64 + 2 * 48));
     }
 
     #[test]

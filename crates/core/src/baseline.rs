@@ -27,6 +27,7 @@ use rupam_dag::app::{Application, Stage, StageId};
 use rupam_dag::{Locality, TaskRef};
 use rupam_exec::scheduler::{Command, OfferInput, PendingTaskView, Scheduler};
 use rupam_metrics::record::AttemptOutcome;
+use rupam_metrics::trace::LaunchReason;
 
 /// Baseline configuration (`spark.*` defaults).
 #[derive(Clone, Debug)]
@@ -73,9 +74,7 @@ impl TaskSetState {
         if self.levels.is_empty() {
             return Locality::Any; // no pending tasks yet — nothing to gate
         }
-        while self.level_idx + 1 < self.levels.len()
-            && now.since(self.last_launch) > wait
-        {
+        while self.level_idx + 1 < self.levels.len() && now.since(self.last_launch) > wait {
             self.level_idx += 1;
             self.last_launch = now;
         }
@@ -239,7 +238,9 @@ impl Scheduler for SparkScheduler {
             'slot: while used[ni] < self.slots[ni] {
                 // walk task sets FIFO, respecting each one's allowed level
                 for &sid in &self.stage_order {
-                    let Some(state) = self.states.get_mut(&sid) else { continue };
+                    let Some(state) = self.states.get_mut(&sid) else {
+                        continue;
+                    };
                     let allowed = state.allowed(input.now, self.cfg.locality_wait);
                     // best candidate at or under the allowed level
                     let mut best: Option<(usize, Locality)> = None;
@@ -268,6 +269,10 @@ impl Scheduler for SparkScheduler {
                             node,
                             use_gpu: false,
                             speculative: false,
+                            reason: LaunchReason::DelaySchedule {
+                                allowed,
+                                achieved: loc,
+                            },
                         });
                         used[ni] += 1;
                         continue 'slot;
@@ -275,9 +280,8 @@ impl Scheduler for SparkScheduler {
                 }
                 // no regular task fits: try a speculative copy (anywhere
                 // but next to the original)
-                let original_here = |t: &PendingTaskView| {
-                    node_view.running.iter().any(|r| r.task == t.task)
-                };
+                let original_here =
+                    |t: &PendingTaskView| node_view.running.iter().any(|r| r.task == t.task);
                 if let Some(s) = input
                     .speculatable
                     .iter()
@@ -288,6 +292,7 @@ impl Scheduler for SparkScheduler {
                         node,
                         use_gpu: false,
                         speculative: true,
+                        reason: LaunchReason::SparkSpeculative,
                     });
                     used[ni] += 1;
                     continue 'slot;
@@ -322,7 +327,10 @@ mod tests {
             free_mem: ByteSize::gib(14),
             running: (0..running)
                 .map(|i| rupam_exec::scheduler::RunningTaskView {
-                    task: TaskRef { stage: StageId(99), index: i },
+                    task: TaskRef {
+                        stage: StageId(99),
+                        index: i,
+                    },
                     speculative: false,
                     elapsed: SimDuration::ZERO,
                     peak_mem: ByteSize::mib(100),
@@ -339,7 +347,10 @@ mod tests {
 
     fn pending(stage: usize, index: usize, node_local: Vec<NodeId>) -> PendingTaskView {
         PendingTaskView {
-            task: TaskRef { stage: StageId(stage), index },
+            task: TaskRef {
+                stage: StageId(stage),
+                index,
+            },
             template_key: "t".into(),
             stage_kind: StageKind::ShuffleMap,
             attempt_no: 0,
@@ -357,7 +368,14 @@ mod tests {
         nodes: Vec<NodeView>,
         pending: Vec<PendingTaskView>,
     ) -> OfferInput<'a> {
-        OfferInput { now, cluster, app, nodes, pending, speculatable: vec![] }
+        OfferInput {
+            now,
+            cluster,
+            app,
+            nodes,
+            pending,
+            speculatable: vec![],
+        }
     }
 
     fn dummy_app() -> Application {
@@ -499,7 +517,10 @@ mod tests {
         // original of task (0,0) runs on node 0
         let mut nv0 = node_view(0, 0, 16);
         nv0.running.push(rupam_exec::scheduler::RunningTaskView {
-            task: TaskRef { stage: StageId(0), index: 0 },
+            task: TaskRef {
+                stage: StageId(0),
+                index: 0,
+            },
             speculative: false,
             elapsed: SimDuration::from_secs(100),
             peak_mem: ByteSize::mib(100),
@@ -517,7 +538,11 @@ mod tests {
         let spec_launches: Vec<_> = cmds
             .iter()
             .filter_map(|c| match c {
-                Command::Launch { node, speculative: true, .. } => Some(*node),
+                Command::Launch {
+                    node,
+                    speculative: true,
+                    ..
+                } => Some(*node),
                 _ => None,
             })
             .collect();

@@ -91,6 +91,9 @@ mod tests {
         assert!(c.overcommit_factor >= 1.0);
         assert!(c.mem_straggler_watermark > 0.0 && c.mem_straggler_watermark < 0.5);
         assert!(c.use_task_db && c.dynamic_executors && c.use_locality && c.straggler_handling);
-        assert!(c.decision_cost > SimDuration::from_millis(1), "RUPAM costs more per decision than stock Spark");
+        assert!(
+            c.decision_cost > SimDuration::from_millis(1),
+            "RUPAM costs more per decision than stock Spark"
+        );
     }
 }

@@ -38,7 +38,10 @@ pub struct TaskKey {
 impl TaskKey {
     /// Convenience constructor.
     pub fn new(template: impl Into<String>, partition: usize) -> Self {
-        TaskKey { template: template.into(), partition }
+        TaskKey {
+            template: template.into(),
+            partition,
+        }
     }
 }
 
@@ -138,7 +141,12 @@ impl TaskCharDb {
                 }
             })
             .expect("spawn db helper thread");
-        TaskCharDb { store, pending, ops: tx, helper: Some(helper) }
+        TaskCharDb {
+            store,
+            pending,
+            ops: tx,
+            helper: Some(helper),
+        }
     }
 
     /// Queue a write; the helper thread commits it to the store.
@@ -258,7 +266,13 @@ mod tests {
     fn history_reaches_five() {
         let mut c = TaskChar::default();
         for kind in ResourceKind::ALL {
-            c.observe(kind, NodeId(0), 1.0, ByteSize::ZERO, kind == ResourceKind::Gpu);
+            c.observe(
+                kind,
+                NodeId(0),
+                1.0,
+                ByteSize::ZERO,
+                kind == ResourceKind::Gpu,
+            );
         }
         assert_eq!(c.history_size(), 5);
         assert!(c.used_gpu);
@@ -293,7 +307,13 @@ mod tests {
         for i in 0..5_000u64 {
             let key = TaskKey::new("race", (i % 7) as usize);
             db.update(key.clone(), |c| {
-                c.observe(ResourceKind::Net, NodeId(0), i as f64, ByteSize::ZERO, false)
+                c.observe(
+                    ResourceKind::Net,
+                    NodeId(0),
+                    i as f64,
+                    ByteSize::ZERO,
+                    false,
+                )
             });
             let got = db.read(&key);
             assert!(got.is_some(), "write {i} vanished mid-drain");
@@ -307,7 +327,13 @@ mod tests {
         for round in 0..50 {
             for i in 0..10 {
                 db.update(TaskKey::new("hot", i), |c| {
-                    c.observe(ResourceKind::Cpu, NodeId(round % 3), (round + 1) as f64, ByteSize::ZERO, false)
+                    c.observe(
+                        ResourceKind::Cpu,
+                        NodeId(round % 3),
+                        (round + 1) as f64,
+                        ByteSize::ZERO,
+                        false,
+                    )
                 });
             }
         }

@@ -26,6 +26,7 @@ use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
 use rupam_dag::{Locality, TaskRef};
 use rupam_exec::scheduler::{Command, NodeView, OfferInput, PendingTaskView};
+use rupam_metrics::trace::LaunchReason;
 
 use crate::config::RupamConfig;
 use crate::rm::ResourceQueues;
@@ -49,11 +50,11 @@ pub struct Dispatcher<'a> {
     input: &'a OfferInput<'a>,
     pending: HashMap<TaskRef, &'a PendingTaskView>,
     claims: Vec<Claims>,
-    /// Per-kind rotation offsets: Algorithm 2 *dequeues* a node from each
-    /// resource queue, so consecutive picks of one kind walk down the
-    /// queue instead of hammering the single best node (which would,
-    /// e.g., serialise every memory-bound task onto hulk1's one HDD).
-    rotation: [usize; ResourceKind::COUNT],
+    /// Smallest peak-memory estimate among the MEM queue's live
+    /// candidates, refreshed each dispatch pass. `None` while unknown —
+    /// [`Dispatcher::has_room`] then falls back to the conservative
+    /// default estimate.
+    mem_floor: Option<ByteSize>,
 }
 
 impl<'a> Dispatcher<'a> {
@@ -65,7 +66,7 @@ impl<'a> Dispatcher<'a> {
             input,
             pending,
             claims: vec![Claims::default(); input.nodes.len()],
-            rotation: [0; ResourceKind::COUNT],
+            mem_floor: None,
         }
     }
 
@@ -107,19 +108,21 @@ impl<'a> Dispatcher<'a> {
         // ceilings reserve headroom
         match kind {
             ResourceKind::Cpu => {
-                v.cpu_util + (claims.cpu + 1) as f64 / cores
-                    <= self.cfg.cpu_util_ceiling + 1e-9
+                v.cpu_util + (claims.cpu + 1) as f64 / cores <= self.cfg.cpu_util_ceiling + 1e-9
             }
             ResourceKind::Mem => {
-                self.free_mem_after_claims(node) > self.cfg.unknown_task_mem_estimate
+                // a large-memory node has room as long as the *cheapest
+                // actual candidate* fits — gating on the fixed default
+                // estimate starved big nodes of known-small MEM tasks and
+                // admitted known-huge ones it could never hold
+                let needed = self.mem_floor.unwrap_or(self.cfg.unknown_task_mem_estimate);
+                self.free_mem_after_claims(node) >= needed
             }
             ResourceKind::Io => {
-                v.disk_util + (claims.io + 1) as f64 * 0.25
-                    <= self.cfg.disk_util_ceiling + 1e-9
+                v.disk_util + (claims.io + 1) as f64 * 0.25 <= self.cfg.disk_util_ceiling + 1e-9
             }
             ResourceKind::Net => {
-                v.net_util + (claims.net + 1) as f64 * 0.25
-                    <= self.cfg.net_util_ceiling + 1e-9
+                v.net_util + (claims.net + 1) as f64 * 0.25 <= self.cfg.net_util_ceiling + 1e-9
             }
             ResourceKind::Gpu => v.gpus_idle > claims.gpu,
         }
@@ -138,52 +141,99 @@ impl<'a> Dispatcher<'a> {
         }
     }
 
-    /// Pick the next node with room from `queue_kind`'s Resource Queue,
-    /// rotating so equally-capable nodes share the load, and advance the
-    /// rotation for `rot_kind`.
-    fn pick_node(
-        &mut self,
-        queues: &ResourceQueues,
-        queue_kind: ResourceKind,
-        rot_kind: ResourceKind,
-    ) -> Option<NodeId> {
-        let nodes = queues.nodes(queue_kind);
-        if nodes.is_empty() {
-            return None;
-        }
-        // rotate only within the top capability tier — spreading across
-        // equal peers is load balancing, spilling to a weaker tier while
-        // the strong one has room would be a regression
-        let top_cap = self.input.cluster.node(nodes[0]).capability(queue_kind);
-        let tier = nodes
-            .iter()
-            .take_while(|&&n| {
-                (self.input.cluster.node(n).capability(queue_kind) - top_cap).abs()
-                    <= top_cap * 1e-9
-            })
-            .count();
-        let start = self.rotation[rot_kind.index()] % tier;
-        for i in 0..tier {
-            let n = nodes[(start + i) % tier];
-            if self.has_room(n, queue_kind) {
-                self.rotation[rot_kind.index()] = (start + i + 1) % tier;
-                return Some(n);
+    /// Per-kind utilisation including this round's own claims — the
+    /// within-round counterpart of [`crate::rm::utilization`], using the
+    /// same marginal-cost model as [`Dispatcher::has_room`].
+    fn utilization_with_claims(&self, node: NodeId, kind: ResourceKind) -> f64 {
+        let v = &self.input.nodes[node.index()];
+        let claims = &self.claims[node.index()];
+        let spec = self.input.cluster.node(node);
+        match kind {
+            ResourceKind::Cpu => v.cpu_util + claims.cpu as f64 / spec.cores as f64,
+            ResourceKind::Mem => {
+                let cap = v.executor_mem.as_f64();
+                if cap <= 0.0 {
+                    1.0
+                } else {
+                    (v.mem_in_use.as_f64() + claims.mem.as_f64()) / cap
+                }
+            }
+            ResourceKind::Io => v.disk_util + claims.io as f64 * 0.25,
+            ResourceKind::Net => v.net_util + claims.net as f64 * 0.25,
+            ResourceKind::Gpu => {
+                let total =
+                    v.gpus_idle as f64 + v.running.iter().filter(|r| r.on_gpu).count() as f64;
+                if total <= 0.0 {
+                    1.0
+                } else {
+                    1.0 - v.gpus_idle.saturating_sub(claims.gpu) as f64 / total
+                }
             }
         }
-        // top tier exhausted: fall through the rest of the queue in order
-        nodes[tier..]
-            .iter()
-            .copied()
-            .find(|&n| self.has_room(n, queue_kind))
+    }
+
+    /// Dequeue the best node with room from `queue_kind`'s Resource
+    /// Queue. Algorithm 2 keeps the queues "sorted based on both the
+    /// capability and the current utilization", and within one round the
+    /// round's own claims *are* utilisation the heartbeats have not seen
+    /// yet — so the pick maximises the *per-task service capability* a
+    /// new task would actually see:
+    ///
+    /// * CPU and GPU are per-unit resources — a free core (or device)
+    ///   serves a task at full speed no matter how busy its neighbours
+    ///   are, so capability stays flat until [`Dispatcher::has_room`]
+    ///   says the node is saturated. Utilisation only breaks ties, which
+    ///   rotates bursts across equally-capable peers.
+    /// * Memory, network and disk are shared pools — every admitted task
+    ///   shrinks what the next one gets, so remaining capability
+    ///   `capability × (1 − utilisation-with-claims)` decays with each
+    ///   claim and a large burst waterfills down the tiers instead of
+    ///   starving the weaker nodes behind the head.
+    fn pick_node(&self, queues: &ResourceQueues, queue_kind: ResourceKind) -> Option<NodeId> {
+        let mut best: Option<(NodeId, f64, f64, usize)> = None;
+        for &n in queues.nodes(queue_kind) {
+            if !self.has_room(n, queue_kind) {
+                continue;
+            }
+            let util = self.utilization_with_claims(n, queue_kind).clamp(0.0, 1.0);
+            let cap = self.input.cluster.node(n).capability(queue_kind);
+            let score = match queue_kind {
+                ResourceKind::Cpu | ResourceKind::Gpu => cap,
+                ResourceKind::Mem | ResourceKind::Net | ResourceKind::Io => cap * (1.0 - util),
+            };
+            // this kind's utilisation can tie exactly (e.g. two idle
+            // 1 GbE NICs) while the nodes are unequally busy overall —
+            // prefer the emptier node then, and only then the snapshot
+            // queue order (strict comparisons keep the earliest node)
+            let load =
+                self.input.nodes[n.index()].running_count() + self.claims[n.index()].launches;
+            let better = match best {
+                None => true,
+                Some((_, s, u, l)) => {
+                    score > s || (score == s && (util < u || (util == u && load < l)))
+                }
+            };
+            if better {
+                best = Some((n, score, util, load));
+            }
+        }
+        best.map(|(n, _, _, _)| n)
     }
 
     /// Algorithm 2's `schedule_task`: pick the task from `kind`'s queue
-    /// that best matches `node`.
-    fn schedule_task(&self, tm: &TaskManager, kind: ResourceKind, node: NodeId) -> Option<TaskRef> {
+    /// that best matches `node`, and say why it won.
+    fn schedule_task(
+        &self,
+        tm: &TaskManager,
+        kind: ResourceKind,
+        node: NodeId,
+    ) -> Option<(TaskRef, LaunchReason)> {
         let free_mem = self.free_mem_after_claims(node);
         let mut best: Option<(TaskRef, Locality)> = None;
         for task in tm.queues.iter_kind(kind) {
-            let Some(view) = self.pending.get(&task) else { continue };
+            let Some(view) = self.pending.get(&task) else {
+                continue;
+            };
             let char = tm.lookup(view);
             let locked_here = char
                 .as_ref()
@@ -196,12 +246,22 @@ impl<'a> Dispatcher<'a> {
                 // Algorithm 2 lines 12–16: the memory check is overridden
                 // only for fully-characterised tasks locked to this node
                 if locked_here {
-                    return Some(task);
+                    return Some((
+                        task,
+                        LaunchReason::BestExecutorLock {
+                            overrode_memory_veto: true,
+                        },
+                    ));
                 }
                 continue;
             }
             if locked_here {
-                return Some(task);
+                return Some((
+                    task,
+                    LaunchReason::BestExecutorLock {
+                        overrode_memory_veto: false,
+                    },
+                ));
             }
             let loc = if self.cfg.use_locality {
                 view.locality(self.input.cluster, node)
@@ -209,13 +269,27 @@ impl<'a> Dispatcher<'a> {
                 Locality::Any
             };
             if loc == Locality::ProcessLocal {
-                return Some(task);
+                return Some((
+                    task,
+                    LaunchReason::QueueMatch {
+                        kind,
+                        locality: loc,
+                    },
+                ));
             }
             if best.map(|(_, bl)| loc < bl).unwrap_or(true) {
                 best = Some((task, loc));
             }
         }
-        best.map(|(t, _)| t)
+        best.map(|(t, loc)| {
+            (
+                t,
+                LaunchReason::QueueMatch {
+                    kind,
+                    locality: loc,
+                },
+            )
+        })
     }
 
     /// Run the round-robin matching loop, consuming matched tasks from
@@ -226,29 +300,56 @@ impl<'a> Dispatcher<'a> {
         loop {
             let mut launched_any = false;
             for kind in ResourceKind::ALL {
-                // next node from this kind's Resource Queue with room,
-                // starting after the previous pick (dequeue semantics)
-                let mut node = self.pick_node(&queues, kind, kind);
+                if kind == ResourceKind::Mem {
+                    self.mem_floor = tm
+                        .queues
+                        .iter_kind(ResourceKind::Mem)
+                        .filter_map(|t| self.pending.get(&t).copied())
+                        .map(|v| self.peak_estimate(tm, v))
+                        .min();
+                }
+                // next node from this kind's Resource Queue with room
+                let mut node = self.pick_node(&queues, kind);
                 let mut fell_back_to_cpu = false;
                 if node.is_none() && kind == ResourceKind::Gpu {
                     // §III-C3: GPU tasks are not held hostage by busy
                     // GPUs — fall back to the most powerful idle CPU
-                    node = self.pick_node(&queues, ResourceKind::Cpu, ResourceKind::Cpu);
+                    node = self.pick_node(&queues, ResourceKind::Cpu);
                     fell_back_to_cpu = node.is_some();
                 }
                 let Some(node) = node else { continue };
-                let Some(task) = self.schedule_task(tm, kind, node) else { continue };
+                let Some((task, reason)) = self.schedule_task(tm, kind, node) else {
+                    continue;
+                };
                 let view = self.pending[&task];
                 let use_gpu = kind == ResourceKind::Gpu
                     && !fell_back_to_cpu
                     && view.gpu_capable
                     && self.input.nodes[node.index()].gpus_idle > self.claims[node.index()].gpu;
                 let mem = self.peak_estimate(tm, view);
-                let claim_kind = if fell_back_to_cpu { ResourceKind::Cpu } else { kind };
+                let claim_kind = if fell_back_to_cpu {
+                    ResourceKind::Cpu
+                } else {
+                    kind
+                };
                 self.note_claim(node, claim_kind, mem);
                 tm.queues.remove(&task);
                 self.pending.remove(&task);
-                cmds.push(Command::Launch { task, node, use_gpu, speculative: false });
+                // a best-executor lock keeps its own reason even on the
+                // fallback path — the lock, not the fallback, chose it
+                let reason = match reason {
+                    LaunchReason::QueueMatch { locality, .. } if fell_back_to_cpu => {
+                        LaunchReason::GpuCpuFallback { locality }
+                    }
+                    other => other,
+                };
+                cmds.push(Command::Launch {
+                    task,
+                    node,
+                    use_gpu,
+                    speculative: false,
+                    reason,
+                });
                 launched_any = true;
             }
             if !launched_any {
@@ -287,6 +388,7 @@ impl<'a> Dispatcher<'a> {
                         node,
                         use_gpu: false,
                         speculative: false,
+                        reason: LaunchReason::SafetyValve,
                     });
                 }
             }
@@ -341,7 +443,10 @@ mod tests {
 
     fn pview(index: usize, kind: StageKind) -> PendingTaskView {
         PendingTaskView {
-            task: TaskRef { stage: StageId(0), index },
+            task: TaskRef {
+                stage: StageId(0),
+                index,
+            },
             template_key: "d/r".into(),
             stage_kind: kind,
             attempt_no: 0,
@@ -358,7 +463,14 @@ mod tests {
         nodes: Vec<NodeView>,
         pending: Vec<PendingTaskView>,
     ) -> OfferInput<'a> {
-        OfferInput { now: SimTime::ZERO, cluster, app, nodes, pending, speculatable: vec![] }
+        OfferInput {
+            now: SimTime::ZERO,
+            cluster,
+            app,
+            nodes,
+            pending,
+            speculatable: vec![],
+        }
     }
 
     #[test]
@@ -422,7 +534,10 @@ mod tests {
             use rupam_metrics::breakdown::TaskBreakdown;
             use rupam_metrics::record::{AttemptOutcome, TaskRecord};
             tm.record_finish(&TaskRecord {
-                task: TaskRef { stage: StageId(0), index: 99 },
+                task: TaskRef {
+                    stage: StageId(0),
+                    index: 99,
+                },
                 template_key: "d/r".into(),
                 attempt: 0,
                 node: NodeId(10),
@@ -467,7 +582,11 @@ mod tests {
         far.node_local = vec![]; // ANY everywhere
         let mut near = pview(1, StageKind::ShuffleMap);
         near.node_local = vec![thor_best];
-        tm.submit_stage(app.stage(StageId(0)), &[far.clone(), near.clone()], SimTime::ZERO);
+        tm.submit_stage(
+            app.stage(StageId(0)),
+            &[far.clone(), near.clone()],
+            SimTime::ZERO,
+        );
         let input = offer(&cluster, &app, views(&cluster), vec![far, near]);
         let mut d = Dispatcher::new(&cfg, &input);
         let cmds = d.dispatch(&mut tm);
@@ -486,7 +605,10 @@ mod tests {
     fn overcommit_cap_respected() {
         let cluster = ClusterSpec::hydra();
         let app = dummy_app();
-        let cfg = RupamConfig { overcommit_factor: 1.0, ..RupamConfig::default() };
+        let cfg = RupamConfig {
+            overcommit_factor: 1.0,
+            ..RupamConfig::default()
+        };
         let mut tm = TaskManager::new(cfg.clone());
         let pending: Vec<_> = (0..500).map(|i| pview(i, StageKind::ShuffleMap)).collect();
         tm.submit_stage(app.stage(StageId(0)), &pending, SimTime::ZERO);

@@ -14,6 +14,7 @@ use rupam_simcore::units::ByteSize;
 use rupam_cluster::{ClusterSpec, NodeId};
 use rupam_dag::app::Application;
 use rupam_exec::scheduler::{Command, OfferInput, Scheduler};
+use rupam_metrics::trace::LaunchReason;
 
 /// The simplest possible task scheduler.
 pub struct FifoScheduler {
@@ -72,6 +73,7 @@ impl Scheduler for FifoScheduler {
                 node: NodeId(slot),
                 use_gpu: false,
                 speculative: false,
+                reason: LaunchReason::FifoSlot,
             });
         }
         // speculative copies on leftover slots, away from the original
@@ -93,6 +95,7 @@ impl Scheduler for FifoScheduler {
                     node: NodeId(slot),
                     use_gpu: false,
                     speculative: true,
+                    reason: LaunchReason::FifoSlot,
                 });
             }
         }
@@ -121,7 +124,10 @@ mod tests {
                 .map(|i| TaskTemplate {
                     index: i,
                     input: InputSource::Generated,
-                    demand: TaskDemand { compute: 4.0, ..TaskDemand::default() },
+                    demand: TaskDemand {
+                        compute: 4.0,
+                        ..TaskDemand::default()
+                    },
                 })
                 .collect(),
         );
@@ -134,12 +140,22 @@ mod tests {
         let app = tiny_app(40);
         let layout = DataLayout::new();
         let cfg = SimConfig::default();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 1 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 1,
+        };
         let mut fifo = FifoScheduler::new();
         let report = simulate(&input, &mut fifo);
         assert!(report.completed);
         assert_eq!(report.scheduler_name, "fifo");
-        let successes = report.records.iter().filter(|r| r.outcome.is_success()).count();
+        let successes = report
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count();
         assert_eq!(successes, 40);
     }
 
@@ -149,13 +165,23 @@ mod tests {
         let app = tiny_app(24);
         let layout = DataLayout::new();
         let cfg = SimConfig::default();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 2 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 2,
+        };
         let mut fifo = FifoScheduler::new();
         let report = simulate(&input, &mut fifo);
         // 24 tasks over 12 nodes round-robin: every node sees work
         let nodes_used: std::collections::HashSet<_> =
             report.records.iter().map(|r| r.node).collect();
-        assert!(nodes_used.len() >= 10, "expected a broad spread, got {}", nodes_used.len());
+        assert!(
+            nodes_used.len() >= 10,
+            "expected a broad spread, got {}",
+            nodes_used.len()
+        );
     }
 
     #[test]
@@ -164,7 +190,13 @@ mod tests {
         let app = tiny_app(64);
         let layout = DataLayout::new();
         let cfg = SimConfig::default();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 3 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 3,
+        };
         let mut fifo = FifoScheduler::new();
         let report = simulate(&input, &mut fifo);
         assert!(report.completed);

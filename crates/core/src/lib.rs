@@ -50,9 +50,9 @@
 
 pub mod baseline;
 pub mod config;
-pub mod fifo;
 pub mod db;
 pub mod dispatcher;
+pub mod fifo;
 pub mod rm;
 pub mod scheduler;
 pub mod straggler;

@@ -3,10 +3,15 @@
 //! For each resource type RUPAM keeps a priority queue of candidate
 //! nodes, "sorted with capacity in descending order (most
 //! powerful/capable/capacity first) and associated utilization in
-//! ascending order (least used first)". Queues are rebuilt from the
-//! offer-round snapshot — the paper likewise only inserts nodes that are
-//! ready to run a task and empties the queues between offer rounds,
-//! keeping the sorting cost low.
+//! ascending order (least used first)". The two criteria are combined
+//! into one score — the *remaining* capability
+//! `capability × (1 − utilization)` — so a saturated top-tier node
+//! sinks below an idle lower-tier one instead of monopolising the head
+//! of the queue (on an idle cluster the score degenerates to raw
+//! capability, preserving the capability ranking). Queues are rebuilt
+//! from the offer-round snapshot — the paper likewise only inserts
+//! nodes that are ready to run a task and empties the queues between
+//! offer rounds, keeping the sorting cost low.
 
 use rupam_cluster::resources::{PerResource, ResourceKind};
 use rupam_cluster::{ClusterSpec, NodeId};
@@ -27,8 +32,8 @@ pub fn utilization(view: &NodeView, kind: ResourceKind) -> f64 {
         ResourceKind::Io => view.disk_util,
         ResourceKind::Net => view.net_util,
         ResourceKind::Gpu => {
-            let total = view.gpus_idle as f64
-                + view.running.iter().filter(|r| r.on_gpu).count() as f64;
+            let total =
+                view.gpus_idle as f64 + view.running.iter().filter(|r| r.on_gpu).count() as f64;
             if total <= 0.0 {
                 1.0
             } else {
@@ -36,6 +41,13 @@ pub fn utilization(view: &NodeView, kind: ResourceKind) -> f64 {
             }
         }
     }
+}
+
+/// The snapshot ranking score: the capability a new task would still
+/// find on the node, `capability × (1 − utilization)`.
+pub fn remaining_capability(cluster: &ClusterSpec, view: &NodeView, kind: ResourceKind) -> f64 {
+    let util = utilization(view, kind).clamp(0.0, 1.0);
+    cluster.node(view.node).capability(kind) * (1.0 - util)
 }
 
 /// The five node priority queues, rebuilt each offer round.
@@ -54,21 +66,20 @@ impl ResourceQueues {
                 .filter(|v| cluster.node(v.node).has_resource(kind))
                 .map(|v| v.node)
                 .collect();
+            let score = |id: NodeId| remaining_capability(cluster, &views[id.index()], kind);
             nodes.sort_by(|&a, &b| {
-                let spec_a = cluster.node(a);
-                let spec_b = cluster.node(b);
-                let cap = spec_b
-                    .capability(kind)
-                    .partial_cmp(&spec_a.capability(kind))
+                let remaining = score(b)
+                    .partial_cmp(&score(a))
                     .unwrap_or(std::cmp::Ordering::Equal);
                 let util_a = utilization(&views[a.index()], kind);
                 let util_b = utilization(&views[b.index()], kind);
-                cap.then(
-                    util_a
-                        .partial_cmp(&util_b)
-                        .unwrap_or(std::cmp::Ordering::Equal),
-                )
-                .then(a.cmp(&b))
+                remaining
+                    .then(
+                        util_a
+                            .partial_cmp(&util_b)
+                            .unwrap_or(std::cmp::Ordering::Equal),
+                    )
+                    .then(a.cmp(&b))
             });
             nodes
         });
@@ -178,14 +189,21 @@ mod tests {
         let v = &mut vs[stack_ids[0].index()];
         v.gpus_idle = 0;
         v.running.push(rupam_exec::scheduler::RunningTaskView {
-            task: rupam_dag::TaskRef { stage: rupam_dag::StageId(0), index: 0 },
+            task: rupam_dag::TaskRef {
+                stage: rupam_dag::StageId(0),
+                index: 0,
+            },
             speculative: false,
             elapsed: rupam_simcore::SimDuration::ZERO,
             peak_mem: ByteSize::mib(100),
             on_gpu: true,
         });
         let q = ResourceQueues::build(&cluster, &vs);
-        assert_eq!(q.best(ResourceKind::Gpu), Some(stack_ids[1]), "idle GPU node first");
+        assert_eq!(
+            q.best(ResourceKind::Gpu),
+            Some(stack_ids[1]),
+            "idle GPU node first"
+        );
         assert!((utilization(&vs[stack_ids[0].index()], ResourceKind::Gpu) - 1.0).abs() < 1e-9);
     }
 }

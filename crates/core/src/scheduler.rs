@@ -22,12 +22,13 @@ use rupam_cluster::{ClusterSpec, NodeId};
 use rupam_dag::app::{Application, Stage, StageId};
 use rupam_exec::scheduler::{Command, OfferInput, Scheduler};
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
+use rupam_metrics::trace::LaunchReason;
 
 use crate::config::RupamConfig;
 use crate::dispatcher::Dispatcher;
 use crate::straggler::{
-    gpu_race_commands, memory_straggler_commands, relocation_target,
-    resource_straggler_candidates, StragglerState,
+    gpu_race_commands, memory_straggler_commands, relocation_target, resource_straggler_candidates,
+    StragglerState,
 };
 use crate::tm::TaskManager;
 
@@ -171,8 +172,17 @@ impl Scheduler for RupamScheduler {
 
         // 2. straggler handling
         if self.cfg.straggler_handling {
-            cmds.extend(memory_straggler_commands(&self.cfg, &mut self.straggler, input));
-            cmds.extend(gpu_race_commands(&self.cfg, &mut self.straggler, input, &self.tm));
+            cmds.extend(memory_straggler_commands(
+                &self.cfg,
+                &mut self.straggler,
+                input,
+            ));
+            cmds.extend(gpu_race_commands(
+                &self.cfg,
+                &mut self.straggler,
+                input,
+                &self.tm,
+            ));
             for (task, bad_node) in resource_straggler_candidates(&self.cfg, input, &self.tm) {
                 let kind = self
                     .stage_templates
@@ -190,6 +200,7 @@ impl Scheduler for RupamScheduler {
                         node: target,
                         use_gpu: kind == ResourceKind::Gpu,
                         speculative: true,
+                        reason: LaunchReason::Relocation { bottleneck: kind },
                     });
                 }
             }
@@ -202,11 +213,15 @@ impl Scheduler for RupamScheduler {
         // 4. engine-flagged stragglers: relocate to the best node for
         //    the task's recorded bottleneck
         for s in &input.speculatable {
-            let kind = self
-                .tm
-                .lookup(s)
-                .and_then(|c| c.last_bottleneck)
-                .unwrap_or(if s.gpu_capable { ResourceKind::Gpu } else { ResourceKind::Cpu });
+            let kind =
+                self.tm
+                    .lookup(s)
+                    .and_then(|c| c.last_bottleneck)
+                    .unwrap_or(if s.gpu_capable {
+                        ResourceKind::Gpu
+                    } else {
+                        ResourceKind::Cpu
+                    });
             // find where the original runs so the copy lands elsewhere
             let original_node = input
                 .nodes
@@ -220,11 +235,51 @@ impl Scheduler for RupamScheduler {
                     node: target,
                     use_gpu: kind == ResourceKind::Gpu && s.gpu_capable,
                     speculative: true,
+                    reason: LaunchReason::Relocation { bottleneck: kind },
                 });
             }
         }
 
         cmds
+    }
+
+    fn audit_round(&self, input: &OfferInput<'_>) -> Vec<String> {
+        // Re-derive the Resource Queues from the same snapshot and check
+        // RUPAM's own structural invariants: every queue sorted by
+        // non-increasing remaining capability, holding only unblocked
+        // nodes that actually have the resource.
+        let mut findings = Vec::new();
+        let queues = crate::rm::ResourceQueues::build(input.cluster, &input.nodes);
+        for kind in ResourceKind::ALL {
+            let nodes = queues.nodes(kind);
+            for &n in nodes {
+                if input.nodes[n.index()].blocked {
+                    findings.push(format!("{kind:?} queue holds blocked node {n:?}"));
+                }
+                if !input.cluster.node(n).has_resource(kind) {
+                    findings.push(format!("{kind:?} queue holds {n:?} with zero capability"));
+                }
+            }
+            for w in nodes.windows(2) {
+                let ahead = crate::rm::remaining_capability(
+                    input.cluster,
+                    &input.nodes[w[0].index()],
+                    kind,
+                );
+                let behind = crate::rm::remaining_capability(
+                    input.cluster,
+                    &input.nodes[w[1].index()],
+                    kind,
+                );
+                if behind > ahead * (1.0 + 1e-9) + 1e-12 {
+                    findings.push(format!(
+                        "{kind:?} queue out of order: {:?} ({ahead:.4}) ranked ahead of {:?} ({behind:.4})",
+                        w[0], w[1]
+                    ));
+                }
+            }
+        }
+        findings
     }
 }
 
@@ -251,7 +306,10 @@ mod tests {
 
     #[test]
     fn static_ablation_matches_spark_sizing() {
-        let cfg = RupamConfig { dynamic_executors: false, ..RupamConfig::default() };
+        let cfg = RupamConfig {
+            dynamic_executors: false,
+            ..RupamConfig::default()
+        };
         let s = RupamScheduler::new(cfg);
         assert_eq!(s.name(), "rupam-staticmem");
         let cluster = ClusterSpec::hydra();
@@ -272,8 +330,7 @@ mod tests {
         let mut layout = DataLayout::new();
         let mut rng = RngFactory::new(seed).stream("layout");
         let n_parts = 24;
-        let blocks =
-            layout.place_blocks(cluster, &vec![ByteSize::mib(128); n_parts], 2, &mut rng);
+        let blocks = layout.place_blocks(cluster, &vec![ByteSize::mib(128); n_parts], 2, &mut rng);
         let mut b = rupam_dag::AppBuilder::new("compute-app");
         for _ in 0..iterations {
             let j = b.begin_job();
@@ -294,7 +351,14 @@ mod tests {
                     },
                 })
                 .collect();
-            let m = b.add_stage(j, "grad", "compute/data", StageKind::ShuffleMap, vec![], tasks);
+            let m = b.add_stage(
+                j,
+                "grad",
+                "compute/data",
+                StageKind::ShuffleMap,
+                vec![],
+                tasks,
+            );
             b.add_stage(
                 j,
                 "agg",
@@ -322,7 +386,13 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let (app, layout) = compute_app(&cluster, 3, 3, 20.0, ByteSize::gib(1));
         let cfg = SimConfig::default();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 3 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 3,
+        };
         let mut rupam = RupamScheduler::with_defaults();
         let report = simulate(&input, &mut rupam);
         assert!(report.completed);
@@ -345,8 +415,13 @@ mod tests {
         let mut rupam_total = 0.0;
         for seed in [11, 12, 13] {
             let (app, layout) = compute_app(&cluster, seed, 4, 20.0, ByteSize::gib(1));
-            let input =
-                SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed };
+            let input = SimInput {
+                cluster: &cluster,
+                app: &app,
+                layout: &layout,
+                config: &cfg,
+                seed,
+            };
             let mut spark = SparkScheduler::with_defaults();
             let spark_report = simulate(&input, &mut spark);
             let mut rupam = RupamScheduler::with_defaults();
@@ -369,7 +444,13 @@ mod tests {
         // executors choke when 8 cores × 6 GiB land on a thor node
         let (app, layout) = compute_app(&cluster, 21, 2, 8.0, ByteSize::gib(6));
         let cfg = SimConfig::default();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 21 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 21,
+        };
         let mut spark = SparkScheduler::with_defaults();
         let spark_report = simulate(&input, &mut spark);
         let mut rupam = RupamScheduler::with_defaults();
@@ -406,11 +487,19 @@ mod tests {
         b.add_stage(j, "mult", "gpu/mult", StageKind::Result, vec![], tasks);
         let app = b.build();
         let cfg = SimConfig::default();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 5 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 5,
+        };
         let mut rupam = RupamScheduler::with_defaults();
         let report = simulate(&input, &mut rupam);
         assert!(report.completed);
-        assert!(report.gpu_task_count() > 0, "no work reached the stack GPUs");
+        assert!(
+            report.gpu_task_count() > 0,
+            "no work reached the stack GPUs"
+        );
     }
 }
-

@@ -21,6 +21,7 @@ use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
 use rupam_dag::TaskRef;
 use rupam_exec::scheduler::{Command, NodeView, OfferInput};
+use rupam_metrics::trace::LaunchReason;
 
 use crate::config::RupamConfig;
 use crate::tm::TaskManager;
@@ -36,7 +37,10 @@ pub struct StragglerState {
 impl StragglerState {
     /// State for an `n`-node cluster.
     pub fn new(n: usize) -> Self {
-        StragglerState { last_kill: vec![None; n], raced: Default::default() }
+        StragglerState {
+            last_kill: vec![None; n],
+            raced: Default::default(),
+        }
     }
 
     /// Reset between runs.
@@ -78,7 +82,10 @@ pub fn memory_straggler_commands(
             // pointless to relocate the only task on the node
             if view.running.len() > 1 {
                 state.last_kill[idx] = Some(input.now);
-                cmds.push(Command::KillAndRequeue { task: victim.task, node: view.node });
+                cmds.push(Command::KillAndRequeue {
+                    task: victim.task,
+                    node: view.node,
+                });
             }
         }
     }
@@ -119,6 +126,7 @@ pub fn gpu_race_commands(
                     node: gpu_node,
                     use_gpu: true,
                     speculative: true,
+                    reason: LaunchReason::GpuRace,
                 });
             }
         }
@@ -189,7 +197,11 @@ pub fn relocation_target(
 
 /// Minimum free memory across views — used by tests.
 pub fn min_free_mem(views: &[NodeView]) -> ByteSize {
-    views.iter().map(|v| v.free_mem).min().unwrap_or(ByteSize::ZERO)
+    views
+        .iter()
+        .map(|v| v.free_mem)
+        .min()
+        .unwrap_or(ByteSize::ZERO)
 }
 
 #[cfg(test)]
@@ -214,7 +226,11 @@ mod tests {
                 .map(|i| TaskTemplate {
                     index: i,
                     input: InputSource::Generated,
-                    demand: TaskDemand { compute: 10.0, gpu_kernels: 8.0, ..TaskDemand::default() },
+                    demand: TaskDemand {
+                        compute: 10.0,
+                        gpu_kernels: 8.0,
+                        ..TaskDemand::default()
+                    },
                 })
                 .collect(),
         );
@@ -241,7 +257,10 @@ mod tests {
 
     fn running(task_index: usize, elapsed_s: u64, peak_gib: u64, on_gpu: bool) -> RunningTaskView {
         RunningTaskView {
-            task: TaskRef { stage: StageId(0), index: task_index },
+            task: TaskRef {
+                stage: StageId(0),
+                index: task_index,
+            },
             speculative: false,
             elapsed: SimDuration::from_secs(elapsed_s),
             peak_mem: ByteSize::gib(peak_gib),
@@ -271,7 +290,10 @@ mod tests {
         assert_eq!(
             cmds,
             vec![Command::KillAndRequeue {
-                task: TaskRef { stage: StageId(0), index: 1 },
+                task: TaskRef {
+                    stage: StageId(0),
+                    index: 1
+                },
                 node: NodeId(0)
             }],
             "the 8 GiB task must die, not the 2 GiB one"
@@ -329,7 +351,12 @@ mod tests {
         let cmds = gpu_race_commands(&cfg, &mut st, &input, &tm);
         assert_eq!(cmds.len(), 1);
         match &cmds[0] {
-            Command::Launch { node, use_gpu, speculative, .. } => {
+            Command::Launch {
+                node,
+                use_gpu,
+                speculative,
+                ..
+            } => {
                 assert_eq!(cluster.node(*node).class, "stack");
                 assert!(*use_gpu && *speculative);
             }
@@ -371,7 +398,10 @@ mod tests {
             use rupam_metrics::record::{AttemptOutcome, TaskRecord};
             use rupam_simcore::units::ByteSize as BS;
             tm.record_finish(&TaskRecord {
-                task: TaskRef { stage: StageId(0), index: 9 },
+                task: TaskRef {
+                    stage: StageId(0),
+                    index: 9,
+                },
                 template_key: "g/r".into(),
                 attempt: 0,
                 node: NodeId(0),
@@ -396,8 +426,10 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
         };
-        assert!(resource_straggler_candidates(&cfg, &input, &tm).is_empty(),
-            "no contention, no resource straggler");
+        assert!(
+            resource_straggler_candidates(&cfg, &input, &tm).is_empty(),
+            "no contention, no resource straggler"
+        );
         // same task on a CPU-saturated node: flagged
         views[0].cpu_util = 0.99;
         let input = OfferInput {

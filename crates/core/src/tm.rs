@@ -191,7 +191,8 @@ impl TaskManager {
         if !self.cfg.use_task_db {
             return None;
         }
-        self.db.read(&TaskKey::new(view.template_key.clone(), view.task.index))
+        self.db
+            .read(&TaskKey::new(view.template_key.clone(), view.task.index))
     }
 
     /// Which queues a submitted task belongs in.
@@ -245,7 +246,8 @@ impl TaskManager {
             let secs = record.duration().as_secs_f64();
             let peak = record.peak_mem;
             let gpu = record.used_gpu;
-            self.db.update(key, |c| c.observe(bottleneck, node, secs, peak, gpu));
+            self.db
+                .update(key, |c| c.observe(bottleneck, node, secs, peak, gpu));
         }
         self.finished_secs
             .entry(record.template_key.clone())
@@ -255,7 +257,13 @@ impl TaskManager {
 
     /// A failed attempt still teaches us its memory footprint (it is what
     /// blew the node up). Marks the task MEM-bound.
-    pub fn record_memory_failure(&mut self, template_key: &str, index: usize, peak: ByteSize, node: rupam_cluster::NodeId) {
+    pub fn record_memory_failure(
+        &mut self,
+        template_key: &str,
+        index: usize,
+        peak: ByteSize,
+        node: rupam_cluster::NodeId,
+    ) {
         if !self.cfg.use_task_db {
             return;
         }
@@ -286,10 +294,19 @@ mod tests {
     fn record(compute_s: u64, sread_s: u64, swrite_s: u64, peak_gib: u64, gpu: bool) -> TaskRecord {
         let mut b = TaskBreakdown::new();
         b.add(C::Compute, rupam_simcore::SimDuration::from_secs(compute_s));
-        b.add(C::ShuffleNet, rupam_simcore::SimDuration::from_secs(sread_s));
-        b.add(C::ShuffleWrite, rupam_simcore::SimDuration::from_secs(swrite_s));
+        b.add(
+            C::ShuffleNet,
+            rupam_simcore::SimDuration::from_secs(sread_s),
+        );
+        b.add(
+            C::ShuffleWrite,
+            rupam_simcore::SimDuration::from_secs(swrite_s),
+        );
         TaskRecord {
-            task: TaskRef { stage: StageId(0), index: 0 },
+            task: TaskRef {
+                stage: StageId(0),
+                index: 0,
+            },
             template_key: "w/s".into(),
             attempt: 0,
             node: NodeId(1),
@@ -344,7 +361,10 @@ mod tests {
 
     fn pview(stage: usize, index: usize, kind: StageKind, gpu: bool) -> PendingTaskView {
         PendingTaskView {
-            task: TaskRef { stage: StageId(stage), index },
+            task: TaskRef {
+                stage: StageId(stage),
+                index,
+            },
             template_key: "w/s".into(),
             stage_kind: kind,
             attempt_no: 0,
@@ -392,24 +412,38 @@ mod tests {
 
     #[test]
     fn db_ablation_forgets() {
-        let c = RupamConfig { use_task_db: false, ..cfg() };
+        let c = RupamConfig {
+            use_task_db: false,
+            ..cfg()
+        };
         let mut tm = TaskManager::new(c);
         tm.record_finish(&record(10, 1, 1, 1, false));
         let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false));
-        assert_eq!(kinds.len(), 5, "without the DB every contact is first contact");
+        assert_eq!(
+            kinds.len(),
+            5,
+            "without the DB every contact is first contact"
+        );
     }
 
     #[test]
     fn queue_membership_and_removal() {
         let mut q = TaskQueues::new();
-        let t = TaskRef { stage: StageId(0), index: 1 };
+        let t = TaskRef {
+            stage: StageId(0),
+            index: 1,
+        };
         q.enqueue(t, &ResourceKind::ALL, SimTime::ZERO);
         assert!(q.contains(&t));
         assert_eq!(q.len(), 1, "multi-queue membership counts once");
         assert_eq!(q.iter_kind(ResourceKind::Cpu).count(), 1);
         q.remove(&t);
         assert!(!q.contains(&t));
-        assert_eq!(q.iter_kind(ResourceKind::Cpu).count(), 0, "lazy filtering hides removed tasks");
+        assert_eq!(
+            q.iter_kind(ResourceKind::Cpu).count(),
+            0,
+            "lazy filtering hides removed tasks"
+        );
         q.compact(ResourceKind::Cpu);
         assert!(q.is_empty());
     }
@@ -417,7 +451,10 @@ mod tests {
     #[test]
     fn waiting_since_tracked() {
         let mut q = TaskQueues::new();
-        let t = TaskRef { stage: StageId(0), index: 0 };
+        let t = TaskRef {
+            stage: StageId(0),
+            index: 0,
+        };
         let t0 = SimTime::from_secs_f64(5.0);
         q.enqueue(t, &[ResourceKind::Gpu], t0);
         assert_eq!(q.waiting_since(&t), Some(t0));
@@ -444,7 +481,9 @@ mod tests {
         assert_eq!(kinds, vec![ResourceKind::Mem]);
         let char = tm.db().read(&TaskKey::new("w/s", 0)).unwrap();
         assert_eq!(char.peak_mem, ByteSize::gib(12));
-        assert!(char.best.is_none() || char.best.unwrap().1 == f64::MAX,
-            "a failed run must never become the best executor");
+        assert!(
+            char.best.is_none() || char.best.unwrap().1 == f64::MAX,
+            "a failed run must never become the best executor"
+        );
     }
 }

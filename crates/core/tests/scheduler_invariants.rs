@@ -28,8 +28,19 @@ fn dummy_app(stages: usize, tasks_per_stage: usize) -> Application {
     let mut prev: Option<StageId> = None;
     for s in 0..stages {
         let parents = prev.into_iter().collect();
-        let kind = if s + 1 == stages { StageKind::Result } else { StageKind::ShuffleMap };
-        prev = Some(b.add_stage(j, format!("s{s}"), format!("inv/s{s}"), kind, parents, mk(tasks_per_stage)));
+        let kind = if s + 1 == stages {
+            StageKind::Result
+        } else {
+            StageKind::ShuffleMap
+        };
+        prev = Some(b.add_stage(
+            j,
+            format!("s{s}"),
+            format!("inv/s{s}"),
+            kind,
+            parents,
+            mk(tasks_per_stage),
+        ));
     }
     b.build()
 }
@@ -52,7 +63,10 @@ fn node_views(cluster: &ClusterSpec, busy: &[usize]) -> Vec<NodeView> {
                 // reads the task's demand from the application)
                 running: (0..running)
                     .map(|i| rupam_exec::scheduler::RunningTaskView {
-                        task: TaskRef { stage: StageId(0), index: i },
+                        task: TaskRef {
+                            stage: StageId(0),
+                            index: i,
+                        },
                         speculative: false,
                         elapsed: rupam_simcore::SimDuration::from_secs(1),
                         peak_mem: ByteSize::mib(256),
@@ -92,7 +106,12 @@ fn check_commands(
     let mut launched: Vec<TaskRef> = Vec::new();
     for c in cmds {
         match c {
-            Command::Launch { task, node, speculative, .. } => {
+            Command::Launch {
+                task,
+                node,
+                speculative,
+                ..
+            } => {
                 prop_assert!(node.index() < cluster.len(), "node out of range");
                 if !speculative {
                     prop_assert!(

@@ -64,7 +64,10 @@ impl Stage {
     /// Reference to the `index`-th task.
     pub fn task_ref(&self, index: usize) -> TaskRef {
         debug_assert!(index < self.tasks.len());
-        TaskRef { stage: self.id, index }
+        TaskRef {
+            stage: self.id,
+            index,
+        }
     }
 }
 
@@ -108,7 +111,10 @@ impl Application {
     /// Iterate all task references in (stage, index) order.
     pub fn all_task_refs(&self) -> impl Iterator<Item = TaskRef> + '_ {
         self.stages.iter().flat_map(|s| {
-            (0..s.num_tasks()).map(move |i| TaskRef { stage: s.id, index: i })
+            (0..s.num_tasks()).map(move |i| TaskRef {
+                stage: s.id,
+                index: i,
+            })
         })
     }
 }
@@ -138,14 +144,21 @@ impl AppBuilder {
     /// Start building an application.
     pub fn new(name: impl Into<String>) -> Self {
         AppBuilder {
-            app: Application { name: name.into(), jobs: Vec::new(), stages: Vec::new() },
+            app: Application {
+                name: name.into(),
+                jobs: Vec::new(),
+                stages: Vec::new(),
+            },
         }
     }
 
     /// Open a new job; stages added to it run after all prior jobs finish.
     pub fn begin_job(&mut self) -> JobId {
         let id = JobId(self.app.jobs.len());
-        self.app.jobs.push(Job { id, stages: Vec::new() });
+        self.app.jobs.push(Job {
+            id,
+            stages: Vec::new(),
+        });
         id
     }
 
@@ -175,7 +188,10 @@ impl AppBuilder {
                 .stages
                 .get(p.index())
                 .unwrap_or_else(|| panic!("unknown parent {p}"));
-            assert_eq!(parent.job, job, "shuffle dependencies must stay within one job");
+            assert_eq!(
+                parent.job, job,
+                "shuffle dependencies must stay within one job"
+            );
         }
         self.app.stages.push(Stage {
             id,

@@ -227,7 +227,11 @@ mod tests {
             // rack-aware: at least two racks covered
             let racks: std::collections::HashSet<_> =
                 b.replicas.iter().map(|&n| cluster.node(n).rack).collect();
-            assert!(racks.len() >= 2, "replicas should span racks: {:?}", b.replicas);
+            assert!(
+                racks.len() >= 2,
+                "replicas should span racks: {:?}",
+                b.replicas
+            );
         }
     }
 
@@ -248,7 +252,10 @@ mod tests {
         let ids = layout.place_blocks(&cluster, &[ByteSize::mib(128)], 2, &mut rng);
         let b = layout.block(ids[0]).clone();
         let holder = b.replicas[0];
-        assert_eq!(layout.hdfs_locality(&cluster, b.id, holder), Locality::NodeLocal);
+        assert_eq!(
+            layout.hdfs_locality(&cluster, b.id, holder),
+            Locality::NodeLocal
+        );
         // some node that holds no replica
         let non_holder = cluster
             .iter()

@@ -65,7 +65,10 @@ impl StageTracker {
     /// Record one finished task of `stage`; returns stages newly ready.
     pub fn task_finished(&mut self, app: &Application, stage: StageId) -> Vec<StageId> {
         let i = stage.index();
-        assert!(self.remaining[i] > 0, "finished more tasks than {stage} has");
+        assert!(
+            self.remaining[i] > 0,
+            "finished more tasks than {stage} has"
+        );
         self.remaining[i] -= 1;
         if self.remaining[i] > 0 {
             return Vec::new();
@@ -219,7 +222,10 @@ mod tests {
                 .map(|i| TaskTemplate {
                     index: i,
                     input: InputSource::Generated,
-                    demand: TaskDemand { compute, ..TaskDemand::default() },
+                    demand: TaskDemand {
+                        compute,
+                        ..TaskDemand::default()
+                    },
                 })
                 .collect::<Vec<_>>()
         };
@@ -296,7 +302,10 @@ mod tests {
             vec![TaskTemplate {
                 index: 0,
                 input: InputSource::Generated,
-                demand: TaskDemand { peak_mem: ByteSize::gib(1000), ..TaskDemand::default() },
+                demand: TaskDemand {
+                    peak_mem: ByteSize::gib(1000),
+                    ..TaskDemand::default()
+                },
             }],
         );
         let app = b.build();

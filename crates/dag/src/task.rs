@@ -27,7 +27,10 @@ pub struct CacheKey {
 impl CacheKey {
     /// Convenience constructor.
     pub fn new(rdd: impl Into<String>, partition: usize) -> Self {
-        CacheKey { rdd: rdd.into(), partition }
+        CacheKey {
+            rdd: rdd.into(),
+            partition,
+        }
     }
 }
 
@@ -155,7 +158,10 @@ mod tests {
 
     #[test]
     fn gpu_capability() {
-        let d = TaskDemand { gpu_kernels: 5.0, ..TaskDemand::default() };
+        let d = TaskDemand {
+            gpu_kernels: 5.0,
+            ..TaskDemand::default()
+        };
         assert!(d.is_gpu_capable());
     }
 
@@ -182,7 +188,10 @@ mod tests {
 
     #[test]
     fn task_ref_display() {
-        let r = TaskRef { stage: StageId(2), index: 7 };
+        let r = TaskRef {
+            stage: StageId(2),
+            index: 7,
+        };
         assert_eq!(format!("{r}"), "stage2.7");
     }
 }

@@ -42,7 +42,12 @@ struct Entry {
 impl ExecutorCache {
     /// An empty cache with the given capacity.
     pub fn new(capacity: ByteSize) -> Self {
-        ExecutorCache { capacity, used: ByteSize::ZERO, entries: HashMap::new(), tick: 0 }
+        ExecutorCache {
+            capacity,
+            used: ByteSize::ZERO,
+            entries: HashMap::new(),
+            tick: 0,
+        }
     }
 
     /// Capacity.
@@ -108,7 +113,13 @@ impl ExecutorCache {
             self.used = self.used.saturating_sub(e.size);
             evicted.push(victim);
         }
-        self.entries.insert(key, Entry { size, last_used: self.tick });
+        self.entries.insert(
+            key,
+            Entry {
+                size,
+                last_used: self.tick,
+            },
+        );
         self.used += size;
         evicted
     }

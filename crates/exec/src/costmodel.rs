@@ -74,7 +74,11 @@ pub fn build_phases(demand: &TaskDemand, ctx: &LaunchContext, cfg: &CostConfig) 
     let mut phases = Vec::with_capacity(8);
     let mut push = |resource: PhaseResource, work: f64, category: BreakdownCategory| {
         if work > 0.0 {
-            phases.push(Phase { resource, work, category });
+            phases.push(Phase {
+                resource,
+                work,
+                category,
+            });
         }
     };
 
@@ -126,14 +130,22 @@ pub fn build_phases(demand: &TaskDemand, ctx: &LaunchContext, cfg: &CostConfig) 
 
     // 5. task body
     if ctx.use_gpu && demand.gpu_kernels > 0.0 {
-        push(PhaseResource::Gpu, demand.gpu_kernels, BreakdownCategory::Compute);
+        push(
+            PhaseResource::Gpu,
+            demand.gpu_kernels,
+            BreakdownCategory::Compute,
+        );
         push(
             PhaseResource::Cpu,
             (demand.compute - demand.gpu_kernels).max(0.0),
             BreakdownCategory::Compute,
         );
     } else {
-        push(PhaseResource::Cpu, demand.compute, BreakdownCategory::Compute);
+        push(
+            PhaseResource::Cpu,
+            demand.compute,
+            BreakdownCategory::Compute,
+        );
     }
 
     // 6. garbage collection: churn term + heap-scan term
@@ -142,8 +154,7 @@ pub fn build_phases(demand: &TaskDemand, ctx: &LaunchContext, cfg: &CostConfig) 
         * demand.bytes_touched().as_f64()
         * (0.25 + pressure * pressure)
         / 1e9;
-    let heap_scan =
-        cfg.gc_heap_cycles_per_byte * ctx.heap.as_f64() * pressure * pressure / 1e9;
+    let heap_scan = cfg.gc_heap_cycles_per_byte * ctx.heap.as_f64() * pressure * pressure / 1e9;
     push(PhaseResource::Cpu, churn + heap_scan, BreakdownCategory::Gc);
 
     // 7. shuffle write to local disk
@@ -195,7 +206,11 @@ mod tests {
     }
 
     fn total_work(phases: &[Phase], res: PhaseResource) -> f64 {
-        phases.iter().filter(|p| p.resource == res).map(|p| p.work).sum()
+        phases
+            .iter()
+            .filter(|p| p.resource == res)
+            .map(|p| p.work)
+            .sum()
     }
 
     #[test]
@@ -224,7 +239,10 @@ mod tests {
 
     #[test]
     fn zero_work_phases_skipped() {
-        let d = TaskDemand { compute: 1.0, ..TaskDemand::default() };
+        let d = TaskDemand {
+            compute: 1.0,
+            ..TaskDemand::default()
+        };
         let c = LaunchContext {
             local_input: ByteSize::ZERO,
             remote_input: ByteSize::ZERO,
@@ -266,7 +284,11 @@ mod tests {
 
     #[test]
     fn gpu_split() {
-        let d = TaskDemand { compute: 10.0, gpu_kernels: 8.0, ..TaskDemand::default() };
+        let d = TaskDemand {
+            compute: 10.0,
+            gpu_kernels: 8.0,
+            ..TaskDemand::default()
+        };
         let mut c = ctx();
         c.use_gpu = true;
         let phases = build_phases(&d, &c, &CostConfig::default());
@@ -274,7 +296,9 @@ mod tests {
         // CPU compute residue = 2.0 (plus ser/gc in other categories)
         let cpu_compute: f64 = phases
             .iter()
-            .filter(|p| p.resource == PhaseResource::Cpu && p.category == BreakdownCategory::Compute)
+            .filter(|p| {
+                p.resource == PhaseResource::Cpu && p.category == BreakdownCategory::Compute
+            })
             .map(|p| p.work)
             .sum();
         assert!((cpu_compute - 2.0).abs() < 1e-12);
@@ -284,7 +308,9 @@ mod tests {
         assert_eq!(total_work(&phases, PhaseResource::Gpu), 0.0);
         let cpu_compute: f64 = phases
             .iter()
-            .filter(|p| p.resource == PhaseResource::Cpu && p.category == BreakdownCategory::Compute)
+            .filter(|p| {
+                p.resource == PhaseResource::Cpu && p.category == BreakdownCategory::Compute
+            })
             .map(|p| p.work)
             .sum();
         assert!((cpu_compute - 10.0).abs() < 1e-12);
@@ -297,14 +323,14 @@ mod tests {
         runner
             .run(
                 &(
-                    0.0f64..200.0,   // compute
-                    0.0f64..200.0,   // gpu kernels (clamped below)
-                    0u64..512,       // input MiB
-                    0u64..512,       // shuffle read MiB
-                    0u64..512,       // shuffle write MiB
-                    0.0f64..1.5,     // pressure
-                    any::<bool>(),   // use_gpu
-                    any::<bool>(),   // cached input
+                    0.0f64..200.0, // compute
+                    0.0f64..200.0, // gpu kernels (clamped below)
+                    0u64..512,     // input MiB
+                    0u64..512,     // shuffle read MiB
+                    0u64..512,     // shuffle write MiB
+                    0.0f64..1.5,   // pressure
+                    any::<bool>(), // use_gpu
+                    any::<bool>(), // cached input
                 ),
                 |(compute, gpu, in_mib, sr_mib, sw_mib, pressure, use_gpu, cached)| {
                     let d = TaskDemand {
@@ -319,7 +345,11 @@ mod tests {
                     };
                     let local = ByteSize::mib(sr_mib / 2);
                     let c = LaunchContext {
-                        local_input: if cached { ByteSize::ZERO } else { ByteSize::mib(in_mib) },
+                        local_input: if cached {
+                            ByteSize::ZERO
+                        } else {
+                            ByteSize::mib(in_mib)
+                        },
                         remote_input: ByteSize::ZERO,
                         cached_input: cached,
                         shuffle_local: local,
@@ -339,14 +369,19 @@ mod tests {
                         .filter(|p| p.category == BreakdownCategory::Compute)
                         .map(|p| p.work)
                         .sum();
-                    prop_assert!((body - compute).abs() < 1e-9, "compute leaked: {body} vs {compute}");
+                    prop_assert!(
+                        (body - compute).abs() < 1e-9,
+                        "compute leaked: {body} vs {compute}"
+                    );
                     // byte flows conserved across net + disk phases
                     let moved: f64 = phases
                         .iter()
                         .filter(|p| {
                             matches!(
                                 p.resource,
-                                PhaseResource::Net | PhaseResource::DiskRead | PhaseResource::DiskWrite
+                                PhaseResource::Net
+                                    | PhaseResource::DiskRead
+                                    | PhaseResource::DiskWrite
                             )
                         })
                         .map(|p| p.work)
@@ -355,7 +390,10 @@ mod tests {
                         + d.shuffle_write.as_f64()
                         + d.output_bytes.as_f64()
                         + if cached { 0.0 } else { d.input_bytes.as_f64() };
-                    prop_assert!((moved - expected).abs() < 1.0, "bytes leaked: {moved} vs {expected}");
+                    prop_assert!(
+                        (moved - expected).abs() < 1.0,
+                        "bytes leaked: {moved} vs {expected}"
+                    );
                     Ok(())
                 },
             )

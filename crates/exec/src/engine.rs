@@ -31,7 +31,11 @@ use rupam_dag::{Locality, TaskRef};
 use rupam_metrics::breakdown::TaskBreakdown;
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
 use rupam_metrics::report::RunReport;
+use rupam_metrics::trace::{
+    AbortCause, LaunchReason, TraceBuffer, TraceEvent, TraceEventKind, DEFAULT_TRACE_CAPACITY,
+};
 
+use crate::audit::{AuditConfig, InvariantAuditor, Violation};
 use crate::cache::ExecutorCache;
 use crate::config::SimConfig;
 use crate::costmodel::{build_phases, LaunchContext, Phase, PhaseResource};
@@ -58,6 +62,45 @@ pub struct SimInput<'a> {
     pub config: &'a SimConfig,
     /// Experiment seed (failure-model draws derive from it).
     pub seed: u64,
+}
+
+/// Observability switches for a run. [`Default`] turns everything off —
+/// the plain [`simulate`] path pays no tracing or auditing cost.
+#[derive(Clone, Debug, Default)]
+pub struct SimOptions {
+    /// Record decision traces into a ring of this capacity (`Some(0)` is
+    /// digest-only: nothing retained, every event still hashed). `None`
+    /// disables tracing entirely.
+    pub trace_capacity: Option<usize>,
+    /// Run the [`InvariantAuditor`] after every offer round.
+    pub audit: Option<AuditConfig>,
+}
+
+impl SimOptions {
+    /// Tracing at the default ring capacity, no auditing.
+    pub fn traced() -> Self {
+        SimOptions {
+            trace_capacity: Some(DEFAULT_TRACE_CAPACITY),
+            audit: None,
+        }
+    }
+
+    /// Tracing plus auditing at default settings.
+    pub fn audited() -> Self {
+        SimOptions {
+            trace_capacity: Some(DEFAULT_TRACE_CAPACITY),
+            audit: Some(AuditConfig::default()),
+        }
+    }
+}
+
+/// What a traced/audited run observed, alongside its [`RunReport`].
+#[derive(Debug, Default)]
+pub struct SimObservation {
+    /// The decision trace, when tracing was enabled.
+    pub trace: Option<TraceBuffer>,
+    /// Invariant violations, when auditing was enabled.
+    pub violations: Vec<Violation>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -139,10 +182,24 @@ struct Sim<'a, 's> {
     aborted: bool,
     need_offers: bool,
     idle_heartbeats: u32,
+    trace: Option<TraceBuffer>,
+    auditor: Option<InvariantAuditor>,
+    round: u64,
 }
 
 /// Run `app` on `cluster` under `scheduler`; returns the full report.
 pub fn simulate(input: &SimInput<'_>, scheduler: &mut dyn Scheduler) -> RunReport {
+    simulate_observed(input, scheduler, &SimOptions::default()).0
+}
+
+/// Like [`simulate`], but with decision tracing and/or invariant
+/// auditing per `opts`. The report is identical to an untraced run of
+/// the same inputs — observability never perturbs the simulation.
+pub fn simulate_observed(
+    input: &SimInput<'_>,
+    scheduler: &mut dyn Scheduler,
+    opts: &SimOptions,
+) -> (RunReport, SimObservation) {
     let cluster = input.cluster;
     let cfg = input.config;
     scheduler.on_app_start(input.app, cluster);
@@ -204,11 +261,27 @@ pub fn simulate(input: &SimInput<'_>, scheduler: &mut dyn Scheduler) -> RunRepor
         aborted: false,
         need_offers: true,
         idle_heartbeats: 0,
+        trace: opts.trace_capacity.map(TraceBuffer::new),
+        auditor: opts.audit.clone().map(InvariantAuditor::new),
+        round: 0,
     };
+    for (i, node) in sim.nodes.iter().enumerate() {
+        let mem = node.executor_mem;
+        if let Some(t) = sim.trace.as_mut() {
+            t.record(TraceEvent {
+                at: SimTime::ZERO,
+                round: 0,
+                kind: TraceEventKind::ExecutorSized {
+                    node: NodeId(i),
+                    mem,
+                },
+            });
+        }
+    }
     sim.run();
 
     let makespan = sim.now.since(SimTime::ZERO);
-    RunReport {
+    let report = RunReport {
         app_name: input.app.name.clone(),
         scheduler_name: sim.sched.name().to_string(),
         seed: input.seed,
@@ -220,14 +293,23 @@ pub fn simulate(input: &SimInput<'_>, scheduler: &mut dyn Scheduler) -> RunRepor
         executor_losses: sim.executor_losses,
         speculative_launched: sim.speculative_launched,
         speculative_wins: sim.speculative_wins,
-    }
+    };
+    let observation = SimObservation {
+        trace: sim.trace,
+        violations: sim
+            .auditor
+            .map(|a| a.violations().to_vec())
+            .unwrap_or_default(),
+    };
+    (report, observation)
 }
 
 impl<'a, 's> Sim<'a, 's> {
     fn run(&mut self) {
         let cfg = self.input.config;
         self.release_ready_stages();
-        self.cal.schedule(self.now + cfg.engine.heartbeat, Event::Heartbeat);
+        self.cal
+            .schedule(self.now + cfg.engine.heartbeat, Event::Heartbeat);
         if cfg.speculation.enabled {
             self.cal
                 .schedule(self.now + cfg.speculation.interval, Event::SpeculationCheck);
@@ -288,12 +370,7 @@ impl<'a, 's> Sim<'a, 's> {
             }
 
             // drain calendar events scheduled at or before `now`
-            while self
-                .cal
-                .peek_time()
-                .map(|t| t <= self.now)
-                .unwrap_or(false)
-            {
+            while self.cal.peek_time().map(|t| t <= self.now).unwrap_or(false) {
                 let (_, ev) = self.cal.pop().unwrap();
                 self.handle_event(ev);
             }
@@ -429,7 +506,11 @@ impl<'a, 's> Sim<'a, 's> {
             let m = self.node_metrics(i);
             if m != self.nodes[i].last_metrics {
                 self.nodes[i].last_metrics = m;
-                self.monitor.ingest(HeartbeatSnapshot { node: NodeId(i), at: self.now, metrics: m });
+                self.monitor.ingest(HeartbeatSnapshot {
+                    node: NodeId(i),
+                    at: self.now,
+                    metrics: m,
+                });
             }
         }
     }
@@ -440,7 +521,8 @@ impl<'a, 's> Sim<'a, 's> {
         let ready = self.tracker.take_ready(self.input.app);
         for sid in ready {
             self.stages[sid.index()].released = true;
-            self.sched.on_stage_ready(self.input.app.stage(sid), self.now);
+            self.sched
+                .on_stage_ready(self.input.app.stage(sid), self.now);
             self.need_offers = true;
         }
     }
@@ -467,9 +549,15 @@ impl<'a, 's> Sim<'a, 's> {
         let template = &stage.tasks[task.index];
 
         // has the task already been completed by another copy?
-        let already_done =
-            matches!(self.stages[task.stage.index()].tasks[task.index], TaskState::Done);
-        let outcome = if already_done { AttemptOutcome::LostRace } else { AttemptOutcome::Success };
+        let already_done = matches!(
+            self.stages[task.stage.index()].tasks[task.index],
+            TaskState::Done
+        );
+        let outcome = if already_done {
+            AttemptOutcome::LostRace
+        } else {
+            AttemptOutcome::Success
+        };
         let record = self.make_record(id, outcome);
         if !already_done {
             let stage_rt = &mut self.stages[task.stage.index()];
@@ -508,7 +596,8 @@ impl<'a, 's> Sim<'a, 's> {
             let newly_ready = self.tracker.task_finished(self.input.app, task.stage);
             for sid in newly_ready {
                 self.stages[sid.index()].released = true;
-                self.sched.on_stage_ready(self.input.app.stage(sid), self.now);
+                self.sched
+                    .on_stage_ready(self.input.app.stage(sid), self.now);
             }
         } else {
             self.records.push(record);
@@ -565,6 +654,7 @@ impl<'a, 's> Sim<'a, 's> {
         let record = self.make_record(id, outcome);
         self.records.push(record);
 
+        let mut retries_exhausted = false;
         let state = &mut self.stages[task.stage.index()].tasks[task.index];
         if let TaskState::Running { attempts } = state {
             attempts.retain(|&x| x != id);
@@ -572,9 +662,16 @@ impl<'a, 's> Sim<'a, 's> {
                 let next = attempt_no + 1;
                 if next > self.input.config.mem.max_retries {
                     self.aborted = true;
+                    retries_exhausted = true;
                 }
                 *state = TaskState::Pending { attempt_no: next };
             }
+        }
+        if retries_exhausted {
+            self.trace_event(TraceEventKind::Aborted {
+                cause: AbortCause::RetriesExhausted,
+                task: Some(task),
+            });
         }
         self.sched.on_task_failed(task, node, outcome, self.now);
         self.need_offers = true;
@@ -583,6 +680,16 @@ impl<'a, 's> Sim<'a, 's> {
     fn executor_lost(&mut self, node_id: NodeId) {
         self.executor_losses += 1;
         let victims: Vec<AttemptId> = self.nodes[node_id.index()].running.clone();
+        if self.trace.is_some() {
+            let n = &self.nodes[node_id.index()];
+            let pressure_pct =
+                (n.mem_in_use.as_f64() / n.executor_mem.as_f64().max(1.0) * 100.0) as u32;
+            self.trace_event(TraceEventKind::ExecutorLost {
+                node: node_id,
+                victims: victims.len(),
+                pressure_pct,
+            });
+        }
         for id in victims {
             self.fail_attempt(id, AttemptOutcome::ExecutorLost);
         }
@@ -593,8 +700,10 @@ impl<'a, 's> Sim<'a, 's> {
         node.blocked_until = self.now + cfg.mem.jvm_restart;
         node.oom_epoch += 1;
         node.oom_scheduled = false;
-        self.cal
-            .schedule(node.blocked_until, Event::ExecutorRestored { node: node_id });
+        self.cal.schedule(
+            node.blocked_until,
+            Event::ExecutorRestored { node: node_id },
+        );
     }
 
     // ---- events ----------------------------------------------------------
@@ -614,11 +723,17 @@ impl<'a, 's> Sim<'a, 's> {
                     self.idle_heartbeats += 1;
                     if self.idle_heartbeats > 600 {
                         self.aborted = true;
+                        self.trace_event(TraceEventKind::Aborted {
+                            cause: AbortCause::Livelock,
+                            task: None,
+                        });
                     }
                 }
                 if !self.tracker.all_done(self.input.app) && !self.aborted {
-                    self.cal
-                        .schedule(self.now + self.input.config.engine.heartbeat, Event::Heartbeat);
+                    self.cal.schedule(
+                        self.now + self.input.config.engine.heartbeat,
+                        Event::Heartbeat,
+                    );
                 }
             }
             Event::SpeculationCheck => {
@@ -641,6 +756,7 @@ impl<'a, 's> Sim<'a, 's> {
 
     fn speculation_check(&mut self) {
         let cfg = &self.input.config.speculation;
+        let mut flagged: Vec<TaskRef> = Vec::new();
         for (sidx, stage_rt) in self.stages.iter().enumerate() {
             if !stage_rt.released {
                 continue;
@@ -652,7 +768,10 @@ impl<'a, 's> Sim<'a, 's> {
                     // the original copy is the lowest attempt id
                     if let Some(&first) = attempts.first() {
                         running.push((
-                            TaskRef { stage: stage.id, index: tidx },
+                            TaskRef {
+                                stage: stage.id,
+                                index: tidx,
+                            },
                             self.attempts[first].launched_at,
                             attempts.len() > 1,
                         ));
@@ -667,8 +786,12 @@ impl<'a, 's> Sim<'a, 's> {
             for task in find_speculatable(cfg, self.now, &progress) {
                 if self.spec_set.mark(task) {
                     self.need_offers = true;
+                    flagged.push(task);
                 }
             }
+        }
+        for task in flagged {
+            self.trace_event(TraceEventKind::SpeculationFlagged { task });
         }
     }
 
@@ -706,6 +829,11 @@ impl<'a, 's> Sim<'a, 's> {
                 .max_by_key(|&id| (self.attempts[id].peak_mem, id));
             if let Some(v) = victim {
                 self.oom_failures += 1;
+                self.trace_event(TraceEventKind::OomTaskKill {
+                    task: self.attempts[v].task,
+                    node: node_id,
+                    pressure_pct: (ratio * 100.0) as u32,
+                });
                 self.fail_attempt(v, AttemptOutcome::OomFailure);
             }
         }
@@ -724,18 +852,55 @@ impl<'a, 's> Sim<'a, 's> {
             let hi = cfg.oom_check_max.as_secs_f64();
             let delay = SimDuration::from_secs_f64(self.rng_fail.gen_range(lo..hi));
             self.nodes[node_id.index()].oom_scheduled = true;
-            self.cal
-                .schedule(self.now + delay, Event::OomCheck { node: node_id, epoch });
+            self.cal.schedule(
+                self.now + delay,
+                Event::OomCheck {
+                    node: node_id,
+                    epoch,
+                },
+            );
         }
     }
 
     // ---- offers ----------------------------------------------------------
 
+    /// Record one trace event at the current time and round (no-op when
+    /// tracing is off).
+    fn trace_event(&mut self, kind: TraceEventKind) {
+        if let Some(t) = self.trace.as_mut() {
+            t.record(TraceEvent {
+                at: self.now,
+                round: self.round,
+                kind,
+            });
+        }
+    }
+
     fn offer_round(&mut self) {
-        let commands = {
-            let offer = self.build_offer_input();
-            self.sched.offer_round(&offer)
-        };
+        let offer = self.build_offer_input();
+        let commands = self.sched.offer_round(&offer);
+        self.round += 1;
+        if self.trace.is_some() {
+            let running = offer.nodes.iter().map(|n| n.running.len()).sum();
+            let blocked = offer.nodes.iter().filter(|n| n.blocked).count();
+            self.trace_event(TraceEventKind::OfferRound {
+                pending: offer.pending.len(),
+                running,
+                blocked,
+                commands: commands.len(),
+            });
+        }
+        if self.auditor.is_some() {
+            let findings = self.sched.audit_round(&offer);
+            let auditor = self.auditor.as_mut().expect("checked above");
+            let fresh = auditor.check_round(self.round, &offer, &commands, findings);
+            for v in fresh {
+                self.trace_event(TraceEventKind::AuditViolation {
+                    check: v.check,
+                    detail: v.detail,
+                });
+            }
+        }
         for cmd in commands {
             self.apply_command(cmd);
         }
@@ -793,7 +958,9 @@ impl<'a, 's> Sim<'a, 's> {
     }
 
     fn build_offer_input(&self) -> OfferInput<'a> {
-        let nodes: Vec<NodeView> = (0..self.nodes.len()).map(|i| self.build_node_view(i)).collect();
+        let nodes: Vec<NodeView> = (0..self.nodes.len())
+            .map(|i| self.build_node_view(i))
+            .collect();
         let mut pending = Vec::new();
         for (sidx, stage_rt) in self.stages.iter().enumerate() {
             if !stage_rt.released {
@@ -801,12 +968,13 @@ impl<'a, 's> Sim<'a, 's> {
             }
             for (tidx, state) in stage_rt.tasks.iter().enumerate() {
                 if let TaskState::Pending { attempt_no } = state {
-                    pending.push(
-                        self.build_pending_view(
-                            TaskRef { stage: StageId(sidx), index: tidx },
-                            *attempt_no,
-                        ),
-                    );
+                    pending.push(self.build_pending_view(
+                        TaskRef {
+                            stage: StageId(sidx),
+                            index: tidx,
+                        },
+                        *attempt_no,
+                    ));
                 }
             }
         }
@@ -877,8 +1045,14 @@ impl<'a, 's> Sim<'a, 's> {
 
     fn apply_command(&mut self, cmd: Command) {
         match cmd {
-            Command::Launch { task, node, use_gpu, speculative } => {
-                self.try_launch(task, node, use_gpu, speculative);
+            Command::Launch {
+                task,
+                node,
+                use_gpu,
+                speculative,
+                reason,
+            } => {
+                self.try_launch(task, node, use_gpu, speculative, reason);
             }
             Command::KillAndRequeue { task, node } => {
                 let state = &self.stages[task.stage.index()].tasks[task.index];
@@ -888,6 +1062,9 @@ impl<'a, 's> Sim<'a, 's> {
                         .copied()
                         .filter(|&id| self.attempts[id].node == node)
                         .collect();
+                    if !on_node.is_empty() {
+                        self.trace_event(TraceEventKind::KillRequeue { task, node });
+                    }
                     for id in on_node {
                         self.fail_attempt(id, AttemptOutcome::MemoryStragglerKilled);
                     }
@@ -896,7 +1073,14 @@ impl<'a, 's> Sim<'a, 's> {
         }
     }
 
-    fn try_launch(&mut self, task: TaskRef, node_id: NodeId, use_gpu: bool, speculative: bool) {
+    fn try_launch(
+        &mut self,
+        task: TaskRef,
+        node_id: NodeId,
+        use_gpu: bool,
+        speculative: bool,
+        reason: LaunchReason,
+    ) {
         if node_id.index() >= self.nodes.len() {
             return;
         }
@@ -936,8 +1120,10 @@ impl<'a, 's> Sim<'a, 's> {
                     locality = Locality::NodeLocal;
                 } else {
                     remote_input = demand.input_bytes;
-                    locality =
-                        self.input.layout.hdfs_locality(self.input.cluster, *block, node_id);
+                    locality = self
+                        .input
+                        .layout
+                        .hdfs_locality(self.input.cluster, *block, node_id);
                 }
             }
             InputSource::CachedOrHdfs { key, fallback } => {
@@ -949,10 +1135,10 @@ impl<'a, 's> Sim<'a, 's> {
                     locality = Locality::NodeLocal;
                 } else {
                     remote_input = demand.input_bytes;
-                    locality = self
-                        .input
-                        .layout
-                        .hdfs_locality(self.input.cluster, *fallback, node_id);
+                    locality =
+                        self.input
+                            .layout
+                            .hdfs_locality(self.input.cluster, *fallback, node_id);
                 }
             }
             // Shuffle locality is refined below from map outputs;
@@ -972,7 +1158,11 @@ impl<'a, 's> Sim<'a, 's> {
                 on_node += prt.map_out_per_node[node_id.index()];
                 total += prt.map_out_total;
             }
-            let frac = if total > 0.0 { (on_node / total).clamp(0.0, 1.0) } else { 0.0 };
+            let frac = if total > 0.0 {
+                (on_node / total).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
             shuffle_local = demand.shuffle_read.scale(frac);
             shuffle_remote = demand.shuffle_read.saturating_sub(shuffle_local);
             if matches!(template.input, InputSource::Shuffle) && frac >= REDUCER_PREF_FRACTION {
@@ -988,9 +1178,8 @@ impl<'a, 's> Sim<'a, 's> {
             .iter()
             .filter(|&&aid| self.attempts[aid].used_gpu)
             .count() as u32;
-        let use_gpu = spec.gpus > 0
-            && demand.is_gpu_capable()
-            && (use_gpu || gpus_busy < spec.gpus);
+        let use_gpu =
+            spec.gpus > 0 && demand.is_gpu_capable() && (use_gpu || gpus_busy < spec.gpus);
         node.mem_in_use += demand.peak_mem;
         let pressure = node.mem_in_use.as_f64() / node.executor_mem.as_f64().max(1.0);
         let ctx = LaunchContext {
@@ -1004,8 +1193,7 @@ impl<'a, 's> Sim<'a, 's> {
             heap: node.executor_mem,
             decision_cost: self.sched.decision_cost(),
         };
-        let phases: VecDeque<Phase> =
-            build_phases(demand, &ctx, &self.input.config.cost).into();
+        let phases: VecDeque<Phase> = build_phases(demand, &ctx, &self.input.config.cost).into();
 
         let id = self.attempts.len();
         self.attempts.push(AttemptRt {
@@ -1034,6 +1222,15 @@ impl<'a, 's> Sim<'a, 's> {
             self.speculative_launched += 1;
             self.spec_set.remove(&task);
         }
+        self.trace_event(TraceEventKind::Launch {
+            task,
+            node: node_id,
+            attempt: attempt_no,
+            speculative,
+            use_gpu,
+            locality,
+            reason,
+        });
         self.schedule_oom_check_if_needed(node_id);
     }
 }
@@ -1068,8 +1265,7 @@ mod tests {
         }
         fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command> {
             let mut cmds = Vec::new();
-            let mut used: Vec<usize> =
-                input.nodes.iter().map(|n| n.running_count()).collect();
+            let mut used: Vec<usize> = input.nodes.iter().map(|n| n.running_count()).collect();
             for p in &input.pending {
                 if let Some(i) = (0..input.nodes.len())
                     .find(|&i| !input.nodes[i].blocked && used[i] < self.slots[i])
@@ -1080,6 +1276,7 @@ mod tests {
                         node: NodeId(i),
                         use_gpu: false,
                         speculative: false,
+                        reason: LaunchReason::FifoSlot,
                     });
                 }
             }
@@ -1132,7 +1329,13 @@ mod tests {
         let cluster = ClusterSpec::two_node_motivation();
         let (app, layout) = tiny_app(8, 4.0);
         let cfg = SimConfig::default();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed,
+        };
         let mut sched = FifoScheduler::new();
         simulate(&input, &mut sched)
     }
@@ -1141,7 +1344,11 @@ mod tests {
     fn completes_all_tasks() {
         let report = run_tiny(1);
         assert!(report.completed);
-        let successes = report.records.iter().filter(|r| r.outcome.is_success()).count();
+        let successes = report
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_success())
+            .count();
         assert_eq!(successes, 10);
         assert!(report.makespan > SimDuration::ZERO);
     }
@@ -1216,8 +1423,13 @@ mod tests {
             b.add_stage(j, "r", "c/r", StageKind::Result, vec![], tasks);
             let app = b.build();
             let layout = DataLayout::new();
-            let input =
-                SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 5 };
+            let input = SimInput {
+                cluster: &cluster,
+                app: &app,
+                layout: &layout,
+                config: &cfg,
+                seed: 5,
+            };
             let mut sched = FifoScheduler::new();
             simulate(&input, &mut sched).makespan
         };
@@ -1249,7 +1461,13 @@ mod tests {
         b.add_stage(j, "r", "oom/r", StageKind::Result, vec![], tasks);
         let app = b.build();
         let layout = DataLayout::new();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 11 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 11,
+        };
         let mut sched = FifoScheduler::new();
         let report = simulate(&input, &mut sched);
         assert!(
@@ -1321,17 +1539,30 @@ mod tests {
                         node: NodeId(2),
                         use_gpu: false,
                         speculative: true,
+                        reason: LaunchReason::SparkSpeculative,
                     });
                 }
                 cmds
             }
         }
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 2 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 2,
+        };
         let mut sched = SpecFifo(FifoScheduler::new());
         let report = simulate(&input, &mut sched);
         assert!(report.completed);
-        assert!(report.speculative_launched > 0, "no speculative copies launched");
-        assert!(report.speculative_wins > 0, "copies on fast nodes should win");
+        assert!(
+            report.speculative_launched > 0,
+            "no speculative copies launched"
+        );
+        assert!(
+            report.speculative_wins > 0,
+            "copies on fast nodes should win"
+        );
         // every task succeeded exactly once
         let mut winners: Vec<TaskRef> = report
             .records
@@ -1412,17 +1643,28 @@ mod tests {
                         node: NodeId(0),
                         use_gpu: true,
                         speculative: false,
+                        reason: LaunchReason::FifoSlot,
                     })
                     .collect()
             }
         }
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 1 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 1,
+        };
         let mut sched = GpuFifo;
         let report = simulate(&input, &mut sched);
         assert!(report.completed);
         assert_eq!(report.gpu_task_count(), 1);
         // 40 Gcycles at 20 Gc/s on GPU ≈ 2 s; on the 1 GHz CPU it would be 40 s
-        assert!(report.makespan < SimDuration::from_secs(10), "GPU not used: {}", report.makespan);
+        assert!(
+            report.makespan < SimDuration::from_secs(10),
+            "GPU not used: {}",
+            report.makespan
+        );
     }
 
     #[test]
@@ -1456,10 +1698,23 @@ mod tests {
         // two identical jobs over the same cacheable RDD
         for _ in 0..2 {
             let j = b.begin_job();
-            b.add_stage(j, "scan", "cache/data", StageKind::Result, vec![], mk_tasks(&blocks));
+            b.add_stage(
+                j,
+                "scan",
+                "cache/data",
+                StageKind::Result,
+                vec![],
+                mk_tasks(&blocks),
+            );
         }
         let app = b.build();
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 8 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 8,
+        };
         let mut sched = FifoScheduler::new();
         let report = simulate(&input, &mut sched);
         assert!(report.completed);
@@ -1473,12 +1728,16 @@ mod tests {
             .iter()
             .filter(|r| r.task.stage == StageId(1) && r.outcome.is_success())
             .collect();
-        assert!(first_job.iter().all(|r| r.locality != Locality::ProcessLocal));
+        assert!(first_job
+            .iter()
+            .all(|r| r.locality != Locality::ProcessLocal));
         // FIFO places tasks deterministically on node 0 first; the cached
         // copies live where the first job ran, so at least one second-job
         // task should hit the cache.
         assert!(
-            second_job.iter().any(|r| r.locality == Locality::ProcessLocal),
+            second_job
+                .iter()
+                .any(|r| r.locality == Locality::ProcessLocal),
             "no cache hits in second job: {:?}",
             second_job.iter().map(|r| r.locality).collect::<Vec<_>>()
         );

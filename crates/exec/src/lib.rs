@@ -17,9 +17,14 @@
 //! * [`engine`] — the simulation driver: fluid processor-sharing
 //!   contention, OOM/executor-loss model, race resolution, utilisation
 //!   recording. Produces a [`rupam_metrics::RunReport`].
+//! * [`audit`] — the post-round invariant auditor: re-checks every
+//!   command batch against the snapshot it came from (memory
+//!   feasibility, double launches, overcommit caps, scheduler-declared
+//!   invariants).
 
 #![warn(missing_docs)]
 
+pub mod audit;
 pub mod cache;
 pub mod config;
 pub mod costmodel;
@@ -27,6 +32,8 @@ pub mod engine;
 pub mod scheduler;
 pub mod speculation;
 
+pub use audit::{AuditConfig, InvariantAuditor, Violation};
 pub use config::SimConfig;
-pub use engine::{simulate, SimInput};
+pub use engine::{simulate, simulate_observed, SimInput, SimObservation, SimOptions};
+pub use rupam_metrics::trace::LaunchReason;
 pub use scheduler::{Command, NodeView, OfferInput, PendingTaskView, Scheduler};

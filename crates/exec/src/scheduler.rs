@@ -16,6 +16,7 @@ use rupam_cluster::{ClusterSpec, NodeId};
 use rupam_dag::app::{Application, Stage, StageKind};
 use rupam_dag::{Locality, TaskRef};
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
+use rupam_metrics::trace::LaunchReason;
 
 /// A summary of one running attempt, visible to schedulers (for RUPAM's
 /// memory-straggler detection and resource-aware speculation).
@@ -100,11 +101,7 @@ impl PendingTaskView {
         if self.node_local.contains(&node) {
             return Locality::NodeLocal;
         }
-        if self
-            .node_local
-            .iter()
-            .any(|&n| cluster.same_rack(n, node))
-        {
+        if self.node_local.iter().any(|&n| cluster.same_rack(n, node)) {
             return Locality::RackLocal;
         }
         Locality::Any
@@ -153,6 +150,10 @@ pub enum Command {
         use_gpu: bool,
         /// Launch as a speculative / racing copy of a running attempt.
         speculative: bool,
+        /// Why the scheduler placed the task here — recorded in decision
+        /// traces and used by the invariant auditor to decide which
+        /// checks the launch must satisfy.
+        reason: LaunchReason,
     },
     /// Kill a *running* attempt and requeue its task (RUPAM's
     /// memory-straggler relocation, §III-C3).
@@ -202,6 +203,17 @@ pub trait Scheduler {
 
     /// Produce commands for the current snapshot.
     fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command>;
+
+    /// Audit scheduler-internal invariants against the snapshot the
+    /// round just consumed (queue ordering, staleness of cached state,
+    /// …). Called by the engine's [`InvariantAuditor`] after each round
+    /// when auditing is enabled; returns human-readable violation
+    /// descriptions. Default: no scheduler-specific invariants.
+    ///
+    /// [`InvariantAuditor`]: crate::audit::InvariantAuditor
+    fn audit_round(&self, _input: &OfferInput<'_>) -> Vec<String> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]
@@ -211,7 +223,10 @@ mod tests {
 
     fn view(process: Vec<NodeId>, node_local: Vec<NodeId>) -> PendingTaskView {
         PendingTaskView {
-            task: TaskRef { stage: StageId(0), index: 0 },
+            task: TaskRef {
+                stage: StageId(0),
+                index: 0,
+            },
             template_key: "t".into(),
             stage_kind: StageKind::ShuffleMap,
             attempt_no: 0,
@@ -237,8 +252,14 @@ mod tests {
 
     #[test]
     fn best_locality() {
-        assert_eq!(view(vec![NodeId(0)], vec![]).best_locality(), Locality::ProcessLocal);
-        assert_eq!(view(vec![], vec![NodeId(0)]).best_locality(), Locality::NodeLocal);
+        assert_eq!(
+            view(vec![NodeId(0)], vec![]).best_locality(),
+            Locality::ProcessLocal
+        );
+        assert_eq!(
+            view(vec![], vec![NodeId(0)]).best_locality(),
+            Locality::NodeLocal
+        );
         assert_eq!(view(vec![], vec![]).best_locality(), Locality::Any);
     }
 }

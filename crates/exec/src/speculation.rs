@@ -105,14 +105,21 @@ mod tests {
     }
 
     fn task(i: usize) -> TaskRef {
-        TaskRef { stage: StageId(0), index: i }
+        TaskRef {
+            stage: StageId(0),
+            index: i,
+        }
     }
 
     #[test]
     fn below_quantile_no_speculation() {
         let finished = [10.0, 10.0];
         let running = [(task(2), SimTime::ZERO, false)];
-        let stage = StageProgress { total_tasks: 4, finished_secs: &finished, running: &running };
+        let stage = StageProgress {
+            total_tasks: 4,
+            finished_secs: &finished,
+            running: &running,
+        };
         // 2/4 = 50% < 75%
         assert!(find_speculatable(&cfg(), SimTime::from_secs_f64(1000.0), &stage).is_empty());
     }
@@ -121,7 +128,11 @@ mod tests {
     fn slow_task_marked_after_quantile() {
         let finished = [10.0, 10.0, 10.0];
         let running = [(task(3), SimTime::ZERO, false)];
-        let stage = StageProgress { total_tasks: 4, finished_secs: &finished, running: &running };
+        let stage = StageProgress {
+            total_tasks: 4,
+            finished_secs: &finished,
+            running: &running,
+        };
         // threshold = 15 s; at t=20 the task qualifies
         let out = find_speculatable(&cfg(), SimTime::from_secs_f64(20.0), &stage);
         assert_eq!(out, vec![task(3)]);
@@ -133,16 +144,27 @@ mod tests {
     fn tasks_with_copy_skipped() {
         let finished = [10.0, 10.0, 10.0];
         let running = [(task(3), SimTime::ZERO, true)];
-        let stage = StageProgress { total_tasks: 4, finished_secs: &finished, running: &running };
+        let stage = StageProgress {
+            total_tasks: 4,
+            finished_secs: &finished,
+            running: &running,
+        };
         assert!(find_speculatable(&cfg(), SimTime::from_secs_f64(100.0), &stage).is_empty());
     }
 
     #[test]
     fn disabled_switch() {
-        let c = SpeculationConfig { enabled: false, ..cfg() };
+        let c = SpeculationConfig {
+            enabled: false,
+            ..cfg()
+        };
         let finished = [10.0, 10.0, 10.0];
         let running = [(task(3), SimTime::ZERO, false)];
-        let stage = StageProgress { total_tasks: 4, finished_secs: &finished, running: &running };
+        let stage = StageProgress {
+            total_tasks: 4,
+            finished_secs: &finished,
+            running: &running,
+        };
         assert!(find_speculatable(&c, SimTime::from_secs_f64(100.0), &stage).is_empty());
     }
 

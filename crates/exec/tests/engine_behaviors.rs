@@ -8,7 +8,7 @@ use rupam_dag::data::DataLayout;
 use rupam_dag::task::{CacheKey, InputSource, TaskDemand, TaskTemplate};
 use rupam_dag::AppBuilder;
 use rupam_exec::scheduler::{Command, OfferInput, Scheduler};
-use rupam_exec::{simulate, SimConfig, SimInput};
+use rupam_exec::{simulate, LaunchReason, SimConfig, SimInput};
 use rupam_metrics::breakdown::BreakdownCategory as C;
 use rupam_simcore::time::SimDuration;
 use rupam_simcore::units::ByteSize;
@@ -41,6 +41,7 @@ impl Scheduler for PinAll {
                 node: self.node,
                 use_gpu: self.use_gpu,
                 speculative: false,
+                reason: LaunchReason::FifoSlot,
             })
             .collect()
     }
@@ -86,10 +87,21 @@ fn compute_app(n: usize, compute: f64, gpu_kernels: f64) -> Application {
     b.build()
 }
 
-fn run(cluster: &ClusterSpec, app: &Application, sched: &mut dyn Scheduler, seed: u64) -> rupam_metrics::RunReport {
+fn run(
+    cluster: &ClusterSpec,
+    app: &Application,
+    sched: &mut dyn Scheduler,
+    seed: u64,
+) -> rupam_metrics::RunReport {
     let layout = DataLayout::new();
     let cfg = SimConfig::default();
-    let input = SimInput { cluster, app, layout: &layout, config: &cfg, seed };
+    let input = SimInput {
+        cluster,
+        app,
+        layout: &layout,
+        config: &cfg,
+        seed,
+    };
     simulate(&input, sched)
 }
 
@@ -99,12 +111,20 @@ fn cpu_sharing_is_fair_processor_sharing() {
     let cluster = single_node_cluster(4, 2.0, 0);
     let solo = {
         let app = compute_app(1, 20.0, 0.0);
-        let mut s = PinAll { node: NodeId(0), slots: 8, use_gpu: false };
+        let mut s = PinAll {
+            node: NodeId(0),
+            slots: 8,
+            use_gpu: false,
+        };
         run(&cluster, &app, &mut s, 1).makespan.as_secs_f64()
     };
     let crowded = {
         let app = compute_app(8, 20.0, 0.0);
-        let mut s = PinAll { node: NodeId(0), slots: 8, use_gpu: false };
+        let mut s = PinAll {
+            node: NodeId(0),
+            slots: 8,
+            use_gpu: false,
+        };
         run(&cluster, &app, &mut s, 1).makespan.as_secs_f64()
     };
     let ratio = crowded / solo;
@@ -120,12 +140,20 @@ fn gpu_contention_serialises_kernels() {
     let cluster = single_node_cluster(8, 2.0, 1);
     let solo = {
         let app = compute_app(1, 40.0, 40.0);
-        let mut s = PinAll { node: NodeId(0), slots: 8, use_gpu: true };
+        let mut s = PinAll {
+            node: NodeId(0),
+            slots: 8,
+            use_gpu: true,
+        };
         run(&cluster, &app, &mut s, 2).makespan.as_secs_f64()
     };
     let crowded = {
         let app = compute_app(4, 40.0, 40.0);
-        let mut s = PinAll { node: NodeId(0), slots: 8, use_gpu: true };
+        let mut s = PinAll {
+            node: NodeId(0),
+            slots: 8,
+            use_gpu: true,
+        };
         run(&cluster, &app, &mut s, 2).makespan.as_secs_f64()
     };
     let ratio = crowded / solo;
@@ -140,14 +168,22 @@ fn gpu_beats_cpu_for_kernel_heavy_tasks() {
     let cluster = single_node_cluster(8, 1.0, 1);
     let app = compute_app(1, 40.0, 40.0);
     let on_gpu = {
-        let mut s = PinAll { node: NodeId(0), slots: 1, use_gpu: true };
+        let mut s = PinAll {
+            node: NodeId(0),
+            slots: 1,
+            use_gpu: true,
+        };
         run(&cluster, &app, &mut s, 3)
     };
     // a GPU-capable task on a GPU node grabs the GPU opportunistically,
     // so contrast against a cluster with no GPU at all
     let no_gpu_cluster = single_node_cluster(8, 1.0, 0);
     let on_cpu = {
-        let mut s = PinAll { node: NodeId(0), slots: 1, use_gpu: false };
+        let mut s = PinAll {
+            node: NodeId(0),
+            slots: 1,
+            use_gpu: false,
+        };
         run(&no_gpu_cluster, &app, &mut s, 3)
     };
     assert_eq!(on_gpu.gpu_task_count(), 1);
@@ -165,7 +201,11 @@ fn gpu_beats_cpu_for_kernel_heavy_tasks() {
 fn decision_cost_lands_in_scheduler_delay() {
     let cluster = single_node_cluster(4, 2.0, 0);
     let app = compute_app(4, 4.0, 0.0);
-    let mut s = PinAll { node: NodeId(0), slots: 4, use_gpu: false };
+    let mut s = PinAll {
+        node: NodeId(0),
+        slots: 4,
+        use_gpu: false,
+    };
     let report = run(&cluster, &app, &mut s, 4);
     let total = report.breakdown_totals();
     let delay = total.get(C::SchedulerDelay);
@@ -204,7 +244,14 @@ fn executor_loss_wipes_the_partition_cache() {
     };
     // job 1: populate the cache
     let j = b.begin_job();
-    b.add_stage(j, "scan1", "cw/data", StageKind::Result, vec![], scan_tasks(&blocks));
+    b.add_stage(
+        j,
+        "scan1",
+        "cw/data",
+        StageKind::Result,
+        vec![],
+        scan_tasks(&blocks),
+    );
     // job 2: a memory bomb — two 45 GiB tasks together overshoot the
     // 62 GiB executor past the kill ratio; each alone fits fine
     let j = b.begin_job();
@@ -228,7 +275,14 @@ fn executor_loss_wipes_the_partition_cache() {
     );
     // job 3: scan again — should find the cache gone
     let j = b.begin_job();
-    b.add_stage(j, "scan2", "cw/data", StageKind::Result, vec![], scan_tasks(&blocks));
+    b.add_stage(
+        j,
+        "scan2",
+        "cw/data",
+        StageKind::Result,
+        vec![],
+        scan_tasks(&blocks),
+    );
     let app = b.build();
 
     // the scheduler detonates the bomb once (both tasks together), then
@@ -268,17 +322,32 @@ fn executor_loss_wipes_the_partition_cache() {
                 if is_bomb && self.boomed && (bombs_running > 0 || !cmds.is_empty()) {
                     continue; // post-boom: one bomb at a time
                 }
-                cmds.push(Command::Launch { task: p.task, node, use_gpu: false, speculative: false });
+                cmds.push(Command::Launch {
+                    task: p.task,
+                    node,
+                    use_gpu: false,
+                    speculative: false,
+                    reason: LaunchReason::FifoSlot,
+                });
             }
             cmds
         }
     }
     let cfg = SimConfig::default();
-    let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 5 };
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 5,
+    };
     let mut s = Detonator { boomed: false };
     let report = simulate(&input, &mut s);
     assert!(report.completed);
-    assert!(report.executor_losses > 0, "the bomb should kill the executor");
+    assert!(
+        report.executor_losses > 0,
+        "the bomb should kill the executor"
+    );
     let scan2_process_local = report
         .records
         .iter()
@@ -344,9 +413,14 @@ fn network_sharing_scales_fetch_time() {
                 .iter()
                 .map(|p| Command::Launch {
                     task: p.task,
-                    node: if p.template_key == "net/m" { NodeId(0) } else { NodeId(1) },
+                    node: if p.template_key == "net/m" {
+                        NodeId(0)
+                    } else {
+                        NodeId(1)
+                    },
                     use_gpu: false,
                     speculative: false,
+                    reason: LaunchReason::FifoSlot,
                 })
                 .collect()
         }
@@ -356,8 +430,13 @@ fn network_sharing_scales_fetch_time() {
     let cfg = SimConfig::default();
     let run_net = |reducers: usize| {
         let app = mk(reducers);
-        let input =
-            SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 6 };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 6,
+        };
         let mut s = SplitPin;
         let report = simulate(&input, &mut s);
         assert!(report.completed);
@@ -409,7 +488,13 @@ fn scales_to_thousands_of_tasks() {
     let app = b.build();
     let layout = DataLayout::new();
     let cfg = SimConfig::default();
-    let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &cfg, seed: 9 };
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 9,
+    };
 
     struct RR(Vec<usize>);
     impl Scheduler for RR {
@@ -430,10 +515,18 @@ fn scales_to_thousands_of_tasks() {
                 .pending
                 .iter()
                 .filter_map(|p| {
-                    let i = (0..n).map(|k| (cursor + k) % n).find(|&i| used[i] < self.0[i])?;
+                    let i = (0..n)
+                        .map(|k| (cursor + k) % n)
+                        .find(|&i| used[i] < self.0[i])?;
                     used[i] += 1;
                     cursor = (i + 1) % n;
-                    Some(Command::Launch { task: p.task, node: NodeId(i), use_gpu: false, speculative: false })
+                    Some(Command::Launch {
+                        task: p.task,
+                        node: NodeId(i),
+                        use_gpu: false,
+                        speculative: false,
+                        reason: LaunchReason::FifoSlot,
+                    })
                 })
                 .collect()
         }
@@ -442,7 +535,11 @@ fn scales_to_thousands_of_tasks() {
     let mut sched = RR(Vec::new());
     let report = simulate(&input, &mut sched);
     assert!(report.completed);
-    let successes = report.records.iter().filter(|r| r.outcome.is_success()).count();
+    let successes = report
+        .records
+        .iter()
+        .filter(|r| r.outcome.is_success())
+        .count();
     assert_eq!(successes, 3000);
     assert!(
         started.elapsed().as_secs() < 120,

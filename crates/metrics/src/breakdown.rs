@@ -98,9 +98,7 @@ impl TaskBreakdown {
 
     /// Sum of all categories — the attempt's total runtime.
     pub fn total(&self) -> SimDuration {
-        self.slots
-            .iter()
-            .fold(SimDuration::ZERO, |a, &b| a + b)
+        self.slots.iter().fold(SimDuration::ZERO, |a, &b| a + b)
     }
 
     /// Element-wise accumulation (for per-workload totals).
@@ -148,10 +146,19 @@ mod tests {
         a.add(BreakdownCategory::ShuffleNet, SimDuration::from_secs(1));
         let mut b = TaskBreakdown::new();
         b.add(BreakdownCategory::ShuffleNet, SimDuration::from_secs(2));
-        b.add(BreakdownCategory::SchedulerDelay, SimDuration::from_millis(5));
+        b.add(
+            BreakdownCategory::SchedulerDelay,
+            SimDuration::from_millis(5),
+        );
         a.accumulate(&b);
-        assert_eq!(a.get(BreakdownCategory::ShuffleNet), SimDuration::from_secs(3));
-        assert_eq!(a.get(BreakdownCategory::SchedulerDelay), SimDuration::from_millis(5));
+        assert_eq!(
+            a.get(BreakdownCategory::ShuffleNet),
+            SimDuration::from_secs(3)
+        );
+        assert_eq!(
+            a.get(BreakdownCategory::SchedulerDelay),
+            SimDuration::from_millis(5)
+        );
     }
 
     #[test]
@@ -161,7 +168,10 @@ mod tests {
         b.add(BreakdownCategory::Gc, SimDuration::from_secs(1));
         b.add(BreakdownCategory::ShuffleNet, SimDuration::from_secs(2));
         b.add(BreakdownCategory::ShuffleWrite, SimDuration::from_secs(1));
-        b.add(BreakdownCategory::Serialization, SimDuration::from_millis(100));
+        b.add(
+            BreakdownCategory::Serialization,
+            SimDuration::from_millis(100),
+        );
         let (c, s, ser, sched) = b.coarse();
         assert_eq!(c, SimDuration::from_secs(5));
         assert_eq!(s, SimDuration::from_secs(3));

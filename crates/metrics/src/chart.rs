@@ -86,7 +86,9 @@ pub fn downsample(values: &[f64], n: usize) -> Vec<f64> {
     let chunk = values.len() as f64 / n as f64;
     for i in 0..n {
         let lo = (i as f64 * chunk) as usize;
-        let hi = (((i + 1) as f64 * chunk) as usize).min(values.len()).max(lo + 1);
+        let hi = (((i + 1) as f64 * chunk) as usize)
+            .min(values.len())
+            .max(lo + 1);
         let slice = &values[lo..hi];
         out.push(slice.iter().sum::<f64>() / slice.len() as f64);
     }
@@ -105,7 +107,10 @@ mod tests {
         // tallest column reaches the top row; shortest only the bottom
         let lines: Vec<&str> = s.lines().collect();
         let top = lines[1];
-        assert!(top.ends_with("  #"), "top row should only show the max column: {top:?}");
+        assert!(
+            top.ends_with("  #"),
+            "top row should only show the max column: {top:?}"
+        );
     }
 
     #[test]

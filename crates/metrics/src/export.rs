@@ -27,7 +27,11 @@ pub fn records_csv(report: &RunReport) -> String {
         "stage,index,template,attempt,node,speculative,locality,launched_s,finished_s,outcome,peak_mem_bytes,used_gpu"
     );
     for cat in BreakdownCategory::ALL {
-        let _ = write!(out, ",{}_s", cat.label().to_lowercase().replace([' ', '-'], "_"));
+        let _ = write!(
+            out,
+            ",{}_s",
+            cat.label().to_lowercase().replace([' ', '-'], "_")
+        );
     }
     let _ = writeln!(out);
     for r in &report.records {
@@ -51,6 +55,71 @@ pub fn records_csv(report: &RunReport) -> String {
             let _ = write!(out, ",{:.6}", r.breakdown.get(cat).as_secs_f64());
         }
         let _ = writeln!(out);
+    }
+    out
+}
+
+/// One CSV row per decision-trace event:
+/// `time_s,round,event,task,node,detail`. The `detail` column carries
+/// the event-specific payload (launch reason code and locality, kill
+/// pressure, audit check name, …) so the trace stays greppable without
+/// a schema per event kind.
+pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
+    use crate::trace::TraceEventKind as K;
+    let fmt_task = |t: &rupam_dag::TaskRef| format!("{}.{}", t.stage.index(), t.index);
+    let mut out = String::from("time_s,round,event,task,node,detail\n");
+    for e in trace.iter() {
+        let (task, node, detail) = match &e.kind {
+            K::ExecutorSized { node, mem } => {
+                (String::new(), node.index().to_string(), format!("mem={}", mem.bytes()))
+            }
+            K::OfferRound { pending, running, blocked, commands } => (
+                String::new(),
+                String::new(),
+                format!("pending={pending} running={running} blocked={blocked} commands={commands}"),
+            ),
+            K::Launch { task, node, attempt, speculative, use_gpu, locality, reason } => (
+                fmt_task(task),
+                node.index().to_string(),
+                format!(
+                    "reason={} locality={} attempt={attempt} speculative={speculative} gpu={use_gpu}",
+                    reason.code(),
+                    locality.label()
+                ),
+            ),
+            K::KillRequeue { task, node } => {
+                (fmt_task(task), node.index().to_string(), String::new())
+            }
+            K::OomTaskKill { task, node, pressure_pct } => (
+                fmt_task(task),
+                node.index().to_string(),
+                format!("pressure_pct={pressure_pct}"),
+            ),
+            K::ExecutorLost { node, victims, pressure_pct } => (
+                String::new(),
+                node.index().to_string(),
+                format!("victims={victims} pressure_pct={pressure_pct}"),
+            ),
+            K::SpeculationFlagged { task } => (fmt_task(task), String::new(), String::new()),
+            K::Aborted { cause, task } => (
+                task.as_ref().map(fmt_task).unwrap_or_default(),
+                String::new(),
+                format!("{cause:?}"),
+            ),
+            K::AuditViolation { check, detail } => {
+                (String::new(), String::new(), format!("{check}: {detail}"))
+            }
+        };
+        let _ = writeln!(
+            out,
+            "{:.6},{},{},{},{},{}",
+            e.at.as_secs_f64(),
+            e.round,
+            e.code(),
+            task,
+            node,
+            escape(&detail)
+        );
     }
     out
 }
@@ -85,7 +154,10 @@ mod tests {
         monitor.ingest(HeartbeatSnapshot {
             node: NodeId(0),
             at: SimTime::from_secs_f64(1.0),
-            metrics: NodeMetrics { cpu_util: 0.5, ..NodeMetrics::default() },
+            metrics: NodeMetrics {
+                cpu_util: 0.5,
+                ..NodeMetrics::default()
+            },
         });
         RunReport {
             app_name: "t".into(),
@@ -94,7 +166,10 @@ mod tests {
             makespan: SimDuration::from_secs(10),
             completed: true,
             records: vec![TaskRecord {
-                task: TaskRef { stage: StageId(1), index: 2 },
+                task: TaskRef {
+                    stage: StageId(1),
+                    index: 2,
+                },
                 template_key: "demo, with comma".into(),
                 attempt: 0,
                 node: NodeId(1),
@@ -133,6 +208,45 @@ mod tests {
         assert_eq!(escape("plain"), "plain");
         assert_eq!(escape("a,b"), "\"a,b\"");
         assert_eq!(escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn trace_csv_shape() {
+        use crate::trace::{LaunchReason, TraceBuffer, TraceEvent, TraceEventKind};
+        let mut trace = TraceBuffer::new(16);
+        trace.record(TraceEvent {
+            at: SimTime::from_secs_f64(0.5),
+            round: 1,
+            kind: TraceEventKind::Launch {
+                task: TaskRef {
+                    stage: StageId(2),
+                    index: 3,
+                },
+                node: NodeId(1),
+                attempt: 0,
+                speculative: false,
+                use_gpu: true,
+                locality: Locality::NodeLocal,
+                reason: LaunchReason::SafetyValve,
+            },
+        });
+        trace.record(TraceEvent {
+            at: SimTime::from_secs_f64(1.0),
+            round: 2,
+            kind: TraceEventKind::AuditViolation {
+                check: "memory-feasibility",
+                detail: "claim, with comma".into(),
+            },
+        });
+        let csv = trace_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "time_s,round,event,task,node,detail");
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].starts_with("0.500000,1,launch,2.3,1,"));
+        assert!(lines[1].contains("reason=safety-valve"));
+        assert!(lines[1].contains("locality=NODE_LOCAL"));
+        assert!(lines[2].contains("audit-violation"));
+        assert!(lines[2].contains("\"memory-feasibility: claim, with comma\""));
     }
 
     #[test]

@@ -12,6 +12,9 @@
 //! * [`chart`] — terminal bar/sweep charts for the figure series.
 //! * [`timeline`] — per-node ASCII Gantt views and waste accounting.
 //! * [`export`] — CSV writers for records and utilisation histories.
+//! * [`trace`] — structured decision traces: every launch carries a
+//!   machine-readable reason code, buffered deterministically for
+//!   forensics, CSV export and replay-determinism digests.
 
 #![warn(missing_docs)]
 
@@ -22,8 +25,10 @@ pub mod record;
 pub mod report;
 pub mod table;
 pub mod timeline;
+pub mod trace;
 
 pub use breakdown::{BreakdownCategory, TaskBreakdown};
 pub use record::{AttemptOutcome, TaskRecord};
 pub use report::RunReport;
 pub use table::Table;
+pub use trace::{LaunchReason, TraceBuffer, TraceEvent, TraceEventKind};

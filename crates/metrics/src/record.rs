@@ -102,7 +102,8 @@ impl TaskRecord {
 
     /// Shuffle-write time (`shufflewrite`).
     pub fn shuffle_write_time(&self) -> SimDuration {
-        self.breakdown.get(crate::breakdown::BreakdownCategory::ShuffleWrite)
+        self.breakdown
+            .get(crate::breakdown::BreakdownCategory::ShuffleWrite)
     }
 
     /// HDFS input read time (local disk + remote fetch) — reported apart
@@ -128,7 +129,10 @@ mod tests {
         breakdown.add(C::ShuffleDisk, SimDuration::from_secs(1));
         breakdown.add(C::ShuffleWrite, SimDuration::from_millis(1500));
         TaskRecord {
-            task: TaskRef { stage: StageId(0), index: 3 },
+            task: TaskRef {
+                stage: StageId(0),
+                index: 3,
+            },
             template_key: "t/m".into(),
             attempt: 0,
             node: NodeId(1),

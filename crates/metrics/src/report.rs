@@ -88,7 +88,11 @@ impl RunReport {
 
     /// Fig. 9: the standard deviation of per-node utilisation sampled on
     /// a fixed grid over the run.
-    pub fn utilization_stddev_series(&self, key: MetricKey, step: SimDuration) -> Vec<(SimTime, f64)> {
+    pub fn utilization_stddev_series(
+        &self,
+        key: MetricKey,
+        step: SimDuration,
+    ) -> Vec<(SimTime, f64)> {
         let end = SimTime::ZERO + self.makespan;
         let series = self.monitor.histories(key);
         stddev_across(&series, SimTime::ZERO, end, step)
@@ -162,11 +166,19 @@ mod tests {
     use rupam_dag::{StageId, TaskRef};
     use rupam_simcore::units::ByteSize;
 
-    fn mk_record(node: usize, locality: Locality, outcome: AttemptOutcome, spec: bool) -> TaskRecord {
+    fn mk_record(
+        node: usize,
+        locality: Locality,
+        outcome: AttemptOutcome,
+        spec: bool,
+    ) -> TaskRecord {
         let mut b = TaskBreakdown::new();
         b.add(C::Compute, SimDuration::from_secs(2));
         TaskRecord {
-            task: TaskRef { stage: StageId(0), index: 0 },
+            task: TaskRef {
+                stage: StageId(0),
+                index: 0,
+            },
             template_key: "x".into(),
             attempt: 0,
             node: NodeId(node),
@@ -217,7 +229,10 @@ mod tests {
             mk_record(0, Locality::Any, AttemptOutcome::OomFailure, false),
         ];
         let rep = report(recs);
-        assert_eq!(rep.breakdown_totals().get(C::Compute), SimDuration::from_secs(2));
+        assert_eq!(
+            rep.breakdown_totals().get(C::Compute),
+            SimDuration::from_secs(2)
+        );
     }
 
     #[test]
@@ -236,11 +251,17 @@ mod tests {
     #[test]
     fn stage_spans_cover_launch_to_finish() {
         let mut early = mk_record(0, Locality::Any, AttemptOutcome::Success, false);
-        early.task = TaskRef { stage: StageId(1), index: 0 };
+        early.task = TaskRef {
+            stage: StageId(1),
+            index: 0,
+        };
         early.launched_at = SimTime::from_secs_f64(1.0);
         early.finished_at = SimTime::from_secs_f64(3.0);
         let mut late = mk_record(1, Locality::Any, AttemptOutcome::Success, false);
-        late.task = TaskRef { stage: StageId(1), index: 1 };
+        late.task = TaskRef {
+            stage: StageId(1),
+            index: 1,
+        };
         late.launched_at = SimTime::from_secs_f64(2.0);
         late.finished_at = SimTime::from_secs_f64(6.0);
         let rep = report(vec![early, late]);

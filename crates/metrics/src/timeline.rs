@@ -14,16 +14,11 @@ use crate::record::AttemptOutcome;
 use crate::report::RunReport;
 
 /// Occupancy of one node over `buckets` equal time slices.
-pub fn node_occupancy(
-    report: &RunReport,
-    node: usize,
-    buckets: usize,
-) -> Vec<(usize, bool)> {
+pub fn node_occupancy(report: &RunReport, node: usize, buckets: usize) -> Vec<(usize, bool)> {
     assert!(buckets >= 1);
     let span = report.makespan.as_micros().max(1);
     let bucket_of = |t: SimTime| -> usize {
-        ((t.as_micros() as u128 * buckets as u128) / span as u128).min(buckets as u128 - 1)
-            as usize
+        ((t.as_micros() as u128 * buckets as u128) / span as u128).min(buckets as u128 - 1) as usize
     };
     let mut occupancy = vec![(0usize, false); buckets];
     for r in report.records.iter().filter(|r| r.node.index() == node) {
@@ -82,7 +77,11 @@ pub fn render(report: &RunReport, node_names: &[String], buckets: usize) -> Stri
         " ".repeat(buckets.saturating_sub(2)),
         report.makespan
     );
-    let _ = writeln!(out, "{:>label_w$}  (cells: concurrent attempts; x = failure)", "");
+    let _ = writeln!(
+        out,
+        "{:>label_w$}  (cells: concurrent attempts; x = failure)",
+        ""
+    );
     out
 }
 
@@ -135,7 +134,11 @@ pub fn waste(report: &RunReport) -> WasteSummary {
     WasteSummary {
         failed_secs: wasted_seconds(report),
         race_secs: speculation_overhead_seconds(report),
-        failed_attempts: report.records.iter().filter(|r| r.outcome.is_failure()).count(),
+        failed_attempts: report
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_failure())
+            .count(),
     }
 }
 
@@ -151,7 +154,10 @@ mod tests {
 
     fn record(node: usize, start: f64, end: f64, outcome: AttemptOutcome) -> TaskRecord {
         TaskRecord {
-            task: TaskRef { stage: StageId(0), index: 0 },
+            task: TaskRef {
+                stage: StageId(0),
+                index: 0,
+            },
             template_key: "t".into(),
             attempt: 0,
             node: NodeId(node),
@@ -200,9 +206,15 @@ mod tests {
     fn failures_are_marked() {
         let rep = report(vec![record(0, 0.0, 4.0, AttemptOutcome::OomFailure)]);
         let occ = node_occupancy(&rep, 0, 10);
-        assert!(occ[4].1, "failure bucket flagged (task ends at t=4s of 10s)");
+        assert!(
+            occ[4].1,
+            "failure bucket flagged (task ends at t=4s of 10s)"
+        );
         let rendered = render(&rep, &["node-1".into(), "node-2".into()], 10);
-        assert!(rendered.contains('x'), "render should show the failure: {rendered}");
+        assert!(
+            rendered.contains('x'),
+            "render should show the failure: {rendered}"
+        );
     }
 
     #[test]

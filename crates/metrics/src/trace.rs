@@ -1,0 +1,440 @@
+//! Structured decision traces.
+//!
+//! Every scheduling decision the engine applies can be recorded as a
+//! [`TraceEvent`]: offer-round snapshots, launches (each carrying the
+//! *reason* the issuing policy chose that placement), OOM kills, executor
+//! losses, speculation flags, executor sizing and aborts. Events are
+//! deterministic projections of simulation state — no wall-clock time, no
+//! host randomness — so two runs of the same `(cluster, workload, seed)`
+//! produce byte-identical traces, and a trace digest doubles as a replay-
+//! determinism check.
+//!
+//! Traces are buffered in a fixed-capacity ring ([`TraceBuffer`]): steady
+//! memory use on arbitrarily long runs, with a `dropped` counter instead
+//! of silent truncation.
+
+use std::collections::VecDeque;
+
+use rupam_simcore::time::SimTime;
+use rupam_simcore::units::ByteSize;
+
+use rupam_cluster::resources::ResourceKind;
+use rupam_cluster::NodeId;
+use rupam_dag::{Locality, TaskRef};
+
+/// Why a scheduler issued a `Command::Launch` — the machine-readable
+/// reason code attached to every launch decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LaunchReason {
+    /// Algorithm 2 queue match: the task came from `kind`'s Task Queue,
+    /// the node from `kind`'s Resource Queue, and the memory-feasibility
+    /// check passed; ties were broken at `locality`.
+    QueueMatch {
+        /// Resource kind whose queues were matched.
+        kind: ResourceKind,
+        /// Locality level of the winning candidate.
+        locality: Locality,
+    },
+    /// The task has exhibited all five bottlenecks and is locked to its
+    /// historically best executor (Algorithm 2 lines 12–16). When
+    /// `overrode_memory_veto` is set, the lock overrode a failed
+    /// memory-feasibility check — the one sanctioned exception.
+    BestExecutorLock {
+        /// True when the placement proceeded despite `peak > free_mem`.
+        overrode_memory_veto: bool,
+    },
+    /// GPU queue had work but no GPU node had room, so the task fell back
+    /// to the most powerful idle CPU node (§III-C3).
+    GpuCpuFallback {
+        /// Locality level of the fallback placement.
+        locality: Locality,
+    },
+    /// The Dispatcher's progress safety valve: the cluster was idle and
+    /// no estimate-respecting placement existed, so the first pending
+    /// task was forced onto the node with the most free memory.
+    SafetyValve,
+    /// Stock Spark delay scheduling: the task set's current allowed level
+    /// was `allowed` and the task launched at `achieved`.
+    DelaySchedule {
+        /// Locality level the task set currently tolerates.
+        allowed: Locality,
+        /// Locality level actually achieved on the offered node.
+        achieved: Locality,
+    },
+    /// Stock Spark speculative copy on a free slot away from the original.
+    SparkSpeculative,
+    /// A plain FIFO slot fill (baseline/test schedulers).
+    FifoSlot,
+    /// Straggler relocation: a speculative copy placed on the best node
+    /// for the task's recorded bottleneck.
+    Relocation {
+        /// Bottleneck resource that picked the target node.
+        bottleneck: ResourceKind,
+    },
+    /// GPU/CPU race: the original grinds on the wrong side, this copy
+    /// races it on the other (§III-C3).
+    GpuRace,
+}
+
+impl LaunchReason {
+    /// Stable, machine-readable code (CSV exports, log filters).
+    pub fn code(&self) -> &'static str {
+        match self {
+            LaunchReason::QueueMatch { .. } => "queue-match",
+            LaunchReason::BestExecutorLock {
+                overrode_memory_veto: true,
+            } => "best-executor-lock-override",
+            LaunchReason::BestExecutorLock { .. } => "best-executor-lock",
+            LaunchReason::GpuCpuFallback { .. } => "gpu-cpu-fallback",
+            LaunchReason::SafetyValve => "safety-valve",
+            LaunchReason::DelaySchedule { .. } => "delay-schedule",
+            LaunchReason::SparkSpeculative => "spark-speculative",
+            LaunchReason::FifoSlot => "fifo-slot",
+            LaunchReason::Relocation { .. } => "relocation",
+            LaunchReason::GpuRace => "gpu-race",
+        }
+    }
+
+    /// True when the issuing policy claims it verified the task fits in
+    /// the node's free memory — exactly the launches the invariant
+    /// auditor may hold to the memory-feasibility check.
+    pub fn claims_memory_checked(&self) -> bool {
+        matches!(
+            self,
+            LaunchReason::QueueMatch { .. } | LaunchReason::GpuCpuFallback { .. }
+        )
+    }
+}
+
+/// Why a run aborted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbortCause {
+    /// A task exhausted `max_retries` attempts.
+    RetriesExhausted,
+    /// Pending work but no placements for a long stretch of heartbeats
+    /// (Spark's "Initial job has not accepted any resources").
+    Livelock,
+}
+
+/// One recorded decision, stamped with simulation time and offer round.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// Offer-round counter at the event (0 = before the first round).
+    pub round: u64,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The event payload.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEventKind {
+    /// An executor was sized at application start.
+    ExecutorSized {
+        /// Node the executor runs on.
+        node: NodeId,
+        /// Heap the scheduler requested (after the node-capacity clamp).
+        mem: ByteSize,
+    },
+    /// An offer round ran: the snapshot the scheduler saw, summarised.
+    OfferRound {
+        /// Pending (schedulable) tasks in the snapshot.
+        pending: usize,
+        /// Running attempts across the cluster.
+        running: usize,
+        /// Nodes blocked by a JVM restart.
+        blocked: usize,
+        /// Commands the scheduler returned.
+        commands: usize,
+    },
+    /// A launch command was applied.
+    Launch {
+        /// The task launched.
+        task: TaskRef,
+        /// Target node.
+        node: NodeId,
+        /// Attempt number (0 = first try).
+        attempt: u32,
+        /// Whether this is a speculative copy.
+        speculative: bool,
+        /// Whether the attempt runs its kernels on a GPU.
+        use_gpu: bool,
+        /// Locality level resolved against live state at launch.
+        locality: Locality,
+        /// Why the scheduler placed it here.
+        reason: LaunchReason,
+    },
+    /// A memory-straggler kill-and-requeue was applied.
+    KillRequeue {
+        /// The task killed.
+        task: TaskRef,
+        /// Node it was killed on.
+        node: NodeId,
+    },
+    /// A task-level OOM killed one attempt.
+    OomTaskKill {
+        /// The victim.
+        task: TaskRef,
+        /// Node it died on.
+        node: NodeId,
+        /// Heap pressure (`mem_in_use / executor_mem`) in percent.
+        pressure_pct: u32,
+    },
+    /// The whole executor JVM died; every running attempt failed.
+    ExecutorLost {
+        /// Node whose executor died.
+        node: NodeId,
+        /// Attempts that died with it.
+        victims: usize,
+        /// Heap pressure in percent at the kill.
+        pressure_pct: u32,
+    },
+    /// The engine flagged a running task as speculatable.
+    SpeculationFlagged {
+        /// The straggling task.
+        task: TaskRef,
+    },
+    /// The run aborted.
+    Aborted {
+        /// Why.
+        cause: AbortCause,
+        /// The task that exhausted retries, if that was the cause.
+        task: Option<TaskRef>,
+    },
+    /// The invariant auditor flagged a violation (mirrored into the trace
+    /// so CSV exports carry the full story).
+    AuditViolation {
+        /// Which invariant (stable code).
+        check: &'static str,
+        /// Human-readable specifics.
+        detail: String,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event-type code (CSV exports, filters).
+    pub fn code(&self) -> &'static str {
+        match &self.kind {
+            TraceEventKind::ExecutorSized { .. } => "executor-sized",
+            TraceEventKind::OfferRound { .. } => "offer-round",
+            TraceEventKind::Launch { .. } => "launch",
+            TraceEventKind::KillRequeue { .. } => "kill-requeue",
+            TraceEventKind::OomTaskKill { .. } => "oom-task-kill",
+            TraceEventKind::ExecutorLost { .. } => "executor-lost",
+            TraceEventKind::SpeculationFlagged { .. } => "speculation-flagged",
+            TraceEventKind::Aborted { .. } => "aborted",
+            TraceEventKind::AuditViolation { .. } => "audit-violation",
+        }
+    }
+}
+
+/// Default ring capacity: plenty for every workload in this repository
+/// while bounding memory on adversarial runs.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// Fixed-capacity ring buffer of [`TraceEvent`]s with a running digest.
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    cap: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+    digest: u64,
+    recorded: u64,
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        Self::new(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+impl TraceBuffer {
+    /// A buffer keeping at most `capacity` events (0 keeps nothing but
+    /// still digests — useful for cheap replay checks).
+    pub fn new(capacity: usize) -> Self {
+        TraceBuffer {
+            cap: capacity,
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            dropped: 0,
+            digest: FNV_OFFSET,
+            recorded: 0,
+        }
+    }
+
+    /// Record one event, evicting the oldest when full.
+    pub fn record(&mut self, event: TraceEvent) {
+        // the digest covers *every* event ever recorded, evicted or not:
+        // it is the replay-determinism fingerprint of the whole run
+        self.digest = fnv1a(self.digest, format!("{event:?}").as_bytes());
+        self.recorded += 1;
+        if self.cap == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Events currently held (oldest first).
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is held.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events evicted (or discarded by a zero-capacity buffer).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever recorded, including evicted ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Order-sensitive digest over every event ever recorded. Two runs of
+    /// the same inputs must produce equal digests — the replay-determinism
+    /// invariant, checkable without storing either trace.
+    pub fn digest(&self) -> u64 {
+        self.digest
+    }
+
+    /// Count launches per reason code (quick forensic summaries).
+    pub fn reason_histogram(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for e in &self.events {
+            if let TraceEventKind::Launch { reason, .. } = &e.kind {
+                *counts.entry(reason.code()).or_default() += 1;
+            }
+        }
+        counts.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_dag::StageId;
+
+    fn launch_event(i: usize) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_secs_f64(i as f64),
+            round: i as u64,
+            kind: TraceEventKind::Launch {
+                task: TaskRef {
+                    stage: StageId(0),
+                    index: i,
+                },
+                node: NodeId(0),
+                attempt: 0,
+                speculative: false,
+                use_gpu: false,
+                locality: Locality::Any,
+                reason: LaunchReason::FifoSlot,
+            },
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut buf = TraceBuffer::new(2);
+        for i in 0..5 {
+            buf.record(launch_event(i));
+        }
+        assert_eq!(buf.len(), 2);
+        assert_eq!(buf.dropped(), 3);
+        assert_eq!(buf.recorded(), 5);
+        let kept: Vec<u64> = buf.iter().map(|e| e.round).collect();
+        assert_eq!(kept, vec![3, 4]);
+    }
+
+    #[test]
+    fn digest_is_order_sensitive_and_covers_evicted() {
+        let mut a = TraceBuffer::new(1);
+        let mut b = TraceBuffer::new(1);
+        a.record(launch_event(0));
+        a.record(launch_event(1));
+        b.record(launch_event(1));
+        b.record(launch_event(0));
+        assert_ne!(a.digest(), b.digest());
+        // same sequence, different capacities → same digest
+        let mut c = TraceBuffer::new(100);
+        c.record(launch_event(0));
+        c.record(launch_event(1));
+        let mut d = TraceBuffer::new(1);
+        d.record(launch_event(0));
+        d.record(launch_event(1));
+        assert_eq!(c.digest(), d.digest());
+    }
+
+    #[test]
+    fn reason_codes_are_stable() {
+        assert_eq!(
+            LaunchReason::QueueMatch {
+                kind: ResourceKind::Cpu,
+                locality: Locality::Any
+            }
+            .code(),
+            "queue-match"
+        );
+        assert_eq!(
+            LaunchReason::BestExecutorLock {
+                overrode_memory_veto: true
+            }
+            .code(),
+            "best-executor-lock-override"
+        );
+        assert!(LaunchReason::QueueMatch {
+            kind: ResourceKind::Mem,
+            locality: Locality::Any
+        }
+        .claims_memory_checked());
+        assert!(!LaunchReason::SafetyValve.claims_memory_checked());
+        assert!(!LaunchReason::DelaySchedule {
+            allowed: Locality::Any,
+            achieved: Locality::Any
+        }
+        .claims_memory_checked());
+    }
+
+    #[test]
+    fn reason_histogram_counts_launches() {
+        let mut buf = TraceBuffer::default();
+        buf.record(launch_event(0));
+        buf.record(launch_event(1));
+        buf.record(TraceEvent {
+            at: SimTime::ZERO,
+            round: 2,
+            kind: TraceEventKind::OfferRound {
+                pending: 0,
+                running: 0,
+                blocked: 0,
+                commands: 0,
+            },
+        });
+        assert_eq!(buf.reason_histogram(), vec![("fifo-slot", 2)]);
+    }
+}

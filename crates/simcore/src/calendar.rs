@@ -88,7 +88,11 @@ impl<E> Calendar<E> {
     /// in release builds the event is clamped to `now` so the simulation
     /// degrades rather than corrupts its clock.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "scheduling into the past: {at} < {}", self.now);
+        debug_assert!(
+            at >= self.now,
+            "scheduling into the past: {at} < {}",
+            self.now
+        );
         let at = at.max(self.now);
         let seq = self.next_seq;
         self.next_seq += 1;

@@ -139,7 +139,10 @@ mod tests {
         for _ in 0..20_000 {
             counts[zipf_rank(&mut rng, n, 1.2)] += 1;
         }
-        assert!(counts[0] > counts[n / 2] * 5, "rank 0 should dominate: {counts:?}");
+        assert!(
+            counts[0] > counts[n / 2] * 5,
+            "rank 0 should dominate: {counts:?}"
+        );
         assert!(counts[0] > counts[n - 1] * 10);
     }
 
@@ -153,7 +156,10 @@ mod tests {
             counts[zipf_rank(&mut rng, n, 0.0)] += 1;
         }
         for &c in &counts {
-            assert!((c as f64 - 5_000.0).abs() < 600.0, "not uniform: {counts:?}");
+            assert!(
+                (c as f64 - 5_000.0).abs() < 600.0,
+                "not uniform: {counts:?}"
+            );
         }
     }
 

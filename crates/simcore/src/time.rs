@@ -202,7 +202,10 @@ mod tests {
     #[test]
     fn saturating_ops() {
         let d = SimDuration::from_secs(1);
-        assert_eq!(d.saturating_sub(SimDuration::from_secs(2)), SimDuration::ZERO);
+        assert_eq!(
+            d.saturating_sub(SimDuration::from_secs(2)),
+            SimDuration::ZERO
+        );
         assert_eq!(
             SimTime::FAR_FUTURE.saturating_add(SimDuration::from_secs(1)),
             SimTime::FAR_FUTURE

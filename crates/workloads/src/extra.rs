@@ -131,7 +131,11 @@ pub struct WordCountParams {
 
 impl Default for WordCountParams {
     fn default() -> Self {
-        WordCountParams { input: ByteSize::gib(8), reducers: 16, jitter: 0.10 }
+        WordCountParams {
+            input: ByteSize::gib(8),
+            reducers: 16,
+            jitter: 0.10,
+        }
     }
 }
 
@@ -166,7 +170,14 @@ pub fn wordcount(
             }
         })
         .collect();
-    let scan_stage = b.add_stage(j, "tokenize", "wc/scan", StageKind::ShuffleMap, vec![], scan);
+    let scan_stage = b.add_stage(
+        j,
+        "tokenize",
+        "wc/scan",
+        StageKind::ShuffleMap,
+        vec![],
+        scan,
+    );
     let count: Vec<TaskTemplate> = (0..p.reducers)
         .map(|i| TaskTemplate {
             index: i,
@@ -180,7 +191,14 @@ pub fn wordcount(
             },
         })
         .collect();
-    b.add_stage(j, "count", "wc/count", StageKind::Result, vec![scan_stage], count);
+    b.add_stage(
+        j,
+        "count",
+        "wc/count",
+        StageKind::Result,
+        vec![scan_stage],
+        count,
+    );
     (b.build(), layout)
 }
 
@@ -287,11 +305,8 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let (app, layout) = als(&cluster, &RngFactory::new(1), &AlsParams::default());
         assert_eq!(app.jobs.len(), 8, "4 rounds × 2 sides");
-        let templates: std::collections::HashSet<&str> = app
-            .stages
-            .iter()
-            .map(|s| s.template_key.as_str())
-            .collect();
+        let templates: std::collections::HashSet<&str> =
+            app.stages.iter().map(|s| s.template_key.as_str()).collect();
         assert!(templates.contains("als/user") && templates.contains("als/item"));
         assert!(!layout.is_empty());
         validate_against_cluster(&app, &cluster).unwrap();
@@ -304,7 +319,10 @@ mod tests {
         assert_eq!(app.jobs.len(), 1);
         for s in &app.stages {
             for t in &s.tasks {
-                assert!(t.demand.compute < 3.0, "wordcount must stay light on compute");
+                assert!(
+                    t.demand.compute < 3.0,
+                    "wordcount must stay light on compute"
+                );
                 assert!(t.demand.peak_mem < ByteSize::mib(512));
                 assert!(!t.demand.is_gpu_capable());
             }
@@ -332,7 +350,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let fingerprint = |seed: u64| {
             let (a, _) = als(&cluster, &RngFactory::new(seed), &AlsParams::default());
-            let (w, _) = wordcount(&cluster, &RngFactory::new(seed), &WordCountParams::default());
+            let (w, _) = wordcount(
+                &cluster,
+                &RngFactory::new(seed),
+                &WordCountParams::default(),
+            );
             let (s, _) = svm(&cluster, &RngFactory::new(seed), &SvmParams::default());
             (
                 a.stages[0].tasks[0].demand.compute,
@@ -352,22 +374,47 @@ mod tests {
         let cfg = SimConfig::default();
         let rngf = RngFactory::new(5);
         let builds = [
-            als(&cluster, &rngf, &AlsParams { rounds: 1, ..AlsParams::default() }),
-            wordcount(&cluster, &rngf, &WordCountParams { input: ByteSize::gib(1), ..WordCountParams::default() }),
-            svm(&cluster, &rngf, &SvmParams { iterations: 1, ..SvmParams::default() }),
+            als(
+                &cluster,
+                &rngf,
+                &AlsParams {
+                    rounds: 1,
+                    ..AlsParams::default()
+                },
+            ),
+            wordcount(
+                &cluster,
+                &rngf,
+                &WordCountParams {
+                    input: ByteSize::gib(1),
+                    ..WordCountParams::default()
+                },
+            ),
+            svm(
+                &cluster,
+                &rngf,
+                &SvmParams {
+                    iterations: 1,
+                    ..SvmParams::default()
+                },
+            ),
         ];
         for (app, layout) in &builds {
-            let input = SimInput { cluster: &cluster, app, layout, config: &cfg, seed: 5 };
+            let input = SimInput {
+                cluster: &cluster,
+                app,
+                layout,
+                config: &cfg,
+                seed: 5,
+            };
             // the engine takes any Scheduler; use the cheap FIFO here to
             // keep the smoke fast and scheduler-independent
             struct Fifo(Vec<usize>);
             impl rupam_exec::Scheduler for Fifo {
-                fn name(&self) -> &str { "smoke-fifo" }
-                fn executor_memory(
-                    &self,
-                    c: &ClusterSpec,
-                    n: rupam_cluster::NodeId,
-                ) -> ByteSize {
+                fn name(&self) -> &str {
+                    "smoke-fifo"
+                }
+                fn executor_memory(&self, c: &ClusterSpec, n: rupam_cluster::NodeId) -> ByteSize {
                     c.node(n).mem
                 }
                 fn on_app_start(&mut self, _: &Application, c: &ClusterSpec) {
@@ -391,6 +438,7 @@ mod tests {
                                 node: rupam_cluster::NodeId(i),
                                 use_gpu: false,
                                 speculative: false,
+                                reason: rupam_exec::LaunchReason::FifoSlot,
                             })
                         })
                         .collect()

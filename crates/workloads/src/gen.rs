@@ -1,8 +1,8 @@
 //! Shared generator utilities: partition sizing, deterministic skew
 //! profiles and per-task jitter.
 
-use rand::Rng;
 use rand::seq::SliceRandom;
+use rand::Rng;
 use rupam_simcore::units::ByteSize;
 
 /// HDFS block size used by all workloads (Spark's default split).
@@ -77,7 +77,11 @@ mod tests {
         assert!((mean - 1.0).abs() < 1e-9);
         let max = w.iter().cloned().fold(0.0f64, f64::max);
         let min = w.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min > 5.0, "expected heavy skew, got max/min = {}", max / min);
+        assert!(
+            max / min > 5.0,
+            "expected heavy skew, got max/min = {}",
+            max / min
+        );
     }
 
     #[test]

@@ -57,8 +57,12 @@ pub fn build(
     assert!(p.partitions >= 2);
     let mut rng = rngf.stream("gramian");
     let mut layout = DataLayout::new();
-    let blocks =
-        layout.place_blocks(cluster, &gen::block_sizes(p.input, p.partitions), 2, &mut rng);
+    let blocks = layout.place_blocks(
+        cluster,
+        &gen::block_sizes(p.input, p.partitions),
+        2,
+        &mut rng,
+    );
     let block_bytes = p.input.per_shard(p.partitions);
 
     let mut b = AppBuilder::new("GramianMatrix");
@@ -81,7 +85,14 @@ pub fn build(
             }
         })
         .collect();
-    let outer_stage = b.add_stage(j, "block-gram", "gm/outer", StageKind::ShuffleMap, vec![], outer);
+    let outer_stage = b.add_stage(
+        j,
+        "block-gram",
+        "gm/outer",
+        StageKind::ShuffleMap,
+        vec![],
+        outer,
+    );
     let reducers = (p.partitions / 2).max(1);
     let sum: Vec<TaskTemplate> = (0..reducers)
         .map(|i| TaskTemplate {
@@ -96,7 +107,14 @@ pub fn build(
             },
         })
         .collect();
-    b.add_stage(j, "sum", "gm/sum", StageKind::Result, vec![outer_stage], sum);
+    b.add_stage(
+        j,
+        "sum",
+        "gm/sum",
+        StageKind::Result,
+        vec![outer_stage],
+        sum,
+    );
     (b.build(), layout)
 }
 
@@ -109,7 +127,11 @@ mod tests {
     fn single_iteration_structure() {
         let cluster = ClusterSpec::hydra();
         let (app, layout) = build(&cluster, &RngFactory::new(1), &GramianParams::default());
-        assert_eq!(app.jobs.len(), 1, "GM is one-shot — the paper's no-learning case");
+        assert_eq!(
+            app.jobs.len(),
+            1,
+            "GM is one-shot — the paper's no-learning case"
+        );
         assert_eq!(app.stages.len(), 2);
         assert_eq!(app.total_tasks(), 16 + 8);
         assert_eq!(layout.len(), 16);
@@ -131,7 +153,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let d = |seed| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &GramianParams::default());
-            app.stages[0].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+            app.stages[0]
+                .tasks
+                .iter()
+                .map(|t| t.demand.compute)
+                .collect::<Vec<_>>()
         };
         assert_eq!(d(7), d(7));
         assert_ne!(d(7), d(8));

@@ -140,7 +140,10 @@ mod tests {
         let (app, _) = build(&cluster, &RngFactory::new(2), &KMeansParams::default());
         let t = &app.stages[0].tasks[0].demand;
         assert!(t.is_gpu_capable());
-        assert!(t.gpu_kernels < t.compute, "kernels are a fraction of total compute");
+        assert!(
+            t.gpu_kernels < t.compute,
+            "kernels are a fraction of total compute"
+        );
         assert!(t.gpu_kernels > t.compute * 0.5);
         // the reduce side is not GPU work
         assert!(!app.stages[1].tasks[0].demand.is_gpu_capable());
@@ -151,7 +154,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let d = |seed| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &KMeansParams::default());
-            app.stages[0].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+            app.stages[0]
+                .tasks
+                .iter()
+                .map(|t| t.demand.compute)
+                .collect::<Vec<_>>()
         };
         assert_eq!(d(4), d(4));
     }

@@ -141,7 +141,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let demands = |seed: u64| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &LrParams::default());
-            app.stages[0].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+            app.stages[0]
+                .tasks
+                .iter()
+                .map(|t| t.demand.compute)
+                .collect::<Vec<_>>()
         };
         assert_eq!(demands(9), demands(9));
         assert_ne!(demands(9), demands(10));
@@ -150,7 +154,10 @@ mod tests {
     #[test]
     fn iterations_scale_structure() {
         let cluster = ClusterSpec::hydra();
-        let p = LrParams { iterations: 3, ..LrParams::default() };
+        let p = LrParams {
+            iterations: 3,
+            ..LrParams::default()
+        };
         let (app, _) = build(&cluster, &RngFactory::new(1), &p);
         assert_eq!(app.jobs.len(), 3);
     }
@@ -158,7 +165,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one iteration")]
     fn zero_iterations_rejected() {
-        let p = LrParams { iterations: 0, ..LrParams::default() };
+        let p = LrParams {
+            iterations: 0,
+            ..LrParams::default()
+        };
         build(&ClusterSpec::hydra(), &RngFactory::new(1), &p);
     }
 }

@@ -55,8 +55,12 @@ pub fn build(
     let mut layout = DataLayout::new();
     // single-replica placement: on the 2-node testbed half the input
     // reads cross the network, producing Fig. 2's opening network spike
-    let blocks =
-        layout.place_blocks(cluster, &gen::block_sizes(p.input, p.partitions), 1, &mut rng);
+    let blocks = layout.place_blocks(
+        cluster,
+        &gen::block_sizes(p.input, p.partitions),
+        1,
+        &mut rng,
+    );
     let part_bytes = p.input.per_shard(p.partitions);
 
     let mut b = AppBuilder::new("MatMul4Kx4K");
@@ -80,7 +84,14 @@ pub fn build(
             }
         })
         .collect();
-    let load_stage = b.add_stage(j, "parse", "matmul/parse", StageKind::ShuffleMap, vec![], load);
+    let load_stage = b.add_stage(
+        j,
+        "parse",
+        "matmul/parse",
+        StageKind::ShuffleMap,
+        vec![],
+        load,
+    );
 
     // stage 2: tile regrouping — memory-resident, shuffle write heavy
     let tiles: Vec<TaskTemplate> = (0..p.partitions)
@@ -99,8 +110,14 @@ pub fn build(
             }
         })
         .collect();
-    let tile_stage =
-        b.add_stage(j, "tiles", "matmul/tiles", StageKind::ShuffleMap, vec![load_stage], tiles);
+    let tile_stage = b.add_stage(
+        j,
+        "tiles",
+        "matmul/tiles",
+        StageKind::ShuffleMap,
+        vec![load_stage],
+        tiles,
+    );
 
     // stage 3: tile multiply — the late CPU surge of Fig. 2a
     let mult: Vec<TaskTemplate> = (0..p.partitions)
@@ -119,8 +136,14 @@ pub fn build(
             }
         })
         .collect();
-    let mult_stage =
-        b.add_stage(j, "multiply", "matmul/multiply", StageKind::ShuffleMap, vec![tile_stage], mult);
+    let mult_stage = b.add_stage(
+        j,
+        "multiply",
+        "matmul/multiply",
+        StageKind::ShuffleMap,
+        vec![tile_stage],
+        mult,
+    );
 
     // stage 4: assemble the result — the closing network spike
     let reduce: Vec<TaskTemplate> = (0..p.partitions / 2)
@@ -136,7 +159,14 @@ pub fn build(
             },
         })
         .collect();
-    b.add_stage(j, "assemble", "matmul/assemble", StageKind::Result, vec![mult_stage], reduce);
+    b.add_stage(
+        j,
+        "assemble",
+        "matmul/assemble",
+        StageKind::Result,
+        vec![mult_stage],
+        reduce,
+    );
 
     let _ = CacheKey::new("matmul/parse", 0); // cached via cached_bytes above
     (b.build(), layout)
@@ -162,8 +192,13 @@ mod tests {
     fn phases_have_distinct_profiles() {
         let cluster = ClusterSpec::two_node_motivation();
         let (app, _) = build(&cluster, &RngFactory::new(2), &MatMulParams::default());
-        let stage_compute =
-            |i: usize| app.stages[i].tasks.iter().map(|t| t.demand.compute).sum::<f64>();
+        let stage_compute = |i: usize| {
+            app.stages[i]
+                .tasks
+                .iter()
+                .map(|t| t.demand.compute)
+                .sum::<f64>()
+        };
         // the multiply stage dominates compute
         assert!(stage_compute(2) > stage_compute(0));
         assert!(stage_compute(2) > stage_compute(1) * 3.0);
@@ -197,7 +232,11 @@ mod tests {
         let cluster = ClusterSpec::two_node_motivation();
         let d = |seed| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &MatMulParams::default());
-            app.stages[2].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+            app.stages[2]
+                .tasks
+                .iter()
+                .map(|t| t.demand.compute)
+                .collect::<Vec<_>>()
         };
         assert_eq!(d(12), d(12));
     }

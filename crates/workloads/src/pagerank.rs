@@ -67,8 +67,12 @@ pub fn build(
     assert!(p.iterations >= 1 && p.partitions >= 2);
     let mut rng = rngf.stream("pagerank");
     let mut layout = DataLayout::new();
-    let blocks =
-        layout.place_blocks(cluster, &gen::block_sizes(p.input, p.partitions), 2, &mut rng);
+    let blocks = layout.place_blocks(
+        cluster,
+        &gen::block_sizes(p.input, p.partitions),
+        2,
+        &mut rng,
+    );
     let part_bytes = p.input.per_shard(p.partitions);
     // one degree-skew profile for the whole run — the graph does not
     // change between iterations
@@ -92,8 +96,7 @@ pub fn build(
                         compute: p.compute_gcycles * (0.5 + 0.5 * w.min(1.5)) * jit,
                         input_bytes: part_bytes,
                         shuffle_write: gen::scaled(p.shuffle_per_partition, (w * jit).min(2.5)),
-                        peak_mem: p.base_peak_mem
-                            + p.hot_peak_mem.scale((w / wmax) * jit),
+                        peak_mem: p.base_peak_mem + p.hot_peak_mem.scale((w / wmax) * jit),
                         cached_bytes: part_bytes.scale(1.3),
                         ..TaskDemand::default()
                     },
@@ -121,8 +124,7 @@ pub fn build(
                         compute: 3.0 * (0.5 + 0.5 * w.min(1.5)) * jit,
                         shuffle_read: gen::scaled(per_reduce, w.min(2.5)),
                         output_bytes: ByteSize::mib(2),
-                        peak_mem: p.base_peak_mem
-                            + p.hot_peak_mem.scale(0.85 * (w / wmax) * jit),
+                        peak_mem: p.base_peak_mem + p.hot_peak_mem.scale(0.85 * (w / wmax) * jit),
                         ..TaskDemand::default()
                     },
                 }
@@ -159,8 +161,11 @@ mod tests {
     fn hot_partitions_strain_small_executors() {
         let cluster = ClusterSpec::hydra();
         let (app, _) = build(&cluster, &RngFactory::new(2), &PageRankParams::default());
-        let peaks: Vec<f64> =
-            app.stages[0].tasks.iter().map(|t| t.demand.peak_mem.as_gib()).collect();
+        let peaks: Vec<f64> = app.stages[0]
+            .tasks
+            .iter()
+            .map(|t| t.demand.peak_mem.as_gib())
+            .collect();
         let max = peaks.iter().cloned().fold(0.0f64, f64::max);
         let mean = peaks.iter().sum::<f64>() / peaks.len() as f64;
         // the hottest task alone approaches a stock 14 GiB executor's half
@@ -187,7 +192,10 @@ mod tests {
             .max_by(|a, b| a.demand.peak_mem.cmp(&b.demand.peak_mem))
             .unwrap()
             .index;
-        assert_eq!(hot0, hot5, "the graph (and its hot spots) persist across iterations");
+        assert_eq!(
+            hot0, hot5,
+            "the graph (and its hot spots) persist across iterations"
+        );
     }
 
     #[test]
@@ -195,7 +203,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let d = |seed| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &PageRankParams::default());
-            app.stages[0].tasks.iter().map(|t| t.demand.peak_mem.bytes()).collect::<Vec<_>>()
+            app.stages[0]
+                .tasks
+                .iter()
+                .map(|t| t.demand.peak_mem.bytes())
+                .collect::<Vec<_>>()
         };
         assert_eq!(d(6), d(6));
         assert_ne!(d(6), d(7));

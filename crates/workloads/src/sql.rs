@@ -123,7 +123,8 @@ pub fn build(cluster: &ClusterSpec, rngf: &RngFactory, p: &SqlParams) -> (Applic
             join,
         );
         // aggregation
-        let agg_read = ByteSize(50 * 1024 * 1024 * p.join_partitions as u64 / p.agg_partitions as u64);
+        let agg_read =
+            ByteSize(50 * 1024 * 1024 * p.join_partitions as u64 / p.agg_partitions as u64);
         let agg: Vec<TaskTemplate> = (0..p.agg_partitions)
             .map(|i| TaskTemplate {
                 index: i,
@@ -137,7 +138,14 @@ pub fn build(cluster: &ClusterSpec, rngf: &RngFactory, p: &SqlParams) -> (Applic
                 },
             })
             .collect();
-        b.add_stage(j, format!("agg q{q}"), "sql/agg", StageKind::Result, vec![join_stage], agg);
+        b.add_stage(
+            j,
+            format!("agg q{q}"),
+            "sql/agg",
+            StageKind::Result,
+            vec![join_stage],
+            agg,
+        );
     }
     (b.build(), layout)
 }
@@ -165,12 +173,23 @@ mod tests {
         let (app, _) = build(&cluster, &RngFactory::new(2), &SqlParams::default());
         let join = &app.stages[1];
         assert_eq!(join.template_key, "sql/join");
-        let peaks: Vec<f64> = join.tasks.iter().map(|t| t.demand.peak_mem.as_gib()).collect();
+        let peaks: Vec<f64> = join
+            .tasks
+            .iter()
+            .map(|t| t.demand.peak_mem.as_gib())
+            .collect();
         let max = peaks.iter().cloned().fold(0.0f64, f64::max);
         let min = peaks.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max > 3.0, "hot join partitions should need > 3 GiB, got {max:.1}");
+        assert!(
+            max > 3.0,
+            "hot join partitions should need > 3 GiB, got {max:.1}"
+        );
         assert!(max / min > 1.5, "expected skewed memory needs");
-        let reads: Vec<f64> = join.tasks.iter().map(|t| t.demand.shuffle_read.as_mib()).collect();
+        let reads: Vec<f64> = join
+            .tasks
+            .iter()
+            .map(|t| t.demand.shuffle_read.as_mib())
+            .collect();
         let rmax = reads.iter().cloned().fold(0.0f64, f64::max);
         let rmin = reads.iter().cloned().fold(f64::INFINITY, f64::min);
         assert!(rmax / rmin > 3.0, "expected skewed shuffle reads");
@@ -182,7 +201,11 @@ mod tests {
         let (app, _) = build(&cluster, &RngFactory::new(3), &SqlParams::default());
         for s in &app.stages {
             for t in &s.tasks {
-                assert_eq!(t.demand.cached_bytes, ByteSize::ZERO, "SQL preserves nothing");
+                assert_eq!(
+                    t.demand.cached_bytes,
+                    ByteSize::ZERO,
+                    "SQL preserves nothing"
+                );
             }
         }
     }
@@ -192,7 +215,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let d = |seed| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &SqlParams::default());
-            app.stages[1].tasks.iter().map(|t| t.demand.shuffle_read.bytes()).collect::<Vec<_>>()
+            app.stages[1]
+                .tasks
+                .iter()
+                .map(|t| t.demand.shuffle_read.bytes())
+                .collect::<Vec<_>>()
         };
         assert_eq!(d(4), d(4));
         assert_ne!(d(4), d(5));

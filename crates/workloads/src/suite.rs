@@ -147,8 +147,7 @@ mod tests {
             let (app, layout) = w.build(&cluster, &rngf);
             assert!(app.total_tasks() > 0, "{w} has no tasks");
             assert!(!layout.is_empty(), "{w} placed no blocks");
-            validate_against_cluster(&app, &cluster)
-                .unwrap_or_else(|e| panic!("{w} invalid: {e}"));
+            validate_against_cluster(&app, &cluster).unwrap_or_else(|e| panic!("{w} invalid: {e}"));
         }
     }
 

@@ -75,7 +75,14 @@ pub fn build(
             }
         })
         .collect();
-    let map_stage = b.add_stage(j, "range-partition", "terasort/map", StageKind::ShuffleMap, vec![], map);
+    let map_stage = b.add_stage(
+        j,
+        "range-partition",
+        "terasort/map",
+        StageKind::ShuffleMap,
+        vec![],
+        map,
+    );
     let reduce: Vec<TaskTemplate> = (0..n)
         .map(|i| {
             let jit = gen::jitter(&mut rng, p.jitter);
@@ -94,7 +101,14 @@ pub fn build(
             }
         })
         .collect();
-    b.add_stage(j, "sort-write", "terasort/reduce", StageKind::Result, vec![map_stage], reduce);
+    b.add_stage(
+        j,
+        "sort-write",
+        "terasort/reduce",
+        StageKind::Result,
+        vec![map_stage],
+        reduce,
+    );
     (b.build(), layout)
 }
 
@@ -117,8 +131,16 @@ mod tests {
     fn everything_is_shuffled() {
         let cluster = ClusterSpec::hydra();
         let (app, _) = build(&cluster, &RngFactory::new(2), &TeraSortParams::default());
-        let total_write: ByteSize = app.stages[0].tasks.iter().map(|t| t.demand.shuffle_write).sum();
-        let total_read: ByteSize = app.stages[1].tasks.iter().map(|t| t.demand.shuffle_read).sum();
+        let total_write: ByteSize = app.stages[0]
+            .tasks
+            .iter()
+            .map(|t| t.demand.shuffle_write)
+            .sum();
+        let total_read: ByteSize = app.stages[1]
+            .tasks
+            .iter()
+            .map(|t| t.demand.shuffle_read)
+            .sum();
         assert_eq!(total_write, ByteSize::gib(4));
         assert_eq!(total_read, ByteSize::gib(4));
     }
@@ -140,7 +162,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let d = |seed| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &TeraSortParams::default());
-            app.stages[0].tasks.iter().map(|t| t.demand.compute).collect::<Vec<_>>()
+            app.stages[0]
+                .tasks
+                .iter()
+                .map(|t| t.demand.compute)
+                .collect::<Vec<_>>()
         };
         assert_eq!(d(11), d(11));
     }

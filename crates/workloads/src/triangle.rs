@@ -62,8 +62,12 @@ pub fn build(
     assert!(p.phases >= 1);
     let mut rng = rngf.stream("triangle");
     let mut layout = DataLayout::new();
-    let blocks =
-        layout.place_blocks(cluster, &gen::block_sizes(p.input, p.partitions), 2, &mut rng);
+    let blocks = layout.place_blocks(
+        cluster,
+        &gen::block_sizes(p.input, p.partitions),
+        2,
+        &mut rng,
+    );
     let part_bytes = p.input.per_shard(p.partitions);
     let weights = gen::skew_profile(&mut rng, p.triad_partitions, p.skew);
     let wmax = weights.iter().cloned().fold(0.0f64, f64::max);
@@ -112,8 +116,7 @@ pub fn build(
                         compute: 9.0 * (0.5 + 0.5 * w.min(1.5)) * jit,
                         shuffle_read: gen::scaled(triad_read, w.min(2.5)),
                         shuffle_write: ByteSize::mib(120).scale((w * jit).min(2.5)),
-                        peak_mem: p.base_peak_mem
-                            + p.hot_peak_mem.scale((w / wmax).powi(2) * jit),
+                        peak_mem: p.base_peak_mem + p.hot_peak_mem.scale((w / wmax).powi(2) * jit),
                         ..TaskDemand::default()
                     },
                 }
@@ -181,9 +184,15 @@ mod tests {
             .iter()
             .map(|t| t.demand.peak_mem.as_gib())
             .fold(0.0f64, f64::max);
-        assert!(max_peak > 5.0, "hot triads must be memory heavy, got {max_peak:.1}");
+        assert!(
+            max_peak > 5.0,
+            "hot triads must be memory heavy, got {max_peak:.1}"
+        );
         let total_read: ByteSize = triads.tasks.iter().map(|t| t.demand.shuffle_read).sum();
-        assert!(total_read > ByteSize::gib(1), "triads shuffle more than the input");
+        assert!(
+            total_read > ByteSize::gib(1),
+            "triads shuffle more than the input"
+        );
     }
 
     #[test]
@@ -199,7 +208,11 @@ mod tests {
         let cluster = ClusterSpec::hydra();
         let d = |seed| {
             let (app, _) = build(&cluster, &RngFactory::new(seed), &TriangleParams::default());
-            app.stages[1].tasks.iter().map(|t| t.demand.peak_mem.bytes()).collect::<Vec<_>>()
+            app.stages[1]
+                .tasks
+                .iter()
+                .map(|t| t.demand.peak_mem.bytes())
+                .collect::<Vec<_>>()
         };
         assert_eq!(d(8), d(8));
     }

@@ -84,7 +84,14 @@ fn app(cluster: &ClusterSpec, seed: u64) -> (rupam_dag::Application, DataLayout)
                 },
             })
             .collect();
-        let crunch = b.add_stage(j, format!("crunch r{round}"), "mix/crunch", StageKind::ShuffleMap, vec![], crunch);
+        let crunch = b.add_stage(
+            j,
+            format!("crunch r{round}"),
+            "mix/crunch",
+            StageKind::ShuffleMap,
+            vec![],
+            crunch,
+        );
         let join: Vec<TaskTemplate> = (0..6)
             .map(|i| TaskTemplate {
                 index: i,
@@ -98,7 +105,14 @@ fn app(cluster: &ClusterSpec, seed: u64) -> (rupam_dag::Application, DataLayout)
                 },
             })
             .collect();
-        let join = b.add_stage(j, format!("join r{round}"), "mix/join", StageKind::ShuffleMap, vec![crunch], join);
+        let join = b.add_stage(
+            j,
+            format!("join r{round}"),
+            "mix/join",
+            StageKind::ShuffleMap,
+            vec![crunch],
+            join,
+        );
         let score: Vec<TaskTemplate> = (0..6)
             .map(|i| TaskTemplate {
                 index: i,
@@ -113,7 +127,14 @@ fn app(cluster: &ClusterSpec, seed: u64) -> (rupam_dag::Application, DataLayout)
                 },
             })
             .collect();
-        b.add_stage(j, format!("score r{round}"), "mix/score", StageKind::Result, vec![join], score);
+        b.add_stage(
+            j,
+            format!("score r{round}"),
+            "mix/score",
+            StageKind::Result,
+            vec![join],
+            score,
+        );
     }
     (b.build(), layout)
 }
@@ -124,7 +145,12 @@ fn main() {
 
     for sched in [Sched::Spark, Sched::Rupam] {
         let report = run_app(&cluster, &application, &layout, &sched, 11);
-        println!("== {} | makespan {} | GPU tasks {} ==", sched.label(), report.makespan, report.gpu_task_count());
+        println!(
+            "== {} | makespan {} | GPU tasks {} ==",
+            sched.label(),
+            report.makespan,
+            report.gpu_task_count()
+        );
         // placement census per (stage template, node class)
         let mut census: BTreeMap<(String, String), usize> = BTreeMap::new();
         for r in report.records.iter().filter(|r| r.outcome.is_success()) {

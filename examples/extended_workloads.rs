@@ -14,7 +14,10 @@ fn main() {
 
     let builds = vec![
         ("ALS", als(&cluster, &rngf, &AlsParams::default())),
-        ("WordCount", wordcount(&cluster, &rngf, &WordCountParams::default())),
+        (
+            "WordCount",
+            wordcount(&cluster, &rngf, &WordCountParams::default()),
+        ),
         ("SVM", svm(&cluster, &rngf, &SvmParams::default())),
     ];
 
@@ -24,9 +27,15 @@ fn main() {
     );
     println!("{}", "-".repeat(68));
     for (name, (app, layout)) in &builds {
-        let fifo = run_app(&cluster, app, layout, &Sched::Fifo, 77).makespan.as_secs_f64();
-        let spark = run_app(&cluster, app, layout, &Sched::Spark, 77).makespan.as_secs_f64();
-        let rupam = run_app(&cluster, app, layout, &Sched::Rupam, 77).makespan.as_secs_f64();
+        let fifo = run_app(&cluster, app, layout, &Sched::Fifo, 77)
+            .makespan
+            .as_secs_f64();
+        let spark = run_app(&cluster, app, layout, &Sched::Spark, 77)
+            .makespan
+            .as_secs_f64();
+        let rupam = run_app(&cluster, app, layout, &Sched::Rupam, 77)
+            .makespan
+            .as_secs_f64();
         println!(
             "{name:<10} | {fifo:>9.1} | {spark:>9.1} | {rupam:>9.1} | {:>7.2}x | {:>7.2}x",
             fifo / rupam,

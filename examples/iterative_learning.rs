@@ -19,12 +19,24 @@ fn main() {
     let seed = 7;
 
     println!("LR speedup vs iteration count (cf. paper Fig. 6):\n");
-    println!("{:>10} | {:>10} | {:>10} | {:>8}", "iterations", "Spark (s)", "RUPAM (s)", "speedup");
+    println!(
+        "{:>10} | {:>10} | {:>10} | {:>8}",
+        "iterations", "Spark (s)", "RUPAM (s)", "speedup"
+    );
     println!("{}", "-".repeat(48));
     for iterations in [1usize, 2, 4, 8, 16] {
-        let params = LrParams { iterations, ..LrParams::default() };
+        let params = LrParams {
+            iterations,
+            ..LrParams::default()
+        };
         let (app, layout) = lr::build(&cluster, &RngFactory::new(seed), &params);
-        let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &config, seed };
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &config,
+            seed,
+        };
 
         let mut spark = rupam::SparkScheduler::with_defaults();
         let spark_secs = simulate(&input, &mut spark).makespan.as_secs_f64();
@@ -37,9 +49,18 @@ fn main() {
     }
 
     // peek into DB_task_char after a full run
-    let params = LrParams { iterations: 8, ..LrParams::default() };
+    let params = LrParams {
+        iterations: 8,
+        ..LrParams::default()
+    };
     let (app, layout) = lr::build(&cluster, &RngFactory::new(seed), &params);
-    let input = SimInput { cluster: &cluster, app: &app, layout: &layout, config: &config, seed };
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &config,
+        seed,
+    };
     let mut rupam = RupamScheduler::with_defaults();
     let _ = simulate(&input, &mut rupam);
     if let Some(char) = rupam.tm().db().read(&TaskKey::new("lr/points", 0)) {
@@ -49,7 +70,8 @@ fn main() {
             char.runs,
             char.last_bottleneck,
             char.history_size(),
-            char.best.map(|(n, s)| format!("{} @ {:.1}s", cluster.node(n).name, s)),
+            char.best
+                .map(|(n, s)| format!("{} @ {:.1}s", cluster.node(n).name, s)),
             char.peak_mem,
         );
     }

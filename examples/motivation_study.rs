@@ -7,7 +7,9 @@ use rupam_bench::motivation;
 use rupam_bench::SEEDS;
 
 fn main() {
-    println!("Two-node motivation cluster: node-1 = fast CPU / 1 GbE, node-2 = slow CPU / 10 GbE\n");
+    println!(
+        "Two-node motivation cluster: node-1 = fast CPU / 1 GbE, node-2 = slow CPU / 10 GbE\n"
+    );
 
     // Fig. 2 — 4K×4K matrix multiplication resource phases
     let (cluster, report) = motivation::fig2_run(SEEDS[0]);

@@ -20,7 +20,11 @@ fn main() {
     );
 
     let workload = Workload::KMeans;
-    println!("Workload: {} ({})", workload.name(), workload.input_description());
+    println!(
+        "Workload: {} ({})",
+        workload.name(),
+        workload.input_description()
+    );
 
     for sched in [Sched::Spark, Sched::Rupam] {
         let report = run_workload(&cluster, workload, &sched, 42);

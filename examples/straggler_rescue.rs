@@ -14,7 +14,10 @@ use rupam_workloads::Workload;
 fn main() {
     let cluster = ClusterSpec::hydra();
 
-    println!("PageRank ({}) on Hydra:\n", Workload::PageRank.input_description());
+    println!(
+        "PageRank ({}) on Hydra:\n",
+        Workload::PageRank.input_description()
+    );
     for sched in [Sched::Spark, Sched::Rupam] {
         let report = run_workload(&cluster, Workload::PageRank, &sched, 101);
         let relocations = report

@@ -5,6 +5,7 @@
 //!           [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]
 //!           [--scheduler spark|rupam|fifo]
 //!           [--seed <n>] [--timeline] [--census] [--compare]
+//!           [--trace <path>] [--audit]
 //! ```
 //!
 //! Examples:
@@ -12,14 +13,21 @@
 //! ```text
 //! rupam-sim --workload PR --compare --timeline
 //! rupam-sim --cluster mix:9,3,0 --workload LR --scheduler rupam --census
+//! rupam-sim --workload SQL --audit --trace /tmp/sql-trace
 //! ```
+//!
+//! `--audit` replays every offer round through the invariant auditor and
+//! reports violations (exit code 1 if any fire); `--trace <path>` writes
+//! the full decision trace as CSV, one file per scheduler.
 
 use std::env;
 use std::process::exit;
 
-use rupam_bench::{placement_census, run_workload, Sched};
+use rupam_bench::{placement_census, run_workload, run_workload_observed, Sched};
 use rupam_cluster::ClusterSpec;
+use rupam_exec::{AuditConfig, SimOptions};
 use rupam_metrics::timeline;
+use rupam_metrics::trace::DEFAULT_TRACE_CAPACITY;
 use rupam_workloads::Workload;
 
 struct Options {
@@ -32,6 +40,8 @@ struct Options {
     census: bool,
     compare: bool,
     csv: Option<String>,
+    trace: Option<String>,
+    audit: bool,
 }
 
 fn usage() -> ! {
@@ -39,24 +49,34 @@ fn usage() -> ! {
         "usage: rupam-sim [--cluster hydra|two-node|uniform:<n>|mix:<t>,<h>,<s>]\n\
          \x20                [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]\n\
          \x20                [--scheduler spark|rupam|fifo] [--seed <n>]\n\
-         \x20                [--timeline] [--census] [--compare] [--csv <path>]"
+         \x20                [--timeline] [--census] [--compare] [--csv <path>]\n\
+         \x20                [--trace <path>] [--audit]"
     );
     exit(2)
 }
 
 fn parse_cluster(spec: &str) -> Option<(ClusterSpec, String)> {
     if spec == "hydra" {
-        return Some((ClusterSpec::hydra(), "hydra (6 thor / 4 hulk / 2 stack)".into()));
+        return Some((
+            ClusterSpec::hydra(),
+            "hydra (6 thor / 4 hulk / 2 stack)".into(),
+        ));
     }
     if spec == "two-node" {
-        return Some((ClusterSpec::two_node_motivation(), "two-node motivation".into()));
+        return Some((
+            ClusterSpec::two_node_motivation(),
+            "two-node motivation".into(),
+        ));
     }
     if let Some(n) = spec.strip_prefix("uniform:") {
         let n: usize = n.parse().ok().filter(|&n| n > 0)?;
         return Some((ClusterSpec::homogeneous(n), format!("{n} uniform nodes")));
     }
     if let Some(mix) = spec.strip_prefix("mix:") {
-        let parts: Vec<usize> = mix.split(',').map(|p| p.parse().ok()).collect::<Option<_>>()?;
+        let parts: Vec<usize> = mix
+            .split(',')
+            .map(|p| p.parse().ok())
+            .collect::<Option<_>>()?;
         if parts.len() != 3 || parts.iter().sum::<usize>() == 0 {
             return None;
         }
@@ -79,6 +99,8 @@ fn parse_args() -> Options {
         census: false,
         compare: false,
         csv: None,
+        trace: None,
+        audit: false,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -98,7 +120,10 @@ fn parse_args() -> Options {
             }
             "--workload" => {
                 let v = args.next().unwrap_or_else(|| usage());
-                match Workload::ALL.iter().find(|w| w.short().eq_ignore_ascii_case(&v)) {
+                match Workload::ALL
+                    .iter()
+                    .find(|w| w.short().eq_ignore_ascii_case(&v))
+                {
                     Some(w) => opts.workload = *w,
                     None => {
                         eprintln!("unknown workload {v:?}");
@@ -123,6 +148,8 @@ fn parse_args() -> Options {
                 opts.seed = v.parse().unwrap_or_else(|_| usage());
             }
             "--csv" => opts.csv = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--audit" => opts.audit = true,
             "--timeline" => opts.timeline = true,
             "--census" => opts.census = true,
             "--compare" => opts.compare = true,
@@ -136,8 +163,22 @@ fn parse_args() -> Options {
     opts
 }
 
-fn run_one(opts: &Options, sched: &Sched) {
-    let report = run_workload(&opts.cluster, opts.workload, sched, opts.seed);
+fn run_one(opts: &Options, sched: &Sched) -> bool {
+    let observe = opts.trace.is_some() || opts.audit;
+    let (report, observation) = if observe {
+        let sim_opts = SimOptions {
+            trace_capacity: Some(DEFAULT_TRACE_CAPACITY),
+            audit: opts.audit.then(AuditConfig::default),
+        };
+        let (report, obs) =
+            run_workload_observed(&opts.cluster, opts.workload, sched, opts.seed, &sim_opts);
+        (report, Some(obs))
+    } else {
+        (
+            run_workload(&opts.cluster, opts.workload, sched, opts.seed),
+            None,
+        )
+    };
     let waste = timeline::waste(&report);
     println!(
         "{:<6} | makespan {:>9} | completed {} | oom {} | exec-lost {} | spec {} (wins {}) \
@@ -156,8 +197,7 @@ fn run_one(opts: &Options, sched: &Sched) {
         print!("{}", placement_census(&opts.cluster, &report));
     }
     if opts.timeline {
-        let names: Vec<String> =
-            opts.cluster.iter().map(|(_, n)| n.name.clone()).collect();
+        let names: Vec<String> = opts.cluster.iter().map(|(_, n)| n.name.clone()).collect();
         print!("{}", timeline::render(&report, &names, 72));
     }
     if let Some(path) = &opts.csv {
@@ -168,6 +208,33 @@ fn run_one(opts: &Options, sched: &Sched) {
             Err(e) => eprintln!("could not write {file}: {e}"),
         }
     }
+    let mut clean = true;
+    if let Some(obs) = observation {
+        if let (Some(path), Some(trace)) = (&opts.trace, obs.trace.as_ref()) {
+            let file = format!("{path}.{}.csv", sched.label().to_lowercase());
+            match std::fs::write(&file, rupam_metrics::export::trace_csv(trace)) {
+                Ok(()) => println!(
+                    "wrote {} trace events to {file} (digest {:016x}, {} dropped)",
+                    trace.len(),
+                    trace.digest(),
+                    trace.dropped()
+                ),
+                Err(e) => eprintln!("could not write {file}: {e}"),
+            }
+        }
+        if opts.audit {
+            if obs.violations.is_empty() {
+                println!("audit: every offer round satisfied the launch invariants");
+            } else {
+                clean = false;
+                println!("audit: {} violations", obs.violations.len());
+                for v in &obs.violations {
+                    println!("  round {:>5} [{}] {}", v.round, v.check, v.detail);
+                }
+            }
+        }
+    }
+    clean
 }
 
 fn main() {
@@ -179,11 +246,15 @@ fn main() {
         opts.workload.input_description(),
         opts.seed
     );
+    let mut clean = true;
     if opts.compare {
         for sched in [Sched::Fifo, Sched::Spark, Sched::Rupam] {
-            run_one(&opts, &sched);
+            clean &= run_one(&opts, &sched);
         }
     } else {
-        run_one(&opts, &opts.scheduler.clone());
+        clean = run_one(&opts, &opts.scheduler.clone());
+    }
+    if !clean {
+        exit(1);
     }
 }

@@ -75,7 +75,12 @@ fn full_runs_are_deterministic() {
     for sched in [Sched::Spark, Sched::Rupam] {
         let a = run_workload(&cluster, Workload::PageRank, &sched, 303);
         let b = run_workload(&cluster, Workload::PageRank, &sched, 303);
-        assert_eq!(a.makespan, b.makespan, "{} PR not deterministic", sched.label());
+        assert_eq!(
+            a.makespan,
+            b.makespan,
+            "{} PR not deterministic",
+            sched.label()
+        );
         assert_eq!(a.records.len(), b.records.len());
         assert_eq!(a.oom_failures, b.oom_failures);
         for (x, y) in a.records.iter().zip(b.records.iter()) {
@@ -117,9 +122,10 @@ fn utilization_histories_cover_the_run() {
     // every node reported something, and at least one node shows real load
     let mut any_busy = false;
     for i in 0..cluster.len() {
-        let h = report
-            .monitor
-            .history(rupam_cluster::NodeId(i), rupam_cluster::monitor::MetricKey::CpuUtil);
+        let h = report.monitor.history(
+            rupam_cluster::NodeId(i),
+            rupam_cluster::monitor::MetricKey::CpuUtil,
+        );
         if h.points().iter().any(|p| p.1 > 0.5) {
             any_busy = true;
         }

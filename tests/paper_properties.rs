@@ -10,15 +10,23 @@ use rupam_workloads::Workload;
 
 fn pair(w: Workload, seed: u64) -> (f64, f64) {
     let cluster = ClusterSpec::hydra();
-    let spark = run_workload(&cluster, w, &Sched::Spark, seed).makespan.as_secs_f64();
-    let rupam = run_workload(&cluster, w, &Sched::Rupam, seed).makespan.as_secs_f64();
+    let spark = run_workload(&cluster, w, &Sched::Spark, seed)
+        .makespan
+        .as_secs_f64();
+    let rupam = run_workload(&cluster, w, &Sched::Rupam, seed)
+        .makespan
+        .as_secs_f64();
     (spark, rupam)
 }
 
 #[test]
 fn rupam_beats_spark_on_iterative_workloads() {
     // §IV-B: iterative workloads (LR, PR, TC, KMeans) gain the most
-    for w in [Workload::LogisticRegression, Workload::KMeans, Workload::PageRank] {
+    for w in [
+        Workload::LogisticRegression,
+        Workload::KMeans,
+        Workload::PageRank,
+    ] {
         let (spark, rupam) = pair(w, 101);
         assert!(
             rupam < spark,
@@ -46,7 +54,10 @@ fn lr_speedup_grows_with_iterations() {
     // meaningfully below 1×
     let cluster = ClusterSpec::hydra();
     let speedup_at = |iterations: usize| {
-        let params = LrParams { iterations, ..LrParams::default() };
+        let params = LrParams {
+            iterations,
+            ..LrParams::default()
+        };
         let (app, layout) = lr::build(&cluster, &RngFactory::new(101), &params);
         let spark = rupam_bench::run_app(&cluster, &app, &layout, &Sched::Spark, 101)
             .makespan
@@ -58,9 +69,18 @@ fn lr_speedup_grows_with_iterations() {
     };
     let s1 = speedup_at(1);
     let s8 = speedup_at(8);
-    assert!(s8 > s1, "speedup must grow with iterations: s1={s1:.2} s8={s8:.2}");
-    assert!(s1 > 0.85, "RUPAM should roughly match Spark even at 1 iteration, got {s1:.2}");
-    assert!(s8 > 1.5, "by 8 iterations the DB should pay off, got {s8:.2}");
+    assert!(
+        s8 > s1,
+        "speedup must grow with iterations: s1={s1:.2} s8={s8:.2}"
+    );
+    assert!(
+        s1 > 0.85,
+        "RUPAM should roughly match Spark even at 1 iteration, got {s1:.2}"
+    );
+    assert!(
+        s8 > 1.5,
+        "by 8 iterations the DB should pay off, got {s8:.2}"
+    );
 }
 
 #[test]
@@ -124,7 +144,10 @@ fn rupam_balances_network_utilization_better_on_pagerank() {
     // CPU spread must at least stay the same order of magnitude
     let s_cpu = spark.utilization_stddev_mean(MetricKey::CpuUtil, SimDuration::from_secs(1));
     let r_cpu = rupam.utilization_stddev_mean(MetricKey::CpuUtil, SimDuration::from_secs(1));
-    assert!(r_cpu < s_cpu * 3.0, "CPU spread blew up: {r_cpu:.3} vs {s_cpu:.3}");
+    assert!(
+        r_cpu < s_cpu * 3.0,
+        "CPU spread blew up: {r_cpu:.3} vs {s_cpu:.3}"
+    );
 }
 
 #[test]
@@ -157,8 +180,7 @@ fn heterogeneity_awareness_is_harmless_on_a_homogeneous_cluster() {
     // control experiment: with nothing to exploit, RUPAM should roughly
     // match Spark rather than regress
     let cluster = ClusterSpec::homogeneous(12);
-    let (app, layout) =
-        Workload::TeraSort.build(&cluster, &RngFactory::new(42));
+    let (app, layout) = Workload::TeraSort.build(&cluster, &RngFactory::new(42));
     let spark = rupam_bench::run_app(&cluster, &app, &layout, &Sched::Spark, 42)
         .makespan
         .as_secs_f64();

@@ -18,7 +18,14 @@ use rupam_simcore::RngFactory;
 /// fast-nic?, ssd?, gpus).
 fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
     proptest::collection::vec(
-        (2u32..16, 8u64..40, 8u64..64, any::<bool>(), any::<bool>(), 0u32..2),
+        (
+            2u32..16,
+            8u64..40,
+            8u64..64,
+            any::<bool>(),
+            any::<bool>(),
+            0u32..2,
+        ),
         2..5,
     )
     .prop_map(|nodes| {
@@ -32,7 +39,11 @@ fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
                 cpu_ghz: ghz10 as f64 / 10.0,
                 mem: ByteSize::gib(mem),
                 net_bw: if fast_nic { 1.25e9 } else { 125e6 },
-                disk: if ssd { DiskSpec::sata_ssd() } else { DiskSpec::sata_hdd() },
+                disk: if ssd {
+                    DiskSpec::sata_ssd()
+                } else {
+                    DiskSpec::sata_hdd()
+                },
                 gpus,
                 gpu_gcps: if gpus > 0 { 20.0 } else { 0.0 },
                 rack: i % 2,
@@ -45,7 +56,14 @@ fn arb_cluster() -> impl Strategy<Value = ClusterSpec> {
 /// A generated two-stage application: (map tasks, reduce tasks, compute,
 /// shuffle MiB, peak MiB, gpu?).
 fn arb_app_params() -> impl Strategy<Value = (usize, usize, f64, u64, u64, bool)> {
-    (1usize..12, 1usize..6, 1.0f64..20.0, 1u64..128, 64u64..2048, any::<bool>())
+    (
+        1usize..12,
+        1usize..6,
+        1.0f64..20.0,
+        1u64..128,
+        64u64..2048,
+        any::<bool>(),
+    )
 }
 
 fn build_app(
@@ -86,7 +104,14 @@ fn build_app(
             },
         })
         .collect();
-    b.add_stage(j, "r", "prop/r", StageKind::Result, vec![map_stage], reduce_tasks);
+    b.add_stage(
+        j,
+        "r",
+        "prop/r",
+        StageKind::Result,
+        vec![map_stage],
+        reduce_tasks,
+    );
     (b.build(), layout)
 }
 
@@ -106,7 +131,25 @@ proptest! {
         let lb = ideal_lower_bound(&app, &cluster);
         for sched in [Sched::Spark, Sched::Rupam] {
             let report = run_app(&cluster, &app, &layout, &sched, seed);
-            prop_assert!(report.completed, "{} did not complete", sched.label());
+            if !report.completed {
+                // §IV-B: "Some workloads … are memory intensive such that
+                // default Spark fails with memory error in some runs … In
+                // contrast, RUPAM finishes without memory errors". A
+                // generated app whose co-scheduled tasks overflow Spark's
+                // uniform executors reproduces exactly that documented
+                // failure mode (executor kill → blind requeue → kill), so
+                // a Spark abort is admissible iff it is memory-attributed.
+                // RUPAM must still always complete (see EXPERIMENTS.md).
+                prop_assert!(
+                    matches!(sched, Sched::Spark),
+                    "{} did not complete", sched.label()
+                );
+                prop_assert!(
+                    report.oom_failures + report.executor_losses > 0,
+                    "Spark abort without any memory-attributed failure"
+                );
+                continue;
+            }
             prop_assert!(report.makespan >= lb,
                 "{}: makespan {} < lower bound {}", sched.label(), report.makespan, lb);
             let mut winners: Vec<_> = report

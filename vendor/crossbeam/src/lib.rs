@@ -1,0 +1,139 @@
+//! Offline, API-compatible subset of `crossbeam`: MPMC-ish channels and
+//! scoped threads, backed by `std::sync::mpsc` and `std::thread::scope`.
+//!
+//! Only the surface this workspace uses is provided:
+//! `crossbeam::channel::{unbounded, Sender, Receiver}` and
+//! `crossbeam::thread::scope(|s| s.spawn(|_| …))`.
+
+pub mod channel {
+    use std::sync::mpsc;
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel (cloneable).
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; errors only if every receiver is gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block for the next value; errors once the channel is empty and
+        /// every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Blocking iterator until the channel disconnects.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    /// An unbounded FIFO channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// The error payload of a panicked child thread.
+    pub type Error = Box<dyn std::any::Any + Send + 'static>;
+
+    /// Scope handle passed to [`scope`]'s closure and to spawned children.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the child and return its result.
+        pub fn join(self) -> Result<T, Error> {
+            self.0.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a child; like crossbeam, the closure receives the scope so
+        /// children can spawn grandchildren.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle(inner.spawn(move || f(&Scope { inner })))
+        }
+    }
+
+    /// Run `f` with a scope; every spawned child is joined before `scope`
+    /// returns. A panic in any child surfaces as `Err`, matching
+    /// crossbeam's contract (std's scope would propagate the panic).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Error>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fifo_roundtrip() {
+        let (tx, rx) = channel::unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+        drop((tx, tx2));
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn scope_joins_children() {
+        let mut slots = vec![0u64; 8];
+        thread::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = i as u64 + 1);
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, (1..=8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_reports_child_panic() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build environment has no network access and no registry cache, so
+//! the workspace vendors the small slice of `rand`'s API it actually uses:
+//! [`RngCore`], [`SeedableRng`], [`Rng::gen_range`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom`]. The generator is a SplitMix64 counter stream —
+//! deterministic, `no_std`-simple, and statistically sound for the
+//! simulation's workload-jitter / data-placement use (it is the same
+//! finalizer the workspace already uses to derive per-label streams).
+//!
+//! Values differ from upstream `rand`'s ChaCha-based `StdRng`; experiment
+//! calibration in this repository is against *this* generator, which is
+//! pinned by `Cargo.lock` and vendored source rather than a registry
+//! release.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core trait: a source of uniformly random 32/64-bit words.
+pub trait RngCore {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// A generator that can be constructed from a seed.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-width byte array upstream; here 32 bytes).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Construct from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Construct from a `u64` seed (the only constructor this workspace
+    /// uses).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling from a range — mirrors `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draw one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+#[inline]
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // 53 random mantissa bits -> [0, 1)
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+macro_rules! int_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range in gen_range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo + (rng.next_u64() % (span + 1)) as $t
+            }
+        }
+    )*};
+}
+
+int_range_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_impl {
+    ($($t:ty : $u:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                let span = (self.end as $u).wrapping_sub(self.start as $u);
+                self.start.wrapping_add((rng.next_u64() % span as u64) as $t)
+            }
+        }
+    )*};
+}
+
+signed_range_impl!(i32: u32, i64: u64, isize: usize);
+
+macro_rules! float_range_impl {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty range in gen_range");
+                self.start + (self.end - self.start) * unit_f64(rng) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive range in gen_range");
+                // draw in [0, 1] using 53 bits over an inclusive lattice
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+float_range_impl!(f32, f64);
+
+/// User-facing extension trait (blanket-implemented for every `RngCore`).
+pub trait Rng: RngCore {
+    /// Uniform draw from `range`.
+    #[inline]
+    fn gen_range<T, S>(&mut self, range: S) -> T
+    where
+        S: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli draw with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (SplitMix64 counter stream).
+    ///
+    /// Not upstream's ChaCha12 — see the crate docs. Cloning forks the
+    /// stream state, exactly like upstream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    const GAMMA: u64 = 0x9e37_79b9_7f4a_7c15;
+
+    #[inline]
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(GAMMA);
+            mix(self.state)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut first = [0u8; 8];
+            first.copy_from_slice(&seed[..8]);
+            Self::seed_from_u64(u64::from_le_bytes(first))
+        }
+
+        #[inline]
+        fn seed_from_u64(state: u64) -> Self {
+            // pre-mix so that small consecutive seeds yield unrelated
+            // streams
+            StdRng {
+                state: mix(state ^ GAMMA),
+            }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice helpers — the `choose`/`shuffle` subset of upstream's trait.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: usize = r.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let f: f64 = r.gen_range(-2.0..3.5);
+            assert!((-2.0..3.5).contains(&f));
+            let g: f64 = r.gen_range(-0.25..=0.25);
+            assert!((-0.25..=0.25).contains(&g));
+        }
+    }
+
+    #[test]
+    fn float_ranges_cover_span() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut lo_hits = 0;
+        let mut hi_hits = 0;
+        for _ in 0..10_000 {
+            let f: f64 = r.gen_range(0.0..1.0);
+            if f < 0.1 {
+                lo_hits += 1;
+            }
+            if f > 0.9 {
+                hi_hits += 1;
+            }
+        }
+        assert!(
+            lo_hits > 500 && hi_hits > 500,
+            "not uniform: {lo_hits} {hi_hits}"
+        );
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut r = StdRng::seed_from_u64(4);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+        assert!([42].choose(&mut r).is_some());
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(5);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
