@@ -1,7 +1,7 @@
 //! `experiments` — regenerate every table and figure of the RUPAM paper.
 //!
 //! ```text
-//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation] [--quick]
+//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation|multitenant] [--quick]
 //! ```
 //!
 //! `--quick` runs one seed instead of the paper's five (for smoke runs).
@@ -9,7 +9,9 @@
 use std::env;
 
 use rupam_bench::harness::{placement_census, run_workload, Sched, SEEDS};
-use rupam_bench::{ablation, breakdown, hardware, locality, motivation, overall, utilization};
+use rupam_bench::{
+    ablation, breakdown, hardware, locality, motivation, multitenant, overall, utilization,
+};
 use rupam_cluster::ClusterSpec;
 use rupam_workloads::Workload;
 
@@ -143,6 +145,17 @@ fn main() {
         );
         rupam_bench::sensitivity::table(Workload::LogisticRegression, &rows).print();
         println!();
+    }
+    if run("multitenant") {
+        let mt_seeds = &seeds[..seeds.len().min(3)];
+        let rows = multitenant::run(&cluster, mt_seeds);
+        multitenant::table(&rows).print();
+        let wc = multitenant::warm_vs_cold(&cluster, Workload::LogisticRegression, mt_seeds);
+        multitenant::warm_vs_cold_table(Workload::LogisticRegression, &wc).print();
+        println!(
+            "  cold-DB JCT penalty: {:+.1}%\n",
+            wc.cold_penalty() * 100.0
+        );
     }
     if run("ablation") {
         let rows = ablation::run(&cluster, &seeds[..seeds.len().min(2)]);

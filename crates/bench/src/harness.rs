@@ -5,14 +5,18 @@
 //! and 95 % confidence interval". One simulated run per seed plays the
 //! role of one wall-clock repetition; a fresh scheduler per run plays
 //! the cleared DB. Repetitions execute in parallel worker threads
-//! (crossbeam scope) since each simulation is self-contained.
+//! (`std::thread::scope`) since each simulation is self-contained.
 
 use rupam::{FifoScheduler, RupamConfig, RupamScheduler, SparkScheduler};
 use rupam_cluster::ClusterSpec;
 use rupam_dag::app::Application;
 use rupam_dag::data::DataLayout;
+use rupam_dag::MergedStream;
 use rupam_exec::scheduler::Scheduler;
-use rupam_exec::{simulate, simulate_observed, SimConfig, SimInput, SimObservation, SimOptions};
+use rupam_exec::{
+    simulate, simulate_observed, simulate_stream, simulate_stream_observed, SimConfig, SimInput,
+    SimObservation, SimOptions, StreamInput,
+};
 use rupam_metrics::report::RunReport;
 use rupam_simcore::{stats, RngFactory};
 use rupam_workloads::Workload;
@@ -105,6 +109,43 @@ pub fn run_app_observed(
     simulate_observed(&input, scheduler.as_mut(), opts)
 }
 
+/// Run a pre-merged multi-tenant stream under one long-lived scheduler.
+pub fn run_stream(
+    cluster: &ClusterSpec,
+    stream: &MergedStream,
+    sched: &Sched,
+    seed: u64,
+) -> RunReport {
+    let config = SimConfig::default();
+    let input = StreamInput {
+        cluster,
+        stream,
+        config: &config,
+        seed,
+    };
+    let mut scheduler = sched.make();
+    simulate_stream(&input, scheduler.as_mut())
+}
+
+/// Like [`run_stream`], but with decision tracing / invariant auditing.
+pub fn run_stream_observed(
+    cluster: &ClusterSpec,
+    stream: &MergedStream,
+    sched: &Sched,
+    seed: u64,
+    opts: &SimOptions,
+) -> (RunReport, SimObservation) {
+    let config = SimConfig::default();
+    let input = StreamInput {
+        cluster,
+        stream,
+        config: &config,
+        seed,
+    };
+    let mut scheduler = sched.make();
+    simulate_stream_observed(&input, scheduler.as_mut(), opts)
+}
+
 /// Like [`run_workload`], but with decision tracing / invariant auditing.
 pub fn run_workload_observed(
     cluster: &ClusterSpec,
@@ -121,7 +162,8 @@ pub fn run_workload_observed(
 pub struct Repeated {
     /// Makespans in seconds, one per seed.
     pub secs: Vec<f64>,
-    /// Full report of each run (same order as [`SEEDS`]).
+    /// Full report of each run (same order as the `seeds` argument given
+    /// to [`repeat`]).
     pub reports: Vec<RunReport>,
 }
 
@@ -137,9 +179,10 @@ impl Repeated {
     }
 
     /// The first run's report (used for per-task analyses, like the
-    /// paper's single-run locality and breakdown tables).
-    pub fn first(&self) -> &RunReport {
-        &self.reports[0]
+    /// paper's single-run locality and breakdown tables), or `None` when
+    /// [`repeat`] was given no seeds.
+    pub fn first(&self) -> Option<&RunReport> {
+        self.reports.first()
     }
 
     /// Total memory-related failures across the runs.
@@ -154,15 +197,14 @@ impl Repeated {
 /// Run a workload once per seed, in parallel threads.
 pub fn repeat(cluster: &ClusterSpec, w: Workload, sched: &Sched, seeds: &[u64]) -> Repeated {
     let mut reports: Vec<Option<RunReport>> = (0..seeds.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (slot, &seed) in reports.iter_mut().zip(seeds.iter()) {
             let sched = sched.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 *slot = Some(run_workload(cluster, w, &sched, seed));
             });
         }
-    })
-    .expect("repetition worker panicked");
+    });
     let reports: Vec<RunReport> = reports.into_iter().map(|r| r.unwrap()).collect();
     let secs = reports.iter().map(|r| r.makespan.as_secs_f64()).collect();
     Repeated { secs, reports }
@@ -232,7 +274,15 @@ mod tests {
         assert!(rep.mean() > 0.0);
         assert!(rep.ci95() >= 0.0);
         assert_eq!(rep.reports.len(), 3);
-        assert_eq!(rep.first().seed, 1);
+        assert_eq!(rep.first().expect("ran at least one seed").seed, 1);
+    }
+
+    #[test]
+    fn first_is_none_without_seeds() {
+        let cluster = ClusterSpec::hydra();
+        let rep = repeat(&cluster, Workload::TeraSort, &Sched::Spark, &[]);
+        assert!(rep.first().is_none());
+        assert!(rep.secs.is_empty());
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`utilization`] | Fig. 8 (average utilisation) and Fig. 9 (balance) |
 //! | [`ablation`] | design-choice ablations (DESIGN.md §5, last row) |
 //! | [`sensitivity`] | beyond-paper: RUPAM gain vs degree of cluster heterogeneity |
+//! | [`multitenant`] | beyond-paper: online multi-tenant stream, JCTs, warm-vs-cold DB |
 
 #![warn(missing_docs)]
 
@@ -24,11 +25,12 @@ pub mod hardware;
 pub mod harness;
 pub mod locality;
 pub mod motivation;
+pub mod multitenant;
 pub mod overall;
 pub mod sensitivity;
 pub mod utilization;
 
 pub use harness::{
-    placement_census, run_app, run_app_observed, run_workload, run_workload_observed, Repeated,
-    Sched, SEEDS,
+    placement_census, run_app, run_app_observed, run_stream, run_stream_observed, run_workload,
+    run_workload_observed, Repeated, Sched, SEEDS,
 };

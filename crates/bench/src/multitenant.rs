@@ -1,0 +1,235 @@
+//! Beyond-paper: the multi-tenant workload stream.
+//!
+//! The paper runs one application at a time and clears `DB_task_char`
+//! between repetitions, but §III-B keys the DB so that *later* jobs
+//! reuse what earlier ones banked. This experiment exercises that
+//! setting directly: a seeded stream of suite workloads arrives online
+//! at one shared Hydra cluster, scheduled by one long-lived scheduler,
+//! and we report per-tenant job completion times (JCT) instead of a
+//! single makespan.
+//!
+//! Two questions:
+//! 1. Does RUPAM's advantage over stock Spark / FIFO survive contention
+//!    between concurrent tenants? (`run` / `table`)
+//! 2. How much of RUPAM's gain comes from the warm DB — i.e. from later
+//!    tenants inheriting the characterizations of earlier ones?
+//!    (`warm_vs_cold` / `warm_vs_cold_table`: the cold control scopes
+//!    every DB entry to the tenant that produced it.)
+
+use rand::Rng;
+use rupam::RupamConfig;
+use rupam_cluster::ClusterSpec;
+use rupam_dag::{JobStream, MergedStream};
+use rupam_metrics::table::{secs, Table};
+use rupam_simcore::time::SimTime;
+use rupam_simcore::{stats, RngFactory};
+use rupam_workloads::Workload;
+
+use crate::harness::{run_stream, Sched};
+
+/// The default tenant mix: four workloads spanning the suite's compute-,
+/// shuffle-, and memory-bound corners.
+pub const TENANTS: [Workload; 4] = [
+    Workload::LogisticRegression,
+    Workload::TeraSort,
+    Workload::PageRank,
+    Workload::GramianMatrix,
+];
+
+/// Mean inter-arrival gap of the default stream (seconds). Short enough
+/// that tenants overlap on the cluster, long enough that the stream is
+/// genuinely online rather than a batch.
+pub const MEAN_GAP_SECS: f64 = 30.0;
+
+/// Build a seeded stream: each workload arrives after an exponential
+/// inter-arrival gap (Poisson arrivals), with per-tenant seeded inputs.
+pub fn build_stream(
+    cluster: &ClusterSpec,
+    workloads: &[Workload],
+    mean_gap_secs: f64,
+    seed: u64,
+) -> MergedStream {
+    assert!(!workloads.is_empty(), "a stream needs at least one tenant");
+    let mut arrivals = RngFactory::new(seed).stream("stream-arrivals");
+    let mut stream = JobStream::new();
+    let mut t = 0.0f64;
+    for (i, &w) in workloads.iter().enumerate() {
+        let (app, layout) = w.build(cluster, &RngFactory::new(seed.wrapping_add(i as u64)));
+        stream.push(
+            format!("{}#{i}", w.short()),
+            app,
+            layout,
+            SimTime::from_secs_f64(t),
+        );
+        // exponential gap via inverse CDF; 1-u keeps the log argument
+        // strictly positive
+        let u: f64 = arrivals.gen_range(0.0..1.0);
+        t += -mean_gap_secs * (1.0 - u).ln();
+    }
+    stream.merge()
+}
+
+/// One scheduler's aggregate over the repeated streams.
+pub struct TenantRow {
+    /// Scheduler label.
+    pub sched: String,
+    /// Mean JCT across all tenants and seeds (seconds).
+    pub jct_mean: f64,
+    /// p95 JCT across seeds (mean of per-run p95s, seconds).
+    pub jct_p95: f64,
+    /// Mean stream makespan (seconds).
+    pub makespan: f64,
+    /// All runs completed.
+    pub completed: bool,
+}
+
+/// Run the default 4-tenant stream under RUPAM, stock Spark, and FIFO.
+pub fn run(cluster: &ClusterSpec, seeds: &[u64]) -> Vec<TenantRow> {
+    [Sched::Rupam, Sched::Spark, Sched::Fifo]
+        .iter()
+        .map(|sched| {
+            let mut jct_means = Vec::new();
+            let mut jct_p95s = Vec::new();
+            let mut makespans = Vec::new();
+            let mut completed = true;
+            for &seed in seeds {
+                let stream = build_stream(cluster, &TENANTS, MEAN_GAP_SECS, seed);
+                let report = run_stream(cluster, &stream, sched, seed);
+                completed &= report.completed;
+                jct_means.push(report.jct_mean());
+                jct_p95s.push(report.jct_p95());
+                makespans.push(report.makespan.as_secs_f64());
+            }
+            TenantRow {
+                sched: sched.label(),
+                jct_mean: stats::mean(&jct_means),
+                jct_p95: stats::mean(&jct_p95s),
+                makespan: stats::mean(&makespans),
+                completed,
+            }
+        })
+        .collect()
+}
+
+/// Render the scheduler comparison.
+pub fn table(rows: &[TenantRow]) -> Table {
+    let mut t = Table::new(
+        "Multi-tenant stream — 4 tenants, Poisson arrivals (mean gap 30 s)",
+        &["scheduler", "mean JCT (s)", "p95 JCT (s)", "makespan (s)"],
+    );
+    for r in rows {
+        t.row(&[
+            r.sched.clone(),
+            secs(r.jct_mean),
+            secs(r.jct_p95),
+            secs(r.makespan),
+        ]);
+    }
+    t
+}
+
+/// Warm-vs-cold `DB_task_char` ablation result.
+pub struct WarmCold {
+    /// Mean JCT with the cross-job warm DB (seconds).
+    pub warm_jct: f64,
+    /// Mean JCT with per-tenant scoped (cold) DB entries (seconds).
+    pub cold_jct: f64,
+}
+
+impl WarmCold {
+    /// Relative JCT change of going cold: positive means the warm DB
+    /// helps.
+    pub fn cold_penalty(&self) -> f64 {
+        (self.cold_jct - self.warm_jct) / self.warm_jct
+    }
+}
+
+/// Isolate the warm-DB effect: a stream of *identical* workloads (same
+/// template keys) where every tenant after the first can, with a warm
+/// DB, skip its first-contact exploration entirely.
+pub fn warm_vs_cold(cluster: &ClusterSpec, workload: Workload, seeds: &[u64]) -> WarmCold {
+    let tenants = [workload; 4];
+    let mut warm = Vec::new();
+    let mut cold = Vec::new();
+    for &seed in seeds {
+        let stream = build_stream(cluster, &tenants, MEAN_GAP_SECS, seed);
+        let warm_report = run_stream(cluster, &stream, &Sched::Rupam, seed);
+        let cold_cfg = RupamConfig {
+            cross_job_db: false,
+            ..RupamConfig::default()
+        };
+        let cold_report = run_stream(cluster, &stream, &Sched::RupamWith(cold_cfg), seed);
+        assert!(warm_report.completed && cold_report.completed);
+        warm.push(warm_report.jct_mean());
+        cold.push(cold_report.jct_mean());
+    }
+    WarmCold {
+        warm_jct: stats::mean(&warm),
+        cold_jct: stats::mean(&cold),
+    }
+}
+
+/// Render the ablation.
+pub fn warm_vs_cold_table(workload: Workload, r: &WarmCold) -> Table {
+    let mut t = Table::new(
+        format!(
+            "Warm vs cold DB_task_char — 4x {} stream, RUPAM",
+            workload.short()
+        ),
+        &["DB", "mean JCT (s)", "vs warm"],
+    );
+    t.row(&["warm (cross-job)".into(), secs(r.warm_jct), "—".into()]);
+    t.row(&[
+        "cold (per-tenant)".into(),
+        secs(r.cold_jct),
+        format!("{:+.1}%", r.cold_penalty() * 100.0),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_arrivals_are_seeded_and_increasing() {
+        let cluster = ClusterSpec::hydra();
+        let a = build_stream(&cluster, &TENANTS, MEAN_GAP_SECS, 42);
+        let b = build_stream(&cluster, &TENANTS, MEAN_GAP_SECS, 42);
+        assert_eq!(a.jobs.len(), 4);
+        for (x, y) in a.jobs.iter().zip(&b.jobs) {
+            assert_eq!(x.arrival, y.arrival, "stream must be seed-deterministic");
+        }
+        assert!(a.jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        assert_eq!(a.jobs[0].arrival, SimTime::ZERO);
+        assert!(
+            a.jobs[3].arrival > SimTime::ZERO,
+            "later tenants arrive later"
+        );
+    }
+
+    #[test]
+    fn four_tenants_complete_under_all_schedulers_with_jcts() {
+        let cluster = ClusterSpec::hydra();
+        let rows = run(&cluster, &[1]);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.completed, "{} left tenants unfinished", r.sched);
+            assert!(r.jct_mean > 0.0 && r.jct_p95 >= r.jct_mean);
+        }
+        assert_eq!(table(&rows).len(), 3);
+    }
+
+    #[test]
+    fn warm_db_measurably_changes_rupam_jct() {
+        let cluster = ClusterSpec::hydra();
+        let r = warm_vs_cold(&cluster, Workload::LogisticRegression, &[1]);
+        assert!(r.warm_jct > 0.0 && r.cold_jct > 0.0);
+        assert!(
+            (r.cold_jct - r.warm_jct).abs() / r.warm_jct > 0.001,
+            "warm and cold DB runs are indistinguishable (warm {:.1}s, cold {:.1}s)",
+            r.warm_jct,
+            r.cold_jct
+        );
+    }
+}

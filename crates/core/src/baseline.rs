@@ -351,6 +351,7 @@ mod tests {
                 stage: StageId(stage),
                 index,
             },
+            job: rupam_dag::app::JobId(0),
             template_key: "t".into(),
             stage_kind: StageKind::ShuffleMap,
             attempt_no: 0,
@@ -375,6 +376,7 @@ mod tests {
             nodes,
             pending,
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         }
     }
 
@@ -533,6 +535,7 @@ mod tests {
             nodes: vec![nv0, node_view(1, 0, 16)],
             pending: vec![],
             speculatable: vec![pending(0, 0, vec![])],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let cmds = s.offer_round(&offer);
         let spec_launches: Vec<_> = cmds

@@ -55,6 +55,11 @@ pub struct RupamConfig {
     pub use_locality: bool,
     /// Ablation: disable the straggler/racing extensions.
     pub straggler_handling: bool,
+    /// Keep `DB_task_char` entries warm across the jobs of a multi-tenant
+    /// stream (keys stay per-template). Disabling scopes every entry to
+    /// the stream job that produced it — the cold-DB control where a new
+    /// tenant learns nothing from its predecessors.
+    pub cross_job_db: bool,
 }
 
 impl Default for RupamConfig {
@@ -76,6 +81,7 @@ impl Default for RupamConfig {
             dynamic_executors: true,
             use_locality: true,
             straggler_handling: true,
+            cross_job_db: true,
         }
     }
 }
@@ -91,6 +97,7 @@ mod tests {
         assert!(c.overcommit_factor >= 1.0);
         assert!(c.mem_straggler_watermark > 0.0 && c.mem_straggler_watermark < 0.5);
         assert!(c.use_task_db && c.dynamic_executors && c.use_locality && c.straggler_handling);
+        assert!(c.cross_job_db, "the warm DB is the paper's default");
         assert!(
             c.decision_cost > SimDuration::from_millis(1),
             "RUPAM costs more per decision than stock Spark"

@@ -447,6 +447,7 @@ mod tests {
                 stage: StageId(0),
                 index,
             },
+            job: rupam_dag::app::JobId(0),
             template_key: "d/r".into(),
             stage_kind: kind,
             attempt_no: 0,
@@ -470,6 +471,7 @@ mod tests {
             nodes,
             pending,
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         }
     }
 
@@ -538,6 +540,7 @@ mod tests {
                     stage: StageId(0),
                     index: 99,
                 },
+                job: rupam_dag::app::JobId(0),
                 template_key: "d/r".into(),
                 attempt: 0,
                 node: NodeId(10),

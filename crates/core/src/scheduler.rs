@@ -60,6 +60,9 @@ impl RupamScheduler {
         if !cfg.straggler_handling {
             name.push_str("-nostrag");
         }
+        if !cfg.cross_job_db {
+            name.push_str("-colddb");
+        }
         RupamScheduler {
             tm: TaskManager::new(cfg.clone()),
             straggler: StragglerState::new(0),
@@ -128,6 +131,12 @@ impl Scheduler for RupamScheduler {
             .collect();
     }
 
+    fn on_job_submitted(&mut self, job: rupam_dag::app::JobId, stages: &[StageId], _now: SimTime) {
+        // the TM needs stage ownership to scope its keys when the
+        // cold-DB control is active
+        self.tm.note_job(job, stages);
+    }
+
     fn on_stage_ready(&mut self, _stage: &Stage, _now: SimTime) {
         // tasks are picked up from `input.pending` at the next offer
         // round; nothing to do eagerly
@@ -154,8 +163,13 @@ impl Scheduler for RupamScheduler {
             if let Some(template) = self.stage_templates.get(&task.stage) {
                 // a memory death marks the task MEM-bound so the next
                 // placement favours large-memory nodes
-                self.tm
-                    .record_memory_failure(template, task.index, ByteSize::ZERO, node);
+                self.tm.record_memory_failure(
+                    task.stage,
+                    template,
+                    task.index,
+                    ByteSize::ZERO,
+                    node,
+                );
             }
         }
     }
@@ -461,6 +475,65 @@ mod tests {
             spark_deaths > rupam_deaths,
             "expected Spark ({spark_deaths}) to suffer more memory deaths than RUPAM ({rupam_deaths})"
         );
+    }
+
+    #[test]
+    fn warm_stream_reuses_characterization_cold_stream_partitions_it() {
+        let cluster = ClusterSpec::hydra();
+        let cfg = SimConfig::default();
+        let build_stream = || {
+            let mut stream = rupam_dag::JobStream::new();
+            let (a1, l1) = compute_app(&cluster, 7, 2, 10.0, ByteSize::gib(1));
+            let (a2, l2) = compute_app(&cluster, 8, 2, 10.0, ByteSize::gib(1));
+            stream.push("tenant-a", a1, l1, SimTime::ZERO);
+            stream.push("tenant-b", a2, l2, SimTime::from_secs_f64(20.0));
+            stream.merge()
+        };
+
+        let warm_stream = build_stream();
+        let input = rupam_exec::StreamInput {
+            cluster: &cluster,
+            stream: &warm_stream,
+            config: &cfg,
+            seed: 7,
+        };
+        let mut warm = RupamScheduler::with_defaults();
+        let report = rupam_exec::simulate_stream(&input, &mut warm);
+        assert!(report.completed);
+        assert_eq!(report.jobs.len(), 2);
+        assert!(report.jobs.iter().all(|j| j.completed_at.is_some()));
+        // warm DB: both tenants bank under the shared template key
+        assert!(warm
+            .tm()
+            .db()
+            .read(&crate::db::TaskKey::new("compute/data", 0))
+            .is_some());
+
+        let cold_stream = build_stream();
+        let input = rupam_exec::StreamInput {
+            cluster: &cluster,
+            stream: &cold_stream,
+            config: &cfg,
+            seed: 7,
+        };
+        let mut cold = RupamScheduler::new(RupamConfig {
+            cross_job_db: false,
+            ..RupamConfig::default()
+        });
+        assert_eq!(cold.name(), "rupam-colddb");
+        let report = rupam_exec::simulate_stream(&input, &mut cold);
+        assert!(report.completed);
+        // cold DB: every entry is scoped to the tenant that produced it
+        let db = cold.tm().db();
+        assert!(db
+            .read(&crate::db::TaskKey::new("compute/data", 0))
+            .is_none());
+        assert!(db
+            .read(&crate::db::TaskKey::new("j0@compute/data", 0))
+            .is_some());
+        assert!(db
+            .read(&crate::db::TaskKey::new("j1@compute/data", 0))
+            .is_some());
     }
 
     #[test]

@@ -169,7 +169,7 @@ pub fn resource_straggler_candidates(
                 continue;
             }
             let template = &input.app.stage(r.task.stage).template_key;
-            if let Some(median) = tm.median_duration_secs(template) {
+            if let Some(median) = tm.median_duration_secs(r.task.stage, template) {
                 if r.elapsed.as_secs_f64() > 1.5 * median.max(1.0) * cfg.res_factor {
                     out.push((r.task, view.node));
                 }
@@ -285,6 +285,7 @@ mod tests {
             nodes: views,
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let cmds = memory_straggler_commands(&cfg, &mut st, &input);
         assert_eq!(
@@ -306,6 +307,7 @@ mod tests {
             nodes: base_views(&cluster),
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         assert!(memory_straggler_commands(&cfg, &mut st, &input2).is_empty());
     }
@@ -326,6 +328,7 @@ mod tests {
             nodes: views,
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         assert!(memory_straggler_commands(&cfg, &mut st, &input).is_empty());
     }
@@ -347,6 +350,7 @@ mod tests {
             nodes: views,
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let cmds = gpu_race_commands(&cfg, &mut st, &input, &tm);
         assert_eq!(cmds.len(), 1);
@@ -382,6 +386,7 @@ mod tests {
             nodes: views,
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         assert!(gpu_race_commands(&cfg, &mut st, &input, &tm).is_empty());
     }
@@ -402,6 +407,7 @@ mod tests {
                     stage: StageId(0),
                     index: 9,
                 },
+                job: rupam_dag::app::JobId(0),
                 template_key: "g/r".into(),
                 attempt: 0,
                 node: NodeId(0),
@@ -425,6 +431,7 @@ mod tests {
             nodes: views.clone(),
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         assert!(
             resource_straggler_candidates(&cfg, &input, &tm).is_empty(),
@@ -439,6 +446,7 @@ mod tests {
             nodes: views,
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let out = resource_straggler_candidates(&cfg, &input, &tm);
         assert_eq!(out.len(), 1);
@@ -457,6 +465,7 @@ mod tests {
             nodes: views,
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let target = relocation_target(&input, ResourceKind::Cpu, NodeId(0)).unwrap();
         assert_ne!(target, NodeId(0));

@@ -20,7 +20,7 @@ use rupam_simcore::time::SimTime;
 use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::resources::{PerResource, ResourceKind};
-use rupam_dag::app::{Stage, StageKind};
+use rupam_dag::app::{JobId, Stage, StageId, StageKind};
 use rupam_dag::TaskRef;
 use rupam_exec::scheduler::PendingTaskView;
 use rupam_metrics::record::TaskRecord;
@@ -147,6 +147,9 @@ pub struct TaskManager {
     gpu_stages: HashSet<String>,
     /// Smallest executor in the cluster (MEM-bound threshold).
     smallest_executor: ByteSize,
+    /// Stream job owning each stage (multi-tenant runs; used to scope
+    /// keys when `cross_job_db` is off).
+    job_of_stage: HashMap<StageId, JobId>,
 }
 
 impl TaskManager {
@@ -159,6 +162,29 @@ impl TaskManager {
             finished_secs: HashMap::new(),
             gpu_stages: HashSet::new(),
             smallest_executor: ByteSize::gib(14),
+            job_of_stage: HashMap::new(),
+        }
+    }
+
+    /// Register which stages a submitted stream job owns. With
+    /// `cross_job_db` on (the default) `DB_task_char` keys stay
+    /// per-template, so a new tenant repeating a known template reuses
+    /// everything earlier tenants taught the scheduler. With it off,
+    /// every key is scoped `jN@template` — the cold-DB control.
+    pub fn note_job(&mut self, job: JobId, stages: &[StageId]) {
+        for &s in stages {
+            self.job_of_stage.insert(s, job);
+        }
+    }
+
+    /// Template key as stored in the DB / stage statistics: per-template
+    /// when warm, scoped to the owning stream job when cold.
+    fn scope(&self, stage: StageId, template: &str) -> String {
+        if self.cfg.cross_job_db {
+            template.to_string()
+        } else {
+            let job = self.job_of_stage.get(&stage).copied().unwrap_or(JobId(0));
+            format!("j{}@{template}", job.index())
         }
     }
 
@@ -179,6 +205,7 @@ impl TaskManager {
         self.queues = TaskQueues::new();
         self.finished_secs.clear();
         self.gpu_stages.clear();
+        self.job_of_stage.clear();
     }
 
     /// Wipe the characteristics database (Fig. 5 protocol).
@@ -191,8 +218,10 @@ impl TaskManager {
         if !self.cfg.use_task_db {
             return None;
         }
-        self.db
-            .read(&TaskKey::new(view.template_key.clone(), view.task.index))
+        self.db.read(&TaskKey::new(
+            self.scope(view.task.stage, &view.template_key),
+            view.task.index,
+        ))
     }
 
     /// Which queues a submitted task belongs in.
@@ -202,7 +231,10 @@ impl TaskManager {
                 return vec![k];
             }
         }
-        if self.gpu_stages.contains(&view.template_key) {
+        if self
+            .gpu_stages
+            .contains(&self.scope(view.task.stage, &view.template_key))
+        {
             // §III-B2: once TM sees any task of a stage using a GPU, it
             // "marks all the tasks in the same stage to be GPU tasks"
             return vec![ResourceKind::Gpu];
@@ -236,12 +268,13 @@ impl TaskManager {
     /// statistics.
     pub fn record_finish(&mut self, record: &TaskRecord) {
         self.queues.remove(&record.task);
+        let scoped = self.scope(record.task.stage, &record.template_key);
         if record.used_gpu {
-            self.gpu_stages.insert(record.template_key.clone());
+            self.gpu_stages.insert(scoped.clone());
         }
         let bottleneck = classify(record, &self.cfg, self.smallest_executor);
         if self.cfg.use_task_db {
-            let key = TaskKey::new(record.template_key.clone(), record.task.index);
+            let key = TaskKey::new(scoped.clone(), record.task.index);
             let node = record.node;
             let secs = record.duration().as_secs_f64();
             let peak = record.peak_mem;
@@ -250,7 +283,7 @@ impl TaskManager {
                 .update(key, |c| c.observe(bottleneck, node, secs, peak, gpu));
         }
         self.finished_secs
-            .entry(record.template_key.clone())
+            .entry(scoped)
             .or_default()
             .push(record.duration().as_secs_f64());
     }
@@ -259,6 +292,7 @@ impl TaskManager {
     /// blew the node up). Marks the task MEM-bound.
     pub fn record_memory_failure(
         &mut self,
+        stage: StageId,
         template_key: &str,
         index: usize,
         peak: ByteSize,
@@ -268,15 +302,15 @@ impl TaskManager {
             return;
         }
         self.db
-            .update(TaskKey::new(template_key.to_string(), index), |c| {
+            .update(TaskKey::new(self.scope(stage, template_key), index), |c| {
                 c.observe(ResourceKind::Mem, node, f64::MAX, peak, false);
             });
     }
 
     /// Median successful duration for a stage template, if any finished.
-    pub fn median_duration_secs(&self, template_key: &str) -> Option<f64> {
+    pub fn median_duration_secs(&self, stage: StageId, template_key: &str) -> Option<f64> {
         self.finished_secs
-            .get(template_key)
+            .get(&self.scope(stage, template_key))
             .filter(|v| !v.is_empty())
             .map(|v| rupam_simcore::stats::median(v))
     }
@@ -307,6 +341,7 @@ mod tests {
                 stage: StageId(0),
                 index: 0,
             },
+            job: JobId(0),
             template_key: "w/s".into(),
             attempt: 0,
             node: NodeId(1),
@@ -365,6 +400,7 @@ mod tests {
                 stage: StageId(stage),
                 index,
             },
+            job: JobId(0),
             template_key: "w/s".into(),
             stage_kind: kind,
             attempt_no: 0,
@@ -427,6 +463,48 @@ mod tests {
     }
 
     #[test]
+    fn warm_db_carries_characterization_across_jobs() {
+        // two stream jobs share the template "w/s"; job 0 finishes a
+        // CPU-bound task, job 1's identical stage should inherit the
+        // classification when the DB stays warm
+        let mut tm = TaskManager::new(cfg());
+        tm.note_job(JobId(0), &[StageId(0)]);
+        tm.note_job(JobId(1), &[StageId(1)]);
+        tm.record_finish(&record(10, 1, 1, 1, false)); // stage 0 / job 0
+        let mut later = pview(1, 0, StageKind::ShuffleMap, false);
+        later.job = JobId(1);
+        assert_eq!(tm.queues_for(&later), vec![ResourceKind::Cpu]);
+    }
+
+    #[test]
+    fn cold_db_scopes_characterization_per_job() {
+        let c = RupamConfig {
+            cross_job_db: false,
+            ..cfg()
+        };
+        let mut tm = TaskManager::new(c);
+        tm.note_job(JobId(0), &[StageId(0)]);
+        tm.note_job(JobId(1), &[StageId(1)]);
+        tm.record_finish(&record(10, 1, 1, 1, false)); // stage 0 / job 0
+                                                       // the producing job still benefits from its own history...
+        assert_eq!(
+            tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false)),
+            vec![ResourceKind::Cpu]
+        );
+        // ...but the next tenant is back to first contact
+        let mut later = pview(1, 0, StageKind::ShuffleMap, false);
+        later.job = JobId(1);
+        assert_eq!(
+            tm.queues_for(&later).len(),
+            5,
+            "cold DB must not leak across jobs"
+        );
+        // the duration history is scoped the same way
+        assert_eq!(tm.median_duration_secs(StageId(0), "w/s"), Some(12.0));
+        assert_eq!(tm.median_duration_secs(StageId(1), "w/s"), None);
+    }
+
+    #[test]
     fn queue_membership_and_removal() {
         let mut q = TaskQueues::new();
         let t = TaskRef {
@@ -469,14 +547,14 @@ mod tests {
         for secs in [10, 20, 30] {
             tm.record_finish(&record(secs, 0, 0, 1, false));
         }
-        assert_eq!(tm.median_duration_secs("w/s"), Some(20.0));
-        assert_eq!(tm.median_duration_secs("unknown"), None);
+        assert_eq!(tm.median_duration_secs(StageId(0), "w/s"), Some(20.0));
+        assert_eq!(tm.median_duration_secs(StageId(0), "unknown"), None);
     }
 
     #[test]
     fn memory_failure_marks_mem_bound() {
         let mut tm = TaskManager::new(cfg());
-        tm.record_memory_failure("w/s", 0, ByteSize::gib(12), NodeId(3));
+        tm.record_memory_failure(StageId(0), "w/s", 0, ByteSize::gib(12), NodeId(3));
         let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false));
         assert_eq!(kinds, vec![ResourceKind::Mem]);
         let char = tm.db().read(&TaskKey::new("w/s", 0)).unwrap();

@@ -87,6 +87,7 @@ fn pending_views(app: &Application, stage: StageId, n: usize) -> Vec<PendingTask
     (0..n)
         .map(|i| PendingTaskView {
             task: TaskRef { stage, index: i },
+            job: rupam_dag::app::JobId(0),
             template_key: app.stage(stage).template_key.clone(),
             stage_kind: app.stage(stage).kind,
             attempt_no: 0,
@@ -155,6 +156,7 @@ proptest! {
             nodes: node_views(&cluster, &busy),
             pending: pending.clone(),
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let cmds = if rupam_not_spark {
             let mut s = RupamScheduler::with_defaults();
@@ -192,6 +194,7 @@ proptest! {
             nodes: node_views(&cluster, &busy),
             pending,
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let mut s = SparkScheduler::with_defaults();
         s.on_app_start(&app, &cluster);
@@ -232,6 +235,7 @@ proptest! {
             nodes: node_views(&cluster, &[]),
             pending,
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         let cfg = RupamConfig { overcommit_factor: overcommit, ..RupamConfig::default() };
         let mut s = RupamScheduler::new(cfg);
@@ -265,6 +269,7 @@ proptest! {
             nodes: node_views(&cluster, &busy),
             pending: vec![],
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         };
         for rupam in [false, true] {
             let cmds = if rupam {

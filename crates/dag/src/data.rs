@@ -143,6 +143,19 @@ impl DataLayout {
         ids
     }
 
+    /// Append every block of `other`, renumbering ids to follow this
+    /// layout's. Returns the id offset: block `BlockId(i)` of `other`
+    /// becomes `BlockId(i + offset)` here. Used when merging the layouts
+    /// of several stream entries into one shared-cluster layout.
+    pub fn absorb(&mut self, other: DataLayout) -> usize {
+        let offset = self.blocks.len();
+        for mut b in other.blocks {
+            b.id = BlockId(b.id.index() + offset);
+            self.blocks.push(b);
+        }
+        offset
+    }
+
     /// The block with the given id.
     pub fn block(&self, id: BlockId) -> &Block {
         &self.blocks[id.index()]

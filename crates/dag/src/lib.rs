@@ -13,14 +13,18 @@
 //! * [`app`] — applications, jobs, stages, and construction/validation.
 //! * [`lineage`] — DAG utilities: topological order, readiness, critical
 //!   path lower bounds.
+//! * [`stream`] — multi-tenant job streams: several applications arriving
+//!   at one shared cluster, merged into a single renumbered application.
 
 #![warn(missing_docs)]
 
 pub mod app;
 pub mod data;
 pub mod lineage;
+pub mod stream;
 pub mod task;
 
 pub use app::{AppBuilder, Application, Job, JobId, Stage, StageId, StageKind};
 pub use data::{BlockId, DataLayout, Locality};
+pub use stream::{JobStream, MergedStream, StreamEntry, StreamJobMeta};
 pub use task::{CacheKey, InputSource, TaskDemand, TaskRef, TaskTemplate};

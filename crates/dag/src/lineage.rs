@@ -14,7 +14,35 @@ use rupam_cluster::ClusterSpec;
 use crate::app::{Application, StageId, StageKind};
 use crate::task::TaskDemand;
 
+/// One sequential run of app-jobs: a stream entry's slice of the merged
+/// application. A single-application run is one chain covering every job.
+#[derive(Clone, Debug)]
+struct Chain {
+    /// App-job indices this chain executes, in order.
+    jobs: std::ops::Range<usize>,
+    /// Absolute index of the currently active app-job.
+    active_job: usize,
+    /// Remaining stages in the active app-job.
+    stages_left_in_job: usize,
+    /// Whether the chain's stream job has been submitted yet. Stages of
+    /// an unarrived chain are never surfaced.
+    arrived: bool,
+}
+
+impl Chain {
+    fn done(&self) -> bool {
+        self.active_job >= self.jobs.end
+    }
+}
+
 /// Runtime readiness tracker over an application's job/stage structure.
+///
+/// The application is partitioned into *chains* — independent sequential
+/// runs of app-jobs. A plain single-application run is one chain over
+/// all jobs (constructed by [`StageTracker::new`]); a multi-tenant
+/// stream has one chain per entry ([`StageTracker::new_stream`]), each
+/// gated on its arrival ([`StageTracker::arrive`]) and progressing
+/// concurrently with the others.
 #[derive(Clone, Debug)]
 pub struct StageTracker {
     /// Remaining (unfinished) task count per stage.
@@ -23,46 +51,98 @@ pub struct StageTracker {
     waiting_parents: Vec<usize>,
     /// Stages already surfaced as ready.
     released: Vec<bool>,
-    /// Index of the currently active job.
-    active_job: usize,
-    /// Remaining stages in the active job.
-    stages_left_in_job: usize,
+    /// Independent sequential job chains.
+    chains: Vec<Chain>,
+    /// Chain owning each app-job.
+    chain_of_job: Vec<usize>,
 }
 
 impl StageTracker {
-    /// A tracker positioned before the first job.
+    /// A tracker positioned before the first job, all jobs in one
+    /// already-arrived chain (the classic single-application run).
     pub fn new(app: &Application) -> Self {
-        let remaining = app.stages.iter().map(|s| s.num_tasks()).collect();
-        let waiting_parents = app.stages.iter().map(|s| s.parents.len()).collect();
-        let mut t = StageTracker {
-            remaining,
-            waiting_parents,
-            released: vec![false; app.stages.len()],
-            active_job: 0,
-            stages_left_in_job: 0,
-        };
-        t.stages_left_in_job = app.jobs.first().map(|j| j.stages.len()).unwrap_or(0);
-        t
+        Self::with_chains(app, std::slice::from_ref(&(0..app.jobs.len())), true)
     }
 
-    /// Stages that become ready right now (initially: the active job's
-    /// parentless stages). Each stage is surfaced exactly once.
+    /// A tracker with one not-yet-arrived chain per app-job range.
+    /// Call [`StageTracker::arrive`] as each chain's stream job is
+    /// submitted.
+    ///
+    /// # Panics
+    /// Panics unless the ranges partition `0..app.jobs.len()` in order.
+    pub fn new_stream(app: &Application, chains: &[std::ops::Range<usize>]) -> Self {
+        Self::with_chains(app, chains, false)
+    }
+
+    fn with_chains(app: &Application, chains: &[std::ops::Range<usize>], arrived: bool) -> Self {
+        let mut chain_of_job = Vec::with_capacity(app.jobs.len());
+        for (c, range) in chains.iter().enumerate() {
+            assert_eq!(
+                range.start,
+                chain_of_job.len(),
+                "chains must partition the app's jobs in order"
+            );
+            chain_of_job.extend(std::iter::repeat_n(c, range.len()));
+        }
+        assert_eq!(
+            chain_of_job.len(),
+            app.jobs.len(),
+            "chains must cover every app job"
+        );
+        StageTracker {
+            remaining: app.stages.iter().map(|s| s.num_tasks()).collect(),
+            waiting_parents: app.stages.iter().map(|s| s.parents.len()).collect(),
+            released: vec![false; app.stages.len()],
+            chains: chains
+                .iter()
+                .map(|r| Chain {
+                    jobs: r.clone(),
+                    active_job: r.start,
+                    stages_left_in_job: app.jobs.get(r.start).map(|j| j.stages.len()).unwrap_or(0),
+                    arrived,
+                })
+                .collect(),
+            chain_of_job,
+        }
+    }
+
+    /// Mark `chain` as arrived; its stages become eligible for release.
+    pub fn arrive(&mut self, chain: usize) {
+        self.chains[chain].arrived = true;
+    }
+
+    /// Whether `chain` has run all of its jobs to completion.
+    pub fn chain_done(&self, chain: usize) -> bool {
+        self.chains[chain].done()
+    }
+
+    /// The chain that owns `stage`.
+    pub fn chain_of(&self, app: &Application, stage: StageId) -> usize {
+        self.chain_of_job[app.stage(stage).job.index()]
+    }
+
+    /// Stages that become ready right now (initially: each arrived
+    /// chain's active job's parentless stages). Each stage is surfaced
+    /// exactly once.
     pub fn take_ready(&mut self, app: &Application) -> Vec<StageId> {
         let mut out = Vec::new();
-        if self.active_job >= app.jobs.len() {
-            return out;
-        }
-        for &sid in &app.jobs[self.active_job].stages {
-            let i = sid.index();
-            if !self.released[i] && self.waiting_parents[i] == 0 {
-                self.released[i] = true;
-                out.push(sid);
+        for chain in &self.chains {
+            if !chain.arrived || chain.done() {
+                continue;
+            }
+            for &sid in &app.jobs[chain.active_job].stages {
+                let i = sid.index();
+                if !self.released[i] && self.waiting_parents[i] == 0 {
+                    self.released[i] = true;
+                    out.push(sid);
+                }
             }
         }
         out
     }
 
-    /// Record one finished task of `stage`; returns stages newly ready.
+    /// Record one finished task of `stage`; returns stages newly ready
+    /// (possibly in *other* chains unblocked since the last call).
     pub fn task_finished(&mut self, app: &Application, stage: StageId) -> Vec<StageId> {
         let i = stage.index();
         assert!(
@@ -73,25 +153,27 @@ impl StageTracker {
         if self.remaining[i] > 0 {
             return Vec::new();
         }
-        // stage complete: unblock children, maybe advance the job
+        // stage complete: unblock children, maybe advance the chain's job
         for s in &app.stages {
             if s.parents.contains(&stage) {
                 self.waiting_parents[s.id.index()] -= 1;
             }
         }
-        self.stages_left_in_job -= 1;
-        if self.stages_left_in_job == 0 {
-            self.active_job += 1;
-            if let Some(job) = app.jobs.get(self.active_job) {
-                self.stages_left_in_job = job.stages.len();
+        let chain = &mut self.chains[self.chain_of_job[app.stage(stage).job.index()]];
+        chain.stages_left_in_job -= 1;
+        if chain.stages_left_in_job == 0 {
+            chain.active_job += 1;
+            if !chain.done() {
+                chain.stages_left_in_job = app.jobs[chain.active_job].stages.len();
             }
         }
         self.take_ready(app)
     }
 
-    /// True when every job has completed.
-    pub fn all_done(&self, app: &Application) -> bool {
-        self.active_job >= app.jobs.len()
+    /// True when every chain has completed. An unarrived chain is not
+    /// complete: the run must keep waiting for its submission.
+    pub fn all_done(&self, _app: &Application) -> bool {
+        self.chains.iter().all(Chain::done)
     }
 
     /// Remaining tasks in `stage`.
@@ -278,6 +360,69 @@ mod tests {
         assert!(tr.take_ready(&app).is_empty());
         let ready = tr.task_finished(&app, StageId(0));
         assert_eq!(ready, vec![StageId(1)]);
+    }
+
+    fn n_single_stage_jobs(n: usize) -> Application {
+        let mut b = AppBuilder::new("t");
+        for _ in 0..n {
+            let j = b.begin_job();
+            b.add_stage(
+                j,
+                "r",
+                "t/r",
+                StageKind::Result,
+                vec![],
+                vec![TaskTemplate {
+                    index: 0,
+                    input: InputSource::Generated,
+                    demand: TaskDemand::default(),
+                }],
+            );
+        }
+        b.build()
+    }
+
+    #[test]
+    fn stream_chains_gate_on_arrival_and_run_concurrently() {
+        let app = n_single_stage_jobs(2);
+        let mut tr = StageTracker::new_stream(&app, &[0..1, 1..2]);
+        // nothing has arrived yet: no stages, but also not done
+        assert!(tr.take_ready(&app).is_empty());
+        assert!(!tr.all_done(&app));
+        tr.arrive(0);
+        assert_eq!(tr.take_ready(&app), vec![StageId(0)]);
+        // the second chain releases on arrival, concurrently with the first
+        tr.arrive(1);
+        assert_eq!(tr.take_ready(&app), vec![StageId(1)]);
+        assert_eq!(tr.chain_of(&app, StageId(1)), 1);
+        // chains complete independently, in either order
+        tr.task_finished(&app, StageId(1));
+        assert!(tr.chain_done(1));
+        assert!(!tr.chain_done(0));
+        assert!(!tr.all_done(&app));
+        tr.task_finished(&app, StageId(0));
+        assert!(tr.all_done(&app));
+    }
+
+    #[test]
+    fn stream_chain_runs_its_jobs_sequentially() {
+        // one chain of two jobs plus an independent single-job chain
+        let app = n_single_stage_jobs(3);
+        let mut tr = StageTracker::new_stream(&app, &[0..2, 2..3]);
+        tr.arrive(0);
+        tr.arrive(1);
+        let mut ready = tr.take_ready(&app);
+        ready.sort();
+        // chain 0's second job must wait for its first
+        assert_eq!(ready, vec![StageId(0), StageId(2)]);
+        assert_eq!(tr.task_finished(&app, StageId(0)), vec![StageId(1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "partition the app's jobs")]
+    fn overlapping_chains_rejected() {
+        let app = n_single_stage_jobs(2);
+        StageTracker::new_stream(&app, &[0..2, 1..2]);
     }
 
     #[test]

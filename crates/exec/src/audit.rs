@@ -16,7 +16,9 @@
 use std::collections::HashMap;
 
 use rupam_cluster::NodeId;
+use rupam_dag::app::JobId;
 use rupam_dag::TaskRef;
+use rupam_simcore::time::SimTime;
 use rupam_simcore::units::ByteSize;
 
 use crate::scheduler::{Command, OfferInput};
@@ -102,6 +104,7 @@ impl InvariantAuditor {
         self.check_memory_feasibility(round, input, commands, &mut found);
         self.check_double_launch(round, input, commands, &mut found);
         self.check_overcommit_cap(round, input, commands, &mut found);
+        self.check_arrival_time(round, input, commands, &mut found);
 
         if self.cfg.panic_on_violation {
             if let Some(v) = found.first() {
@@ -237,6 +240,56 @@ impl InvariantAuditor {
         }
     }
 
+    /// No task may launch — speculatively or not — before its stream
+    /// job has been submitted ([`OfferInput::job_arrivals`]). The engine
+    /// gates stage release on arrival, so a launch aimed at an unarrived
+    /// job means scheduler and engine disagree about the workload's
+    /// timeline.
+    fn check_arrival_time(
+        &self,
+        round: u64,
+        input: &OfferInput<'_>,
+        commands: &[Command],
+        out: &mut Vec<Violation>,
+    ) {
+        let jobs: HashMap<TaskRef, JobId> = input
+            .pending
+            .iter()
+            .chain(input.speculatable.iter())
+            .map(|p| (p.task, p.job))
+            .collect();
+        for cmd in commands {
+            let Command::Launch {
+                task, node, reason, ..
+            } = cmd
+            else {
+                continue;
+            };
+            let Some(job) = jobs.get(task) else { continue };
+            let arrival = input
+                .job_arrivals
+                .get(job.index())
+                .copied()
+                .unwrap_or(SimTime::ZERO);
+            if arrival > input.now {
+                out.push(Violation {
+                    round,
+                    check: "arrival-time",
+                    detail: format!(
+                        "launch of {:?} on {:?} ({}) at {} precedes its job {:?}'s \
+                         arrival at {}",
+                        task,
+                        node,
+                        reason.code(),
+                        input.now,
+                        job,
+                        arrival
+                    ),
+                });
+            }
+        }
+    }
+
     /// Per node: non-speculative attempts already running plus this
     /// round's non-speculative launches must stay within
     /// `ceil(cores × overcommit_factor)`. Launches aimed at blocked nodes
@@ -307,6 +360,7 @@ mod tests {
     fn pending(task: TaskRef, hint_mib: u64) -> PendingTaskView {
         PendingTaskView {
             task,
+            job: JobId(0),
             template_key: "t".into(),
             stage_kind: StageKind::ShuffleMap,
             attempt_no: 0,
@@ -358,6 +412,7 @@ mod tests {
             nodes,
             pending,
             speculatable: vec![],
+            job_arrivals: vec![SimTime::ZERO],
         }
     }
 
@@ -500,6 +555,31 @@ mod tests {
         let found = aud.check_round(1, &input, &cmds, vec![]);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].check, "overcommit-cap");
+    }
+
+    #[test]
+    fn flags_launch_before_job_arrival() {
+        let (cluster, app) = tiny_fixture();
+        let t = TaskRef {
+            stage: StageId(0),
+            index: 0,
+        };
+        let mut input = offer(
+            &cluster,
+            &app,
+            vec![node_view(0, 4096)],
+            vec![pending(t, 100)],
+        );
+        // the snapshot says job 0 only arrives at t = 5 s, yet now = 0
+        input.job_arrivals = vec![SimTime::from_secs_f64(5.0)];
+        let mut aud = InvariantAuditor::new(AuditConfig::default());
+        let found = aud.check_round(1, &input, &[launch(t, 0, LaunchReason::FifoSlot)], vec![]);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].check, "arrival-time");
+        // once the job has arrived the same launch is clean
+        input.job_arrivals = vec![SimTime::ZERO];
+        let found = aud.check_round(2, &input, &[launch(t, 0, LaunchReason::FifoSlot)], vec![]);
+        assert!(found.is_empty());
     }
 
     #[test]

@@ -23,14 +23,15 @@ use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::monitor::{HeartbeatSnapshot, NodeMetrics};
 use rupam_cluster::{ClusterSpec, NodeId, ResourceMonitor};
-use rupam_dag::app::{Application, StageId, StageKind};
+use rupam_dag::app::{Application, JobId, StageId, StageKind};
 use rupam_dag::data::DataLayout;
 use rupam_dag::lineage::StageTracker;
+use rupam_dag::stream::MergedStream;
 use rupam_dag::task::{CacheKey, InputSource, TaskTemplate};
 use rupam_dag::{Locality, TaskRef};
 use rupam_metrics::breakdown::TaskBreakdown;
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
-use rupam_metrics::report::RunReport;
+use rupam_metrics::report::{JobOutcome, RunReport};
 use rupam_metrics::trace::{
     AbortCause, LaunchReason, TraceBuffer, TraceEvent, TraceEventKind, DEFAULT_TRACE_CAPACITY,
 };
@@ -50,7 +51,7 @@ const REDUCER_PREF_FRACTION: f64 = 0.2;
 /// Work below this is considered complete (unit-scale epsilon).
 const WORK_EPS: f64 = 1e-7;
 
-/// Everything a run needs.
+/// Everything a single-application run needs.
 pub struct SimInput<'a> {
     /// The cluster to run on.
     pub cluster: &'a ClusterSpec,
@@ -58,6 +59,20 @@ pub struct SimInput<'a> {
     pub app: &'a Application,
     /// HDFS block placement for the application's input.
     pub layout: &'a DataLayout,
+    /// Simulation tunables.
+    pub config: &'a SimConfig,
+    /// Experiment seed (failure-model draws derive from it).
+    pub seed: u64,
+}
+
+/// Everything a multi-tenant run needs: a [`MergedStream`] (built by
+/// [`rupam_dag::JobStream::merge`]) carries the merged application, the
+/// combined HDFS layout and the per-job arrival times.
+pub struct StreamInput<'a> {
+    /// The cluster to run on.
+    pub cluster: &'a ClusterSpec,
+    /// The merged job stream to execute.
+    pub stream: &'a MergedStream,
     /// Simulation tunables.
     pub config: &'a SimConfig,
     /// Experiment seed (failure-model draws derive from it).
@@ -109,6 +124,7 @@ enum Event {
     SpeculationCheck,
     OomCheck { node: NodeId, epoch: u64 },
     ExecutorRestored { node: NodeId },
+    JobSubmitted { job: JobId },
 }
 
 type AttemptId = usize;
@@ -146,6 +162,13 @@ struct NodeRt {
     last_metrics: NodeMetrics,
 }
 
+/// Runtime state of one stream job (single-app runs have exactly one).
+struct JobRt {
+    name: String,
+    arrival: SimTime,
+    completed_at: Option<SimTime>,
+}
+
 #[derive(Clone, Debug, PartialEq)]
 enum TaskState {
     Pending { attempt_no: u32 },
@@ -169,6 +192,8 @@ struct Sim<'a, 's> {
     attempts: Vec<AttemptRt>,
     nodes: Vec<NodeRt>,
     stages: Vec<StageRt>,
+    jobs: Vec<JobRt>,
+    stage_jobs: Vec<JobId>,
     tracker: StageTracker,
     monitor: ResourceMonitor,
     records: Vec<TaskRecord>,
@@ -197,6 +222,40 @@ pub fn simulate(input: &SimInput<'_>, scheduler: &mut dyn Scheduler) -> RunRepor
 /// the same inputs — observability never perturbs the simulation.
 pub fn simulate_observed(
     input: &SimInput<'_>,
+    scheduler: &mut dyn Scheduler,
+    opts: &SimOptions,
+) -> (RunReport, SimObservation) {
+    run_sim(input, None, scheduler, opts)
+}
+
+/// Run a stream of jobs arriving over time against one long-lived
+/// scheduler instance; [`simulate`] is the 1-job special case. Each
+/// stream job's chain of app-jobs stays gated until its arrival; the
+/// report carries per-job completion times ([`RunReport::jobs`]).
+pub fn simulate_stream(input: &StreamInput<'_>, scheduler: &mut dyn Scheduler) -> RunReport {
+    simulate_stream_observed(input, scheduler, &SimOptions::default()).0
+}
+
+/// Like [`simulate_stream`], but with decision tracing and/or invariant
+/// auditing per `opts`.
+pub fn simulate_stream_observed(
+    input: &StreamInput<'_>,
+    scheduler: &mut dyn Scheduler,
+    opts: &SimOptions,
+) -> (RunReport, SimObservation) {
+    let sim_input = SimInput {
+        cluster: input.cluster,
+        app: &input.stream.app,
+        layout: &input.stream.layout,
+        config: input.config,
+        seed: input.seed,
+    };
+    run_sim(&sim_input, Some(input.stream), scheduler, opts)
+}
+
+fn run_sim(
+    input: &SimInput<'_>,
+    stream: Option<&MergedStream>,
     scheduler: &mut dyn Scheduler,
     opts: &SimOptions,
 ) -> (RunReport, SimObservation) {
@@ -240,6 +299,34 @@ pub fn simulate_observed(
         })
         .collect();
 
+    // stream metadata; a plain application is a 1-job stream at t = 0
+    let (jobs, chains, stage_jobs) = match stream {
+        Some(ms) => (
+            ms.jobs
+                .iter()
+                .map(|j| JobRt {
+                    name: j.name.clone(),
+                    arrival: j.arrival,
+                    completed_at: None,
+                })
+                .collect::<Vec<_>>(),
+            ms.jobs
+                .iter()
+                .map(|j| j.app_jobs.clone())
+                .collect::<Vec<_>>(),
+            ms.stage_jobs.clone(),
+        ),
+        None => (
+            vec![JobRt {
+                name: input.app.name.clone(),
+                arrival: SimTime::ZERO,
+                completed_at: None,
+            }],
+            std::iter::once(0..input.app.jobs.len()).collect(),
+            vec![JobId(0); input.app.stages.len()],
+        ),
+    };
+
     let mut sim = Sim {
         input,
         sched: scheduler,
@@ -248,7 +335,9 @@ pub fn simulate_observed(
         attempts: Vec::new(),
         nodes,
         stages,
-        tracker: StageTracker::new(input.app),
+        jobs,
+        stage_jobs,
+        tracker: StageTracker::new_stream(input.app, &chains),
         monitor: ResourceMonitor::new(cluster),
         records: Vec::new(),
         spec_set: SpeculationSet::new(),
@@ -281,12 +370,24 @@ pub fn simulate_observed(
     sim.run();
 
     let makespan = sim.now.since(SimTime::ZERO);
+    let jobs: Vec<JobOutcome> = sim
+        .jobs
+        .iter()
+        .enumerate()
+        .map(|(i, j)| JobOutcome {
+            job: JobId(i),
+            name: j.name.clone(),
+            submitted_at: j.arrival,
+            completed_at: j.completed_at,
+        })
+        .collect();
     let report = RunReport {
         app_name: input.app.name.clone(),
         scheduler_name: sim.sched.name().to_string(),
         seed: input.seed,
         makespan,
         completed: !sim.aborted,
+        jobs,
         records: sim.records,
         monitor: sim.monitor,
         oom_failures: sim.oom_failures,
@@ -307,7 +408,17 @@ pub fn simulate_observed(
 impl<'a, 's> Sim<'a, 's> {
     fn run(&mut self) {
         let cfg = self.input.config;
-        self.release_ready_stages();
+        // submit every stream job already arrived at t = 0; later
+        // arrivals become calendar events (the multi-tenant case)
+        for j in 0..self.jobs.len() {
+            let arrival = self.jobs[j].arrival;
+            if arrival <= self.now {
+                self.submit_job(JobId(j));
+            } else {
+                self.cal
+                    .schedule(arrival, Event::JobSubmitted { job: JobId(j) });
+            }
+        }
         self.cal
             .schedule(self.now + cfg.engine.heartbeat, Event::Heartbeat);
         if cfg.speculation.enabled {
@@ -517,6 +628,23 @@ impl<'a, 's> Sim<'a, 's> {
 
     // ---- lifecycle -------------------------------------------------------
 
+    /// A stream job arrives: unlock its chain, tell the scheduler which
+    /// stages it will eventually run, and release whatever is ready.
+    fn submit_job(&mut self, job: JobId) {
+        self.tracker.arrive(job.index());
+        self.trace_event(TraceEventKind::JobSubmitted { job });
+        let stages: Vec<StageId> = self
+            .stage_jobs
+            .iter()
+            .enumerate()
+            .filter(|&(_, &j)| j == job)
+            .map(|(i, _)| StageId(i))
+            .collect();
+        self.sched.on_job_submitted(job, &stages, self.now);
+        self.release_ready_stages();
+        self.need_offers = true;
+    }
+
     fn release_ready_stages(&mut self) {
         let ready = self.tracker.take_ready(self.input.app);
         for sid in ready {
@@ -570,7 +698,7 @@ impl<'a, 's> Sim<'a, 's> {
             stage_rt.finished_secs.push(record.duration().as_secs_f64());
             // cache the produced partition
             if template.demand.cached_bytes > ByteSize::ZERO {
-                let key = CacheKey::new(stage.template_key.clone(), task.index);
+                let key = self.scoped_cache_key(task.stage, &stage.template_key, task.index);
                 self.nodes[node_id.index()]
                     .cache
                     .insert(key, template.demand.cached_bytes);
@@ -599,6 +727,13 @@ impl<'a, 's> Sim<'a, 's> {
                 self.sched
                     .on_stage_ready(self.input.app.stage(sid), self.now);
             }
+            // stream-job completion (chain index == stream job index)
+            let job = self.stage_jobs[task.stage.index()];
+            if self.jobs[job.index()].completed_at.is_none() && self.tracker.chain_done(job.index())
+            {
+                self.jobs[job.index()].completed_at = Some(self.now);
+                self.trace_event(TraceEventKind::JobCompleted { job });
+            }
         } else {
             self.records.push(record);
         }
@@ -619,6 +754,7 @@ impl<'a, 's> Sim<'a, 's> {
         let a = &self.attempts[id];
         TaskRecord {
             task: a.task,
+            job: self.stage_jobs[a.task.stage.index()],
             template_key: a.template_key.clone(),
             attempt: a.attempt_no,
             node: a.node,
@@ -717,7 +853,16 @@ impl<'a, 's> Sim<'a, 's> {
                 // Real Spark jobs die with "Initial job has not accepted
                 // any resources"; we abort the run likewise.
                 let anything_running = self.attempts.iter().any(|a| a.alive);
-                if anything_running {
+                let anything_pending = self.stages.iter().any(|s| {
+                    s.released
+                        && s.tasks
+                            .iter()
+                            .any(|t| matches!(t, TaskState::Pending { .. }))
+                });
+                // an empty cluster waiting for the next job arrival is
+                // not a livelock — only count heartbeats where released
+                // work sits unplaced
+                if anything_running || !anything_pending {
                     self.idle_heartbeats = 0;
                 } else {
                     self.idle_heartbeats += 1;
@@ -751,6 +896,7 @@ impl<'a, 's> Sim<'a, 's> {
                 let _ = node;
                 self.need_offers = true;
             }
+            Event::JobSubmitted { job } => self.submit_job(job),
         }
     }
 
@@ -943,6 +1089,7 @@ impl<'a, 's> Sim<'a, 's> {
         let (process_nodes, node_local) = self.preferred_nodes(task.stage, template);
         PendingTaskView {
             task,
+            job: self.stage_jobs[task.stage.index()],
             template_key: stage.template_key.clone(),
             stage_kind: stage.kind,
             attempt_no,
@@ -996,7 +1143,16 @@ impl<'a, 's> Sim<'a, 's> {
             nodes,
             pending,
             speculatable,
+            job_arrivals: self.jobs.iter().map(|j| j.arrival).collect(),
         }
+    }
+
+    /// Executor-cache keys are scoped per stream job: Spark RDD caches
+    /// are application-private, so tenants must not see each other's
+    /// cached partitions even when their stages share a template key.
+    fn scoped_cache_key(&self, stage: StageId, rdd: &str, partition: usize) -> CacheKey {
+        let job = self.stage_jobs[stage.index()];
+        CacheKey::new(format!("j{}:{rdd}", job.index()), partition)
     }
 
     /// `(process_nodes, node_local)` preferred placements for a task.
@@ -1010,9 +1166,10 @@ impl<'a, 's> Sim<'a, 's> {
                 (Vec::new(), self.input.layout.block(*block).replicas.clone())
             }
             InputSource::CachedOrHdfs { key, fallback } => {
+                let scoped = self.scoped_cache_key(stage, &key.rdd, key.partition);
                 let cached: Vec<NodeId> = (0..self.nodes.len())
                     .map(NodeId)
-                    .filter(|n| self.nodes[n.index()].cache.contains(key))
+                    .filter(|n| self.nodes[n.index()].cache.contains(&scoped))
                     .collect();
                 (cached, self.input.layout.block(*fallback).replicas.clone())
             }
@@ -1106,6 +1263,12 @@ impl<'a, 's> Sim<'a, 's> {
         let template = &stage.tasks[task.index];
         let demand = &template.demand;
         let spec = self.input.cluster.node(node_id);
+        let cache_key = match &template.input {
+            InputSource::CachedOrHdfs { key, .. } => {
+                Some(self.scoped_cache_key(task.stage, &key.rdd, key.partition))
+            }
+            _ => None,
+        };
         let node = &mut self.nodes[node_id.index()];
 
         // resolve input placement & locality (live)
@@ -1126,8 +1289,9 @@ impl<'a, 's> Sim<'a, 's> {
                         .hdfs_locality(self.input.cluster, *block, node_id);
                 }
             }
-            InputSource::CachedOrHdfs { key, fallback } => {
-                if node.cache.touch(key).is_some() {
+            InputSource::CachedOrHdfs { key: _, fallback } => {
+                let scoped = cache_key.as_ref().expect("computed above");
+                if node.cache.touch(scoped).is_some() {
                     cached_input = true;
                     locality = Locality::ProcessLocal;
                 } else if self.input.layout.is_replica(*fallback, node_id) {
@@ -1224,6 +1388,7 @@ impl<'a, 's> Sim<'a, 's> {
         }
         self.trace_event(TraceEventKind::Launch {
             task,
+            job: self.stage_jobs[task.stage.index()],
             node: node_id,
             attempt: attempt_no,
             speculative,
@@ -1665,6 +1830,62 @@ mod tests {
             "GPU not used: {}",
             report.makespan
         );
+    }
+
+    #[test]
+    fn stream_jobs_wait_for_arrival_and_report_jcts() {
+        let cluster = ClusterSpec::two_node_motivation();
+        let cfg = SimConfig::default();
+        let mut stream = rupam_dag::JobStream::new();
+        for (i, arrival) in [0.0f64, 30.0].into_iter().enumerate() {
+            let (app, layout) = tiny_app(4, 4.0);
+            stream.push(
+                format!("tenant-{i}"),
+                app,
+                layout,
+                SimTime::from_secs_f64(arrival),
+            );
+        }
+        let merged = stream.merge();
+        let input = StreamInput {
+            cluster: &cluster,
+            stream: &merged,
+            config: &cfg,
+            seed: 21,
+        };
+        let mut sched = FifoScheduler::new();
+        let report = simulate_stream(&input, &mut sched);
+        assert!(report.completed);
+        assert_eq!(report.jobs.len(), 2);
+        assert_eq!(report.jobs[1].submitted_at, SimTime::from_secs_f64(30.0));
+        for j in &report.jobs {
+            assert!(j.completed_at.is_some(), "job {:?} never finished", j.job);
+        }
+        // nothing of the late tenant may launch before it arrives
+        let early = report
+            .records
+            .iter()
+            .filter(|r| r.job == JobId(1))
+            .map(|r| r.launched_at)
+            .min()
+            .unwrap();
+        assert!(early >= SimTime::from_secs_f64(30.0));
+        // JCTs are per job, not makespan: job 0 finished long before t=30
+        let jct0 = report.jobs[0].jct().unwrap();
+        assert!(jct0 < SimDuration::from_secs(30), "jct0 = {jct0}");
+        assert!(report.jct_mean() > 0.0);
+    }
+
+    #[test]
+    fn single_app_run_reports_one_job() {
+        let report = run_tiny(6);
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.jobs[0].submitted_at, SimTime::ZERO);
+        assert_eq!(
+            report.jobs[0].completed_at,
+            Some(SimTime::ZERO + report.makespan)
+        );
+        assert!(report.records.iter().all(|r| r.job == JobId(0)));
     }
 
     #[test]

@@ -34,6 +34,9 @@ pub mod speculation;
 
 pub use audit::{AuditConfig, InvariantAuditor, Violation};
 pub use config::SimConfig;
-pub use engine::{simulate, simulate_observed, SimInput, SimObservation, SimOptions};
+pub use engine::{
+    simulate, simulate_observed, simulate_stream, simulate_stream_observed, SimInput,
+    SimObservation, SimOptions, StreamInput,
+};
 pub use rupam_metrics::trace::LaunchReason;
 pub use scheduler::{Command, NodeView, OfferInput, PendingTaskView, Scheduler};

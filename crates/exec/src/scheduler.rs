@@ -13,7 +13,7 @@ use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::{ClusterSpec, NodeId};
-use rupam_dag::app::{Application, Stage, StageKind};
+use rupam_dag::app::{Application, JobId, Stage, StageId, StageKind};
 use rupam_dag::{Locality, TaskRef};
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
 use rupam_metrics::trace::LaunchReason;
@@ -71,6 +71,8 @@ impl NodeView {
 pub struct PendingTaskView {
     /// The task.
     pub task: TaskRef,
+    /// Stream job the task belongs to (`JobId(0)` on single-app runs).
+    pub job: JobId,
     /// Template key of its stage (RUPAM's `DB_task_char` key part).
     pub template_key: String,
     /// Map or result stage (Algorithm 1's first-contact heuristic).
@@ -134,6 +136,10 @@ pub struct OfferInput<'a> {
     /// Running tasks eligible for a speculative copy, per Spark's policy
     /// (plus whatever the scheduler adds on its own authority).
     pub speculatable: Vec<PendingTaskView>,
+    /// Submission instant of each stream job, indexed by [`JobId`]
+    /// (`[t0]` on single-app runs). No task of a job may launch before
+    /// its job's arrival — the auditor enforces this.
+    pub job_arrivals: Vec<SimTime>,
 }
 
 /// An action a scheduler requests.
@@ -183,6 +189,12 @@ pub trait Scheduler {
     /// Called once before the run.
     fn on_app_start(&mut self, _app: &Application, _cluster: &ClusterSpec) {}
 
+    /// A stream job was submitted: `stages` are all the stages it will
+    /// eventually run (its chain of app-jobs). Called at the run start
+    /// for jobs already arrived, then at each later arrival. Single-app
+    /// runs see exactly one call covering the whole application.
+    fn on_job_submitted(&mut self, _job: JobId, _stages: &[StageId], _now: SimTime) {}
+
     /// A stage's tasks became launchable.
     fn on_stage_ready(&mut self, _stage: &Stage, _now: SimTime) {}
 
@@ -227,6 +239,7 @@ mod tests {
                 stage: StageId(0),
                 index: 0,
             },
+            job: JobId(0),
             template_key: "t".into(),
             stage_kind: StageKind::ShuffleMap,
             attempt_no: 0,

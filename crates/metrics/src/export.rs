@@ -24,7 +24,7 @@ pub fn records_csv(report: &RunReport) -> String {
     let mut out = String::new();
     let _ = write!(
         out,
-        "stage,index,template,attempt,node,speculative,locality,launched_s,finished_s,outcome,peak_mem_bytes,used_gpu"
+        "job,stage,index,template,attempt,node,speculative,locality,launched_s,finished_s,outcome,peak_mem_bytes,used_gpu"
     );
     for cat in BreakdownCategory::ALL {
         let _ = write!(
@@ -37,7 +37,8 @@ pub fn records_csv(report: &RunReport) -> String {
     for r in &report.records {
         let _ = write!(
             out,
-            "{},{},{},{},{},{},{},{:.6},{:.6},{:?},{},{}",
+            "{},{},{},{},{},{},{},{},{:.6},{:.6},{:?},{},{}",
+            r.job.index(),
             r.task.stage.index(),
             r.task.index,
             escape(&r.template_key),
@@ -78,13 +79,20 @@ pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
                 String::new(),
                 format!("pending={pending} running={running} blocked={blocked} commands={commands}"),
             ),
-            K::Launch { task, node, attempt, speculative, use_gpu, locality, reason } => (
+            K::JobSubmitted { job } => {
+                (String::new(), String::new(), format!("job={}", job.index()))
+            }
+            K::JobCompleted { job } => {
+                (String::new(), String::new(), format!("job={}", job.index()))
+            }
+            K::Launch { task, job, node, attempt, speculative, use_gpu, locality, reason } => (
                 fmt_task(task),
                 node.index().to_string(),
                 format!(
-                    "reason={} locality={} attempt={attempt} speculative={speculative} gpu={use_gpu}",
+                    "reason={} locality={} attempt={attempt} speculative={speculative} gpu={use_gpu} job={}",
                     reason.code(),
-                    locality.label()
+                    locality.label(),
+                    job.index()
                 ),
             ),
             K::KillRequeue { task, node } => {
@@ -141,9 +149,10 @@ mod tests {
     use super::*;
     use crate::breakdown::TaskBreakdown;
     use crate::record::{AttemptOutcome, TaskRecord};
+    use crate::report::JobOutcome;
     use rupam_cluster::monitor::{HeartbeatSnapshot, NodeMetrics};
     use rupam_cluster::{ClusterSpec, ResourceMonitor};
-    use rupam_dag::{Locality, StageId, TaskRef};
+    use rupam_dag::{JobId, Locality, StageId, TaskRef};
     use rupam_simcore::time::{SimDuration, SimTime};
     use rupam_simcore::units::ByteSize;
 
@@ -165,11 +174,18 @@ mod tests {
             seed: 0,
             makespan: SimDuration::from_secs(10),
             completed: true,
+            jobs: vec![JobOutcome {
+                job: JobId(0),
+                name: "t".into(),
+                submitted_at: SimTime::ZERO,
+                completed_at: Some(SimTime::from_secs_f64(10.0)),
+            }],
             records: vec![TaskRecord {
                 task: TaskRef {
                     stage: StageId(1),
                     index: 2,
                 },
+                job: JobId(0),
                 template_key: "demo, with comma".into(),
                 attempt: 0,
                 node: NodeId(1),
@@ -197,7 +213,7 @@ mod tests {
         assert_eq!(lines.len(), 2, "header + one record");
         let header_cols = lines[0].split(',').count();
         // the quoted template field contains a comma — count on the header
-        assert_eq!(header_cols, 12 + BreakdownCategory::ALL.len());
+        assert_eq!(header_cols, 13 + BreakdownCategory::ALL.len());
         assert!(lines[1].contains("\"demo, with comma\""));
         assert!(lines[1].contains("NODE_LOCAL"));
         assert!(lines[1].contains("Success"));
@@ -222,6 +238,7 @@ mod tests {
                     stage: StageId(2),
                     index: 3,
                 },
+                job: JobId(0),
                 node: NodeId(1),
                 attempt: 0,
                 speculative: false,

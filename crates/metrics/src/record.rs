@@ -9,7 +9,7 @@ use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::NodeId;
-use rupam_dag::{Locality, TaskRef};
+use rupam_dag::{JobId, Locality, TaskRef};
 
 use crate::breakdown::TaskBreakdown;
 
@@ -53,6 +53,8 @@ impl AttemptOutcome {
 pub struct TaskRecord {
     /// Which task this attempt ran.
     pub task: TaskRef,
+    /// Stream job the task belongs to (`JobId(0)` on single-app runs).
+    pub job: JobId,
     /// Template key of the owning stage (the `DB_task_char` key together
     /// with `task.index`).
     pub template_key: String,
@@ -133,6 +135,7 @@ mod tests {
                 stage: StageId(0),
                 index: 3,
             },
+            job: JobId(0),
             template_key: "t/m".into(),
             attempt: 0,
             node: NodeId(1),

@@ -11,10 +11,31 @@ use rupam_simcore::time::{SimDuration, SimTime};
 
 use rupam_cluster::monitor::MetricKey;
 use rupam_cluster::{NodeId, ResourceMonitor};
-use rupam_dag::Locality;
+use rupam_dag::{JobId, Locality};
 
 use crate::breakdown::TaskBreakdown;
 use crate::record::TaskRecord;
+
+/// Per-stream-job outcome of a run: submission and completion instants.
+/// Single-application runs carry exactly one (the whole app as job 0).
+#[derive(Clone, Debug)]
+pub struct JobOutcome {
+    /// Stream job id.
+    pub job: JobId,
+    /// Display name of the job.
+    pub name: String,
+    /// When the job was submitted.
+    pub submitted_at: SimTime,
+    /// When its last stage completed (`None` if the run aborted first).
+    pub completed_at: Option<SimTime>,
+}
+
+impl JobOutcome {
+    /// Job completion time: submission → last stage done.
+    pub fn jct(&self) -> Option<SimDuration> {
+        self.completed_at.map(|t| t.since(self.submitted_at))
+    }
+}
 
 /// Complete result of one simulated application run.
 pub struct RunReport {
@@ -29,6 +50,9 @@ pub struct RunReport {
     /// Whether the application finished (false = aborted, e.g. a task
     /// exhausted its retries).
     pub completed: bool,
+    /// Per-stream-job outcomes, indexed by [`JobId`] (one entry on
+    /// single-application runs).
+    pub jobs: Vec<JobOutcome>,
     /// Every attempt that ran, in completion order.
     pub records: Vec<TaskRecord>,
     /// Resource-monitor state with full utilisation histories.
@@ -155,6 +179,29 @@ impl RunReport {
             .filter(|r| r.outcome.is_success() && r.used_gpu)
             .count()
     }
+
+    /// Completion times of the jobs that finished, in job order.
+    pub fn jct_secs(&self) -> Vec<f64> {
+        self.jobs
+            .iter()
+            .filter_map(|j| j.jct())
+            .map(|d| d.as_secs_f64())
+            .collect()
+    }
+
+    /// Mean job completion time (0.0 when no job finished).
+    pub fn jct_mean(&self) -> f64 {
+        stats::mean(&self.jct_secs())
+    }
+
+    /// 95th-percentile job completion time (0.0 when no job finished).
+    pub fn jct_p95(&self) -> f64 {
+        let jcts = self.jct_secs();
+        if jcts.is_empty() {
+            return 0.0;
+        }
+        stats::quantile(&jcts, 0.95)
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +226,7 @@ mod tests {
                 stage: StageId(0),
                 index: 0,
             },
+            job: JobId(0),
             template_key: "x".into(),
             attempt: 0,
             node: NodeId(node),
@@ -200,6 +248,12 @@ mod tests {
             seed: 0,
             makespan: SimDuration::from_secs(10),
             completed: true,
+            jobs: vec![JobOutcome {
+                job: JobId(0),
+                name: "t".into(),
+                submitted_at: SimTime::ZERO,
+                completed_at: Some(SimTime::from_secs_f64(10.0)),
+            }],
             records,
             monitor: ResourceMonitor::new(&ClusterSpec::two_node_motivation()),
             oom_failures: 0,
@@ -271,6 +325,43 @@ mod tests {
         assert_eq!(sid, StageId(1));
         assert_eq!(a, SimTime::from_secs_f64(1.0));
         assert_eq!(b, SimTime::from_secs_f64(6.0));
+    }
+
+    #[test]
+    fn jct_aggregates_completed_jobs_only() {
+        let mut rep = report(vec![]);
+        rep.jobs = vec![
+            JobOutcome {
+                job: JobId(0),
+                name: "a".into(),
+                submitted_at: SimTime::ZERO,
+                completed_at: Some(SimTime::from_secs_f64(10.0)),
+            },
+            JobOutcome {
+                job: JobId(1),
+                name: "b".into(),
+                submitted_at: SimTime::from_secs_f64(5.0),
+                completed_at: Some(SimTime::from_secs_f64(25.0)),
+            },
+            JobOutcome {
+                job: JobId(2),
+                name: "c".into(),
+                submitted_at: SimTime::from_secs_f64(8.0),
+                completed_at: None, // aborted before completion
+            },
+        ];
+        assert_eq!(rep.jct_secs(), vec![10.0, 20.0]);
+        assert!((rep.jct_mean() - 15.0).abs() < 1e-9);
+        assert!((rep.jct_p95() - 19.5).abs() < 1e-9);
+        assert_eq!(rep.jobs[2].jct(), None);
+    }
+
+    #[test]
+    fn jct_of_no_finished_jobs_is_zero() {
+        let mut rep = report(vec![]);
+        rep.jobs.clear();
+        assert_eq!(rep.jct_mean(), 0.0);
+        assert_eq!(rep.jct_p95(), 0.0);
     }
 
     #[test]

@@ -148,7 +148,7 @@ mod tests {
     use crate::breakdown::TaskBreakdown;
     use crate::record::TaskRecord;
     use rupam_cluster::{ClusterSpec, NodeId, ResourceMonitor};
-    use rupam_dag::{Locality, StageId, TaskRef};
+    use rupam_dag::{JobId, Locality, StageId, TaskRef};
     use rupam_simcore::time::SimDuration;
     use rupam_simcore::units::ByteSize;
 
@@ -158,6 +158,7 @@ mod tests {
                 stage: StageId(0),
                 index: 0,
             },
+            job: JobId(0),
             template_key: "t".into(),
             attempt: 0,
             node: NodeId(node),
@@ -179,6 +180,7 @@ mod tests {
             seed: 0,
             makespan: SimDuration::from_secs(10),
             completed: true,
+            jobs: Vec::new(),
             records,
             monitor: ResourceMonitor::new(&ClusterSpec::two_node_motivation()),
             oom_failures: 0,

@@ -20,7 +20,7 @@ use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
-use rupam_dag::{Locality, TaskRef};
+use rupam_dag::{JobId, Locality, TaskRef};
 
 /// Why a scheduler issued a `Command::Launch` — the machine-readable
 /// reason code attached to every launch decision.
@@ -148,10 +148,22 @@ pub enum TraceEventKind {
         /// Commands the scheduler returned.
         commands: usize,
     },
+    /// A stream job was submitted to the shared cluster.
+    JobSubmitted {
+        /// The arriving stream job.
+        job: JobId,
+    },
+    /// A stream job ran all of its stages to completion.
+    JobCompleted {
+        /// The finished stream job.
+        job: JobId,
+    },
     /// A launch command was applied.
     Launch {
         /// The task launched.
         task: TaskRef,
+        /// Stream job of the task (`JobId(0)` on single-app runs).
+        job: JobId,
         /// Target node.
         node: NodeId,
         /// Attempt number (0 = first try).
@@ -218,6 +230,8 @@ impl TraceEvent {
         match &self.kind {
             TraceEventKind::ExecutorSized { .. } => "executor-sized",
             TraceEventKind::OfferRound { .. } => "offer-round",
+            TraceEventKind::JobSubmitted { .. } => "job-submitted",
+            TraceEventKind::JobCompleted { .. } => "job-completed",
             TraceEventKind::Launch { .. } => "launch",
             TraceEventKind::KillRequeue { .. } => "kill-requeue",
             TraceEventKind::OomTaskKill { .. } => "oom-task-kill",
@@ -348,6 +362,7 @@ mod tests {
                     stage: StageId(0),
                     index: i,
                 },
+                job: JobId(0),
                 node: NodeId(0),
                 attempt: 0,
                 speculative: false,

@@ -4,7 +4,8 @@
 //! rupam-sim [--cluster hydra|two-node|uniform:<n>|mix:<thor>,<hulk>,<stack>]
 //!           [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]
 //!           [--scheduler spark|rupam|fifo]
-//!           [--seed <n>] [--timeline] [--census] [--compare]
+//!           [--seed <n>] [--jobs <n>] [--arrival-secs <s>]
+//!           [--timeline] [--census] [--compare]
 //!           [--trace <path>] [--audit]
 //! ```
 //!
@@ -14,16 +15,26 @@
 //! rupam-sim --workload PR --compare --timeline
 //! rupam-sim --cluster mix:9,3,0 --workload LR --scheduler rupam --census
 //! rupam-sim --workload SQL --audit --trace /tmp/sql-trace
+//! rupam-sim --jobs 4 --arrival-secs 30 --compare
 //! ```
 //!
 //! `--audit` replays every offer round through the invariant auditor and
 //! reports violations (exit code 1 if any fire); `--trace <path>` writes
 //! the full decision trace as CSV, one file per scheduler.
+//!
+//! `--jobs N` (N > 1) switches to a multi-tenant stream: N suite
+//! workloads, cycling [`Workload::ALL`] starting at `--workload`, arrive
+//! online with seeded exponential inter-arrival gaps of mean
+//! `--arrival-secs` (default 30). One long-lived scheduler serves the
+//! whole stream and per-job completion times are reported.
 
 use std::env;
 use std::process::exit;
 
-use rupam_bench::{placement_census, run_workload, run_workload_observed, Sched};
+use rupam_bench::multitenant::build_stream;
+use rupam_bench::{
+    placement_census, run_stream, run_stream_observed, run_workload, run_workload_observed, Sched,
+};
 use rupam_cluster::ClusterSpec;
 use rupam_exec::{AuditConfig, SimOptions};
 use rupam_metrics::timeline;
@@ -36,6 +47,8 @@ struct Options {
     workload: Workload,
     scheduler: Sched,
     seed: u64,
+    jobs: usize,
+    arrival_secs: f64,
     timeline: bool,
     census: bool,
     compare: bool,
@@ -49,6 +62,7 @@ fn usage() -> ! {
         "usage: rupam-sim [--cluster hydra|two-node|uniform:<n>|mix:<t>,<h>,<s>]\n\
          \x20                [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]\n\
          \x20                [--scheduler spark|rupam|fifo] [--seed <n>]\n\
+         \x20                [--jobs <n>] [--arrival-secs <s>]\n\
          \x20                [--timeline] [--census] [--compare] [--csv <path>]\n\
          \x20                [--trace <path>] [--audit]"
     );
@@ -95,6 +109,8 @@ fn parse_args() -> Options {
         workload: Workload::LogisticRegression,
         scheduler: Sched::Rupam,
         seed: 101,
+        jobs: 1,
+        arrival_secs: 30.0,
         timeline: false,
         census: false,
         compare: false,
@@ -147,6 +163,18 @@ fn parse_args() -> Options {
                 let v = args.next().unwrap_or_else(|| usage());
                 opts.seed = v.parse().unwrap_or_else(|_| usage());
             }
+            "--jobs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.jobs = v.parse().ok().filter(|&n| n > 0).unwrap_or_else(|| usage());
+            }
+            "--arrival-secs" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                opts.arrival_secs = v
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| s.is_finite() && *s >= 0.0)
+                    .unwrap_or_else(|| usage());
+            }
             "--csv" => opts.csv = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--audit" => opts.audit = true,
@@ -163,13 +191,39 @@ fn parse_args() -> Options {
     opts
 }
 
+/// The stream tenants for `--jobs N`: the suite cycled starting at the
+/// `--workload` selection.
+fn stream_tenants(opts: &Options) -> Vec<Workload> {
+    let start = Workload::ALL
+        .iter()
+        .position(|&w| w == opts.workload)
+        .unwrap_or(0);
+    (0..opts.jobs)
+        .map(|i| Workload::ALL[(start + i) % Workload::ALL.len()])
+        .collect()
+}
+
 fn run_one(opts: &Options, sched: &Sched) -> bool {
     let observe = opts.trace.is_some() || opts.audit;
-    let (report, observation) = if observe {
-        let sim_opts = SimOptions {
-            trace_capacity: Some(DEFAULT_TRACE_CAPACITY),
-            audit: opts.audit.then(AuditConfig::default),
-        };
+    let sim_opts = SimOptions {
+        trace_capacity: Some(DEFAULT_TRACE_CAPACITY),
+        audit: opts.audit.then(AuditConfig::default),
+    };
+    let (report, observation) = if opts.jobs > 1 {
+        let stream = build_stream(
+            &opts.cluster,
+            &stream_tenants(opts),
+            opts.arrival_secs,
+            opts.seed,
+        );
+        if observe {
+            let (report, obs) =
+                run_stream_observed(&opts.cluster, &stream, sched, opts.seed, &sim_opts);
+            (report, Some(obs))
+        } else {
+            (run_stream(&opts.cluster, &stream, sched, opts.seed), None)
+        }
+    } else if observe {
         let (report, obs) =
             run_workload_observed(&opts.cluster, opts.workload, sched, opts.seed, &sim_opts);
         (report, Some(obs))
@@ -193,6 +247,31 @@ fn run_one(opts: &Options, sched: &Sched) -> bool {
         report.gpu_task_count(),
         (waste.failed_secs + waste.race_secs).max(0.0),
     );
+    if opts.jobs > 1 {
+        for j in &report.jobs {
+            match j.jct() {
+                Some(jct) => println!(
+                    "  job {:>2} {:<12} arrived {:>9} | jct {}",
+                    j.job.index(),
+                    j.name,
+                    format!("{}", j.submitted_at),
+                    jct
+                ),
+                None => println!(
+                    "  job {:>2} {:<12} arrived {:>9} | unfinished",
+                    j.job.index(),
+                    j.name,
+                    format!("{}", j.submitted_at)
+                ),
+            }
+        }
+        println!(
+            "  JCT mean {:.1}s | p95 {:.1}s over {} jobs",
+            report.jct_mean(),
+            report.jct_p95(),
+            report.jobs.len()
+        );
+    }
     if opts.census {
         print!("{}", placement_census(&opts.cluster, &report));
     }
@@ -239,13 +318,24 @@ fn run_one(opts: &Options, sched: &Sched) -> bool {
 
 fn main() {
     let opts = parse_args();
-    println!(
-        "cluster: {} | workload: {} ({}) | seed {}",
-        opts.cluster_label,
-        opts.workload.name(),
-        opts.workload.input_description(),
-        opts.seed
-    );
+    if opts.jobs > 1 {
+        let tenants: Vec<&str> = stream_tenants(&opts).iter().map(|w| w.short()).collect();
+        println!(
+            "cluster: {} | stream: {} (mean gap {:.0}s) | seed {}",
+            opts.cluster_label,
+            tenants.join("+"),
+            opts.arrival_secs,
+            opts.seed
+        );
+    } else {
+        println!(
+            "cluster: {} | workload: {} ({}) | seed {}",
+            opts.cluster_label,
+            opts.workload.name(),
+            opts.workload.input_description(),
+            opts.seed
+        );
+    }
     let mut clean = true;
     if opts.compare {
         for sched in [Sched::Fifo, Sched::Spark, Sched::Rupam] {

@@ -3,9 +3,10 @@
 //! carry a reason, runs must be bit-identical on replay, and a
 //! deliberately corrupted scheduler must be caught.
 
-use rupam_bench::{run_workload_observed, Sched};
+use rupam_bench::multitenant::{build_stream, MEAN_GAP_SECS, TENANTS};
+use rupam_bench::{run_stream_observed, run_workload_observed, Sched};
 use rupam_cluster::ClusterSpec;
-use rupam_dag::app::{Application, Stage};
+use rupam_dag::app::{Application, JobId, Stage, StageId};
 use rupam_exec::scheduler::{Command, OfferInput, Scheduler};
 use rupam_exec::{simulate_observed, AuditConfig, SimConfig, SimInput, SimOptions};
 use rupam_metrics::record::TaskRecord;
@@ -80,6 +81,76 @@ fn replays_are_bit_identical() {
     }
 }
 
+/// A 4-tenant online stream runs audit-clean (including the no-launch-
+/// before-arrival invariant) under all three schedulers, and every
+/// tenant gets a completion time.
+#[test]
+fn multi_tenant_stream_runs_clean_under_audit() {
+    let cluster = ClusterSpec::hydra();
+    let stream = build_stream(&cluster, &TENANTS, MEAN_GAP_SECS, 101);
+    assert!(stream.jobs.len() >= 4);
+    for sched in [Sched::Fifo, Sched::Spark, Sched::Rupam] {
+        let (report, obs) =
+            run_stream_observed(&cluster, &stream, &sched, 101, &SimOptions::audited());
+        assert!(
+            obs.violations.is_empty(),
+            "{} violated invariants on the stream: {:?}",
+            sched.label(),
+            obs.violations
+        );
+        assert!(
+            report.completed,
+            "{} left the stream unfinished",
+            sched.label()
+        );
+        assert_eq!(report.jobs.len(), stream.jobs.len());
+        for j in &report.jobs {
+            let jct = j.jct().unwrap_or_else(|| {
+                panic!("{}: job {} has no completion time", sched.label(), j.name)
+            });
+            assert!(jct > SimDuration::ZERO);
+        }
+        assert!(report.jct_p95() >= report.jct_mean());
+        // no tenant's tasks may launch before it arrived
+        let trace = obs.trace.as_ref().expect("audited runs keep a trace");
+        for e in trace.iter() {
+            if let TraceEventKind::Launch { job, .. } = e.kind {
+                assert!(
+                    e.at >= stream.jobs[job.index()].arrival,
+                    "{}: launch for job {job} at {} precedes its arrival",
+                    sched.label(),
+                    e.at
+                );
+            }
+        }
+    }
+}
+
+/// Same stream, same seed ⇒ byte-identical decision traces: the
+/// multi-tenant path preserves the replay guarantee.
+#[test]
+fn multi_tenant_replays_are_bit_identical() {
+    let cluster = ClusterSpec::hydra();
+    for sched in [Sched::Spark, Sched::Rupam] {
+        let run = || {
+            let stream = build_stream(&cluster, &TENANTS, MEAN_GAP_SECS, 303);
+            run_stream_observed(&cluster, &stream, &sched, 303, &SimOptions::audited())
+        };
+        let (a, obs_a) = run();
+        let (b, obs_b) = run();
+        assert_eq!(a.makespan, b.makespan, "{} makespan drifted", sched.label());
+        assert_eq!(a.jct_secs(), b.jct_secs(), "{} JCTs drifted", sched.label());
+        let (ta, tb) = (obs_a.trace.unwrap(), obs_b.trace.unwrap());
+        assert_eq!(ta.recorded(), tb.recorded());
+        assert_eq!(
+            ta.digest(),
+            tb.digest(),
+            "{} multi-tenant decision traces diverged",
+            sched.label()
+        );
+    }
+}
+
 /// A scheduler that mirrors its inner scheduler's decisions but
 /// duplicates the first launch of the round — a double launch the
 /// engine would otherwise silently drop on the floor.
@@ -100,6 +171,9 @@ impl<S: Scheduler> Scheduler for DoubleLauncher<S> {
     }
     fn on_stage_ready(&mut self, stage: &Stage, now: SimTime) {
         self.0.on_stage_ready(stage, now);
+    }
+    fn on_job_submitted(&mut self, job: JobId, stages: &[StageId], now: SimTime) {
+        self.0.on_job_submitted(job, stages, now);
     }
     fn on_task_finished(&mut self, record: &TaskRecord, now: SimTime) {
         self.0.on_task_finished(record, now);
