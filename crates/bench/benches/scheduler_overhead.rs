@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
         let mut i = 0u64;
         b.iter(|| {
             let key = TaskKey::new("bench/stage", (i % 64) as usize);
-            db.update(key.clone(), |c| {
+            db.update(key, |c| {
                 c.observe(ResourceKind::Cpu, NodeId(0), 1.0, ByteSize::mib(64), false)
             });
             i += 1;

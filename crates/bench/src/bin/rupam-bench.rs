@@ -1,0 +1,69 @@
+//! `rupam-bench` — wall-clock benchmarks of the scheduler itself.
+//!
+//! ```text
+//! rupam-bench perf [--quick] [--out FILE] [--check BASELINE]
+//! ```
+//!
+//! * `perf` — time offer rounds, DB lookups, and the end-to-end
+//!   8-job stream at several cluster sizes.
+//! * `--quick` — CI smoke variant (fewer clusters, fewer DB ops).
+//! * `--out FILE` — write the JSON report (default
+//!   `BENCH_scheduler.json` in the current directory).
+//! * `--check BASELINE` — after measuring, compare the gate ratios
+//!   against a committed baseline file; exit non-zero if any ratio
+//!   dropped by more than 25%.
+
+use std::env;
+use std::process::ExitCode;
+
+use rupam_bench::perf;
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    if cmd != "perf" {
+        eprintln!("usage: rupam-bench perf [--quick] [--out FILE] [--check BASELINE]");
+        return ExitCode::from(2);
+    }
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = arg_value(&args, "--out").unwrap_or_else(|| "BENCH_scheduler.json".to_string());
+
+    let report = perf::run(quick);
+    let json = perf::to_json(&report);
+    print!("{json}");
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("rupam-bench: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("rupam-bench: wrote {out}");
+
+    if let Some(baseline_path) = arg_value(&args, "--check") {
+        let baseline = match std::fs::read_to_string(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("rupam-bench: cannot read baseline {baseline_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let bad = perf::regressions(&json, &baseline);
+        if !bad.is_empty() {
+            for (key, fresh, base) in &bad {
+                eprintln!(
+                    "rupam-bench: REGRESSION {key}: {fresh:.3} vs baseline {base:.3} \
+                     (tolerance {:.0}%)",
+                    perf::GATE_TOLERANCE * 100.0
+                );
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rupam-bench: gate clean vs {baseline_path}");
+    }
+    ExitCode::SUCCESS
+}

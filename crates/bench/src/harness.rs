@@ -228,12 +228,10 @@ pub fn placement_census(cluster: &ClusterSpec, report: &RunReport) -> String {
         report.speculative_launched,
         report.speculative_wins
     );
-    let mut census: BTreeMap<(String, String), (usize, f64)> = BTreeMap::new();
+    let mut census: BTreeMap<(rupam_simcore::Sym, String), (usize, f64)> = BTreeMap::new();
     for r in report.records.iter().filter(|r| r.outcome.is_success()) {
         let class = cluster.node(r.node).class.clone();
-        let e = census
-            .entry((r.template_key.clone(), class))
-            .or_insert((0, 0.0));
+        let e = census.entry((r.template_key, class)).or_insert((0, 0.0));
         e.0 += 1;
         e.1 += r.duration().as_secs_f64();
     }

@@ -14,6 +14,7 @@
 //! | [`breakdown`] | Fig. 7 (per-category breakdown) |
 //! | [`utilization`] | Fig. 8 (average utilisation) and Fig. 9 (balance) |
 //! | [`ablation`] | design-choice ablations (DESIGN.md §5, last row) |
+//! | [`perf`] | wall-clock scheduler microbenchmarks (`BENCH_scheduler.json`) |
 //! | [`sensitivity`] | beyond-paper: RUPAM gain vs degree of cluster heterogeneity |
 //! | [`multitenant`] | beyond-paper: online multi-tenant stream, JCTs, warm-vs-cold DB |
 
@@ -27,6 +28,7 @@ pub mod locality;
 pub mod motivation;
 pub mod multitenant;
 pub mod overall;
+pub mod perf;
 pub mod sensitivity;
 pub mod utilization;
 

@@ -60,6 +60,13 @@ pub struct RupamConfig {
     /// the stream job that produced it — the cold-DB control where a new
     /// tenant learns nothing from its predecessors.
     pub cross_job_db: bool,
+    /// Keep per-resource node rankings and per-round dispatcher state
+    /// incrementally (persistent ordered sets, `O(log n)` updates,
+    /// memoised DB lookups) instead of rebuilding and re-sorting from
+    /// scratch every offer round. Decision-identical to the rebuild
+    /// path — the audit layer cross-checks the two orderings every
+    /// round — so `false` exists only as the benchmark reference.
+    pub incremental_queues: bool,
 }
 
 impl Default for RupamConfig {
@@ -82,6 +89,7 @@ impl Default for RupamConfig {
             use_locality: true,
             straggler_handling: true,
             cross_job_db: true,
+            incremental_queues: true,
         }
     }
 }

@@ -2,7 +2,9 @@
 //!
 //! RUPAM stores per-task metrics keyed so that "future task iterations
 //! and job runs" find them: we key by `(stage template key, partition)`,
-//! which is stable across iterations of the same operation.
+//! which is stable across iterations of the same operation. Template
+//! keys are interned [`Sym`]s, so a key is two machine words — no
+//! `String` clone per lookup.
 //!
 //! The paper manages DB access cost with a *helper thread*: "all write
 //! requests are queued and served by the helper thread. For read
@@ -13,35 +15,61 @@
 //! queue drained by a real background thread; reads consult the pending
 //! queue first (read-your-writes), so results are deterministic no matter
 //! how far the drain has progressed.
+//!
+//! Storage is striped across [`SHARDS`] independent shards, each with its
+//! own read-write-locked store and pending queue, so offer-round readers
+//! on different keys never serialise on one global mutex. The helper
+//! drains each shard while holding that shard's store lock, keeping the
+//! per-shard hand-off atomic from a reader's point of view (a written
+//! value is never absent from both the pending queue and the store).
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use rupam_simcore::units::ByteSize;
+use rupam_simcore::Sym;
 
 use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
 
+/// Number of lock stripes. A small power of two: the simulator runs one
+/// scheduler thread plus the helper per DB, but the bench harness reads
+/// from several worker threads at once.
+pub const SHARDS: usize = 16;
+
 /// Database key: stable task identity across iterations and job runs.
-#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub struct TaskKey {
-    /// Stage template key (e.g. `"lr/gradient"`).
-    pub template: String,
+    /// Stage template key (e.g. `"lr/gradient"`), interned.
+    pub template: Sym,
     /// Partition index.
     pub partition: usize,
 }
 
 impl TaskKey {
     /// Convenience constructor.
-    pub fn new(template: impl Into<String>, partition: usize) -> Self {
+    pub fn new(template: impl Into<Sym>, partition: usize) -> Self {
         TaskKey {
             template: template.into(),
             partition,
         }
+    }
+
+    /// Which stripe this key lives in: FNV-1a over the template bytes
+    /// mixed with the partition. Deterministic across runs (symbol ids
+    /// are not), though shard choice only spreads lock contention and
+    /// never affects results.
+    fn shard(&self) -> usize {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in self.template.as_str().bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+        h = (h ^ self.partition as u64).wrapping_mul(0x100_0000_01b3);
+        (h % SHARDS as u64) as usize
     }
 }
 
@@ -92,16 +120,39 @@ impl TaskChar {
     }
 }
 
+// cacheline-aligned so concurrent readers on neighbouring shards don't
+// false-share the lock words
+#[derive(Default)]
+#[repr(align(64))]
+struct Shard {
+    store: RwLock<HashMap<TaskKey, TaskChar>>,
+    pending: Mutex<Vec<(TaskKey, TaskChar)>>,
+}
+
+impl Shard {
+    fn drain(&self) {
+        // take the store lock BEFORE draining: readers check pending
+        // then store, so a value must never be absent from both. Holding
+        // the store across the transfer makes the hand-off atomic from
+        // the reader's point of view.
+        let mut store = self.store.write();
+        let drained: Vec<(TaskKey, TaskChar)> = std::mem::take(&mut *self.pending.lock());
+        for (k, v) in drained {
+            store.insert(k, v);
+        }
+    }
+}
+
 enum DbOp {
     Drain,
     Flush(Sender<()>),
     Shutdown,
 }
 
-/// The task-characteristics database with helper-thread write-behind.
+/// The task-characteristics database: sharded storage with helper-thread
+/// write-behind.
 pub struct TaskCharDb {
-    store: Arc<Mutex<HashMap<TaskKey, TaskChar>>>,
-    pending: Arc<Mutex<Vec<(TaskKey, TaskChar)>>>,
+    shards: Arc<[Shard; SHARDS]>,
     ops: Sender<DbOp>,
     helper: Option<JoinHandle<()>>,
 }
@@ -109,29 +160,18 @@ pub struct TaskCharDb {
 impl TaskCharDb {
     /// An empty database with its helper thread running.
     pub fn new() -> Self {
-        let store: Arc<Mutex<HashMap<TaskKey, TaskChar>>> = Arc::new(Mutex::new(HashMap::new()));
-        let pending: Arc<Mutex<Vec<(TaskKey, TaskChar)>>> = Arc::new(Mutex::new(Vec::new()));
+        let shards: Arc<[Shard; SHARDS]> = Arc::new(std::array::from_fn(|_| Shard::default()));
         let (tx, rx) = unbounded::<DbOp>();
-        let store2 = Arc::clone(&store);
-        let pending2 = Arc::clone(&pending);
+        let shards2 = Arc::clone(&shards);
         let helper = std::thread::Builder::new()
             .name("dbtaskchar-helper".into())
             .spawn(move || {
                 for op in rx.iter() {
                     match op {
                         DbOp::Drain | DbOp::Flush(_) => {
-                            // take the store lock BEFORE draining: readers
-                            // check pending then store, so a value must
-                            // never be absent from both. Holding the store
-                            // across the transfer makes the hand-off atomic
-                            // from the reader's point of view.
-                            let mut store = store2.lock();
-                            let drained: Vec<(TaskKey, TaskChar)> =
-                                std::mem::take(&mut *pending2.lock());
-                            for (k, v) in drained {
-                                store.insert(k, v);
+                            for shard in shards2.iter() {
+                                shard.drain();
                             }
-                            drop(store);
                             if let DbOp::Flush(ack) = op {
                                 let _ = ack.send(());
                             }
@@ -142,8 +182,7 @@ impl TaskCharDb {
             })
             .expect("spawn db helper thread");
         TaskCharDb {
-            store,
-            pending,
+            shards,
             ops: tx,
             helper: Some(helper),
         }
@@ -151,20 +190,21 @@ impl TaskCharDb {
 
     /// Queue a write; the helper thread commits it to the store.
     pub fn write(&self, key: TaskKey, value: TaskChar) {
-        self.pending.lock().push((key, value));
+        self.shards[key.shard()].pending.lock().push((key, value));
         let _ = self.ops.send(DbOp::Drain);
     }
 
-    /// Read the latest value for `key`, consulting the pending write
-    /// queue first (read-your-writes), then the store.
+    /// Read the latest value for `key`, consulting the shard's pending
+    /// write queue first (read-your-writes), then the store.
     pub fn read(&self, key: &TaskKey) -> Option<TaskChar> {
+        let shard = &self.shards[key.shard()];
         {
-            let pending = self.pending.lock();
+            let pending = shard.pending.lock();
             if let Some((_, v)) = pending.iter().rev().find(|(k, _)| k == key) {
                 return Some(v.clone());
             }
         }
-        self.store.lock().get(key).cloned()
+        shard.store.read().get(key).cloned()
     }
 
     /// Read-modify-write convenience: apply `f` to the existing (or
@@ -173,6 +213,14 @@ impl TaskCharDb {
         let mut cur = self.read(&key).unwrap_or_default();
         f(&mut cur);
         self.write(key, cur);
+    }
+
+    /// Ask the helper to drain pending writes without blocking — called
+    /// from heartbeat hooks so queues stay short between offer rounds.
+    /// Has no observable effect on reads (read-your-writes already covers
+    /// the pending queue).
+    pub fn nudge(&self) {
+        let _ = self.ops.send(DbOp::Drain);
     }
 
     /// Block until every queued write has been committed.
@@ -187,15 +235,17 @@ impl TaskCharDb {
     /// repetitions of each Fig. 5 measurement).
     pub fn clear(&self) {
         self.flush();
-        self.pending.lock().clear();
-        self.store.lock().clear();
+        for shard in self.shards.iter() {
+            shard.pending.lock().clear();
+            shard.store.write().clear();
+        }
     }
 
     /// Number of committed + pending records (flushes first for an exact
     /// answer).
     pub fn len(&self) -> usize {
         self.flush();
-        self.store.lock().len()
+        self.shards.iter().map(|s| s.store.read().len()).sum()
     }
 
     /// True iff the database holds no records.
@@ -229,7 +279,7 @@ mod tests {
         let key = TaskKey::new("lr/grad", 3);
         let mut c = TaskChar::default();
         c.observe(ResourceKind::Cpu, NodeId(1), 12.0, ByteSize::gib(1), false);
-        db.write(key.clone(), c);
+        db.write(key, c);
         // immediately readable even if the helper has not drained yet
         let got = db.read(&key).expect("read-your-writes");
         assert_eq!(got.last_bottleneck, Some(ResourceKind::Cpu));
@@ -240,10 +290,10 @@ mod tests {
     fn update_merges_observations() {
         let db = TaskCharDb::new();
         let key = TaskKey::new("pr/contrib", 0);
-        db.update(key.clone(), |c| {
+        db.update(key, |c| {
             c.observe(ResourceKind::Cpu, NodeId(0), 20.0, ByteSize::gib(1), false)
         });
-        db.update(key.clone(), |c| {
+        db.update(key, |c| {
             c.observe(ResourceKind::Net, NodeId(2), 10.0, ByteSize::gib(2), false)
         });
         let got = db.read(&key).unwrap();
@@ -306,7 +356,7 @@ mod tests {
         let db = TaskCharDb::new();
         for i in 0..5_000u64 {
             let key = TaskKey::new("race", (i % 7) as usize);
-            db.update(key.clone(), |c| {
+            db.update(key, |c| {
                 c.observe(
                     ResourceKind::Net,
                     NodeId(0),
@@ -341,5 +391,56 @@ mod tests {
         let got = db.read(&TaskKey::new("hot", 5)).unwrap();
         assert_eq!(got.runs, 50);
         assert_eq!(got.best.unwrap().1, 1.0, "first round was fastest");
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        let keys: Vec<TaskKey> = (0..64)
+            .flat_map(|p| {
+                ["a/map", "b/reduce", "c/join"]
+                    .into_iter()
+                    .map(move |t| TaskKey::new(t, p))
+            })
+            .collect();
+        let mut used = std::collections::HashSet::new();
+        for k in &keys {
+            used.insert(k.shard());
+        }
+        assert!(
+            used.len() > SHARDS / 2,
+            "striping degenerated to {} shards",
+            used.len()
+        );
+    }
+
+    #[test]
+    fn concurrent_readers_and_writer() {
+        let db = Arc::new(TaskCharDb::new());
+        for i in 0..256 {
+            db.update(TaskKey::new("warm", i), |c| {
+                c.observe(ResourceKind::Cpu, NodeId(0), 5.0, ByteSize::ZERO, false)
+            });
+        }
+        db.flush();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let db = Arc::clone(&db);
+                scope.spawn(move || {
+                    for i in 0..4_000usize {
+                        let key = TaskKey::new("warm", (i * (t + 1)) % 256);
+                        assert!(db.read(&key).is_some());
+                    }
+                });
+            }
+            let db2 = Arc::clone(&db);
+            scope.spawn(move || {
+                for i in 0..1_000 {
+                    db2.update(TaskKey::new("churn", i % 32), |c| {
+                        c.observe(ResourceKind::Io, NodeId(1), 2.0, ByteSize::ZERO, false)
+                    });
+                }
+            });
+        });
+        assert_eq!(db.len(), 256 + 32);
     }
 }

@@ -18,7 +18,8 @@
 //! over-commits nodes whose *other* resources are idle (§III-C2), bounded
 //! by per-kind utilisation ceilings and an overall overcommit factor.
 
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 
 use rupam_simcore::units::ByteSize;
 
@@ -29,7 +30,7 @@ use rupam_exec::scheduler::{Command, NodeView, OfferInput, PendingTaskView};
 use rupam_metrics::trace::LaunchReason;
 
 use crate::config::RupamConfig;
-use crate::rm::ResourceQueues;
+use crate::rm::{NodeOrder, NodeQueueCache, ResourceQueues};
 use crate::tm::TaskManager;
 
 /// Per-node admission bookkeeping within one offer round (commands have
@@ -44,35 +45,155 @@ struct Claims {
     gpu: u32,
 }
 
+/// The per-kind node ranking a dispatch pass consumes: either rebuilt
+/// from scratch for this round (the reference path) or served from the
+/// scheduler's persistent [`NodeQueueCache`] with early-exit bounds.
+enum Ranking {
+    Rebuilt(ResourceQueues),
+    Cached(NodeOrder),
+}
+
+impl Ranking {
+    fn nodes(&self, kind: ResourceKind) -> &[NodeId] {
+        match self {
+            Ranking::Rebuilt(q) => q.nodes(kind),
+            Ranking::Cached(o) => o.nodes(kind),
+        }
+    }
+}
+
 /// Algorithm 2 over one offer snapshot.
 pub struct Dispatcher<'a> {
     cfg: &'a RupamConfig,
     input: &'a OfferInput<'a>,
+    /// Reference path only: pending views indexed eagerly. The
+    /// incremental path instead binary-searches `input.pending` (already
+    /// sorted by `(stage, index)`) and tracks launches in `launched`.
     pending: HashMap<TaskRef, &'a PendingTaskView>,
+    launched: HashSet<TaskRef>,
+    incremental: bool,
     claims: Vec<Claims>,
     /// Smallest peak-memory estimate among the MEM queue's live
     /// candidates, refreshed each dispatch pass. `None` while unknown —
     /// [`Dispatcher::has_room`] then falls back to the conservative
     /// default estimate.
     mem_floor: Option<ByteSize>,
+    /// Incremental path only: one DB round-trip per task per round
+    /// instead of one per (task, candidate-node) probe. The DB is not
+    /// written during a round, so the memo can never go stale.
+    peak_cache: RefCell<HashMap<TaskRef, ByteSize>>,
+    lock_cache: RefCell<HashMap<TaskRef, Option<NodeId>>>,
 }
 
 impl<'a> Dispatcher<'a> {
-    /// Prepare a dispatcher for one offer round.
+    /// Prepare a dispatcher for one offer round (reference path: indexes
+    /// all pending views up front, re-reads the DB on every probe).
     pub fn new(cfg: &'a RupamConfig, input: &'a OfferInput<'a>) -> Self {
         let pending = input.pending.iter().map(|p| (p.task, p)).collect();
+        Self::build(cfg, input, pending, false)
+    }
+
+    /// Prepare a dispatcher that resolves pending views by binary search
+    /// and memoises DB lookups for the duration of the round. Decisions
+    /// are identical to [`Dispatcher::new`]; only the cost differs.
+    pub fn new_incremental(cfg: &'a RupamConfig, input: &'a OfferInput<'a>) -> Self {
+        debug_assert!(
+            input
+                .pending
+                .windows(2)
+                .all(|w| (w[0].task.stage, w[0].task.index) < (w[1].task.stage, w[1].task.index)),
+            "OfferInput.pending must stay sorted by (stage, index)"
+        );
+        Self::build(cfg, input, HashMap::new(), true)
+    }
+
+    fn build(
+        cfg: &'a RupamConfig,
+        input: &'a OfferInput<'a>,
+        pending: HashMap<TaskRef, &'a PendingTaskView>,
+        incremental: bool,
+    ) -> Self {
         Dispatcher {
             cfg,
             input,
             pending,
+            launched: HashSet::new(),
+            incremental,
             claims: vec![Claims::default(); input.nodes.len()],
             mem_floor: None,
+            peak_cache: RefCell::new(HashMap::new()),
+            lock_cache: RefCell::new(HashMap::new()),
         }
+    }
+
+    /// The pending view for `task`, if it is still dispatchable this
+    /// round.
+    fn view_of(&self, task: TaskRef) -> Option<&'a PendingTaskView> {
+        if !self.incremental {
+            return self.pending.get(&task).copied();
+        }
+        if self.launched.contains(&task) {
+            return None;
+        }
+        self.input
+            .pending
+            .binary_search_by(|p| (p.task.stage, p.task.index).cmp(&(task.stage, task.index)))
+            .ok()
+            .map(|i| &self.input.pending[i])
+    }
+
+    /// Mark `task` consumed by a launch.
+    fn consume(&mut self, task: TaskRef) {
+        if self.incremental {
+            self.launched.insert(task);
+        } else {
+            self.pending.remove(&task);
+        }
+    }
+
+    /// Still dispatchable this round (safety-valve probe).
+    fn is_unclaimed(&self, task: TaskRef) -> bool {
+        if self.incremental {
+            !self.launched.contains(&task)
+        } else {
+            self.pending.contains_key(&task)
+        }
+    }
+
+    /// One memoised DB round-trip: `(peak estimate, best-executor lock)`.
+    fn cached_char(&self, tm: &TaskManager, view: &PendingTaskView) -> (ByteSize, Option<NodeId>) {
+        let task = view.task;
+        if let Some(&peak) = self.peak_cache.borrow().get(&task) {
+            let locked = self.lock_cache.borrow()[&task];
+            return (peak, locked);
+        }
+        let char = tm.lookup(view);
+        let locked = char.as_ref().and_then(|c| {
+            if c.history_size() == ResourceKind::COUNT {
+                c.best.map(|(n, _)| n)
+            } else {
+                None
+            }
+        });
+        let peak = if view.peak_mem_hint > ByteSize::ZERO {
+            view.peak_mem_hint
+        } else {
+            match &char {
+                Some(c) if c.peak_mem > ByteSize::ZERO => c.peak_mem,
+                _ => self.cfg.unknown_task_mem_estimate,
+            }
+        };
+        self.peak_cache.borrow_mut().insert(task, peak);
+        self.lock_cache.borrow_mut().insert(task, locked);
+        (peak, locked)
     }
 
     /// Estimated peak memory for admission: the observed peak when the
     /// task (or the DB) knows it, else a conservative default.
     fn peak_estimate(&self, tm: &TaskManager, view: &PendingTaskView) -> ByteSize {
+        if self.incremental {
+            return self.cached_char(tm, view).0;
+        }
         if view.peak_mem_hint > ByteSize::ZERO {
             return view.peak_mem_hint;
         }
@@ -82,6 +203,21 @@ impl<'a> Dispatcher<'a> {
             }
         }
         self.cfg.unknown_task_mem_estimate
+    }
+
+    /// The node a fully-characterised task is locked to, if any
+    /// (`historyresource.size = 5 ∧ optexecutor` known).
+    fn locked_best(&self, tm: &TaskManager, view: &PendingTaskView) -> Option<NodeId> {
+        if self.incremental {
+            return self.cached_char(tm, view).1;
+        }
+        tm.lookup(view).and_then(|c| {
+            if c.history_size() == ResourceKind::COUNT {
+                c.best.map(|(n, _)| n)
+            } else {
+                None
+            }
+        })
     }
 
     fn free_mem_after_claims(&self, node: NodeId) -> ByteSize {
@@ -189,9 +325,21 @@ impl<'a> Dispatcher<'a> {
     ///   `capability × (1 − utilisation-with-claims)` decays with each
     ///   claim and a large burst waterfills down the tiers instead of
     ///   starving the weaker nodes behind the head.
-    fn pick_node(&self, queues: &ResourceQueues, queue_kind: ResourceKind) -> Option<NodeId> {
+    ///
+    /// On the incremental path the cached [`NodeOrder`] carries, per
+    /// queue position, an upper bound on any later node's score — so the
+    /// scan stops as soon as the incumbent strictly beats the bound
+    /// (strictly: a later node may still tie the score and win the
+    /// utilisation/load tiebreak), instead of always walking the full
+    /// queue.
+    fn pick_node(&self, ranking: &Ranking, queue_kind: ResourceKind) -> Option<NodeId> {
         let mut best: Option<(NodeId, f64, f64, usize)> = None;
-        for &n in queues.nodes(queue_kind) {
+        for (i, &n) in ranking.nodes(queue_kind).iter().enumerate() {
+            if let (Ranking::Cached(order), Some((_, s, _, _))) = (ranking, best) {
+                if s > order.bound(queue_kind, i) {
+                    break;
+                }
+            }
             if !self.has_room(n, queue_kind) {
                 continue;
             }
@@ -231,17 +379,10 @@ impl<'a> Dispatcher<'a> {
         let free_mem = self.free_mem_after_claims(node);
         let mut best: Option<(TaskRef, Locality)> = None;
         for task in tm.queues.iter_kind(kind) {
-            let Some(view) = self.pending.get(&task) else {
+            let Some(view) = self.view_of(task) else {
                 continue;
             };
-            let char = tm.lookup(view);
-            let locked_here = char
-                .as_ref()
-                .map(|c| {
-                    c.history_size() == ResourceKind::COUNT
-                        && c.best.map(|(n, _)| n == node).unwrap_or(false)
-                })
-                .unwrap_or(false);
+            let locked_here = self.locked_best(tm, view) == Some(node);
             if self.peak_estimate(tm, view) > free_mem {
                 // Algorithm 2 lines 12–16: the memory check is overridden
                 // only for fully-characterised tasks locked to this node
@@ -293,10 +434,30 @@ impl<'a> Dispatcher<'a> {
     }
 
     /// Run the round-robin matching loop, consuming matched tasks from
-    /// the TM queues. Returns launch commands.
+    /// the TM queues. Returns launch commands. Reference path: rebuilds
+    /// and re-sorts the Resource Queues from this round's snapshot.
     pub fn dispatch(&mut self, tm: &mut TaskManager) -> Vec<Command> {
+        let ranking =
+            Ranking::Rebuilt(ResourceQueues::build(self.input.cluster, &self.input.nodes));
+        self.run(tm, &ranking)
+    }
+
+    /// The incremental counterpart: diff the persistent node rankings
+    /// against this round's snapshot (`O(changed · log n)`) and dispatch
+    /// from the materialised order with early-exit bounds. Requires a
+    /// dispatcher built with [`Dispatcher::new_incremental`].
+    pub fn dispatch_incremental(
+        &mut self,
+        tm: &mut TaskManager,
+        cache: &mut NodeQueueCache,
+    ) -> Vec<Command> {
+        cache.refresh(self.input.cluster, &self.input.nodes);
+        let ranking = Ranking::Cached(cache.order(self.input.cluster));
+        self.run(tm, &ranking)
+    }
+
+    fn run(&mut self, tm: &mut TaskManager, ranking: &Ranking) -> Vec<Command> {
         let mut cmds = Vec::new();
-        let queues = ResourceQueues::build(self.input.cluster, &self.input.nodes);
         loop {
             let mut launched_any = false;
             for kind in ResourceKind::ALL {
@@ -304,24 +465,24 @@ impl<'a> Dispatcher<'a> {
                     self.mem_floor = tm
                         .queues
                         .iter_kind(ResourceKind::Mem)
-                        .filter_map(|t| self.pending.get(&t).copied())
+                        .filter_map(|t| self.view_of(t))
                         .map(|v| self.peak_estimate(tm, v))
                         .min();
                 }
                 // next node from this kind's Resource Queue with room
-                let mut node = self.pick_node(&queues, kind);
+                let mut node = self.pick_node(ranking, kind);
                 let mut fell_back_to_cpu = false;
                 if node.is_none() && kind == ResourceKind::Gpu {
                     // §III-C3: GPU tasks are not held hostage by busy
                     // GPUs — fall back to the most powerful idle CPU
-                    node = self.pick_node(&queues, ResourceKind::Cpu);
+                    node = self.pick_node(ranking, ResourceKind::Cpu);
                     fell_back_to_cpu = node.is_some();
                 }
                 let Some(node) = node else { continue };
                 let Some((task, reason)) = self.schedule_task(tm, kind, node) else {
                     continue;
                 };
-                let view = self.pending[&task];
+                let view = self.view_of(task).expect("scheduled task is pending");
                 let use_gpu = kind == ResourceKind::Gpu
                     && !fell_back_to_cpu
                     && view.gpu_capable
@@ -334,7 +495,7 @@ impl<'a> Dispatcher<'a> {
                 };
                 self.note_claim(node, claim_kind, mem);
                 tm.queues.remove(&task);
-                self.pending.remove(&task);
+                self.consume(task);
                 // a best-executor lock keeps its own reason even on the
                 // fallback path — the lock, not the fallback, chose it
                 let reason = match reason {
@@ -372,7 +533,7 @@ impl<'a> Dispatcher<'a> {
                 .input
                 .pending
                 .iter()
-                .find(|p| self.pending.contains_key(&p.task))
+                .find(|p| self.is_unclaimed(p.task))
             {
                 if let Some(node) = self
                     .input
@@ -633,6 +794,41 @@ mod tests {
                 "node {i} got {n} tasks with overcommit 1.0"
             );
         }
+    }
+
+    #[test]
+    fn incremental_dispatch_matches_rebuild() {
+        let cluster = ClusterSpec::hydra();
+        let app = dummy_app();
+        let cfg = RupamConfig::default();
+        // enough tasks to force multiple passes, partial launches and
+        // the memory floor into play
+        let mut pending: Vec<_> = (0..64).map(|i| pview(i, StageKind::ShuffleMap)).collect();
+        for (i, p) in pending.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                p.peak_mem_hint = ByteSize::gib(4);
+            }
+            if i % 11 == 0 {
+                p.peak_mem_hint = ByteSize::gib(40);
+            }
+        }
+        let input = offer(&cluster, &app, views(&cluster), pending.clone());
+
+        let mut tm_reb = TaskManager::new(cfg.clone());
+        tm_reb.submit_stage(app.stage(StageId(0)), &pending, SimTime::ZERO);
+        let rebuilt = Dispatcher::new(&cfg, &input).dispatch(&mut tm_reb);
+
+        let mut tm_inc = TaskManager::new(cfg.clone());
+        tm_inc.submit_stage(app.stage(StageId(0)), &pending, SimTime::ZERO);
+        let mut cache = NodeQueueCache::new();
+        let incremental =
+            Dispatcher::new_incremental(&cfg, &input).dispatch_incremental(&mut tm_inc, &mut cache);
+
+        assert_eq!(
+            format!("{rebuilt:?}"),
+            format!("{incremental:?}"),
+            "the two paths must emit identical command sequences"
+        );
     }
 
     #[test]

@@ -97,6 +97,218 @@ impl ResourceQueues {
     }
 }
 
+/// Collapse `-0.0` to `0.0` so `total_cmp` agrees with the
+/// `partial_cmp` the from-scratch sort uses (which treats the two zeros
+/// as equal).
+#[inline]
+fn norm(x: f64) -> f64 {
+    if x == 0.0 {
+        0.0
+    } else {
+        x
+    }
+}
+
+/// One node's position key in a kind's ordered set: remaining capability
+/// descending, then raw utilisation ascending, then `NodeId` — exactly
+/// the comparator [`ResourceQueues::build`] sorts with, made total via
+/// `total_cmp` over [`norm`]alised (NaN-free, single-zero) floats.
+#[derive(Clone, Copy, Debug)]
+struct Rank {
+    remaining: f64,
+    util: f64,
+    node: NodeId,
+}
+
+impl PartialEq for Rank {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Rank {}
+
+impl PartialOrd for Rank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .remaining
+            .total_cmp(&self.remaining)
+            .then(self.util.total_cmp(&other.util))
+            .then(self.node.cmp(&other.node))
+    }
+}
+
+/// Persistent per-kind node rankings, updated in place between offer
+/// rounds instead of rebuilt by a full sort.
+///
+/// Each kind keeps an ordered set of [`Rank`] entries plus the key each
+/// node currently occupies. A refresh recomputes every node's key from
+/// the snapshot (a handful of float operations) and touches the set —
+/// one `O(log n)` remove + insert — only for nodes whose key actually
+/// changed. On quiet rounds (heartbeats without launches or finishes)
+/// that is zero structural work, versus the rebuild path's
+/// unconditional five `O(n log n)` sorts.
+#[derive(Default)]
+pub struct NodeQueueCache {
+    /// Current key per node per kind; `None` while excluded (blocked or
+    /// without the resource).
+    keys: Vec<PerResource<Option<(f64, f64)>>>,
+    sets: PerResource<std::collections::BTreeSet<Rank>>,
+}
+
+impl NodeQueueCache {
+    /// An empty cache (populated by the first refresh).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Forget everything (cluster changed / run restarted).
+    pub fn reset(&mut self) {
+        self.keys.clear();
+        for kind in ResourceKind::ALL {
+            self.sets.get_mut(kind).clear();
+        }
+    }
+
+    /// Bring the rankings in line with an offer-round snapshot.
+    pub fn refresh(&mut self, cluster: &ClusterSpec, views: &[NodeView]) {
+        if self.keys.len() != views.len() {
+            self.reset();
+            self.keys = (0..views.len()).map(|_| PerResource::default()).collect();
+        }
+        for v in views {
+            for kind in ResourceKind::ALL {
+                let eligible = !v.blocked && cluster.node(v.node).has_resource(kind);
+                let next = if eligible {
+                    Some((
+                        norm(remaining_capability(cluster, v, kind)),
+                        norm(utilization(v, kind)),
+                    ))
+                } else {
+                    None
+                };
+                let slot = self.keys[v.node.index()].get_mut(kind);
+                if *slot == next {
+                    continue;
+                }
+                let set = self.sets.get_mut(kind);
+                if let Some((remaining, util)) = *slot {
+                    set.remove(&Rank {
+                        remaining,
+                        util,
+                        node: v.node,
+                    });
+                }
+                if let Some((remaining, util)) = next {
+                    set.insert(Rank {
+                        remaining,
+                        util,
+                        node: v.node,
+                    });
+                }
+                *slot = next;
+            }
+        }
+    }
+
+    /// Materialise the dispatch-ready ordering, with per-position score
+    /// bounds for the dispatcher's early exit.
+    pub fn order(&self, cluster: &ClusterSpec) -> NodeOrder {
+        let queues = PerResource::from_fn(|kind| {
+            self.sets
+                .get(kind)
+                .iter()
+                .map(|r| r.node)
+                .collect::<Vec<NodeId>>()
+        });
+        NodeOrder::new(cluster, queues, |kind, node| {
+            self.keys[node.index()]
+                .get(kind)
+                .map(|(remaining, _)| remaining)
+                .unwrap_or(0.0)
+        })
+    }
+
+    /// Cross-check the incremental ordering against a from-scratch
+    /// rebuild over the same snapshot — the "queues sorted" audit
+    /// invariant used as the equivalence oracle.
+    pub fn verify(&self, cluster: &ClusterSpec, views: &[NodeView]) -> Vec<String> {
+        let reference = ResourceQueues::build(cluster, views);
+        let mut findings = Vec::new();
+        for kind in ResourceKind::ALL {
+            let incremental: Vec<NodeId> = self.sets.get(kind).iter().map(|r| r.node).collect();
+            if incremental != reference.nodes(kind) {
+                findings.push(format!(
+                    "{kind:?} incremental ranking {incremental:?} diverges from rebuilt {:?}",
+                    reference.nodes(kind)
+                ));
+            }
+        }
+        findings
+    }
+}
+
+/// A per-kind node ordering plus, for each queue position, an upper
+/// bound on the pick score any node at or after that position can still
+/// achieve this round. Bounds let [`crate::dispatcher::Dispatcher`] stop
+/// scanning as soon as the current best pick is unbeatable:
+///
+/// * CPU / GPU score is raw capability (claims never change it), so the
+///   bound is the suffix maximum of capability;
+/// * MEM / NET / I/O score is `capability × (1 − util-with-claims)`,
+///   and claims only ever *raise* utilisation above the snapshot, so
+///   each node's snapshot key — which the queue is sorted by, descending
+///   — bounds its achievable score, and position `i`'s key bounds the
+///   whole suffix.
+pub struct NodeOrder {
+    queues: PerResource<Vec<NodeId>>,
+    bounds: PerResource<Vec<f64>>,
+}
+
+impl NodeOrder {
+    fn new(
+        cluster: &ClusterSpec,
+        queues: PerResource<Vec<NodeId>>,
+        snapshot_key: impl Fn(ResourceKind, NodeId) -> f64,
+    ) -> Self {
+        let bounds = PerResource::from_fn(|kind| {
+            let nodes = queues.get(kind);
+            let mut bounds: Vec<f64> = nodes
+                .iter()
+                .map(|&n| match kind {
+                    ResourceKind::Cpu | ResourceKind::Gpu => cluster.node(n).capability(kind),
+                    ResourceKind::Mem | ResourceKind::Net | ResourceKind::Io => {
+                        snapshot_key(kind, n)
+                    }
+                })
+                .collect();
+            // suffix maximum: bound[i] caps every node from i onward
+            for i in (0..bounds.len().saturating_sub(1)).rev() {
+                bounds[i] = bounds[i].max(bounds[i + 1]);
+            }
+            bounds
+        });
+        NodeOrder { queues, bounds }
+    }
+
+    /// Nodes for one resource kind, best first.
+    pub fn nodes(&self, kind: ResourceKind) -> &[NodeId] {
+        self.queues.get(kind)
+    }
+
+    /// Upper bound on the score achievable by any node at position `i`
+    /// or later in `kind`'s queue.
+    pub fn bound(&self, kind: ResourceKind, i: usize) -> f64 {
+        self.bounds.get(kind)[i]
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -177,6 +389,70 @@ mod tests {
         let q = ResourceQueues::build(&cluster, &vs);
         for kind in ResourceKind::ALL {
             assert!(q.nodes(kind).is_empty());
+        }
+    }
+
+    #[test]
+    fn cache_tracks_rebuild_through_mutations() {
+        let cluster = ClusterSpec::hydra();
+        let mut vs = views(&cluster);
+        let mut cache = NodeQueueCache::new();
+        // a sequence of snapshot mutations: load CPUs, fill memory,
+        // block a node, then idle everything again
+        type Step = Box<dyn Fn(&mut Vec<NodeView>)>;
+        let steps: Vec<Step> = vec![
+            Box::new(|_| {}),
+            Box::new(|vs| vs[0].cpu_util = 0.9),
+            Box::new(|vs| {
+                vs[7].mem_in_use = ByteSize::gib(30);
+                vs[7].free_mem = vs[7].executor_mem.saturating_sub(ByteSize::gib(30));
+            }),
+            Box::new(|vs| vs[3].blocked = true),
+            Box::new(|vs| {
+                vs[3].blocked = false;
+                vs[0].cpu_util = 0.0;
+            }),
+        ];
+        for (i, step) in steps.iter().enumerate() {
+            step(&mut vs);
+            cache.refresh(&cluster, &vs);
+            let findings = cache.verify(&cluster, &vs);
+            assert!(findings.is_empty(), "step {i}: {findings:?}");
+            let order = cache.order(&cluster);
+            let reference = ResourceQueues::build(&cluster, &vs);
+            for kind in ResourceKind::ALL {
+                assert_eq!(
+                    order.nodes(kind),
+                    reference.nodes(kind),
+                    "step {i} {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn order_bounds_dominate_suffix_scores() {
+        let cluster = ClusterSpec::hydra();
+        let mut vs = views(&cluster);
+        vs[2].cpu_util = 0.5;
+        vs[5].net_util = 0.7;
+        let mut cache = NodeQueueCache::new();
+        cache.refresh(&cluster, &vs);
+        let order = cache.order(&cluster);
+        for kind in ResourceKind::ALL {
+            let nodes = order.nodes(kind);
+            for i in 0..nodes.len() {
+                for &n in &nodes[i..] {
+                    let score = match kind {
+                        ResourceKind::Cpu | ResourceKind::Gpu => cluster.node(n).capability(kind),
+                        _ => remaining_capability(&cluster, &vs[n.index()], kind),
+                    };
+                    assert!(
+                        order.bound(kind, i) >= score,
+                        "{kind:?} bound at {i} misses node {n:?}"
+                    );
+                }
+            }
         }
     }
 

@@ -16,6 +16,7 @@ use std::collections::HashMap;
 
 use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
+use rupam_simcore::Sym;
 
 use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::{ClusterSpec, NodeId};
@@ -26,6 +27,7 @@ use rupam_metrics::trace::LaunchReason;
 
 use crate::config::RupamConfig;
 use crate::dispatcher::Dispatcher;
+use crate::rm::NodeQueueCache;
 use crate::straggler::{
     gpu_race_commands, memory_straggler_commands, relocation_target, resource_straggler_candidates,
     StragglerState,
@@ -39,8 +41,12 @@ pub struct RupamScheduler {
     tm: TaskManager,
     straggler: StragglerState,
     /// Template key per stage (for failure bookkeeping).
-    stage_templates: HashMap<StageId, String>,
+    stage_templates: HashMap<StageId, Sym>,
     min_node_mem: ByteSize,
+    /// Persistent per-kind node rankings, kept in sync with the offer
+    /// snapshots instead of re-sorted every round (when
+    /// `cfg.incremental_queues`).
+    node_cache: NodeQueueCache,
 }
 
 impl RupamScheduler {
@@ -63,11 +69,15 @@ impl RupamScheduler {
         if !cfg.cross_job_db {
             name.push_str("-colddb");
         }
+        if !cfg.incremental_queues {
+            name.push_str("-rebuild");
+        }
         RupamScheduler {
             tm: TaskManager::new(cfg.clone()),
             straggler: StragglerState::new(0),
             stage_templates: HashMap::new(),
             min_node_mem: ByteSize::gib(16),
+            node_cache: NodeQueueCache::new(),
             cfg,
             name,
         }
@@ -117,6 +127,7 @@ impl Scheduler for RupamScheduler {
     fn on_app_start(&mut self, app: &Application, cluster: &ClusterSpec) {
         self.straggler = StragglerState::new(cluster.len());
         self.tm.reset_run_state();
+        self.node_cache.reset();
         self.min_node_mem = cluster.min_mem();
         let smallest_exec = cluster
             .iter()
@@ -124,11 +135,7 @@ impl Scheduler for RupamScheduler {
             .min()
             .unwrap_or(ByteSize::gib(14));
         self.tm.set_smallest_executor(smallest_exec);
-        self.stage_templates = app
-            .stages
-            .iter()
-            .map(|s| (s.id, s.template_key.clone()))
-            .collect();
+        self.stage_templates = app.stages.iter().map(|s| (s.id, s.template_key)).collect();
     }
 
     fn on_job_submitted(&mut self, job: rupam_dag::app::JobId, stages: &[StageId], _now: SimTime) {
@@ -165,7 +172,7 @@ impl Scheduler for RupamScheduler {
                 // placement favours large-memory nodes
                 self.tm.record_memory_failure(
                     task.stage,
-                    template,
+                    *template,
                     task.index,
                     ByteSize::ZERO,
                     node,
@@ -201,11 +208,7 @@ impl Scheduler for RupamScheduler {
                 let kind = self
                     .stage_templates
                     .get(&task.stage)
-                    .and_then(|t| {
-                        self.tm
-                            .db()
-                            .read(&crate::db::TaskKey::new(t.clone(), task.index))
-                    })
+                    .and_then(|t| self.tm.db().read(&crate::db::TaskKey::new(*t, task.index)))
                     .and_then(|c| c.last_bottleneck)
                     .unwrap_or(ResourceKind::Cpu);
                 if let Some(target) = relocation_target(input, kind, bad_node) {
@@ -221,8 +224,13 @@ impl Scheduler for RupamScheduler {
         }
 
         // 3. Algorithm 2 dispatch
-        let mut dispatcher = Dispatcher::new(&self.cfg, input);
-        cmds.extend(dispatcher.dispatch(&mut self.tm));
+        if self.cfg.incremental_queues {
+            let mut dispatcher = Dispatcher::new_incremental(&self.cfg, input);
+            cmds.extend(dispatcher.dispatch_incremental(&mut self.tm, &mut self.node_cache));
+        } else {
+            let mut dispatcher = Dispatcher::new(&self.cfg, input);
+            cmds.extend(dispatcher.dispatch(&mut self.tm));
+        }
 
         // 4. engine-flagged stragglers: relocate to the best node for
         //    the task's recorded bottleneck
@@ -293,7 +301,20 @@ impl Scheduler for RupamScheduler {
                 }
             }
         }
+        // The incremental rankings must match a from-scratch rebuild of
+        // the very snapshot they just dispatched from — this is the
+        // equivalence oracle for the O(log n) path.
+        if self.cfg.incremental_queues {
+            findings.extend(self.node_cache.verify(input.cluster, &input.nodes));
+        }
         findings
+    }
+
+    fn on_heartbeat(&mut self, _now: SimTime) {
+        // fold queued DB_task_char writes into the store off the
+        // dispatch path, so offer rounds mostly hit the read-optimised
+        // shards with empty pending queues
+        self.tm.db().nudge();
     }
 }
 

@@ -168,7 +168,7 @@ pub fn resource_straggler_candidates(
             if r.speculative {
                 continue;
             }
-            let template = &input.app.stage(r.task.stage).template_key;
+            let template = input.app.stage(r.task.stage).template_key;
             if let Some(median) = tm.median_duration_secs(r.task.stage, template) {
                 if r.elapsed.as_secs_f64() > 1.5 * median.max(1.0) * cfg.res_factor {
                     out.push((r.task, view.node));

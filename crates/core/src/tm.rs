@@ -14,10 +14,12 @@
 //! class for memory-dominated tasks) and banks the result in the DB for
 //! "future task iterations and job runs".
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 use rupam_simcore::time::SimTime;
 use rupam_simcore::units::ByteSize;
+use rupam_simcore::Sym;
 
 use rupam_cluster::resources::{PerResource, ResourceKind};
 use rupam_dag::app::{JobId, Stage, StageId, StageKind};
@@ -57,9 +59,27 @@ pub fn classify(
 }
 
 /// The five pending-task queues plus membership bookkeeping.
+///
+/// Incremental representation: each kind keeps an ordered set of live
+/// `(seat, task)` entries, where a task's *seat* in a kind is assigned
+/// the first time it is ever enqueued there and retained for the rest of
+/// the run. Insert and remove are `O(log n)`; iteration yields live
+/// tasks in seat order with no dead entries to skip.
+///
+/// Seat retention reproduces the historical deque semantics exactly: the
+/// old implementation never physically removed a launched task's deque
+/// entry, so (a) a task re-enqueued into a queue it had occupied before
+/// resumed its *old* position rather than moving to the back, and (b)
+/// re-enqueueing a member made it visible again in *every* queue that
+/// had ever held it. Decision replay across the suite depends on both.
 #[derive(Default)]
 pub struct TaskQueues {
-    queues: PerResource<VecDeque<TaskRef>>,
+    /// Live entries per kind, ordered by seat number (FIFO).
+    live: PerResource<BTreeSet<(u64, TaskRef)>>,
+    /// Every seat ever assigned per kind (kept across removals).
+    seats: PerResource<HashMap<TaskRef, u64>>,
+    /// Monotonic seat counter shared by all kinds.
+    next_seat: u64,
     /// Tasks currently enqueued anywhere (a first-contact task sits in
     /// all five queues but counts once).
     members: HashSet<TaskRef>,
@@ -79,9 +99,17 @@ impl TaskQueues {
             self.enqueued_at.insert(task, now);
         }
         for &k in kinds {
-            let q = self.queues.get_mut(k);
-            if !q.contains(&task) {
-                q.push_back(task);
+            if !self.seats.get(k).contains_key(&task) {
+                let seat = self.next_seat;
+                self.next_seat += 1;
+                self.seats.get_mut(k).insert(task, seat);
+            }
+        }
+        // a member is visible in every queue holding a seat for it, not
+        // just the kinds of this call (historical-deque resurrection)
+        for k in ResourceKind::ALL {
+            if let Some(&seat) = self.seats.get(k).get(&task) {
+                self.live.get_mut(k).insert((seat, task));
             }
         }
     }
@@ -100,26 +128,30 @@ impl TaskQueues {
         }
     }
 
-    /// Remove a task everywhere (it launched or completed). Lazily
-    /// cleans the per-kind deques on future pops.
+    /// Remove a task everywhere (it launched or completed) in
+    /// `O(log n)` per kind. Its seats survive for position-preserving
+    /// re-enqueue.
     pub fn remove(&mut self, task: &TaskRef) {
         self.members.remove(task);
         self.enqueued_at.remove(task);
+        for k in ResourceKind::ALL {
+            if let Some(&seat) = self.seats.get(k).get(task) {
+                self.live.get_mut(k).remove(&(seat, *task));
+            }
+        }
     }
 
-    /// Iterate the *live* tasks of one queue in FIFO order.
+    /// Iterate the *live* tasks of one queue in FIFO (seat) order.
     pub fn iter_kind<'q>(&'q self, kind: ResourceKind) -> impl Iterator<Item = TaskRef> + 'q {
-        self.queues
-            .get(kind)
-            .iter()
-            .copied()
-            .filter(move |t| self.members.contains(t))
+        self.live.get(kind).iter().map(|&(_, t)| t)
     }
 
-    /// Compact one queue, dropping launched tasks (called opportunistically).
+    /// Forget the retained seats of non-members in one queue, so a later
+    /// re-enqueue joins at the back instead of its old position (the
+    /// historical `compact`; never called on the production path).
     pub fn compact(&mut self, kind: ResourceKind) {
         let members = &self.members;
-        self.queues.get_mut(kind).retain(|t| members.contains(t));
+        self.seats.get_mut(kind).retain(|t, _| members.contains(t));
     }
 
     /// Number of live pending tasks.
@@ -141,15 +173,24 @@ pub struct TaskManager {
     pub queues: TaskQueues,
     /// Successful durations per stage template (resource-straggler
     /// thresholds).
-    finished_secs: HashMap<String, Vec<f64>>,
+    finished_secs: HashMap<Sym, Vec<f64>>,
     /// Stage templates observed using a GPU (§III-B2: one GPU sighting
     /// marks the whole stage).
-    gpu_stages: HashSet<String>,
+    gpu_stages: HashSet<Sym>,
     /// Smallest executor in the cluster (MEM-bound threshold).
     smallest_executor: ByteSize,
     /// Stream job owning each stage (multi-tenant runs; used to scope
     /// keys when `cross_job_db` is off).
     job_of_stage: HashMap<StageId, JobId>,
+    /// Memo of cold-DB scoped keys (`jN@template`), so the ablation path
+    /// formats and interns each `(job, template)` pair once.
+    scope_cache: RefCell<HashMap<(JobId, Sym), Sym>>,
+    /// Memoised per-template median (value + sample count it was computed
+    /// at). The straggler scan asks for the median once per running task
+    /// per contended node per round; recomputing it from scratch each time
+    /// clones and sorts the whole duration vector. Incremental mode keeps
+    /// the answer until a new sample lands. Keyed by the *scoped* template.
+    median_cache: RefCell<HashMap<Sym, (usize, f64)>>,
 }
 
 impl TaskManager {
@@ -163,6 +204,8 @@ impl TaskManager {
             gpu_stages: HashSet::new(),
             smallest_executor: ByteSize::gib(14),
             job_of_stage: HashMap::new(),
+            scope_cache: RefCell::new(HashMap::new()),
+            median_cache: RefCell::new(HashMap::new()),
         }
     }
 
@@ -178,14 +221,21 @@ impl TaskManager {
     }
 
     /// Template key as stored in the DB / stage statistics: per-template
-    /// when warm, scoped to the owning stream job when cold.
-    fn scope(&self, stage: StageId, template: &str) -> String {
+    /// when warm (a free `Sym` copy — no allocation on the hot path),
+    /// scoped to the owning stream job when cold.
+    fn scope(&self, stage: StageId, template: Sym) -> Sym {
         if self.cfg.cross_job_db {
-            template.to_string()
-        } else {
-            let job = self.job_of_stage.get(&stage).copied().unwrap_or(JobId(0));
-            format!("j{}@{template}", job.index())
+            return template;
         }
+        let job = self.job_of_stage.get(&stage).copied().unwrap_or(JobId(0));
+        if let Some(&scoped) = self.scope_cache.borrow().get(&(job, template)) {
+            return scoped;
+        }
+        let scoped = Sym::from(format!("j{}@{}", job.index(), template.as_str()));
+        self.scope_cache
+            .borrow_mut()
+            .insert((job, template), scoped);
+        scoped
     }
 
     /// Set the smallest executor size (called at app start).
@@ -206,6 +256,8 @@ impl TaskManager {
         self.finished_secs.clear();
         self.gpu_stages.clear();
         self.job_of_stage.clear();
+        self.scope_cache.borrow_mut().clear();
+        self.median_cache.borrow_mut().clear();
     }
 
     /// Wipe the characteristics database (Fig. 5 protocol).
@@ -219,7 +271,7 @@ impl TaskManager {
             return None;
         }
         self.db.read(&TaskKey::new(
-            self.scope(view.task.stage, &view.template_key),
+            self.scope(view.task.stage, view.template_key),
             view.task.index,
         ))
     }
@@ -233,7 +285,7 @@ impl TaskManager {
         }
         if self
             .gpu_stages
-            .contains(&self.scope(view.task.stage, &view.template_key))
+            .contains(&self.scope(view.task.stage, view.template_key))
         {
             // §III-B2: once TM sees any task of a stage using a GPU, it
             // "marks all the tasks in the same stage to be GPU tasks"
@@ -268,13 +320,13 @@ impl TaskManager {
     /// statistics.
     pub fn record_finish(&mut self, record: &TaskRecord) {
         self.queues.remove(&record.task);
-        let scoped = self.scope(record.task.stage, &record.template_key);
+        let scoped = self.scope(record.task.stage, record.template_key);
         if record.used_gpu {
-            self.gpu_stages.insert(scoped.clone());
+            self.gpu_stages.insert(scoped);
         }
         let bottleneck = classify(record, &self.cfg, self.smallest_executor);
         if self.cfg.use_task_db {
-            let key = TaskKey::new(scoped.clone(), record.task.index);
+            let key = TaskKey::new(scoped, record.task.index);
             let node = record.node;
             let secs = record.duration().as_secs_f64();
             let peak = record.peak_mem;
@@ -293,7 +345,7 @@ impl TaskManager {
     pub fn record_memory_failure(
         &mut self,
         stage: StageId,
-        template_key: &str,
+        template_key: Sym,
         index: usize,
         peak: ByteSize,
         node: rupam_cluster::NodeId,
@@ -308,11 +360,27 @@ impl TaskManager {
     }
 
     /// Median successful duration for a stage template, if any finished.
-    pub fn median_duration_secs(&self, stage: StageId, template_key: &str) -> Option<f64> {
-        self.finished_secs
-            .get(&self.scope(stage, template_key))
-            .filter(|v| !v.is_empty())
-            .map(|v| rupam_simcore::stats::median(v))
+    ///
+    /// In incremental mode the median is memoised per scoped template and
+    /// only recomputed when the sample count changed — the value is
+    /// bit-identical to the from-scratch computation, only cheaper. The
+    /// rebuild reference path recomputes every call (pre-change cost
+    /// model).
+    pub fn median_duration_secs(&self, stage: StageId, template_key: Sym) -> Option<f64> {
+        let scoped = self.scope(stage, template_key);
+        let v = self.finished_secs.get(&scoped).filter(|v| !v.is_empty())?;
+        if !self.cfg.incremental_queues {
+            return Some(rupam_simcore::stats::median(v));
+        }
+        let mut cache = self.median_cache.borrow_mut();
+        match cache.get(&scoped) {
+            Some(&(len, m)) if len == v.len() => Some(m),
+            _ => {
+                let m = rupam_simcore::stats::median(v);
+                cache.insert(scoped, (v.len(), m));
+                Some(m)
+            }
+        }
     }
 }
 
@@ -500,8 +568,11 @@ mod tests {
             "cold DB must not leak across jobs"
         );
         // the duration history is scoped the same way
-        assert_eq!(tm.median_duration_secs(StageId(0), "w/s"), Some(12.0));
-        assert_eq!(tm.median_duration_secs(StageId(1), "w/s"), None);
+        assert_eq!(
+            tm.median_duration_secs(StageId(0), "w/s".into()),
+            Some(12.0)
+        );
+        assert_eq!(tm.median_duration_secs(StageId(1), "w/s".into()), None);
     }
 
     #[test]
@@ -547,14 +618,17 @@ mod tests {
         for secs in [10, 20, 30] {
             tm.record_finish(&record(secs, 0, 0, 1, false));
         }
-        assert_eq!(tm.median_duration_secs(StageId(0), "w/s"), Some(20.0));
-        assert_eq!(tm.median_duration_secs(StageId(0), "unknown"), None);
+        assert_eq!(
+            tm.median_duration_secs(StageId(0), "w/s".into()),
+            Some(20.0)
+        );
+        assert_eq!(tm.median_duration_secs(StageId(0), "unknown".into()), None);
     }
 
     #[test]
     fn memory_failure_marks_mem_bound() {
         let mut tm = TaskManager::new(cfg());
-        tm.record_memory_failure(StageId(0), "w/s", 0, ByteSize::gib(12), NodeId(3));
+        tm.record_memory_failure(StageId(0), "w/s".into(), 0, ByteSize::gib(12), NodeId(3));
         let kinds = tm.queues_for(&pview(0, 0, StageKind::ShuffleMap, false));
         assert_eq!(kinds, vec![ResourceKind::Mem]);
         let char = tm.db().read(&TaskKey::new("w/s", 0)).unwrap();

@@ -88,7 +88,7 @@ fn pending_views(app: &Application, stage: StageId, n: usize) -> Vec<PendingTask
         .map(|i| PendingTaskView {
             task: TaskRef { stage, index: i },
             job: rupam_dag::app::JobId(0),
-            template_key: app.stage(stage).template_key.clone(),
+            template_key: app.stage(stage).template_key,
             stage_kind: app.stage(stage).kind,
             attempt_no: 0,
             peak_mem_hint: ByteSize::ZERO,

@@ -7,7 +7,7 @@
 //! first-contact heuristic keys off this distinction (Algorithm 1's
 //! "map stage ⇒ enqueue everywhere, reduce stage ⇒ network-bound").
 
-use rupam_simcore::define_id;
+use rupam_simcore::{define_id, Sym};
 
 use crate::task::{TaskRef, TaskTemplate};
 
@@ -46,7 +46,7 @@ pub struct Stage {
     /// stage hits the characteristics iteration 3 recorded. Mirrors the
     /// paper's observation that "data centers usually run the same
     /// application on input data with similar patterns periodically".
-    pub template_key: String,
+    pub template_key: Sym,
     /// Map or result stage.
     pub kind: StageKind,
     /// Parent stages (shuffle dependencies), all in the same job.
@@ -171,7 +171,7 @@ impl AppBuilder {
         &mut self,
         job: JobId,
         name: impl Into<String>,
-        template_key: impl Into<String>,
+        template_key: impl Into<Sym>,
         kind: StageKind,
         parents: Vec<StageId>,
         tasks: Vec<TaskTemplate>,

@@ -20,6 +20,7 @@ use rupam_simcore::calendar::Calendar;
 use rupam_simcore::rng::RngFactory;
 use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
+use rupam_simcore::Sym;
 
 use rupam_cluster::monitor::{HeartbeatSnapshot, NodeMetrics};
 use rupam_cluster::{ClusterSpec, NodeId, ResourceMonitor};
@@ -131,7 +132,7 @@ type AttemptId = usize;
 
 struct AttemptRt {
     task: TaskRef,
-    template_key: String,
+    template_key: Sym,
     attempt_no: u32,
     speculative: bool,
     node: NodeId,
@@ -698,7 +699,8 @@ impl<'a, 's> Sim<'a, 's> {
             stage_rt.finished_secs.push(record.duration().as_secs_f64());
             // cache the produced partition
             if template.demand.cached_bytes > ByteSize::ZERO {
-                let key = self.scoped_cache_key(task.stage, &stage.template_key, task.index);
+                let key =
+                    self.scoped_cache_key(task.stage, stage.template_key.as_str(), task.index);
                 self.nodes[node_id.index()]
                     .cache
                     .insert(key, template.demand.cached_bytes);
@@ -755,7 +757,7 @@ impl<'a, 's> Sim<'a, 's> {
         TaskRecord {
             task: a.task,
             job: self.stage_jobs[a.task.stage.index()],
-            template_key: a.template_key.clone(),
+            template_key: a.template_key,
             attempt: a.attempt_no,
             node: a.node,
             speculative: a.speculative,
@@ -847,6 +849,7 @@ impl<'a, 's> Sim<'a, 's> {
     fn handle_event(&mut self, ev: Event) {
         match ev {
             Event::Heartbeat => {
+                self.sched.on_heartbeat(self.now);
                 self.need_offers = true;
                 // livelock guard: pending work, nothing running, nothing
                 // scheduled — the scheduler is refusing every placement.
@@ -1090,7 +1093,7 @@ impl<'a, 's> Sim<'a, 's> {
         PendingTaskView {
             task,
             job: self.stage_jobs[task.stage.index()],
-            template_key: stage.template_key.clone(),
+            template_key: stage.template_key,
             stage_kind: stage.kind,
             attempt_no,
             peak_mem_hint: self
@@ -1362,7 +1365,7 @@ impl<'a, 's> Sim<'a, 's> {
         let id = self.attempts.len();
         self.attempts.push(AttemptRt {
             task,
-            template_key: stage.template_key.clone(),
+            template_key: stage.template_key,
             attempt_no,
             speculative,
             node: node_id,

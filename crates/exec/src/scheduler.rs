@@ -11,6 +11,7 @@
 
 use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
+use rupam_simcore::Sym;
 
 use rupam_cluster::{ClusterSpec, NodeId};
 use rupam_dag::app::{Application, JobId, Stage, StageId, StageKind};
@@ -74,7 +75,7 @@ pub struct PendingTaskView {
     /// Stream job the task belongs to (`JobId(0)` on single-app runs).
     pub job: JobId,
     /// Template key of its stage (RUPAM's `DB_task_char` key part).
-    pub template_key: String,
+    pub template_key: Sym,
     /// Map or result stage (Algorithm 1's first-contact heuristic).
     pub stage_kind: StageKind,
     /// Attempt number this launch would get (0 = first).
@@ -226,6 +227,11 @@ pub trait Scheduler {
     fn audit_round(&self, _input: &OfferInput<'_>) -> Vec<String> {
         Vec::new()
     }
+
+    /// Engine heartbeat tick — a hook for cheap background maintenance
+    /// (draining write-behind stores, aging caches) off the dispatch
+    /// path. Default: nothing.
+    fn on_heartbeat(&mut self, _now: SimTime) {}
 }
 
 #[cfg(test)]

@@ -41,7 +41,7 @@ pub fn records_csv(report: &RunReport) -> String {
             r.job.index(),
             r.task.stage.index(),
             r.task.index,
-            escape(&r.template_key),
+            escape(r.template_key.as_str()),
             r.attempt,
             r.node.index(),
             r.speculative,

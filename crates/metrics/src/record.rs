@@ -7,6 +7,7 @@
 
 use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
+use rupam_simcore::Sym;
 
 use rupam_cluster::NodeId;
 use rupam_dag::{JobId, Locality, TaskRef};
@@ -57,7 +58,7 @@ pub struct TaskRecord {
     pub job: JobId,
     /// Template key of the owning stage (the `DB_task_char` key together
     /// with `task.index`).
-    pub template_key: String,
+    pub template_key: Sym,
     /// Attempt number (0 = first attempt).
     pub attempt: u32,
     /// Node the attempt ran on.

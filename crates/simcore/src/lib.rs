@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod calendar;
+pub mod intern;
 pub mod rng;
 pub mod series;
 pub mod stats;
@@ -27,6 +28,7 @@ pub mod time;
 pub mod units;
 
 pub use calendar::Calendar;
+pub use intern::Sym;
 pub use rng::RngFactory;
 pub use series::TimeSeries;
 pub use time::{SimDuration, SimTime};

@@ -152,10 +152,10 @@ fn main() {
             report.gpu_task_count()
         );
         // placement census per (stage template, node class)
-        let mut census: BTreeMap<(String, String), usize> = BTreeMap::new();
+        let mut census: BTreeMap<(rupam_simcore::Sym, String), usize> = BTreeMap::new();
         for r in report.records.iter().filter(|r| r.outcome.is_success()) {
             *census
-                .entry((r.template_key.clone(), cluster.node(r.node).class.clone()))
+                .entry((r.template_key, cluster.node(r.node).class.clone()))
                 .or_default() += 1;
         }
         for ((template, class), n) in census {

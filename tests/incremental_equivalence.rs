@@ -1,0 +1,109 @@
+//! Equivalence gate for the incremental scheduler state: the
+//! `O(log n)` path (persistent node rankings, memoised DB lookups,
+//! early-exit node picks) must take *exactly* the decisions of the
+//! from-scratch rebuild reference, on every workload, across cluster
+//! shapes, under the auditor. Trace digests cover every event ever
+//! recorded, so equal digests mean byte-identical decision sequences.
+
+use rupam::config::RupamConfig;
+use rupam_bench::multitenant::{build_stream, MEAN_GAP_SECS, TENANTS};
+use rupam_bench::{run_stream_observed, run_workload_observed, Sched};
+use rupam_cluster::ClusterSpec;
+use rupam_exec::SimOptions;
+use rupam_workloads::Workload;
+
+/// The reference: identical policy, but rebuilding and re-sorting every
+/// queue each round and re-reading the DB on every probe.
+fn rebuild_reference() -> Sched {
+    Sched::RupamWith(RupamConfig {
+        incremental_queues: false,
+        ..RupamConfig::default()
+    })
+}
+
+fn shapes() -> Vec<(&'static str, ClusterSpec)> {
+    vec![
+        ("hydra", ClusterSpec::hydra()),
+        ("homogeneous-8", ClusterSpec::homogeneous(8)),
+        ("hydra-mix-2-1-1", ClusterSpec::hydra_mix(2, 1, 1)),
+    ]
+}
+
+/// Full workload suite × 3 cluster shapes: byte-identical decision
+/// traces, identical outcomes, zero audit violations on both paths (the
+/// incremental run also cross-checks its rankings against a rebuild
+/// inside `audit_round` every round).
+#[test]
+fn incremental_path_is_decision_identical_across_suite() {
+    for (shape, cluster) in shapes() {
+        for w in Workload::ALL {
+            let (inc, obs_inc) =
+                run_workload_observed(&cluster, w, &Sched::Rupam, 707, &SimOptions::audited());
+            let (reb, obs_reb) = run_workload_observed(
+                &cluster,
+                w,
+                &rebuild_reference(),
+                707,
+                &SimOptions::audited(),
+            );
+            assert!(
+                obs_inc.violations.is_empty(),
+                "{shape}/{w:?} incremental: {:?}",
+                obs_inc.violations
+            );
+            assert!(
+                obs_reb.violations.is_empty(),
+                "{shape}/{w:?} rebuild: {:?}",
+                obs_reb.violations
+            );
+            assert_eq!(
+                obs_inc.trace.as_ref().unwrap().digest(),
+                obs_reb.trace.as_ref().unwrap().digest(),
+                "{shape}/{w:?}: decision traces diverged"
+            );
+            assert_eq!(
+                inc.makespan, reb.makespan,
+                "{shape}/{w:?}: makespan drifted"
+            );
+            assert_eq!(inc.records.len(), reb.records.len());
+            assert_eq!(inc.oom_failures, reb.oom_failures);
+            assert_eq!(inc.speculative_launched, reb.speculative_launched);
+        }
+    }
+}
+
+/// The multi-tenant stream (merged applications, cross-job DB reuse,
+/// thousands of rounds) is the configuration the optimisation targets —
+/// it must stay decision-identical too.
+#[test]
+fn incremental_stream_is_decision_identical() {
+    let cluster = ClusterSpec::hydra();
+    let stream = build_stream(&cluster, &TENANTS, MEAN_GAP_SECS, 909);
+    let (inc, obs_inc) = run_stream_observed(
+        &cluster,
+        &stream,
+        &Sched::Rupam,
+        909,
+        &SimOptions::audited(),
+    );
+    let (reb, obs_reb) = run_stream_observed(
+        &cluster,
+        &stream,
+        &rebuild_reference(),
+        909,
+        &SimOptions::audited(),
+    );
+    assert!(obs_inc.violations.is_empty(), "{:?}", obs_inc.violations);
+    assert!(obs_reb.violations.is_empty(), "{:?}", obs_reb.violations);
+    assert_eq!(
+        obs_inc.trace.as_ref().unwrap().digest(),
+        obs_reb.trace.as_ref().unwrap().digest(),
+        "stream decision traces diverged"
+    );
+    assert_eq!(inc.makespan, reb.makespan);
+    assert_eq!(inc.records.len(), reb.records.len());
+    assert_eq!(
+        inc.jobs.iter().map(|j| j.completed_at).collect::<Vec<_>>(),
+        reb.jobs.iter().map(|j| j.completed_at).collect::<Vec<_>>()
+    );
+}
