@@ -1,7 +1,7 @@
 //! `experiments` — regenerate every table and figure of the RUPAM paper.
 //!
 //! ```text
-//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation|multitenant] [--quick]
+//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation|multitenant|degraded] [--quick]
 //! ```
 //!
 //! `--quick` runs one seed instead of the paper's five (for smoke runs).
@@ -10,7 +10,8 @@ use std::env;
 
 use rupam_bench::harness::{placement_census, run_workload, Sched, SEEDS};
 use rupam_bench::{
-    ablation, breakdown, hardware, locality, motivation, multitenant, overall, utilization,
+    ablation, breakdown, degraded, hardware, locality, motivation, multitenant, overall,
+    utilization,
 };
 use rupam_cluster::ClusterSpec;
 use rupam_workloads::Workload;
@@ -156,6 +157,14 @@ fn main() {
             "  cold-DB JCT penalty: {:+.1}%\n",
             wc.cold_penalty() * 100.0
         );
+    }
+    if run("degraded") {
+        for sc in degraded::scenarios() {
+            println!("  {}: {}", sc.label, sc.what);
+        }
+        let rows = degraded::run(&cluster, Workload::TeraSort, &seeds[..seeds.len().min(3)]);
+        print!("{}", degraded::render(&rows));
+        println!();
     }
     if run("ablation") {
         let rows = ablation::run(&cluster, &seeds[..seeds.len().min(2)]);

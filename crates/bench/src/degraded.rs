@@ -1,0 +1,248 @@
+//! Beyond-paper: scheduler resilience under injected faults.
+//!
+//! The paper only ever evaluates a healthy Hydra — but heterogeneity
+//! awareness matters most when the cluster degrades: RUPAM evicts a
+//! dead node from all five resource rankings, releases best-executor
+//! locks pointing at it, and relocates work off suspect nodes, while
+//! locality-only baselines keep steering tasks at the hole. This module
+//! replays the same workload under canned chaos scripts
+//! ([`scenarios`]) for RUPAM, stock Spark and the FIFO floor, and
+//! reports makespan and mean JCT per scenario.
+//!
+//! [`rupam_resilience`] distils the same runs into dimensionless
+//! healthy/degraded makespan ratios, which `perf::run` folds into the
+//! `BENCH_scheduler.json` regression gate (`degraded_resilience_*`
+//! keys) — simulated time, so the ratios are deterministic and
+//! machine-independent.
+
+use std::fmt::Write as _;
+
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_exec::SimConfig;
+use rupam_faults::FaultScript;
+use rupam_workloads::Workload;
+
+use crate::harness::{repeat_cfg, Repeated, Sched};
+
+/// One canned chaos scenario.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Short label used in tables and gate keys (`crash1`, `flaky2`).
+    pub label: &'static str,
+    /// Human description for the report.
+    pub what: &'static str,
+    /// The chaos script.
+    pub script: FaultScript,
+}
+
+/// The canned scenarios: a healthy control, the ISSUE's 1-node-crash,
+/// and its 2-node-flaky (with a heartbeat dropout layered on the first
+/// flaky node). Node indices assume a ≥ 4-node cluster.
+pub fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario {
+            label: "healthy",
+            what: "no faults (control)",
+            script: FaultScript::empty(),
+        },
+        Scenario {
+            label: "crash1",
+            what: "node 2 crashes at t=5s, restarts 30s later",
+            script: FaultScript::one_node_crash(NodeId(2), 5.0, Some(30.0)),
+        },
+        Scenario {
+            label: "flaky2",
+            what: "nodes 1+3 flaky-OOM (p=0.25/check) for 20s from t=3s, dropout on node 1",
+            script: FaultScript::two_node_flaky(NodeId(1), NodeId(3), 3.0, 20.0, 0.25),
+        },
+    ]
+}
+
+/// One (scheduler, scenario) cell of the experiment.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Scenario label.
+    pub scenario: String,
+    /// Mean makespan, seconds.
+    pub makespan_secs: f64,
+    /// 95 % confidence half-width of the makespan mean.
+    pub ci95: f64,
+    /// Mean job completion time across all completed jobs and runs,
+    /// seconds (0.0 if nothing completed).
+    pub jct_secs: f64,
+    /// Runs (out of the seeds given) that completed all work.
+    pub completed: usize,
+    /// Seeds attempted.
+    pub runs: usize,
+}
+
+/// One scheduler's row across all scenarios.
+#[derive(Clone, Debug)]
+pub struct DegradedRow {
+    /// Scheduler label (`RUPAM`, `Spark`, `FIFO`).
+    pub sched: String,
+    /// One cell per scenario, in [`scenarios`] order.
+    pub cells: Vec<Cell>,
+}
+
+fn mean_jct_secs(rep: &Repeated) -> f64 {
+    let jcts: Vec<f64> = rep
+        .reports
+        .iter()
+        .flat_map(|r| r.jobs.iter())
+        .filter_map(|j| j.jct())
+        .map(|d| d.as_secs_f64())
+        .collect();
+    rupam_simcore::stats::mean(&jcts)
+}
+
+fn run_cell(
+    cluster: &ClusterSpec,
+    w: Workload,
+    sched: &Sched,
+    seeds: &[u64],
+    scenario: &Scenario,
+) -> Cell {
+    let config = SimConfig::with_faults(scenario.script.clone());
+    let rep = repeat_cfg(cluster, w, sched, seeds, &config);
+    Cell {
+        scenario: scenario.label.to_string(),
+        makespan_secs: rep.mean(),
+        ci95: rep.ci95(),
+        jct_secs: mean_jct_secs(&rep),
+        completed: rep.reports.iter().filter(|r| r.completed).count(),
+        runs: seeds.len(),
+    }
+}
+
+/// Run the full experiment: each scheduler × each scenario × each seed.
+pub fn run(cluster: &ClusterSpec, w: Workload, seeds: &[u64]) -> Vec<DegradedRow> {
+    let scheds = [Sched::Rupam, Sched::Spark, Sched::Fifo];
+    let scenarios = scenarios();
+    scheds
+        .iter()
+        .map(|sched| DegradedRow {
+            sched: sched.label(),
+            cells: scenarios
+                .iter()
+                .map(|sc| run_cell(cluster, w, sched, seeds, sc))
+                .collect(),
+        })
+        .collect()
+}
+
+/// RUPAM's resilience ratio per degraded scenario: healthy mean
+/// makespan over degraded mean makespan (1.0 = no slowdown at all;
+/// 0.5 = the faults doubled the makespan). Returns
+/// `(scenario label, ratio)` for every non-control scenario, skipping
+/// any whose runs produced no makespans.
+pub fn rupam_resilience(cluster: &ClusterSpec, w: Workload, seeds: &[u64]) -> Vec<(String, f64)> {
+    let scenarios = scenarios();
+    let cells: Vec<Cell> = scenarios
+        .iter()
+        .map(|sc| run_cell(cluster, w, &Sched::Rupam, seeds, sc))
+        .collect();
+    let Some(healthy) = cells
+        .iter()
+        .find(|c| c.scenario == "healthy")
+        .map(|c| c.makespan_secs)
+    else {
+        return Vec::new();
+    };
+    cells
+        .iter()
+        .filter(|c| c.scenario != "healthy" && c.makespan_secs > 0.0)
+        .map(|c| (c.scenario.clone(), healthy / c.makespan_secs))
+        .collect()
+}
+
+/// Render the experiment as a markdown table (one row per scheduler ×
+/// scenario) plus per-scenario slowdown ratios vs each scheduler's own
+/// healthy control.
+pub fn render(rows: &[DegradedRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "| scheduler | scenario | makespan (s) | ±95% | mean JCT (s) | slowdown | completed |"
+    );
+    let _ = writeln!(out, "|---|---|---|---|---|---|---|");
+    for row in rows {
+        let healthy = row
+            .cells
+            .iter()
+            .find(|c| c.scenario == "healthy")
+            .map(|c| c.makespan_secs)
+            .unwrap_or(0.0);
+        for c in &row.cells {
+            let slowdown = if healthy > 0.0 {
+                format!("{:.2}x", c.makespan_secs / healthy)
+            } else {
+                "-".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {:.1} | {:.1} | {:.1} | {} | {}/{} |",
+                row.sched,
+                c.scenario,
+                c.makespan_secs,
+                c.ci95,
+                c.jct_secs,
+                slowdown,
+                c.completed,
+                c.runs
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_have_unique_labels_and_one_control() {
+        let sc = scenarios();
+        let labels: Vec<_> = sc.iter().map(|s| s.label).collect();
+        let mut dedup = labels.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+        assert_eq!(sc.iter().filter(|s| s.script.is_empty()).count(), 1);
+    }
+
+    #[test]
+    fn degraded_runs_complete_and_slow_down() {
+        let cluster = ClusterSpec::hydra();
+        let rows = run(&cluster, Workload::TeraSort, &[42]);
+        assert_eq!(rows.len(), 3);
+        for row in &rows {
+            assert_eq!(row.cells.len(), 3);
+            for c in &row.cells {
+                assert_eq!(
+                    c.completed, c.runs,
+                    "{} {} lost work",
+                    row.sched, c.scenario
+                );
+                assert!(c.makespan_secs > 0.0);
+            }
+        }
+        let table = render(&rows);
+        assert!(table.contains("crash1") && table.contains("RUPAM"));
+    }
+
+    #[test]
+    fn resilience_ratios_are_deterministic_and_bounded() {
+        let cluster = ClusterSpec::hydra();
+        let a = rupam_resilience(&cluster, Workload::TeraSort, &[42]);
+        let b = rupam_resilience(&cluster, Workload::TeraSort, &[42]);
+        assert_eq!(a, b, "simulated ratios must be reproducible");
+        assert_eq!(a.len(), 2);
+        for (label, ratio) in &a {
+            assert!(
+                *ratio > 0.0 && *ratio <= 1.0 + 1e-9,
+                "{label}: faults cannot speed a run up ({ratio})"
+            );
+        }
+    }
+}

@@ -70,12 +70,24 @@ pub fn run_app(
     sched: &Sched,
     seed: u64,
 ) -> RunReport {
-    let config = SimConfig::default();
+    run_app_cfg(cluster, app, layout, sched, seed, &SimConfig::default())
+}
+
+/// Like [`run_app`], but with an explicit engine configuration (fault
+/// scripts, admission-control knobs, …).
+pub fn run_app_cfg(
+    cluster: &ClusterSpec,
+    app: &Application,
+    layout: &DataLayout,
+    sched: &Sched,
+    seed: u64,
+    config: &SimConfig,
+) -> RunReport {
     let input = SimInput {
         cluster,
         app,
         layout,
-        config: &config,
+        config,
         seed,
     };
     let mut scheduler = sched.make();
@@ -84,8 +96,19 @@ pub fn run_app(
 
 /// Build (with the seed-derived generator) and run one suite workload.
 pub fn run_workload(cluster: &ClusterSpec, w: Workload, sched: &Sched, seed: u64) -> RunReport {
+    run_workload_cfg(cluster, w, sched, seed, &SimConfig::default())
+}
+
+/// Like [`run_workload`], but with an explicit engine configuration.
+pub fn run_workload_cfg(
+    cluster: &ClusterSpec,
+    w: Workload,
+    sched: &Sched,
+    seed: u64,
+    config: &SimConfig,
+) -> RunReport {
     let (app, layout) = w.build(cluster, &RngFactory::new(seed));
-    run_app(cluster, &app, &layout, sched, seed)
+    run_app_cfg(cluster, &app, &layout, sched, seed, config)
 }
 
 /// Like [`run_app`], but with decision tracing / invariant auditing.
@@ -97,12 +120,33 @@ pub fn run_app_observed(
     seed: u64,
     opts: &SimOptions,
 ) -> (RunReport, SimObservation) {
-    let config = SimConfig::default();
+    run_app_observed_cfg(
+        cluster,
+        app,
+        layout,
+        sched,
+        seed,
+        opts,
+        &SimConfig::default(),
+    )
+}
+
+/// Like [`run_app_observed`], but with an explicit engine configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn run_app_observed_cfg(
+    cluster: &ClusterSpec,
+    app: &Application,
+    layout: &DataLayout,
+    sched: &Sched,
+    seed: u64,
+    opts: &SimOptions,
+    config: &SimConfig,
+) -> (RunReport, SimObservation) {
     let input = SimInput {
         cluster,
         app,
         layout,
-        config: &config,
+        config,
         seed,
     };
     let mut scheduler = sched.make();
@@ -116,11 +160,21 @@ pub fn run_stream(
     sched: &Sched,
     seed: u64,
 ) -> RunReport {
-    let config = SimConfig::default();
+    run_stream_cfg(cluster, stream, sched, seed, &SimConfig::default())
+}
+
+/// Like [`run_stream`], but with an explicit engine configuration.
+pub fn run_stream_cfg(
+    cluster: &ClusterSpec,
+    stream: &MergedStream,
+    sched: &Sched,
+    seed: u64,
+    config: &SimConfig,
+) -> RunReport {
     let input = StreamInput {
         cluster,
         stream,
-        config: &config,
+        config,
         seed,
     };
     let mut scheduler = sched.make();
@@ -135,11 +189,23 @@ pub fn run_stream_observed(
     seed: u64,
     opts: &SimOptions,
 ) -> (RunReport, SimObservation) {
-    let config = SimConfig::default();
+    run_stream_observed_cfg(cluster, stream, sched, seed, opts, &SimConfig::default())
+}
+
+/// Like [`run_stream_observed`], but with an explicit engine
+/// configuration.
+pub fn run_stream_observed_cfg(
+    cluster: &ClusterSpec,
+    stream: &MergedStream,
+    sched: &Sched,
+    seed: u64,
+    opts: &SimOptions,
+    config: &SimConfig,
+) -> (RunReport, SimObservation) {
     let input = StreamInput {
         cluster,
         stream,
-        config: &config,
+        config,
         seed,
     };
     let mut scheduler = sched.make();
@@ -154,8 +220,21 @@ pub fn run_workload_observed(
     seed: u64,
     opts: &SimOptions,
 ) -> (RunReport, SimObservation) {
+    run_workload_observed_cfg(cluster, w, sched, seed, opts, &SimConfig::default())
+}
+
+/// Like [`run_workload_observed`], but with an explicit engine
+/// configuration.
+pub fn run_workload_observed_cfg(
+    cluster: &ClusterSpec,
+    w: Workload,
+    sched: &Sched,
+    seed: u64,
+    opts: &SimOptions,
+    config: &SimConfig,
+) -> (RunReport, SimObservation) {
     let (app, layout) = w.build(cluster, &RngFactory::new(seed));
-    run_app_observed(cluster, &app, &layout, sched, seed, opts)
+    run_app_observed_cfg(cluster, &app, &layout, sched, seed, opts, config)
 }
 
 /// Summary of repeated runs.
@@ -196,16 +275,30 @@ impl Repeated {
 
 /// Run a workload once per seed, in parallel threads.
 pub fn repeat(cluster: &ClusterSpec, w: Workload, sched: &Sched, seeds: &[u64]) -> Repeated {
+    repeat_cfg(cluster, w, sched, seeds, &SimConfig::default())
+}
+
+/// Like [`repeat`], but with an explicit engine configuration. All
+/// reducers downstream of this ([`Repeated::mean`], [`Repeated::ci95`],
+/// [`Repeated::first`]) are total: a degraded run whose worker thread
+/// aborted contributes nothing rather than poisoning the summary.
+pub fn repeat_cfg(
+    cluster: &ClusterSpec,
+    w: Workload,
+    sched: &Sched,
+    seeds: &[u64],
+    config: &SimConfig,
+) -> Repeated {
     let mut reports: Vec<Option<RunReport>> = (0..seeds.len()).map(|_| None).collect();
     std::thread::scope(|scope| {
         for (slot, &seed) in reports.iter_mut().zip(seeds.iter()) {
             let sched = sched.clone();
             scope.spawn(move || {
-                *slot = Some(run_workload(cluster, w, &sched, seed));
+                *slot = Some(run_workload_cfg(cluster, w, &sched, seed, config));
             });
         }
     });
-    let reports: Vec<RunReport> = reports.into_iter().map(|r| r.unwrap()).collect();
+    let reports: Vec<RunReport> = reports.into_iter().flatten().collect();
     let secs = reports.iter().map(|r| r.makespan.as_secs_f64()).collect();
     Repeated { secs, reports }
 }

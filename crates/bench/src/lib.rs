@@ -17,11 +17,13 @@
 //! | [`perf`] | wall-clock scheduler microbenchmarks (`BENCH_scheduler.json`) |
 //! | [`sensitivity`] | beyond-paper: RUPAM gain vs degree of cluster heterogeneity |
 //! | [`multitenant`] | beyond-paper: online multi-tenant stream, JCTs, warm-vs-cold DB |
+//! | [`degraded`] | beyond-paper: resilience under injected faults (chaos scripts) |
 
 #![warn(missing_docs)]
 
 pub mod ablation;
 pub mod breakdown;
+pub mod degraded;
 pub mod hardware;
 pub mod harness;
 pub mod locality;
@@ -33,6 +35,7 @@ pub mod sensitivity;
 pub mod utilization;
 
 pub use harness::{
-    placement_census, run_app, run_app_observed, run_stream, run_stream_observed, run_workload,
-    run_workload_observed, Repeated, Sched, SEEDS,
+    placement_census, run_app, run_app_cfg, run_app_observed, run_app_observed_cfg, run_stream,
+    run_stream_cfg, run_stream_observed, run_stream_observed_cfg, run_workload, run_workload_cfg,
+    run_workload_observed, run_workload_observed_cfg, Repeated, Sched, SEEDS,
 };

@@ -172,6 +172,10 @@ pub struct PerfReport {
     pub clusters: Vec<ClusterResult>,
     /// Sharded-store read throughput.
     pub db: DbThroughput,
+    /// RUPAM resilience ratios per chaos scenario: healthy over
+    /// degraded mean makespan (simulated time — deterministic, so
+    /// gate-able across machines). `(scenario label, ratio)`.
+    pub degraded: Vec<(String, f64)>,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -319,7 +323,17 @@ pub fn run(quick: bool) -> PerfReport {
     let db_ops = if quick { 200_000 } else { 1_000_000 };
     eprintln!("perf: DB lookup throughput ({db_ops} ops) …");
     let db = bench_db(db_ops);
-    PerfReport { clusters, db }
+    eprintln!("perf: degraded resilience (chaos scenarios) …");
+    let degraded = crate::degraded::rupam_resilience(
+        &ClusterSpec::hydra(),
+        rupam_workloads::Workload::TeraSort,
+        &[42],
+    );
+    PerfReport {
+        clusters,
+        db,
+        degraded,
+    }
 }
 
 /// Render the report as the committed `BENCH_scheduler.json` document.
@@ -368,6 +382,9 @@ pub fn to_json(r: &PerfReport) -> String {
         );
         let _ = writeln!(s, "    \"speedup_{}\": {:.3},", c.label, c.speedup());
     }
+    for (label, ratio) in &r.degraded {
+        let _ = writeln!(s, "    \"degraded_resilience_{label}\": {ratio:.3},");
+    }
     let _ = writeln!(
         s,
         "    \"db_4t_over_1t\": {:.3}",
@@ -391,7 +408,7 @@ pub fn extract_number(json: &str, key: &str) -> Option<f64> {
 }
 
 /// The gate keys present in a report document (everything under
-/// `"gate"` whose name starts with `speedup_` or `db_`).
+/// `"gate"` whose name starts with `speedup_`, `db_` or `degraded_`).
 pub fn gate_keys(json: &str) -> Vec<String> {
     let Some(gate) = json.find("\"gate\"") else {
         return Vec::new();
@@ -399,7 +416,10 @@ pub fn gate_keys(json: &str) -> Vec<String> {
     json[gate..]
         .split('"')
         .filter(|k| {
-            k.starts_with("speedup_") || k.starts_with("offer_speedup_") || k.starts_with("db_")
+            k.starts_with("speedup_")
+                || k.starts_with("offer_speedup_")
+                || k.starts_with("db_")
+                || k.starts_with("degraded_")
         })
         .map(|k| k.to_string())
         .collect()
@@ -489,10 +509,16 @@ mod tests {
                 ops_per_sec_1t: 1e6,
                 ops_per_sec_4t: 3e6,
             },
+            degraded: vec![("crash1".into(), 0.875)],
         };
         let json = to_json(&r);
         assert_eq!(extract_number(&json, "speedup_hydra12"), Some(2.5));
         assert_eq!(extract_number(&json, "offer_speedup_hydra12"), Some(3.0));
         assert_eq!(extract_number(&json, "lookup_ops_per_sec_1t"), Some(1e6));
+        assert_eq!(
+            extract_number(&json, "degraded_resilience_crash1"),
+            Some(0.875)
+        );
+        assert!(gate_keys(&json).contains(&"degraded_resilience_crash1".to_string()));
     }
 }

@@ -342,6 +342,9 @@ mod tests {
             disk_util: 0.0,
             gpus_idle: 0,
             blocked: false,
+            heartbeat_age: SimDuration::ZERO,
+            dead: false,
+            suspect: false,
         }
     }
 

@@ -160,6 +160,20 @@ impl<'a> Dispatcher<'a> {
         }
     }
 
+    /// A best-executor lock is only honoured while its target is alive:
+    /// a lock pointing at a node the failure detector declared dead is
+    /// released (and its memory-veto override with it) until the node is
+    /// re-admitted and re-earns the lock.
+    fn live_lock(&self, locked: Option<NodeId>) -> Option<NodeId> {
+        locked.filter(|n| {
+            self.input
+                .nodes
+                .get(n.index())
+                .map(|v| !v.dead)
+                .unwrap_or(false)
+        })
+    }
+
     /// One memoised DB round-trip: `(peak estimate, best-executor lock)`.
     fn cached_char(&self, tm: &TaskManager, view: &PendingTaskView) -> (ByteSize, Option<NodeId>) {
         let task = view.task;
@@ -168,13 +182,13 @@ impl<'a> Dispatcher<'a> {
             return (peak, locked);
         }
         let char = tm.lookup(view);
-        let locked = char.as_ref().and_then(|c| {
+        let locked = self.live_lock(char.as_ref().and_then(|c| {
             if c.history_size() == ResourceKind::COUNT {
                 c.best.map(|(n, _)| n)
             } else {
                 None
             }
-        });
+        }));
         let peak = if view.peak_mem_hint > ByteSize::ZERO {
             view.peak_mem_hint
         } else {
@@ -211,13 +225,13 @@ impl<'a> Dispatcher<'a> {
         if self.incremental {
             return self.cached_char(tm, view).1;
         }
-        tm.lookup(view).and_then(|c| {
+        self.live_lock(tm.lookup(view).and_then(|c| {
             if c.history_size() == ResourceKind::COUNT {
                 c.best.map(|(n, _)| n)
             } else {
                 None
             }
-        })
+        }))
     }
 
     fn free_mem_after_claims(&self, node: NodeId) -> ByteSize {
@@ -598,6 +612,9 @@ mod tests {
                 disk_util: 0.0,
                 gpus_idle: spec.gpus,
                 blocked: false,
+                heartbeat_age: rupam_simcore::time::SimDuration::ZERO,
+                dead: false,
+                suspect: false,
             })
             .collect()
     }

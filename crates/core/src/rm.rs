@@ -328,6 +328,9 @@ mod tests {
                 disk_util: 0.0,
                 gpus_idle: spec.gpus,
                 blocked: false,
+                heartbeat_age: rupam_simcore::time::SimDuration::ZERO,
+                dead: false,
+                suspect: false,
             })
             .collect()
     }

@@ -278,6 +278,9 @@ impl Scheduler for RupamScheduler {
                 if input.nodes[n.index()].blocked {
                     findings.push(format!("{kind:?} queue holds blocked node {n:?}"));
                 }
+                if input.nodes[n.index()].dead {
+                    findings.push(format!("{kind:?} queue holds dead node {n:?}"));
+                }
                 if !input.cluster.node(n).has_resource(kind) {
                     findings.push(format!("{kind:?} queue holds {n:?} with zero capability"));
                 }

@@ -160,7 +160,11 @@ pub fn resource_straggler_candidates(
 ) -> Vec<(TaskRef, NodeId)> {
     let mut out = Vec::new();
     for view in &input.nodes {
-        let contended = view.cpu_util > 0.9 || view.net_util > 0.9 || view.disk_util > 0.9;
+        // a node the failure detector marked Suspect counts as contended:
+        // its heartbeats are stale, so anything running there is a
+        // relocation candidate before the node is declared dead outright
+        let contended =
+            view.cpu_util > 0.9 || view.net_util > 0.9 || view.disk_util > 0.9 || view.suspect;
         if !contended {
             continue;
         }
@@ -251,6 +255,9 @@ mod tests {
                 disk_util: 0.0,
                 gpus_idle: spec.gpus,
                 blocked: false,
+                heartbeat_age: SimDuration::ZERO,
+                dead: false,
+                suspect: false,
             })
             .collect()
     }

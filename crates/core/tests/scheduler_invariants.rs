@@ -78,6 +78,9 @@ fn node_views(cluster: &ClusterSpec, busy: &[usize]) -> Vec<NodeView> {
                 disk_util: 0.0,
                 gpus_idle: spec.gpus,
                 blocked: false,
+                heartbeat_age: rupam_simcore::SimDuration::ZERO,
+                dead: false,
+                suspect: false,
             }
         })
         .collect()

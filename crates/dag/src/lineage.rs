@@ -170,6 +170,36 @@ impl StageTracker {
         self.take_ready(app)
     }
 
+    /// Un-finish one previously finished task of `stage` (its output was
+    /// lost with a dead node and must be recomputed from lineage).
+    /// Returns `false` — and changes nothing — when the recompute is
+    /// pointless: the stage was never released, or its chain has already
+    /// run past the owning job (nothing downstream can read the output
+    /// any more). When the stage had been complete, its children are
+    /// re-blocked and the chain's stage count is restored, so the
+    /// recomputed task re-unblocks them exactly like the original did.
+    pub fn task_lost(&mut self, app: &Application, stage: StageId) -> bool {
+        let i = stage.index();
+        if !self.released[i] {
+            return false;
+        }
+        let job = app.stage(stage).job.index();
+        let chain = &mut self.chains[self.chain_of_job[job]];
+        if chain.done() || chain.active_job != job {
+            return false;
+        }
+        if self.remaining[i] == 0 {
+            chain.stages_left_in_job += 1;
+            for s in &app.stages {
+                if s.parents.contains(&stage) {
+                    self.waiting_parents[s.id.index()] += 1;
+                }
+            }
+        }
+        self.remaining[i] += 1;
+        true
+    }
+
     /// True when every chain has completed. An unarrived chain is not
     /// complete: the run must keep waiting for its submission.
     pub fn all_done(&self, _app: &Application) -> bool {
@@ -423,6 +453,51 @@ mod tests {
     fn overlapping_chains_rejected() {
         let app = n_single_stage_jobs(2);
         StageTracker::new_stream(&app, &[0..2, 1..2]);
+    }
+
+    #[test]
+    fn task_lost_reblocks_children_of_a_complete_stage() {
+        let app = simple_app();
+        let mut tr = StageTracker::new(&app);
+        tr.take_ready(&app);
+        for _ in 0..3 {
+            tr.task_finished(&app, StageId(0));
+        }
+        // the reduce stage is released; now a map output is lost
+        assert!(tr.is_released(StageId(1)));
+        assert!(tr.task_lost(&app, StageId(0)));
+        assert_eq!(tr.remaining_in(StageId(0)), 1);
+        // re-finishing the recomputed task must not re-release the child
+        // (it is already released) but must rebalance the books exactly
+        let ready = tr.task_finished(&app, StageId(0));
+        assert!(ready.is_empty(), "child already released: {ready:?}");
+        assert!(!tr.all_done(&app));
+        tr.task_finished(&app, StageId(1));
+        tr.task_finished(&app, StageId(1));
+        assert!(tr.all_done(&app));
+    }
+
+    #[test]
+    fn task_lost_in_incomplete_stage_just_bumps_remaining() {
+        let app = simple_app();
+        let mut tr = StageTracker::new(&app);
+        tr.take_ready(&app);
+        tr.task_finished(&app, StageId(0));
+        assert!(tr.task_lost(&app, StageId(0)));
+        assert_eq!(tr.remaining_in(StageId(0)), 3);
+    }
+
+    #[test]
+    fn task_lost_refuses_unreleased_and_passed_stages() {
+        let app = n_single_stage_jobs(2);
+        let mut tr = StageTracker::new(&app);
+        // job 1's stage not yet released
+        assert!(!tr.task_lost(&app, StageId(1)));
+        tr.take_ready(&app);
+        tr.task_finished(&app, StageId(0));
+        // the chain has advanced to job 1: job 0's output is history
+        assert!(!tr.task_lost(&app, StageId(0)));
+        assert_eq!(tr.remaining_in(StageId(0)), 0);
     }
 
     #[test]

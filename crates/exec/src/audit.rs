@@ -78,6 +78,23 @@ impl InvariantAuditor {
         &self.violations
     }
 
+    /// Record a violation found outside the per-round checks — e.g. the
+    /// engine's end-of-run recovery sweep, which flags fault-killed
+    /// tasks that were never re-run to completion. Honours
+    /// `panic_on_violation` like [`check_round`].
+    ///
+    /// [`check_round`]: InvariantAuditor::check_round
+    pub fn record_violation(&mut self, round: u64, check: &'static str, detail: String) {
+        if self.cfg.panic_on_violation {
+            panic!("invariant violation in round {round}: [{check}] {detail}");
+        }
+        self.violations.push(Violation {
+            round,
+            check,
+            detail,
+        });
+    }
+
     /// Audit one round: `commands` as returned by the scheduler for
     /// `input`, plus any `scheduler_findings` from
     /// [`Scheduler::audit_round`]. Returns the violations found in *this*
@@ -105,6 +122,7 @@ impl InvariantAuditor {
         self.check_double_launch(round, input, commands, &mut found);
         self.check_overcommit_cap(round, input, commands, &mut found);
         self.check_arrival_time(round, input, commands, &mut found);
+        self.check_dead_node_launch(round, input, commands, &mut found);
 
         if self.cfg.panic_on_violation {
             if let Some(v) = found.first() {
@@ -290,6 +308,45 @@ impl InvariantAuditor {
         }
     }
 
+    /// No launch — speculative or not — may target a node the failure
+    /// detector has declared dead: the engine drops such launches, and a
+    /// scheduler issuing one is acting on a stale or corrupted ranking
+    /// (a dead node must have been evicted from every queue).
+    fn check_dead_node_launch(
+        &self,
+        round: u64,
+        input: &OfferInput<'_>,
+        commands: &[Command],
+        out: &mut Vec<Violation>,
+    ) {
+        for cmd in commands {
+            let Command::Launch {
+                task, node, reason, ..
+            } = cmd
+            else {
+                continue;
+            };
+            if input
+                .nodes
+                .get(node.index())
+                .map(|n| n.dead)
+                .unwrap_or(false)
+            {
+                out.push(Violation {
+                    round,
+                    check: "dead-node-launch",
+                    detail: format!(
+                        "launch of {:?} on {:?} ({}) targets a node the failure \
+                         detector has declared dead",
+                        task,
+                        node,
+                        reason.code()
+                    ),
+                });
+            }
+        }
+    }
+
     /// Per node: non-speculative attempts already running plus this
     /// round's non-speculative launches must stay within
     /// `ceil(cores × overcommit_factor)`. Launches aimed at blocked nodes
@@ -383,6 +440,9 @@ mod tests {
             disk_util: 0.0,
             gpus_idle: 0,
             blocked: false,
+            heartbeat_age: rupam_simcore::time::SimDuration::ZERO,
+            dead: false,
+            suspect: false,
         }
     }
 
@@ -555,6 +615,40 @@ mod tests {
         let found = aud.check_round(1, &input, &cmds, vec![]);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].check, "overcommit-cap");
+    }
+
+    #[test]
+    fn flags_launch_on_dead_node() {
+        let (cluster, app) = tiny_fixture();
+        let t = TaskRef {
+            stage: StageId(0),
+            index: 0,
+        };
+        let mut dead = node_view(0, 4096);
+        dead.dead = true;
+        dead.blocked = true;
+        let input = offer(&cluster, &app, vec![dead], vec![pending(t, 100)]);
+        let mut aud = InvariantAuditor::new(AuditConfig::default());
+        let found = aud.check_round(1, &input, &[launch(t, 0, LaunchReason::FifoSlot)], vec![]);
+        let codes: Vec<_> = found.iter().map(|v| v.check).collect();
+        assert!(codes.contains(&"dead-node-launch"), "{codes:?}");
+    }
+
+    #[test]
+    fn record_violation_collects_and_panics_like_check_round() {
+        let mut aud = InvariantAuditor::new(AuditConfig::default());
+        aud.record_violation(7, "lost-task", "task never re-ran".into());
+        assert_eq!(aud.violations().len(), 1);
+        assert_eq!(aud.violations()[0].check, "lost-task");
+        assert_eq!(aud.violations()[0].round, 7);
+        let result = std::panic::catch_unwind(|| {
+            let mut aud = InvariantAuditor::new(AuditConfig {
+                panic_on_violation: true,
+                ..AuditConfig::default()
+            });
+            aud.record_violation(1, "lost-task", "boom".into());
+        });
+        assert!(result.is_err(), "panic_on_violation must be honoured");
     }
 
     #[test]

@@ -115,6 +115,23 @@ pub struct SimConfig {
     pub mem: MemConfig,
     /// Extra knobs.
     pub engine: EngineConfig,
+    /// Fault injection: chaos script + failure-detector thresholds. The
+    /// default (empty script) disables the whole subsystem.
+    pub faults: rupam_faults::FaultsConfig,
+}
+
+impl SimConfig {
+    /// A config running the given chaos script with default detector
+    /// thresholds.
+    pub fn with_faults(script: rupam_faults::FaultScript) -> Self {
+        SimConfig {
+            faults: rupam_faults::FaultsConfig {
+                script,
+                ..rupam_faults::FaultsConfig::default()
+            },
+            ..SimConfig::default()
+        }
+    }
 }
 
 /// Engine cadence knobs.

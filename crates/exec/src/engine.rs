@@ -30,9 +30,10 @@ use rupam_dag::lineage::StageTracker;
 use rupam_dag::stream::MergedStream;
 use rupam_dag::task::{CacheKey, InputSource, TaskTemplate};
 use rupam_dag::{Locality, TaskRef};
+use rupam_faults::{FailureDetector, FaultKind, NodeHealth};
 use rupam_metrics::breakdown::TaskBreakdown;
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
-use rupam_metrics::report::{JobOutcome, RunReport};
+use rupam_metrics::report::{FaultSummary, JobOutcome, RunReport};
 use rupam_metrics::trace::{
     AbortCause, LaunchReason, TraceBuffer, TraceEvent, TraceEventKind, DEFAULT_TRACE_CAPACITY,
 };
@@ -126,6 +127,9 @@ enum Event {
     OomCheck { node: NodeId, epoch: u64 },
     ExecutorRestored { node: NodeId },
     JobSubmitted { job: JobId },
+    Fault { index: usize },
+    SlowdownEnd { node: NodeId, epoch: u64 },
+    FlakyCheck { node: NodeId, epoch: u64 },
 }
 
 type AttemptId = usize;
@@ -161,6 +165,22 @@ struct NodeRt {
     oom_epoch: u64,
     oom_scheduled: bool,
     last_metrics: NodeMetrics,
+    // ---- fault-subsystem state (inert on healthy runs) ----
+    /// Physically down: heartbeats stop, launches are dropped.
+    crashed: bool,
+    /// Service-rate divisor while a scripted slowdown is active (1.0 =
+    /// full speed).
+    slow_factor: f64,
+    /// Guards stale [`Event::SlowdownEnd`] events.
+    slow_epoch: u64,
+    /// Guards stale [`Event::FlakyCheck`] events.
+    flaky_epoch: u64,
+    /// Heartbeats are suppressed (network partition) until this instant.
+    hb_dropout_until: SimTime,
+    /// End of the active flaky-OOM window.
+    flaky_until: SimTime,
+    /// Per-check kill probability inside the flaky-OOM window.
+    flaky_prob: f64,
 }
 
 /// Runtime state of one stream job (single-app runs have exactly one).
@@ -183,6 +203,10 @@ struct StageRt {
     finished_secs: Vec<f64>,
     map_out_per_node: Vec<f64>,
     map_out_total: f64,
+    /// Per task: node and attempt number of the winning (completed)
+    /// copy, so that losing a node tells us exactly which finished map
+    /// outputs died with it (lineage-driven recompute).
+    winners: Vec<Option<(NodeId, u32)>>,
 }
 
 struct Sim<'a, 's> {
@@ -201,6 +225,16 @@ struct Sim<'a, 's> {
     spec_set: SpeculationSet,
     observed_peak: HashMap<(StageId, usize), ByteSize>,
     rng_fail: StdRng,
+    /// Fault-subsystem draws (flaky-OOM coin flips) come from their own
+    /// stream so healthy-path draws from `rng_fail` are untouched.
+    rng_faults: StdRng,
+    /// The RM's heartbeat failure detector; `None` unless the run has a
+    /// non-empty chaos script (strict no-op guarantee).
+    detector: Option<FailureDetector>,
+    /// Tasks killed by node faults (or re-pended by lineage recompute)
+    /// that have not yet been re-run to completion, with the kill time.
+    kill_pending: HashMap<TaskRef, SimTime>,
+    faults: FaultSummary,
     oom_failures: usize,
     executor_losses: usize,
     speculative_launched: usize,
@@ -283,6 +317,13 @@ fn run_sim(
                     gpus_idle: spec.gpus,
                     ..NodeMetrics::default()
                 },
+                crashed: false,
+                slow_factor: 1.0,
+                slow_epoch: 0,
+                flaky_epoch: 0,
+                hb_dropout_until: SimTime::ZERO,
+                flaky_until: SimTime::ZERO,
+                flaky_prob: 0.0,
             }
         })
         .collect();
@@ -297,6 +338,7 @@ fn run_sim(
             finished_secs: Vec::new(),
             map_out_per_node: vec![0.0; cluster.len()],
             map_out_total: 0.0,
+            winners: vec![None; s.num_tasks()],
         })
         .collect();
 
@@ -344,6 +386,11 @@ fn run_sim(
         spec_set: SpeculationSet::new(),
         observed_peak: HashMap::new(),
         rng_fail: RngFactory::new(input.seed).stream("engine/failures"),
+        rng_faults: RngFactory::new(input.seed).stream("engine/faults"),
+        detector: (!cfg.faults.script.is_empty())
+            .then(|| FailureDetector::new(cluster.len(), &cfg.faults, SimTime::ZERO)),
+        kill_pending: HashMap::new(),
+        faults: FaultSummary::default(),
         oom_failures: 0,
         executor_losses: 0,
         speculative_launched: 0,
@@ -370,6 +417,25 @@ fn run_sim(
     }
     sim.run();
 
+    // recovery invariant: every fault-killed task and lineage re-pend
+    // must have been re-run to completion by the end of a completed run;
+    // leftovers are permanently lost tasks.
+    if !sim.aborted && !sim.kill_pending.is_empty() {
+        let mut lost: Vec<(TaskRef, SimTime)> =
+            sim.kill_pending.iter().map(|(&t, &at)| (t, at)).collect();
+        lost.sort();
+        for (task, killed_at) in lost {
+            let detail = format!("task {task:?} killed at {killed_at} never re-ran to completion");
+            if let Some(a) = sim.auditor.as_mut() {
+                a.record_violation(sim.round, "lost-task", detail.clone());
+            }
+            sim.trace_event(TraceEventKind::AuditViolation {
+                check: "lost-task",
+                detail,
+            });
+        }
+    }
+
     let makespan = sim.now.since(SimTime::ZERO);
     let jobs: Vec<JobOutcome> = sim
         .jobs
@@ -395,6 +461,7 @@ fn run_sim(
         executor_losses: sim.executor_losses,
         speculative_launched: sim.speculative_launched,
         speculative_wins: sim.speculative_wins,
+        faults: sim.faults,
     };
     let observation = SimObservation {
         trace: sim.trace,
@@ -422,6 +489,10 @@ impl<'a, 's> Sim<'a, 's> {
         }
         self.cal
             .schedule(self.now + cfg.engine.heartbeat, Event::Heartbeat);
+        // inject the chaos script (no-op for the empty default)
+        for (i, spec) in cfg.faults.script.events().iter().enumerate() {
+            self.cal.schedule(spec.at, Event::Fault { index: i });
+        }
         if cfg.speculation.enabled {
             self.cal
                 .schedule(self.now + cfg.speculation.interval, Event::SpeculationCheck);
@@ -552,6 +623,12 @@ impl<'a, 's> Sim<'a, 's> {
                     Some(PhaseResource::Wait) => 1.0,
                     None => 0.0,
                 };
+                // scripted slowdowns stretch every phase on the node
+                let rate = if node.slow_factor != 1.0 {
+                    rate / node.slow_factor
+                } else {
+                    rate
+                };
                 debug_assert!(rate > 0.0 || self.attempts[aid].phases.is_empty());
                 self.attempts[aid].rate = rate;
             }
@@ -649,9 +726,13 @@ impl<'a, 's> Sim<'a, 's> {
     fn release_ready_stages(&mut self) {
         let ready = self.tracker.take_ready(self.input.app);
         for sid in ready {
-            self.stages[sid.index()].released = true;
-            self.sched
-                .on_stage_ready(self.input.app.stage(sid), self.now);
+            // a stage re-blocked by lineage recompute can become ready a
+            // second time; schedulers must see on_stage_ready only once
+            if !self.stages[sid.index()].released {
+                self.stages[sid.index()].released = true;
+                self.sched
+                    .on_stage_ready(self.input.app.stage(sid), self.now);
+            }
             self.need_offers = true;
         }
     }
@@ -666,9 +747,9 @@ impl<'a, 's> Sim<'a, 's> {
     }
 
     fn finish_attempt(&mut self, id: AttemptId) {
-        let (task, node_id) = {
+        let (task, node_id, attempt_no) = {
             let a = &self.attempts[id];
-            (a.task, a.node)
+            (a.task, a.node, a.attempt_no)
         };
         self.detach_attempt(id);
         self.observed_peak
@@ -696,6 +777,7 @@ impl<'a, 's> Sim<'a, 's> {
                 stage_rt.map_out_per_node[node_id.index()] += bytes;
                 stage_rt.map_out_total += bytes;
             }
+            stage_rt.winners[task.index] = Some((node_id, attempt_no));
             stage_rt.finished_secs.push(record.duration().as_secs_f64());
             // cache the produced partition
             if template.demand.cached_bytes > ByteSize::ZERO {
@@ -720,14 +802,24 @@ impl<'a, 's> Sim<'a, 's> {
             }
             self.stages[task.stage.index()].tasks[task.index] = TaskState::Done;
             self.spec_set.remove(&task);
+            // a fault-killed (or lineage re-pended) task re-ran to
+            // completion: the recovery is resolved
+            if let Some(killed_at) = self.kill_pending.remove(&task) {
+                self.faults.recoveries += 1;
+                self.faults.recovery_secs_total += self.now.since(killed_at).as_secs_f64();
+            }
             self.sched.on_task_finished(&record, self.now);
             self.records.push(record);
             // stage/job bookkeeping
             let newly_ready = self.tracker.task_finished(self.input.app, task.stage);
             for sid in newly_ready {
-                self.stages[sid.index()].released = true;
-                self.sched
-                    .on_stage_ready(self.input.app.stage(sid), self.now);
+                // skip stages re-completing after a lineage recompute —
+                // schedulers must see on_stage_ready exactly once
+                if !self.stages[sid.index()].released {
+                    self.stages[sid.index()].released = true;
+                    self.sched
+                        .on_stage_ready(self.input.app.stage(sid), self.now);
+                }
             }
             // stream-job completion (chain index == stream job index)
             let job = self.stage_jobs[task.stage.index()];
@@ -850,6 +942,9 @@ impl<'a, 's> Sim<'a, 's> {
         match ev {
             Event::Heartbeat => {
                 self.sched.on_heartbeat(self.now);
+                if self.detector.is_some() {
+                    self.detector_tick();
+                }
                 self.need_offers = true;
                 // livelock guard: pending work, nothing running, nothing
                 // scheduled — the scheduler is refusing every placement.
@@ -900,7 +995,272 @@ impl<'a, 's> Sim<'a, 's> {
                 self.need_offers = true;
             }
             Event::JobSubmitted { job } => self.submit_job(job),
+            Event::Fault { index } => self.apply_fault(index),
+            Event::SlowdownEnd { node, epoch } => {
+                let n = &mut self.nodes[node.index()];
+                if n.slow_epoch == epoch {
+                    n.slow_factor = 1.0;
+                }
+            }
+            Event::FlakyCheck { node, epoch } => self.flaky_check(node, epoch),
         }
+    }
+
+    // ---- faults & recovery ----------------------------------------------
+
+    /// One failure-detector round, driven off the engine heartbeat: feed
+    /// it heartbeats from nodes still emitting them, re-admit dead nodes
+    /// whose heartbeats resumed, then evaluate the timeout thresholds.
+    fn detector_tick(&mut self) {
+        let mut revived: Vec<NodeId> = Vec::new();
+        {
+            let det = self.detector.as_mut().expect("gated by caller");
+            for (i, node) in self.nodes.iter().enumerate() {
+                let heartbeating = !node.crashed && self.now >= node.hb_dropout_until;
+                if !heartbeating {
+                    continue;
+                }
+                let id = NodeId(i);
+                if det.is_dead(id) {
+                    det.revive(id, self.now);
+                    revived.push(id);
+                } else {
+                    det.observe(id, self.now);
+                }
+            }
+        }
+        for id in revived {
+            self.faults.readmissions += 1;
+            self.trace_event(TraceEventKind::NodeRecovered { node: id });
+            self.need_offers = true;
+        }
+        let transitions = self
+            .detector
+            .as_mut()
+            .expect("gated by caller")
+            .evaluate(self.now);
+        for t in transitions {
+            match t.to {
+                NodeHealth::Suspect => {
+                    self.faults.suspects += 1;
+                    self.trace_event(TraceEventKind::NodeSuspect {
+                        node: t.node,
+                        age: t.age,
+                    });
+                }
+                NodeHealth::Dead => {
+                    self.faults.deaths += 1;
+                    self.trace_event(TraceEventKind::NodeDead {
+                        node: t.node,
+                        age: t.age,
+                    });
+                    // the driver abandons the node's executor: whether
+                    // the node is physically down (crash) or merely
+                    // partitioned (dropout), its tasks, cache and map
+                    // outputs are gone from the cluster's point of view
+                    self.node_lost(t.node);
+                }
+                NodeHealth::Alive => {
+                    // a suspect's heartbeats caught up before the dead
+                    // threshold — it never left the rankings
+                }
+            }
+        }
+    }
+
+    /// Apply the `index`-th scripted fault to its target node.
+    fn apply_fault(&mut self, index: usize) {
+        let spec = *self
+            .input
+            .config
+            .faults
+            .script
+            .get(index)
+            .expect("fault events are scheduled once per script entry");
+        let node_id = spec.node;
+        if node_id.index() >= self.nodes.len() {
+            return; // script targets a node this cluster doesn't have
+        }
+        self.trace_event(TraceEventKind::FaultInjected {
+            node: node_id,
+            fault: spec.kind.code(),
+        });
+        match spec.kind {
+            FaultKind::Crash => {
+                self.faults.crashes += 1;
+                self.nodes[node_id.index()].crashed = true;
+                self.node_lost(node_id);
+            }
+            FaultKind::Restart => {
+                self.faults.restarts += 1;
+                let node = &mut self.nodes[node_id.index()];
+                node.crashed = false;
+                node.slow_factor = 1.0;
+                node.slow_epoch += 1;
+                node.flaky_epoch += 1;
+                node.flaky_until = SimTime::ZERO;
+                node.hb_dropout_until = SimTime::ZERO;
+                // the node stays out of the rankings until its first
+                // heartbeat re-admits it via the detector
+            }
+            FaultKind::Slowdown { factor, secs } => {
+                self.faults.slowdowns += 1;
+                let node = &mut self.nodes[node_id.index()];
+                node.slow_factor = factor.max(1e-9);
+                node.slow_epoch += 1;
+                let epoch = node.slow_epoch;
+                self.cal.schedule(
+                    self.now + SimDuration::from_secs_f64(secs),
+                    Event::SlowdownEnd {
+                        node: node_id,
+                        epoch,
+                    },
+                );
+            }
+            FaultKind::HeartbeatDropout { secs } => {
+                self.faults.dropouts += 1;
+                self.nodes[node_id.index()].hb_dropout_until =
+                    self.now + SimDuration::from_secs_f64(secs);
+            }
+            FaultKind::FlakyOom { secs, prob } => {
+                self.faults.flaky_windows += 1;
+                let node = &mut self.nodes[node_id.index()];
+                node.flaky_until = self.now + SimDuration::from_secs_f64(secs);
+                node.flaky_prob = prob.clamp(0.0, 1.0);
+                node.flaky_epoch += 1;
+                let epoch = node.flaky_epoch;
+                self.cal.schedule(
+                    self.now + SimDuration::from_secs(1),
+                    Event::FlakyCheck {
+                        node: node_id,
+                        epoch,
+                    },
+                );
+            }
+        }
+    }
+
+    /// A node's executor state is gone — it physically crashed, or the
+    /// failure detector declared it dead and the driver abandoned it.
+    /// Kill its running attempts, wipe the executor, and re-pend every
+    /// completed map task whose output lived there (lineage recompute).
+    fn node_lost(&mut self, node_id: NodeId) {
+        let victims: Vec<AttemptId> = self.nodes[node_id.index()].running.clone();
+        for id in victims {
+            let task = self.attempts[id].task;
+            self.kill_pending.entry(task).or_insert(self.now);
+            self.faults.tasks_killed += 1;
+            self.fail_attempt(id, AttemptOutcome::NodeFaulted);
+        }
+        let node = &mut self.nodes[node_id.index()];
+        node.cache.clear();
+        node.mem_in_use = ByteSize::ZERO;
+        node.oom_epoch += 1;
+        node.oom_scheduled = false;
+        node.slow_factor = 1.0;
+        self.recompute_lost_outputs(node_id);
+        self.need_offers = true;
+    }
+
+    /// Walk the lineage: completed shuffle-map tasks whose winning copy
+    /// ran on the lost node have lost their map output. Re-pend them
+    /// (next attempt number), roll back their contribution to the
+    /// shuffle bookkeeping, and re-block dependent stages through
+    /// [`StageTracker::task_lost`]. Cached partitions need no lineage
+    /// action: the executor cache was wiped and every cached read
+    /// carries an HDFS fallback.
+    fn recompute_lost_outputs(&mut self, node_id: NodeId) {
+        for sidx in 0..self.stages.len() {
+            if self.input.app.stages[sidx].kind != StageKind::ShuffleMap {
+                continue;
+            }
+            let n_tasks = self.stages[sidx].tasks.len();
+            let mut lost = 0usize;
+            for tidx in 0..n_tasks {
+                let Some((winner, attempt_no)) = self.stages[sidx].winners[tidx] else {
+                    continue;
+                };
+                if winner != node_id {
+                    continue;
+                }
+                debug_assert!(matches!(self.stages[sidx].tasks[tidx], TaskState::Done));
+                if !self.tracker.task_lost(self.input.app, StageId(sidx)) {
+                    continue; // the chain no longer needs this output
+                }
+                let bytes = self.input.app.stages[sidx].tasks[tidx]
+                    .demand
+                    .shuffle_write
+                    .as_f64();
+                let srt = &mut self.stages[sidx];
+                srt.map_out_per_node[node_id.index()] =
+                    (srt.map_out_per_node[node_id.index()] - bytes).max(0.0);
+                srt.map_out_total = (srt.map_out_total - bytes).max(0.0);
+                srt.winners[tidx] = None;
+                srt.tasks[tidx] = TaskState::Pending {
+                    attempt_no: attempt_no + 1,
+                };
+                self.kill_pending
+                    .entry(TaskRef {
+                        stage: StageId(sidx),
+                        index: tidx,
+                    })
+                    .or_insert(self.now);
+                lost += 1;
+            }
+            if lost > 0 {
+                self.faults.map_outputs_recomputed += lost;
+                self.trace_event(TraceEventKind::LineageRecompute {
+                    stage: StageId(sidx),
+                    node: node_id,
+                    tasks: lost,
+                });
+                self.need_offers = true;
+            }
+        }
+    }
+
+    /// One probe of a flaky-OOM window: with probability `flaky_prob`
+    /// the node's hungriest attempt dies through the normal OOM-kill
+    /// machinery; re-arms itself every second while the window lasts.
+    fn flaky_check(&mut self, node_id: NodeId, epoch: u64) {
+        let (stale, done) = {
+            let n = &self.nodes[node_id.index()];
+            (
+                n.flaky_epoch != epoch || n.crashed,
+                self.now >= n.flaky_until,
+            )
+        };
+        if stale || done {
+            return;
+        }
+        let prob = self.nodes[node_id.index()].flaky_prob;
+        if self.rng_faults.gen_range(0.0..1.0) < prob {
+            let victim = self.nodes[node_id.index()]
+                .running
+                .iter()
+                .copied()
+                .max_by_key(|&id| (self.attempts[id].peak_mem, id));
+            if let Some(v) = victim {
+                let pressure_pct = {
+                    let n = &self.nodes[node_id.index()];
+                    (n.mem_in_use.as_f64() / n.executor_mem.as_f64().max(1.0) * 100.0) as u32
+                };
+                self.oom_failures += 1;
+                self.trace_event(TraceEventKind::OomTaskKill {
+                    task: self.attempts[v].task,
+                    node: node_id,
+                    pressure_pct,
+                });
+                self.fail_attempt(v, AttemptOutcome::OomFailure);
+            }
+        }
+        self.cal.schedule(
+            self.now + SimDuration::from_secs(1),
+            Event::FlakyCheck {
+                node: node_id,
+                epoch,
+            },
+        );
     }
 
     fn speculation_check(&mut self) {
@@ -1058,6 +1418,17 @@ impl<'a, 's> Sim<'a, 's> {
     fn build_node_view(&self, idx: usize) -> NodeView {
         let node = &self.nodes[idx];
         let m = self.node_metrics(idx);
+        let (heartbeat_age, dead, suspect) = match self.detector.as_ref() {
+            Some(d) => {
+                let id = NodeId(idx);
+                (
+                    d.age(id, self.now),
+                    d.is_dead(id),
+                    d.health(id) == NodeHealth::Suspect,
+                )
+            }
+            None => (SimDuration::ZERO, false, false),
+        };
         let running = node
             .running
             .iter()
@@ -1082,7 +1453,10 @@ impl<'a, 's> Sim<'a, 's> {
             net_util: m.net_util,
             disk_util: m.disk_util,
             gpus_idle: m.gpus_idle,
-            blocked: node.blocked_until > self.now,
+            blocked: node.blocked_until > self.now || dead,
+            heartbeat_age,
+            dead,
+            suspect,
         }
     }
 
@@ -1245,6 +1619,13 @@ impl<'a, 's> Sim<'a, 's> {
             return;
         }
         if self.nodes[node_id.index()].blocked_until > self.now {
+            return;
+        }
+        // launches aimed at a crashed node — or one the driver has
+        // declared dead — are dropped on the floor like a lost RPC
+        if self.nodes[node_id.index()].crashed
+            || self.detector.as_ref().is_some_and(|d| d.is_dead(node_id))
+        {
             return;
         }
         if !self.stages[task.stage.index()].released {

@@ -56,8 +56,18 @@ pub struct NodeView {
     pub disk_util: f64,
     /// GPUs not currently executing kernels.
     pub gpus_idle: u32,
-    /// True while the executor JVM is restarting (nothing can launch).
+    /// True while the executor JVM is restarting or the failure detector
+    /// has declared the node dead (nothing can launch).
     pub blocked: bool,
+    /// Time since the node's last heartbeat reached the RM (always zero
+    /// when the fault subsystem is disabled).
+    pub heartbeat_age: SimDuration,
+    /// True when the failure detector has declared the node dead: it is
+    /// evicted from every ranking until heartbeats resume.
+    pub dead: bool,
+    /// True when the node's heartbeats are late enough to suspect it;
+    /// speculation treats its running tasks as straggler sources.
+    pub suspect: bool,
 }
 
 impl NodeView {

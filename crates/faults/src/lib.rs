@@ -1,0 +1,572 @@
+//! # rupam-faults
+//!
+//! The fault model: deterministic, seeded *chaos scripts* injected onto
+//! the simulation calendar, and the *heartbeat failure detector* the RM
+//! uses to turn missing heartbeats into `suspect` / `dead` declarations.
+//!
+//! Everything here is pure data + state machines — the engine owns the
+//! clock and drives [`FailureDetector::observe`] / [`FailureDetector::
+//! evaluate`] from its heartbeat events, and schedules each
+//! [`FaultSpec`] of the script as a calendar event. With an empty
+//! [`FaultScript`] the subsystem is a strict no-op: the detector is
+//! never constructed and no fault event is ever scheduled, so healthy
+//! runs are byte-identical to runs built without this crate.
+//!
+//! Determinism: a script is a *sorted* list of `(time, node, kind)`
+//! triples; same seed + same script ⇒ the same calendar, the same
+//! detector transitions, the same recovery decisions.
+
+#![warn(missing_docs)]
+
+use rupam_cluster::NodeId;
+use rupam_simcore::time::{SimDuration, SimTime};
+
+/// RM-visible liveness of one node, as judged by heartbeat freshness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeHealth {
+    /// Heartbeats are fresh.
+    Alive,
+    /// Heartbeats are late past the suspect threshold; the node still
+    /// holds its tasks but speculation treats it as a straggler source.
+    Suspect,
+    /// Heartbeats are late past the dead threshold; the node is evicted
+    /// from every ranking and its work is rescheduled.
+    Dead,
+}
+
+/// What a scripted fault does to its target node.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// The node dies: running attempts are killed, its cache and shuffle
+    /// outputs are lost, heartbeats stop until a `Restart`.
+    Crash,
+    /// A crashed node comes back empty (fresh executor, cold cache) and
+    /// resumes heartbeating.
+    Restart,
+    /// Every resource on the node runs `factor`× slower for `secs`
+    /// seconds (CPU, disk, network alike — e.g. a co-tenant burst).
+    Slowdown {
+        /// Multiplier on phase service times (2.0 = half speed).
+        factor: f64,
+        /// How long the slowdown lasts, in seconds.
+        secs: f64,
+    },
+    /// The node keeps computing but its heartbeats are lost for `secs`
+    /// seconds (network partition); the detector will declare it
+    /// suspect, then dead, then re-admit it once heartbeats resume.
+    HeartbeatDropout {
+        /// How long heartbeats are suppressed, in seconds.
+        secs: f64,
+    },
+    /// For `secs` seconds the node randomly OOM-kills its hungriest
+    /// running attempt with probability `prob` per check (~1 s cadence),
+    /// modelling a host with a broken memory controller or a noisy
+    /// co-tenant triggering the kernel OOM killer.
+    FlakyOom {
+        /// How long the flaky window lasts, in seconds.
+        secs: f64,
+        /// Per-check kill probability in `[0, 1]`.
+        prob: f64,
+    },
+}
+
+impl FaultKind {
+    /// Stable short code used in decision traces and CSV exports.
+    pub fn code(&self) -> &'static str {
+        match self {
+            FaultKind::Crash => "crash",
+            FaultKind::Restart => "restart",
+            FaultKind::Slowdown { .. } => "slowdown",
+            FaultKind::HeartbeatDropout { .. } => "dropout",
+            FaultKind::FlakyOom { .. } => "flaky-oom",
+        }
+    }
+}
+
+/// One scripted fault: at time `at`, do `kind` to `node`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Injection time.
+    pub at: SimTime,
+    /// Target node.
+    pub node: NodeId,
+    /// What happens.
+    pub kind: FaultKind,
+}
+
+/// A deterministic chaos script: fault events sorted by injection time
+/// (ties keep insertion order, matching the calendar's FIFO tie-break).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultScript {
+    events: Vec<FaultSpec>,
+}
+
+impl FaultScript {
+    /// An empty script (the healthy-cluster default).
+    pub fn empty() -> Self {
+        FaultScript::default()
+    }
+
+    /// A script from the given events, stably sorted by time.
+    pub fn new(mut events: Vec<FaultSpec>) -> Self {
+        events.sort_by_key(|e| e.at);
+        FaultScript { events }
+    }
+
+    /// Whether the script injects nothing (faults layer fully disabled).
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of scripted events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// The events in injection order.
+    pub fn events(&self) -> &[FaultSpec] {
+        &self.events
+    }
+
+    /// The `i`-th event in injection order.
+    pub fn get(&self, i: usize) -> Option<&FaultSpec> {
+        self.events.get(i)
+    }
+
+    /// Canned scenario: `node` crashes at `at_secs`, optionally coming
+    /// back `restart_after_secs` later.
+    pub fn one_node_crash(node: NodeId, at_secs: f64, restart_after_secs: Option<f64>) -> Self {
+        let mut events = vec![FaultSpec {
+            at: SimTime::from_secs_f64(at_secs),
+            node,
+            kind: FaultKind::Crash,
+        }];
+        if let Some(gap) = restart_after_secs {
+            events.push(FaultSpec {
+                at: SimTime::from_secs_f64(at_secs + gap),
+                node,
+                kind: FaultKind::Restart,
+            });
+        }
+        FaultScript::new(events)
+    }
+
+    /// Canned scenario: two nodes turn flaky-OOM at `at_secs` for
+    /// `secs`, each killing its hungriest attempt with probability
+    /// `prob` per check, with heartbeat dropouts layered on the first.
+    pub fn two_node_flaky(a: NodeId, b: NodeId, at_secs: f64, secs: f64, prob: f64) -> Self {
+        FaultScript::new(vec![
+            FaultSpec {
+                at: SimTime::from_secs_f64(at_secs),
+                node: a,
+                kind: FaultKind::FlakyOom { secs, prob },
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(at_secs),
+                node: b,
+                kind: FaultKind::FlakyOom { secs, prob },
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(at_secs + secs * 0.25),
+                node: a,
+                kind: FaultKind::HeartbeatDropout { secs: secs * 0.25 },
+            },
+        ])
+    }
+
+    /// Parse the fault-script TOML dialect documented in the README:
+    /// a sequence of `[[fault]]` tables with `at` (seconds), `node`
+    /// (index) and `kind` keys, plus kind-specific parameters
+    /// (`factor`/`secs` for `slowdown`, `secs` for `dropout`,
+    /// `secs`/`prob` for `flaky-oom`). `#` starts a comment. The parser
+    /// is hand-rolled — the build is offline and the grammar is tiny.
+    pub fn parse_toml(text: &str) -> Result<Self, String> {
+        let mut events = Vec::new();
+        // fields of the table currently being assembled
+        let mut table: Option<Vec<(String, String)>> = None;
+        let mut flush = |table: &mut Option<Vec<(String, String)>>| -> Result<(), String> {
+            if let Some(fields) = table.take() {
+                events.push(Self::spec_from_fields(&fields)?);
+            }
+            Ok(())
+        };
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line == "[[fault]]" {
+                flush(&mut table)?;
+                table = Some(Vec::new());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!(
+                    "line {}: expected `key = value`: {raw}",
+                    lineno + 1
+                ));
+            };
+            let Some(fields) = table.as_mut() else {
+                return Err(format!(
+                    "line {}: `{}` outside a [[fault]] table",
+                    lineno + 1,
+                    key.trim()
+                ));
+            };
+            fields.push((
+                key.trim().to_string(),
+                value.trim().trim_matches('"').to_string(),
+            ));
+        }
+        flush(&mut table)?;
+        Ok(FaultScript::new(events))
+    }
+
+    fn spec_from_fields(fields: &[(String, String)]) -> Result<FaultSpec, String> {
+        let get = |key: &str| {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            get(key)
+                .ok_or_else(|| format!("[[fault]] missing `{key}`"))?
+                .parse::<f64>()
+                .map_err(|e| format!("[[fault]] bad `{key}`: {e}"))
+        };
+        let at = num("at")?;
+        if !(at.is_finite() && at >= 0.0) {
+            return Err(format!("[[fault]] bad `at`: {at}"));
+        }
+        let node = NodeId(num("node")? as usize);
+        let kind = match get("kind").ok_or("[[fault]] missing `kind`")? {
+            "crash" => FaultKind::Crash,
+            "restart" => FaultKind::Restart,
+            "slowdown" => FaultKind::Slowdown {
+                factor: num("factor")?,
+                secs: num("secs")?,
+            },
+            "dropout" => FaultKind::HeartbeatDropout { secs: num("secs")? },
+            "flaky-oom" => FaultKind::FlakyOom {
+                secs: num("secs")?,
+                prob: num("prob")?,
+            },
+            other => return Err(format!("[[fault]] unknown kind `{other}`")),
+        };
+        Ok(FaultSpec {
+            at: SimTime::from_secs_f64(at),
+            node,
+            kind,
+        })
+    }
+}
+
+/// Fault-subsystem tunables carried inside the simulation config.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultsConfig {
+    /// The chaos script to inject. Empty (the default) disables the
+    /// whole subsystem — no detector, no fault events, byte-identical
+    /// decision traces to a build without the faults layer.
+    pub script: FaultScript,
+    /// Heartbeat age past which a node is declared *suspect*.
+    pub suspect_after: SimDuration,
+    /// Heartbeat age past which a suspect node is declared *dead*.
+    pub dead_after: SimDuration,
+}
+
+impl Default for FaultsConfig {
+    fn default() -> Self {
+        FaultsConfig {
+            script: FaultScript::empty(),
+            suspect_after: SimDuration::from_secs(3),
+            dead_after: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// One node's health transition reported by
+/// [`FailureDetector::evaluate`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HealthTransition {
+    /// The node whose health changed.
+    pub node: NodeId,
+    /// Health before the transition.
+    pub from: NodeHealth,
+    /// Health after the transition.
+    pub to: NodeHealth,
+    /// Heartbeat age at the moment of the transition.
+    pub age: SimDuration,
+}
+
+/// The RM's heartbeat failure detector: a per-node
+/// `Alive → Suspect → Dead` state machine driven by heartbeat
+/// freshness, with re-admission (`→ Alive`) the moment heartbeats
+/// resume. Time comes from the caller; the detector holds no clock.
+#[derive(Clone, Debug)]
+pub struct FailureDetector {
+    last_seen: Vec<SimTime>,
+    health: Vec<NodeHealth>,
+    suspect_after: SimDuration,
+    dead_after: SimDuration,
+}
+
+impl FailureDetector {
+    /// A detector for `nodes` nodes, all alive with a fresh heartbeat
+    /// at `now`.
+    pub fn new(nodes: usize, cfg: &FaultsConfig, now: SimTime) -> Self {
+        assert!(
+            cfg.suspect_after <= cfg.dead_after,
+            "suspect_after must not exceed dead_after"
+        );
+        FailureDetector {
+            last_seen: vec![now; nodes],
+            health: vec![NodeHealth::Alive; nodes],
+            suspect_after: cfg.suspect_after,
+            dead_after: cfg.dead_after,
+        }
+    }
+
+    /// Record a heartbeat from `node` at `now`. The caller gates this on
+    /// the node actually emitting one (crashed or partitioned nodes
+    /// don't).
+    pub fn observe(&mut self, node: NodeId, now: SimTime) {
+        self.last_seen[node.index()] = now;
+    }
+
+    /// Heartbeat age of `node` at `now`.
+    pub fn age(&self, node: NodeId, now: SimTime) -> SimDuration {
+        now.since(self.last_seen[node.index()])
+    }
+
+    /// Current health of `node`.
+    pub fn health(&self, node: NodeId) -> NodeHealth {
+        self.health[node.index()]
+    }
+
+    /// Whether `node` is currently declared dead.
+    pub fn is_dead(&self, node: NodeId) -> bool {
+        self.health[node.index()] == NodeHealth::Dead
+    }
+
+    /// Re-evaluate every node against the thresholds at `now`,
+    /// returning the transitions in node order. Recovery is immediate:
+    /// a fresh heartbeat flips a suspect or dead node straight back to
+    /// alive.
+    pub fn evaluate(&mut self, now: SimTime) -> Vec<HealthTransition> {
+        let mut out = Vec::new();
+        for i in 0..self.health.len() {
+            let age = now.since(self.last_seen[i]);
+            let to = if age >= self.dead_after {
+                NodeHealth::Dead
+            } else if age >= self.suspect_after {
+                NodeHealth::Suspect
+            } else {
+                NodeHealth::Alive
+            };
+            let from = self.health[i];
+            // death is sticky until a heartbeat actually arrives — a
+            // dead node cannot decay back to merely "suspect"
+            if from == NodeHealth::Dead && to == NodeHealth::Suspect {
+                continue;
+            }
+            if to != from {
+                self.health[i] = to;
+                out.push(HealthTransition {
+                    node: NodeId(i),
+                    from,
+                    to,
+                    age,
+                });
+            }
+        }
+        out
+    }
+
+    /// Forcibly mark `node` alive with a fresh heartbeat at `now`
+    /// (restart of a crashed node). Returns its previous health.
+    pub fn revive(&mut self, node: NodeId, now: SimTime) -> NodeHealth {
+        let i = node.index();
+        self.last_seen[i] = now;
+        std::mem::replace(&mut self.health[i], NodeHealth::Alive)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> FaultsConfig {
+        FaultsConfig::default()
+    }
+
+    #[test]
+    fn empty_script_is_empty() {
+        assert!(FaultScript::empty().is_empty());
+        assert_eq!(FaultsConfig::default().script.len(), 0);
+    }
+
+    #[test]
+    fn script_sorts_by_time_stably() {
+        let s = FaultScript::new(vec![
+            FaultSpec {
+                at: SimTime::from_secs_f64(9.0),
+                node: NodeId(1),
+                kind: FaultKind::Crash,
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(3.0),
+                node: NodeId(0),
+                kind: FaultKind::Crash,
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(3.0),
+                node: NodeId(2),
+                kind: FaultKind::Restart,
+            },
+        ]);
+        let order: Vec<usize> = s.events().iter().map(|e| e.node.index()).collect();
+        assert_eq!(order, vec![0, 2, 1], "stable sort by time");
+    }
+
+    #[test]
+    fn parses_the_documented_toml_dialect() {
+        let text = r#"
+            # two-phase chaos
+            [[fault]]
+            at = 30.0
+            node = 2
+            kind = "crash"
+
+            [[fault]]
+            at = 90
+            node = 2
+            kind = "restart"
+
+            [[fault]]
+            at = 10.0
+            node = 1
+            kind = "slowdown"
+            factor = 3.0
+            secs = 60.0
+
+            [[fault]]
+            at = 5.0
+            node = 0
+            kind = "dropout"  # partition
+            secs = 15.0
+
+            [[fault]]
+            at = 0.0
+            node = 3
+            kind = "flaky-oom"
+            secs = 120.0
+            prob = 0.3
+        "#;
+        let s = FaultScript::parse_toml(text).expect("parses");
+        assert_eq!(s.len(), 5);
+        assert_eq!(
+            s.events()[0].kind,
+            FaultKind::FlakyOom {
+                secs: 120.0,
+                prob: 0.3
+            }
+        );
+        assert_eq!(
+            s.events()[1].kind,
+            FaultKind::HeartbeatDropout { secs: 15.0 }
+        );
+        assert_eq!(
+            s.events()[2].kind,
+            FaultKind::Slowdown {
+                factor: 3.0,
+                secs: 60.0
+            }
+        );
+        assert_eq!(s.events()[3].kind, FaultKind::Crash);
+        assert_eq!(s.events()[3].node, NodeId(2));
+        assert_eq!(s.events()[4].kind, FaultKind::Restart);
+        assert_eq!(s.events()[4].at, SimTime::from_secs_f64(90.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(
+            FaultScript::parse_toml("at = 1.0").is_err(),
+            "key before table"
+        );
+        assert!(
+            FaultScript::parse_toml("[[fault]]\nat = 1.0\nnode = 0").is_err(),
+            "missing kind"
+        );
+        assert!(
+            FaultScript::parse_toml("[[fault]]\nat = 1.0\nnode = 0\nkind = \"melt\"").is_err(),
+            "unknown kind"
+        );
+        assert!(
+            FaultScript::parse_toml("[[fault]]\nat = 1.0\nnode = 0\nkind = \"slowdown\"").is_err(),
+            "slowdown needs factor/secs"
+        );
+        assert!(FaultScript::parse_toml("[[fault]]\nnonsense").is_err());
+    }
+
+    #[test]
+    fn detector_walks_alive_suspect_dead_and_back() {
+        let mut d = FailureDetector::new(2, &cfg(), SimTime::ZERO);
+        let t = SimTime::from_secs_f64;
+        // node 1 keeps heartbeating, node 0 goes silent
+        d.observe(NodeId(1), t(2.0));
+        assert!(d.evaluate(t(2.0)).is_empty());
+        let tr = d.evaluate(t(4.0));
+        assert_eq!(tr.len(), 1);
+        assert_eq!(tr[0].node, NodeId(0));
+        assert_eq!(tr[0].to, NodeHealth::Suspect);
+        assert_eq!(tr[0].age, SimDuration::from_secs(4));
+        d.observe(NodeId(1), t(4.0));
+        let tr = d.evaluate(t(11.0));
+        // node 0 dead; node 1 suspect (7 s > 3 s)
+        assert_eq!(tr.len(), 2);
+        assert_eq!((tr[0].node, tr[0].to), (NodeId(0), NodeHealth::Dead));
+        assert_eq!((tr[1].node, tr[1].to), (NodeId(1), NodeHealth::Suspect));
+        // heartbeats resume: both flip straight back to alive
+        d.observe(NodeId(0), t(12.0));
+        d.observe(NodeId(1), t(12.0));
+        let tr = d.evaluate(t(12.0));
+        assert_eq!(tr.len(), 2);
+        assert!(tr.iter().all(|x| x.to == NodeHealth::Alive));
+        assert_eq!(tr[0].from, NodeHealth::Dead);
+    }
+
+    #[test]
+    fn death_is_sticky_without_heartbeats() {
+        let mut d = FailureDetector::new(1, &cfg(), SimTime::ZERO);
+        let t = SimTime::from_secs_f64;
+        d.evaluate(t(20.0));
+        assert!(d.is_dead(NodeId(0)));
+        // no heartbeat arrives: still dead, no transition
+        assert!(d.evaluate(t(21.0)).is_empty());
+        assert!(d.is_dead(NodeId(0)));
+        assert_eq!(d.age(NodeId(0), t(21.0)), SimDuration::from_secs(21));
+    }
+
+    #[test]
+    fn revive_resets_health_and_freshness() {
+        let mut d = FailureDetector::new(1, &cfg(), SimTime::ZERO);
+        let t = SimTime::from_secs_f64;
+        d.evaluate(t(30.0));
+        assert_eq!(d.revive(NodeId(0), t(30.0)), NodeHealth::Dead);
+        assert_eq!(d.health(NodeId(0)), NodeHealth::Alive);
+        assert!(d.evaluate(t(31.0)).is_empty());
+    }
+
+    #[test]
+    fn canned_scenarios_are_well_formed() {
+        let s = FaultScript::one_node_crash(NodeId(3), 30.0, Some(60.0));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[1].kind, FaultKind::Restart);
+        assert_eq!(s.events()[1].at, SimTime::from_secs_f64(90.0));
+        let s = FaultScript::two_node_flaky(NodeId(1), NodeId(2), 10.0, 80.0, 0.25);
+        assert_eq!(s.len(), 3);
+        assert!(FaultScript::one_node_crash(NodeId(0), 5.0, None).len() == 1);
+    }
+}

@@ -117,6 +117,25 @@ pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
             K::AuditViolation { check, detail } => {
                 (String::new(), String::new(), format!("{check}: {detail}"))
             }
+            K::FaultInjected { node, fault } => {
+                (String::new(), node.index().to_string(), format!("fault={fault}"))
+            }
+            K::NodeSuspect { node, age } => (
+                String::new(),
+                node.index().to_string(),
+                format!("age_s={:.6}", age.as_secs_f64()),
+            ),
+            K::NodeDead { node, age } => (
+                String::new(),
+                node.index().to_string(),
+                format!("age_s={:.6}", age.as_secs_f64()),
+            ),
+            K::NodeRecovered { node } => (String::new(), node.index().to_string(), String::new()),
+            K::LineageRecompute { stage, node, tasks } => (
+                String::new(),
+                node.index().to_string(),
+                format!("stage={} tasks={tasks}", stage.index()),
+            ),
         };
         let _ = writeln!(
             out,
@@ -203,6 +222,7 @@ mod tests {
             executor_losses: 0,
             speculative_launched: 0,
             speculative_wins: 0,
+            faults: crate::report::FaultSummary::default(),
         }
     }
 
@@ -264,6 +284,43 @@ mod tests {
         assert!(lines[1].contains("locality=NODE_LOCAL"));
         assert!(lines[2].contains("audit-violation"));
         assert!(lines[2].contains("\"memory-feasibility: claim, with comma\""));
+    }
+
+    #[test]
+    fn trace_csv_carries_fault_events_and_heartbeat_age() {
+        use crate::trace::{TraceBuffer, TraceEvent, TraceEventKind};
+        let mut trace = TraceBuffer::new(16);
+        let ev = |kind| TraceEvent {
+            at: SimTime::from_secs_f64(2.0),
+            round: 3,
+            kind,
+        };
+        trace.record(ev(TraceEventKind::FaultInjected {
+            node: NodeId(2),
+            fault: "crash",
+        }));
+        trace.record(ev(TraceEventKind::NodeSuspect {
+            node: NodeId(2),
+            age: SimDuration::from_secs_f64(4.5),
+        }));
+        trace.record(ev(TraceEventKind::NodeDead {
+            node: NodeId(2),
+            age: SimDuration::from_secs_f64(11.0),
+        }));
+        trace.record(ev(TraceEventKind::NodeRecovered { node: NodeId(2) }));
+        trace.record(ev(TraceEventKind::LineageRecompute {
+            stage: StageId(1),
+            node: NodeId(2),
+            tasks: 4,
+        }));
+        let csv = trace_csv(&trace);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert!(lines[1].contains("fault-injected") && lines[1].contains("fault=crash"));
+        assert!(lines[2].contains("node-suspect") && lines[2].contains("age_s=4.500000"));
+        assert!(lines[3].contains("node-dead") && lines[3].contains("age_s=11.000000"));
+        assert!(lines[4].contains("node-recovered"));
+        assert!(lines[5].contains("lineage-recompute") && lines[5].contains("stage=1 tasks=4"));
     }
 
     #[test]

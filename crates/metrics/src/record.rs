@@ -30,6 +30,9 @@ pub enum AttemptOutcome {
     /// Aborted because another attempt of the same task won the race
     /// (speculation or RUPAM's GPU/CPU racing).
     LostRace,
+    /// Killed because its node crashed or was declared dead by the
+    /// heartbeat failure detector; the task is re-queued.
+    NodeFaulted,
 }
 
 impl AttemptOutcome {
@@ -45,6 +48,7 @@ impl AttemptOutcome {
             AttemptOutcome::OomFailure
                 | AttemptOutcome::ExecutorLost
                 | AttemptOutcome::MemoryStragglerKilled
+                | AttemptOutcome::NodeFaulted
         )
     }
 }
@@ -167,6 +171,8 @@ mod tests {
         assert!(AttemptOutcome::OomFailure.is_failure());
         assert!(AttemptOutcome::ExecutorLost.is_failure());
         assert!(AttemptOutcome::MemoryStragglerKilled.is_failure());
+        assert!(AttemptOutcome::NodeFaulted.is_failure());
+        assert!(!AttemptOutcome::NodeFaulted.is_success());
         assert!(!AttemptOutcome::LostRace.is_failure());
         assert!(!AttemptOutcome::LostRace.is_success());
     }

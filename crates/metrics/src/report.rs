@@ -37,6 +37,48 @@ impl JobOutcome {
     }
 }
 
+/// Counters for the fault-injection & recovery subsystem. All zero on a
+/// healthy run (empty fault script).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FaultSummary {
+    /// Scripted node crashes injected.
+    pub crashes: usize,
+    /// Scripted node restarts injected.
+    pub restarts: usize,
+    /// Scripted transient slowdowns injected.
+    pub slowdowns: usize,
+    /// Scripted heartbeat dropouts injected.
+    pub dropouts: usize,
+    /// Scripted flaky-OOM windows injected.
+    pub flaky_windows: usize,
+    /// Failure-detector suspect declarations.
+    pub suspects: usize,
+    /// Failure-detector dead declarations.
+    pub deaths: usize,
+    /// Dead/suspect nodes re-admitted after heartbeats resumed.
+    pub readmissions: usize,
+    /// Running attempts killed by node crashes or dead declarations.
+    pub tasks_killed: usize,
+    /// Finished shuffle-map tasks re-pended because their outputs lived
+    /// on a dead node (lineage-driven recompute).
+    pub map_outputs_recomputed: usize,
+    /// Fault-killed or recomputed tasks that subsequently finished.
+    pub recoveries: usize,
+    /// Total kill-to-refinish latency across all recoveries, seconds.
+    pub recovery_secs_total: f64,
+}
+
+impl FaultSummary {
+    /// Mean kill-to-refinish latency, seconds (0.0 with no recoveries).
+    pub fn mean_recovery_secs(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recovery_secs_total / self.recoveries as f64
+        }
+    }
+}
+
 /// Complete result of one simulated application run.
 pub struct RunReport {
     /// Application name.
@@ -65,6 +107,8 @@ pub struct RunReport {
     pub speculative_launched: usize,
     /// Speculative / racing copies that beat the original.
     pub speculative_wins: usize,
+    /// Fault-injection & recovery counters (all zero on healthy runs).
+    pub faults: FaultSummary,
 }
 
 impl RunReport {
@@ -260,7 +304,17 @@ mod tests {
             executor_losses: 0,
             speculative_launched: 0,
             speculative_wins: 0,
+            faults: FaultSummary::default(),
         }
+    }
+
+    #[test]
+    fn fault_summary_mean_recovery() {
+        let mut f = FaultSummary::default();
+        assert_eq!(f.mean_recovery_secs(), 0.0);
+        f.recoveries = 4;
+        f.recovery_secs_total = 10.0;
+        assert!((f.mean_recovery_secs() - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -187,6 +187,7 @@ mod tests {
             executor_losses: 0,
             speculative_launched: 0,
             speculative_wins: 0,
+            faults: crate::report::FaultSummary::default(),
         }
     }
 

@@ -15,12 +15,12 @@
 
 use std::collections::VecDeque;
 
-use rupam_simcore::time::SimTime;
+use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
-use rupam_dag::{JobId, Locality, TaskRef};
+use rupam_dag::{JobId, Locality, StageId, TaskRef};
 
 /// Why a scheduler issued a `Command::Launch` — the machine-readable
 /// reason code attached to every launch decision.
@@ -222,6 +222,45 @@ pub enum TraceEventKind {
         /// Human-readable specifics.
         detail: String,
     },
+    /// A scripted fault was injected on a node (chaos calendar).
+    FaultInjected {
+        /// Target node.
+        node: NodeId,
+        /// Stable fault-kind code (`crash`, `restart`, `slowdown`,
+        /// `dropout`, `flaky-oom`).
+        fault: &'static str,
+    },
+    /// The failure detector declared a node suspect (heartbeats late).
+    NodeSuspect {
+        /// The suspected node.
+        node: NodeId,
+        /// Heartbeat age at the declaration.
+        age: SimDuration,
+    },
+    /// The failure detector declared a node dead; its work is killed and
+    /// re-queued, its shuffle outputs recomputed via lineage.
+    NodeDead {
+        /// The declared-dead node.
+        node: NodeId,
+        /// Heartbeat age at the declaration.
+        age: SimDuration,
+    },
+    /// A previously suspect/dead node resumed heartbeating (or was
+    /// restarted) and was re-admitted to the rankings.
+    NodeRecovered {
+        /// The re-admitted node.
+        node: NodeId,
+    },
+    /// Lineage-driven recompute: finished shuffle-map tasks whose
+    /// outputs lived on a dead node were re-pended.
+    LineageRecompute {
+        /// The shuffle-map stage whose outputs were lost.
+        stage: StageId,
+        /// The dead node that held them.
+        node: NodeId,
+        /// How many tasks were re-pended.
+        tasks: usize,
+    },
 }
 
 impl TraceEvent {
@@ -239,6 +278,11 @@ impl TraceEvent {
             TraceEventKind::SpeculationFlagged { .. } => "speculation-flagged",
             TraceEventKind::Aborted { .. } => "aborted",
             TraceEventKind::AuditViolation { .. } => "audit-violation",
+            TraceEventKind::FaultInjected { .. } => "fault-injected",
+            TraceEventKind::NodeSuspect { .. } => "node-suspect",
+            TraceEventKind::NodeDead { .. } => "node-dead",
+            TraceEventKind::NodeRecovered { .. } => "node-recovered",
+            TraceEventKind::LineageRecompute { .. } => "lineage-recompute",
         }
     }
 }
@@ -433,6 +477,52 @@ mod tests {
             achieved: Locality::Any
         }
         .claims_memory_checked());
+    }
+
+    #[test]
+    fn fault_event_codes_are_stable() {
+        let ev = |kind| TraceEvent {
+            at: SimTime::ZERO,
+            round: 0,
+            kind,
+        };
+        assert_eq!(
+            ev(TraceEventKind::FaultInjected {
+                node: NodeId(1),
+                fault: "crash"
+            })
+            .code(),
+            "fault-injected"
+        );
+        assert_eq!(
+            ev(TraceEventKind::NodeSuspect {
+                node: NodeId(1),
+                age: SimDuration::from_secs(4)
+            })
+            .code(),
+            "node-suspect"
+        );
+        assert_eq!(
+            ev(TraceEventKind::NodeDead {
+                node: NodeId(1),
+                age: SimDuration::from_secs(11)
+            })
+            .code(),
+            "node-dead"
+        );
+        assert_eq!(
+            ev(TraceEventKind::NodeRecovered { node: NodeId(1) }).code(),
+            "node-recovered"
+        );
+        assert_eq!(
+            ev(TraceEventKind::LineageRecompute {
+                stage: StageId(2),
+                node: NodeId(1),
+                tasks: 3
+            })
+            .code(),
+            "lineage-recompute"
+        );
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //!           [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]
 //!           [--scheduler spark|rupam|fifo]
 //!           [--seed <n>] [--jobs <n>] [--arrival-secs <s>]
+//!           [--faults <script.toml>]
 //!           [--timeline] [--census] [--compare]
 //!           [--trace <path>] [--audit]
 //! ```
@@ -16,7 +17,12 @@
 //! rupam-sim --cluster mix:9,3,0 --workload LR --scheduler rupam --census
 //! rupam-sim --workload SQL --audit --trace /tmp/sql-trace
 //! rupam-sim --jobs 4 --arrival-secs 30 --compare
+//! rupam-sim --workload TeraSort --faults chaos-smoke.toml --audit
 //! ```
+//!
+//! `--faults <script.toml>` injects the chaos script (see the README
+//! for the `[[fault]]` TOML format) into every run; the report then
+//! carries fault/recovery counters.
 //!
 //! `--audit` replays every offer round through the invariant auditor and
 //! reports violations (exit code 1 if any fire); `--trace <path>` writes
@@ -33,10 +39,12 @@ use std::process::exit;
 
 use rupam_bench::multitenant::build_stream;
 use rupam_bench::{
-    placement_census, run_stream, run_stream_observed, run_workload, run_workload_observed, Sched,
+    placement_census, run_stream_cfg, run_stream_observed_cfg, run_workload_cfg,
+    run_workload_observed_cfg, Sched,
 };
 use rupam_cluster::ClusterSpec;
-use rupam_exec::{AuditConfig, SimOptions};
+use rupam_exec::{AuditConfig, SimConfig, SimOptions};
+use rupam_faults::FaultScript;
 use rupam_metrics::timeline;
 use rupam_metrics::trace::DEFAULT_TRACE_CAPACITY;
 use rupam_workloads::Workload;
@@ -55,6 +63,8 @@ struct Options {
     csv: Option<String>,
     trace: Option<String>,
     audit: bool,
+    config: SimConfig,
+    faults_label: Option<String>,
 }
 
 fn usage() -> ! {
@@ -63,6 +73,7 @@ fn usage() -> ! {
          \x20                [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]\n\
          \x20                [--scheduler spark|rupam|fifo] [--seed <n>]\n\
          \x20                [--jobs <n>] [--arrival-secs <s>]\n\
+         \x20                [--faults <script.toml>]\n\
          \x20                [--timeline] [--census] [--compare] [--csv <path>]\n\
          \x20                [--trace <path>] [--audit]"
     );
@@ -117,6 +128,8 @@ fn parse_args() -> Options {
         csv: None,
         trace: None,
         audit: false,
+        config: SimConfig::default(),
+        faults_label: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -175,6 +188,19 @@ fn parse_args() -> Options {
                     .filter(|s: &f64| s.is_finite() && *s >= 0.0)
                     .unwrap_or_else(|| usage());
             }
+            "--faults" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read fault script {path}: {e}");
+                    exit(2)
+                });
+                let script = FaultScript::parse_toml(&text).unwrap_or_else(|e| {
+                    eprintln!("bad fault script {path}: {e}");
+                    exit(2)
+                });
+                opts.faults_label = Some(format!("{path} ({} events)", script.len()));
+                opts.config = SimConfig::with_faults(script);
+            }
             "--csv" => opts.csv = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
             "--audit" => opts.audit = true,
@@ -217,19 +243,34 @@ fn run_one(opts: &Options, sched: &Sched) -> bool {
             opts.seed,
         );
         if observe {
-            let (report, obs) =
-                run_stream_observed(&opts.cluster, &stream, sched, opts.seed, &sim_opts);
+            let (report, obs) = run_stream_observed_cfg(
+                &opts.cluster,
+                &stream,
+                sched,
+                opts.seed,
+                &sim_opts,
+                &opts.config,
+            );
             (report, Some(obs))
         } else {
-            (run_stream(&opts.cluster, &stream, sched, opts.seed), None)
+            (
+                run_stream_cfg(&opts.cluster, &stream, sched, opts.seed, &opts.config),
+                None,
+            )
         }
     } else if observe {
-        let (report, obs) =
-            run_workload_observed(&opts.cluster, opts.workload, sched, opts.seed, &sim_opts);
+        let (report, obs) = run_workload_observed_cfg(
+            &opts.cluster,
+            opts.workload,
+            sched,
+            opts.seed,
+            &sim_opts,
+            &opts.config,
+        );
         (report, Some(obs))
     } else {
         (
-            run_workload(&opts.cluster, opts.workload, sched, opts.seed),
+            run_workload_cfg(&opts.cluster, opts.workload, sched, opts.seed, &opts.config),
             None,
         )
     };
@@ -247,6 +288,26 @@ fn run_one(opts: &Options, sched: &Sched) -> bool {
         report.gpu_task_count(),
         (waste.failed_secs + waste.race_secs).max(0.0),
     );
+    if opts.faults_label.is_some() {
+        let f = &report.faults;
+        println!(
+            "  faults: {} crash / {} restart / {} slowdown / {} dropout / {} flaky | \
+             suspects {} deaths {} readmissions {} | killed {} recovered {} \
+             (mean {:.1}s) | map outs recomputed {}",
+            f.crashes,
+            f.restarts,
+            f.slowdowns,
+            f.dropouts,
+            f.flaky_windows,
+            f.suspects,
+            f.deaths,
+            f.readmissions,
+            f.tasks_killed,
+            f.recoveries,
+            f.mean_recovery_secs(),
+            f.map_outputs_recomputed,
+        );
+    }
     if opts.jobs > 1 {
         for j in &report.jobs {
             match j.jct() {
@@ -335,6 +396,9 @@ fn main() {
             opts.workload.input_description(),
             opts.seed
         );
+    }
+    if let Some(label) = &opts.faults_label {
+        println!("faults: {label}");
     }
     let mut clean = true;
     if opts.compare {
