@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! rupam-bench perf [--quick] [--out FILE] [--check BASELINE]
+//! rupam-bench digests [--out FILE] [--check GOLDEN]
 //! ```
 //!
 //! * `perf` — time offer rounds, DB lookups, and the end-to-end
@@ -11,12 +12,16 @@
 //!   `BENCH_scheduler.json` in the current directory).
 //! * `--check BASELINE` — after measuring, compare the gate ratios
 //!   against a committed baseline file; exit non-zero if any ratio
-//!   dropped by more than 25%.
+//!   dropped by more than 25% (or the event-bus overhead exceeded 5%).
+//! * `digests` — replay the fixed scenario matrix and print each run's
+//!   decision-trace digest; `--check` compares against the committed
+//!   golden file (`tests/golden_trace_digests.txt`) and exits non-zero
+//!   on any divergence — the cross-version equivalence gate.
 
 use std::env;
 use std::process::ExitCode;
 
-use rupam_bench::perf;
+use rupam_bench::{digestgate, perf};
 
 fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -25,11 +30,56 @@ fn arg_value(args: &[String], flag: &str) -> Option<String> {
         .cloned()
 }
 
+fn run_digests(args: &[String]) -> ExitCode {
+    eprintln!("digests: replaying the scenario matrix …");
+    let fresh = digestgate::compute();
+    let doc = digestgate::render(&fresh);
+    print!("{doc}");
+    if let Some(out) = arg_value(args, "--out") {
+        if let Err(e) = std::fs::write(&out, &doc) {
+            eprintln!("rupam-bench: cannot write {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("rupam-bench: wrote {out}");
+    }
+    if let Some(golden_path) = arg_value(args, "--check") {
+        let text = match std::fs::read_to_string(&golden_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("rupam-bench: cannot read golden file {golden_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let Some(golden) = digestgate::parse(&text) else {
+            eprintln!("rupam-bench: {golden_path} is not a v1 digest document");
+            return ExitCode::FAILURE;
+        };
+        let bad = digestgate::compare(&fresh, &golden);
+        if !bad.is_empty() {
+            for b in &bad {
+                eprintln!("rupam-bench: DIGEST MISMATCH {b}");
+            }
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "rupam-bench: all {} scenario digests match {golden_path}",
+            fresh.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let cmd = args.first().map(String::as_str).unwrap_or("");
+    if cmd == "digests" {
+        return run_digests(&args);
+    }
     if cmd != "perf" {
-        eprintln!("usage: rupam-bench perf [--quick] [--out FILE] [--check BASELINE]");
+        eprintln!(
+            "usage: rupam-bench perf [--quick] [--out FILE] [--check BASELINE]\n\
+             \x20      rupam-bench digests [--out FILE] [--check GOLDEN]"
+        );
         return ExitCode::from(2);
     }
     let quick = args.iter().any(|a| a == "--quick");

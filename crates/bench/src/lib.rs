@@ -15,6 +15,7 @@
 //! | [`utilization`] | Fig. 8 (average utilisation) and Fig. 9 (balance) |
 //! | [`ablation`] | design-choice ablations (DESIGN.md §5, last row) |
 //! | [`perf`] | wall-clock scheduler microbenchmarks (`BENCH_scheduler.json`) |
+//! | [`digestgate`] | cross-version trace-digest equivalence gate (`tests/golden_trace_digests.txt`) |
 //! | [`sensitivity`] | beyond-paper: RUPAM gain vs degree of cluster heterogeneity |
 //! | [`multitenant`] | beyond-paper: online multi-tenant stream, JCTs, warm-vs-cold DB |
 //! | [`degraded`] | beyond-paper: resilience under injected faults (chaos scripts) |
@@ -24,6 +25,7 @@
 pub mod ablation;
 pub mod breakdown;
 pub mod degraded;
+pub mod digestgate;
 pub mod hardware;
 pub mod harness;
 pub mod locality;

@@ -35,6 +35,13 @@ use crate::multitenant::{build_stream, MEAN_GAP_SECS, TENANTS};
 /// Maximum tolerated drop of any gate ratio vs the committed baseline.
 pub const GATE_TOLERANCE: f64 = 0.25;
 
+/// Absolute ceiling for `engine_event_overhead`: attaching bus
+/// subscribers may add at most 5% to the end-to-end stream wall-clock
+/// (which bounds the per-offer-round overhead as well). Unlike the
+/// speedup keys, overhead gates on *this run's* absolute value — higher
+/// is worse, and the committed baseline is irrelevant.
+pub const ENGINE_OVERHEAD_CEILING: f64 = 1.05;
+
 /// Wraps a scheduler and records the wall-clock cost of every offer
 /// round.
 struct TimingScheduler<S> {
@@ -176,6 +183,10 @@ pub struct PerfReport {
     /// degraded mean makespan (simulated time — deterministic, so
     /// gate-able across machines). `(scenario label, ratio)`.
     pub degraded: Vec<(String, f64)>,
+    /// Event-bus dispatch overhead: loaded-over-plain e2e wall-clock
+    /// ratio (see [`bench_event_overhead`]); gated against
+    /// [`ENGINE_OVERHEAD_CEILING`].
+    pub event_overhead: f64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -241,6 +252,63 @@ fn best_of(cluster: &ClusterSpec, jobs: usize, seed: u64, incremental: bool) -> 
         }
     }
     best
+}
+
+/// A subscriber that does nothing; its only job is to make the bus
+/// dispatch loop do real work per published event.
+struct NoopSub(&'static str);
+
+impl rupam_exec::Subscriber for NoopSub {
+    fn name(&self) -> &'static str {
+        self.0
+    }
+    fn stage(&self) -> rupam_exec::BusStage {
+        rupam_exec::BusStage::Statistics
+    }
+    fn on_event(&mut self, _ctx: &rupam_exec::EventCtx, _event: &rupam_exec::EngineEvent) {}
+}
+
+/// Measure the event-bus dispatch overhead: best-of-[`REPEATS`]
+/// end-to-end wall-clock of the same job stream, with four extra no-op
+/// subscribers attached versus plain, as a ratio (1.0 = free).
+pub fn bench_event_overhead(cluster: &ClusterSpec, jobs: usize, seed: u64) -> f64 {
+    let tenants: Vec<_> = TENANTS.iter().cycle().take(jobs).copied().collect();
+    let stream = build_stream(cluster, &tenants, MEAN_GAP_SECS, seed);
+    let config = SimConfig::default();
+    let run = |with_subs: bool| -> f64 {
+        let input = StreamInput {
+            cluster,
+            stream: &stream,
+            config: &config,
+            seed,
+        };
+        let subs: Vec<Box<dyn rupam_exec::Subscriber>> = if with_subs {
+            ["ovh-a", "ovh-b", "ovh-c", "ovh-d"]
+                .into_iter()
+                .map(|n| Box::new(NoopSub(n)) as Box<dyn rupam_exec::Subscriber>)
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let mut sched = RupamScheduler::new(RupamConfig::default());
+        let t = Instant::now();
+        let (report, _) = rupam_exec::simulate_stream_observed_with(
+            &input,
+            &mut sched,
+            &rupam_exec::SimOptions::default(),
+            subs,
+        );
+        assert!(report.completed, "overhead stream must complete");
+        t.elapsed().as_secs_f64() * 1e3
+    };
+    // interleave the repeats so slow-machine drift hits both sides alike
+    let mut plain = f64::INFINITY;
+    let mut loaded = f64::INFINITY;
+    for _ in 0..REPEATS {
+        plain = plain.min(run(false));
+        loaded = loaded.min(run(true));
+    }
+    loaded / plain
 }
 
 /// Compare the two dispatcher paths on one cluster shape.
@@ -329,10 +397,13 @@ pub fn run(quick: bool) -> PerfReport {
         rupam_workloads::Workload::TeraSort,
         &[42],
     );
+    eprintln!("perf: event-bus dispatch overhead …");
+    let event_overhead = bench_event_overhead(&ClusterSpec::hydra(), 8, 42);
     PerfReport {
         clusters,
         db,
         degraded,
+        event_overhead,
     }
 }
 
@@ -385,6 +456,7 @@ pub fn to_json(r: &PerfReport) -> String {
     for (label, ratio) in &r.degraded {
         let _ = writeln!(s, "    \"degraded_resilience_{label}\": {ratio:.3},");
     }
+    let _ = writeln!(s, "    \"engine_event_overhead\": {:.3},", r.event_overhead);
     let _ = writeln!(
         s,
         "    \"db_4t_over_1t\": {:.3}",
@@ -420,6 +492,7 @@ pub fn gate_keys(json: &str) -> Vec<String> {
                 || k.starts_with("offer_speedup_")
                 || k.starts_with("db_")
                 || k.starts_with("degraded_")
+                || k.starts_with("engine_")
         })
         .map(|k| k.to_string())
         .collect()
@@ -432,6 +505,17 @@ pub fn gate_keys(json: &str) -> Vec<String> {
 pub fn regressions(fresh: &str, baseline: &str) -> Vec<(String, f64, f64)> {
     let mut bad = Vec::new();
     for key in gate_keys(fresh) {
+        // overhead keys gate on an absolute ceiling: higher is worse,
+        // and this run's value alone decides (the baseline column
+        // reports the ceiling so the failure message stays readable)
+        if key.starts_with("engine_") {
+            if let Some(f) = extract_number(fresh, &key) {
+                if f > ENGINE_OVERHEAD_CEILING {
+                    bad.push((key, f, ENGINE_OVERHEAD_CEILING));
+                }
+            }
+            continue;
+        }
         let (Some(f), Some(b)) = (extract_number(fresh, &key), extract_number(baseline, &key))
         else {
             continue;
@@ -510,6 +594,7 @@ mod tests {
                 ops_per_sec_4t: 3e6,
             },
             degraded: vec![("crash1".into(), 0.875)],
+            event_overhead: 1.012,
         };
         let json = to_json(&r);
         assert_eq!(extract_number(&json, "speedup_hydra12"), Some(2.5));
@@ -520,5 +605,24 @@ mod tests {
             Some(0.875)
         );
         assert!(gate_keys(&json).contains(&"degraded_resilience_crash1".to_string()));
+        assert_eq!(extract_number(&json, "engine_event_overhead"), Some(1.012));
+        assert!(gate_keys(&json).contains(&"engine_event_overhead".to_string()));
+    }
+
+    #[test]
+    fn overhead_gates_on_absolute_ceiling_not_baseline() {
+        let baseline = "{\"gate\": {\"engine_event_overhead\": 1.000}}";
+        // worse than baseline but under the ceiling → fine
+        let ok = "{\"gate\": {\"engine_event_overhead\": 1.040}}";
+        assert!(regressions(ok, baseline).is_empty());
+        // over the ceiling → flagged even if the baseline were worse
+        let bad = "{\"gate\": {\"engine_event_overhead\": 1.081}}";
+        let r = regressions(bad, "{\"gate\": {\"engine_event_overhead\": 2.000}}");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "engine_event_overhead");
+        assert_eq!(r[0].2, ENGINE_OVERHEAD_CEILING);
+        // absolute gate works even with no baseline entry at all
+        let r = regressions(bad, "{\"gate\": {}}");
+        assert_eq!(r.len(), 1);
     }
 }

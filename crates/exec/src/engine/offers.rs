@@ -1,0 +1,165 @@
+//! The offer protocol: snapshot construction and the offer round.
+//!
+//! Each round the engine freezes a read-only [`OfferInput`] snapshot of
+//! [`super::state::ClusterState`], hands it to the scheduler, and
+//! applies the returned commands. The round summary is published as
+//! [`EngineEvent::OfferRound`] (when a trace sink is attached), and the
+//! bus's audit sinks re-check the command batch against the very
+//! snapshot the scheduler saw.
+
+use rupam_cluster::NodeId;
+use rupam_dag::app::StageId;
+use rupam_dag::TaskRef;
+use rupam_faults::NodeHealth;
+use rupam_simcore::time::SimDuration;
+use rupam_simcore::units::ByteSize;
+
+use crate::scheduler::{NodeView, OfferInput, PendingTaskView, RunningTaskView};
+
+use super::driver::Engine;
+use super::events::EngineEvent;
+use super::state::TaskState;
+
+impl<'a, 's> Engine<'a, 's> {
+    pub(crate) fn offer_round(&mut self) {
+        let offer = self.build_offer_input();
+        let commands = self.sched.offer_round(&offer);
+        self.round += 1;
+        if self.bus.traced() {
+            let running = offer.nodes.iter().map(|n| n.running.len()).sum();
+            let blocked = offer.nodes.iter().filter(|n| n.blocked).count();
+            self.publish(EngineEvent::OfferRound {
+                pending: offer.pending.len(),
+                running,
+                blocked,
+                commands: commands.len(),
+            });
+        }
+        if self.bus.audited() {
+            let findings = self.sched.audit_round(&offer);
+            let fresh = self
+                .bus
+                .offer_audit(self.round, &offer, &commands, &findings);
+            for v in fresh {
+                self.publish(EngineEvent::AuditViolation {
+                    check: v.check,
+                    detail: v.detail,
+                });
+            }
+        }
+        for cmd in commands {
+            self.apply_command(cmd);
+        }
+    }
+
+    pub(crate) fn build_node_view(&self, idx: usize) -> NodeView {
+        let node = &self.state.nodes[idx];
+        let m = self.node_metrics(idx);
+        let (heartbeat_age, dead, suspect) = match self.detector.as_ref() {
+            Some(d) => {
+                let id = NodeId(idx);
+                (
+                    d.age(id, self.now),
+                    d.is_dead(id),
+                    d.health(id) == NodeHealth::Suspect,
+                )
+            }
+            None => (SimDuration::ZERO, false, false),
+        };
+        let running = node
+            .running
+            .iter()
+            .map(|&aid| {
+                let a = &self.state.attempts[aid];
+                RunningTaskView {
+                    task: a.task,
+                    speculative: a.speculative,
+                    elapsed: self.now.since(a.launched_at),
+                    peak_mem: a.peak_mem,
+                    on_gpu: a.used_gpu,
+                }
+            })
+            .collect();
+        NodeView {
+            node: NodeId(idx),
+            executor_mem: node.executor_mem,
+            mem_in_use: node.mem_in_use,
+            free_mem: node.executor_mem.saturating_sub(node.mem_in_use),
+            running,
+            cpu_util: m.cpu_util,
+            net_util: m.net_util,
+            disk_util: m.disk_util,
+            gpus_idle: m.gpus_idle,
+            blocked: node.blocked_until > self.now || dead,
+            heartbeat_age,
+            dead,
+            suspect,
+        }
+    }
+
+    pub(crate) fn build_pending_view(&self, task: TaskRef, attempt_no: u32) -> PendingTaskView {
+        let stage = self.input.app.stage(task.stage);
+        let template = &stage.tasks[task.index];
+        let (process_nodes, node_local) = self.preferred_nodes(task.stage, template);
+        PendingTaskView {
+            task,
+            job: self.state.stage_jobs[task.stage.index()],
+            template_key: stage.template_key,
+            stage_kind: stage.kind,
+            attempt_no,
+            peak_mem_hint: self
+                .state
+                .observed_peak
+                .get(&(task.stage, task.index))
+                .copied()
+                .unwrap_or(ByteSize::ZERO),
+            gpu_capable: template.demand.is_gpu_capable(),
+            process_nodes,
+            node_local,
+        }
+    }
+
+    pub(crate) fn build_offer_input(&self) -> OfferInput<'a> {
+        let nodes: Vec<NodeView> = (0..self.state.nodes.len())
+            .map(|i| self.build_node_view(i))
+            .collect();
+        let mut pending = Vec::new();
+        for (sidx, stage_rt) in self.state.stages.iter().enumerate() {
+            if !stage_rt.released {
+                continue;
+            }
+            for (tidx, state) in stage_rt.tasks.iter().enumerate() {
+                if let TaskState::Pending { attempt_no } = state {
+                    pending.push(self.build_pending_view(
+                        TaskRef {
+                            stage: StageId(sidx),
+                            index: tidx,
+                        },
+                        *attempt_no,
+                    ));
+                }
+            }
+        }
+        let speculatable = self
+            .state
+            .spec_set
+            .iter()
+            .filter(|t| {
+                matches!(
+                    self.state.stages[t.stage.index()].tasks[t.index],
+                    TaskState::Running { .. }
+                )
+            })
+            .map(|t| self.build_pending_view(*t, 0))
+            .collect();
+        OfferInput {
+            now: self.now,
+            cluster: self.input.cluster,
+            app: self.input.app,
+            nodes,
+            pending,
+            speculatable,
+            job_arrivals: self.state.jobs.iter().map(|j| j.arrival).collect(),
+        }
+    }
+}

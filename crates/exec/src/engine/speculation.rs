@@ -1,0 +1,60 @@
+//! The periodic speculation scan.
+//!
+//! Walks every released stage's running originals through
+//! [`find_speculatable`] (Spark's quantile + multiplier rule, shared by
+//! all schedulers) and marks stragglers in the
+//! [`crate::speculation::SpeculationSet`]; each fresh flag is published
+//! as [`EngineEvent::SpeculationFlagged`]. Launching the copy is the
+//! scheduler's decision on a later offer round.
+
+use rupam_dag::TaskRef;
+use rupam_simcore::time::SimTime;
+
+use crate::speculation::{find_speculatable, StageProgress};
+
+use super::driver::Engine;
+use super::events::EngineEvent;
+use super::state::TaskState;
+
+impl<'a, 's> Engine<'a, 's> {
+    pub(crate) fn speculation_check(&mut self) {
+        let cfg = &self.input.config.speculation;
+        let mut flagged: Vec<TaskRef> = Vec::new();
+        for (sidx, stage_rt) in self.state.stages.iter().enumerate() {
+            if !stage_rt.released {
+                continue;
+            }
+            let stage = &self.input.app.stages[sidx];
+            let mut running: Vec<(TaskRef, SimTime, bool)> = Vec::new();
+            for (tidx, state) in stage_rt.tasks.iter().enumerate() {
+                if let TaskState::Running { attempts } = state {
+                    // the original copy is the lowest attempt id
+                    if let Some(&first) = attempts.first() {
+                        running.push((
+                            TaskRef {
+                                stage: stage.id,
+                                index: tidx,
+                            },
+                            self.state.attempts[first].launched_at,
+                            attempts.len() > 1,
+                        ));
+                    }
+                }
+            }
+            let progress = StageProgress {
+                total_tasks: stage.num_tasks(),
+                finished_secs: &stage_rt.finished_secs,
+                running: &running,
+            };
+            for task in find_speculatable(cfg, self.now, &progress) {
+                if self.state.spec_set.mark(task) {
+                    self.need_offers = true;
+                    flagged.push(task);
+                }
+            }
+        }
+        for task in flagged {
+            self.publish(EngineEvent::SpeculationFlagged { task });
+        }
+    }
+}

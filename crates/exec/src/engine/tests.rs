@@ -1,0 +1,484 @@
+//! Engine behavior tests, driven through the shared fixtures in
+//! [`crate::testutil`].
+
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_dag::app::{AppBuilder, JobId, StageId, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{CacheKey, InputSource, TaskDemand};
+use rupam_dag::{Locality, TaskRef};
+use rupam_metrics::record::TaskRecord;
+use rupam_metrics::report::RunReport;
+use rupam_simcore::time::{SimDuration, SimTime};
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::RngFactory;
+
+use crate::config::SimConfig;
+use crate::testutil::{FifoScheduler, GpuFifo, SpecFifo};
+
+use super::{simulate, simulate_stream, SimInput, StreamInput};
+
+fn tiny_app(tasks_per_stage: usize, compute: f64) -> (rupam_dag::app::Application, DataLayout) {
+    let mut b = AppBuilder::new("tiny");
+    let j = b.begin_job();
+    let mk = |n: usize, c: f64, sw: u64, sr: u64| {
+        (0..n)
+            .map(|i| rupam_dag::task::TaskTemplate {
+                index: i,
+                input: if sr > 0 {
+                    InputSource::Shuffle
+                } else {
+                    InputSource::Generated
+                },
+                demand: TaskDemand {
+                    compute: c,
+                    shuffle_write: ByteSize::mib(sw),
+                    shuffle_read: ByteSize::mib(sr),
+                    peak_mem: ByteSize::mib(512),
+                    ..TaskDemand::default()
+                },
+            })
+            .collect::<Vec<_>>()
+    };
+    let m = b.add_stage(
+        j,
+        "map",
+        "tiny/map",
+        StageKind::ShuffleMap,
+        vec![],
+        mk(tasks_per_stage, compute, 16, 0),
+    );
+    b.add_stage(
+        j,
+        "reduce",
+        "tiny/reduce",
+        StageKind::Result,
+        vec![m],
+        mk(2, compute / 2.0, 0, 16),
+    );
+    (b.build(), DataLayout::new())
+}
+
+fn run_tiny(seed: u64) -> RunReport {
+    let cluster = ClusterSpec::two_node_motivation();
+    let (app, layout) = tiny_app(8, 4.0);
+    let cfg = SimConfig::default();
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed,
+    };
+    let mut sched = FifoScheduler::new();
+    simulate(&input, &mut sched)
+}
+
+#[test]
+fn completes_all_tasks() {
+    let report = run_tiny(1);
+    assert!(report.completed);
+    let successes = report
+        .records
+        .iter()
+        .filter(|r| r.outcome.is_success())
+        .count();
+    assert_eq!(successes, 10);
+    assert!(report.makespan > SimDuration::ZERO);
+}
+
+#[test]
+fn deterministic_across_runs() {
+    let a = run_tiny(42);
+    let b = run_tiny(42);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.records.len(), b.records.len());
+    for (x, y) in a.records.iter().zip(b.records.iter()) {
+        assert_eq!(x.task, y.task);
+        assert_eq!(x.node, y.node);
+        assert_eq!(x.finished_at, y.finished_at);
+    }
+}
+
+#[test]
+fn respects_ideal_lower_bound() {
+    let cluster = ClusterSpec::two_node_motivation();
+    let (app, layout) = tiny_app(8, 4.0);
+    let lb = rupam_dag::lineage::ideal_lower_bound(&app, &cluster);
+    let report = run_tiny(7);
+    assert!(
+        report.makespan >= lb,
+        "makespan {} beats the ideal lower bound {}",
+        report.makespan,
+        lb
+    );
+    let _ = layout;
+}
+
+#[test]
+fn reduce_waits_for_map() {
+    let report = run_tiny(3);
+    let map_finish = report
+        .records
+        .iter()
+        .filter(|r| r.template_key == "tiny/map" && r.outcome.is_success())
+        .map(|r| r.finished_at)
+        .max()
+        .unwrap();
+    let reduce_start = report
+        .records
+        .iter()
+        .filter(|r| r.template_key == "tiny/reduce")
+        .map(|r| r.launched_at)
+        .min()
+        .unwrap();
+    assert!(reduce_start >= map_finish, "shuffle dependency violated");
+}
+
+#[test]
+fn contention_slows_execution() {
+    // 1 task vs 32 tasks on a 16-core node: per-task time must grow
+    let cluster = ClusterSpec::two_node_motivation();
+    let cfg = SimConfig::default();
+    let run = |n: usize| {
+        let mut b = AppBuilder::new("contend");
+        let j = b.begin_job();
+        let tasks = (0..n)
+            .map(|i| rupam_dag::task::TaskTemplate {
+                index: i,
+                input: InputSource::Generated,
+                demand: TaskDemand {
+                    compute: 24.0,
+                    peak_mem: ByteSize::mib(64),
+                    ..TaskDemand::default()
+                },
+            })
+            .collect();
+        b.add_stage(j, "r", "c/r", StageKind::Result, vec![], tasks);
+        let app = b.build();
+        let layout = DataLayout::new();
+        let input = SimInput {
+            cluster: &cluster,
+            app: &app,
+            layout: &layout,
+            config: &cfg,
+            seed: 5,
+        };
+        let mut sched = FifoScheduler::new();
+        simulate(&input, &mut sched).makespan
+    };
+    let t1 = run(1);
+    let t64 = run(64);
+    // 64 tasks over 32 cores (two nodes) => at least 2 waves
+    assert!(t64 > t1 * 1.8, "t1={t1} t64={t64}");
+}
+
+#[test]
+fn oom_fires_on_overcommit() {
+    // one node, tasks that together exceed executor memory
+    let cluster = ClusterSpec::homogeneous(1);
+    let mut cfg = SimConfig::default();
+    cfg.mem.oom_prob_slope = 100.0; // make the OOM certain
+    let mut b = AppBuilder::new("oom");
+    let j = b.begin_job();
+    let tasks = (0..8)
+        .map(|i| rupam_dag::task::TaskTemplate {
+            index: i,
+            input: InputSource::Generated,
+            demand: TaskDemand {
+                compute: 120.0,
+                peak_mem: ByteSize::gib(7), // 8 × 7 = 56 > 46 GiB executor
+                ..TaskDemand::default()
+            },
+        })
+        .collect();
+    b.add_stage(j, "r", "oom/r", StageKind::Result, vec![], tasks);
+    let app = b.build();
+    let layout = DataLayout::new();
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 11,
+    };
+    let mut sched = FifoScheduler::new();
+    let report = simulate(&input, &mut sched);
+    assert!(
+        report.oom_failures > 0 || report.executor_losses > 0,
+        "expected memory failures, got none"
+    );
+    assert!(report.completed, "should eventually recover and finish");
+}
+
+#[test]
+fn speculation_rescues_straggler_node() {
+    // cluster with one crippled node: tasks stuck there get copies
+    let mut nodes = Vec::new();
+    for i in 0..3 {
+        nodes.push(rupam_cluster::NodeSpec {
+            name: format!("n{i}"),
+            class: "fast".into(),
+            // cripple node 0, and give it only 2 cores so ≥ 75 % of
+            // the stage can still finish (Spark's speculation quantile)
+            cores: if i == 0 { 2 } else { 4 },
+            cpu_ghz: if i == 0 { 0.05 } else { 3.0 },
+            mem: ByteSize::gib(32),
+            net_bw: 1.25e9,
+            disk: rupam_cluster::DiskSpec::sata_ssd(),
+            gpus: 0,
+            gpu_gcps: 0.0,
+            rack: 0,
+        });
+    }
+    let cluster = ClusterSpec::new(nodes);
+    let cfg = SimConfig::default();
+    let mut b = AppBuilder::new("spec");
+    let j = b.begin_job();
+    let tasks = (0..12)
+        .map(|i| rupam_dag::task::TaskTemplate {
+            index: i,
+            input: InputSource::Generated,
+            demand: TaskDemand {
+                compute: 30.0,
+                peak_mem: ByteSize::mib(128),
+                ..TaskDemand::default()
+            },
+        })
+        .collect();
+    b.add_stage(j, "r", "spec/r", StageKind::Result, vec![], tasks);
+    let app = b.build();
+    let layout = DataLayout::new();
+
+    // FIFO launches 4 tasks onto the crippled node; speculation must
+    // eventually re-run them elsewhere (SpecFifo copies onto node 2).
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 2,
+    };
+    let mut sched = SpecFifo(FifoScheduler::new());
+    let report = simulate(&input, &mut sched);
+    assert!(report.completed);
+    assert!(
+        report.speculative_launched > 0,
+        "no speculative copies launched"
+    );
+    assert!(
+        report.speculative_wins > 0,
+        "copies on fast nodes should win"
+    );
+    // every task succeeded exactly once
+    let mut winners: Vec<TaskRef> = report
+        .records
+        .iter()
+        .filter(|r| r.outcome.is_success())
+        .map(|r| r.task)
+        .collect();
+    winners.sort();
+    winners.dedup();
+    assert_eq!(winners.len(), 12);
+}
+
+#[test]
+fn utilization_recorded() {
+    let report = run_tiny(9);
+    let hist = report
+        .monitor
+        .history(NodeId(0), rupam_cluster::monitor::MetricKey::CpuUtil);
+    assert!(!hist.is_empty(), "cpu history empty");
+    // at some point utilisation was positive
+    assert!(hist.points().iter().any(|p| p.1 > 0.0));
+}
+
+#[test]
+fn gpu_task_uses_gpu_when_asked() {
+    let mut nodes = vec![rupam_cluster::NodeSpec {
+        name: "g0".into(),
+        class: "gpu".into(),
+        cores: 4,
+        cpu_ghz: 1.0,
+        mem: ByteSize::gib(32),
+        net_bw: 1.25e9,
+        disk: rupam_cluster::DiskSpec::sata_ssd(),
+        gpus: 1,
+        gpu_gcps: 20.0,
+        rack: 0,
+    }];
+    nodes.push(nodes[0].clone());
+    nodes[1].name = "g1".into();
+    let cluster = ClusterSpec::new(nodes);
+    let cfg = SimConfig::default();
+    let mut b = AppBuilder::new("gpu");
+    let j = b.begin_job();
+    b.add_stage(
+        j,
+        "r",
+        "gpu/r",
+        StageKind::Result,
+        vec![],
+        vec![rupam_dag::task::TaskTemplate {
+            index: 0,
+            input: InputSource::Generated,
+            demand: TaskDemand {
+                compute: 40.0,
+                gpu_kernels: 40.0,
+                peak_mem: ByteSize::mib(128),
+                ..TaskDemand::default()
+            },
+        }],
+    );
+    let app = b.build();
+    let layout = DataLayout::new();
+
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 1,
+    };
+    let mut sched = GpuFifo;
+    let report = simulate(&input, &mut sched);
+    assert!(report.completed);
+    assert_eq!(report.gpu_task_count(), 1);
+    // 40 Gcycles at 20 Gc/s on GPU ≈ 2 s; on the 1 GHz CPU it would be 40 s
+    assert!(
+        report.makespan < SimDuration::from_secs(10),
+        "GPU not used: {}",
+        report.makespan
+    );
+}
+
+#[test]
+fn stream_jobs_wait_for_arrival_and_report_jcts() {
+    let cluster = ClusterSpec::two_node_motivation();
+    let cfg = SimConfig::default();
+    let mut stream = rupam_dag::JobStream::new();
+    for (i, arrival) in [0.0f64, 30.0].into_iter().enumerate() {
+        let (app, layout) = tiny_app(4, 4.0);
+        stream.push(
+            format!("tenant-{i}"),
+            app,
+            layout,
+            SimTime::from_secs_f64(arrival),
+        );
+    }
+    let merged = stream.merge();
+    let input = StreamInput {
+        cluster: &cluster,
+        stream: &merged,
+        config: &cfg,
+        seed: 21,
+    };
+    let mut sched = FifoScheduler::new();
+    let report = simulate_stream(&input, &mut sched);
+    assert!(report.completed);
+    assert_eq!(report.jobs.len(), 2);
+    assert_eq!(report.jobs[1].submitted_at, SimTime::from_secs_f64(30.0));
+    for j in &report.jobs {
+        assert!(j.completed_at.is_some(), "job {:?} never finished", j.job);
+    }
+    // nothing of the late tenant may launch before it arrives
+    let early = report
+        .records
+        .iter()
+        .filter(|r| r.job == JobId(1))
+        .map(|r| r.launched_at)
+        .min()
+        .unwrap();
+    assert!(early >= SimTime::from_secs_f64(30.0));
+    // JCTs are per job, not makespan: job 0 finished long before t=30
+    let jct0 = report.jobs[0].jct().unwrap();
+    assert!(jct0 < SimDuration::from_secs(30), "jct0 = {jct0}");
+    assert!(report.jct_mean() > 0.0);
+}
+
+#[test]
+fn single_app_run_reports_one_job() {
+    let report = run_tiny(6);
+    assert_eq!(report.jobs.len(), 1);
+    assert_eq!(report.jobs[0].submitted_at, SimTime::ZERO);
+    assert_eq!(
+        report.jobs[0].completed_at,
+        Some(SimTime::ZERO + report.makespan)
+    );
+    assert!(report.records.iter().all(|r| r.job == JobId(0)));
+}
+
+#[test]
+fn cache_hit_upgrades_locality() {
+    let cluster = ClusterSpec::homogeneous(2);
+    let cfg = SimConfig::default();
+    let mut rng = RngFactory::new(4).stream("layout");
+    let mut layout = DataLayout::new();
+    let blocks = layout.place_blocks(&cluster, &[ByteSize::mib(128); 2], 1, &mut rng);
+    let mut b = AppBuilder::new("cache");
+    let mk_tasks = |blocks: &[rupam_dag::BlockId]| {
+        blocks
+            .iter()
+            .enumerate()
+            .map(|(i, blk)| rupam_dag::task::TaskTemplate {
+                index: i,
+                input: InputSource::CachedOrHdfs {
+                    key: CacheKey::new("cache/data", i),
+                    fallback: *blk,
+                },
+                demand: TaskDemand {
+                    compute: 2.0,
+                    input_bytes: ByteSize::mib(128),
+                    peak_mem: ByteSize::mib(256),
+                    cached_bytes: ByteSize::mib(160),
+                    ..TaskDemand::default()
+                },
+            })
+            .collect::<Vec<_>>()
+    };
+    // two identical jobs over the same cacheable RDD
+    for _ in 0..2 {
+        let j = b.begin_job();
+        b.add_stage(
+            j,
+            "scan",
+            "cache/data",
+            StageKind::Result,
+            vec![],
+            mk_tasks(&blocks),
+        );
+    }
+    let app = b.build();
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 8,
+    };
+    let mut sched = FifoScheduler::new();
+    let report = simulate(&input, &mut sched);
+    assert!(report.completed);
+    let first_job: Vec<&TaskRecord> = report
+        .records
+        .iter()
+        .filter(|r| r.task.stage == StageId(0) && r.outcome.is_success())
+        .collect();
+    let second_job: Vec<&TaskRecord> = report
+        .records
+        .iter()
+        .filter(|r| r.task.stage == StageId(1) && r.outcome.is_success())
+        .collect();
+    assert!(first_job
+        .iter()
+        .all(|r| r.locality != Locality::ProcessLocal));
+    // FIFO places tasks deterministically on node 0 first; the cached
+    // copies live where the first job ran, so at least one second-job
+    // task should hit the cache.
+    assert!(
+        second_job
+            .iter()
+            .any(|r| r.locality == Locality::ProcessLocal),
+        "no cache hits in second job: {:?}",
+        second_job.iter().map(|r| r.locality).collect::<Vec<_>>()
+    );
+}

@@ -14,9 +14,14 @@
 //!   read-only views schedulers decide from.
 //! * [`speculation`] — Spark's speculative-execution policy (quantile +
 //!   multiplier) shared by all schedulers.
-//! * [`engine`] — the simulation driver: fluid processor-sharing
-//!   contention, OOM/executor-loss model, race resolution, utilisation
-//!   recording. Produces a [`rupam_metrics::RunReport`].
+//! * [`engine`] — the simulation driver, structured as a staged event
+//!   bus: a core loop owning the authoritative cluster state, subsystem
+//!   modules for lifecycle/heartbeat/recovery/speculation/caching, and
+//!   typed [`engine::EngineEvent`]s through which trace emission, fault
+//!   statistics, auditing and caller-supplied [`engine::Subscriber`]s
+//!   observe the run. Produces a [`rupam_metrics::RunReport`].
+//! * [`testutil`] — deliberately naive scheduler fixtures shared by
+//!   unit tests, integration tests and benches.
 //! * [`audit`] — the post-round invariant auditor: re-checks every
 //!   command batch against the snapshot it came from (memory
 //!   feasibility, double launches, overcommit caps, scheduler-declared
@@ -31,12 +36,14 @@ pub mod costmodel;
 pub mod engine;
 pub mod scheduler;
 pub mod speculation;
+pub mod testutil;
 
 pub use audit::{AuditConfig, InvariantAuditor, Violation};
 pub use config::SimConfig;
 pub use engine::{
-    simulate, simulate_observed, simulate_stream, simulate_stream_observed, SimInput,
-    SimObservation, SimOptions, StreamInput,
+    simulate, simulate_observed, simulate_observed_with, simulate_stream, simulate_stream_observed,
+    simulate_stream_observed_with, BusStage, EngineEvent, EventBus, EventCtx, SimInput,
+    SimObservation, SimOptions, StreamInput, Subscriber,
 };
 pub use rupam_metrics::trace::LaunchReason;
 pub use scheduler::{Command, NodeView, OfferInput, PendingTaskView, Scheduler};

@@ -1,0 +1,121 @@
+//! Shared scheduler fixtures for tests and benchmarks.
+//!
+//! Deliberately naive [`Scheduler`] implementations that exercise the
+//! engine without any placement intelligence. They live in the library
+//! (not under `#[cfg(test)]`) so that unit tests, integration tests and
+//! the bench harness all drive the engine through the same fixtures
+//! instead of each carrying a private copy.
+
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_dag::app::Application;
+use rupam_metrics::trace::LaunchReason;
+use rupam_simcore::units::ByteSize;
+
+use crate::scheduler::{Command, OfferInput, Scheduler};
+
+/// A trivially greedy FIFO scheduler: fills every node's core slots in
+/// node order, ignores locality, memory pressure and speculation.
+pub struct FifoScheduler {
+    slots: Vec<usize>,
+}
+
+impl FifoScheduler {
+    /// A fresh fixture; slots are sized on [`Scheduler::on_app_start`].
+    pub fn new() -> Self {
+        FifoScheduler { slots: Vec::new() }
+    }
+}
+
+impl Default for FifoScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for FifoScheduler {
+    fn name(&self) -> &str {
+        "fifo-test"
+    }
+    fn executor_memory(&self, cluster: &ClusterSpec, node: NodeId) -> ByteSize {
+        cluster.node(node).mem
+    }
+    fn on_app_start(&mut self, _app: &Application, cluster: &ClusterSpec) {
+        self.slots = cluster.nodes().iter().map(|n| n.cores as usize).collect();
+    }
+    fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        let mut used: Vec<usize> = input.nodes.iter().map(|n| n.running_count()).collect();
+        for p in &input.pending {
+            if let Some(i) =
+                (0..input.nodes.len()).find(|&i| !input.nodes[i].blocked && used[i] < self.slots[i])
+            {
+                used[i] += 1;
+                cmds.push(Command::Launch {
+                    task: p.task,
+                    node: NodeId(i),
+                    use_gpu: false,
+                    speculative: false,
+                    reason: LaunchReason::FifoSlot,
+                });
+            }
+        }
+        cmds
+    }
+}
+
+/// [`FifoScheduler`] that additionally launches a speculative copy of
+/// every flagged straggler onto node 2 (assumed fast in the fixtures
+/// that use it).
+pub struct SpecFifo(pub FifoScheduler);
+
+impl Scheduler for SpecFifo {
+    fn name(&self) -> &str {
+        "spec-fifo"
+    }
+    fn executor_memory(&self, c: &ClusterSpec, n: NodeId) -> ByteSize {
+        self.0.executor_memory(c, n)
+    }
+    fn on_app_start(&mut self, a: &Application, c: &ClusterSpec) {
+        self.0.on_app_start(a, c);
+    }
+    fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command> {
+        let mut cmds = self.0.offer_round(input);
+        for s in &input.speculatable {
+            // copy onto the last (fast) node
+            cmds.push(Command::Launch {
+                task: s.task,
+                node: NodeId(2),
+                use_gpu: false,
+                speculative: true,
+                reason: LaunchReason::SparkSpeculative,
+            });
+        }
+        cmds
+    }
+}
+
+/// Launches every pending task onto node 0 with `use_gpu: true`;
+/// exercises the GPU execution path without any placement logic.
+pub struct GpuFifo;
+
+impl Scheduler for GpuFifo {
+    fn name(&self) -> &str {
+        "gpu-fifo"
+    }
+    fn executor_memory(&self, c: &ClusterSpec, n: NodeId) -> ByteSize {
+        c.node(n).mem
+    }
+    fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command> {
+        input
+            .pending
+            .iter()
+            .map(|p| Command::Launch {
+                task: p.task,
+                node: NodeId(0),
+                use_gpu: true,
+                speculative: false,
+                reason: LaunchReason::FifoSlot,
+            })
+            .collect()
+    }
+}

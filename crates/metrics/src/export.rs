@@ -60,15 +60,22 @@ pub fn records_csv(report: &RunReport) -> String {
     out
 }
 
+/// Schema-version marker emitted as the first line of [`trace_csv`].
+/// Bump the version whenever columns or detail payloads change shape, so
+/// downstream tooling can refuse files it does not understand. The `#`
+/// prefix matches the digest-file convention (`# rupam-trace-digests v1`).
+pub const TRACE_CSV_SCHEMA: &str = "# rupam-trace-csv v1";
+
 /// One CSV row per decision-trace event:
-/// `time_s,round,event,task,node,detail`. The `detail` column carries
-/// the event-specific payload (launch reason code and locality, kill
+/// `time_s,round,event,task,node,detail`, preceded by the
+/// [`TRACE_CSV_SCHEMA`] version line. The `detail` column carries the
+/// event-specific payload (launch reason code and locality, kill
 /// pressure, audit check name, …) so the trace stays greppable without
 /// a schema per event kind.
 pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
     use crate::trace::TraceEventKind as K;
     let fmt_task = |t: &rupam_dag::TaskRef| format!("{}.{}", t.stage.index(), t.index);
-    let mut out = String::from("time_s,round,event,task,node,detail\n");
+    let mut out = format!("{TRACE_CSV_SCHEMA}\ntime_s,round,event,task,node,detail\n");
     for e in trace.iter() {
         let (task, node, detail) = match &e.kind {
             K::ExecutorSized { node, mem } => {
@@ -89,8 +96,7 @@ pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
                 fmt_task(task),
                 node.index().to_string(),
                 format!(
-                    "reason={} locality={} attempt={attempt} speculative={speculative} gpu={use_gpu} job={}",
-                    reason.code(),
+                    "reason={reason} locality={} attempt={attempt} speculative={speculative} gpu={use_gpu} job={}",
                     locality.label(),
                     job.index()
                 ),
@@ -277,13 +283,14 @@ mod tests {
         });
         let csv = trace_csv(&trace);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "time_s,round,event,task,node,detail");
-        assert_eq!(lines.len(), 3);
-        assert!(lines[1].starts_with("0.500000,1,launch,2.3,1,"));
-        assert!(lines[1].contains("reason=safety-valve"));
-        assert!(lines[1].contains("locality=NODE_LOCAL"));
-        assert!(lines[2].contains("audit-violation"));
-        assert!(lines[2].contains("\"memory-feasibility: claim, with comma\""));
+        assert_eq!(lines[0], TRACE_CSV_SCHEMA);
+        assert_eq!(lines[1], "time_s,round,event,task,node,detail");
+        assert_eq!(lines.len(), 4);
+        assert!(lines[2].starts_with("0.500000,1,launch,2.3,1,"));
+        assert!(lines[2].contains("reason=safety-valve"));
+        assert!(lines[2].contains("locality=NODE_LOCAL"));
+        assert!(lines[3].contains("audit-violation"));
+        assert!(lines[3].contains("\"memory-feasibility: claim, with comma\""));
     }
 
     #[test]
@@ -315,12 +322,13 @@ mod tests {
         }));
         let csv = trace_csv(&trace);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines.len(), 6);
-        assert!(lines[1].contains("fault-injected") && lines[1].contains("fault=crash"));
-        assert!(lines[2].contains("node-suspect") && lines[2].contains("age_s=4.500000"));
-        assert!(lines[3].contains("node-dead") && lines[3].contains("age_s=11.000000"));
-        assert!(lines[4].contains("node-recovered"));
-        assert!(lines[5].contains("lineage-recompute") && lines[5].contains("stage=1 tasks=4"));
+        assert_eq!(lines[0], TRACE_CSV_SCHEMA);
+        assert_eq!(lines.len(), 7);
+        assert!(lines[2].contains("fault-injected") && lines[2].contains("fault=crash"));
+        assert!(lines[3].contains("node-suspect") && lines[3].contains("age_s=4.500000"));
+        assert!(lines[4].contains("node-dead") && lines[4].contains("age_s=11.000000"));
+        assert!(lines[5].contains("node-recovered"));
+        assert!(lines[6].contains("lineage-recompute") && lines[6].contains("stage=1 tasks=4"));
     }
 
     #[test]

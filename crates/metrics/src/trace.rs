@@ -14,6 +14,7 @@
 //! of silent truncation.
 
 use std::collections::VecDeque;
+use std::fmt;
 
 use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
@@ -103,6 +104,15 @@ impl LaunchReason {
             self,
             LaunchReason::QueueMatch { .. } | LaunchReason::GpuCpuFallback { .. }
         )
+    }
+}
+
+/// Displays as the canonical [`LaunchReason::code`] — trace exports,
+/// audit violation text and report summaries all render reasons through
+/// this one table, so the strings never drift apart.
+impl fmt::Display for LaunchReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
     }
 }
 
@@ -477,6 +487,46 @@ mod tests {
             achieved: Locality::Any
         }
         .claims_memory_checked());
+    }
+
+    #[test]
+    fn display_renders_the_canonical_code_for_every_variant() {
+        // one value per row of the canonical table; Display must never
+        // drift from code(), and the codes must stay pairwise distinct
+        let variants = [
+            LaunchReason::QueueMatch {
+                kind: ResourceKind::Cpu,
+                locality: Locality::Any,
+            },
+            LaunchReason::BestExecutorLock {
+                overrode_memory_veto: true,
+            },
+            LaunchReason::BestExecutorLock {
+                overrode_memory_veto: false,
+            },
+            LaunchReason::GpuCpuFallback {
+                locality: Locality::Any,
+            },
+            LaunchReason::SafetyValve,
+            LaunchReason::DelaySchedule {
+                allowed: Locality::Any,
+                achieved: Locality::Any,
+            },
+            LaunchReason::SparkSpeculative,
+            LaunchReason::FifoSlot,
+            LaunchReason::Relocation {
+                bottleneck: ResourceKind::Io,
+            },
+            LaunchReason::GpuRace,
+        ];
+        let mut codes = Vec::new();
+        for r in variants {
+            assert_eq!(r.to_string(), r.code(), "Display drifted for {r:?}");
+            codes.push(r.code());
+        }
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), variants.len(), "reason codes must be unique");
     }
 
     #[test]

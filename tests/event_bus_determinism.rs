@@ -1,0 +1,273 @@
+//! Integration tests of the engine event bus: dispatch order must be a
+//! pure function of the subscriber set (registration order invisible),
+//! caller-supplied subscribers must see the exact event stream the
+//! official trace emitter sees, and — in the style of the corrupted
+//! scheduler in `decision_audit.rs` — a deliberately lossy subscriber
+//! must produce a digest that does NOT match, proving the equivalence
+//! check has teeth.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{AppBuilder, Application, StageKind};
+use rupam_dag::data::DataLayout;
+use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+use rupam_exec::testutil::FifoScheduler;
+use rupam_exec::{
+    simulate_observed, simulate_observed_with, BusStage, EngineEvent, EventCtx, SimConfig,
+    SimInput, SimOptions, Subscriber,
+};
+use rupam_metrics::trace::{TraceBuffer, TraceEvent};
+use rupam_simcore::units::ByteSize;
+
+fn tiny_app(tasks_per_stage: usize) -> (Application, DataLayout) {
+    let mut b = AppBuilder::new("bus-tiny");
+    let j = b.begin_job();
+    let mk = |n: usize, c: f64, sw: u64, sr: u64| {
+        (0..n)
+            .map(|i| TaskTemplate {
+                index: i,
+                input: if sr > 0 {
+                    InputSource::Shuffle
+                } else {
+                    InputSource::Generated
+                },
+                demand: TaskDemand {
+                    compute: c,
+                    shuffle_write: ByteSize::mib(sw),
+                    shuffle_read: ByteSize::mib(sr),
+                    peak_mem: ByteSize::mib(512),
+                    ..TaskDemand::default()
+                },
+            })
+            .collect::<Vec<_>>()
+    };
+    let m = b.add_stage(
+        j,
+        "map",
+        "bus/map",
+        StageKind::ShuffleMap,
+        vec![],
+        mk(tasks_per_stage, 4.0, 16, 0),
+    );
+    b.add_stage(
+        j,
+        "reduce",
+        "bus/reduce",
+        StageKind::Result,
+        vec![m],
+        mk(2, 2.0, 0, 16),
+    );
+    (b.build(), DataLayout::new())
+}
+
+/// A do-nothing subscriber with a configurable (stage, name); used to
+/// prove that attaching observers never perturbs a run.
+struct Noop {
+    name: &'static str,
+    stage: BusStage,
+}
+
+impl Subscriber for Noop {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn stage(&self) -> BusStage {
+        self.stage
+    }
+    fn on_event(&mut self, _ctx: &EventCtx, _event: &EngineEvent) {}
+}
+
+/// Mirrors [`EngineEvent::trace_kind`] into its own digest-only buffer,
+/// shared out through an `Rc` so the test can read it after the run.
+/// When `drop_every` is set, every Nth event is silently skipped — the
+/// "corrupted subscriber" of the meta-test.
+struct ShadowTrace {
+    buf: Rc<RefCell<TraceBuffer>>,
+    drop_every: Option<usize>,
+    seen: usize,
+}
+
+impl ShadowTrace {
+    fn new(drop_every: Option<usize>) -> (Self, Rc<RefCell<TraceBuffer>>) {
+        let buf = Rc::new(RefCell::new(TraceBuffer::new(0)));
+        (
+            ShadowTrace {
+                buf: Rc::clone(&buf),
+                drop_every,
+                seen: 0,
+            },
+            buf,
+        )
+    }
+}
+
+impl Subscriber for ShadowTrace {
+    fn name(&self) -> &'static str {
+        "shadow"
+    }
+    fn stage(&self) -> BusStage {
+        BusStage::Emit
+    }
+    fn is_trace_sink(&self) -> bool {
+        true
+    }
+    fn on_event(&mut self, ctx: &EventCtx, event: &EngineEvent) {
+        self.seen += 1;
+        if let Some(n) = self.drop_every {
+            if self.seen.is_multiple_of(n) {
+                return;
+            }
+        }
+        if let Some(kind) = event.trace_kind() {
+            self.buf.borrow_mut().record(TraceEvent {
+                at: ctx.at,
+                round: ctx.round,
+                kind,
+            });
+        }
+    }
+}
+
+fn run_traced(extra: Vec<Box<dyn Subscriber>>) -> (rupam_metrics::report::RunReport, TraceBuffer) {
+    let cluster = ClusterSpec::two_node_motivation();
+    let (app, layout) = tiny_app(8);
+    let cfg = SimConfig::default();
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 33,
+    };
+    let mut sched = FifoScheduler::new();
+    let (report, obs) = simulate_observed_with(&input, &mut sched, &SimOptions::traced(), extra);
+    (report, obs.trace.expect("traced run keeps a trace"))
+}
+
+/// The observable outcome of a run — report and official trace digest —
+/// is identical no matter how many extra subscribers are attached or in
+/// what order they were registered.
+#[test]
+fn subscriber_registration_order_is_invisible() {
+    let noop = |name, stage| -> Box<dyn Subscriber> { Box::new(Noop { name, stage }) };
+    let (base_report, base_trace) = run_traced(Vec::new());
+    // three registration orders of the same subscriber set
+    let orders: [[&'static str; 3]; 3] = [
+        ["alpha", "beta", "gamma"],
+        ["gamma", "alpha", "beta"],
+        ["beta", "gamma", "alpha"],
+    ];
+    let stage_of = |name| match name {
+        "alpha" => BusStage::Emit,
+        "beta" => BusStage::Statistics,
+        _ => BusStage::Audit,
+    };
+    for order in orders {
+        let shuffled: Vec<Box<dyn Subscriber>> =
+            order.iter().map(|&n| noop(n, stage_of(n))).collect();
+        let (report, trace) = run_traced(shuffled);
+        assert_eq!(report.makespan, base_report.makespan, "order {order:?}");
+        assert_eq!(report.records.len(), base_report.records.len());
+        assert_eq!(
+            trace.digest(),
+            base_trace.digest(),
+            "digest diverged for registration order {order:?}"
+        );
+        assert_eq!(trace.recorded(), base_trace.recorded());
+    }
+}
+
+/// The bus itself sorts subscribers into canonical (stage, name) order
+/// regardless of how they were registered.
+#[test]
+fn bus_dispatch_order_is_canonical() {
+    use rupam_exec::EventBus;
+    let orders: [[(&'static str, BusStage); 3]; 2] = [
+        [
+            ("alpha", BusStage::Emit),
+            ("beta", BusStage::Statistics),
+            ("gamma", BusStage::Audit),
+        ],
+        [
+            ("gamma", BusStage::Audit),
+            ("alpha", BusStage::Emit),
+            ("beta", BusStage::Statistics),
+        ],
+    ];
+    for order in orders {
+        let mut bus = EventBus::new();
+        for (name, stage) in order {
+            bus.register(Box::new(Noop { name, stage }));
+        }
+        assert_eq!(
+            bus.subscriber_names(),
+            vec!["beta", "gamma", "alpha"],
+            "Statistics < Audit < Emit, then name order"
+        );
+    }
+}
+
+/// A shadow subscriber that mirrors the canonical
+/// [`EngineEvent::trace_kind`] projection reconstructs the official
+/// trace digest byte-for-byte: the bus delivers the complete stream.
+#[test]
+fn shadow_subscriber_reconstructs_official_digest() {
+    let (shadow, buf) = ShadowTrace::new(None);
+    let (_report, official) = run_traced(vec![Box::new(shadow)]);
+    let shadow_trace = buf.borrow();
+    assert_eq!(
+        shadow_trace.digest(),
+        official.digest(),
+        "shadow trace diverged from the official emitter"
+    );
+    assert_eq!(shadow_trace.recorded(), official.recorded());
+    assert!(official.recorded() > 0, "trivial run traced nothing");
+}
+
+/// Meta-test: a corrupted subscriber that drops every 7th event must
+/// NOT reproduce the official digest — i.e. the equivalence check above
+/// can actually fail.
+#[test]
+fn corrupted_subscriber_is_caught() {
+    let (shadow, buf) = ShadowTrace::new(Some(7));
+    let (_report, official) = run_traced(vec![Box::new(shadow)]);
+    let shadow_trace = buf.borrow();
+    assert_ne!(
+        shadow_trace.digest(),
+        official.digest(),
+        "a lossy shadow must not match the official digest"
+    );
+    assert!(shadow_trace.recorded() < official.recorded());
+}
+
+/// Attaching subscribers to an *untraced* run must not change the
+/// report either (no derived-payload events are forced on).
+#[test]
+fn subscribers_do_not_perturb_untraced_runs() {
+    let cluster = ClusterSpec::two_node_motivation();
+    let (app, layout) = tiny_app(8);
+    let cfg = SimConfig::default();
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 33,
+    };
+    let mut a = FifoScheduler::new();
+    let (plain, _) = simulate_observed(&input, &mut a, &SimOptions::default());
+    let mut b = FifoScheduler::new();
+    let (with_noop, _) = simulate_observed_with(
+        &input,
+        &mut b,
+        &SimOptions::default(),
+        vec![Box::new(Noop {
+            name: "watcher",
+            stage: BusStage::Statistics,
+        })],
+    );
+    assert_eq!(plain.makespan, with_noop.makespan);
+    assert_eq!(plain.records.len(), with_noop.records.len());
+}
