@@ -42,6 +42,14 @@ pub const GATE_TOLERANCE: f64 = 0.25;
 /// is worse, and the committed baseline is irrelevant.
 pub const ENGINE_OVERHEAD_CEILING: f64 = 1.05;
 
+/// Absolute ceiling for `offer_scaling_256_over_64`: quadrupling the
+/// cluster (hydra64 → hydra256) may at most double the median
+/// offer-round latency on the incremental path. This is the scalability
+/// contract of the sharded node-queue cache — O(changed) refreshes and
+/// bound-pruned shard scans, not O(nodes) rebuilds. Gates on this run's
+/// absolute value, like [`ENGINE_OVERHEAD_CEILING`].
+pub const OFFER_SCALING_CEILING: f64 = 2.0;
+
 /// Wraps a scheduler and records the wall-clock cost of every offer
 /// round.
 struct TimingScheduler<S> {
@@ -380,6 +388,11 @@ pub fn run(quick: bool) -> PerfReport {
         shapes.push(("hydra32", ClusterSpec::hydra_mix(16, 8, 8)));
     }
     shapes.push(("hydra64", ClusterSpec::hydra_mix(48, 8, 8)));
+    // hydra256 runs even in --quick: it feeds the offer_scaling gate row
+    shapes.push(("hydra256", ClusterSpec::hydra_mix(192, 32, 32)));
+    if !quick {
+        shapes.push(("hydra1k", ClusterSpec::hydra_mix(768, 128, 128)));
+    }
 
     let clusters = shapes
         .into_iter()
@@ -456,6 +469,20 @@ pub fn to_json(r: &PerfReport) -> String {
     for (label, ratio) in &r.degraded {
         let _ = writeln!(s, "    \"degraded_resilience_{label}\": {ratio:.3},");
     }
+    // near-constant offer latency across a 4× node-count jump is the
+    // sharded cache's scalability contract; only emitted when the run
+    // measured both shapes
+    let p50 = |label: &str| {
+        r.clusters
+            .iter()
+            .find(|c| c.label == label)
+            .map(|c| c.incremental.offer_p50_us)
+    };
+    if let (Some(big), Some(small)) = (p50("hydra256"), p50("hydra64")) {
+        if small > 0.0 {
+            let _ = writeln!(s, "    \"offer_scaling_256_over_64\": {:.3},", big / small);
+        }
+    }
     let _ = writeln!(s, "    \"engine_event_overhead\": {:.3},", r.event_overhead);
     let _ = writeln!(
         s,
@@ -493,6 +520,7 @@ pub fn gate_keys(json: &str) -> Vec<String> {
                 || k.starts_with("db_")
                 || k.starts_with("degraded_")
                 || k.starts_with("engine_")
+                || k.starts_with("offer_scaling_")
         })
         .map(|k| k.to_string())
         .collect()
@@ -512,6 +540,14 @@ pub fn regressions(fresh: &str, baseline: &str) -> Vec<(String, f64, f64)> {
             if let Some(f) = extract_number(fresh, &key) {
                 if f > ENGINE_OVERHEAD_CEILING {
                     bad.push((key, f, ENGINE_OVERHEAD_CEILING));
+                }
+            }
+            continue;
+        }
+        if key.starts_with("offer_scaling_") {
+            if let Some(f) = extract_number(fresh, &key) {
+                if f > OFFER_SCALING_CEILING {
+                    bad.push((key, f, OFFER_SCALING_CEILING));
                 }
             }
             continue;
@@ -607,6 +643,56 @@ mod tests {
         assert!(gate_keys(&json).contains(&"degraded_resilience_crash1".to_string()));
         assert_eq!(extract_number(&json, "engine_event_overhead"), Some(1.012));
         assert!(gate_keys(&json).contains(&"engine_event_overhead".to_string()));
+    }
+
+    #[test]
+    fn offer_scaling_row_emitted_when_both_shapes_present() {
+        let path = |p50: f64| PathTiming {
+            e2e_ms: 100.0,
+            offer_p50_us: p50,
+            offer_p95_us: p50 * 2.0,
+            offer_total_ms: 20.0,
+            rounds: 1000,
+            makespan_secs: 500.0,
+        };
+        let cluster = |label: &str, nodes: usize, p50: f64| ClusterResult {
+            label: label.into(),
+            nodes,
+            jobs: 8,
+            incremental: path(p50),
+            rebuild: path(p50 * 3.0),
+        };
+        let mut r = PerfReport {
+            clusters: vec![cluster("hydra64", 64, 4.0), cluster("hydra256", 256, 6.0)],
+            db: DbThroughput {
+                ops_per_sec_1t: 1e6,
+                ops_per_sec_4t: 3e6,
+            },
+            degraded: Vec::new(),
+            event_overhead: 1.0,
+        };
+        let json = to_json(&r);
+        assert_eq!(
+            extract_number(&json, "offer_scaling_256_over_64"),
+            Some(1.5)
+        );
+        assert!(gate_keys(&json).contains(&"offer_scaling_256_over_64".to_string()));
+        // a run without hydra256 (e.g. a trimmed local loop) omits the row
+        r.clusters.pop();
+        let json = to_json(&r);
+        assert_eq!(extract_number(&json, "offer_scaling_256_over_64"), None);
+    }
+
+    #[test]
+    fn offer_scaling_gates_on_absolute_ceiling() {
+        let baseline = "{\"gate\": {}}";
+        let ok = "{\"gate\": {\"offer_scaling_256_over_64\": 1.7}}";
+        assert!(regressions(ok, baseline).is_empty());
+        let bad = "{\"gate\": {\"offer_scaling_256_over_64\": 2.3}}";
+        let r = regressions(bad, baseline);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "offer_scaling_256_over_64");
+        assert_eq!(r[0].2, OFFER_SCALING_CEILING);
     }
 
     #[test]

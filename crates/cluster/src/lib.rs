@@ -26,4 +26,4 @@ pub mod topology;
 pub use monitor::{HeartbeatSnapshot, NodeMetrics, ResourceMonitor};
 pub use node::{DiskSpec, NodeId, NodeSpec};
 pub use resources::ResourceKind;
-pub use topology::ClusterSpec;
+pub use topology::{ClusterSpec, ShardMap};

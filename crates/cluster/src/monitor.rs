@@ -132,6 +132,18 @@ impl ResourceMonitor {
         }
     }
 
+    /// Ingest one round's worth of heartbeats in a single call — what a
+    /// heartbeat *storm* produces. Semantically identical to calling
+    /// [`ResourceMonitor::ingest`] once per snapshot in order; batching
+    /// lets the driver hand the monitor one slice per round instead of
+    /// one call per node, so downstream consumers (shard refresh) see a
+    /// single coherent patch set.
+    pub fn ingest_batch(&mut self, batch: &[HeartbeatSnapshot]) {
+        for &hb in batch {
+            self.ingest(hb);
+        }
+    }
+
     /// The most recent metrics for `node`.
     pub fn latest(&self, node: NodeId) -> &NodeMetrics {
         &self.records[node.index()].latest
@@ -238,6 +250,39 @@ mod tests {
             SimDuration::from_secs(1),
         );
         assert!((sd[0].1 - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_ingest_matches_sequential() {
+        let t = SimTime::from_secs_f64(3.0);
+        let storm = [
+            HeartbeatSnapshot {
+                node: NodeId(0),
+                at: t,
+                metrics: metrics(0.4, 3),
+            },
+            HeartbeatSnapshot {
+                node: NodeId(1),
+                at: t,
+                metrics: metrics(0.9, 7),
+            },
+        ];
+        let mut batched = monitor();
+        batched.ingest_batch(&storm);
+        let mut sequential = monitor();
+        for hb in storm {
+            sequential.ingest(hb);
+        }
+        for n in [NodeId(0), NodeId(1)] {
+            assert_eq!(batched.latest(n), sequential.latest(n));
+            assert_eq!(batched.latest_at(n), sequential.latest_at(n));
+            for key in MetricKey::ALL {
+                assert_eq!(
+                    batched.history(n, key).value_at(t),
+                    sequential.history(n, key).value_at(t)
+                );
+            }
+        }
     }
 
     #[test]

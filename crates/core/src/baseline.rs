@@ -380,6 +380,7 @@ mod tests {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         }
     }
 
@@ -539,6 +540,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![pending(0, 0, vec![])],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let cmds = s.offer_round(&offer);
         let spec_launches: Vec<_> = cmds

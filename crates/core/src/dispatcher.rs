@@ -30,7 +30,7 @@ use rupam_exec::scheduler::{Command, NodeView, OfferInput, PendingTaskView};
 use rupam_metrics::trace::LaunchReason;
 
 use crate::config::RupamConfig;
-use crate::rm::{NodeOrder, NodeQueueCache, ResourceQueues};
+use crate::rm::{NodeQueueCache, Rank, ResourceQueues, ShardedOrder};
 use crate::tm::TaskManager;
 
 /// Per-node admission bookkeeping within one offer round (commands have
@@ -47,19 +47,11 @@ struct Claims {
 
 /// The per-kind node ranking a dispatch pass consumes: either rebuilt
 /// from scratch for this round (the reference path) or served from the
-/// scheduler's persistent [`NodeQueueCache`] with early-exit bounds.
-enum Ranking {
+/// scheduler's persistent sharded [`NodeQueueCache`] with early-exit
+/// bounds per shard.
+enum Ranking<'c> {
     Rebuilt(ResourceQueues),
-    Cached(NodeOrder),
-}
-
-impl Ranking {
-    fn nodes(&self, kind: ResourceKind) -> &[NodeId] {
-        match self {
-            Ranking::Rebuilt(q) => q.nodes(kind),
-            Ranking::Cached(o) => o.nodes(kind),
-        }
-    }
+    Cached(ShardedOrder<'c>),
 }
 
 /// Algorithm 2 over one offer snapshot.
@@ -340,35 +332,44 @@ impl<'a> Dispatcher<'a> {
     ///   claim and a large burst waterfills down the tiers instead of
     ///   starving the weaker nodes behind the head.
     ///
-    /// On the incremental path the cached [`NodeOrder`] carries, per
-    /// queue position, an upper bound on any later node's score — so the
-    /// scan stops as soon as the incumbent strictly beats the bound
-    /// (strictly: a later node may still tie the score and win the
-    /// utilisation/load tiebreak), instead of always walking the full
-    /// queue.
-    fn pick_node(&self, ranking: &Ranking, queue_kind: ResourceKind) -> Option<NodeId> {
+    /// On the incremental path the cached [`ShardedOrder`] carries, per
+    /// shard and queue position, an upper bound on any later node's
+    /// score — so the scan skips whole shards whose top bound cannot
+    /// beat the incumbent and stops inside a shard as soon as the
+    /// incumbent strictly beats the position bound (strictly: a later
+    /// node may still tie the score and win the utilisation/load/rank
+    /// tiebreak), instead of always walking the full queue.
+    fn pick_node(&self, ranking: &Ranking<'_>, queue_kind: ResourceKind) -> Option<NodeId> {
+        match ranking {
+            Ranking::Rebuilt(q) => self.pick_node_scan(q.nodes(queue_kind), queue_kind),
+            Ranking::Cached(order) => self.pick_node_sharded(order, queue_kind),
+        }
+    }
+
+    /// The pick score + tiebreak fields of one candidate node.
+    fn pick_key(&self, n: NodeId, queue_kind: ResourceKind) -> (f64, f64, usize) {
+        let util = self.utilization_with_claims(n, queue_kind).clamp(0.0, 1.0);
+        let cap = self.input.cluster.node(n).capability(queue_kind);
+        let score = match queue_kind {
+            ResourceKind::Cpu | ResourceKind::Gpu => cap,
+            ResourceKind::Mem | ResourceKind::Net | ResourceKind::Io => cap * (1.0 - util),
+        };
+        // this kind's utilisation can tie exactly (e.g. two idle
+        // 1 GbE NICs) while the nodes are unequally busy overall —
+        // prefer the emptier node then, and only then the snapshot
+        // queue order (strict comparisons keep the earliest node)
+        let load = self.input.nodes[n.index()].running_count() + self.claims[n.index()].launches;
+        (score, util, load)
+    }
+
+    /// Reference path: full first-wins scan of a flat sorted queue.
+    fn pick_node_scan(&self, nodes: &[NodeId], queue_kind: ResourceKind) -> Option<NodeId> {
         let mut best: Option<(NodeId, f64, f64, usize)> = None;
-        for (i, &n) in ranking.nodes(queue_kind).iter().enumerate() {
-            if let (Ranking::Cached(order), Some((_, s, _, _))) = (ranking, best) {
-                if s > order.bound(queue_kind, i) {
-                    break;
-                }
-            }
+        for &n in nodes {
             if !self.has_room(n, queue_kind) {
                 continue;
             }
-            let util = self.utilization_with_claims(n, queue_kind).clamp(0.0, 1.0);
-            let cap = self.input.cluster.node(n).capability(queue_kind);
-            let score = match queue_kind {
-                ResourceKind::Cpu | ResourceKind::Gpu => cap,
-                ResourceKind::Mem | ResourceKind::Net | ResourceKind::Io => cap * (1.0 - util),
-            };
-            // this kind's utilisation can tie exactly (e.g. two idle
-            // 1 GbE NICs) while the nodes are unequally busy overall —
-            // prefer the emptier node then, and only then the snapshot
-            // queue order (strict comparisons keep the earliest node)
-            let load =
-                self.input.nodes[n.index()].running_count() + self.claims[n.index()].launches;
+            let (score, util, load) = self.pick_key(n, queue_kind);
             let better = match best {
                 None => true,
                 Some((_, s, u, l)) => {
@@ -380,6 +381,54 @@ impl<'a> Dispatcher<'a> {
             }
         }
         best.map(|(n, _, _, _)| n)
+    }
+
+    /// Incremental path: scan each shard's queue independently and merge
+    /// the per-shard winners. The flat scan's winner is the lexicographic
+    /// minimum of `(−score, util, load, queue position)` over admissible
+    /// nodes, and queue position is exactly the [`Rank`] total order —
+    /// so carrying the candidate's `Rank` as the final tiebreak makes
+    /// the shard-merged pick byte-identical to the flat one, while the
+    /// suffix-max bounds let whole shards be skipped once the incumbent
+    /// strictly beats their best possible score.
+    fn pick_node_sharded(
+        &self,
+        order: &ShardedOrder<'_>,
+        queue_kind: ResourceKind,
+    ) -> Option<NodeId> {
+        let mut best: Option<(NodeId, f64, f64, usize, Rank)> = None;
+        for shard in 0..order.shard_count() {
+            if let Some((_, s, _, _, _)) = best {
+                if s > order.top_bound(shard, queue_kind) {
+                    continue;
+                }
+            }
+            for (i, r) in order.ranks(shard, queue_kind).iter().enumerate() {
+                if let Some((_, s, _, _, _)) = best {
+                    if s > order.bound(shard, queue_kind, i) {
+                        break;
+                    }
+                }
+                let n = r.node;
+                if !self.has_room(n, queue_kind) {
+                    continue;
+                }
+                let (score, util, load) = self.pick_key(n, queue_kind);
+                let better = match &best {
+                    None => true,
+                    Some((_, s, u, l, br)) => {
+                        score > *s
+                            || (score == *s
+                                && (util < *u
+                                    || (util == *u && (load < *l || (load == *l && r < br)))))
+                    }
+                };
+                if better {
+                    best = Some((n, score, util, load, *r));
+                }
+            }
+        }
+        best.map(|(n, _, _, _, _)| n)
     }
 
     /// Algorithm 2's `schedule_task`: pick the task from `kind`'s queue
@@ -465,12 +514,27 @@ impl<'a> Dispatcher<'a> {
         tm: &mut TaskManager,
         cache: &mut NodeQueueCache,
     ) -> Vec<Command> {
-        cache.refresh(self.input.cluster, &self.input.nodes);
-        let ranking = Ranking::Cached(cache.order(self.input.cluster));
+        cache.refresh_keys(
+            self.input.cluster,
+            &self.input.nodes,
+            self.input.changed.as_deref(),
+        );
+        // With nothing pending the matching loop can only produce zero
+        // launches (every TM-queue entry resolves to no dispatchable
+        // view, and the safety valve needs a pending task too) — skip
+        // the per-node claims allocation, the pick scans and even the
+        // dispatch-queue materialisation outright. The re-keying above
+        // still ran, so the ordered sets stay in sync and the queues
+        // catch up lazily on the next busy round.
+        if self.input.pending.is_empty() {
+            return Vec::new();
+        }
+        cache.materialize_dirty(self.input.cluster);
+        let ranking = Ranking::Cached(cache.sharded_order());
         self.run(tm, &ranking)
     }
 
-    fn run(&mut self, tm: &mut TaskManager, ranking: &Ranking) -> Vec<Command> {
+    fn run(&mut self, tm: &mut TaskManager, ranking: &Ranking<'_>) -> Vec<Command> {
         let mut cmds = Vec::new();
         loop {
             let mut launched_any = false;
@@ -650,6 +714,7 @@ mod tests {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         }
     }
 

@@ -77,7 +77,7 @@ impl RupamScheduler {
             straggler: StragglerState::new(0),
             stage_templates: HashMap::new(),
             min_node_mem: ByteSize::gib(16),
-            node_cache: NodeQueueCache::new(),
+            node_cache: NodeQueueCache::with_shards(cfg.shard_count),
             cfg,
             name,
         }

@@ -52,6 +52,23 @@ impl StragglerState {
     }
 }
 
+/// The node views a straggler rule needs to inspect this round, in
+/// ascending node order. Every straggler mechanism acts only on nodes
+/// with running attempts, and [`OfferInput::changed`] guarantees a
+/// `Some` delta covers every such node — so scanning the delta visits
+/// the same candidates as scanning the whole cluster, at `O(changed)`.
+fn candidate_views<'a>(input: &'a OfferInput<'a>) -> impl Iterator<Item = &'a NodeView> + 'a {
+    let (delta, all) = match input.changed.as_deref() {
+        Some(d) => (Some(d), None),
+        None => (None, Some(&input.nodes[..])),
+    };
+    delta
+        .into_iter()
+        .flatten()
+        .map(|id| &input.nodes[id.index()])
+        .chain(all.into_iter().flatten())
+}
+
 /// Memory-straggler detection: for every node whose free memory fell
 /// below the watermark, kill-and-requeue the hungriest running task
 /// (respecting a per-node cooldown).
@@ -61,7 +78,7 @@ pub fn memory_straggler_commands(
     input: &OfferInput<'_>,
 ) -> Vec<Command> {
     let mut cmds = Vec::new();
-    for view in &input.nodes {
+    for view in candidate_views(input) {
         let watermark = view.executor_mem.scale(cfg.mem_straggler_watermark);
         if view.free_mem > watermark || view.running.is_empty() {
             continue;
@@ -102,7 +119,7 @@ pub fn gpu_race_commands(
     tm: &TaskManager,
 ) -> Vec<Command> {
     let mut cmds = Vec::new();
-    for view in &input.nodes {
+    for view in candidate_views(input) {
         for r in &view.running {
             if r.speculative || state.raced.contains(&r.task) {
                 continue;
@@ -159,7 +176,7 @@ pub fn resource_straggler_candidates(
     tm: &TaskManager,
 ) -> Vec<(TaskRef, NodeId)> {
     let mut out = Vec::new();
-    for view in &input.nodes {
+    for view in candidate_views(input) {
         // a node the failure detector marked Suspect counts as contended:
         // its heartbeats are stale, so anything running there is a
         // relocation candidate before the node is declared dead outright
@@ -293,6 +310,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let cmds = memory_straggler_commands(&cfg, &mut st, &input);
         assert_eq!(
@@ -315,6 +333,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         assert!(memory_straggler_commands(&cfg, &mut st, &input2).is_empty());
     }
@@ -336,6 +355,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         assert!(memory_straggler_commands(&cfg, &mut st, &input).is_empty());
     }
@@ -358,6 +378,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let cmds = gpu_race_commands(&cfg, &mut st, &input, &tm);
         assert_eq!(cmds.len(), 1);
@@ -394,6 +415,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         assert!(gpu_race_commands(&cfg, &mut st, &input, &tm).is_empty());
     }
@@ -439,6 +461,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         assert!(
             resource_straggler_candidates(&cfg, &input, &tm).is_empty(),
@@ -454,6 +477,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let out = resource_straggler_candidates(&cfg, &input, &tm);
         assert_eq!(out.len(), 1);
@@ -473,6 +497,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let target = relocation_target(&input, ResourceKind::Cpu, NodeId(0)).unwrap();
         assert_ne!(target, NodeId(0));

@@ -160,6 +160,7 @@ proptest! {
             pending: pending.clone(),
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let cmds = if rupam_not_spark {
             let mut s = RupamScheduler::with_defaults();
@@ -198,6 +199,7 @@ proptest! {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let mut s = SparkScheduler::with_defaults();
         s.on_app_start(&app, &cluster);
@@ -239,6 +241,7 @@ proptest! {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         let cfg = RupamConfig { overcommit_factor: overcommit, ..RupamConfig::default() };
         let mut s = RupamScheduler::new(cfg);
@@ -273,6 +276,7 @@ proptest! {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         };
         for rupam in [false, true] {
             let cmds = if rupam {

@@ -473,6 +473,7 @@ mod tests {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            changed: None,
         }
     }
 

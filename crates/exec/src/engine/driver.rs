@@ -22,8 +22,9 @@ use crate::costmodel::PhaseResource;
 use crate::scheduler::Scheduler;
 
 use super::events::{EngineEvent, EventBus, EventCtx};
+use super::offers::NodeShadow;
 use super::state::{AttemptId, ClusterState};
-use super::{SimInput, WORK_EPS};
+use super::{EngineError, SimInput, WORK_EPS};
 
 /// Calendar events the engine schedules for itself.
 #[derive(Clone, Copy, Debug)]
@@ -66,6 +67,12 @@ pub(crate) struct Engine<'a, 's> {
     /// The typed event bus every observer hangs off.
     pub(crate) bus: EventBus,
     pub(crate) round: u64,
+    /// Per-node snapshot of what the scheduler saw at the previous offer
+    /// round, diffed each round into [`crate::scheduler::OfferInput::changed`].
+    pub(crate) offer_shadow: Vec<NodeShadow>,
+    /// Reusable buffer for one round's heartbeat batch (storm batching:
+    /// the monitor is patched once per round, not once per node).
+    pub(crate) hb_scratch: Vec<HeartbeatSnapshot>,
 }
 
 impl<'a, 's> Engine<'a, 's> {
@@ -78,7 +85,18 @@ impl<'a, 's> Engine<'a, 's> {
         self.bus.publish(&ctx, &event);
     }
 
-    pub(crate) fn run(&mut self) {
+    /// Run the simulation to completion (or graceful abort). The only
+    /// error case is [`EngineError::CalendarExhausted`]: nothing running,
+    /// nothing scheduled, stages incomplete — progress is impossible, so
+    /// the run ends instead of panicking.
+    pub(crate) fn run(&mut self) -> Result<(), EngineError> {
+        self.prologue();
+        self.main_loop()
+    }
+
+    /// Startup work before the first loop iteration: job submissions,
+    /// the first heartbeat, the chaos script and the initial offer round.
+    pub(crate) fn prologue(&mut self) {
         let cfg = self.input.config;
         // submit every stream job already arrived at t = 0; later
         // arrivals become calendar events (the multi-tenant case)
@@ -107,7 +125,11 @@ impl<'a, 's> Engine<'a, 's> {
             self.need_offers = false;
             self.offer_round();
         }
+    }
 
+    /// The core event loop (see [`Engine::run`]).
+    pub(crate) fn main_loop(&mut self) -> Result<(), EngineError> {
+        let cfg = self.input.config;
         let mut events: u64 = 0;
         while !self.state.tracker.all_done(self.input.app) && !self.aborted {
             events += 1;
@@ -127,11 +149,11 @@ impl<'a, 's> Engine<'a, 's> {
                 (Some((tc, _)), None) => tc,
                 (None, Some(te)) => te,
                 (None, None) => {
-                    panic!(
-                        "deadlock at {}: no running attempts and no pending events \
-                         while stages are incomplete",
-                        self.now
-                    )
+                    // no running attempts and no pending events while
+                    // stages are incomplete: the calendar drained (e.g. a
+                    // fault script crashed everything before arrival) —
+                    // end the run gracefully with a typed error
+                    return Err(EngineError::CalendarExhausted { at: self.now });
                 }
             };
 
@@ -158,7 +180,7 @@ impl<'a, 's> Engine<'a, 's> {
 
             // drain calendar events scheduled at or before `now`
             while self.cal.peek_time().map(|t| t <= self.now).unwrap_or(false) {
-                let (_, ev) = self.cal.pop().unwrap();
+                let Some((_, ev)) = self.cal.pop() else { break };
                 self.handle_event(ev);
             }
 
@@ -170,6 +192,7 @@ impl<'a, 's> Engine<'a, 's> {
         // flush final utilisation sample
         self.recompute_rates();
         self.record_utilization();
+        Ok(())
     }
 
     // ---- time & physics -------------------------------------------------
@@ -264,48 +287,28 @@ impl<'a, 's> Engine<'a, 's> {
 
     /// Node-level utilisation snapshot from current phase occupancy.
     pub(crate) fn node_metrics(&self, node_idx: usize) -> NodeMetrics {
-        let node = &self.state.nodes[node_idx];
-        let spec = self.input.cluster.node(NodeId(node_idx));
-        let mut n_cpu = 0u32;
-        let mut n_gpu = 0u32;
-        let mut net_bps = 0.0f64;
-        let mut disk_bps = 0.0f64;
-        for &aid in &node.running {
-            let a = &self.state.attempts[aid];
-            match a.current_phase().map(|p| p.resource) {
-                Some(PhaseResource::Cpu) => n_cpu += 1,
-                Some(PhaseResource::Gpu) => n_gpu += 1,
-                Some(PhaseResource::Net) => net_bps += a.rate,
-                Some(PhaseResource::DiskRead) | Some(PhaseResource::DiskWrite) => {
-                    disk_bps += a.rate
-                }
-                _ => {}
-            }
-        }
-        NodeMetrics {
-            cpu_util: (n_cpu as f64 / spec.cores as f64).min(1.0),
-            mem_used: node.mem_in_use,
-            free_mem: node.executor_mem.saturating_sub(node.mem_in_use),
-            net_util: (net_bps / spec.net_bw).min(1.0),
-            disk_util: (disk_bps / spec.disk.read_bw.max(spec.disk.write_bw)).min(1.0),
-            net_bytes_per_sec: net_bps,
-            disk_bytes_per_sec: disk_bps,
-            gpus_idle: spec.gpus.saturating_sub(n_gpu.min(spec.gpus)),
-        }
+        self.snapshot_ctx().node_metrics(node_idx)
     }
 
+    /// Sample every node's metrics and feed the monitor *one batch* for
+    /// the whole round — a heartbeat storm (many nodes reporting at the
+    /// same instant) patches the monitor once, not once per node.
     pub(crate) fn record_utilization(&mut self) {
+        let mut batch = std::mem::take(&mut self.hb_scratch);
+        batch.clear();
         for i in 0..self.state.nodes.len() {
             let m = self.node_metrics(i);
             if m != self.state.nodes[i].last_metrics {
                 self.state.nodes[i].last_metrics = m;
-                self.monitor.ingest(HeartbeatSnapshot {
+                batch.push(HeartbeatSnapshot {
                     node: NodeId(i),
                     at: self.now,
                     metrics: m,
                 });
             }
         }
+        self.monitor.ingest_batch(&batch);
+        self.hb_scratch = batch;
     }
 
     // ---- calendar dispatch ----------------------------------------------

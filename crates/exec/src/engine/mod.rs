@@ -54,7 +54,7 @@ use rupam_dag::stream::MergedStream;
 use rupam_dag::TaskRef;
 use rupam_faults::FailureDetector;
 use rupam_metrics::report::{JobOutcome, RunReport};
-use rupam_metrics::trace::{TraceBuffer, DEFAULT_TRACE_CAPACITY};
+use rupam_metrics::trace::{AbortCause, TraceBuffer, DEFAULT_TRACE_CAPACITY};
 use rupam_simcore::calendar::Calendar;
 use rupam_simcore::rng::RngFactory;
 use rupam_simcore::time::SimTime;
@@ -77,6 +77,32 @@ pub use events::{lost_task_detail, BusStage, EngineEvent, EventBus, EventCtx, Su
 pub(crate) const REDUCER_PREF_FRACTION: f64 = 0.2;
 /// Work below this is considered complete (unit-scale epsilon).
 pub(crate) const WORK_EPS: f64 = 1e-7;
+
+/// Typed failures of the core loop. These are *graceful* ends: callers
+/// ([`run_sim`]) convert them into an aborted [`RunReport`] instead of
+/// panicking mid-simulation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineError {
+    /// Nothing running and nothing on the calendar while stages remain
+    /// incomplete — progress is impossible (e.g. a fault script crashed
+    /// every node and recovery has nowhere to go).
+    CalendarExhausted {
+        /// Simulation time at which the calendar ran dry.
+        at: SimTime,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::CalendarExhausted { at } => {
+                write!(f, "event calendar exhausted at {at} with stages incomplete")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
 
 /// Everything a single-application run needs.
 pub struct SimInput<'a> {
@@ -211,13 +237,15 @@ pub fn simulate_stream_observed_with(
     run_sim(&sim_input, Some(input.stream), scheduler, opts, subscribers)
 }
 
-fn run_sim(
-    input: &SimInput<'_>,
+/// Build a ready-to-run [`Engine`] from the inputs: runtime state,
+/// stream bookkeeping, RNG streams and the detector. Split from
+/// [`run_sim`] so engine unit tests can drive the loop directly.
+pub(crate) fn assemble<'a, 's>(
+    input: &'a SimInput<'a>,
     stream: Option<&MergedStream>,
-    scheduler: &mut dyn Scheduler,
-    opts: &SimOptions,
-    extra: Vec<Box<dyn Subscriber>>,
-) -> (RunReport, SimObservation) {
+    scheduler: &'s mut dyn Scheduler,
+    bus: EventBus,
+) -> Engine<'a, 's> {
     let cluster = input.cluster;
     let cfg = input.config;
     scheduler.on_app_start(input.app, cluster);
@@ -294,22 +322,7 @@ fn run_sim(
         ),
     };
 
-    // assemble the bus: statistics always, trace/audit per options, then
-    // whatever the caller brought — registration order is irrelevant by
-    // construction (the bus dispatches in canonical (stage, name) order)
-    let mut bus = EventBus::new();
-    bus.register(Box::new(FaultStats::new()));
-    if let Some(cap) = opts.trace_capacity {
-        bus.register(Box::new(TraceEmitter::new(cap)));
-    }
-    if let Some(audit_cfg) = opts.audit.clone() {
-        bus.register(Box::new(AuditRelay::new(audit_cfg)));
-    }
-    for sub in extra {
-        bus.register(sub);
-    }
-
-    let mut sim = Engine {
+    Engine {
         input,
         sched: scheduler,
         cal: Calendar::new(),
@@ -340,7 +353,34 @@ fn run_sim(
         idle_heartbeats: 0,
         bus,
         round: 0,
-    };
+        offer_shadow: Vec::new(),
+        hb_scratch: Vec::new(),
+    }
+}
+
+fn run_sim(
+    input: &SimInput<'_>,
+    stream: Option<&MergedStream>,
+    scheduler: &mut dyn Scheduler,
+    opts: &SimOptions,
+    extra: Vec<Box<dyn Subscriber>>,
+) -> (RunReport, SimObservation) {
+    // assemble the bus: statistics always, trace/audit per options, then
+    // whatever the caller brought — registration order is irrelevant by
+    // construction (the bus dispatches in canonical (stage, name) order)
+    let mut bus = EventBus::new();
+    bus.register(Box::new(FaultStats::new()));
+    if let Some(cap) = opts.trace_capacity {
+        bus.register(Box::new(TraceEmitter::new(cap)));
+    }
+    if let Some(audit_cfg) = opts.audit.clone() {
+        bus.register(Box::new(AuditRelay::new(audit_cfg)));
+    }
+    for sub in extra {
+        bus.register(sub);
+    }
+
+    let mut sim = assemble(input, stream, scheduler, bus);
     for i in 0..sim.state.nodes.len() {
         let mem = sim.state.nodes[i].executor_mem;
         sim.publish(EngineEvent::ExecutorSized {
@@ -348,7 +388,13 @@ fn run_sim(
             mem,
         });
     }
-    sim.run();
+    if let Err(EngineError::CalendarExhausted { .. }) = sim.run() {
+        sim.aborted = true;
+        sim.publish(EngineEvent::Aborted {
+            cause: AbortCause::CalendarExhausted,
+            task: None,
+        });
+    }
 
     // recovery invariant: every fault-killed task and lineage re-pend
     // must have been re-run to completion by the end of a completed run;

@@ -7,55 +7,109 @@
 //! bus's audit sinks re-check the command batch against the very
 //! snapshot the scheduler saw.
 
-use rupam_cluster::NodeId;
+use rupam_cluster::monitor::NodeMetrics;
+use rupam_cluster::{ClusterSpec, NodeId};
 use rupam_dag::app::StageId;
 use rupam_dag::TaskRef;
-use rupam_faults::NodeHealth;
-use rupam_simcore::time::SimDuration;
+use rupam_faults::{FailureDetector, NodeHealth};
+use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
 
+use crate::costmodel::PhaseResource;
 use crate::scheduler::{NodeView, OfferInput, PendingTaskView, RunningTaskView};
 
 use super::driver::Engine;
 use super::events::EngineEvent;
-use super::state::TaskState;
+use super::state::{ClusterState, TaskState};
 
-impl<'a, 's> Engine<'a, 's> {
-    pub(crate) fn offer_round(&mut self) {
-        let offer = self.build_offer_input();
-        let commands = self.sched.offer_round(&offer);
-        self.round += 1;
-        if self.bus.traced() {
-            let running = offer.nodes.iter().map(|n| n.running.len()).sum();
-            let blocked = offer.nodes.iter().filter(|n| n.blocked).count();
-            self.publish(EngineEvent::OfferRound {
-                pending: offer.pending.len(),
-                running,
-                blocked,
-                commands: commands.len(),
-            });
+/// Below this many nodes a parallel snapshot costs more in thread
+/// spawn/join than it saves (an offer round on hydra64 is single-digit
+/// microseconds).
+const PARALLEL_SNAPSHOT_MIN_NODES: usize = 512;
+
+/// What the scheduler saw of one node at the previous offer round — the
+/// fields node rankings can depend on. `heartbeat_age` is deliberately
+/// absent: it moves monotonically every round under an armed detector,
+/// and the state changes it drives (suspect/dead) are captured here at
+/// their transitions.
+#[derive(Clone, Copy, PartialEq)]
+pub(crate) struct NodeShadow {
+    executor_mem: ByteSize,
+    mem_in_use: ByteSize,
+    cpu_util: f64,
+    net_util: f64,
+    disk_util: f64,
+    gpus_idle: u32,
+    blocked: bool,
+    dead: bool,
+    suspect: bool,
+    running_len: usize,
+}
+
+impl NodeShadow {
+    fn of(v: &NodeView) -> Self {
+        NodeShadow {
+            executor_mem: v.executor_mem,
+            mem_in_use: v.mem_in_use,
+            cpu_util: v.cpu_util,
+            net_util: v.net_util,
+            disk_util: v.disk_util,
+            gpus_idle: v.gpus_idle,
+            blocked: v.blocked,
+            dead: v.dead,
+            suspect: v.suspect,
+            running_len: v.running.len(),
         }
-        if self.bus.audited() {
-            let findings = self.sched.audit_round(&offer);
-            let fresh = self
-                .bus
-                .offer_audit(self.round, &offer, &commands, &findings);
-            for v in fresh {
-                self.publish(EngineEvent::AuditViolation {
-                    check: v.check,
-                    detail: v.detail,
-                });
+    }
+}
+
+/// The read-only inputs a node-view snapshot needs, split from the
+/// engine so view construction can fan out across scoped threads on big
+/// clusters (everything here is a shared borrow).
+pub(crate) struct SnapshotCtx<'e> {
+    state: &'e ClusterState,
+    cluster: &'e ClusterSpec,
+    detector: Option<&'e FailureDetector>,
+    now: SimTime,
+}
+
+impl SnapshotCtx<'_> {
+    /// Node-level utilisation snapshot from current phase occupancy.
+    pub(crate) fn node_metrics(&self, node_idx: usize) -> NodeMetrics {
+        let node = &self.state.nodes[node_idx];
+        let spec = self.cluster.node(NodeId(node_idx));
+        let mut n_cpu = 0u32;
+        let mut n_gpu = 0u32;
+        let mut net_bps = 0.0f64;
+        let mut disk_bps = 0.0f64;
+        for &aid in &node.running {
+            let a = &self.state.attempts[aid];
+            match a.current_phase().map(|p| p.resource) {
+                Some(PhaseResource::Cpu) => n_cpu += 1,
+                Some(PhaseResource::Gpu) => n_gpu += 1,
+                Some(PhaseResource::Net) => net_bps += a.rate,
+                Some(PhaseResource::DiskRead) | Some(PhaseResource::DiskWrite) => {
+                    disk_bps += a.rate
+                }
+                _ => {}
             }
         }
-        for cmd in commands {
-            self.apply_command(cmd);
+        NodeMetrics {
+            cpu_util: (n_cpu as f64 / spec.cores as f64).min(1.0),
+            mem_used: node.mem_in_use,
+            free_mem: node.executor_mem.saturating_sub(node.mem_in_use),
+            net_util: (net_bps / spec.net_bw).min(1.0),
+            disk_util: (disk_bps / spec.disk.read_bw.max(spec.disk.write_bw)).min(1.0),
+            net_bytes_per_sec: net_bps,
+            disk_bytes_per_sec: disk_bps,
+            gpus_idle: spec.gpus.saturating_sub(n_gpu.min(spec.gpus)),
         }
     }
 
-    pub(crate) fn build_node_view(&self, idx: usize) -> NodeView {
+    fn node_view(&self, idx: usize) -> NodeView {
         let node = &self.state.nodes[idx];
         let m = self.node_metrics(idx);
-        let (heartbeat_age, dead, suspect) = match self.detector.as_ref() {
+        let (heartbeat_age, dead, suspect) = match self.detector {
             Some(d) => {
                 let id = NodeId(idx);
                 (
@@ -96,6 +150,109 @@ impl<'a, 's> Engine<'a, 's> {
             suspect,
         }
     }
+}
+
+impl<'a, 's> Engine<'a, 's> {
+    pub(crate) fn snapshot_ctx(&self) -> SnapshotCtx<'_> {
+        SnapshotCtx {
+            state: &self.state,
+            cluster: self.input.cluster,
+            detector: self.detector.as_ref(),
+            now: self.now,
+        }
+    }
+
+    pub(crate) fn offer_round(&mut self) {
+        let offer = self.build_offer_input();
+        let commands = self.sched.offer_round(&offer);
+        self.round += 1;
+        if self.bus.traced() {
+            let running = offer.nodes.iter().map(|n| n.running.len()).sum();
+            let blocked = offer.nodes.iter().filter(|n| n.blocked).count();
+            self.publish(EngineEvent::OfferRound {
+                pending: offer.pending.len(),
+                running,
+                blocked,
+                commands: commands.len(),
+            });
+        }
+        if self.bus.audited() {
+            let findings = self.sched.audit_round(&offer);
+            let fresh = self
+                .bus
+                .offer_audit(self.round, &offer, &commands, &findings);
+            for v in fresh {
+                self.publish(EngineEvent::AuditViolation {
+                    check: v.check,
+                    detail: v.detail,
+                });
+            }
+        }
+        for cmd in commands {
+            self.apply_command(cmd);
+        }
+    }
+
+    /// Build all node views, fanning out across scoped threads once the
+    /// cluster is big enough for the spawn cost to amortise. Chunk
+    /// boundaries never affect the result (views are pure per-node
+    /// functions of frozen state, concatenated in node order).
+    fn build_node_views(&self) -> Vec<NodeView> {
+        let n = self.state.nodes.len();
+        let ctx = self.snapshot_ctx();
+        let threads = match self.input.config.engine.shard_count {
+            0 => std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+                .min(8),
+            k => k,
+        }
+        .min(n)
+        .max(1);
+        if n < PARALLEL_SNAPSHOT_MIN_NODES || threads == 1 {
+            return (0..n).map(|i| ctx.node_view(i)).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    let ctx = &ctx;
+                    scope.spawn(move || (start..end).map(|i| ctx.node_view(i)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("snapshot worker panicked"))
+                .collect()
+        })
+    }
+
+    /// Diff this round's views against the previous round's shadow,
+    /// producing the changed-node delta for
+    /// [`OfferInput::changed`]. Nodes with
+    /// running attempts (now or at the previous offer) are always in the
+    /// delta: their attempt composition can change — which attempts hold
+    /// GPUs, what they have accrued — without any shadowed scalar
+    /// moving. The first round after (re)sizing returns `None` (full
+    /// rescore).
+    fn diff_offer_shadow(&mut self, views: &[NodeView]) -> Option<Vec<NodeId>> {
+        if self.offer_shadow.len() != views.len() {
+            self.offer_shadow = views.iter().map(NodeShadow::of).collect();
+            return None;
+        }
+        let mut delta = Vec::new();
+        for (i, v) in views.iter().enumerate() {
+            let next = NodeShadow::of(v);
+            let prev = self.offer_shadow[i];
+            if next != prev || next.running_len > 0 || prev.running_len > 0 {
+                self.offer_shadow[i] = next;
+                delta.push(NodeId(i));
+            }
+        }
+        Some(delta)
+    }
 
     pub(crate) fn build_pending_view(&self, task: TaskRef, attempt_no: u32) -> PendingTaskView {
         let stage = self.input.app.stage(task.stage);
@@ -119,10 +276,9 @@ impl<'a, 's> Engine<'a, 's> {
         }
     }
 
-    pub(crate) fn build_offer_input(&self) -> OfferInput<'a> {
-        let nodes: Vec<NodeView> = (0..self.state.nodes.len())
-            .map(|i| self.build_node_view(i))
-            .collect();
+    pub(crate) fn build_offer_input(&mut self) -> OfferInput<'a> {
+        let nodes = self.build_node_views();
+        let changed = self.diff_offer_shadow(&nodes);
         let mut pending = Vec::new();
         for (sidx, stage_rt) in self.state.stages.iter().enumerate() {
             if !stage_rt.released {
@@ -160,6 +316,7 @@ impl<'a, 's> Engine<'a, 's> {
             pending,
             speculatable,
             job_arrivals: self.state.jobs.iter().map(|j| j.arrival).collect(),
+            changed,
         }
     }
 }

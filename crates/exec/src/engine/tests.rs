@@ -13,9 +13,10 @@ use rupam_simcore::units::ByteSize;
 use rupam_simcore::RngFactory;
 
 use crate::config::SimConfig;
+use crate::scheduler::{Command, OfferInput, Scheduler};
 use crate::testutil::{FifoScheduler, GpuFifo, SpecFifo};
 
-use super::{simulate, simulate_stream, SimInput, StreamInput};
+use super::{assemble, simulate, simulate_stream, EngineError, EventBus, SimInput, StreamInput};
 
 fn tiny_app(tasks_per_stage: usize, compute: f64) -> (rupam_dag::app::Application, DataLayout) {
     let mut b = AppBuilder::new("tiny");
@@ -405,6 +406,78 @@ fn single_app_run_reports_one_job() {
         Some(SimTime::ZERO + report.makespan)
     );
     assert!(report.records.iter().all(|r| r.job == JobId(0)));
+}
+
+/// A scheduler that refuses every placement — the degenerate policy the
+/// calendar-exhaustion path needs.
+struct RefuseAll;
+
+impl Scheduler for RefuseAll {
+    fn name(&self) -> &str {
+        "refuse-all"
+    }
+    fn executor_memory(&self, c: &ClusterSpec, n: NodeId) -> ByteSize {
+        c.node(n).mem
+    }
+    fn offer_round(&mut self, _input: &OfferInput<'_>) -> Vec<Command> {
+        Vec::new()
+    }
+}
+
+#[test]
+fn exhausted_calendar_is_a_typed_error_not_a_panic() {
+    // nothing running (the scheduler refuses all offers), calendar
+    // force-drained, stages incomplete: the loop must return the typed
+    // error instead of panicking on the empty pop
+    let cluster = ClusterSpec::two_node_motivation();
+    let (app, layout) = tiny_app(4, 4.0);
+    let cfg = SimConfig::with_faults(rupam_faults::FaultScript::one_node_crash(
+        NodeId(0),
+        1.0,
+        None,
+    ));
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 13,
+    };
+    let mut sched = RefuseAll;
+    let mut sim = assemble(&input, None, &mut sched, EventBus::new());
+    sim.prologue();
+    sim.cal.clear();
+    let err = sim
+        .main_loop()
+        .expect_err("an empty calendar with pending stages cannot succeed");
+    let EngineError::CalendarExhausted { at } = err;
+    assert_eq!(at, SimTime::ZERO);
+    assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn run_with_refusing_scheduler_ends_gracefully() {
+    // the full public path: a scheduler that never places anything hits
+    // the livelock guard and the run reports `completed: false` — no
+    // panic anywhere between the first offer and the final report
+    let cluster = ClusterSpec::two_node_motivation();
+    let (app, layout) = tiny_app(4, 4.0);
+    let cfg = SimConfig::with_faults(rupam_faults::FaultScript::one_node_crash(
+        NodeId(0),
+        1.0,
+        None,
+    ));
+    let input = SimInput {
+        cluster: &cluster,
+        app: &app,
+        layout: &layout,
+        config: &cfg,
+        seed: 17,
+    };
+    let mut sched = RefuseAll;
+    let report = simulate(&input, &mut sched);
+    assert!(!report.completed);
+    assert!(report.records.iter().all(|r| !r.outcome.is_success()));
 }
 
 #[test]

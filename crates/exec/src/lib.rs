@@ -42,8 +42,8 @@ pub use audit::{AuditConfig, InvariantAuditor, Violation};
 pub use config::SimConfig;
 pub use engine::{
     simulate, simulate_observed, simulate_observed_with, simulate_stream, simulate_stream_observed,
-    simulate_stream_observed_with, BusStage, EngineEvent, EventBus, EventCtx, SimInput,
-    SimObservation, SimOptions, StreamInput, Subscriber,
+    simulate_stream_observed_with, BusStage, EngineError, EngineEvent, EventBus, EventCtx,
+    SimInput, SimObservation, SimOptions, StreamInput, Subscriber,
 };
 pub use rupam_metrics::trace::LaunchReason;
 pub use scheduler::{Command, NodeView, OfferInput, PendingTaskView, Scheduler};

@@ -151,6 +151,19 @@ pub struct OfferInput<'a> {
     /// (`[t0]` on single-app runs). No task of a job may launch before
     /// its job's arrival — the auditor enforces this.
     pub job_arrivals: Vec<SimTime>,
+    /// Engine-computed delta against the previous offer round: the nodes
+    /// whose view may differ from what the scheduler last saw (the
+    /// paper's collectors piggy-back exactly such deltas on heartbeats).
+    /// `None` means "unknown — assume every node moved"; schedulers may
+    /// use a `Some` set to refresh cached rankings in `O(changed)`
+    /// instead of `O(nodes)`, but must behave identically either way.
+    ///
+    /// Guarantee: a `Some` delta is sorted by node id and always
+    /// includes every node with running attempts in this round's view or
+    /// the previous one — so policies that only act on running attempts
+    /// (straggler kills, GPU races, relocations) may scan the delta
+    /// instead of the whole cluster without missing a candidate.
+    pub changed: Option<Vec<NodeId>>,
 }
 
 /// An action a scheduler requests.

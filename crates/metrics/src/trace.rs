@@ -124,6 +124,10 @@ pub enum AbortCause {
     /// Pending work but no placements for a long stretch of heartbeats
     /// (Spark's "Initial job has not accepted any resources").
     Livelock,
+    /// The engine's event calendar drained while stages were incomplete
+    /// and nothing was running — the run can never make progress again
+    /// (e.g. a fault script that crashes every node before arrival).
+    CalendarExhausted,
 }
 
 /// One recorded decision, stamped with simulation time and offer round.

@@ -260,6 +260,7 @@ fn corrupted_recovery_decision_trips_auditor() {
         pending,
         speculatable: vec![],
         job_arrivals: vec![SimTime::ZERO],
+        changed: None,
     };
     // "recover" the task by launching it straight back onto the corpse
     let corrupted = vec![Command::Launch {
