@@ -2,12 +2,19 @@
 //!
 //! ```text
 //! rupam-bench perf [--quick] [--out FILE] [--check BASELINE]
+//! rupam-bench serve
 //! rupam-bench digests [--out FILE] [--check GOLDEN]
 //! ```
 //!
 //! * `perf` — time offer rounds, DB lookups, and the end-to-end
 //!   8-job stream at several cluster sizes.
-//! * `--quick` — CI smoke variant (fewer clusters, fewer DB ops).
+//! * `--quick` — CI smoke variant (fewer clusters, fewer DB ops, and no
+//!   `serve` section: its wall-clock rows are too noisy for shared smoke
+//!   machines, and the `--check` gate tolerates the missing rows).
+//! * `serve` — only the live-service sustained-load benchmark
+//!   (jobs/sec, dispatch p50/p99 under a ≥10k-task backlog on hydra256,
+//!   replay-oracle certification); exits non-zero if a run is unclean
+//!   or a live digest fails to replay.
 //! * `--out FILE` — write the JSON report (default
 //!   `BENCH_scheduler.json` in the current directory).
 //! * `--check BASELINE` — after measuring, compare the gate ratios
@@ -75,9 +82,35 @@ fn main() -> ExitCode {
     if cmd == "digests" {
         return run_digests(&args);
     }
+    if cmd == "serve" {
+        let results = rupam_bench::serve::run();
+        let mut ok = true;
+        for r in &results {
+            println!(
+                "{}: {} workers, {} tasks, {:.1} jobs/s, dispatch p50 {} us p99 {} us, \
+                 max pending {}, lost {}, replay {}",
+                r.label,
+                r.workers,
+                r.tasks,
+                r.jobs_per_sec,
+                r.dispatch_p50_us,
+                r.dispatch_p99_us,
+                r.max_pending,
+                r.lost,
+                if r.replay_match { "MATCH" } else { "MISMATCH" }
+            );
+            ok &= r.clean && r.lost == 0 && r.replay_match;
+        }
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if cmd != "perf" {
         eprintln!(
             "usage: rupam-bench perf [--quick] [--out FILE] [--check BASELINE]\n\
+             \x20      rupam-bench serve\n\
              \x20      rupam-bench digests [--out FILE] [--check GOLDEN]"
         );
         return ExitCode::from(2);

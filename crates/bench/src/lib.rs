@@ -19,6 +19,7 @@
 //! | [`sensitivity`] | beyond-paper: RUPAM gain vs degree of cluster heterogeneity |
 //! | [`multitenant`] | beyond-paper: online multi-tenant stream, JCTs, warm-vs-cold DB |
 //! | [`degraded`] | beyond-paper: resilience under injected faults (chaos scripts) |
+//! | [`serve`] | beyond-paper: sustained-load live service (`rupam-serve`) with replay-oracle certification |
 
 #![warn(missing_docs)]
 
@@ -34,6 +35,7 @@ pub mod multitenant;
 pub mod overall;
 pub mod perf;
 pub mod sensitivity;
+pub mod serve;
 pub mod utilization;
 
 pub use harness::{

@@ -50,6 +50,16 @@ pub const ENGINE_OVERHEAD_CEILING: f64 = 1.05;
 /// absolute value, like [`ENGINE_OVERHEAD_CEILING`].
 pub const OFFER_SCALING_CEILING: f64 = 2.0;
 
+/// Absolute ceiling for `serve_dispatch_p99_us_*`: under the saturated
+/// backlog a task waits many execution waves by design (6 GiB tasks,
+/// ~2 slots per worker, 12.8k tasks on hydra256 → p99 includes tens of
+/// seconds of backlog wait — ~46 s on the reference machine), but it
+/// must stay below this bound or the live offer path has livelocked;
+/// an actual livelock pins p99 at the 300 s `max_wall` abort. Gates on
+/// this run's absolute value; like the other wall-clock serve rows it
+/// is absent from `--quick` runs.
+pub const SERVE_DISPATCH_CEILING_US: f64 = 150_000_000.0;
+
 /// Wraps a scheduler and records the wall-clock cost of every offer
 /// round.
 struct TimingScheduler<S> {
@@ -195,6 +205,10 @@ pub struct PerfReport {
     /// ratio (see [`bench_event_overhead`]); gated against
     /// [`ENGINE_OVERHEAD_CEILING`].
     pub event_overhead: f64,
+    /// Live-service sustained-load results (empty on `--quick` runs —
+    /// wall-clock serve rows are too noisy for CI smoke machines, and
+    /// [`regressions`] tolerates their absence).
+    pub serve: Vec<crate::serve::ServeBenchResult>,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -412,11 +426,17 @@ pub fn run(quick: bool) -> PerfReport {
     );
     eprintln!("perf: event-bus dispatch overhead …");
     let event_overhead = bench_event_overhead(&ClusterSpec::hydra(), 8, 42);
+    let serve = if quick {
+        Vec::new()
+    } else {
+        crate::serve::run()
+    };
     PerfReport {
         clusters,
         db,
         degraded,
         event_overhead,
+        serve,
     }
 }
 
@@ -456,6 +476,19 @@ pub fn to_json(r: &PerfReport) -> String {
         r.db.ops_per_sec_4t
     );
     let _ = writeln!(s, "  }},");
+    if !r.serve.is_empty() {
+        let _ = writeln!(s, "  \"serve\": {{");
+        for (i, sv) in r.serve.iter().enumerate() {
+            let comma = if i + 1 < r.serve.len() { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    \"{}\": {{\"workers\": {}, \"tasks\": {}, \"jobs_per_sec\": {:.2}, \"dispatch_p50_us\": {}, \"dispatch_p99_us\": {}, \"max_pending\": {}, \"lost\": {}, \"clean\": {}}}{comma}",
+                sv.label, sv.workers, sv.tasks, sv.jobs_per_sec, sv.dispatch_p50_us,
+                sv.dispatch_p99_us, sv.max_pending, sv.lost, sv.clean
+            );
+        }
+        let _ = writeln!(s, "  }},");
+    }
     let _ = writeln!(s, "  \"gate\": {{");
     for c in &r.clusters {
         let _ = writeln!(
@@ -482,6 +515,30 @@ pub fn to_json(r: &PerfReport) -> String {
         if small > 0.0 {
             let _ = writeln!(s, "    \"offer_scaling_256_over_64\": {:.3},", big / small);
         }
+    }
+    for sv in &r.serve {
+        let _ = writeln!(
+            s,
+            "    \"serve_replay_digest_match_{}\": {:.1},",
+            sv.label,
+            if sv.replay_match && sv.clean && sv.lost == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        );
+        let _ = writeln!(
+            s,
+            "    \"serve_dispatch_p99_us_{}\": {:.0},",
+            sv.label, sv.dispatch_p99_us as f64
+        );
+    }
+    if let Some(big) = r.serve.iter().find(|sv| sv.label == "hydra256") {
+        let _ = writeln!(
+            s,
+            "    \"serve_max_pending_hydra256\": {:.0},",
+            big.max_pending as f64
+        );
     }
     let _ = writeln!(s, "    \"engine_event_overhead\": {:.3},", r.event_overhead);
     let _ = writeln!(
@@ -521,6 +578,7 @@ pub fn gate_keys(json: &str) -> Vec<String> {
                 || k.starts_with("degraded_")
                 || k.starts_with("engine_")
                 || k.starts_with("offer_scaling_")
+                || k.starts_with("serve_")
         })
         .map(|k| k.to_string())
         .collect()
@@ -548,6 +606,29 @@ pub fn regressions(fresh: &str, baseline: &str) -> Vec<(String, f64, f64)> {
             if let Some(f) = extract_number(fresh, &key) {
                 if f > OFFER_SCALING_CEILING {
                     bad.push((key, f, OFFER_SCALING_CEILING));
+                }
+            }
+            continue;
+        }
+        // serve wall-clock latency gates on an absolute ceiling; the
+        // remaining serve_ rows (digest match, max pending) fall through
+        // to the ratio gate. All serve rows are simply absent on --quick
+        // runs, which the per-key iteration over `fresh` skips cleanly.
+        if key.starts_with("serve_dispatch_") {
+            if let Some(f) = extract_number(fresh, &key) {
+                if f > SERVE_DISPATCH_CEILING_US {
+                    bad.push((key, f, SERVE_DISPATCH_CEILING_US));
+                }
+            }
+            continue;
+        }
+        // the replay oracle is binary and machine-independent: anything
+        // but 1.0 means the live run's decisions were not reproducible,
+        // regardless of what the baseline says
+        if key.starts_with("serve_replay_") {
+            if let Some(f) = extract_number(fresh, &key) {
+                if f < 1.0 {
+                    bad.push((key, f, 1.0));
                 }
             }
             continue;
@@ -631,6 +712,18 @@ mod tests {
             },
             degraded: vec![("crash1".into(), 0.875)],
             event_overhead: 1.012,
+            serve: vec![crate::serve::ServeBenchResult {
+                label: "hydra64".into(),
+                workers: 64,
+                tasks: 3072,
+                jobs_per_sec: 120.0,
+                dispatch_p50_us: 9_000,
+                dispatch_p99_us: 210_000,
+                max_pending: 2_400,
+                replay_match: true,
+                lost: 0,
+                clean: true,
+            }],
         };
         let json = to_json(&r);
         assert_eq!(extract_number(&json, "speedup_hydra12"), Some(2.5));
@@ -643,6 +736,44 @@ mod tests {
         assert!(gate_keys(&json).contains(&"degraded_resilience_crash1".to_string()));
         assert_eq!(extract_number(&json, "engine_event_overhead"), Some(1.012));
         assert!(gate_keys(&json).contains(&"engine_event_overhead".to_string()));
+        assert_eq!(
+            extract_number(&json, "serve_replay_digest_match_hydra64"),
+            Some(1.0)
+        );
+        assert_eq!(
+            extract_number(&json, "serve_dispatch_p99_us_hydra64"),
+            Some(210_000.0)
+        );
+        assert!(gate_keys(&json).contains(&"serve_replay_digest_match_hydra64".to_string()));
+        // no hydra256 entry → no max-pending row
+        assert_eq!(extract_number(&json, "serve_max_pending_hydra256"), None);
+    }
+
+    #[test]
+    fn serve_rows_gate_correctly_and_tolerate_absence() {
+        let baseline = "{\"gate\": {\"serve_replay_digest_match_hydra64\": 1.0, \
+                        \"serve_dispatch_p99_us_hydra64\": 100000, \
+                        \"serve_max_pending_hydra256\": 11000}}";
+        // a --quick run carries no serve rows at all → clean
+        let quick = "{\"gate\": {\"speedup_hydra64\": 99.0}}";
+        assert!(regressions(quick, baseline).is_empty());
+        // digest match is absolute: 0.0 fails even against an empty baseline
+        let broken = "{\"gate\": {\"serve_replay_digest_match_hydra64\": 0.0}}";
+        let r = regressions(broken, "{\"gate\": {}}");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].2, 1.0);
+        // dispatch gates on the absolute ceiling, not the baseline
+        let slow = "{\"gate\": {\"serve_dispatch_p99_us_hydra64\": 200000000}}";
+        let r = regressions(slow, baseline);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].2, SERVE_DISPATCH_CEILING_US);
+        let noisy_but_ok = "{\"gate\": {\"serve_dispatch_p99_us_hydra64\": 46000000}}";
+        assert!(regressions(noisy_but_ok, baseline).is_empty());
+        // max-pending is a ratio row: a real collapse is flagged
+        let shallow = "{\"gate\": {\"serve_max_pending_hydra256\": 4000}}";
+        let r = regressions(shallow, baseline);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "serve_max_pending_hydra256");
     }
 
     #[test]
@@ -670,6 +801,7 @@ mod tests {
             },
             degraded: Vec::new(),
             event_overhead: 1.0,
+            serve: Vec::new(),
         };
         let json = to_json(&r);
         assert_eq!(

@@ -1,0 +1,142 @@
+//! Sustained-load benchmark of the live service (`rupam-bench serve`,
+//! and the `serve_*` section of `rupam-bench perf`).
+//!
+//! Drives `rupam-serve` the way a saturated cluster would be driven:
+//! every job of a large catalog is submitted up-front, so the first
+//! offer round already faces the full backlog (≥10k pending tasks on
+//! hydra256) and executor memory — not task count — bounds concurrency.
+//! Reported per fleet shape:
+//!
+//! * **jobs/sec admitted** — wall-clock job completion throughput;
+//! * **dispatch p50/p99** — stage-release/requeue → launch latency under
+//!   the backlog (tick-batched offers, so the tick period is the floor);
+//! * **max pending** — the deepest backlog an offer round ever saw;
+//! * **replay digest match** — the live run's input log replayed through
+//!   the deterministic calendar must reproduce the decision-trace digest
+//!   bit for bit.
+//!
+//! Wall-clock rows (jobs/sec, p99) are noisy on shared machines, so the
+//! perf gate only includes the serve section on full runs — `--quick`
+//! skips it and the regression checker tolerates the missing rows.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rupam::{RupamConfig, RupamScheduler};
+use rupam_dag::app::JobId;
+use rupam_faults::FaultScript;
+use rupam_serve::testbed::{build_fleet, pressure_stream_sized};
+use rupam_serve::{replay, server, ServeConfig};
+use rupam_simcore::units::ByteSize;
+
+/// One fleet shape's numbers.
+#[derive(Clone, Debug)]
+pub struct ServeBenchResult {
+    /// Fleet label (`hydra64`, `hydra256`).
+    pub label: String,
+    /// Worker-agent threads.
+    pub workers: usize,
+    /// Tasks in the catalog.
+    pub tasks: usize,
+    /// Jobs completed per wall-clock second.
+    pub jobs_per_sec: f64,
+    /// Median dispatch latency, µs.
+    pub dispatch_p50_us: u64,
+    /// 99th-percentile dispatch latency, µs.
+    pub dispatch_p99_us: u64,
+    /// Deepest pending backlog an offer round saw.
+    pub max_pending: usize,
+    /// Live digest reproduced by the calendar replay.
+    pub replay_match: bool,
+    /// Tasks lost across recovery (must be 0).
+    pub lost: usize,
+    /// Clean drain (all submitted jobs completed, no abort).
+    pub clean: bool,
+}
+
+/// Run the sustained-load scenario on one fleet shape.
+pub fn bench_fleet(
+    label: &str,
+    workers: usize,
+    jobs: usize,
+    tasks_per_job: usize,
+) -> ServeBenchResult {
+    // 6 GiB tasks: ~2 concurrent per thor-class worker, so the backlog
+    // stays deep; ~60 gigacycles ≈ 20 ms wall per task at 1/1000 scale
+    let catalog = Arc::new(pressure_stream_sized(
+        jobs,
+        tasks_per_job,
+        60.0,
+        ByteSize::mib(6 * 1024),
+    ));
+    let cluster = Arc::new(build_fleet(workers));
+    let cfg = ServeConfig {
+        tick: Duration::from_millis(10),
+        worker_heartbeat: Duration::from_millis(10),
+        time_scale: 0.001,
+        max_wall: Some(Duration::from_secs(300)),
+        ..ServeConfig::default()
+    };
+
+    let t = std::time::Instant::now();
+    let handle = server::start(
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        Box::new(RupamScheduler::new(RupamConfig::default())),
+        cfg.clone(),
+        &FaultScript::empty(),
+    );
+    let mut client = handle.client.clone();
+    for j in 0..jobs {
+        client.submit(JobId(j)).expect("submit");
+    }
+    client.drain().expect("drain");
+    drop(client);
+    let outcome = handle.wait().expect("serve bench run");
+    let wall = t.elapsed().as_secs_f64();
+
+    let mut oracle = RupamScheduler::new(RupamConfig::default());
+    let replay_match = replay(&cluster, &catalog, &mut oracle, &cfg, &outcome.log)
+        .map(|r| r.digest == outcome.report.digest)
+        .unwrap_or(false);
+
+    let r = &outcome.report;
+    ServeBenchResult {
+        label: label.to_string(),
+        workers,
+        tasks: jobs * tasks_per_job,
+        jobs_per_sec: r.jobs_completed as f64 / wall.max(1e-9),
+        dispatch_p50_us: r.dispatch_p50_us,
+        dispatch_p99_us: r.dispatch_p99_us,
+        max_pending: r.max_pending,
+        replay_match,
+        lost: r.lost_tasks,
+        clean: r.clean,
+    }
+}
+
+/// The two fleet shapes the gate tracks. hydra256 carries the ≥10k
+/// pending-task acceptance bar.
+pub fn run() -> Vec<ServeBenchResult> {
+    let mut out = Vec::new();
+    eprintln!("serve: hydra64 sustained load …");
+    out.push(bench_fleet("hydra64", 64, 64, 48));
+    eprintln!("serve: hydra256 sustained load (>=10k pending) …");
+    out.push(bench_fleet("hydra256", 256, 64, 200));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_fleet_bench_is_clean_and_replayable() {
+        let r = bench_fleet("hydra8", 8, 4, 12);
+        assert!(r.clean, "bench run must drain cleanly: {r:?}");
+        assert!(r.replay_match, "live digest must replay");
+        assert_eq!(r.lost, 0);
+        assert!(r.jobs_per_sec > 0.0);
+        assert!(r.max_pending >= 1);
+    }
+}

@@ -12,10 +12,12 @@ use rupam_dag::task::{CacheKey, InputSource, TaskTemplate};
 use rupam_dag::TaskRef;
 use rupam_simcore::units::ByteSize;
 
-use super::driver::Engine;
+use rupam_simcore::source::EventSource;
+
+use super::driver::{Engine, Event};
 use super::REDUCER_PREF_FRACTION;
 
-impl<'a, 's> Engine<'a, 's> {
+impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     /// Executor-cache keys are scoped per stream job: Spark RDD caches
     /// are application-private, so tenants must not see each other's
     /// cached partitions even when their stages share a template key.

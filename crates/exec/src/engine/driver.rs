@@ -16,6 +16,7 @@ use rupam_dag::app::JobId;
 use rupam_faults::FailureDetector;
 use rupam_metrics::record::TaskRecord;
 use rupam_simcore::calendar::Calendar;
+use rupam_simcore::source::EventSource;
 use rupam_simcore::time::{SimDuration, SimTime};
 
 use crate::costmodel::PhaseResource;
@@ -40,11 +41,14 @@ pub(crate) enum Event {
 }
 
 /// The simulation engine: core loop, clock and physics. Policy lives in
-/// the [`Scheduler`] it drives; observation lives on the bus.
-pub(crate) struct Engine<'a, 's> {
+/// the [`Scheduler`] it drives; observation lives on the bus. Time lives
+/// behind the [`EventSource`] type parameter: the default deterministic
+/// [`Calendar`] for sim mode, or any other source (e.g. a wall-clock
+/// one) that honours the same pop/schedule contract.
+pub(crate) struct Engine<'a, 's, S: EventSource<Event> = Calendar<Event>> {
     pub(crate) input: &'a SimInput<'a>,
     pub(crate) sched: &'s mut dyn Scheduler,
-    pub(crate) cal: Calendar<Event>,
+    pub(crate) source: S,
     pub(crate) now: SimTime,
     /// The single authoritative cluster state.
     pub(crate) state: ClusterState,
@@ -75,7 +79,7 @@ pub(crate) struct Engine<'a, 's> {
     pub(crate) hb_scratch: Vec<HeartbeatSnapshot>,
 }
 
-impl<'a, 's> Engine<'a, 's> {
+impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     /// Publish one event stamped with the current time and round.
     pub(crate) fn publish(&mut self, event: EngineEvent) {
         let ctx = EventCtx {
@@ -105,18 +109,18 @@ impl<'a, 's> Engine<'a, 's> {
             if arrival <= self.now {
                 self.submit_job(JobId(j));
             } else {
-                self.cal
+                self.source
                     .schedule(arrival, Event::JobSubmitted { job: JobId(j) });
             }
         }
-        self.cal
+        self.source
             .schedule(self.now + cfg.engine.heartbeat, Event::Heartbeat);
         // inject the chaos script (no-op for the empty default)
         for (i, spec) in cfg.faults.script.events().iter().enumerate() {
-            self.cal.schedule(spec.at, Event::Fault { index: i });
+            self.source.schedule(spec.at, Event::Fault { index: i });
         }
         if cfg.speculation.enabled {
-            self.cal
+            self.source
                 .schedule(self.now + cfg.speculation.interval, Event::SpeculationCheck);
         }
         // initial offer round at t = 0 — waiting for the first heartbeat
@@ -143,7 +147,7 @@ impl<'a, 's> Engine<'a, 's> {
             self.record_utilization();
 
             let next_completion = self.next_completion();
-            let next_event = self.cal.peek_time();
+            let next_event = self.source.peek_time();
             let target = match (next_completion, next_event) {
                 (Some((tc, _)), Some(te)) => tc.min(te),
                 (Some((tc, _)), None) => tc,
@@ -179,8 +183,15 @@ impl<'a, 's> Engine<'a, 's> {
             }
 
             // drain calendar events scheduled at or before `now`
-            while self.cal.peek_time().map(|t| t <= self.now).unwrap_or(false) {
-                let Some((_, ev)) = self.cal.pop() else { break };
+            while self
+                .source
+                .peek_time()
+                .map(|t| t <= self.now)
+                .unwrap_or(false)
+            {
+                let Some((_, ev)) = self.source.pop() else {
+                    break;
+                };
                 self.handle_event(ev);
             }
 
@@ -213,7 +224,7 @@ impl<'a, 's> Engine<'a, 's> {
         // events strictly before `now` must already have been handled;
         // finding one here would mean the driver skipped it — a logic
         // error worth failing loudly on
-        if let Some(t) = self.cal.peek_time() {
+        if let Some(t) = self.source.peek_time() {
             assert!(t >= self.now, "unprocessed event at {t} < now {}", self.now);
         }
     }
@@ -319,7 +330,7 @@ impl<'a, 's> Engine<'a, 's> {
             Event::SpeculationCheck => {
                 self.speculation_check();
                 if !self.state.tracker.all_done(self.input.app) && !self.aborted {
-                    self.cal.schedule(
+                    self.source.schedule(
                         self.now + self.input.config.speculation.interval,
                         Event::SpeculationCheck,
                     );

@@ -11,10 +11,12 @@ use rupam_cluster::NodeId;
 use rupam_faults::NodeHealth;
 use rupam_metrics::trace::AbortCause;
 
+use rupam_simcore::source::EventSource;
+
 use super::driver::{Engine, Event};
 use super::events::EngineEvent;
 
-impl<'a, 's> Engine<'a, 's> {
+impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     /// One engine heartbeat: scheduler hook, detector round, livelock
     /// guard, and re-arming the next beat.
     pub(crate) fn on_heartbeat(&mut self) {
@@ -45,7 +47,7 @@ impl<'a, 's> Engine<'a, 's> {
             }
         }
         if !self.state.tracker.all_done(self.input.app) && !self.aborted {
-            self.cal.schedule(
+            self.source.schedule(
                 self.now + self.input.config.engine.heartbeat,
                 Event::Heartbeat,
             );

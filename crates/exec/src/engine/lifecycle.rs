@@ -22,12 +22,14 @@ use rupam_metrics::breakdown::TaskBreakdown;
 use crate::costmodel::{build_phases, LaunchContext, Phase};
 use crate::scheduler::Command;
 
+use rupam_simcore::source::EventSource;
+
 use super::driver::{Engine, Event};
 use super::events::EngineEvent;
 use super::state::{AttemptId, AttemptRt, TaskState};
 use super::REDUCER_PREF_FRACTION;
 
-impl<'a, 's> Engine<'a, 's> {
+impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     /// A stream job arrives: unlock its chain, tell the scheduler which
     /// stages it will eventually run, and release whatever is ready.
     pub(crate) fn submit_job(&mut self, job: JobId) {
@@ -450,7 +452,7 @@ impl<'a, 's> Engine<'a, 's> {
         node.blocked_until = self.now + cfg.mem.jvm_restart;
         node.oom_epoch += 1;
         node.oom_scheduled = false;
-        self.cal.schedule(
+        self.source.schedule(
             node.blocked_until,
             Event::ExecutorRestored { node: node_id },
         );

@@ -90,6 +90,13 @@ pub enum EngineError {
         /// Simulation time at which the calendar ran dry.
         at: SimTime,
     },
+    /// The event source's input channel disconnected while work was
+    /// still outstanding (serve mode: every producer hung up before the
+    /// stream drained). Never produced by the deterministic calendar.
+    SourceDisconnected {
+        /// Time of the last successfully popped event.
+        at: SimTime,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -97,6 +104,9 @@ impl std::fmt::Display for EngineError {
         match self {
             EngineError::CalendarExhausted { at } => {
                 write!(f, "event calendar exhausted at {at} with stages incomplete")
+            }
+            EngineError::SourceDisconnected { at } => {
+                write!(f, "event source disconnected at {at} with work outstanding")
             }
         }
     }
@@ -325,7 +335,7 @@ pub(crate) fn assemble<'a, 's>(
     Engine {
         input,
         sched: scheduler,
-        cal: Calendar::new(),
+        source: Calendar::new(),
         now: SimTime::ZERO,
         state: ClusterState {
             attempts: Vec::new(),
@@ -388,10 +398,13 @@ fn run_sim(
             mem,
         });
     }
-    if let Err(EngineError::CalendarExhausted { .. }) = sim.run() {
+    if let Err(err) = sim.run() {
         sim.aborted = true;
         sim.publish(EngineEvent::Aborted {
-            cause: AbortCause::CalendarExhausted,
+            cause: match err {
+                EngineError::CalendarExhausted { .. } => AbortCause::CalendarExhausted,
+                EngineError::SourceDisconnected { .. } => AbortCause::SourceDisconnected,
+            },
             task: None,
         });
     }

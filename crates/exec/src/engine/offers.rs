@@ -18,7 +18,9 @@ use rupam_simcore::units::ByteSize;
 use crate::costmodel::PhaseResource;
 use crate::scheduler::{NodeView, OfferInput, PendingTaskView, RunningTaskView};
 
-use super::driver::Engine;
+use rupam_simcore::source::EventSource;
+
+use super::driver::{Engine, Event};
 use super::events::EngineEvent;
 use super::state::{ClusterState, TaskState};
 
@@ -152,7 +154,7 @@ impl SnapshotCtx<'_> {
     }
 }
 
-impl<'a, 's> Engine<'a, 's> {
+impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     pub(crate) fn snapshot_ctx(&self) -> SnapshotCtx<'_> {
         SnapshotCtx {
             state: &self.state,

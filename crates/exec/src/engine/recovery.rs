@@ -18,11 +18,13 @@ use rupam_metrics::record::AttemptOutcome;
 use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
 
+use rupam_simcore::source::EventSource;
+
 use super::driver::{Engine, Event};
 use super::events::EngineEvent;
 use super::state::{AttemptId, TaskState};
 
-impl<'a, 's> Engine<'a, 's> {
+impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     /// Apply the `index`-th scripted fault to its target node.
     pub(crate) fn apply_fault(&mut self, index: usize) {
         let spec = *self
@@ -61,7 +63,7 @@ impl<'a, 's> Engine<'a, 's> {
                 node.slow_factor = factor.max(1e-9);
                 node.slow_epoch += 1;
                 let epoch = node.slow_epoch;
-                self.cal.schedule(
+                self.source.schedule(
                     self.now + SimDuration::from_secs_f64(secs),
                     Event::SlowdownEnd {
                         node: node_id,
@@ -79,7 +81,7 @@ impl<'a, 's> Engine<'a, 's> {
                 node.flaky_prob = prob.clamp(0.0, 1.0);
                 node.flaky_epoch += 1;
                 let epoch = node.flaky_epoch;
-                self.cal.schedule(
+                self.source.schedule(
                     self.now + SimDuration::from_secs(1),
                     Event::FlakyCheck {
                         node: node_id,
@@ -210,7 +212,7 @@ impl<'a, 's> Engine<'a, 's> {
                 self.fail_attempt(v, AttemptOutcome::OomFailure);
             }
         }
-        self.cal.schedule(
+        self.source.schedule(
             self.now + SimDuration::from_secs(1),
             Event::FlakyCheck {
                 node: node_id,
@@ -276,7 +278,7 @@ impl<'a, 's> Engine<'a, 's> {
             let hi = cfg.oom_check_max.as_secs_f64();
             let delay = SimDuration::from_secs_f64(self.rng_fail.gen_range(lo..hi));
             self.state.nodes[node_id.index()].oom_scheduled = true;
-            self.cal.schedule(
+            self.source.schedule(
                 self.now + delay,
                 Event::OomCheck {
                     node: node_id,

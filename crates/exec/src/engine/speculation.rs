@@ -12,11 +12,13 @@ use rupam_simcore::time::SimTime;
 
 use crate::speculation::{find_speculatable, StageProgress};
 
-use super::driver::Engine;
+use rupam_simcore::source::EventSource;
+
+use super::driver::{Engine, Event};
 use super::events::EngineEvent;
 use super::state::TaskState;
 
-impl<'a, 's> Engine<'a, 's> {
+impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     pub(crate) fn speculation_check(&mut self) {
         let cfg = &self.input.config.speculation;
         let mut flagged: Vec<TaskRef> = Vec::new();

@@ -446,13 +446,37 @@ fn exhausted_calendar_is_a_typed_error_not_a_panic() {
     let mut sched = RefuseAll;
     let mut sim = assemble(&input, None, &mut sched, EventBus::new());
     sim.prologue();
-    sim.cal.clear();
+    sim.source.clear();
     let err = sim
         .main_loop()
         .expect_err("an empty calendar with pending stages cannot succeed");
-    let EngineError::CalendarExhausted { at } = err;
+    let EngineError::CalendarExhausted { at } = err else {
+        panic!("expected CalendarExhausted, got {err}");
+    };
     assert_eq!(at, SimTime::ZERO);
     assert!(!err.to_string().is_empty());
+}
+
+#[test]
+fn engine_errors_propagate_through_thread_and_channel_boundaries() {
+    // serve mode moves `EngineError`s between threads as boxed
+    // `std::error::Error`s; pin the trait bounds that make that legal
+    fn assert_send_sync_error<E: std::error::Error + Send + Sync + 'static>(_: &E) {}
+    let err = EngineError::SourceDisconnected { at: SimTime(7) };
+    assert_send_sync_error(&err);
+    let (tx, rx) = std::sync::mpsc::channel::<Box<dyn std::error::Error + Send + Sync>>();
+    std::thread::spawn(move || tx.send(Box::new(err) as _).unwrap())
+        .join()
+        .unwrap();
+    let boxed = rx.recv().unwrap();
+    assert!(boxed.to_string().contains("disconnected"));
+    let concrete = boxed
+        .downcast_ref::<EngineError>()
+        .expect("downcast back to EngineError");
+    assert_eq!(
+        *concrete,
+        EngineError::SourceDisconnected { at: SimTime(7) }
+    );
 }
 
 #[test]

@@ -128,6 +128,10 @@ pub enum AbortCause {
     /// and nothing was running — the run can never make progress again
     /// (e.g. a fault script that crashes every node before arrival).
     CalendarExhausted,
+    /// Serve mode: every input producer hung up (workers and client
+    /// gone) while stages were incomplete — the live event source can
+    /// never deliver the completions the run is waiting for.
+    SourceDisconnected,
 }
 
 /// One recorded decision, stamped with simulation time and offer round.

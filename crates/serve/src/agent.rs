@@ -1,0 +1,203 @@
+//! Worker agents: one thread per node, executing the server's launch
+//! commands by holding a slot for the task's estimated duration.
+//!
+//! An agent is deliberately dumb — it owns no scheduling state. It
+//! registers, heartbeats, holds launched attempts until their wall
+//! deadline, and reports `Completed`/`Failed` upstream. Fault scripts
+//! (the same [`FaultKind`]s the sim injects) are acted out locally:
+//! a `Crash` silences the agent and drops its attempts, a `Restart`
+//! re-registers, a `HeartbeatDropout` suppresses beacons so the
+//! server-side failure detector fires for real.
+
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rupam_cluster::NodeId;
+use rupam_dag::TaskRef;
+use rupam_faults::FaultKind;
+
+use crate::proto::{Frame, ServeEvent, TaskFailure, WorkerCommand, WorkerMsg, WorkerReport};
+
+/// Everything a worker-agent thread needs to run.
+pub struct AgentConfig {
+    /// This agent's node id.
+    pub worker: NodeId,
+    /// Heartbeat period.
+    pub heartbeat: Duration,
+    /// Wall seconds per simulated second (scales fault durations).
+    pub time_scale: f64,
+    /// Scripted faults for this node, `(wall_offset_from_start, kind)`,
+    /// sorted by offset.
+    pub faults: Vec<(Duration, FaultKind)>,
+    /// Seed for the flaky-OOM coin flips.
+    pub seed: u64,
+}
+
+struct Held {
+    task: TaskRef,
+    attempt: u32,
+    due: Instant,
+}
+
+/// Spawn the agent thread. It exits on [`WorkerCommand::Shutdown`] or
+/// when either channel disconnects.
+pub fn spawn(
+    cfg: AgentConfig,
+    rx: Receiver<WorkerCommand>,
+    tx: SyncSender<ServeEvent>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name(format!("rupam-worker-{}", cfg.worker.index()))
+        .spawn(move || run(cfg, rx, tx))
+        .expect("spawn worker agent")
+}
+
+fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>) {
+    let start = Instant::now();
+    let mut seq = 0u64;
+    let mut send = |body: WorkerReport| -> bool {
+        let frame = Frame { seq, body };
+        seq += 1;
+        tx.send(ServeEvent::Worker(WorkerMsg {
+            worker: cfg.worker,
+            frame,
+        }))
+        .is_ok()
+    };
+
+    let mut held: Vec<Held> = Vec::new();
+    let mut fault_idx = 0usize;
+    let mut crashed = false;
+    let mut slow_until: Option<(Instant, f64)> = None;
+    let mut dropout_until: Option<Instant> = None;
+    let mut flaky: Option<(Instant, f64)> = None;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut next_hb = Instant::now() + cfg.heartbeat;
+
+    if !send(WorkerReport::Register) {
+        return;
+    }
+
+    loop {
+        let now = Instant::now();
+
+        // act out any scripted fault whose time has come
+        while fault_idx < cfg.faults.len() && start + cfg.faults[fault_idx].0 <= now {
+            let kind = cfg.faults[fault_idx].1;
+            fault_idx += 1;
+            let scaled = |secs: f64| Duration::from_secs_f64((secs * cfg.time_scale).max(0.0));
+            match kind {
+                FaultKind::Crash => {
+                    crashed = true;
+                    held.clear(); // attempts die silently with the node
+                }
+                FaultKind::Restart => {
+                    crashed = false;
+                    slow_until = None;
+                    dropout_until = None;
+                    flaky = None;
+                    if !send(WorkerReport::Register) {
+                        return;
+                    }
+                }
+                FaultKind::Slowdown { factor, secs } => {
+                    slow_until = Some((now + scaled(secs), factor));
+                }
+                FaultKind::HeartbeatDropout { secs } => {
+                    dropout_until = Some(now + scaled(secs));
+                }
+                FaultKind::FlakyOom { secs, prob } => {
+                    flaky = Some((now + scaled(secs), prob));
+                }
+            }
+        }
+        if slow_until.is_some_and(|(t, _)| t <= now) {
+            slow_until = None;
+        }
+        if dropout_until.is_some_and(|t| t <= now) {
+            dropout_until = None;
+        }
+        if flaky.is_some_and(|(t, _)| t <= now) {
+            flaky = None;
+        }
+
+        // report attempts that finished holding their slot
+        let mut i = 0;
+        while i < held.len() {
+            if held[i].due <= now && !crashed {
+                let h = held.remove(i);
+                let report = match flaky {
+                    Some((_, prob)) if rng.gen_bool(prob.clamp(0.0, 1.0)) => WorkerReport::Failed {
+                        task: h.task,
+                        attempt: h.attempt,
+                        reason: TaskFailure::Oom,
+                    },
+                    _ => WorkerReport::Completed {
+                        task: h.task,
+                        attempt: h.attempt,
+                    },
+                };
+                if !send(report) {
+                    return;
+                }
+            } else {
+                i += 1;
+            }
+        }
+
+        // heartbeat, unless crashed or partitioned
+        if next_hb <= now {
+            next_hb = now + cfg.heartbeat;
+            if !crashed && dropout_until.is_none() && !send(WorkerReport::Heartbeat) {
+                return;
+            }
+        }
+
+        // sleep until the next thing that could matter
+        let mut deadline = next_hb;
+        if !crashed {
+            for h in &held {
+                deadline = deadline.min(h.due);
+            }
+        }
+        if fault_idx < cfg.faults.len() {
+            deadline = deadline.min(start + cfg.faults[fault_idx].0);
+        }
+        let wait = deadline.saturating_duration_since(Instant::now());
+        match rx.recv_timeout(wait) {
+            Ok(WorkerCommand::Launch {
+                task,
+                attempt,
+                use_gpu: _,
+                hold,
+            }) => {
+                if !crashed {
+                    let factor = slow_until.map_or(1.0, |(_, f)| f.max(1.0));
+                    held.push(Held {
+                        task,
+                        attempt,
+                        due: Instant::now() + hold.mul_f64(factor),
+                    });
+                }
+            }
+            Ok(WorkerCommand::Preempt { task }) => {
+                if let Some(pos) = held.iter().position(|h| h.task == task) {
+                    let h = held.remove(pos);
+                    if !send(WorkerReport::Failed {
+                        task: h.task,
+                        attempt: h.attempt,
+                        reason: TaskFailure::Preempted,
+                    }) {
+                        return;
+                    }
+                }
+            }
+            Ok(WorkerCommand::Shutdown) => return,
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}

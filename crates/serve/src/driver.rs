@@ -1,0 +1,915 @@
+//! The serve driver: the engine's offer loop re-hosted on a live
+//! [`EventSource`].
+//!
+//! The driver owns the authoritative scheduling state (pending/running
+//! tasks, stage lineage, per-node memory, failure detector) exactly like
+//! the sim engine's `ClusterState`, but *time and execution* live
+//! elsewhere: task execution happens in worker agents, and "what fires
+//! next" comes from the event source — a [`WallClockSource`] in live
+//! mode, a [`Calendar`] in replay mode. Because every state transition
+//! is driven by a popped `(SimTime, ServeEvent)` and nothing else, the
+//! trace digest of a live run is a pure function of its input log: the
+//! replay harness re-runs this same driver over the logged events and
+//! must produce a byte-identical digest.
+//!
+//! [`WallClockSource`]: rupam_simcore::source::WallClockSource
+//! [`Calendar`]: rupam_simcore::Calendar
+
+use std::collections::HashMap;
+use std::sync::mpsc::Sender;
+use std::time::Duration;
+
+use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_dag::app::{JobId, StageId, StageKind};
+use rupam_dag::lineage::StageTracker;
+use rupam_dag::task::InputSource;
+use rupam_dag::{Locality, MergedStream, TaskRef};
+use rupam_exec::config::SimConfig;
+use rupam_exec::scheduler::{
+    Command, NodeView, OfferInput, PendingTaskView, RunningTaskView, Scheduler,
+};
+use rupam_exec::EngineError;
+use rupam_faults::{FailureDetector, NodeHealth};
+use rupam_metrics::breakdown::TaskBreakdown;
+use rupam_metrics::record::{AttemptOutcome, TaskRecord};
+use rupam_metrics::trace::{AbortCause, TraceBuffer, TraceEvent, TraceEventKind};
+use rupam_simcore::source::EventSource;
+use rupam_simcore::stats::quantile;
+use rupam_simcore::time::{SimDuration, SimTime};
+use rupam_simcore::units::ByteSize;
+
+use crate::estimate::estimate;
+use crate::proto::{ClientRequest, ServeEvent, TaskFailure, WorkerCommand, WorkerReport};
+
+/// Reducer preference threshold: a node holding at least this fraction
+/// of a reduce stage's map output is `NODE_LOCAL` (same rule as the sim
+/// engine).
+const REDUCER_PREF_FRACTION: f64 = 0.20;
+
+/// Tunables of the live service.
+#[derive(Clone)]
+pub struct ServeConfig {
+    /// Server tick period (detector evaluation + offer round cadence) —
+    /// the live analogue of `EngineConfig::heartbeat`.
+    pub tick: Duration,
+    /// Worker heartbeat period.
+    pub worker_heartbeat: Duration,
+    /// Wall seconds per simulated second of estimated task duration
+    /// (`0.001` = tasks run 1000× faster than their sim estimate).
+    /// Fault-script times are scaled by the same factor.
+    pub time_scale: f64,
+    /// Bound of the server's input channel; producers block when the
+    /// driver falls behind (backpressure).
+    pub channel_capacity: usize,
+    /// Abort the run if the wall clock passes this point (livelock
+    /// safety net; checked on ticks, deterministic under replay because
+    /// tick stamps are part of the event order).
+    pub max_wall: Option<Duration>,
+    /// Sim tunables reused by the live mode: memory sizing/clamps
+    /// (`mem`), retry budget, and the failure-detector thresholds
+    /// (`faults.suspect_after` / `faults.dead_after`, interpreted as
+    /// *wall* durations here).
+    pub sim: SimConfig,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            tick: Duration::from_millis(20),
+            worker_heartbeat: Duration::from_millis(20),
+            time_scale: 0.001,
+            channel_capacity: 4096,
+            max_wall: Some(Duration::from_secs(120)),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Where launch/preempt/shutdown commands go: real worker inboxes in
+/// live mode, nowhere in replay (the logged reports already tell the
+/// replay driver everything the workers did).
+pub(crate) enum Outbox {
+    /// One unbounded command channel per worker, indexed by node id.
+    Live(Vec<Sender<WorkerCommand>>),
+    /// Replay: commands are decisions already reflected in the log.
+    Replay,
+}
+
+impl Outbox {
+    fn send(&self, worker: NodeId, cmd: WorkerCommand) {
+        if let Outbox::Live(txs) = self {
+            // a worker that already exited just misses the command — the
+            // same as a lost RPC to a dead node
+            let _ = txs[worker.index()].send(cmd);
+        }
+    }
+}
+
+struct RunningSt {
+    task: TaskRef,
+    attempt: u32,
+    launched_at: SimTime,
+    peak_mem: ByteSize,
+    use_gpu: bool,
+    locality: Locality,
+    breakdown: TaskBreakdown,
+}
+
+enum TaskSt {
+    Pending { attempt_no: u32, since: SimTime },
+    Running { node: NodeId, attempt: u32 },
+    Done,
+}
+
+struct StageSt {
+    released: bool,
+    tasks: Vec<TaskSt>,
+    map_out_per_node: Vec<f64>,
+    map_out_total: f64,
+    winners: Vec<Option<(NodeId, u32)>>,
+}
+
+struct NodeSt {
+    registered: bool,
+    executor_mem: ByteSize,
+    mem_in_use: ByteSize,
+    running: Vec<RunningSt>,
+}
+
+struct JobSt {
+    submitted: Option<SimTime>,
+    completed: Option<SimTime>,
+}
+
+/// Aggregate outcome of one serve run (live or replay).
+#[derive(Clone, Debug)]
+pub struct ServeReport {
+    /// Decision-trace digest — the replay-equivalence oracle value.
+    pub digest: u64,
+    /// Total trace events recorded into the digest.
+    pub events_recorded: u64,
+    /// Jobs the client submitted.
+    pub jobs_submitted: usize,
+    /// Submitted jobs that ran to completion.
+    pub jobs_completed: usize,
+    /// Launch commands applied.
+    pub launched: u64,
+    /// Attempts completed successfully.
+    pub completed: u64,
+    /// Attempts that failed (fault kills, OOMs, preemptions).
+    pub failed: u64,
+    /// Tasks killed by recovery whose re-execution never completed —
+    /// must be zero on a clean drain.
+    pub lost_tasks: usize,
+    /// Highest number of concurrently pending tasks seen at an offer
+    /// round.
+    pub max_pending: usize,
+    /// Median dispatch latency (stage release / re-queue → launch), µs.
+    pub dispatch_p50_us: u64,
+    /// p99 dispatch latency, µs.
+    pub dispatch_p99_us: u64,
+    /// Timestamp of the last handled event (wall µs since server start
+    /// in live mode).
+    pub makespan: SimDuration,
+    /// True iff the run drained without aborting and every submitted
+    /// job completed.
+    pub clean: bool,
+}
+
+/// The serve-mode scheduling loop over any [`EventSource`].
+pub(crate) struct ServeDriver<'a, S: EventSource<ServeEvent>> {
+    catalog: &'a MergedStream,
+    cluster: &'a ClusterSpec,
+    cfg: &'a ServeConfig,
+    sched: &'a mut (dyn Scheduler + Send),
+    pub(crate) source: S,
+    outbox: Outbox,
+    now: SimTime,
+    nodes: Vec<NodeSt>,
+    stages: Vec<StageSt>,
+    jobs: Vec<JobSt>,
+    tracker: StageTracker,
+    detector: FailureDetector,
+    trace: TraceBuffer,
+    round: u64,
+    need_offers: bool,
+    draining: bool,
+    aborted: bool,
+    kill_pending: HashMap<TaskRef, SimTime>,
+    observed_peak: HashMap<(StageId, usize), ByteSize>,
+    dispatch_us: Vec<u64>,
+    max_pending: usize,
+    launched: u64,
+    completed: u64,
+    failed: u64,
+}
+
+impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
+    pub(crate) fn new(
+        cluster: &'a ClusterSpec,
+        catalog: &'a MergedStream,
+        cfg: &'a ServeConfig,
+        sched: &'a mut (dyn Scheduler + Send),
+        source: S,
+        outbox: Outbox,
+    ) -> Self {
+        sched.on_app_start(&catalog.app, cluster);
+        let nodes = cluster
+            .iter()
+            .map(|(id, spec)| {
+                let requested = sched.executor_memory(cluster, id);
+                let ceiling = spec.mem.saturating_sub(cfg.sim.mem.os_reserved);
+                NodeSt {
+                    registered: false,
+                    executor_mem: requested.min(ceiling),
+                    mem_in_use: ByteSize::ZERO,
+                    running: Vec::new(),
+                }
+            })
+            .collect();
+        let stages = catalog
+            .app
+            .stages
+            .iter()
+            .map(|s| StageSt {
+                released: false,
+                tasks: (0..s.tasks.len())
+                    .map(|_| TaskSt::Pending {
+                        attempt_no: 0,
+                        since: SimTime::ZERO,
+                    })
+                    .collect(),
+                map_out_per_node: vec![0.0; cluster.len()],
+                map_out_total: 0.0,
+                winners: vec![None; s.tasks.len()],
+            })
+            .collect();
+        let chains: Vec<std::ops::Range<usize>> =
+            catalog.jobs.iter().map(|j| j.app_jobs.clone()).collect();
+        ServeDriver {
+            cluster,
+            catalog,
+            cfg,
+            sched,
+            source,
+            outbox,
+            now: SimTime::ZERO,
+            nodes,
+            stages,
+            jobs: catalog
+                .jobs
+                .iter()
+                .map(|_| JobSt {
+                    submitted: None,
+                    completed: None,
+                })
+                .collect(),
+            tracker: StageTracker::new_stream(&catalog.app, &chains),
+            detector: FailureDetector::new(cluster.len(), &cfg.sim.faults, SimTime::ZERO),
+            trace: TraceBuffer::new(rupam_metrics::trace::DEFAULT_TRACE_CAPACITY),
+            round: 0,
+            need_offers: false,
+            draining: false,
+            aborted: false,
+            kill_pending: HashMap::new(),
+            observed_peak: HashMap::new(),
+            dispatch_us: Vec::new(),
+            max_pending: 0,
+            launched: 0,
+            completed: 0,
+            failed: 0,
+        }
+    }
+
+    fn record(&mut self, kind: TraceEventKind) {
+        self.trace.record(TraceEvent {
+            at: self.now,
+            round: self.round,
+            kind,
+        });
+    }
+
+    fn finished(&self) -> bool {
+        if self.aborted {
+            return true;
+        }
+        let submitted_done = self
+            .jobs
+            .iter()
+            .all(|j| j.submitted.is_none() || j.completed.is_some());
+        let all_submitted = self.jobs.iter().all(|j| j.submitted.is_some());
+        submitted_done
+            && (self.draining || all_submitted)
+            && (self.draining || !self.jobs.is_empty())
+    }
+
+    /// Run to drain (or abort). [`EngineError::SourceDisconnected`] means
+    /// every producer hung up while submitted work was incomplete.
+    pub(crate) fn run(&mut self) -> Result<(), EngineError> {
+        let tick = SimDuration((self.cfg.tick.as_micros() as u64).max(1));
+        self.source.schedule(self.now + tick, ServeEvent::Tick);
+        while !self.finished() {
+            let Some((t, ev)) = self.source.pop() else {
+                self.aborted = true;
+                self.record(TraceEventKind::Aborted {
+                    cause: AbortCause::SourceDisconnected,
+                    task: None,
+                });
+                self.shutdown_workers();
+                return Err(EngineError::SourceDisconnected { at: self.now });
+            };
+            self.now = t;
+            match ev {
+                ServeEvent::Tick => {
+                    self.sched.on_heartbeat(self.now);
+                    self.evaluate_detector();
+                    if let Some(max) = self.cfg.max_wall {
+                        if self.now >= SimTime(max.as_micros() as u64) && !self.finished() {
+                            self.aborted = true;
+                            self.record(TraceEventKind::Aborted {
+                                cause: AbortCause::Livelock,
+                                task: None,
+                            });
+                            break;
+                        }
+                    }
+                    self.source.schedule(self.now + tick, ServeEvent::Tick);
+                    // offers batch on ticks, like the sim engine batches
+                    // them on heartbeats: one round absorbs every report
+                    // and submission since the last, keeping the event
+                    // loop O(1) per external input under a 10k-task
+                    // backlog instead of running a round per completion
+                    if self.need_offers && !self.aborted {
+                        self.need_offers = false;
+                        self.offer_round();
+                    }
+                }
+                ServeEvent::Client(frame) => self.handle_client(frame.body),
+                ServeEvent::Worker(msg) => self.handle_worker(msg.worker, msg.frame.body),
+            }
+        }
+        self.shutdown_workers();
+        Ok(())
+    }
+
+    fn shutdown_workers(&self) {
+        for i in 0..self.nodes.len() {
+            self.outbox.send(NodeId(i), WorkerCommand::Shutdown);
+        }
+    }
+
+    // ---- external inputs ------------------------------------------------
+
+    fn handle_client(&mut self, req: ClientRequest) {
+        match req {
+            ClientRequest::Submit { job } => self.submit_job(job),
+            ClientRequest::Drain => self.draining = true,
+        }
+    }
+
+    fn submit_job(&mut self, job: JobId) {
+        let Some(j) = self.jobs.get_mut(job.index()) else {
+            return; // unknown job id: ignore like a malformed RPC
+        };
+        if j.submitted.is_some() {
+            return; // duplicate submission
+        }
+        j.submitted = Some(self.now);
+        self.record(TraceEventKind::JobSubmitted { job });
+        let stages: Vec<StageId> = (0..self.stages.len())
+            .map(StageId)
+            .filter(|s| self.catalog.stage_jobs[s.index()] == job)
+            .collect();
+        self.sched.on_job_submitted(job, &stages, self.now);
+        self.tracker.arrive(job.index());
+        self.release_ready();
+        self.need_offers = true;
+    }
+
+    fn handle_worker(&mut self, worker: NodeId, report: WorkerReport) {
+        if worker.index() >= self.nodes.len() {
+            return;
+        }
+        match report {
+            WorkerReport::Register => {
+                let fresh = !self.nodes[worker.index()].registered;
+                self.nodes[worker.index()].registered = true;
+                if fresh {
+                    let mem = self.nodes[worker.index()].executor_mem;
+                    self.record(TraceEventKind::ExecutorSized { node: worker, mem });
+                }
+                self.observe_liveness(worker);
+                self.need_offers = true;
+            }
+            WorkerReport::Heartbeat => self.observe_liveness(worker),
+            WorkerReport::Completed { task, attempt } => self.on_completed(worker, task, attempt),
+            WorkerReport::Failed {
+                task,
+                attempt,
+                reason,
+            } => self.on_failed(worker, task, attempt, reason),
+        }
+    }
+
+    /// Feed the failure detector; a beacon from a declared-dead node
+    /// re-admits it (the sim engine's re-admission path).
+    fn observe_liveness(&mut self, worker: NodeId) {
+        if self.detector.is_dead(worker) {
+            self.detector.revive(worker, self.now);
+            self.record(TraceEventKind::NodeRecovered { node: worker });
+            self.need_offers = true;
+        } else {
+            self.detector.observe(worker, self.now);
+        }
+    }
+
+    fn take_running(&mut self, worker: NodeId, task: TaskRef, attempt: u32) -> Option<RunningSt> {
+        let node = &mut self.nodes[worker.index()];
+        let pos = node
+            .running
+            .iter()
+            .position(|r| r.task == task && r.attempt == attempt)?;
+        let entry = node.running.remove(pos);
+        debug_assert!(matches!(
+            self.stages[task.stage.index()].tasks[task.index],
+            TaskSt::Running { node: n, attempt: a } if n == worker && a == attempt
+        ));
+        node.mem_in_use = node.mem_in_use.saturating_sub(entry.peak_mem);
+        Some(entry)
+    }
+
+    fn on_completed(&mut self, worker: NodeId, task: TaskRef, attempt: u32) {
+        // a report for an attempt the server no longer tracks (node was
+        // declared dead and the task re-queued, or a preempt raced a
+        // completion) is stale — drop it, the authoritative copy wins
+        let Some(entry) = self.take_running(worker, task, attempt) else {
+            return;
+        };
+        let sidx = task.stage.index();
+        self.stages[sidx].tasks[task.index] = TaskSt::Done;
+        self.stages[sidx].winners[task.index] = Some((worker, attempt));
+        let stage = self.catalog.app.stage(task.stage);
+        if stage.kind == StageKind::ShuffleMap {
+            let bytes = stage.tasks[task.index].demand.shuffle_write.as_f64();
+            self.stages[sidx].map_out_per_node[worker.index()] += bytes;
+            self.stages[sidx].map_out_total += bytes;
+        }
+        self.kill_pending.remove(&task);
+        self.observed_peak
+            .insert((task.stage, task.index), entry.peak_mem);
+        self.completed += 1;
+        let record = TaskRecord {
+            task,
+            job: self.catalog.stage_jobs[sidx],
+            template_key: stage.template_key,
+            attempt,
+            node: worker,
+            speculative: false,
+            locality: entry.locality,
+            launched_at: entry.launched_at,
+            finished_at: self.now,
+            outcome: AttemptOutcome::Success,
+            breakdown: entry.breakdown,
+            peak_mem: entry.peak_mem,
+            used_gpu: entry.use_gpu,
+        };
+        self.sched.on_task_finished(&record, self.now);
+
+        for ready in self.tracker.task_finished(&self.catalog.app, task.stage) {
+            self.release_stage(ready);
+        }
+        let job = self.catalog.stage_jobs[sidx];
+        if self.jobs[job.index()].completed.is_none() && self.tracker.chain_done(job.index()) {
+            self.jobs[job.index()].completed = Some(self.now);
+            self.record(TraceEventKind::JobCompleted { job });
+        }
+        self.need_offers = true;
+    }
+
+    fn on_failed(&mut self, worker: NodeId, task: TaskRef, attempt: u32, reason: TaskFailure) {
+        let Some(entry) = self.take_running(worker, task, attempt) else {
+            return; // stale, same as completions
+        };
+        let outcome = match reason {
+            TaskFailure::Oom => AttemptOutcome::OomFailure,
+            TaskFailure::Preempted => AttemptOutcome::MemoryStragglerKilled,
+        };
+        if reason == TaskFailure::Oom {
+            let node = &self.nodes[worker.index()];
+            let pressure_pct = (node.mem_in_use.as_f64() + entry.peak_mem.as_f64())
+                / node.executor_mem.as_f64().max(1.0)
+                * 100.0;
+            self.record(TraceEventKind::OomTaskKill {
+                task,
+                node: worker,
+                pressure_pct: pressure_pct as u32,
+            });
+        }
+        self.failed += 1;
+        self.sched.on_task_failed(task, worker, outcome, self.now);
+        let next = attempt + 1;
+        if next >= self.cfg.sim.mem.max_retries {
+            self.record(TraceEventKind::Aborted {
+                cause: AbortCause::RetriesExhausted,
+                task: Some(task),
+            });
+            self.aborted = true;
+            return;
+        }
+        self.stages[task.stage.index()].tasks[task.index] = TaskSt::Pending {
+            attempt_no: next,
+            since: self.now,
+        };
+        self.need_offers = true;
+    }
+
+    // ---- failure detection & recovery -----------------------------------
+
+    fn evaluate_detector(&mut self) {
+        for tr in self.detector.evaluate(self.now) {
+            match tr.to {
+                NodeHealth::Suspect => self.record(TraceEventKind::NodeSuspect {
+                    node: tr.node,
+                    age: tr.age,
+                }),
+                NodeHealth::Dead => {
+                    self.record(TraceEventKind::NodeDead {
+                        node: tr.node,
+                        age: tr.age,
+                    });
+                    self.node_lost(tr.node);
+                }
+                NodeHealth::Alive => self.record(TraceEventKind::NodeRecovered { node: tr.node }),
+            }
+        }
+    }
+
+    /// A node was declared dead: kill-and-requeue its running attempts
+    /// and re-pend finished map tasks whose winning output lived there
+    /// (the sim engine's lineage recompute, ported verbatim minus the
+    /// executor-cache wipe serve mode doesn't model).
+    fn node_lost(&mut self, node_id: NodeId) {
+        let victims: Vec<RunningSt> = std::mem::take(&mut self.nodes[node_id.index()].running);
+        for v in victims {
+            self.kill_pending.entry(v.task).or_insert(self.now);
+            self.failed += 1;
+            self.sched
+                .on_task_failed(v.task, node_id, AttemptOutcome::NodeFaulted, self.now);
+            self.stages[v.task.stage.index()].tasks[v.task.index] = TaskSt::Pending {
+                attempt_no: v.attempt + 1,
+                since: self.now,
+            };
+        }
+        self.nodes[node_id.index()].mem_in_use = ByteSize::ZERO;
+        self.recompute_lost_outputs(node_id);
+        self.need_offers = true;
+    }
+
+    fn recompute_lost_outputs(&mut self, node_id: NodeId) {
+        for sidx in 0..self.stages.len() {
+            if self.catalog.app.stages[sidx].kind != StageKind::ShuffleMap {
+                continue;
+            }
+            let n_tasks = self.stages[sidx].tasks.len();
+            let mut lost = 0usize;
+            for tidx in 0..n_tasks {
+                let Some((winner, attempt_no)) = self.stages[sidx].winners[tidx] else {
+                    continue;
+                };
+                if winner != node_id {
+                    continue;
+                }
+                if !self.tracker.task_lost(&self.catalog.app, StageId(sidx)) {
+                    continue; // the chain no longer needs this output
+                }
+                let bytes = self.catalog.app.stages[sidx].tasks[tidx]
+                    .demand
+                    .shuffle_write
+                    .as_f64();
+                let srt = &mut self.stages[sidx];
+                srt.map_out_per_node[node_id.index()] =
+                    (srt.map_out_per_node[node_id.index()] - bytes).max(0.0);
+                srt.map_out_total = (srt.map_out_total - bytes).max(0.0);
+                srt.winners[tidx] = None;
+                srt.tasks[tidx] = TaskSt::Pending {
+                    attempt_no: attempt_no + 1,
+                    since: self.now,
+                };
+                self.kill_pending
+                    .entry(TaskRef {
+                        stage: StageId(sidx),
+                        index: tidx,
+                    })
+                    .or_insert(self.now);
+                lost += 1;
+            }
+            if lost > 0 {
+                self.record(TraceEventKind::LineageRecompute {
+                    stage: StageId(sidx),
+                    node: node_id,
+                    tasks: lost,
+                });
+                self.need_offers = true;
+            }
+        }
+    }
+
+    // ---- stage release & offers -----------------------------------------
+
+    fn release_ready(&mut self) {
+        for s in self.tracker.take_ready(&self.catalog.app) {
+            self.release_stage(s);
+        }
+    }
+
+    fn release_stage(&mut self, stage: StageId) {
+        let st = &mut self.stages[stage.index()];
+        if st.released {
+            return;
+        }
+        st.released = true;
+        for t in st.tasks.iter_mut() {
+            if let TaskSt::Pending { since, .. } = t {
+                *since = self.now;
+            }
+        }
+        self.sched
+            .on_stage_ready(self.catalog.app.stage(stage), self.now);
+    }
+
+    /// `(process_nodes, node_local)` placement preferences — the sim
+    /// engine's `preferred_nodes` without the executor-cache tier (serve
+    /// workers hold no partition cache).
+    fn preferred_nodes(&self, stage: StageId, tidx: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+        let template = &self.catalog.app.stage(stage).tasks[tidx];
+        match &template.input {
+            InputSource::Hdfs(block) => (
+                Vec::new(),
+                self.catalog.layout.block(*block).replicas.clone(),
+            ),
+            InputSource::CachedOrHdfs { fallback, .. } => (
+                Vec::new(),
+                self.catalog.layout.block(*fallback).replicas.clone(),
+            ),
+            InputSource::Shuffle => {
+                let parents = &self.catalog.app.stage(stage).parents;
+                let mut per_node = vec![0.0f64; self.nodes.len()];
+                let mut total = 0.0f64;
+                for p in parents {
+                    let prt = &self.stages[p.index()];
+                    for (i, b) in prt.map_out_per_node.iter().enumerate() {
+                        per_node[i] += b;
+                    }
+                    total += prt.map_out_total;
+                }
+                let node_local = if total > 0.0 {
+                    per_node
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, &b)| b / total >= REDUCER_PREF_FRACTION)
+                        .map(|(i, _)| NodeId(i))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (Vec::new(), node_local)
+            }
+            InputSource::Generated => (Vec::new(), Vec::new()),
+        }
+    }
+
+    fn offer_round(&mut self) {
+        self.round += 1;
+        let now = self.now;
+        let mut blocked_count = 0usize;
+        let mut running_total = 0usize;
+        let node_views: Vec<NodeView> = self
+            .cluster
+            .iter()
+            .map(|(id, spec)| {
+                let st = &self.nodes[id.index()];
+                let health = self.detector.health(id);
+                let dead = health == NodeHealth::Dead;
+                let blocked = !st.registered || dead;
+                if blocked {
+                    blocked_count += 1;
+                }
+                running_total += st.running.len();
+                let running: Vec<RunningTaskView> = st
+                    .running
+                    .iter()
+                    .map(|r| RunningTaskView {
+                        task: r.task,
+                        speculative: false,
+                        elapsed: now.since(r.launched_at),
+                        peak_mem: r.peak_mem,
+                        on_gpu: r.use_gpu,
+                    })
+                    .collect();
+                let gpus_busy = st.running.iter().filter(|r| r.use_gpu).count() as u32;
+                NodeView {
+                    node: id,
+                    executor_mem: st.executor_mem,
+                    mem_in_use: st.mem_in_use,
+                    free_mem: st.executor_mem.saturating_sub(st.mem_in_use),
+                    cpu_util: (st.running.len() as f64 / spec.cores as f64).min(1.0),
+                    net_util: 0.0,
+                    disk_util: 0.0,
+                    gpus_idle: spec.gpus.saturating_sub(gpus_busy),
+                    running,
+                    blocked,
+                    heartbeat_age: self.detector.age(id, now),
+                    dead,
+                    suspect: health == NodeHealth::Suspect,
+                }
+            })
+            .collect();
+
+        let mut pending = Vec::new();
+        for sidx in 0..self.stages.len() {
+            if !self.stages[sidx].released {
+                continue;
+            }
+            for tidx in 0..self.stages[sidx].tasks.len() {
+                let TaskSt::Pending { attempt_no, .. } = self.stages[sidx].tasks[tidx] else {
+                    continue;
+                };
+                let stage = self.catalog.app.stage(StageId(sidx));
+                let (process_nodes, node_local) = self.preferred_nodes(StageId(sidx), tidx);
+                pending.push(PendingTaskView {
+                    task: TaskRef {
+                        stage: StageId(sidx),
+                        index: tidx,
+                    },
+                    job: self.catalog.stage_jobs[sidx],
+                    template_key: stage.template_key,
+                    stage_kind: stage.kind,
+                    attempt_no,
+                    peak_mem_hint: self
+                        .observed_peak
+                        .get(&(StageId(sidx), tidx))
+                        .copied()
+                        .unwrap_or(ByteSize::ZERO),
+                    gpu_capable: stage.tasks[tidx].demand.is_gpu_capable(),
+                    process_nodes,
+                    node_local,
+                });
+            }
+        }
+        self.max_pending = self.max_pending.max(pending.len());
+
+        let job_arrivals: Vec<SimTime> = self
+            .jobs
+            .iter()
+            .map(|j| j.submitted.unwrap_or(SimTime(u64::MAX)))
+            .collect();
+        let input = OfferInput {
+            now,
+            cluster: self.cluster,
+            app: &self.catalog.app,
+            nodes: node_views,
+            pending,
+            speculatable: Vec::new(),
+            job_arrivals,
+            changed: None,
+        };
+        let commands = self.sched.offer_round(&input);
+        self.record(TraceEventKind::OfferRound {
+            pending: input.pending.len(),
+            running: running_total,
+            blocked: blocked_count,
+            commands: commands.len(),
+        });
+        for cmd in commands {
+            self.apply_command(cmd);
+        }
+    }
+
+    fn apply_command(&mut self, cmd: Command) {
+        match cmd {
+            Command::Launch {
+                task,
+                node,
+                use_gpu,
+                speculative,
+                reason,
+            } => {
+                if speculative {
+                    return; // serve mode offers no speculatable set
+                }
+                let TaskSt::Pending { attempt_no, since } =
+                    self.stages[task.stage.index()].tasks[task.index]
+                else {
+                    return; // stale command: already launched or done
+                };
+                let health = self.detector.health(node);
+                if !self.nodes[node.index()].registered || health == NodeHealth::Dead {
+                    return; // launch to a dead node is a lost RPC
+                }
+                let stage = self.catalog.app.stage(task.stage);
+                let demand = &stage.tasks[task.index].demand;
+                let spec = self.cluster.node(node);
+                let gpu = use_gpu && spec.gpus > 0 && demand.is_gpu_capable();
+                let (dur, breakdown) = estimate(demand, spec, gpu);
+                let (process_nodes, node_local) = self.preferred_nodes(task.stage, task.index);
+                let locality = if process_nodes.contains(&node) {
+                    Locality::ProcessLocal
+                } else if node_local.contains(&node) {
+                    Locality::NodeLocal
+                } else if node_local.iter().any(|&n| self.cluster.same_rack(n, node)) {
+                    Locality::RackLocal
+                } else {
+                    Locality::Any
+                };
+                let nst = &mut self.nodes[node.index()];
+                nst.mem_in_use += demand.peak_mem;
+                nst.running.push(RunningSt {
+                    task,
+                    attempt: attempt_no,
+                    launched_at: self.now,
+                    peak_mem: demand.peak_mem,
+                    use_gpu: gpu,
+                    locality,
+                    breakdown,
+                });
+                self.stages[task.stage.index()].tasks[task.index] = TaskSt::Running {
+                    node,
+                    attempt: attempt_no,
+                };
+                self.dispatch_us.push(self.now.since(since).0);
+                self.launched += 1;
+                self.record(TraceEventKind::Launch {
+                    task,
+                    job: self.catalog.stage_jobs[task.stage.index()],
+                    node,
+                    attempt: attempt_no,
+                    speculative: false,
+                    use_gpu: gpu,
+                    locality,
+                    reason,
+                });
+                let hold = Duration::from_secs_f64(dur.as_secs_f64() * self.cfg.time_scale);
+                self.outbox.send(
+                    node,
+                    WorkerCommand::Launch {
+                        task,
+                        attempt: attempt_no,
+                        use_gpu: gpu,
+                        hold,
+                    },
+                );
+            }
+            Command::KillAndRequeue { task, node } => {
+                let TaskSt::Running { node: on, .. } =
+                    self.stages[task.stage.index()].tasks[task.index]
+                else {
+                    return; // stale view: not running anymore
+                };
+                if on != node {
+                    return; // stale view: moved since the offer
+                }
+                self.record(TraceEventKind::KillRequeue { task, node });
+                // the attempt stays "running" until the worker confirms
+                // with Failed { Preempted } — the confirmation is an
+                // external event, so replay sees the same ordering
+                self.outbox.send(node, WorkerCommand::Preempt { task });
+            }
+        }
+    }
+
+    // ---- reporting -------------------------------------------------------
+
+    pub(crate) fn report(&self) -> ServeReport {
+        let lat: Vec<f64> = self.dispatch_us.iter().map(|&us| us as f64).collect();
+        let jobs_submitted = self.jobs.iter().filter(|j| j.submitted.is_some()).count();
+        let jobs_completed = self.jobs.iter().filter(|j| j.completed.is_some()).count();
+        let lost_tasks = self
+            .kill_pending
+            .keys()
+            .filter(|t| !matches!(self.stages[t.stage.index()].tasks[t.index], TaskSt::Done))
+            .count();
+        ServeReport {
+            digest: self.trace.digest(),
+            events_recorded: self.trace.recorded(),
+            jobs_submitted,
+            jobs_completed,
+            launched: self.launched,
+            completed: self.completed,
+            failed: self.failed,
+            lost_tasks,
+            max_pending: self.max_pending,
+            dispatch_p50_us: if lat.is_empty() {
+                0
+            } else {
+                quantile(&lat, 0.50) as u64
+            },
+            dispatch_p99_us: if lat.is_empty() {
+                0
+            } else {
+                quantile(&lat, 0.99) as u64
+            },
+            makespan: SimDuration(self.now.0),
+            clean: !self.aborted && jobs_submitted == jobs_completed,
+        }
+    }
+}

@@ -1,0 +1,66 @@
+//! Serve-mode error type: engine errors plus the thread/channel failure
+//! modes that only exist once real threads are involved.
+
+use rupam_exec::EngineError;
+
+/// Everything that can go wrong running the live service.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeError {
+    /// The driver's core loop failed (see [`EngineError`]).
+    Engine(EngineError),
+    /// A server-side thread panicked; the payload is its panic message.
+    Thread(String),
+    /// A channel endpoint hung up while the other side still needed it.
+    Disconnected(&'static str),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Engine(e) => write!(f, "serve driver failed: {e}"),
+            ServeError::Thread(msg) => write!(f, "serve thread panicked: {msg}"),
+            ServeError::Disconnected(who) => write!(f, "{who} channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServeError::Engine(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<EngineError> for ServeError {
+    fn from(e: EngineError) -> Self {
+        ServeError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_simcore::SimTime;
+
+    #[test]
+    fn wraps_engine_errors_with_source_chain() {
+        let err: ServeError = EngineError::SourceDisconnected { at: SimTime(3) }.into();
+        assert!(err.to_string().contains("disconnected"));
+        let src = std::error::Error::source(&err).expect("source chain");
+        assert!(src.downcast_ref::<EngineError>().is_some());
+    }
+
+    #[test]
+    fn crosses_thread_boundaries_as_boxed_error() {
+        let (tx, rx) = std::sync::mpsc::channel::<Box<dyn std::error::Error + Send + Sync>>();
+        std::thread::spawn(move || {
+            tx.send(Box::new(ServeError::Disconnected("worker")))
+                .unwrap();
+        })
+        .join()
+        .unwrap();
+        assert!(rx.recv().unwrap().to_string().contains("worker"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Deterministic task-duration estimation for worker agents.
+//!
+//! Serve-mode workers do not execute Spark tasks; they *hold a slot*
+//! for the time the task would take — a pure function of the task's
+//! demand vector and the node's hardware, mirroring the sim cost
+//! model's uncontended phase times. Being a pure function is what makes
+//! serve runs replayable: the estimate feeds both the wall-clock hold
+//! sent to the agent and the per-category [`TaskBreakdown`] banked into
+//! the scheduler's `DB_task_char`, and both are identical in replay.
+
+use rupam_cluster::node::NodeSpec;
+use rupam_dag::task::TaskDemand;
+use rupam_metrics::breakdown::{BreakdownCategory, TaskBreakdown};
+use rupam_simcore::time::SimDuration;
+
+/// Uncontended execution-time estimate of one attempt on `spec`.
+///
+/// Returns the total duration plus its per-category breakdown (the
+/// scheduler's characterization input). The estimate is intentionally
+/// simpler than the sim's fluid contention model — a live service has
+/// no global view of co-located phases — but uses the same hardware
+/// axes, so RUPAM's bottleneck classification stays meaningful.
+pub fn estimate(
+    demand: &TaskDemand,
+    spec: &NodeSpec,
+    use_gpu: bool,
+) -> (SimDuration, TaskBreakdown) {
+    let mut breakdown = TaskBreakdown::new();
+    let mut total = 0.0f64;
+    let mut add = |cat: BreakdownCategory, secs: f64, total: &mut f64| {
+        if secs > 0.0 {
+            breakdown.add(cat, SimDuration::from_secs_f64(secs));
+            *total += secs;
+        }
+    };
+
+    add(
+        BreakdownCategory::HdfsDisk,
+        demand.input_bytes.as_f64() / spec.disk.read_bw,
+        &mut total,
+    );
+    add(
+        BreakdownCategory::ShuffleNet,
+        demand.shuffle_read.as_f64() / spec.net_bw,
+        &mut total,
+    );
+    let gpu = use_gpu && spec.gpus > 0 && demand.gpu_kernels > 0.0;
+    let cpu_work = if gpu {
+        demand.compute
+    } else {
+        demand.compute + demand.gpu_kernels
+    };
+    add(
+        BreakdownCategory::Compute,
+        cpu_work / spec.cpu_ghz
+            + if gpu {
+                demand.gpu_kernels / spec.gpu_gcps
+            } else {
+                0.0
+            },
+        &mut total,
+    );
+    add(
+        BreakdownCategory::ShuffleWrite,
+        demand.shuffle_write.as_f64() / spec.disk.write_bw,
+        &mut total,
+    );
+    add(
+        BreakdownCategory::Serialization,
+        demand.output_bytes.as_f64() / spec.net_bw,
+        &mut total,
+    );
+
+    (
+        SimDuration::from_secs_f64(total).max(SimDuration(1)),
+        breakdown,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rupam_cluster::ClusterSpec;
+    use rupam_cluster::NodeId;
+    use rupam_simcore::units::ByteSize;
+
+    fn demand() -> TaskDemand {
+        TaskDemand {
+            compute: 10.0,
+            gpu_kernels: 40.0,
+            input_bytes: ByteSize::mib(128),
+            shuffle_read: ByteSize::ZERO,
+            shuffle_write: ByteSize::mib(16),
+            output_bytes: ByteSize::ZERO,
+            peak_mem: ByteSize::mib(256),
+            cached_bytes: ByteSize::ZERO,
+        }
+    }
+
+    #[test]
+    fn gpu_execution_is_faster_on_gpu_nodes() {
+        let cluster = ClusterSpec::hydra();
+        let hulk = (0..cluster.len())
+            .map(NodeId)
+            .find(|&n| cluster.node(n).gpus > 0)
+            .expect("hydra has GPU nodes");
+        let spec = cluster.node(hulk);
+        let (cpu, _) = estimate(&demand(), spec, false);
+        let (gpu, _) = estimate(&demand(), spec, true);
+        assert!(gpu < cpu, "gpu {gpu} should beat cpu {cpu}");
+    }
+
+    #[test]
+    fn estimate_is_pure_and_positive() {
+        let cluster = ClusterSpec::hydra();
+        let spec = cluster.node(NodeId(0));
+        let (a, ba) = estimate(&demand(), spec, false);
+        let (b, bb) = estimate(&demand(), spec, false);
+        assert_eq!(a, b);
+        assert_eq!(
+            ba.get(BreakdownCategory::Compute),
+            bb.get(BreakdownCategory::Compute)
+        );
+        assert!(a > SimDuration(0));
+    }
+}

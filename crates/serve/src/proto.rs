@@ -1,0 +1,122 @@
+//! The serve-mode RPC protocol.
+//!
+//! Worker agents and the client talk to the scheduler server over typed
+//! messages on in-process channels. The protocol is deliberately shaped
+//! like a miniature network RPC layer — every message travels inside a
+//! sequence-numbered [`Frame`] — so that the in-process transport could
+//! be swapped for a socket without touching the driver: the driver only
+//! ever sees a totally ordered stream of [`ServeEvent`]s popped from its
+//! [`rupam_simcore::source::EventSource`].
+
+use std::time::Duration;
+
+use rupam_cluster::NodeId;
+use rupam_dag::app::JobId;
+use rupam_dag::TaskRef;
+
+/// A sequence-numbered protocol envelope. `seq` is per-connection and
+/// monotone; the server uses it only for diagnostics (ordering is
+/// established by the event source's stamps, not by sender sequence).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Frame<T> {
+    /// Sender-assigned monotone sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub body: T,
+}
+
+/// Why a worker reported an attempt as failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TaskFailure {
+    /// The attempt died of a (simulated) out-of-memory kill.
+    Oom,
+    /// The server asked for the attempt to be preempted
+    /// ([`WorkerCommand::Preempt`], RUPAM's memory-straggler relocation).
+    Preempted,
+}
+
+/// What a worker agent reports upstream to the server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerReport {
+    /// The agent came up (or came back after a restart) and is ready
+    /// for launches.
+    Register,
+    /// Periodic liveness beacon; the failure detector times these.
+    Heartbeat,
+    /// An attempt ran to completion.
+    Completed {
+        /// The finished task.
+        task: TaskRef,
+        /// Attempt number the server launched it with.
+        attempt: u32,
+    },
+    /// An attempt ended without producing output.
+    Failed {
+        /// The failed task.
+        task: TaskRef,
+        /// Attempt number the server launched it with.
+        attempt: u32,
+        /// Why it failed.
+        reason: TaskFailure,
+    },
+}
+
+/// One framed worker report with its origin.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WorkerMsg {
+    /// The reporting worker (same id space as the catalog cluster).
+    pub worker: NodeId,
+    /// The framed report.
+    pub frame: Frame<WorkerReport>,
+}
+
+/// What the client API sends to the server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ClientRequest {
+    /// Make a catalog job runnable now. Jobs may be submitted in any
+    /// order; each at most once.
+    Submit {
+        /// The stream job to admit.
+        job: JobId,
+    },
+    /// No further submissions will come: finish everything already
+    /// submitted, then shut down gracefully.
+    Drain,
+}
+
+/// Everything the serve driver can pop from its event source: external
+/// inputs (worker reports, client requests) and its own internal timer.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ServeEvent {
+    /// A worker report arrived.
+    Worker(WorkerMsg),
+    /// A client request arrived.
+    Client(Frame<ClientRequest>),
+    /// The server's periodic tick: failure-detector evaluation and an
+    /// offer round (the live analogue of the sim engine's heartbeat).
+    Tick,
+}
+
+/// What the server sends down to a worker agent.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WorkerCommand {
+    /// Run one task attempt.
+    Launch {
+        /// The task to run.
+        task: TaskRef,
+        /// Attempt number (echoed back in `Completed`/`Failed`).
+        attempt: u32,
+        /// Execute GPU kernels on a GPU.
+        use_gpu: bool,
+        /// Wall-clock execution time, already scaled by the server's
+        /// `time_scale` (the agent just holds the slot this long).
+        hold: Duration,
+    },
+    /// Abandon a running attempt and report it `Failed { Preempted }`.
+    Preempt {
+        /// The task whose attempt dies.
+        task: TaskRef,
+    },
+    /// Drain complete: stop heartbeating and exit.
+    Shutdown,
+}

@@ -1,0 +1,43 @@
+//! The replay oracle: re-run a serve input log through the
+//! deterministic calendar and check the driver makes identical
+//! decisions.
+//!
+//! Externals from the log are pre-scheduled into the [`Calendar`] at
+//! their recorded stamps *before* the driver runs, so they carry lower
+//! insertion sequence numbers than any timer the driver schedules while
+//! running — the calendar's FIFO tie-break then reproduces the wall
+//! source's external-wins-ties rule exactly (see
+//! [`rupam_simcore::source`]). The driver's periodic ticks are not in
+//! the log: the replayed driver re-derives them itself, at the same
+//! deadlines, because tick timers pop at their deadline in both modes.
+//!
+//! [`Calendar`]: rupam_simcore::Calendar
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::MergedStream;
+use rupam_exec::scheduler::Scheduler;
+use rupam_simcore::{Calendar, SimTime};
+
+use crate::driver::{Outbox, ServeConfig, ServeDriver, ServeReport};
+use crate::error::ServeError;
+use crate::proto::ServeEvent;
+
+/// Replay `log` (a live run's stamped external inputs, from
+/// [`crate::ServeOutcome::log`]) through a calendar-driven copy of the
+/// serve driver. Returns the replayed report; its `digest` must equal
+/// the live run's for the run to be certified deterministic.
+pub fn replay(
+    cluster: &ClusterSpec,
+    catalog: &MergedStream,
+    sched: &mut (dyn Scheduler + Send),
+    cfg: &ServeConfig,
+    log: &[(SimTime, ServeEvent)],
+) -> Result<ServeReport, ServeError> {
+    let mut cal: Calendar<ServeEvent> = Calendar::new();
+    for (at, ev) in log {
+        cal.schedule(*at, ev.clone());
+    }
+    let mut drv = ServeDriver::new(cluster, catalog, cfg, sched, cal, Outbox::Replay);
+    drv.run()?;
+    Ok(drv.report())
+}

@@ -1,0 +1,98 @@
+//! Shared fixtures for serve-mode tests, the CLI smoke mode, and the
+//! sustained-load benchmarks: synthetic fleets and job catalogs sized
+//! for pressure testing rather than paper fidelity.
+
+use rupam_cluster::ClusterSpec;
+use rupam_dag::app::{AppBuilder, StageKind};
+use rupam_dag::task::{InputSource, TaskDemand, TaskTemplate};
+use rupam_dag::{DataLayout, JobStream, MergedStream};
+use rupam_simcore::units::ByteSize;
+use rupam_simcore::SimTime;
+
+/// A Hydra-style fleet of `n` nodes keeping the paper's rough class
+/// ratio (¾ thor CPU nodes, ⅛ hulk GPU nodes, the rest big-memory
+/// stack nodes).
+pub fn build_fleet(n: usize) -> ClusterSpec {
+    assert!(n >= 8, "fleet needs at least 8 nodes for a full class mix");
+    let thor = n * 3 / 4;
+    let hulk = n / 8;
+    let stack = n - thor - hulk;
+    ClusterSpec::hydra_mix(thor, hulk, stack)
+}
+
+/// A catalog of `jobs` independent single-stage jobs with
+/// `tasks_per_job` compute-bound tasks each, all nominally arriving at
+/// t=0 (actual admission happens via client `Submit`s). Generated
+/// inputs keep the pressure on the offer path rather than on data
+/// placement.
+pub fn pressure_stream(jobs: usize, tasks_per_job: usize) -> MergedStream {
+    pressure_stream_sized(jobs, tasks_per_job, 20.0, ByteSize::mib(256))
+}
+
+/// [`pressure_stream`] with explicit per-task compute (gigacycles) and
+/// peak memory. The saturation benchmark uses a large `peak_mem` so
+/// executor memory — not task count — bounds concurrency, building a
+/// deep pending backlog.
+pub fn pressure_stream_sized(
+    jobs: usize,
+    tasks_per_job: usize,
+    compute: f64,
+    peak_mem: ByteSize,
+) -> MergedStream {
+    let mut stream = JobStream::new();
+    for j in 0..jobs {
+        let mut b = AppBuilder::new(format!("pressure-{j}"));
+        let job = b.begin_job();
+        let tasks: Vec<TaskTemplate> = (0..tasks_per_job)
+            .map(|i| TaskTemplate {
+                index: i,
+                input: InputSource::Generated,
+                demand: TaskDemand {
+                    compute,
+                    gpu_kernels: if i % 4 == 0 { compute * 1.5 } else { 0.0 },
+                    input_bytes: ByteSize::ZERO,
+                    shuffle_read: ByteSize::ZERO,
+                    shuffle_write: ByteSize::ZERO,
+                    output_bytes: ByteSize::mib(1),
+                    peak_mem,
+                    cached_bytes: ByteSize::ZERO,
+                },
+            })
+            .collect();
+        b.add_stage(
+            job,
+            "result",
+            "pressure/result",
+            StageKind::Result,
+            Vec::new(),
+            tasks,
+        );
+        stream.push(
+            format!("pressure-{j}"),
+            b.build(),
+            DataLayout::new(),
+            SimTime::ZERO,
+        );
+    }
+    stream.merge()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fleet_sizes_add_up() {
+        for n in [8, 64, 256] {
+            assert_eq!(build_fleet(n).len(), n);
+        }
+    }
+
+    #[test]
+    fn pressure_stream_shape() {
+        let s = pressure_stream(3, 5);
+        assert_eq!(s.jobs.len(), 3);
+        assert_eq!(s.app.stages.len(), 3);
+        assert!(s.app.stages.iter().all(|st| st.tasks.len() == 5));
+    }
+}

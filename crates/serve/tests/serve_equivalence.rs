@@ -1,0 +1,134 @@
+//! Serve-mode acceptance tests: the live wall-clock service must drain
+//! cleanly and its decision trace must be reproducible by replaying the
+//! input log through the deterministic calendar engine.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rupam::{RupamConfig, RupamScheduler};
+use rupam_dag::app::JobId;
+use rupam_faults::FaultScript;
+use rupam_serve::testbed::{build_fleet, pressure_stream};
+use rupam_serve::{replay, server, ServeConfig, ServeOutcome};
+use rupam_simcore::time::SimDuration;
+
+fn run_live(
+    workers: usize,
+    jobs: usize,
+    tasks: usize,
+    cfg: &ServeConfig,
+    script: &FaultScript,
+) -> ServeOutcome {
+    let cluster = Arc::new(build_fleet(workers));
+    let catalog = Arc::new(pressure_stream(jobs, tasks));
+    let handle = server::start(
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        Box::new(RupamScheduler::new(RupamConfig::default())),
+        cfg.clone(),
+        script,
+    );
+    let mut client = handle.client.clone();
+    for j in 0..jobs {
+        client.submit(JobId(j)).expect("submit");
+    }
+    client.drain().expect("drain");
+    drop(client);
+    handle.wait().expect("serve run")
+}
+
+fn check_replay(workers: usize, jobs: usize, tasks: usize, cfg: &ServeConfig, out: &ServeOutcome) {
+    let cluster = build_fleet(workers);
+    let catalog = pressure_stream(jobs, tasks);
+    let mut sched = RupamScheduler::new(RupamConfig::default());
+    let replayed = replay(&cluster, &catalog, &mut sched, cfg, &out.log).expect("replay succeeds");
+    assert_eq!(
+        replayed.digest,
+        out.report.digest,
+        "live and replayed decision-trace digests must be byte-identical \
+         (live {:016x} vs replay {:016x}, {} events)",
+        out.report.digest,
+        replayed.digest,
+        out.log.len()
+    );
+    assert_eq!(replayed.jobs_completed, out.report.jobs_completed);
+    assert_eq!(replayed.launched, out.report.launched);
+}
+
+#[test]
+fn live_run_replays_to_identical_digest() {
+    let cfg = ServeConfig {
+        time_scale: 0.002,
+        ..ServeConfig::default()
+    };
+    let out = run_live(12, 4, 24, &cfg, &FaultScript::empty());
+    assert!(
+        out.report.clean,
+        "healthy run must drain cleanly: {:?}",
+        out.report
+    );
+    assert_eq!(out.report.jobs_completed, 4);
+    assert_eq!(out.report.lost_tasks, 0);
+    assert_eq!(out.report.completed, 4 * 24);
+    check_replay(12, 4, 24, &cfg, &out);
+}
+
+#[test]
+fn chaos_smoke_drains_cleanly_and_replays() {
+    // the committed chaos script the sim digest gate uses, acted out by
+    // real worker threads at 50x speed
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../chaos-smoke.toml"
+    ))
+    .expect("chaos-smoke.toml is committed at the repo root");
+    let script = FaultScript::parse_toml(&text).expect("script parses");
+
+    let mut cfg = ServeConfig {
+        tick: Duration::from_millis(10),
+        worker_heartbeat: Duration::from_millis(10),
+        time_scale: 0.02, // crash@4s lands at 80ms wall
+        max_wall: Some(Duration::from_secs(60)),
+        ..ServeConfig::default()
+    };
+    // detector thresholds are wall durations in serve mode; scale them
+    // with the script so suspicion/death fire while the run is alive
+    cfg.sim.faults.suspect_after = SimDuration(60_000); // 60 ms
+    cfg.sim.faults.dead_after = SimDuration(200_000); // 200 ms
+
+    let out = run_live(12, 4, 24, &cfg, &script);
+    assert!(
+        out.report.clean,
+        "chaos run must still drain cleanly: {:?}",
+        out.report
+    );
+    assert_eq!(
+        out.report.jobs_completed, 4,
+        "every job finishes despite faults"
+    );
+    assert_eq!(
+        out.report.lost_tasks, 0,
+        "recovery must re-run every killed task"
+    );
+    check_replay(12, 4, 24, &cfg, &out);
+}
+
+#[test]
+fn drain_with_no_submissions_shuts_down() {
+    let cluster = Arc::new(build_fleet(8));
+    let catalog = Arc::new(pressure_stream(2, 4));
+    let handle = server::start(
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        Box::new(RupamScheduler::new(RupamConfig::default())),
+        ServeConfig::default(),
+        &FaultScript::empty(),
+    );
+    let mut client = handle.client.clone();
+    client.drain().expect("drain");
+    drop(client);
+    let out = handle.wait().expect("clean shutdown");
+    assert!(out.report.clean);
+    assert_eq!(out.report.jobs_submitted, 0);
+    assert_eq!(out.report.launched, 0);
+}

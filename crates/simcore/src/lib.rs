@@ -10,6 +10,10 @@
 //!   totally ordered and overflow-checked.
 //! * [`calendar::Calendar`] — an event calendar with deterministic tie
 //!   breaking (FIFO among events scheduled for the same instant).
+//! * [`source::EventSource`] — the time-source abstraction over the
+//!   calendar's contract, with [`source::WallClockSource`] as the live
+//!   (wall-clock, channel-backed) implementation and a replay-oracle
+//!   guarantee tying the two together.
 //! * [`rng::RngFactory`] — seed-derived independent RNG streams, so adding
 //!   a random draw in one component never perturbs another component's
 //!   stream.
@@ -23,6 +27,7 @@ pub mod calendar;
 pub mod intern;
 pub mod rng;
 pub mod series;
+pub mod source;
 pub mod stats;
 pub mod time;
 pub mod units;
@@ -31,6 +36,7 @@ pub use calendar::Calendar;
 pub use intern::Sym;
 pub use rng::RngFactory;
 pub use series::TimeSeries;
+pub use source::{EventSource, WallClockSource};
 pub use time::{SimDuration, SimTime};
 pub use units::{ByteSize, GIB, KIB, MIB, TIB};
 

@@ -1,0 +1,544 @@
+//! Time-source abstraction: where events come from and when they fire.
+//!
+//! The discrete-event [`Calendar`] hard-wires the engine to virtual
+//! time: `pop` teleports the clock to the next scheduled entry. A live
+//! scheduler cannot teleport — external inputs (worker heartbeats, job
+//! submissions, task completions) arrive whenever they arrive, and
+//! timeouts fire when the wall clock reaches them. [`EventSource`]
+//! extracts the calendar's "what fires next and when" contract into a
+//! trait so the same engine code runs against either:
+//!
+//! * [`Calendar`] — the deterministic implementation (sim mode, and the
+//!   replay oracle for serve mode);
+//! * [`WallClockSource`] — a wall-clock implementation that blocks on a
+//!   bounded MPSC channel of external inputs and keeps internal timers
+//!   in a deadline wheel, merging both into one totally-ordered stream
+//!   of `(SimTime, E)` pops.
+//!
+//! ## The replay-oracle guarantee
+//!
+//! [`WallClockSource`] stamps every external input with a *monotone*
+//! microsecond timestamp and records `(stamp, event)` into an input
+//! log. The pop order it produces is exactly the order a [`Calendar`]
+//! would produce if those externals were pre-scheduled at their stamps
+//! *before* the run begins (so they carry lower insertion sequence
+//! numbers than any timer the engine schedules while running):
+//!
+//! * pops are sorted by timestamp (stamps and timer deadlines share one
+//!   µs clock);
+//! * an external input *wins ties* against a timer at the same instant —
+//!   which is precisely the calendar's FIFO rule when the external was
+//!   inserted first;
+//! * externals never reorder among themselves (FIFO arrival order, and
+//!   stamps are clamped monotone), matching calendar FIFO tie-breaking.
+//!
+//! Replaying the log through a [`Calendar`]-driven copy of the same
+//! engine therefore reproduces the identical event sequence, hence
+//! identical decisions, hence byte-identical decision-trace digests.
+//! [`Sequencer`] is the pure (thread-free) ordering core that enforces
+//! these rules; the property tests below check them against the
+//! calendar oracle for arbitrary interleavings.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TryRecvError};
+use std::time::{Duration, Instant};
+
+use crate::calendar::Calendar;
+use crate::time::SimTime;
+
+/// The engine's contract with time: schedule future events, learn the
+/// current instant, and pop the next event to handle.
+///
+/// Implementations differ in *where events come from* — a deterministic
+/// calendar pops whatever was scheduled, a wall-clock source also merges
+/// in external inputs arriving on a channel — but all present the same
+/// totally-ordered `(SimTime, E)` stream.
+pub trait EventSource<E> {
+    /// The current instant: the timestamp of the last popped event.
+    fn now(&self) -> SimTime;
+
+    /// Schedule an internal timer event at absolute time `at` (clamped
+    /// to `now` if already past).
+    fn schedule(&mut self, at: SimTime, event: E);
+
+    /// Timestamp of the next event *already known* to this source, if
+    /// any. For a calendar this is exhaustive; a wall-clock source can
+    /// only report timers and externals that have already arrived.
+    fn peek_time(&self) -> Option<SimTime>;
+
+    /// Pop the next event, advancing `now` to its timestamp. A
+    /// wall-clock source blocks until an event is due or an external
+    /// input arrives; `None` means the source is exhausted (calendar
+    /// empty, or channel disconnected with nothing staged).
+    fn pop(&mut self) -> Option<(SimTime, E)>;
+
+    /// Number of events already known to this source.
+    fn len(&self) -> usize;
+
+    /// True iff no events are currently known.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Forwarding impl so a source can be lent to a driver that takes it
+/// generically while the caller keeps ownership (e.g. to read the input
+/// log back out after the run).
+impl<E, S: EventSource<E>> EventSource<E> for &mut S {
+    fn now(&self) -> SimTime {
+        (**self).now()
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        (**self).schedule(at, event);
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        (**self).peek_time()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        (**self).pop()
+    }
+
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn is_empty(&self) -> bool {
+        (**self).is_empty()
+    }
+}
+
+impl<E> EventSource<E> for Calendar<E> {
+    fn now(&self) -> SimTime {
+        Calendar::now(self)
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        Calendar::schedule(self, at, event);
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        Calendar::peek_time(self)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        Calendar::pop(self)
+    }
+
+    fn len(&self) -> usize {
+        Calendar::len(self)
+    }
+
+    fn is_empty(&self) -> bool {
+        Calendar::is_empty(self)
+    }
+}
+
+/// The pure ordering core of [`WallClockSource`]: merges stamped
+/// external inputs (FIFO) with internal timer deadlines (a [`Calendar`]
+/// acting as the deadline wheel) into one calendar-equivalent stream.
+///
+/// Thread-free and clock-free: the caller feeds it the wall reading, so
+/// the merge rules can be property-tested deterministically.
+pub struct Sequencer<E> {
+    /// Internal timers keyed by absolute deadline.
+    timers: Calendar<E>,
+    /// Stamped external inputs in arrival order. Stamps are monotone
+    /// non-decreasing by construction.
+    staged: VecDeque<(SimTime, E)>,
+    now: SimTime,
+}
+
+impl<E> Default for Sequencer<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Sequencer<E> {
+    /// An empty sequencer positioned at t = 0.
+    pub fn new() -> Self {
+        Sequencer {
+            timers: Calendar::new(),
+            staged: VecDeque::new(),
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// The current instant (timestamp of the last pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule an internal timer at `at` (clamped to `now`). Returns
+    /// the effective deadline after clamping.
+    pub fn schedule(&mut self, at: SimTime, event: E) -> SimTime {
+        let at = at.max(self.now);
+        self.timers.schedule(at, event);
+        at
+    }
+
+    /// Stage one external input observed at wall reading `wall`. The
+    /// stamp is clamped to `max(wall, now)` so stamps stay monotone even
+    /// if a timer pop already advanced `now` past the arrival instant.
+    /// Returns the stamp (recorded into the input log by the caller).
+    pub fn stage(&mut self, wall: SimTime, event: E) -> SimTime {
+        let stamp = wall
+            .max(self.now)
+            .max(self.staged.back().map(|(t, _)| *t).unwrap_or(SimTime::ZERO));
+        self.staged.push_back((stamp, event));
+        stamp
+    }
+
+    /// Pop the next event that is ready at wall reading `wall`, if any.
+    ///
+    /// Merge rule (the calendar-equivalence invariant): when both an
+    /// external and a timer are ready, the timer goes first only if its
+    /// deadline is *strictly* earlier than the external's stamp —
+    /// externals win ties, matching a calendar where externals were
+    /// pre-scheduled (inserted first).
+    pub fn pop_ready(&mut self, wall: SimTime) -> Option<(SimTime, E)> {
+        match (
+            self.staged.front().map(|(t, _)| *t),
+            self.timers.peek_time(),
+        ) {
+            (Some(stamp), Some(deadline)) if deadline < stamp => self.pop_timer(),
+            (Some(_), _) => {
+                let (stamp, e) = self.staged.pop_front().expect("front was Some");
+                debug_assert!(stamp >= self.now);
+                self.now = stamp;
+                Some((stamp, e))
+            }
+            (None, Some(deadline)) if deadline <= wall => self.pop_timer(),
+            _ => None,
+        }
+    }
+
+    /// Pop the next timer regardless of the wall reading (used to drain
+    /// remaining deadlines after the input channel disconnects).
+    pub fn pop_forced(&mut self) -> Option<(SimTime, E)> {
+        if let Some((stamp, _)) = self.staged.front() {
+            if self.timers.peek_time().map(|d| d < *stamp).unwrap_or(false) {
+                return self.pop_timer();
+            }
+            let (stamp, e) = self.staged.pop_front().expect("front was Some");
+            self.now = stamp;
+            return Some((stamp, e));
+        }
+        self.pop_timer()
+    }
+
+    fn pop_timer(&mut self) -> Option<(SimTime, E)> {
+        let (t, e) = self.timers.pop()?;
+        debug_assert!(t >= self.now);
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Earliest timer deadline (what to sleep towards when nothing is
+    /// staged).
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.timers.peek_time()
+    }
+
+    /// Timestamp of the next known event: staged front or timer head,
+    /// whichever the merge rule would pop first.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        match (
+            self.staged.front().map(|(t, _)| *t),
+            self.timers.peek_time(),
+        ) {
+            (Some(s), Some(d)) => Some(s.min(d)),
+            (Some(s), None) => Some(s),
+            (None, d) => d,
+        }
+    }
+
+    /// Number of known events (staged externals + pending timers).
+    pub fn len(&self) -> usize {
+        self.staged.len() + self.timers.len()
+    }
+
+    /// True when nothing is staged and no timer is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A wall-clock, channel-backed [`EventSource`].
+///
+/// External inputs arrive on a bounded MPSC channel (producers block
+/// when the engine falls behind — natural backpressure); internal
+/// timers live in a deadline wheel. `pop` blocks until the earlier of
+/// the two is due. Every external is stamped with a monotone µs
+/// timestamp relative to the source's epoch and appended to an input
+/// log, which [`Self::take_log`] surfaces for deterministic replay
+/// through a [`Calendar`] (see the module docs for why the orders
+/// match).
+pub struct WallClockSource<E: Clone> {
+    seq: Sequencer<E>,
+    rx: Receiver<E>,
+    epoch: Instant,
+    disconnected: bool,
+    log: Vec<(SimTime, E)>,
+}
+
+impl<E: Clone> WallClockSource<E> {
+    /// Create a source with a bounded input channel of `capacity`
+    /// entries; returns the producer handle alongside.
+    pub fn new(capacity: usize) -> (SyncSender<E>, Self) {
+        let (tx, rx) = sync_channel(capacity);
+        (
+            tx,
+            WallClockSource {
+                seq: Sequencer::new(),
+                rx,
+                epoch: Instant::now(),
+                disconnected: false,
+                log: Vec::new(),
+            },
+        )
+    }
+
+    /// Microseconds elapsed since the source was created.
+    pub fn wall(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// The recorded input log: every external input with its stamp, in
+    /// pop-consistent order. Replay by pre-scheduling these into a
+    /// [`Calendar`] before running the engine copy.
+    pub fn take_log(&mut self) -> Vec<(SimTime, E)> {
+        std::mem::take(&mut self.log)
+    }
+
+    fn drain_channel(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(e) => self.stage(e),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    fn stage(&mut self, event: E) {
+        let wall = self.wall();
+        let stamp = self.seq.stage(wall, event.clone());
+        self.log.push((stamp, event));
+    }
+}
+
+impl<E: Clone> EventSource<E> for WallClockSource<E> {
+    fn now(&self) -> SimTime {
+        self.seq.now()
+    }
+
+    fn schedule(&mut self, at: SimTime, event: E) {
+        self.seq.schedule(at, event);
+    }
+
+    fn peek_time(&self) -> Option<SimTime> {
+        self.seq.peek_time()
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        loop {
+            self.drain_channel();
+            if let Some(hit) = self.seq.pop_ready(self.wall()) {
+                return Some(hit);
+            }
+            if self.disconnected {
+                // producers are gone: fast-forward the remaining timers
+                // so the engine can drain deterministically
+                return self.seq.pop_forced();
+            }
+            match self.seq.next_deadline() {
+                Some(deadline) => {
+                    let wall = self.wall();
+                    let wait = Duration::from_micros(deadline.0.saturating_sub(wall.0));
+                    match self.rx.recv_timeout(wait) {
+                        Ok(e) => self.stage(e),
+                        Err(RecvTimeoutError::Timeout) => {}
+                        Err(RecvTimeoutError::Disconnected) => self.disconnected = true,
+                    }
+                }
+                None => match self.rx.recv() {
+                    Ok(e) => self.stage(e),
+                    Err(_) => self.disconnected = true,
+                },
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.seq.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use proptest::prelude::*;
+
+    #[test]
+    fn calendar_implements_event_source() {
+        fn drive<S: EventSource<u32>>(s: &mut S) -> Vec<(SimTime, u32)> {
+            s.schedule(SimTime(20), 2);
+            s.schedule(SimTime(10), 1);
+            std::iter::from_fn(|| s.pop()).collect()
+        }
+        let mut cal = Calendar::new();
+        let popped = drive(&mut cal);
+        assert_eq!(popped, vec![(SimTime(10), 1), (SimTime(20), 2)]);
+        assert_eq!(EventSource::now(&cal), SimTime(20));
+    }
+
+    #[test]
+    fn sequencer_external_wins_tie_against_timer() {
+        let mut s = Sequencer::new();
+        s.schedule(SimTime(50), "timer");
+        s.stage(SimTime(50), "ext");
+        assert_eq!(s.pop_ready(SimTime(50)), Some((SimTime(50), "ext")));
+        assert_eq!(s.pop_ready(SimTime(50)), Some((SimTime(50), "timer")));
+    }
+
+    #[test]
+    fn sequencer_earlier_timer_precedes_later_external() {
+        let mut s = Sequencer::new();
+        s.schedule(SimTime(10), "timer");
+        s.stage(SimTime(30), "ext");
+        assert_eq!(s.pop_ready(SimTime(30)), Some((SimTime(10), "timer")));
+        assert_eq!(s.pop_ready(SimTime(30)), Some((SimTime(30), "ext")));
+    }
+
+    #[test]
+    fn sequencer_timer_waits_for_wall() {
+        let mut s = Sequencer::new();
+        s.schedule(SimTime(100), "timer");
+        assert_eq!(s.pop_ready(SimTime(99)), None);
+        assert_eq!(s.next_deadline(), Some(SimTime(100)));
+        assert_eq!(s.pop_ready(SimTime(100)), Some((SimTime(100), "timer")));
+    }
+
+    #[test]
+    fn sequencer_stamps_are_monotone_even_when_wall_regresses() {
+        let mut s = Sequencer::new();
+        let a = s.stage(SimTime(40), "a");
+        let b = s.stage(SimTime(20), "b"); // wall reading regressed
+        assert_eq!(a, SimTime(40));
+        assert_eq!(b, SimTime(40), "stamp clamps monotone");
+        s.pop_ready(SimTime(40));
+        let c = s.stage(SimTime(10), "c");
+        assert_eq!(c, SimTime(40), "stamp clamps to now after pops");
+    }
+
+    #[test]
+    fn wall_source_delivers_external_inputs_and_timers() {
+        let (tx, mut src) = WallClockSource::new(16);
+        src.schedule(SimTime(1_000), "timer"); // 1ms deadline
+        tx.send("ext").unwrap();
+        let (t1, e1) = src.pop().unwrap();
+        let (t2, e2) = src.pop().unwrap();
+        // the external arrives ~immediately, well before the 1ms timer
+        assert_eq!((e1, e2), ("ext", "timer"));
+        assert!(t1 <= t2);
+        assert_eq!(t2, SimTime(1_000));
+        let log = src.take_log();
+        assert_eq!(log, vec![(t1, "ext")]);
+    }
+
+    #[test]
+    fn wall_source_drains_timers_after_disconnect() {
+        let (tx, mut src) = WallClockSource::new(4);
+        src.schedule(SimTime(5_000_000_000), "far-future");
+        drop(tx);
+        assert_eq!(src.pop(), Some((SimTime(5_000_000_000), "far-future")));
+        assert_eq!(src.pop(), None);
+    }
+
+    /// One scripted step against the sequencer-under-test.
+    #[derive(Clone, Debug)]
+    enum Op {
+        /// Advance the wall reading by this many µs, popping everything
+        /// that becomes ready.
+        Advance(u64),
+        /// External input arrives now.
+        Stage,
+        /// Engine schedules a timer `dt` µs ahead of the wall reading.
+        Schedule(u64),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u64..3, 0u64..2_000).prop_map(|(kind, dt)| match kind {
+            0 => Op::Advance(dt),
+            1 => Op::Stage,
+            _ => Op::Schedule(dt),
+        })
+    }
+
+    proptest! {
+        /// Causality: any interleaving of external inputs and timer
+        /// schedules pops in an order the deterministic calendar could
+        /// also produce — pre-schedule the externals at their stamps
+        /// (lower insertion seq), replay the timer schedules, pop
+        /// everything: the two orders must be identical, and timestamps
+        /// must be monotone.
+        #[test]
+        fn prop_wall_order_matches_calendar_order(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+            let mut seq = Sequencer::new();
+            let mut wall = SimTime::ZERO;
+            let mut popped: Vec<(SimTime, usize)> = Vec::new();
+            let mut externals: Vec<(SimTime, usize)> = Vec::new(); // (stamp, tag)
+            let mut timers: Vec<(SimTime, usize)> = Vec::new(); // (effective deadline, tag)
+            let mut tag = 0usize;
+            for op in &ops {
+                match op {
+                    Op::Advance(dt) => {
+                        wall += SimDuration(*dt);
+                        while let Some(hit) = seq.pop_ready(wall) {
+                            popped.push(hit);
+                        }
+                    }
+                    Op::Stage => {
+                        let stamp = seq.stage(wall, tag);
+                        externals.push((stamp, tag));
+                        tag += 1;
+                    }
+                    Op::Schedule(dt) => {
+                        let at = seq.schedule(wall + SimDuration(*dt), tag);
+                        timers.push((at, tag));
+                        tag += 1;
+                    }
+                }
+            }
+            // final drain at wall = ∞
+            while let Some(hit) = seq.pop_ready(SimTime(u64::MAX)) {
+                popped.push(hit);
+            }
+
+            // timestamps monotone, and every event pops at its stamp
+            for w in popped.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0, "non-monotone pops: {:?}", popped);
+            }
+
+            // calendar oracle: externals pre-scheduled first (at their
+            // stamps, arrival order), then the timers in schedule order
+            let mut oracle = Calendar::new();
+            for &(stamp, t) in &externals {
+                oracle.schedule(stamp, t);
+            }
+            for &(at, t) in &timers {
+                oracle.schedule(at, t);
+            }
+            let expect: Vec<(SimTime, usize)> = std::iter::from_fn(|| oracle.pop()).collect();
+            prop_assert_eq!(popped, expect, "wall order diverged from calendar order");
+        }
+    }
+}
