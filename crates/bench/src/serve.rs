@@ -46,6 +46,18 @@ pub struct ServeBenchResult {
     pub dispatch_p99_us: u64,
     /// Deepest pending backlog an offer round saw.
     pub max_pending: usize,
+    /// Offer rounds the driver ran (event-driven, so this tracks state
+    /// changes — not wall time / tick count).
+    pub offer_rounds: u64,
+    /// Median driver-side offer-round wall time, µs.
+    pub offer_p50_us: u64,
+    /// 95th-percentile driver-side offer-round wall time, µs.
+    pub offer_p95_us: u64,
+    /// Launch commands dropped because the task was no longer pending.
+    pub stale_launch_drops: u64,
+    /// Launch commands dropped because the target node was dead or
+    /// unregistered.
+    pub dead_launch_drops: u64,
     /// Live digest reproduced by the calendar replay.
     pub replay_match: bool,
     /// Tasks lost across recovery (must be 0).
@@ -109,6 +121,11 @@ pub fn bench_fleet(
         dispatch_p50_us: r.dispatch_p50_us,
         dispatch_p99_us: r.dispatch_p99_us,
         max_pending: r.max_pending,
+        offer_rounds: r.offer_rounds,
+        offer_p50_us: r.offer_p50_us,
+        offer_p95_us: r.offer_p95_us,
+        stale_launch_drops: r.stale_launch_drops,
+        dead_launch_drops: r.dead_launch_drops,
         replay_match,
         lost: r.lost_tasks,
         clean: r.clean,

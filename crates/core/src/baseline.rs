@@ -381,6 +381,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         }
     }
 
@@ -541,6 +542,7 @@ mod tests {
             speculatable: vec![pending(0, 0, vec![])],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let cmds = s.offer_round(&offer);
         let spec_launches: Vec<_> = cmds

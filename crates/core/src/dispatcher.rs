@@ -19,7 +19,7 @@
 //! by per-kind utilisation ceilings and an overall overcommit factor.
 
 use std::cell::RefCell;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 use rupam_simcore::units::ByteSize;
 
@@ -45,6 +45,28 @@ struct Claims {
     gpu: u32,
 }
 
+/// Incremental path only: one resource kind's TM queue, split once per
+/// round into the tasks that can influence [`Dispatcher::schedule_task`]'s
+/// early returns or locality ranking (*special*: placement preferences or
+/// a live best-executor lock) and the rest (*plain*: no preferences, no
+/// lock — their locality on any node is always `ANY` and they can never
+/// trigger a lock return), so a match probe scans `O(special)` instead of
+/// `O(queue)`. Entries are `(queue position, task)` in queue order;
+/// launched tasks are skipped on read (queues only shrink mid-round), so
+/// the partition stays a faithful image of the live queue. The plain
+/// side additionally tracks the live multiset of peak-memory estimates
+/// so "nothing plain fits" is answered without a scan.
+struct KindPartition {
+    special: Vec<(usize, TaskRef)>,
+    plain: Vec<(usize, TaskRef, ByteSize)>,
+    /// Plain entries before this index are all launched.
+    plain_head: usize,
+    /// Peak estimate of each plain member (for consume-time updates).
+    plain_peak: HashMap<TaskRef, ByteSize>,
+    /// Live plain peaks → multiplicity; the first key is the floor.
+    plain_by_peak: BTreeMap<ByteSize, usize>,
+}
+
 /// The per-kind node ranking a dispatch pass consumes: either rebuilt
 /// from scratch for this round (the reference path) or served from the
 /// scheduler's persistent sharded [`NodeQueueCache`] with early-exit
@@ -64,17 +86,31 @@ pub struct Dispatcher<'a> {
     pending: HashMap<TaskRef, &'a PendingTaskView>,
     launched: HashSet<TaskRef>,
     incremental: bool,
+    /// `input.pending_fresh` was present: the TM's *persistent*
+    /// special/plain split is warranted in sync with the views, so the
+    /// probes read it directly instead of building a [`KindPartition`]
+    /// per round.
+    hint: bool,
     claims: Vec<Claims>,
-    /// Smallest peak-memory estimate among the MEM queue's live
-    /// candidates, refreshed each dispatch pass. `None` while unknown —
-    /// [`Dispatcher::has_room`] then falls back to the conservative
-    /// default estimate.
-    mem_floor: Option<ByteSize>,
+    /// Smallest peak-memory estimate among each kind queue's live
+    /// candidates, refreshed each dispatch pass. A node whose free
+    /// memory is below its kind's floor cannot launch *anything* from
+    /// that queue, so [`Dispatcher::has_room`] reports it unavailable —
+    /// otherwise a memory-full node at the top of a capability ranking
+    /// blocks its whole kind for the round while lower-ranked nodes sit
+    /// idle. `None` means the floor is unknown (queue empty or not yet
+    /// computed) — the MEM arm then falls back to the conservative
+    /// default estimate, the other arms admit vacuously.
+    floors: [Option<ByteSize>; ResourceKind::COUNT],
     /// Incremental path only: one DB round-trip per task per round
     /// instead of one per (task, candidate-node) probe. The DB is not
     /// written during a round, so the memo can never go stale.
     peak_cache: RefCell<HashMap<TaskRef, ByteSize>>,
     lock_cache: RefCell<HashMap<TaskRef, Option<NodeId>>>,
+    /// Incremental path only: lazily-built per-kind queue partitions
+    /// (see [`KindPartition`]); `None` until a kind's queue is first
+    /// probed this round.
+    partitions: RefCell<[Option<KindPartition>; ResourceKind::COUNT]>,
 }
 
 impl<'a> Dispatcher<'a> {
@@ -111,10 +147,12 @@ impl<'a> Dispatcher<'a> {
             pending,
             launched: HashSet::new(),
             incremental,
+            hint: incremental && input.pending_fresh.is_some(),
             claims: vec![Claims::default(); input.nodes.len()],
-            mem_floor: None,
+            floors: [None; ResourceKind::COUNT],
             peak_cache: RefCell::new(HashMap::new()),
             lock_cache: RefCell::new(HashMap::new()),
+            partitions: RefCell::new(std::array::from_fn(|_| None)),
         }
     }
 
@@ -138,6 +176,16 @@ impl<'a> Dispatcher<'a> {
     fn consume(&mut self, task: TaskRef) {
         if self.incremental {
             self.launched.insert(task);
+            for part in self.partitions.borrow_mut().iter_mut().flatten() {
+                if let Some(&peak) = part.plain_peak.get(&task) {
+                    if let Some(count) = part.plain_by_peak.get_mut(&peak) {
+                        *count -= 1;
+                        if *count == 0 {
+                            part.plain_by_peak.remove(&peak);
+                        }
+                    }
+                }
+            }
         } else {
             self.pending.remove(&task);
         }
@@ -234,6 +282,16 @@ impl<'a> Dispatcher<'a> {
     /// §III-C2 availability: "a node is available as long as it has
     /// enough resources to execute a task" of the given kind.
     pub fn has_room(&self, node: NodeId, kind: ResourceKind) -> bool {
+        self.has_room_floored(node, kind, self.floors[kind.index()])
+    }
+
+    /// [`Dispatcher::has_room`] against an explicit memory floor — the
+    /// cheapest candidate the caller intends to place. Memory is a
+    /// resource like any other: a node that cannot fit even that task
+    /// is not available for this queue, no matter how much idle CPU or
+    /// network it has. The GPU→CPU fallback passes the *GPU* queue's
+    /// floor here, since that is what the picked CPU node must hold.
+    fn has_room_floored(&self, node: NodeId, kind: ResourceKind, floor: Option<ByteSize>) -> bool {
         let v: &NodeView = &self.input.nodes[node.index()];
         if v.blocked {
             return false;
@@ -243,6 +301,15 @@ impl<'a> Dispatcher<'a> {
         let cap = (spec.cores as f64 * self.cfg.overcommit_factor).ceil() as usize;
         if v.running_count() + claims.launches >= cap {
             return false;
+        }
+        if kind != ResourceKind::Mem {
+            // an unknown floor (empty queue) admits vacuously — no
+            // candidate exists for the probe to launch anyway
+            if let Some(f) = floor {
+                if self.free_mem_after_claims(node) < f {
+                    return false;
+                }
+            }
         }
         let cores = spec.cores as f64;
         // "fits after adding one more task" semantics: a ceiling of 1.0
@@ -257,7 +324,7 @@ impl<'a> Dispatcher<'a> {
                 // actual candidate* fits — gating on the fixed default
                 // estimate starved big nodes of known-small MEM tasks and
                 // admitted known-huge ones it could never hold
-                let needed = self.mem_floor.unwrap_or(self.cfg.unknown_task_mem_estimate);
+                let needed = floor.unwrap_or(self.cfg.unknown_task_mem_estimate);
                 self.free_mem_after_claims(node) >= needed
             }
             ResourceKind::Io => {
@@ -339,10 +406,15 @@ impl<'a> Dispatcher<'a> {
     /// incumbent strictly beats the position bound (strictly: a later
     /// node may still tie the score and win the utilisation/load/rank
     /// tiebreak), instead of always walking the full queue.
-    fn pick_node(&self, ranking: &Ranking<'_>, queue_kind: ResourceKind) -> Option<NodeId> {
+    fn pick_node(
+        &self,
+        ranking: &Ranking<'_>,
+        queue_kind: ResourceKind,
+        floor: Option<ByteSize>,
+    ) -> Option<NodeId> {
         match ranking {
-            Ranking::Rebuilt(q) => self.pick_node_scan(q.nodes(queue_kind), queue_kind),
-            Ranking::Cached(order) => self.pick_node_sharded(order, queue_kind),
+            Ranking::Rebuilt(q) => self.pick_node_scan(q.nodes(queue_kind), queue_kind, floor),
+            Ranking::Cached(order) => self.pick_node_sharded(order, queue_kind, floor),
         }
     }
 
@@ -363,10 +435,15 @@ impl<'a> Dispatcher<'a> {
     }
 
     /// Reference path: full first-wins scan of a flat sorted queue.
-    fn pick_node_scan(&self, nodes: &[NodeId], queue_kind: ResourceKind) -> Option<NodeId> {
+    fn pick_node_scan(
+        &self,
+        nodes: &[NodeId],
+        queue_kind: ResourceKind,
+        floor: Option<ByteSize>,
+    ) -> Option<NodeId> {
         let mut best: Option<(NodeId, f64, f64, usize)> = None;
         for &n in nodes {
-            if !self.has_room(n, queue_kind) {
+            if !self.has_room_floored(n, queue_kind, floor) {
                 continue;
             }
             let (score, util, load) = self.pick_key(n, queue_kind);
@@ -395,6 +472,7 @@ impl<'a> Dispatcher<'a> {
         &self,
         order: &ShardedOrder<'_>,
         queue_kind: ResourceKind,
+        floor: Option<ByteSize>,
     ) -> Option<NodeId> {
         let mut best: Option<(NodeId, f64, f64, usize, Rank)> = None;
         for shard in 0..order.shard_count() {
@@ -410,7 +488,7 @@ impl<'a> Dispatcher<'a> {
                     }
                 }
                 let n = r.node;
-                if !self.has_room(n, queue_kind) {
+                if !self.has_room_floored(n, queue_kind, floor) {
                     continue;
                 }
                 let (score, util, load) = self.pick_key(n, queue_kind);
@@ -429,6 +507,305 @@ impl<'a> Dispatcher<'a> {
             }
         }
         best.map(|(n, _, _, _, _)| n)
+    }
+
+    /// Split `kind`'s queue for this round (see [`KindPartition`]).
+    /// Entries with no dispatchable view are dropped here once instead of
+    /// being re-skipped on every probe: nothing re-enters a queue during
+    /// a round, so an entry dead at build time stays dead.
+    fn build_partition(&self, tm: &TaskManager, kind: ResourceKind) -> KindPartition {
+        let mut special = Vec::new();
+        let mut plain = Vec::new();
+        let mut plain_peak = HashMap::new();
+        let mut plain_by_peak: BTreeMap<ByteSize, usize> = BTreeMap::new();
+        for (pos, task) in tm.queues.iter_kind(kind).enumerate() {
+            let Some(view) = self.view_of(task) else {
+                continue;
+            };
+            if !view.process_nodes.is_empty()
+                || !view.node_local.is_empty()
+                || self.locked_best(tm, view).is_some()
+            {
+                special.push((pos, task));
+            } else {
+                let peak = self.peak_estimate(tm, view);
+                plain.push((pos, task, peak));
+                plain_peak.insert(task, peak);
+                *plain_by_peak.entry(peak).or_insert(0) += 1;
+            }
+        }
+        KindPartition {
+            special,
+            plain,
+            plain_head: 0,
+            plain_peak,
+            plain_by_peak,
+        }
+    }
+
+    fn ensure_partition(&self, tm: &TaskManager, kind: ResourceKind) {
+        if self.partitions.borrow()[kind.index()].is_some() {
+            return;
+        }
+        let part = self.build_partition(tm, kind);
+        self.partitions.borrow_mut()[kind.index()] = Some(part);
+    }
+
+    /// [`Dispatcher::schedule_task`] served from the round's
+    /// [`KindPartition`] — decisions are byte-identical to the full
+    /// queue scan, because a *plain* task can never trigger an early
+    /// return (no lock ⇒ `locked_here` is false on every node; no
+    /// preferences ⇒ its locality is always `ANY`), so the flat scan's
+    /// winner is exactly the lexicographic minimum of
+    /// `(locality, queue position)` over the special candidates plus the
+    /// first plain task that fits. The special side is scanned in full
+    /// (`O(special)`), the plain side first-fits from a head pointer
+    /// after an `O(log)` "does anything fit" floor check.
+    fn schedule_task_incremental(
+        &self,
+        tm: &TaskManager,
+        kind: ResourceKind,
+        node: NodeId,
+    ) -> Option<(TaskRef, LaunchReason)> {
+        if self.hint {
+            return self.schedule_task_hint(tm, kind, node);
+        }
+        self.ensure_partition(tm, kind);
+        let free_mem = self.free_mem_after_claims(node);
+        let mut parts = self.partitions.borrow_mut();
+        let part = parts[kind.index()].as_mut().expect("partition ensured");
+
+        let mut best: Option<(usize, TaskRef, Locality)> = None;
+        for &(pos, task) in &part.special {
+            let Some(view) = self.view_of(task) else {
+                continue;
+            };
+            let locked_here = self.locked_best(tm, view) == Some(node);
+            if self.peak_estimate(tm, view) > free_mem {
+                if locked_here {
+                    return Some((
+                        task,
+                        LaunchReason::BestExecutorLock {
+                            overrode_memory_veto: true,
+                        },
+                    ));
+                }
+                continue;
+            }
+            if locked_here {
+                return Some((
+                    task,
+                    LaunchReason::BestExecutorLock {
+                        overrode_memory_veto: false,
+                    },
+                ));
+            }
+            let loc = if self.cfg.use_locality {
+                view.locality(self.input.cluster, node)
+            } else {
+                Locality::Any
+            };
+            if loc == Locality::ProcessLocal {
+                return Some((
+                    task,
+                    LaunchReason::QueueMatch {
+                        kind,
+                        locality: loc,
+                    },
+                ));
+            }
+            if best.map(|(_, _, bl)| loc < bl).unwrap_or(true) {
+                best = Some((pos, task, loc));
+            }
+        }
+
+        // the first live plain entry that fits, found without a scan when
+        // even the smallest live plain peak exceeds free memory
+        let mut plain_pick: Option<(usize, TaskRef)> = None;
+        if part
+            .plain_by_peak
+            .keys()
+            .next()
+            .is_some_and(|&min| min <= free_mem)
+        {
+            while part.plain_head < part.plain.len()
+                && self.launched.contains(&part.plain[part.plain_head].1)
+            {
+                part.plain_head += 1;
+            }
+            for &(pos, task, peak) in &part.plain[part.plain_head..] {
+                if self.launched.contains(&task) {
+                    continue;
+                }
+                if peak <= free_mem {
+                    plain_pick = Some((pos, task));
+                    break;
+                }
+            }
+        }
+
+        let winner = match (best, plain_pick) {
+            (Some((spos, st, sloc)), Some((ppos, pt))) => {
+                if sloc < Locality::Any || spos < ppos {
+                    Some((st, sloc))
+                } else {
+                    Some((pt, Locality::Any))
+                }
+            }
+            (Some((_, st, sloc)), None) => Some((st, sloc)),
+            (None, Some((_, pt))) => Some((pt, Locality::Any)),
+            (None, None) => None,
+        };
+        winner.map(|(t, loc)| {
+            (
+                t,
+                LaunchReason::QueueMatch {
+                    kind,
+                    locality: loc,
+                },
+            )
+        })
+    }
+
+    /// [`Dispatcher::schedule_task_incremental`] served from the TM's
+    /// *persistent* split instead of a per-round [`KindPartition`] —
+    /// `O(special + first plain fit)` with zero per-round build cost.
+    /// Entries are keyed by seat, and seat order is exactly queue order,
+    /// so every position tiebreak is preserved. Launched tasks are
+    /// already gone: [`Dispatcher::run`] removes a match from the TM
+    /// queues — and thereby from the split — before the next probe.
+    ///
+    /// The split classifies by *raw* lock (target liveness ignored); a
+    /// dead-locked task lands on the special side where the per-round
+    /// build would have kept it plain. That is decision-neutral: its
+    /// live lock is `None` (no early return), its locality is `ANY` (no
+    /// preferences), so it competes exactly as a plain task does — by
+    /// queue position at `ANY` — just from the other scan.
+    fn schedule_task_hint(
+        &self,
+        tm: &TaskManager,
+        kind: ResourceKind,
+        node: NodeId,
+    ) -> Option<(TaskRef, LaunchReason)> {
+        let free_mem = self.free_mem_after_claims(node);
+
+        let mut best: Option<(u64, TaskRef, Locality)> = None;
+        for (seat, task) in tm.queues.special_kind(kind) {
+            let Some(view) = self.view_of(task) else {
+                continue;
+            };
+            let locked_here = self.locked_best(tm, view) == Some(node);
+            if self.peak_estimate(tm, view) > free_mem {
+                if locked_here {
+                    return Some((
+                        task,
+                        LaunchReason::BestExecutorLock {
+                            overrode_memory_veto: true,
+                        },
+                    ));
+                }
+                continue;
+            }
+            if locked_here {
+                return Some((
+                    task,
+                    LaunchReason::BestExecutorLock {
+                        overrode_memory_veto: false,
+                    },
+                ));
+            }
+            let loc = if self.cfg.use_locality {
+                view.locality(self.input.cluster, node)
+            } else {
+                Locality::Any
+            };
+            if loc == Locality::ProcessLocal {
+                return Some((
+                    task,
+                    LaunchReason::QueueMatch {
+                        kind,
+                        locality: loc,
+                    },
+                ));
+            }
+            if best.map(|(_, _, bl)| loc < bl).unwrap_or(true) {
+                best = Some((seat, task, loc));
+            }
+        }
+
+        let mut plain_pick: Option<(u64, TaskRef)> = None;
+        if tm
+            .queues
+            .plain_floor(kind)
+            .is_some_and(|min| min <= free_mem)
+        {
+            for (seat, task, peak) in tm.queues.plain_kind(kind) {
+                if peak <= free_mem {
+                    plain_pick = Some((seat, task));
+                    break;
+                }
+            }
+        }
+
+        let winner = match (best, plain_pick) {
+            (Some((sseat, st, sloc)), Some((pseat, pt))) => {
+                if sloc < Locality::Any || sseat < pseat {
+                    Some((st, sloc))
+                } else {
+                    Some((pt, Locality::Any))
+                }
+            }
+            (Some((_, st, sloc)), None) => Some((st, sloc)),
+            (None, Some((_, pt))) => Some((pt, Locality::Any)),
+            (None, None) => None,
+        };
+        winner.map(|(t, loc)| {
+            (
+                t,
+                LaunchReason::QueueMatch {
+                    kind,
+                    locality: loc,
+                },
+            )
+        })
+    }
+
+    /// [`Dispatcher::kind_floor_incremental`] from the persistent split.
+    fn kind_floor_hint(&self, tm: &TaskManager, kind: ResourceKind) -> Option<ByteSize> {
+        let plain_min = tm.queues.plain_floor(kind);
+        let special_min = tm
+            .queues
+            .special_kind(kind)
+            .filter_map(|(_, t)| self.view_of(t))
+            .map(|v| self.peak_estimate(tm, v))
+            .min();
+        match (plain_min, special_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Smallest peak estimate among a kind queue's live candidates,
+    /// from the partition: the plain floor is the first key of the live
+    /// peak multiset, the special side is scanned (it is small).
+    fn kind_floor_incremental(&self, tm: &TaskManager, kind: ResourceKind) -> Option<ByteSize> {
+        if self.hint {
+            return self.kind_floor_hint(tm, kind);
+        }
+        self.ensure_partition(tm, kind);
+        let parts = self.partitions.borrow();
+        let part = parts[kind.index()].as_ref().expect("partition ensured");
+        let plain_min = part.plain_by_peak.keys().next().copied();
+        let special_min = part
+            .special
+            .iter()
+            .filter_map(|&(_, t)| self.view_of(t))
+            .map(|v| self.peak_estimate(tm, v))
+            .min();
+        match (plain_min, special_min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     /// Algorithm 2's `schedule_task`: pick the task from `kind`'s queue
@@ -539,25 +916,36 @@ impl<'a> Dispatcher<'a> {
         loop {
             let mut launched_any = false;
             for kind in ResourceKind::ALL {
-                if kind == ResourceKind::Mem {
-                    self.mem_floor = tm
-                        .queues
-                        .iter_kind(ResourceKind::Mem)
+                // refresh this kind's floor — claims consumed since the
+                // last pass may have taken the cheapest candidate
+                self.floors[kind.index()] = if self.incremental {
+                    self.kind_floor_incremental(tm, kind)
+                } else {
+                    tm.queues
+                        .iter_kind(kind)
                         .filter_map(|t| self.view_of(t))
                         .map(|v| self.peak_estimate(tm, v))
-                        .min();
-                }
+                        .min()
+                };
+                let floor = self.floors[kind.index()];
                 // next node from this kind's Resource Queue with room
-                let mut node = self.pick_node(ranking, kind);
+                let mut node = self.pick_node(ranking, kind, floor);
                 let mut fell_back_to_cpu = false;
                 if node.is_none() && kind == ResourceKind::Gpu {
                     // §III-C3: GPU tasks are not held hostage by busy
-                    // GPUs — fall back to the most powerful idle CPU
-                    node = self.pick_node(ranking, ResourceKind::Cpu);
+                    // GPUs — fall back to the most powerful idle CPU,
+                    // one that can still hold the GPU queue's cheapest
+                    // candidate
+                    node = self.pick_node(ranking, ResourceKind::Cpu, floor);
                     fell_back_to_cpu = node.is_some();
                 }
                 let Some(node) = node else { continue };
-                let Some((task, reason)) = self.schedule_task(tm, kind, node) else {
+                let probe = if self.incremental {
+                    self.schedule_task_incremental(tm, kind, node)
+                } else {
+                    self.schedule_task(tm, kind, node)
+                };
+                let Some((task, reason)) = probe else {
                     continue;
                 };
                 let view = self.view_of(task).expect("scheduled task is pending");
@@ -715,6 +1103,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         }
     }
 

@@ -182,10 +182,35 @@ impl Scheduler for RupamScheduler {
     }
 
     fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command> {
-        // 1. submit newly pending tasks to the TM queues
-        for view in &input.pending {
-            if !self.tm.queues.contains(&view.task) {
-                self.tm.requeue(view, input.now);
+        // 1. submit newly pending tasks to the TM queues. With the
+        //    `pending_fresh` warranty the full O(pending) scan collapses
+        //    to the listed tasks: anything unlisted is either already
+        //    queued with an unchanged view, or left the queues through
+        //    this scheduler's own commands. Fresh-but-queued tasks only
+        //    changed their view — refresh their classification without
+        //    re-ingesting (the full scan never re-ingests them either).
+        match &input.pending_fresh {
+            None => {
+                for view in &input.pending {
+                    if !self.tm.queues.contains(&view.task) {
+                        self.tm.requeue(view, input.now);
+                    }
+                }
+            }
+            Some(fresh) => {
+                for task in fresh {
+                    let Ok(i) = input.pending.binary_search_by(|p| {
+                        (p.task.stage, p.task.index).cmp(&(task.stage, task.index))
+                    }) else {
+                        continue;
+                    };
+                    let view = &input.pending[i];
+                    if !self.tm.queues.contains(task) {
+                        self.tm.requeue(view, input.now);
+                    } else {
+                        self.tm.reclassify_view(view);
+                    }
+                }
             }
         }
 

@@ -311,6 +311,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let cmds = memory_straggler_commands(&cfg, &mut st, &input);
         assert_eq!(
@@ -334,6 +335,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         assert!(memory_straggler_commands(&cfg, &mut st, &input2).is_empty());
     }
@@ -356,6 +358,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         assert!(memory_straggler_commands(&cfg, &mut st, &input).is_empty());
     }
@@ -379,6 +382,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let cmds = gpu_race_commands(&cfg, &mut st, &input, &tm);
         assert_eq!(cmds.len(), 1);
@@ -416,6 +420,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         assert!(gpu_race_commands(&cfg, &mut st, &input, &tm).is_empty());
     }
@@ -462,6 +467,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         assert!(
             resource_straggler_candidates(&cfg, &input, &tm).is_empty(),
@@ -478,6 +484,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let out = resource_straggler_candidates(&cfg, &input, &tm);
         assert_eq!(out.len(), 1);
@@ -498,6 +505,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let target = relocation_target(&input, ResourceKind::Cpu, NodeId(0)).unwrap();
         assert_ne!(target, NodeId(0));

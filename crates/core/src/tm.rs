@@ -15,7 +15,7 @@
 //! "future task iterations and job runs".
 
 use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
 use rupam_simcore::time::SimTime;
 use rupam_simcore::units::ByteSize;
@@ -85,6 +85,20 @@ pub struct TaskQueues {
     members: HashSet<TaskRef>,
     /// When each member was first enqueued (GPU-race timing).
     enqueued_at: HashMap<TaskRef, SimTime>,
+    /// Persistent special/plain split of `live`, maintained across
+    /// rounds for the serve path's `pending_fresh` warranty. *Special*
+    /// tasks carry placement preferences or a raw best-executor lock
+    /// (liveness of the lock target is checked per probe, so node
+    /// deaths never invalidate the split); *plain* tasks can only ever
+    /// match a node at `ANY` locality. Ordered by seat, like `live`.
+    special: PerResource<BTreeSet<(u64, TaskRef)>>,
+    /// Plain side of the persistent split (see `special`).
+    plain: PerResource<BTreeSet<(u64, TaskRef)>>,
+    /// Live plain peak estimates → multiplicity per kind; the first key
+    /// answers "does anything plain fit" without a scan.
+    plain_by_peak: PerResource<BTreeMap<ByteSize, usize>>,
+    /// Current classification of each member: `(special, peak estimate)`.
+    class: HashMap<TaskRef, (bool, ByteSize)>,
 }
 
 impl TaskQueues {
@@ -93,8 +107,17 @@ impl TaskQueues {
         Self::default()
     }
 
-    /// Enqueue `task` into the given queues.
-    pub fn enqueue(&mut self, task: TaskRef, kinds: &[ResourceKind], now: SimTime) {
+    /// Enqueue `task` into the given queues, carrying its current
+    /// classification (`special` iff it has placement preferences or a
+    /// raw best-executor lock; `peak` is its admission estimate).
+    pub fn enqueue(
+        &mut self,
+        task: TaskRef,
+        kinds: &[ResourceKind],
+        now: SimTime,
+        special: bool,
+        peak: ByteSize,
+    ) {
         if self.members.insert(task) {
             self.enqueued_at.insert(task, now);
         }
@@ -112,6 +135,55 @@ impl TaskQueues {
                 self.live.get_mut(k).insert((seat, task));
             }
         }
+        self.sync_class(task, special, peak);
+    }
+
+    /// Re-point the persistent split at `task`'s current classification:
+    /// drop any entries recorded under the old class, insert under the
+    /// new one, in every kind where the task is live.
+    fn sync_class(&mut self, task: TaskRef, special: bool, peak: ByteSize) {
+        let old = self.class.insert(task, (special, peak));
+        for k in ResourceKind::ALL {
+            let Some(&seat) = self.seats.get(k).get(&task) else {
+                continue;
+            };
+            if !self.live.get(k).contains(&(seat, task)) {
+                continue;
+            }
+            if let Some((was_special, old_peak)) = old {
+                if was_special {
+                    self.special.get_mut(k).remove(&(seat, task));
+                } else if self.plain.get_mut(k).remove(&(seat, task)) {
+                    Self::dec_peak(self.plain_by_peak.get_mut(k), old_peak);
+                }
+            }
+            if special {
+                self.special.get_mut(k).insert((seat, task));
+            } else if self.plain.get_mut(k).insert((seat, task)) {
+                *self.plain_by_peak.get_mut(k).entry(peak).or_insert(0) += 1;
+            }
+        }
+    }
+
+    fn dec_peak(by_peak: &mut BTreeMap<ByteSize, usize>, peak: ByteSize) {
+        if let Some(count) = by_peak.get_mut(&peak) {
+            *count -= 1;
+            if *count == 0 {
+                by_peak.remove(&peak);
+            }
+        }
+    }
+
+    /// Update a still-queued member's classification (its view or DB
+    /// record changed). No-op for non-members.
+    pub fn reclassify(&mut self, task: TaskRef, special: bool, peak: ByteSize) {
+        if !self.members.contains(&task) {
+            return;
+        }
+        if self.class.get(&task) == Some(&(special, peak)) {
+            return;
+        }
+        self.sync_class(task, special, peak);
     }
 
     /// Whether the task is pending in any queue.
@@ -134,9 +206,17 @@ impl TaskQueues {
     pub fn remove(&mut self, task: &TaskRef) {
         self.members.remove(task);
         self.enqueued_at.remove(task);
+        let class = self.class.remove(task);
         for k in ResourceKind::ALL {
             if let Some(&seat) = self.seats.get(k).get(task) {
                 self.live.get_mut(k).remove(&(seat, *task));
+                if let Some((special, peak)) = class {
+                    if special {
+                        self.special.get_mut(k).remove(&(seat, *task));
+                    } else if self.plain.get_mut(k).remove(&(seat, *task)) {
+                        Self::dec_peak(self.plain_by_peak.get_mut(k), peak);
+                    }
+                }
             }
         }
     }
@@ -144,6 +224,33 @@ impl TaskQueues {
     /// Iterate the *live* tasks of one queue in FIFO (seat) order.
     pub fn iter_kind<'q>(&'q self, kind: ResourceKind) -> impl Iterator<Item = TaskRef> + 'q {
         self.live.get(kind).iter().map(|&(_, t)| t)
+    }
+
+    /// The live *special* entries of one queue, `(seat, task)` in seat
+    /// order (the persistent counterpart of the per-round partition's
+    /// special side).
+    pub fn special_kind<'q>(
+        &'q self,
+        kind: ResourceKind,
+    ) -> impl Iterator<Item = (u64, TaskRef)> + 'q {
+        self.special.get(kind).iter().copied()
+    }
+
+    /// The live *plain* entries of one queue, `(seat, task, peak)` in
+    /// seat order.
+    pub fn plain_kind<'q>(
+        &'q self,
+        kind: ResourceKind,
+    ) -> impl Iterator<Item = (u64, TaskRef, ByteSize)> + 'q {
+        self.plain.get(kind).iter().map(move |&(seat, t)| {
+            let peak = self.class.get(&t).map(|&(_, p)| p).unwrap_or_default();
+            (seat, t, peak)
+        })
+    }
+
+    /// Smallest live plain peak estimate in one queue, if any.
+    pub fn plain_floor(&self, kind: ResourceKind) -> Option<ByteSize> {
+        self.plain_by_peak.get(kind).keys().next().copied()
     }
 
     /// Forget the retained seats of non-members in one queue, so a later
@@ -191,6 +298,21 @@ pub struct TaskManager {
     /// clones and sorts the whole duration vector. Incremental mode keeps
     /// the answer until a new sample lands. Keyed by the *scoped* template.
     median_cache: RefCell<HashMap<Sym, (usize, f64)>>,
+    /// What each ingested task's classification was derived from, so a
+    /// DB write to its key can recompute it without the view in hand.
+    class_meta: HashMap<TaskRef, ClassMeta>,
+    /// Tasks ever ingested under each DB key — the invalidation fan-out
+    /// for [`TaskManager::record_finish`] / memory failures.
+    key_index: HashMap<TaskKey, HashSet<TaskRef>>,
+}
+
+/// View-side inputs to a task's special/plain classification (the
+/// DB-side inputs are re-read at reclassification time).
+struct ClassMeta {
+    /// The view carried placement preferences.
+    prefs_special: bool,
+    /// The view's own peak-memory hint.
+    hint: ByteSize,
 }
 
 impl TaskManager {
@@ -206,6 +328,8 @@ impl TaskManager {
             job_of_stage: HashMap::new(),
             scope_cache: RefCell::new(HashMap::new()),
             median_cache: RefCell::new(HashMap::new()),
+            class_meta: HashMap::new(),
+            key_index: HashMap::new(),
         }
     }
 
@@ -258,6 +382,8 @@ impl TaskManager {
         self.job_of_stage.clear();
         self.scope_cache.borrow_mut().clear();
         self.median_cache.borrow_mut().clear();
+        self.class_meta.clear();
+        self.key_index.clear();
     }
 
     /// Wipe the characteristics database (Fig. 5 protocol).
@@ -278,7 +404,15 @@ impl TaskManager {
 
     /// Which queues a submitted task belongs in.
     pub fn queues_for(&self, view: &PendingTaskView) -> Vec<ResourceKind> {
-        if let Some(char) = self.lookup(view) {
+        self.queues_for_char(&self.lookup(view), view)
+    }
+
+    fn queues_for_char(
+        &self,
+        char: &Option<TaskChar>,
+        view: &PendingTaskView,
+    ) -> Vec<ResourceKind> {
+        if let Some(char) = char {
             if let Some(k) = char.last_bottleneck {
                 return vec![k];
             }
@@ -299,11 +433,55 @@ impl TaskManager {
         }
     }
 
+    /// A task's persistent-split classification from its view and DB
+    /// record. *Special* iff it carries placement preferences or a raw
+    /// best-executor lock — raw deliberately: lock-target liveness is
+    /// filtered at probe time, so node deaths never reclassify anything.
+    /// The peak mirrors the dispatcher's admission estimate exactly.
+    fn class_of(&self, char: &Option<TaskChar>, view: &PendingTaskView) -> (bool, ByteSize) {
+        let raw_lock = char
+            .as_ref()
+            .is_some_and(|c| c.history_size() == ResourceKind::COUNT && c.best.is_some());
+        let special =
+            !view.process_nodes.is_empty() || !view.node_local.is_empty() || raw_lock;
+        let peak = if view.peak_mem_hint > ByteSize::ZERO {
+            view.peak_mem_hint
+        } else {
+            match char {
+                Some(c) if c.peak_mem > ByteSize::ZERO => c.peak_mem,
+                _ => self.cfg.unknown_task_mem_estimate,
+            }
+        };
+        (special, peak)
+    }
+
+    fn note_class_meta(&mut self, view: &PendingTaskView) {
+        let key = TaskKey::new(
+            self.scope(view.task.stage, view.template_key),
+            view.task.index,
+        );
+        self.class_meta.insert(
+            view.task,
+            ClassMeta {
+                prefs_special: !view.process_nodes.is_empty() || !view.node_local.is_empty(),
+                hint: view.peak_mem_hint,
+            },
+        );
+        self.key_index.entry(key).or_default().insert(view.task);
+    }
+
+    fn ingest(&mut self, view: &PendingTaskView, now: SimTime) {
+        let char = self.lookup(view);
+        let kinds = self.queues_for_char(&char, view);
+        let (special, peak) = self.class_of(&char, view);
+        self.queues.enqueue(view.task, &kinds, now, special, peak);
+        self.note_class_meta(view);
+    }
+
     /// Submit a ready stage's tasks.
     pub fn submit_stage(&mut self, _stage: &Stage, views: &[PendingTaskView], now: SimTime) {
         for v in views {
-            let kinds = self.queues_for(v);
-            self.queues.enqueue(v.task, &kinds, now);
+            self.ingest(v, now);
         }
     }
 
@@ -312,8 +490,63 @@ impl TaskManager {
     /// the task back to TM, which "analyzes the task metrics to determine
     /// the bottleneck and enqueues it to the Task Queue again").
     pub fn requeue(&mut self, view: &PendingTaskView, now: SimTime) {
-        let kinds = self.queues_for(view);
-        self.queues.enqueue(view.task, &kinds, now);
+        self.ingest(view, now);
+    }
+
+    /// A still-queued task's view changed (placement preferences, peak
+    /// hint): refresh its persistent-split classification. Queue
+    /// membership (kinds) deliberately stays untouched — the reference
+    /// path never re-ingests a queued task either.
+    pub fn reclassify_view(&mut self, view: &PendingTaskView) {
+        if !self.queues.contains(&view.task) {
+            return;
+        }
+        let char = self.lookup(view);
+        let (special, peak) = self.class_of(&char, view);
+        self.queues.reclassify(view.task, special, peak);
+        self.note_class_meta(view);
+    }
+
+    /// A DB write landed on `key`: recompute the classification of every
+    /// still-queued task characterising under it (the lock or observed
+    /// peak may have appeared / changed). The DB is read-your-writes, so
+    /// doing this at the record call site keeps the persistent split
+    /// exactly as fresh as a per-round rebuild would see it.
+    fn reclassify_key(&mut self, key: TaskKey) {
+        if !self.cfg.use_task_db {
+            return;
+        }
+        let Some(tasks) = self.key_index.get(&key) else {
+            return;
+        };
+        let queued: Vec<TaskRef> = tasks
+            .iter()
+            .copied()
+            .filter(|t| self.queues.contains(t))
+            .collect();
+        if queued.is_empty() {
+            return;
+        }
+        let char = self.db.read(&key);
+        let raw_lock = char
+            .as_ref()
+            .is_some_and(|c| c.history_size() == ResourceKind::COUNT && c.best.is_some());
+        let char_peak = match &char {
+            Some(c) if c.peak_mem > ByteSize::ZERO => c.peak_mem,
+            _ => self.cfg.unknown_task_mem_estimate,
+        };
+        for t in queued {
+            let Some(meta) = self.class_meta.get(&t) else {
+                continue;
+            };
+            let special = meta.prefs_special || raw_lock;
+            let peak = if meta.hint > ByteSize::ZERO {
+                meta.hint
+            } else {
+                char_peak
+            };
+            self.queues.reclassify(t, special, peak);
+        }
     }
 
     /// Record a finished task: classify, bank into the DB, update stage
@@ -333,6 +566,7 @@ impl TaskManager {
             let gpu = record.used_gpu;
             self.db
                 .update(key, |c| c.observe(bottleneck, node, secs, peak, gpu));
+            self.reclassify_key(key);
         }
         self.finished_secs
             .entry(scoped)
@@ -353,10 +587,11 @@ impl TaskManager {
         if !self.cfg.use_task_db {
             return;
         }
-        self.db
-            .update(TaskKey::new(self.scope(stage, template_key), index), |c| {
-                c.observe(ResourceKind::Mem, node, f64::MAX, peak, false);
-            });
+        let key = TaskKey::new(self.scope(stage, template_key), index);
+        self.db.update(key, |c| {
+            c.observe(ResourceKind::Mem, node, f64::MAX, peak, false);
+        });
+        self.reclassify_key(key);
     }
 
     /// Median successful duration for a stage template, if any finished.
@@ -582,7 +817,7 @@ mod tests {
             stage: StageId(0),
             index: 1,
         };
-        q.enqueue(t, &ResourceKind::ALL, SimTime::ZERO);
+        q.enqueue(t, &ResourceKind::ALL, SimTime::ZERO, false, ByteSize::ZERO);
         assert!(q.contains(&t));
         assert_eq!(q.len(), 1, "multi-queue membership counts once");
         assert_eq!(q.iter_kind(ResourceKind::Cpu).count(), 1);
@@ -605,10 +840,10 @@ mod tests {
             index: 0,
         };
         let t0 = SimTime::from_secs_f64(5.0);
-        q.enqueue(t, &[ResourceKind::Gpu], t0);
+        q.enqueue(t, &[ResourceKind::Gpu], t0, false, ByteSize::ZERO);
         assert_eq!(q.waiting_since(&t), Some(t0));
         // re-enqueue does not reset the clock
-        q.enqueue(t, &[ResourceKind::Cpu], SimTime::from_secs_f64(9.0));
+        q.enqueue(t, &[ResourceKind::Cpu], SimTime::from_secs_f64(9.0), false, ByteSize::ZERO);
         assert_eq!(q.waiting_since(&t), Some(t0));
     }
 

@@ -161,6 +161,7 @@ proptest! {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let cmds = if rupam_not_spark {
             let mut s = RupamScheduler::with_defaults();
@@ -200,6 +201,7 @@ proptest! {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let mut s = SparkScheduler::with_defaults();
         s.on_app_start(&app, &cluster);
@@ -242,6 +244,7 @@ proptest! {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         let cfg = RupamConfig { overcommit_factor: overcommit, ..RupamConfig::default() };
         let mut s = RupamScheduler::new(cfg);
@@ -277,6 +280,7 @@ proptest! {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         };
         for rupam in [false, true] {
             let cmds = if rupam {

@@ -474,6 +474,7 @@ mod tests {
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
             changed: None,
+            pending_fresh: None,
         }
     }
 

@@ -23,7 +23,7 @@ use crate::costmodel::PhaseResource;
 use crate::scheduler::Scheduler;
 
 use super::events::{EngineEvent, EventBus, EventCtx};
-use super::offers::NodeShadow;
+use crate::scheduler::NodeShadowTable;
 use super::state::{AttemptId, ClusterState};
 use super::{EngineError, SimInput, WORK_EPS};
 
@@ -73,7 +73,7 @@ pub(crate) struct Engine<'a, 's, S: EventSource<Event> = Calendar<Event>> {
     pub(crate) round: u64,
     /// Per-node snapshot of what the scheduler saw at the previous offer
     /// round, diffed each round into [`crate::scheduler::OfferInput::changed`].
-    pub(crate) offer_shadow: Vec<NodeShadow>,
+    pub(crate) offer_shadow: NodeShadowTable,
     /// Reusable buffer for one round's heartbeat batch (storm batching:
     /// the monitor is patched once per round, not once per node).
     pub(crate) hb_scratch: Vec<HeartbeatSnapshot>,

@@ -363,7 +363,7 @@ pub(crate) fn assemble<'a, 's>(
         idle_heartbeats: 0,
         bus,
         round: 0,
-        offer_shadow: Vec::new(),
+        offer_shadow: crate::scheduler::NodeShadowTable::new(),
         hb_scratch: Vec::new(),
     }
 }

@@ -29,42 +29,6 @@ use super::state::{ClusterState, TaskState};
 /// microseconds).
 const PARALLEL_SNAPSHOT_MIN_NODES: usize = 512;
 
-/// What the scheduler saw of one node at the previous offer round — the
-/// fields node rankings can depend on. `heartbeat_age` is deliberately
-/// absent: it moves monotonically every round under an armed detector,
-/// and the state changes it drives (suspect/dead) are captured here at
-/// their transitions.
-#[derive(Clone, Copy, PartialEq)]
-pub(crate) struct NodeShadow {
-    executor_mem: ByteSize,
-    mem_in_use: ByteSize,
-    cpu_util: f64,
-    net_util: f64,
-    disk_util: f64,
-    gpus_idle: u32,
-    blocked: bool,
-    dead: bool,
-    suspect: bool,
-    running_len: usize,
-}
-
-impl NodeShadow {
-    fn of(v: &NodeView) -> Self {
-        NodeShadow {
-            executor_mem: v.executor_mem,
-            mem_in_use: v.mem_in_use,
-            cpu_util: v.cpu_util,
-            net_util: v.net_util,
-            disk_util: v.disk_util,
-            gpus_idle: v.gpus_idle,
-            blocked: v.blocked,
-            dead: v.dead,
-            suspect: v.suspect,
-            running_len: v.running.len(),
-        }
-    }
-}
-
 /// The read-only inputs a node-view snapshot needs, split from the
 /// engine so view construction can fan out across scoped threads on big
 /// clusters (everything here is a shared borrow).
@@ -231,29 +195,11 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
         })
     }
 
-    /// Diff this round's views against the previous round's shadow,
-    /// producing the changed-node delta for
-    /// [`OfferInput::changed`]. Nodes with
-    /// running attempts (now or at the previous offer) are always in the
-    /// delta: their attempt composition can change — which attempts hold
-    /// GPUs, what they have accrued — without any shadowed scalar
-    /// moving. The first round after (re)sizing returns `None` (full
-    /// rescore).
+    /// Diff this round's views against the previous round's shadow —
+    /// the shared [`crate::scheduler::NodeShadowTable`] rule, also used
+    /// by the live serve driver.
     fn diff_offer_shadow(&mut self, views: &[NodeView]) -> Option<Vec<NodeId>> {
-        if self.offer_shadow.len() != views.len() {
-            self.offer_shadow = views.iter().map(NodeShadow::of).collect();
-            return None;
-        }
-        let mut delta = Vec::new();
-        for (i, v) in views.iter().enumerate() {
-            let next = NodeShadow::of(v);
-            let prev = self.offer_shadow[i];
-            if next != prev || next.running_len > 0 || prev.running_len > 0 {
-                self.offer_shadow[i] = next;
-                delta.push(NodeId(i));
-            }
-        }
-        Some(delta)
+        self.offer_shadow.diff(views)
     }
 
     pub(crate) fn build_pending_view(&self, task: TaskRef, attempt_no: u32) -> PendingTaskView {
@@ -319,6 +265,10 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
             speculatable,
             job_arrivals: self.state.jobs.iter().map(|j| j.arrival).collect(),
             changed,
+            // The sim engine rebuilds `pending` from scratch every round and
+            // offers no warranty about which tasks changed, so it always
+            // requests the full ingest path.
+            pending_fresh: None,
         }
     }
 }

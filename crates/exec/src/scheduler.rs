@@ -164,6 +164,98 @@ pub struct OfferInput<'a> {
     /// (straggler kills, GPU races, relocations) may scan the delta
     /// instead of the whole cluster without missing a candidate.
     pub changed: Option<Vec<NodeId>>,
+    /// The task-side counterpart of [`changed`](Self::changed): the
+    /// caller's warranty about how `pending` differs from the previous
+    /// offer round it gave this scheduler. `None` means "unknown —
+    /// rescan everything" (the sim engine rebuilds its pending list per
+    /// round and always passes `None`). A `Some` list is sorted by
+    /// `(stage, index)` and contains every task that (a) entered or
+    /// re-entered the pending set since the previous round, or (b) is
+    /// still pending but had its view change (placement preferences,
+    /// peak-memory hint). Tasks the *scheduler's own commands* launched
+    /// are exempt — the scheduler saw those leave. Schedulers may use
+    /// the list to ingest new work in `O(fresh)` and keep persistent
+    /// task-queue partitions instead of rescanning `O(pending)` per
+    /// round, but must decide identically either way.
+    pub pending_fresh: Option<Vec<TaskRef>>,
+}
+
+/// What an offer-input producer saw of one node at the previous offer
+/// round — exactly the fields node rankings can depend on.
+/// `heartbeat_age` is deliberately absent: it moves monotonically every
+/// round under an armed detector, and the state changes it drives
+/// (suspect/dead) are captured here at their transitions.
+#[derive(Clone, Copy, PartialEq)]
+pub struct NodeShadow {
+    executor_mem: ByteSize,
+    mem_in_use: ByteSize,
+    cpu_util: f64,
+    net_util: f64,
+    disk_util: f64,
+    gpus_idle: u32,
+    blocked: bool,
+    dead: bool,
+    suspect: bool,
+    running_len: usize,
+}
+
+impl NodeShadow {
+    /// Shadow of one node view.
+    pub fn of(v: &NodeView) -> Self {
+        NodeShadow {
+            executor_mem: v.executor_mem,
+            mem_in_use: v.mem_in_use,
+            cpu_util: v.cpu_util,
+            net_util: v.net_util,
+            disk_util: v.disk_util,
+            gpus_idle: v.gpus_idle,
+            blocked: v.blocked,
+            dead: v.dead,
+            suspect: v.suspect,
+            running_len: v.running.len(),
+        }
+    }
+}
+
+/// The producer-side state behind [`OfferInput::changed`]: one
+/// [`NodeShadow`] per node, diffed against each round's fresh views.
+/// Shared by the sim engine and the live serve driver so both modes emit
+/// deltas under the exact same rule (and therefore satisfy the same
+/// guarantee: running nodes — this round or last — are always included).
+#[derive(Default)]
+pub struct NodeShadowTable {
+    shadows: Vec<NodeShadow>,
+}
+
+impl NodeShadowTable {
+    /// An empty table; the first [`diff`](Self::diff) returns `None`.
+    pub fn new() -> Self {
+        NodeShadowTable::default()
+    }
+
+    /// Diff this round's views against the previous round's shadow,
+    /// producing the changed-node delta for [`OfferInput::changed`].
+    /// Nodes with running attempts (now or at the previous offer) are
+    /// always in the delta: their attempt composition can change — which
+    /// attempts hold GPUs, what they have accrued — without any shadowed
+    /// scalar moving. The first round after (re)sizing returns `None`
+    /// (full rescore).
+    pub fn diff(&mut self, views: &[NodeView]) -> Option<Vec<NodeId>> {
+        if self.shadows.len() != views.len() {
+            self.shadows = views.iter().map(NodeShadow::of).collect();
+            return None;
+        }
+        let mut delta = Vec::new();
+        for (i, v) in views.iter().enumerate() {
+            let next = NodeShadow::of(v);
+            let prev = self.shadows[i];
+            if next != prev || next.running_len > 0 || prev.running_len > 0 {
+                self.shadows[i] = next;
+                delta.push(NodeId(i));
+            }
+        }
+        Some(delta)
+    }
 }
 
 /// An action a scheduler requests.

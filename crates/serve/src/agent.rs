@@ -40,6 +40,16 @@ struct Held {
     task: TaskRef,
     attempt: u32,
     due: Instant,
+    net_frac: f64,
+    disk_frac: f64,
+}
+
+/// Occupancy the heartbeat reports: the held attempts' resource shares
+/// summed and clamped to the device's capacity.
+fn occupancy(held: &[Held]) -> (f64, f64) {
+    let net: f64 = held.iter().map(|h| h.net_frac).sum();
+    let disk: f64 = held.iter().map(|h| h.disk_frac).sum();
+    (net.min(1.0), disk.min(1.0))
 }
 
 /// Spawn the agent thread. It exits on [`WorkerCommand::Shutdown`] or
@@ -151,7 +161,14 @@ fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>
         // heartbeat, unless crashed or partitioned
         if next_hb <= now {
             next_hb = now + cfg.heartbeat;
-            if !crashed && dropout_until.is_none() && !send(WorkerReport::Heartbeat) {
+            let (net_util, disk_util) = occupancy(&held);
+            if !crashed
+                && dropout_until.is_none()
+                && !send(WorkerReport::Heartbeat {
+                    net_util,
+                    disk_util,
+                })
+            {
                 return;
             }
         }
@@ -173,6 +190,8 @@ fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>
                 attempt,
                 use_gpu: _,
                 hold,
+                net_frac,
+                disk_frac,
             }) => {
                 if !crashed {
                     let factor = slow_until.map_or(1.0, |(_, f)| f.max(1.0));
@@ -180,6 +199,8 @@ fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>
                         task,
                         attempt,
                         due: Instant::now() + hold.mul_f64(factor),
+                        net_frac,
+                        disk_frac,
                     });
                 }
             }

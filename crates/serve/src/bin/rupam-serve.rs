@@ -169,6 +169,10 @@ fn main() -> ExitCode {
         r.makespan.as_secs_f64(),
         r.digest
     );
+    println!(
+        "offers: {} rounds, p50 {} us, p95 {} us; dropped launches: {} stale, {} dead-node",
+        r.offer_rounds, r.offer_p50_us, r.offer_p95_us, r.stale_launch_drops, r.dead_launch_drops
+    );
 
     let mut ok = r.clean && r.lost_tasks == 0;
     if !ok {

@@ -15,9 +15,9 @@
 //! [`WallClockSource`]: rupam_simcore::source::WallClockSource
 //! [`Calendar`]: rupam_simcore::Calendar
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::Sender;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rupam_cluster::{ClusterSpec, NodeId};
 use rupam_dag::app::{JobId, StageId, StageKind};
@@ -26,11 +26,11 @@ use rupam_dag::task::InputSource;
 use rupam_dag::{Locality, MergedStream, TaskRef};
 use rupam_exec::config::SimConfig;
 use rupam_exec::scheduler::{
-    Command, NodeView, OfferInput, PendingTaskView, RunningTaskView, Scheduler,
+    Command, NodeShadowTable, NodeView, OfferInput, PendingTaskView, RunningTaskView, Scheduler,
 };
 use rupam_exec::EngineError;
 use rupam_faults::{FailureDetector, NodeHealth};
-use rupam_metrics::breakdown::TaskBreakdown;
+use rupam_metrics::breakdown::{BreakdownCategory, TaskBreakdown};
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
 use rupam_metrics::trace::{AbortCause, TraceBuffer, TraceEvent, TraceEventKind};
 use rupam_simcore::source::EventSource;
@@ -65,6 +65,17 @@ pub struct ServeConfig {
     /// safety net; checked on ticks, deterministic under replay because
     /// tick stamps are part of the event order).
     pub max_wall: Option<Duration>,
+    /// Coalescing guard for event-driven offer rounds: when dispatchable
+    /// state changes, the next round is scheduled no sooner than this
+    /// long after the previous one, so a burst of completions (or a
+    /// heartbeat storm) is absorbed by one round instead of thrashing.
+    pub offer_min_interval: Duration,
+    /// Debug oracle: rebuild the full `OfferInput` from scratch every
+    /// round (the pre-incremental construction path) instead of
+    /// maintaining the persistent node views and pending list. Decisions
+    /// must be byte-identical either way — the serve equivalence tests
+    /// replay the same input log down both paths and compare digests.
+    pub debug_full_rebuild: bool,
     /// Sim tunables reused by the live mode: memory sizing/clamps
     /// (`mem`), retry budget, and the failure-detector thresholds
     /// (`faults.suspect_after` / `faults.dead_after`, interpreted as
@@ -80,6 +91,8 @@ impl Default for ServeConfig {
             time_scale: 0.001,
             channel_capacity: 4096,
             max_wall: Some(Duration::from_secs(120)),
+            offer_min_interval: Duration::from_millis(2),
+            debug_full_rebuild: false,
             sim: SimConfig::default(),
         }
     }
@@ -134,6 +147,10 @@ struct NodeSt {
     executor_mem: ByteSize,
     mem_in_use: ByteSize,
     running: Vec<RunningSt>,
+    /// NIC occupancy from the worker's last heartbeat payload.
+    net_util: f64,
+    /// Disk occupancy from the worker's last heartbeat payload.
+    disk_util: f64,
 }
 
 struct JobSt {
@@ -168,6 +185,20 @@ pub struct ServeReport {
     pub dispatch_p50_us: u64,
     /// p99 dispatch latency, µs.
     pub dispatch_p99_us: u64,
+    /// Offer rounds run.
+    pub offer_rounds: u64,
+    /// Median driver-side offer-round wall time (snapshot + scheduler +
+    /// command application), µs. Meaningful in live mode only.
+    pub offer_p50_us: u64,
+    /// p95 offer-round wall time, µs.
+    pub offer_p95_us: u64,
+    /// Launch commands dropped because the task was no longer pending
+    /// when the command was applied (the decision raced a completion or
+    /// recovery re-queue).
+    pub stale_launch_drops: u64,
+    /// Launch commands dropped because the target node was unregistered
+    /// or declared dead — the live analogue of a lost RPC.
+    pub dead_launch_drops: u64,
     /// Timestamp of the last handled event (wall µs since server start
     /// in live mode).
     pub makespan: SimDuration,
@@ -192,7 +223,6 @@ pub(crate) struct ServeDriver<'a, S: EventSource<ServeEvent>> {
     detector: FailureDetector,
     trace: TraceBuffer,
     round: u64,
-    need_offers: bool,
     draining: bool,
     aborted: bool,
     kill_pending: HashMap<TaskRef, SimTime>,
@@ -202,6 +232,41 @@ pub(crate) struct ServeDriver<'a, S: EventSource<ServeEvent>> {
     launched: u64,
     completed: u64,
     failed: u64,
+    // ---- persistent offer state (rebuilt per round before this PR) ----
+    /// Long-lived node views: event application marks a node dirty and
+    /// only dirty (or running) nodes are re-snapshotted per round.
+    node_views: Vec<NodeView>,
+    dirty_nodes: Vec<bool>,
+    /// Shared engine diff rule producing `OfferInput::changed`.
+    shadow: NodeShadowTable,
+    /// Long-lived pending list, sorted by `(stage, index)` (the
+    /// incremental dispatcher binary-searches it). Mutations queue in
+    /// `pending_gone`/`pending_new` and are flushed before each round.
+    pending_views: Vec<PendingTaskView>,
+    pending_gone: HashSet<TaskRef>,
+    pending_new: Vec<PendingTaskView>,
+    /// Stages whose pending views carry stale shuffle preferences (an
+    /// upstream map output moved since they were built).
+    prefs_stale: HashSet<StageId>,
+    /// Tasks that (re)entered pending or changed their view since the
+    /// last round — the `OfferInput::pending_fresh` warranty. Fed from
+    /// `pending_new` merges, preference refreshes and dead-node launch
+    /// drops (the scheduler dequeued those, but the task stays pending
+    /// here and must be re-ingested).
+    fresh: HashSet<TaskRef>,
+    /// Memoised per-stage shuffle preference list (`node_local` of every
+    /// task in the stage); invalidated when a parent's map output moves.
+    shuffle_pref: Vec<Option<Vec<NodeId>>>,
+    /// Stage → consumer stages, for preference invalidation.
+    children: Vec<Vec<StageId>>,
+    // ---- event-driven offer scheduling ----
+    /// Stamp of the already-scheduled [`ServeEvent::Offer`], if any.
+    offer_due: Option<SimTime>,
+    last_offer_at: Option<SimTime>,
+    // ---- instrumentation ----
+    offer_us: Vec<u64>,
+    stale_drops: u64,
+    dead_drops: u64,
 }
 
 impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
@@ -224,6 +289,8 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     executor_mem: requested.min(ceiling),
                     mem_in_use: ByteSize::ZERO,
                     running: Vec::new(),
+                    net_util: 0.0,
+                    disk_util: 0.0,
                 }
             })
             .collect();
@@ -246,6 +313,14 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             .collect();
         let chains: Vec<std::ops::Range<usize>> =
             catalog.jobs.iter().map(|j| j.app_jobs.clone()).collect();
+        let mut children: Vec<Vec<StageId>> = vec![Vec::new(); catalog.app.stages.len()];
+        for (sidx, stage) in catalog.app.stages.iter().enumerate() {
+            for p in &stage.parents {
+                children[p.index()].push(StageId(sidx));
+            }
+        }
+        let n_nodes = cluster.len();
+        let n_stages = catalog.app.stages.len();
         ServeDriver {
             cluster,
             catalog,
@@ -268,7 +343,6 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             detector: FailureDetector::new(cluster.len(), &cfg.sim.faults, SimTime::ZERO),
             trace: TraceBuffer::new(rupam_metrics::trace::DEFAULT_TRACE_CAPACITY),
             round: 0,
-            need_offers: false,
             draining: false,
             aborted: false,
             kill_pending: HashMap::new(),
@@ -278,6 +352,21 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             launched: 0,
             completed: 0,
             failed: 0,
+            node_views: Vec::new(),
+            dirty_nodes: vec![true; n_nodes],
+            shadow: NodeShadowTable::new(),
+            pending_views: Vec::new(),
+            pending_gone: HashSet::new(),
+            pending_new: Vec::new(),
+            prefs_stale: HashSet::new(),
+            fresh: HashSet::new(),
+            shuffle_pref: vec![None; n_stages],
+            children,
+            offer_due: None,
+            last_offer_at: None,
+            offer_us: Vec::new(),
+            stale_drops: 0,
+            dead_drops: 0,
         }
     }
 
@@ -334,13 +423,16 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                         }
                     }
                     self.source.schedule(self.now + tick, ServeEvent::Tick);
-                    // offers batch on ticks, like the sim engine batches
-                    // them on heartbeats: one round absorbs every report
-                    // and submission since the last, keeping the event
-                    // loop O(1) per external input under a 10k-task
-                    // backlog instead of running a round per completion
-                    if self.need_offers && !self.aborted {
-                        self.need_offers = false;
+                }
+                // offers are event-driven: any state change that could
+                // make a task dispatchable schedules one coalesced round
+                // (min-interval apart), so dispatch latency is bounded by
+                // the coalescing window instead of the tick period, and
+                // quiet stretches run no rounds at all
+                ServeEvent::Offer => {
+                    self.offer_due = None;
+                    if !self.aborted {
+                        self.last_offer_at = Some(self.now);
                         self.offer_round();
                     }
                 }
@@ -383,7 +475,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
         self.sched.on_job_submitted(job, &stages, self.now);
         self.tracker.arrive(job.index());
         self.release_ready();
-        self.need_offers = true;
+        self.request_offers();
     }
 
     fn handle_worker(&mut self, worker: NodeId, report: WorkerReport) {
@@ -398,10 +490,30 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     let mem = self.nodes[worker.index()].executor_mem;
                     self.record(TraceEventKind::ExecutorSized { node: worker, mem });
                 }
+                // a re-registering worker starts with an empty slot set
+                let nst = &mut self.nodes[worker.index()];
+                nst.net_util = 0.0;
+                nst.disk_util = 0.0;
+                self.dirty_nodes[worker.index()] = true;
                 self.observe_liveness(worker);
-                self.need_offers = true;
+                self.request_offers();
             }
-            WorkerReport::Heartbeat => self.observe_liveness(worker),
+            WorkerReport::Heartbeat {
+                net_util,
+                disk_util,
+            } => {
+                self.observe_liveness(worker);
+                let nst = &mut self.nodes[worker.index()];
+                if nst.net_util != net_util || nst.disk_util != disk_util {
+                    nst.net_util = net_util;
+                    nst.disk_util = disk_util;
+                    // utilisation drift alone creates no dispatchable
+                    // work — mark the view stale but let the next
+                    // triggered round pick it up (no offer request, so
+                    // heartbeat storms cannot thrash rounds)
+                    self.dirty_nodes[worker.index()] = true;
+                }
+            }
             WorkerReport::Completed { task, attempt } => self.on_completed(worker, task, attempt),
             WorkerReport::Failed {
                 task,
@@ -417,7 +529,8 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
         if self.detector.is_dead(worker) {
             self.detector.revive(worker, self.now);
             self.record(TraceEventKind::NodeRecovered { node: worker });
-            self.need_offers = true;
+            self.dirty_nodes[worker.index()] = true;
+            self.request_offers();
         } else {
             self.detector.observe(worker, self.now);
         }
@@ -435,6 +548,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             TaskSt::Running { node: n, attempt: a } if n == worker && a == attempt
         ));
         node.mem_in_use = node.mem_in_use.saturating_sub(entry.peak_mem);
+        self.dirty_nodes[worker.index()] = true;
         Some(entry)
     }
 
@@ -453,6 +567,9 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             let bytes = stage.tasks[task.index].demand.shuffle_write.as_f64();
             self.stages[sidx].map_out_per_node[worker.index()] += bytes;
             self.stages[sidx].map_out_total += bytes;
+            if bytes > 0.0 {
+                self.invalidate_child_prefs(task.stage);
+            }
         }
         self.kill_pending.remove(&task);
         self.observed_peak
@@ -483,7 +600,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             self.jobs[job.index()].completed = Some(self.now);
             self.record(TraceEventKind::JobCompleted { job });
         }
-        self.need_offers = true;
+        self.request_offers();
     }
 
     fn on_failed(&mut self, worker: NodeId, task: TaskRef, attempt: u32, reason: TaskFailure) {
@@ -520,18 +637,26 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             attempt_no: next,
             since: self.now,
         };
-        self.need_offers = true;
+        let view = self.build_pending_view(task, next);
+        self.pending_new.push(view);
+        self.request_offers();
     }
 
     // ---- failure detection & recovery -----------------------------------
 
     fn evaluate_detector(&mut self) {
         for tr in self.detector.evaluate(self.now) {
+            // every health transition changes the node's view (suspect /
+            // dead / blocked flags) and can change what is dispatchable
+            self.dirty_nodes[tr.node.index()] = true;
             match tr.to {
-                NodeHealth::Suspect => self.record(TraceEventKind::NodeSuspect {
-                    node: tr.node,
-                    age: tr.age,
-                }),
+                NodeHealth::Suspect => {
+                    self.record(TraceEventKind::NodeSuspect {
+                        node: tr.node,
+                        age: tr.age,
+                    });
+                    self.request_offers();
+                }
                 NodeHealth::Dead => {
                     self.record(TraceEventKind::NodeDead {
                         node: tr.node,
@@ -539,7 +664,10 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     });
                     self.node_lost(tr.node);
                 }
-                NodeHealth::Alive => self.record(TraceEventKind::NodeRecovered { node: tr.node }),
+                NodeHealth::Alive => {
+                    self.record(TraceEventKind::NodeRecovered { node: tr.node });
+                    self.request_offers();
+                }
             }
         }
     }
@@ -559,10 +687,16 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                 attempt_no: v.attempt + 1,
                 since: self.now,
             };
+            let view = self.build_pending_view(v.task, v.attempt + 1);
+            self.pending_new.push(view);
         }
-        self.nodes[node_id.index()].mem_in_use = ByteSize::ZERO;
+        let nst = &mut self.nodes[node_id.index()];
+        nst.mem_in_use = ByteSize::ZERO;
+        nst.net_util = 0.0;
+        nst.disk_util = 0.0;
+        self.dirty_nodes[node_id.index()] = true;
         self.recompute_lost_outputs(node_id);
-        self.need_offers = true;
+        self.request_offers();
     }
 
     fn recompute_lost_outputs(&mut self, node_id: NodeId) {
@@ -595,12 +729,13 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     attempt_no: attempt_no + 1,
                     since: self.now,
                 };
-                self.kill_pending
-                    .entry(TaskRef {
-                        stage: StageId(sidx),
-                        index: tidx,
-                    })
-                    .or_insert(self.now);
+                let task = TaskRef {
+                    stage: StageId(sidx),
+                    index: tidx,
+                };
+                let view = self.build_pending_view(task, attempt_no + 1);
+                self.pending_new.push(view);
+                self.kill_pending.entry(task).or_insert(self.now);
                 lost += 1;
             }
             if lost > 0 {
@@ -609,7 +744,8 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     node: node_id,
                     tasks: lost,
                 });
-                self.need_offers = true;
+                self.invalidate_child_prefs(StageId(sidx));
+                self.request_offers();
             }
         }
     }
@@ -623,15 +759,28 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
     }
 
     fn release_stage(&mut self, stage: StageId) {
+        let now = self.now;
         let st = &mut self.stages[stage.index()];
         if st.released {
             return;
         }
         st.released = true;
-        for t in st.tasks.iter_mut() {
-            if let TaskSt::Pending { since, .. } = t {
-                *since = self.now;
+        let mut fresh: Vec<(usize, u32)> = Vec::new();
+        for (tidx, t) in st.tasks.iter_mut().enumerate() {
+            if let TaskSt::Pending { since, attempt_no } = t {
+                *since = now;
+                fresh.push((tidx, *attempt_no));
             }
+        }
+        for (tidx, attempt_no) in fresh {
+            let view = self.build_pending_view(
+                TaskRef {
+                    stage,
+                    index: tidx,
+                },
+                attempt_no,
+            );
+            self.pending_new.push(view);
         }
         self.sched
             .on_stage_ready(self.catalog.app.stage(stage), self.now);
@@ -639,8 +788,11 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
 
     /// `(process_nodes, node_local)` placement preferences — the sim
     /// engine's `preferred_nodes` without the executor-cache tier (serve
-    /// workers hold no partition cache).
-    fn preferred_nodes(&self, stage: StageId, tidx: usize) -> (Vec<NodeId>, Vec<NodeId>) {
+    /// workers hold no partition cache). HDFS replica lists are static;
+    /// shuffle preferences are memoised per stage (every task of a
+    /// reduce stage shares them) and invalidated only when an upstream
+    /// map output moves.
+    fn preferred_nodes(&mut self, stage: StageId, tidx: usize) -> (Vec<NodeId>, Vec<NodeId>) {
         let template = &self.catalog.app.stage(stage).tasks[tidx];
         match &template.input {
             InputSource::Hdfs(block) => (
@@ -651,127 +803,258 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                 Vec::new(),
                 self.catalog.layout.block(*fallback).replicas.clone(),
             ),
-            InputSource::Shuffle => {
-                let parents = &self.catalog.app.stage(stage).parents;
-                let mut per_node = vec![0.0f64; self.nodes.len()];
-                let mut total = 0.0f64;
-                for p in parents {
-                    let prt = &self.stages[p.index()];
-                    for (i, b) in prt.map_out_per_node.iter().enumerate() {
-                        per_node[i] += b;
-                    }
-                    total += prt.map_out_total;
-                }
-                let node_local = if total > 0.0 {
-                    per_node
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, &b)| b / total >= REDUCER_PREF_FRACTION)
-                        .map(|(i, _)| NodeId(i))
-                        .collect()
-                } else {
-                    Vec::new()
-                };
-                (Vec::new(), node_local)
-            }
+            InputSource::Shuffle => (Vec::new(), self.shuffle_pref_of(stage)),
             InputSource::Generated => (Vec::new(), Vec::new()),
         }
     }
 
-    fn offer_round(&mut self) {
-        self.round += 1;
+    /// The memoised shuffle preference list of a reduce stage: nodes
+    /// holding ≥ 20 % of the parents' map output.
+    fn shuffle_pref_of(&mut self, stage: StageId) -> Vec<NodeId> {
+        if let Some(nl) = &self.shuffle_pref[stage.index()] {
+            return nl.clone();
+        }
+        let parents = &self.catalog.app.stage(stage).parents;
+        let mut per_node = vec![0.0f64; self.nodes.len()];
+        let mut total = 0.0f64;
+        for p in parents {
+            let prt = &self.stages[p.index()];
+            for (i, b) in prt.map_out_per_node.iter().enumerate() {
+                per_node[i] += b;
+            }
+            total += prt.map_out_total;
+        }
+        let node_local: Vec<NodeId> = if total > 0.0 {
+            per_node
+                .iter()
+                .enumerate()
+                .filter(|(_, &b)| b / total >= REDUCER_PREF_FRACTION)
+                .map(|(i, _)| NodeId(i))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        self.shuffle_pref[stage.index()] = Some(node_local.clone());
+        node_local
+    }
+
+    /// A map output of `parent` moved: drop every consumer stage's
+    /// memoised shuffle preferences and queue their pending views for an
+    /// in-place refresh at the next flush.
+    fn invalidate_child_prefs(&mut self, parent: StageId) {
+        for i in 0..self.children[parent.index()].len() {
+            let child = self.children[parent.index()][i];
+            self.shuffle_pref[child.index()] = None;
+            self.prefs_stale.insert(child);
+        }
+    }
+
+    fn build_pending_view(&mut self, task: TaskRef, attempt_no: u32) -> PendingTaskView {
+        let (process_nodes, node_local) = self.preferred_nodes(task.stage, task.index);
+        let stage = self.catalog.app.stage(task.stage);
+        PendingTaskView {
+            task,
+            job: self.catalog.stage_jobs[task.stage.index()],
+            template_key: stage.template_key,
+            stage_kind: stage.kind,
+            attempt_no,
+            peak_mem_hint: self
+                .observed_peak
+                .get(&(task.stage, task.index))
+                .copied()
+                .unwrap_or(ByteSize::ZERO),
+            gpu_capable: stage.tasks[task.index].demand.is_gpu_capable(),
+            process_nodes,
+            node_local,
+        }
+    }
+
+    fn build_node_view(&self, id: NodeId) -> NodeView {
+        let st = &self.nodes[id.index()];
+        let spec = self.cluster.node(id);
+        let health = self.detector.health(id);
+        let dead = health == NodeHealth::Dead;
         let now = self.now;
-        let mut blocked_count = 0usize;
-        let mut running_total = 0usize;
-        let node_views: Vec<NodeView> = self
-            .cluster
+        let running: Vec<RunningTaskView> = st
+            .running
             .iter()
-            .map(|(id, spec)| {
-                let st = &self.nodes[id.index()];
-                let health = self.detector.health(id);
-                let dead = health == NodeHealth::Dead;
-                let blocked = !st.registered || dead;
-                if blocked {
-                    blocked_count += 1;
-                }
-                running_total += st.running.len();
-                let running: Vec<RunningTaskView> = st
-                    .running
-                    .iter()
-                    .map(|r| RunningTaskView {
-                        task: r.task,
-                        speculative: false,
-                        elapsed: now.since(r.launched_at),
-                        peak_mem: r.peak_mem,
-                        on_gpu: r.use_gpu,
-                    })
-                    .collect();
-                let gpus_busy = st.running.iter().filter(|r| r.use_gpu).count() as u32;
-                NodeView {
-                    node: id,
-                    executor_mem: st.executor_mem,
-                    mem_in_use: st.mem_in_use,
-                    free_mem: st.executor_mem.saturating_sub(st.mem_in_use),
-                    cpu_util: (st.running.len() as f64 / spec.cores as f64).min(1.0),
-                    net_util: 0.0,
-                    disk_util: 0.0,
-                    gpus_idle: spec.gpus.saturating_sub(gpus_busy),
-                    running,
-                    blocked,
-                    heartbeat_age: self.detector.age(id, now),
-                    dead,
-                    suspect: health == NodeHealth::Suspect,
-                }
+            .map(|r| RunningTaskView {
+                task: r.task,
+                speculative: false,
+                elapsed: now.since(r.launched_at),
+                peak_mem: r.peak_mem,
+                on_gpu: r.use_gpu,
             })
             .collect();
+        let gpus_busy = st.running.iter().filter(|r| r.use_gpu).count() as u32;
+        NodeView {
+            node: id,
+            executor_mem: st.executor_mem,
+            mem_in_use: st.mem_in_use,
+            free_mem: st.executor_mem.saturating_sub(st.mem_in_use),
+            cpu_util: (st.running.len() as f64 / spec.cores as f64).min(1.0),
+            net_util: st.net_util,
+            disk_util: st.disk_util,
+            gpus_idle: spec.gpus.saturating_sub(gpus_busy),
+            running,
+            blocked: !st.registered || dead,
+            heartbeat_age: self.detector.age(id, now),
+            dead,
+            suspect: health == NodeHealth::Suspect,
+        }
+    }
 
-        let mut pending = Vec::new();
+    /// Schedule a coalesced offer round: immediately if the coalescing
+    /// window since the last round has passed, else at the window's end.
+    /// A no-op while one is already scheduled. The `Offer` event is an
+    /// internal timer — never logged — so replay re-derives the exact
+    /// same schedule from the logged externals (the trigger sites are
+    /// pure functions of popped events).
+    fn request_offers(&mut self) {
+        if self.offer_due.is_some() || self.aborted {
+            return;
+        }
+        let min = SimDuration((self.cfg.offer_min_interval.as_micros() as u64).max(1));
+        let due = match self.last_offer_at {
+            Some(last) => std::cmp::max(last + min, self.now),
+            None => self.now,
+        };
+        self.offer_due = Some(due);
+        self.source.schedule(due, ServeEvent::Offer);
+    }
+
+    /// Apply the queued pending-list mutations: launches drop out,
+    /// re-pended and newly-released tasks merge in (keeping `(stage,
+    /// index)` order), and views whose shuffle preferences went stale
+    /// are refreshed in place.
+    fn flush_pending(&mut self) {
+        if !self.pending_gone.is_empty() {
+            let gone = std::mem::take(&mut self.pending_gone);
+            self.pending_views.retain(|p| !gone.contains(&p.task));
+        }
+        if !self.pending_new.is_empty() {
+            let mut arrived = std::mem::take(&mut self.pending_new);
+            self.fresh.extend(arrived.iter().map(|p| p.task));
+            self.pending_views.append(&mut arrived);
+            self.pending_views
+                .sort_unstable_by_key(|p| (p.task.stage, p.task.index));
+        }
+        if !self.prefs_stale.is_empty() {
+            let mut stale: Vec<StageId> = self.prefs_stale.drain().collect();
+            stale.sort_unstable();
+            for s in stale {
+                let lo = self.pending_views.partition_point(|p| p.task.stage < s);
+                let hi = self.pending_views.partition_point(|p| p.task.stage <= s);
+                for i in lo..hi {
+                    let task = self.pending_views[i].task;
+                    let (pn, nl) = self.preferred_nodes(task.stage, task.index);
+                    self.pending_views[i].process_nodes = pn;
+                    self.pending_views[i].node_local = nl;
+                    self.fresh.insert(task);
+                }
+            }
+        }
+    }
+
+    /// Re-snapshot the views event application marked dirty, plus every
+    /// node with running attempts (their `elapsed` advances with time —
+    /// and the changed-delta contract promises running nodes are always
+    /// in the delta). Untouched views only get their heartbeat age
+    /// refreshed, which no ranking reads and the shadow ignores.
+    fn refresh_node_views(&mut self) {
+        if self.node_views.len() != self.nodes.len() {
+            self.node_views = (0..self.nodes.len())
+                .map(|i| self.build_node_view(NodeId(i)))
+                .collect();
+            self.dirty_nodes = vec![false; self.nodes.len()];
+            return;
+        }
+        for i in 0..self.nodes.len() {
+            if self.dirty_nodes[i] || !self.nodes[i].running.is_empty() {
+                self.node_views[i] = self.build_node_view(NodeId(i));
+                self.dirty_nodes[i] = false;
+            } else {
+                self.node_views[i].heartbeat_age = self.detector.age(NodeId(i), self.now);
+            }
+        }
+    }
+
+    /// Debug oracle: rebuild views and pending list from scratch, the
+    /// way every round did before the persistent offer state existed.
+    fn rebuild_offer_state(&mut self) {
+        self.pending_gone.clear();
+        self.pending_new.clear();
+        self.prefs_stale.clear();
+        self.fresh.clear();
+        self.dirty_nodes.iter_mut().for_each(|d| *d = false);
+        self.node_views = (0..self.nodes.len())
+            .map(|i| self.build_node_view(NodeId(i)))
+            .collect();
+        let mut todo: Vec<(TaskRef, u32)> = Vec::new();
         for sidx in 0..self.stages.len() {
             if !self.stages[sidx].released {
                 continue;
             }
             for tidx in 0..self.stages[sidx].tasks.len() {
-                let TaskSt::Pending { attempt_no, .. } = self.stages[sidx].tasks[tidx] else {
-                    continue;
-                };
-                let stage = self.catalog.app.stage(StageId(sidx));
-                let (process_nodes, node_local) = self.preferred_nodes(StageId(sidx), tidx);
-                pending.push(PendingTaskView {
-                    task: TaskRef {
-                        stage: StageId(sidx),
-                        index: tidx,
-                    },
-                    job: self.catalog.stage_jobs[sidx],
-                    template_key: stage.template_key,
-                    stage_kind: stage.kind,
-                    attempt_no,
-                    peak_mem_hint: self
-                        .observed_peak
-                        .get(&(StageId(sidx), tidx))
-                        .copied()
-                        .unwrap_or(ByteSize::ZERO),
-                    gpu_capable: stage.tasks[tidx].demand.is_gpu_capable(),
-                    process_nodes,
-                    node_local,
-                });
+                if let TaskSt::Pending { attempt_no, .. } = self.stages[sidx].tasks[tidx] {
+                    todo.push((
+                        TaskRef {
+                            stage: StageId(sidx),
+                            index: tidx,
+                        },
+                        attempt_no,
+                    ));
+                }
             }
         }
-        self.max_pending = self.max_pending.max(pending.len());
+        self.pending_views = todo
+            .into_iter()
+            .map(|(task, attempt_no)| self.build_pending_view(task, attempt_no))
+            .collect();
+    }
+
+    fn offer_round(&mut self) {
+        let started = Instant::now();
+        self.round += 1;
+        if self.cfg.debug_full_rebuild {
+            self.rebuild_offer_state();
+        } else {
+            self.flush_pending();
+            self.refresh_node_views();
+        }
+        // the full-rebuild oracle forfeits the warranty (None → the
+        // scheduler re-scans everything); the incremental path passes
+        // the accumulated delta, sorted so ingest order — and thus queue
+        // seat assignment — matches the oracle's sorted-pending scan
+        let pending_fresh = if self.cfg.debug_full_rebuild {
+            None
+        } else {
+            let mut fresh: Vec<TaskRef> = self.fresh.drain().collect();
+            fresh.sort_unstable_by_key(|t| (t.stage, t.index));
+            Some(fresh)
+        };
+        let changed = self.shadow.diff(&self.node_views);
+        let running_total: usize = self.node_views.iter().map(|v| v.running.len()).sum();
+        let blocked_count = self.node_views.iter().filter(|v| v.blocked).count();
+        self.max_pending = self.max_pending.max(self.pending_views.len());
 
         let job_arrivals: Vec<SimTime> = self
             .jobs
             .iter()
             .map(|j| j.submitted.unwrap_or(SimTime(u64::MAX)))
             .collect();
+        // the persistent structures ride into the snapshot and come
+        // straight back — no per-round reconstruction, no copies
         let input = OfferInput {
-            now,
+            now: self.now,
             cluster: self.cluster,
             app: &self.catalog.app,
-            nodes: node_views,
-            pending,
+            nodes: std::mem::take(&mut self.node_views),
+            pending: std::mem::take(&mut self.pending_views),
             speculatable: Vec::new(),
             job_arrivals,
-            changed: None,
+            changed,
+            pending_fresh,
         };
         let commands = self.sched.offer_round(&input);
         self.record(TraceEventKind::OfferRound {
@@ -780,9 +1063,12 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             blocked: blocked_count,
             commands: commands.len(),
         });
+        self.node_views = input.nodes;
+        self.pending_views = input.pending;
         for cmd in commands {
             self.apply_command(cmd);
         }
+        self.offer_us.push(started.elapsed().as_micros() as u64);
     }
 
     fn apply_command(&mut self, cmd: Command) {
@@ -800,11 +1086,17 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                 let TaskSt::Pending { attempt_no, since } =
                     self.stages[task.stage.index()].tasks[task.index]
                 else {
-                    return; // stale command: already launched or done
+                    // stale command: already launched or done
+                    self.stale_drops += 1;
+                    return;
                 };
                 let health = self.detector.health(node);
                 if !self.nodes[node.index()].registered || health == NodeHealth::Dead {
-                    return; // launch to a dead node is a lost RPC
+                    // launch to a dead node is a lost RPC; the scheduler
+                    // dequeued the task, so warrant its re-ingest
+                    self.dead_drops += 1;
+                    self.fresh.insert(task);
+                    return;
                 }
                 let stage = self.catalog.app.stage(task.stage);
                 let demand = &stage.tasks[task.index].demand;
@@ -836,6 +1128,8 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     node,
                     attempt: attempt_no,
                 };
+                self.dirty_nodes[node.index()] = true;
+                self.pending_gone.insert(task);
                 self.dispatch_us.push(self.now.since(since).0);
                 self.launched += 1;
                 self.record(TraceEventKind::Launch {
@@ -849,6 +1143,26 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     reason,
                 });
                 let hold = Duration::from_secs_f64(dur.as_secs_f64() * self.cfg.time_scale);
+                // estimated resource shares ride along so the agent's
+                // heartbeats can report real NIC/disk occupancy back
+                let total = dur.as_secs_f64();
+                let frac = |secs: f64| {
+                    if total > 0.0 {
+                        (secs / total).clamp(0.0, 1.0)
+                    } else {
+                        0.0
+                    }
+                };
+                let net_frac = frac(
+                    breakdown.get(BreakdownCategory::ShuffleNet).as_secs_f64()
+                        + breakdown
+                            .get(BreakdownCategory::Serialization)
+                            .as_secs_f64(),
+                );
+                let disk_frac = frac(
+                    breakdown.get(BreakdownCategory::HdfsDisk).as_secs_f64()
+                        + breakdown.get(BreakdownCategory::ShuffleWrite).as_secs_f64(),
+                );
                 self.outbox.send(
                     node,
                     WorkerCommand::Launch {
@@ -856,6 +1170,8 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                         attempt: attempt_no,
                         use_gpu: gpu,
                         hold,
+                        net_frac,
+                        disk_frac,
                     },
                 );
             }
@@ -881,6 +1197,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
 
     pub(crate) fn report(&self) -> ServeReport {
         let lat: Vec<f64> = self.dispatch_us.iter().map(|&us| us as f64).collect();
+        let offer: Vec<f64> = self.offer_us.iter().map(|&us| us as f64).collect();
         let jobs_submitted = self.jobs.iter().filter(|j| j.submitted.is_some()).count();
         let jobs_completed = self.jobs.iter().filter(|j| j.completed.is_some()).count();
         let lost_tasks = self
@@ -908,6 +1225,19 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             } else {
                 quantile(&lat, 0.99) as u64
             },
+            offer_rounds: self.round,
+            offer_p50_us: if offer.is_empty() {
+                0
+            } else {
+                quantile(&offer, 0.50) as u64
+            },
+            offer_p95_us: if offer.is_empty() {
+                0
+            } else {
+                quantile(&offer, 0.95) as u64
+            },
+            stale_launch_drops: self.stale_drops,
+            dead_launch_drops: self.dead_drops,
             makespan: SimDuration(self.now.0),
             clean: !self.aborted && jobs_submitted == jobs_completed,
         }

@@ -41,8 +41,18 @@ pub enum WorkerReport {
     /// The agent came up (or came back after a restart) and is ready
     /// for launches.
     Register,
-    /// Periodic liveness beacon; the failure detector times these.
-    Heartbeat,
+    /// Periodic liveness beacon; the failure detector times these. The
+    /// payload carries the worker's own resource occupancy so the
+    /// scheduler's heterogeneity-aware scoring sees real utilisation
+    /// signals (the paper's collector piggy-backs metrics on heartbeats
+    /// the same way).
+    Heartbeat {
+        /// Fraction of the NIC the held attempts occupy, `0.0..=1.0`.
+        net_util: f64,
+        /// Fraction of disk bandwidth the held attempts occupy,
+        /// `0.0..=1.0`.
+        disk_util: f64,
+    },
     /// An attempt ran to completion.
     Completed {
         /// The finished task.
@@ -92,9 +102,17 @@ pub enum ServeEvent {
     Worker(WorkerMsg),
     /// A client request arrived.
     Client(Frame<ClientRequest>),
-    /// The server's periodic tick: failure-detector evaluation and an
-    /// offer round (the live analogue of the sim engine's heartbeat).
+    /// The server's periodic tick: failure-detector evaluation and the
+    /// livelock/max-wall check (the live analogue of the sim engine's
+    /// heartbeat). Offer rounds are *not* tied to ticks — see
+    /// [`ServeEvent::Offer`].
     Tick,
+    /// A coalesced offer round is due. The driver schedules this for
+    /// itself whenever dispatchable state changes (never sooner than
+    /// the coalescing min-interval after the previous round); it is an
+    /// internal timer, so it never appears in the input log — replay
+    /// re-derives the identical schedule from the logged externals.
+    Offer,
 }
 
 /// What the server sends down to a worker agent.
@@ -111,6 +129,14 @@ pub enum WorkerCommand {
         /// Wall-clock execution time, already scaled by the server's
         /// `time_scale` (the agent just holds the slot this long).
         hold: Duration,
+        /// Share of the attempt's lifetime spent on the NIC (shuffle
+        /// reads + output serialisation, per the server's estimate).
+        /// The agent sums these over held attempts into the
+        /// [`WorkerReport::Heartbeat`] `net_util` payload.
+        net_frac: f64,
+        /// Share of the attempt's lifetime spent on disk (HDFS reads +
+        /// shuffle writes); aggregated into `disk_util` likewise.
+        disk_frac: f64,
     },
     /// Abandon a running attempt and report it `Failed { Preempted }`.
     Preempt {

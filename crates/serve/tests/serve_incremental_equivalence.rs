@@ -1,0 +1,133 @@
+//! Incremental-vs-rebuild equivalence: the serve driver's persistent
+//! offer state (in-place node views, mutated pending list, memoised
+//! placement hints) must be decision-for-decision identical to the
+//! debug full-rebuild path that reconstructs the `OfferInput` from the
+//! authoritative tables every round.
+//!
+//! Each test runs live once with the persistent path, then replays the
+//! captured input log twice — once per construction path — and demands
+//! all three decision-trace digests match byte for byte. Any divergence
+//! (a stale view field, a pending entry that outlived its launch, a
+//! shuffle preference that missed an invalidation) shifts a launch and
+//! changes the digest.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rupam::{RupamConfig, RupamScheduler};
+use rupam_dag::app::JobId;
+use rupam_faults::FaultScript;
+use rupam_serve::testbed::{build_fleet, pressure_stream};
+use rupam_serve::{replay, server, ServeConfig, ServeOutcome};
+use rupam_simcore::time::SimDuration;
+
+fn run_live(
+    workers: usize,
+    jobs: usize,
+    tasks: usize,
+    cfg: &ServeConfig,
+    script: &FaultScript,
+) -> ServeOutcome {
+    let cluster = Arc::new(build_fleet(workers));
+    let catalog = Arc::new(pressure_stream(jobs, tasks));
+    let handle = server::start(
+        Arc::clone(&cluster),
+        Arc::clone(&catalog),
+        Box::new(RupamScheduler::new(RupamConfig::default())),
+        cfg.clone(),
+        script,
+    );
+    let mut client = handle.client.clone();
+    for j in 0..jobs {
+        client.submit(JobId(j)).expect("submit");
+    }
+    client.drain().expect("drain");
+    drop(client);
+    handle.wait().expect("serve run")
+}
+
+/// Replay `out.log` down both construction paths and assert both
+/// digests equal the live one.
+fn check_both_paths(
+    workers: usize,
+    jobs: usize,
+    tasks: usize,
+    cfg: &ServeConfig,
+    out: &ServeOutcome,
+) {
+    let cluster = build_fleet(workers);
+    let catalog = pressure_stream(jobs, tasks);
+
+    let mut incremental_cfg = cfg.clone();
+    incremental_cfg.debug_full_rebuild = false;
+    let mut sched = RupamScheduler::new(RupamConfig::default());
+    let incremental = replay(&cluster, &catalog, &mut sched, &incremental_cfg, &out.log)
+        .expect("incremental replay succeeds");
+    assert_eq!(
+        incremental.digest, out.report.digest,
+        "incremental replay must reproduce the live digest"
+    );
+
+    let mut rebuild_cfg = cfg.clone();
+    rebuild_cfg.debug_full_rebuild = true;
+    let mut sched = RupamScheduler::new(RupamConfig::default());
+    let rebuild = replay(&cluster, &catalog, &mut sched, &rebuild_cfg, &out.log)
+        .expect("full-rebuild replay succeeds");
+    assert_eq!(
+        rebuild.digest, out.report.digest,
+        "full-rebuild replay must reproduce the live digest — the \
+         persistent offer state diverged from the from-scratch snapshot \
+         (live {:016x}, rebuild {:016x})",
+        out.report.digest, rebuild.digest
+    );
+    assert_eq!(rebuild.launched, incremental.launched);
+    assert_eq!(rebuild.jobs_completed, incremental.jobs_completed);
+}
+
+#[test]
+fn healthy_run_matches_down_both_paths() {
+    let cfg = ServeConfig {
+        time_scale: 0.002,
+        ..ServeConfig::default()
+    };
+    let out = run_live(12, 4, 24, &cfg, &FaultScript::empty());
+    assert!(
+        out.report.clean,
+        "healthy run must drain cleanly: {:?}",
+        out.report
+    );
+    assert!(out.report.offer_rounds > 0);
+    check_both_paths(12, 4, 24, &cfg, &out);
+}
+
+#[test]
+fn chaos_smoke_matches_down_both_paths() {
+    // the committed chaos script: crashes, restarts, dropouts and flaky
+    // OOMs exercise every pending-list mutation (re-pends, node-lost
+    // victims, recompute) and every preference invalidation
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../chaos-smoke.toml"
+    ))
+    .expect("chaos-smoke.toml is committed at the repo root");
+    let script = FaultScript::parse_toml(&text).expect("script parses");
+
+    let mut cfg = ServeConfig {
+        tick: Duration::from_millis(10),
+        worker_heartbeat: Duration::from_millis(10),
+        time_scale: 0.02,
+        max_wall: Some(Duration::from_secs(60)),
+        ..ServeConfig::default()
+    };
+    cfg.sim.faults.suspect_after = SimDuration(60_000); // 60 ms
+    cfg.sim.faults.dead_after = SimDuration(200_000); // 200 ms
+
+    let out = run_live(12, 4, 24, &cfg, &script);
+    assert!(
+        out.report.clean,
+        "chaos run must still drain cleanly: {:?}",
+        out.report
+    );
+    assert_eq!(out.report.lost_tasks, 0);
+    check_both_paths(12, 4, 24, &cfg, &out);
+}

@@ -261,6 +261,7 @@ fn corrupted_recovery_decision_trips_auditor() {
         speculatable: vec![],
         job_arrivals: vec![SimTime::ZERO],
         changed: None,
+        pending_fresh: None,
     };
     // "recover" the task by launching it straight back onto the corpse
     let corrupted = vec![Command::Launch {
