@@ -1,7 +1,7 @@
 //! `experiments` — regenerate every table and figure of the RUPAM paper.
 //!
 //! ```text
-//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation|multitenant|degraded] [--quick]
+//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation|multitenant|degraded|spot] [--quick]
 //! ```
 //!
 //! `--quick` runs one seed instead of the paper's five (for smoke runs).
@@ -10,7 +10,7 @@ use std::env;
 
 use rupam_bench::harness::{placement_census, run_workload, Sched, SEEDS};
 use rupam_bench::{
-    ablation, breakdown, degraded, hardware, locality, motivation, multitenant, overall,
+    ablation, breakdown, degraded, hardware, locality, motivation, multitenant, overall, spot,
     utilization,
 };
 use rupam_cluster::ClusterSpec;
@@ -164,6 +164,17 @@ fn main() {
         }
         let rows = degraded::run(&cluster, Workload::TeraSort, &seeds[..seeds.len().min(3)]);
         print!("{}", degraded::render(&rows));
+        println!();
+    }
+    if run("spot") {
+        let cells = spot::run(&cluster, &seeds[..seeds.len().min(2)]);
+        print!("{}", spot::render(&cells));
+        if let Some(r) = spot::spot_resilience(&cells) {
+            println!("  spot resilience (fixed-fleet / greedy-churn makespan): {r:.3}");
+        }
+        if let Some(r) = spot::spot_cost_ratio(&cells) {
+            println!("  cost ratio (risk-blind $ / risk-aware $, greedy): {r:.3}");
+        }
         println!();
     }
     if run("ablation") {

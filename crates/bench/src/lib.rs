@@ -36,6 +36,7 @@ pub mod overall;
 pub mod perf;
 pub mod sensitivity;
 pub mod serve;
+pub mod spot;
 pub mod utilization;
 
 pub use harness::{

@@ -224,6 +224,10 @@ pub struct PerfReport {
     /// wall-clock serve rows are too noisy for CI smoke machines, and
     /// [`regressions`] tolerates their absence).
     pub serve: Vec<crate::serve::ServeBenchResult>,
+    /// Spot-tier Pareto ratios (`(label, ratio)` — see
+    /// [`crate::spot::spot_gate`]): simulated-time, deterministic,
+    /// gate-able across machines like the degraded rows.
+    pub spot: Vec<(String, f64)>,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -441,6 +445,10 @@ pub fn run(quick: bool) -> PerfReport {
     );
     eprintln!("perf: event-bus dispatch overhead …");
     let event_overhead = bench_event_overhead(&ClusterSpec::hydra(), 8, 42);
+    eprintln!("perf: spot-tier cost/JCT ratios …");
+    // two seeds: single-seed spot ratios are dominated by one price
+    // path's preemption luck
+    let spot = crate::spot::spot_gate(&ClusterSpec::hydra(), &crate::harness::SEEDS[..2]);
     let serve = if quick {
         Vec::new()
     } else {
@@ -452,6 +460,7 @@ pub fn run(quick: bool) -> PerfReport {
         degraded,
         event_overhead,
         serve,
+        spot,
     }
 }
 
@@ -517,6 +526,9 @@ pub fn to_json(r: &PerfReport) -> String {
     }
     for (label, ratio) in &r.degraded {
         let _ = writeln!(s, "    \"degraded_resilience_{label}\": {ratio:.3},");
+    }
+    for (label, ratio) in &r.spot {
+        let _ = writeln!(s, "    \"spot_{label}\": {ratio:.3},");
     }
     // near-constant offer latency across a 4× node-count jump is the
     // sharded cache's scalability contract; only emitted when the run
@@ -602,6 +614,7 @@ pub fn gate_keys(json: &str) -> Vec<String> {
                 || k.starts_with("engine_")
                 || k.starts_with("offer_scaling_")
                 || k.starts_with("serve_")
+                || k.starts_with("spot_")
         })
         .map(|k| k.to_string())
         .collect()
@@ -753,6 +766,7 @@ mod tests {
                 lost: 0,
                 clean: true,
             }],
+            spot: vec![("resilience".into(), 1.08), ("cost_ratio".into(), 1.02)],
         };
         let json = to_json(&r);
         assert_eq!(extract_number(&json, "speedup_hydra12"), Some(2.5));
@@ -765,6 +779,10 @@ mod tests {
         assert!(gate_keys(&json).contains(&"degraded_resilience_crash1".to_string()));
         assert_eq!(extract_number(&json, "engine_event_overhead"), Some(1.012));
         assert!(gate_keys(&json).contains(&"engine_event_overhead".to_string()));
+        assert_eq!(extract_number(&json, "spot_resilience"), Some(1.08));
+        assert_eq!(extract_number(&json, "spot_cost_ratio"), Some(1.02));
+        assert!(gate_keys(&json).contains(&"spot_resilience".to_string()));
+        assert!(gate_keys(&json).contains(&"spot_cost_ratio".to_string()));
         assert_eq!(
             extract_number(&json, "serve_replay_digest_match_hydra64"),
             Some(1.0)
@@ -849,6 +867,7 @@ mod tests {
             degraded: Vec::new(),
             event_overhead: 1.0,
             serve: Vec::new(),
+            spot: Vec::new(),
         };
         let json = to_json(&r);
         assert_eq!(

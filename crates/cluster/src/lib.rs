@@ -24,6 +24,6 @@ pub mod resources;
 pub mod topology;
 
 pub use monitor::{HeartbeatSnapshot, NodeMetrics, ResourceMonitor};
-pub use node::{DiskSpec, NodeId, NodeSpec};
+pub use node::{DiskSpec, NodeId, NodeSpec, NodeTier};
 pub use resources::ResourceKind;
 pub use topology::{ClusterSpec, ShardMap};

@@ -26,6 +26,35 @@ define_id!(
     "node"
 );
 
+/// Procurement tier of a node: how it is paid for and how it can be
+/// taken away. The topology itself is tier-agnostic — the elastic layer
+/// assigns tiers by marking node ids as members of spot pools; everything
+/// not in a pool is on-demand.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum NodeTier {
+    /// Billed at a fixed price; never reclaimed by the provider.
+    #[default]
+    OnDemand,
+    /// Billed at a fluctuating market price; may be preempted with a
+    /// short drain notice when the price spikes.
+    Spot,
+}
+
+impl NodeTier {
+    /// Stable short code used in decision traces and reports.
+    pub fn code(self) -> &'static str {
+        match self {
+            NodeTier::OnDemand => "on-demand",
+            NodeTier::Spot => "spot",
+        }
+    }
+
+    /// Whether the tier can be preempted by the provider.
+    pub fn preemptible(self) -> bool {
+        self == NodeTier::Spot
+    }
+}
+
 /// Persistent-storage specification for a node.
 #[derive(Clone, Debug, PartialEq)]
 pub struct DiskSpec {

@@ -345,6 +345,9 @@ mod tests {
             heartbeat_age: SimDuration::ZERO,
             dead: false,
             suspect: false,
+            tier: rupam_cluster::NodeTier::OnDemand,
+            draining: false,
+            preempt_risk: 0.0,
         }
     }
 

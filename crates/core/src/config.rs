@@ -55,6 +55,15 @@ pub struct RupamConfig {
     pub use_locality: bool,
     /// Ablation: disable the straggler/racing extensions.
     pub straggler_handling: bool,
+    /// How strongly a node's spot-preemption risk discounts its pick
+    /// score: the dispatcher multiplies every candidate's score by
+    /// `1 − min(1, spot_risk_penalty × preempt_risk)`, where
+    /// `preempt_risk` is the per-check preemption probability the
+    /// elastic controller publishes on the node view. `0.0` is the
+    /// risk-blind ablation (spot nodes compete as equals); without an
+    /// elastic spot tier every risk is `0.0` and any value here is a
+    /// no-op, so decisions stay byte-identical to pre-elastic builds.
+    pub spot_risk_penalty: f64,
     /// Keep `DB_task_char` entries warm across the jobs of a multi-tenant
     /// stream (keys stay per-template). Disabling scopes every entry to
     /// the stream job that produced it — the cold-DB control where a new
@@ -95,6 +104,7 @@ impl Default for RupamConfig {
             dynamic_executors: true,
             use_locality: true,
             straggler_handling: true,
+            spot_risk_penalty: 1.0,
             cross_job_db: true,
             incremental_queues: true,
             shard_count: 0,

@@ -419,6 +419,13 @@ impl<'a> Dispatcher<'a> {
     }
 
     /// The pick score + tiebreak fields of one candidate node.
+    ///
+    /// Spot awareness: the score is discounted by the node's published
+    /// preemption risk (`1 − min(1, spot_risk_penalty × risk)`), so a
+    /// cheap-but-churning node loses ties against a safe peer and only
+    /// wins when its raw capability margin outweighs the expected rework.
+    /// The discount only ever shrinks a score, so the sharded queue's
+    /// suffix-max bounds (computed risk-blind) remain sound upper bounds.
     fn pick_key(&self, n: NodeId, queue_kind: ResourceKind) -> (f64, f64, usize) {
         let util = self.utilization_with_claims(n, queue_kind).clamp(0.0, 1.0);
         let cap = self.input.cluster.node(n).capability(queue_kind);
@@ -426,6 +433,8 @@ impl<'a> Dispatcher<'a> {
             ResourceKind::Cpu | ResourceKind::Gpu => cap,
             ResourceKind::Mem | ResourceKind::Net | ResourceKind::Io => cap * (1.0 - util),
         };
+        let risk = self.input.nodes[n.index()].preempt_risk;
+        let score = score * (1.0 - (self.cfg.spot_risk_penalty * risk).clamp(0.0, 1.0));
         // this kind's utilisation can tie exactly (e.g. two idle
         // 1 GbE NICs) while the nodes are unequally busy overall —
         // prefer the emptier node then, and only then the snapshot
@@ -1067,6 +1076,9 @@ mod tests {
                 heartbeat_age: rupam_simcore::time::SimDuration::ZERO,
                 dead: false,
                 suspect: false,
+                tier: rupam_cluster::NodeTier::OnDemand,
+                draining: false,
+                preempt_risk: 0.0,
             })
             .collect()
     }

@@ -595,6 +595,9 @@ mod tests {
                 heartbeat_age: rupam_simcore::time::SimDuration::ZERO,
                 dead: false,
                 suspect: false,
+                tier: rupam_cluster::NodeTier::OnDemand,
+                draining: false,
+                preempt_risk: 0.0,
             })
             .collect()
     }
@@ -841,8 +844,11 @@ mod tests {
 
     /// Property test: randomised view churn — including a node dying and
     /// reviving *within one round* (blocked → dead → alive between two
-    /// refreshes) — keeps every shard's patched sets identical to a
-    /// from-scratch rebuild, under both full and changed-set refreshes.
+    /// refreshes) and elastic-tier transitions (drain notice →
+    /// decommission → re-provision, where the node leaves and re-enters
+    /// the fleet without ever being marked dead) — keeps every shard's
+    /// patched sets identical to a from-scratch rebuild, under both
+    /// full and changed-set refreshes.
     #[test]
     fn property_patch_ordering_under_churn_and_revival() {
         use rand::rngs::StdRng;
@@ -859,7 +865,7 @@ mod tests {
                     let id = NodeId(rng.gen_range(0..cluster.len()));
                     touched.push(id);
                     let v = &mut vs[id.index()];
-                    match rng.gen_range(0..6) {
+                    match rng.gen_range(0..9) {
                         0 => v.cpu_util = rng.gen_range(0.0..1.0),
                         1 => v.net_util = rng.gen_range(0.0..1.0),
                         2 => v.disk_util = rng.gen_range(0.0..1.0),
@@ -876,6 +882,36 @@ mod tests {
                             // it from whatever it held before
                             v.blocked = false;
                             v.dead = false;
+                            v.cpu_util = 0.0;
+                            v.net_util = 0.0;
+                            v.disk_util = 0.0;
+                        }
+                        5 => {
+                            // spot drain notice: the node stays alive but
+                            // stops taking work until the reclaim fires
+                            v.tier = rupam_cluster::NodeTier::Spot;
+                            v.draining = true;
+                            v.blocked = true;
+                            v.preempt_risk = rng.gen_range(0.0..1.0);
+                        }
+                        6 => {
+                            // controller decommission: out of the fleet
+                            // without ever being dead
+                            v.tier = rupam_cluster::NodeTier::Spot;
+                            v.draining = false;
+                            v.blocked = true;
+                            v.preempt_risk = 0.0;
+                        }
+                        7 => {
+                            // re-provision after a decommission (or a
+                            // decommission→re-provision pair collapsed
+                            // into one refresh): back in the fleet, idle,
+                            // carrying fresh pool risk
+                            v.tier = rupam_cluster::NodeTier::Spot;
+                            v.draining = false;
+                            v.blocked = false;
+                            v.dead = false;
+                            v.preempt_risk = rng.gen_range(0.0..0.5);
                             v.cpu_util = 0.0;
                             v.net_util = 0.0;
                             v.disk_util = 0.0;

@@ -275,6 +275,9 @@ mod tests {
                 heartbeat_age: SimDuration::ZERO,
                 dead: false,
                 suspect: false,
+                tier: rupam_cluster::NodeTier::OnDemand,
+                draining: false,
+                preempt_risk: 0.0,
             })
             .collect()
     }

@@ -442,8 +442,7 @@ impl TaskManager {
         let raw_lock = char
             .as_ref()
             .is_some_and(|c| c.history_size() == ResourceKind::COUNT && c.best.is_some());
-        let special =
-            !view.process_nodes.is_empty() || !view.node_local.is_empty() || raw_lock;
+        let special = !view.process_nodes.is_empty() || !view.node_local.is_empty() || raw_lock;
         let peak = if view.peak_mem_hint > ByteSize::ZERO {
             view.peak_mem_hint
         } else {
@@ -843,7 +842,13 @@ mod tests {
         q.enqueue(t, &[ResourceKind::Gpu], t0, false, ByteSize::ZERO);
         assert_eq!(q.waiting_since(&t), Some(t0));
         // re-enqueue does not reset the clock
-        q.enqueue(t, &[ResourceKind::Cpu], SimTime::from_secs_f64(9.0), false, ByteSize::ZERO);
+        q.enqueue(
+            t,
+            &[ResourceKind::Cpu],
+            SimTime::from_secs_f64(9.0),
+            false,
+            ByteSize::ZERO,
+        );
         assert_eq!(q.waiting_since(&t), Some(t0));
     }
 

@@ -81,6 +81,9 @@ fn node_views(cluster: &ClusterSpec, busy: &[usize]) -> Vec<NodeView> {
                 heartbeat_age: rupam_simcore::SimDuration::ZERO,
                 dead: false,
                 suspect: false,
+                tier: rupam_cluster::NodeTier::OnDemand,
+                draining: false,
+                preempt_risk: 0.0,
             }
         })
         .collect()

@@ -443,6 +443,9 @@ mod tests {
             heartbeat_age: rupam_simcore::time::SimDuration::ZERO,
             dead: false,
             suspect: false,
+            tier: rupam_cluster::NodeTier::OnDemand,
+            draining: false,
+            preempt_risk: 0.0,
         }
     }
 

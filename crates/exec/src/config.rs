@@ -118,6 +118,9 @@ pub struct SimConfig {
     /// Fault injection: chaos script + failure-detector thresholds. The
     /// default (empty script) disables the whole subsystem.
     pub faults: rupam_faults::FaultsConfig,
+    /// Elastic capacity: spot pools, scaling policy and cost accounting.
+    /// The default (no pools) disables the whole subsystem.
+    pub elastic: rupam_elastic::ElasticConfig,
 }
 
 impl SimConfig {
@@ -129,6 +132,14 @@ impl SimConfig {
                 script,
                 ..rupam_faults::FaultsConfig::default()
             },
+            ..SimConfig::default()
+        }
+    }
+
+    /// A config running under the given elasticity script.
+    pub fn with_elastic(elastic: rupam_elastic::ElasticConfig) -> Self {
+        SimConfig {
+            elastic,
             ..SimConfig::default()
         }
     }

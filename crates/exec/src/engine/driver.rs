@@ -23,9 +23,9 @@ use crate::costmodel::PhaseResource;
 use crate::scheduler::Scheduler;
 
 use super::events::{EngineEvent, EventBus, EventCtx};
-use crate::scheduler::NodeShadowTable;
 use super::state::{AttemptId, ClusterState};
 use super::{EngineError, SimInput, WORK_EPS};
+use crate::scheduler::NodeShadowTable;
 
 /// Calendar events the engine schedules for itself.
 #[derive(Clone, Copy, Debug)]
@@ -38,6 +38,8 @@ pub(crate) enum Event {
     Fault { index: usize },
     SlowdownEnd { node: NodeId, epoch: u64 },
     FlakyCheck { node: NodeId, epoch: u64 },
+    ElasticCheck,
+    PreemptFire { node: NodeId, epoch: u64 },
 }
 
 /// The simulation engine: core loop, clock and physics. Policy lives in
@@ -58,6 +60,13 @@ pub(crate) struct Engine<'a, 's, S: EventSource<Event> = Calendar<Event>> {
     /// Fault-subsystem draws (flaky-OOM coin flips) come from their own
     /// stream so healthy-path draws from `rng_fail` are untouched.
     pub(crate) rng_faults: StdRng,
+    /// Elastic-subsystem draws (spot-price noise, preemption coin flips)
+    /// come from their own stream for the same reason: an empty
+    /// elasticity script leaves every other stream byte-identical.
+    pub(crate) rng_elastic: StdRng,
+    /// Capacity-controller runtime; `None` unless the run has spot pools
+    /// (strict no-op guarantee).
+    pub(crate) elastic: Option<super::elastic::ElasticRt>,
     /// The RM's heartbeat failure detector; `None` unless the run has a
     /// non-empty chaos script (strict no-op guarantee).
     pub(crate) detector: Option<FailureDetector>,
@@ -122,6 +131,13 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
         if cfg.speculation.enabled {
             self.source
                 .schedule(self.now + cfg.speculation.interval, Event::SpeculationCheck);
+        }
+        // arm the capacity controller (absent without spot pools)
+        if self.elastic.is_some() {
+            self.source.schedule(
+                self.now + SimDuration::from_secs_f64(cfg.elastic.check_secs),
+                Event::ElasticCheck,
+            );
         }
         // initial offer round at t = 0 — waiting for the first heartbeat
         // would idle the whole cluster for one period at startup
@@ -351,6 +367,8 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
                 }
             }
             Event::FlakyCheck { node, epoch } => self.flaky_check(node, epoch),
+            Event::ElasticCheck => self.elastic_check(),
+            Event::PreemptFire { node, epoch } => self.preempt_fire(node, epoch),
         }
     }
 }

@@ -151,7 +151,11 @@ impl Subscriber for FaultStats {
                 FaultKind::Slowdown { .. } => self.summary.slowdowns += 1,
                 FaultKind::HeartbeatDropout { .. } => self.summary.dropouts += 1,
                 FaultKind::FlakyOom { .. } => self.summary.flaky_windows += 1,
+                // counted from the PreemptionNotice it triggers, so
+                // scripted and elastic preemptions land in one counter
+                FaultKind::Preempt { .. } => {}
             },
+            EngineEvent::PreemptionNotice { .. } => self.summary.preemptions += 1,
             EngineEvent::NodeSuspect { .. } => self.summary.suspects += 1,
             EngineEvent::NodeDead { .. } => self.summary.deaths += 1,
             EngineEvent::NodeRecovered { .. } => self.summary.readmissions += 1,

@@ -181,6 +181,27 @@ pub enum EngineEvent {
         /// How many tasks were re-pended.
         tasks: usize,
     },
+    /// The capacity controller provisioned a node into the active fleet
+    /// (spot scale-up). The node accepts work after the provisioning
+    /// latency.
+    NodeProvisioned {
+        /// The provisioned node.
+        node: NodeId,
+    },
+    /// The capacity controller returned an idle node (spot scale-down)
+    /// — or a preemption reclaimed it.
+    NodeDecommissioned {
+        /// The decommissioned node.
+        node: NodeId,
+    },
+    /// A preemption notice fired on a node: it drains for `notice` and
+    /// is then reclaimed through the node-loss path.
+    PreemptionNotice {
+        /// The node being reclaimed.
+        node: NodeId,
+        /// Drain window between notice and reclaim.
+        notice: SimDuration,
+    },
     /// A running attempt was killed by a node fault (crash or dead
     /// declaration). Untraced; counted by fault statistics.
     TaskKilled {
@@ -304,6 +325,16 @@ impl EngineEvent {
                     tasks: *tasks,
                 }
             }
+            EngineEvent::NodeProvisioned { node } => {
+                TraceEventKind::NodeProvisioned { node: *node }
+            }
+            EngineEvent::NodeDecommissioned { node } => {
+                TraceEventKind::NodeDecommissioned { node: *node }
+            }
+            EngineEvent::PreemptionNotice { node, notice } => TraceEventKind::PreemptionNotice {
+                node: *node,
+                notice: *notice,
+            },
             EngineEvent::LostTask { task, killed_at } => TraceEventKind::AuditViolation {
                 check: "lost-task",
                 detail: lost_task_detail(*task, *killed_at),

@@ -62,7 +62,11 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
         {
             let det = self.detector.as_mut().expect("gated by caller");
             for (i, node) in self.state.nodes.iter().enumerate() {
-                let heartbeating = !node.crashed && self.now >= node.hb_dropout_until;
+                // deprovisioned spot nodes are out of the fleet: the RM
+                // does not expect heartbeats from them, so they are
+                // observed as healthy rather than aged towards dead
+                let heartbeating =
+                    !node.provisioned || (!node.crashed && self.now >= node.hb_dropout_until);
                 if !heartbeating {
                     continue;
                 }

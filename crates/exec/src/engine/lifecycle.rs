@@ -265,8 +265,12 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
             return;
         }
         // launches aimed at a crashed node — or one the driver has
-        // declared dead — are dropped on the floor like a lost RPC
+        // declared dead — are dropped on the floor like a lost RPC;
+        // same for nodes outside the elastic fleet or draining towards
+        // a preemption deadline
         if self.state.nodes[node_id.index()].crashed
+            || !self.state.nodes[node_id.index()].provisioned
+            || self.state.nodes[node_id.index()].drain_deadline.is_some()
             || self.detector.as_ref().is_some_and(|d| d.is_dead(node_id))
         {
             return;

@@ -32,6 +32,7 @@
 
 mod caching;
 mod driver;
+mod elastic;
 pub mod emit;
 pub mod events;
 mod heartbeat;
@@ -286,6 +287,12 @@ pub(crate) fn assemble<'a, 's>(
                 hb_dropout_until: SimTime::ZERO,
                 flaky_until: SimTime::ZERO,
                 flaky_prob: 0.0,
+                // spot-pool nodes join the fleet only when the
+                // controller provisions them; everything else is the
+                // always-on on-demand fleet
+                provisioned: cfg.elastic.tier(id) == rupam_cluster::NodeTier::OnDemand,
+                drain_deadline: None,
+                elastic_epoch: 0,
             }
         })
         .collect();
@@ -352,8 +359,10 @@ pub(crate) fn assemble<'a, 's>(
         records: Vec::new(),
         rng_fail: RngFactory::new(input.seed).stream("engine/failures"),
         rng_faults: RngFactory::new(input.seed).stream("engine/faults"),
+        rng_elastic: RngFactory::new(input.seed).stream("engine/elastic"),
         detector: (!cfg.faults.script.is_empty())
             .then(|| FailureDetector::new(cluster.len(), &cfg.faults, SimTime::ZERO)),
+        elastic: (!cfg.elastic.is_empty()).then(|| elastic::ElasticRt::new(&cfg.elastic, cluster)),
         oom_failures: 0,
         executor_losses: 0,
         speculative_launched: 0,
@@ -439,6 +448,7 @@ fn run_sim(
         })
         .collect();
     let faults = sim.bus.take_faults().unwrap_or_default();
+    let cost = sim.elastic_settle();
     let report = RunReport {
         app_name: input.app.name.clone(),
         scheduler_name: sim.sched.name().to_string(),
@@ -453,6 +463,7 @@ fn run_sim(
         speculative_launched: sim.speculative_launched,
         speculative_wins: sim.speculative_wins,
         faults,
+        cost,
     };
     let observation = SimObservation {
         trace: sim.bus.take_trace(),

@@ -36,6 +36,7 @@ pub(crate) struct SnapshotCtx<'e> {
     state: &'e ClusterState,
     cluster: &'e ClusterSpec,
     detector: Option<&'e FailureDetector>,
+    elastic: Option<&'e super::elastic::ElasticRt>,
     now: SimTime,
 }
 
@@ -100,6 +101,18 @@ impl SnapshotCtx<'_> {
                 }
             })
             .collect();
+        let (tier, preempt_risk) = match self.elastic {
+            Some(el) => (
+                el.tier_of(idx),
+                if node.provisioned {
+                    el.risk_of(idx)
+                } else {
+                    0.0
+                },
+            ),
+            None => (rupam_cluster::NodeTier::OnDemand, 0.0),
+        };
+        let draining = node.drain_deadline.is_some();
         NodeView {
             node: NodeId(idx),
             executor_mem: node.executor_mem,
@@ -110,10 +123,13 @@ impl SnapshotCtx<'_> {
             net_util: m.net_util,
             disk_util: m.disk_util,
             gpus_idle: m.gpus_idle,
-            blocked: node.blocked_until > self.now || dead,
+            blocked: node.blocked_until > self.now || dead || !node.provisioned || draining,
             heartbeat_age,
             dead,
             suspect,
+            tier,
+            draining,
+            preempt_risk,
         }
     }
 }
@@ -124,6 +140,7 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
             state: &self.state,
             cluster: self.input.cluster,
             detector: self.detector.as_ref(),
+            elastic: self.elastic.as_ref(),
             now: self.now,
         }
     }

@@ -89,7 +89,70 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
                     },
                 );
             }
+            FaultKind::Preempt { notice_secs } => {
+                self.begin_preemption(node_id, notice_secs);
+            }
         }
+    }
+
+    /// Serve a preemption notice on a node: it drains (no new work) for
+    /// the notice window, then [`Engine::preempt_fire`] reclaims it
+    /// through the node-loss path. Used by scripted `preempt` faults and
+    /// the elastic controller's price-correlated draws alike.
+    pub(crate) fn begin_preemption(&mut self, node_id: NodeId, notice_secs: f64) {
+        let notice = SimDuration::from_secs_f64(notice_secs.max(0.0));
+        self.publish(EngineEvent::PreemptionNotice {
+            node: node_id,
+            notice,
+        });
+        let node = &mut self.state.nodes[node_id.index()];
+        node.drain_deadline = Some(self.now + notice);
+        node.elastic_epoch += 1;
+        let epoch = node.elastic_epoch;
+        self.source.schedule(
+            self.now + notice,
+            Event::PreemptFire {
+                node: node_id,
+                epoch,
+            },
+        );
+        // draining blocks new launches; tell the scheduler now rather
+        // than at the next heartbeat
+        self.need_offers = true;
+    }
+
+    /// The drain window of a preemption notice expired: reclaim the
+    /// node. Spot nodes leave the fleet (the controller may re-provision
+    /// the slot later); a scripted preemption on an on-demand node
+    /// behaves like a crash-with-notice (a `restart` fault revives it).
+    pub(crate) fn preempt_fire(&mut self, node_id: NodeId, epoch: u64) {
+        {
+            let node = &self.state.nodes[node_id.index()];
+            if node.elastic_epoch != epoch || node.drain_deadline.is_none() || node.crashed {
+                return; // stale: the node was lost or revived meanwhile
+            }
+        }
+        let spot = !self.input.config.elastic.is_empty()
+            && self.input.config.elastic.pool_of(node_id).is_some();
+        // bill the partial interval before the node leaves the fleet
+        if let Some(el) = self.elastic.as_mut() {
+            el.accrue(&self.state.nodes, &self.input.config.elastic, self.now);
+        }
+        {
+            let node = &mut self.state.nodes[node_id.index()];
+            node.drain_deadline = None;
+            if spot {
+                node.provisioned = false;
+            } else {
+                node.crashed = true;
+            }
+        }
+        if spot {
+            if let Some(el) = self.elastic.as_mut() {
+                el.cost.preemptions += 1;
+            }
+        }
+        self.node_lost(node_id);
     }
 
     /// A node's executor state is gone — it physically crashed, or the
@@ -113,6 +176,10 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
         node.oom_epoch += 1;
         node.oom_scheduled = false;
         node.slow_factor = 1.0;
+        // cancel any in-flight preemption notice: the node is already
+        // gone, and a later re-provision must not inherit a stale fire
+        node.drain_deadline = None;
+        node.elastic_epoch += 1;
         self.recompute_lost_outputs(node_id);
         self.need_offers = true;
     }

@@ -78,6 +78,17 @@ pub(crate) struct NodeRt {
     pub(crate) flaky_until: SimTime,
     /// Per-check kill probability inside the flaky-OOM window.
     pub(crate) flaky_prob: f64,
+    // ---- elastic-subsystem state (inert without spot pools) ----
+    /// Part of the active fleet. On-demand nodes are always provisioned;
+    /// spot-pool nodes start deprovisioned and churn under the capacity
+    /// controller. A deprovisioned node is blocked to the scheduler.
+    pub(crate) provisioned: bool,
+    /// A preemption notice is in flight: the node reclaims at this
+    /// instant. Draining nodes accept no new work.
+    pub(crate) drain_deadline: Option<SimTime>,
+    /// Guards stale [`super::driver::Event::PreemptFire`] events across
+    /// deprovision/re-provision cycles.
+    pub(crate) elastic_epoch: u64,
 }
 
 /// Runtime state of one stream job (single-app runs have exactly one).

@@ -13,7 +13,7 @@ use rupam_simcore::time::{SimDuration, SimTime};
 use rupam_simcore::units::ByteSize;
 use rupam_simcore::Sym;
 
-use rupam_cluster::{ClusterSpec, NodeId};
+use rupam_cluster::{ClusterSpec, NodeId, NodeTier};
 use rupam_dag::app::{Application, JobId, Stage, StageId, StageKind};
 use rupam_dag::{Locality, TaskRef};
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
@@ -68,6 +68,16 @@ pub struct NodeView {
     /// True when the node's heartbeats are late enough to suspect it;
     /// speculation treats its running tasks as straggler sources.
     pub suspect: bool,
+    /// Billing tier: on-demand (fixed fleet) or spot (elastic, cheaper,
+    /// preemptible). Always on-demand without spot pools.
+    pub tier: NodeTier,
+    /// True while a preemption notice is in flight: running tasks may
+    /// finish inside the drain window, but nothing new launches.
+    pub draining: bool,
+    /// Current per-check preemption probability of the node's spot pool
+    /// (0.0 for on-demand nodes and deprovisioned spot nodes).
+    /// Risk-aware dispatchers penalise placements by it.
+    pub preempt_risk: f64,
 }
 
 impl NodeView {
@@ -196,6 +206,8 @@ pub struct NodeShadow {
     blocked: bool,
     dead: bool,
     suspect: bool,
+    draining: bool,
+    preempt_risk: f64,
     running_len: usize,
 }
 
@@ -212,6 +224,8 @@ impl NodeShadow {
             blocked: v.blocked,
             dead: v.dead,
             suspect: v.suspect,
+            draining: v.draining,
+            preempt_risk: v.preempt_risk,
             running_len: v.running.len(),
         }
     }

@@ -68,6 +68,16 @@ pub enum FaultKind {
         /// Per-check kill probability in `[0, 1]`.
         prob: f64,
     },
+    /// The provider reclaims a spot node: the node keeps running for a
+    /// `notice_secs` drain window (during which nothing new may launch),
+    /// then the crash path fires — running attempts die, cache and
+    /// shuffle outputs are lost. The elastic layer draws these from its
+    /// price process, but they can also be scripted directly.
+    Preempt {
+        /// Drain-notice window between the notice and the reclaim, in
+        /// seconds (the cloud's "two-minute warning", scaled down).
+        notice_secs: f64,
+    },
 }
 
 impl FaultKind {
@@ -79,6 +89,7 @@ impl FaultKind {
             FaultKind::Slowdown { .. } => "slowdown",
             FaultKind::HeartbeatDropout { .. } => "dropout",
             FaultKind::FlakyOom { .. } => "flaky-oom",
+            FaultKind::Preempt { .. } => "preempt",
         }
     }
 }
@@ -222,6 +233,39 @@ impl FaultScript {
         Ok(FaultScript::new(events))
     }
 
+    /// Format the script back into the `[[fault]]` TOML dialect that
+    /// [`parse_toml`](Self::parse_toml) reads. The two string tables are
+    /// hand-matched; the round-trip test below keeps them honest when a
+    /// new kind is added.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str("[[fault]]\n");
+            out.push_str(&format!("at = {}\n", e.at.as_secs_f64()));
+            out.push_str(&format!("node = {}\n", e.node.index()));
+            out.push_str(&format!("kind = \"{}\"\n", e.kind.code()));
+            match e.kind {
+                FaultKind::Crash | FaultKind::Restart => {}
+                FaultKind::Slowdown { factor, secs } => {
+                    out.push_str(&format!("factor = {factor}\n"));
+                    out.push_str(&format!("secs = {secs}\n"));
+                }
+                FaultKind::HeartbeatDropout { secs } => {
+                    out.push_str(&format!("secs = {secs}\n"));
+                }
+                FaultKind::FlakyOom { secs, prob } => {
+                    out.push_str(&format!("secs = {secs}\n"));
+                    out.push_str(&format!("prob = {prob}\n"));
+                }
+                FaultKind::Preempt { notice_secs } => {
+                    out.push_str(&format!("notice = {notice_secs}\n"));
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
     fn spec_from_fields(fields: &[(String, String)]) -> Result<FaultSpec, String> {
         let get = |key: &str| {
             fields
@@ -251,6 +295,9 @@ impl FaultScript {
             "flaky-oom" => FaultKind::FlakyOom {
                 secs: num("secs")?,
                 prob: num("prob")?,
+            },
+            "preempt" => FaultKind::Preempt {
+                notice_secs: num("notice")?,
             },
             other => return Err(format!("[[fault]] unknown kind `{other}`")),
         };
@@ -487,6 +534,71 @@ mod tests {
         assert_eq!(s.events()[3].node, NodeId(2));
         assert_eq!(s.events()[4].kind, FaultKind::Restart);
         assert_eq!(s.events()[4].at, SimTime::from_secs_f64(90.0));
+    }
+
+    #[test]
+    fn toml_round_trips_every_kind() {
+        // One spec per FaultKind variant: formatting then re-parsing
+        // must reproduce the script exactly. This is the tripwire for
+        // the hand-matched parse/format string tables — a new kind that
+        // only updates one side fails here instead of silently skewing.
+        let script = FaultScript::new(vec![
+            FaultSpec {
+                at: SimTime::from_secs_f64(5.0),
+                node: NodeId(0),
+                kind: FaultKind::Crash,
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(12.5),
+                node: NodeId(1),
+                kind: FaultKind::Restart,
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(20.0),
+                node: NodeId(2),
+                kind: FaultKind::Slowdown {
+                    factor: 2.5,
+                    secs: 30.0,
+                },
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(25.0),
+                node: NodeId(3),
+                kind: FaultKind::HeartbeatDropout { secs: 8.0 },
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(40.0),
+                node: NodeId(4),
+                kind: FaultKind::FlakyOom {
+                    secs: 60.0,
+                    prob: 0.125,
+                },
+            },
+            FaultSpec {
+                at: SimTime::from_secs_f64(55.0),
+                node: NodeId(5),
+                kind: FaultKind::Preempt { notice_secs: 6.0 },
+            },
+        ]);
+        let text = script.to_toml();
+        let back = FaultScript::parse_toml(&text).expect("formatter output parses");
+        assert_eq!(back, script, "parse(to_toml(s)) == s");
+        // and the formatter is stable: format → parse → format is a
+        // fixed point
+        assert_eq!(back.to_toml(), text);
+    }
+
+    #[test]
+    fn parses_preempt_kind() {
+        let s = FaultScript::parse_toml(
+            "[[fault]]\nat = 3.0\nnode = 1\nkind = \"preempt\"\nnotice = 5.0",
+        )
+        .expect("parses");
+        assert_eq!(s.events()[0].kind, FaultKind::Preempt { notice_secs: 5.0 });
+        assert!(
+            FaultScript::parse_toml("[[fault]]\nat = 3.0\nnode = 1\nkind = \"preempt\"").is_err(),
+            "preempt needs notice"
+        );
     }
 
     #[test]

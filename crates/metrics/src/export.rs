@@ -142,6 +142,17 @@ pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
                 node.index().to_string(),
                 format!("stage={} tasks={tasks}", stage.index()),
             ),
+            K::NodeProvisioned { node } => {
+                (String::new(), node.index().to_string(), String::new())
+            }
+            K::NodeDecommissioned { node } => {
+                (String::new(), node.index().to_string(), String::new())
+            }
+            K::PreemptionNotice { node, notice } => (
+                String::new(),
+                node.index().to_string(),
+                format!("notice_s={:.6}", notice.as_secs_f64()),
+            ),
         };
         let _ = writeln!(
             out,
@@ -229,6 +240,7 @@ mod tests {
             speculative_launched: 0,
             speculative_wins: 0,
             faults: crate::report::FaultSummary::default(),
+            cost: crate::report::CostSummary::default(),
         }
     }
 

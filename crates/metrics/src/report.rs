@@ -51,6 +51,9 @@ pub struct FaultSummary {
     pub dropouts: usize,
     /// Scripted flaky-OOM windows injected.
     pub flaky_windows: usize,
+    /// Preemption notices injected (scripted `preempt` faults plus
+    /// price-driven spot reclaims from the elastic layer).
+    pub preemptions: usize,
     /// Failure-detector suspect declarations.
     pub suspects: usize,
     /// Failure-detector dead declarations.
@@ -76,6 +79,42 @@ impl FaultSummary {
         } else {
             self.recovery_secs_total / self.recoveries as f64
         }
+    }
+}
+
+/// Per-node-second cost accounting for one run. All zero when the
+/// elastic layer is disabled (no spot pools): a fixed fleet has no
+/// marginal price signal worth reporting, so the accounting — like the
+/// rest of the elastic subsystem — is a strict no-op.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostSummary {
+    /// Node-seconds accrued by provisioned on-demand nodes.
+    pub on_demand_node_secs: f64,
+    /// Node-seconds accrued by provisioned spot nodes.
+    pub spot_node_secs: f64,
+    /// Dollars spent on the on-demand fleet (price × node-hours).
+    pub on_demand_cost: f64,
+    /// Dollars spent on spot capacity, integrated against the actual
+    /// price path.
+    pub spot_cost: f64,
+    /// Spot nodes provisioned by the capacity controller.
+    pub provisions: usize,
+    /// Spot nodes decommissioned by the capacity controller (idle
+    /// scale-down; excludes preemptions).
+    pub decommissions: usize,
+    /// Spot nodes reclaimed by the provider (price-driven preemption).
+    pub preemptions: usize,
+}
+
+impl CostSummary {
+    /// Total dollars spent across both tiers.
+    pub fn total_cost(&self) -> f64 {
+        self.on_demand_cost + self.spot_cost
+    }
+
+    /// Total node-seconds across both tiers.
+    pub fn total_node_secs(&self) -> f64 {
+        self.on_demand_node_secs + self.spot_node_secs
     }
 }
 
@@ -109,6 +148,8 @@ pub struct RunReport {
     pub speculative_wins: usize,
     /// Fault-injection & recovery counters (all zero on healthy runs).
     pub faults: FaultSummary,
+    /// Elastic-capacity cost accounting (all zero on fixed-fleet runs).
+    pub cost: CostSummary,
 }
 
 impl RunReport {
@@ -305,6 +346,7 @@ mod tests {
             speculative_launched: 0,
             speculative_wins: 0,
             faults: FaultSummary::default(),
+            cost: CostSummary::default(),
         }
     }
 

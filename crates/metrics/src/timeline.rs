@@ -188,6 +188,7 @@ mod tests {
             speculative_launched: 0,
             speculative_wins: 0,
             faults: crate::report::FaultSummary::default(),
+            cost: crate::report::CostSummary::default(),
         }
     }
 

@@ -279,6 +279,25 @@ pub enum TraceEventKind {
         /// How many tasks were re-pended.
         tasks: usize,
     },
+    /// The capacity controller provisioned a node (elastic scale-up).
+    NodeProvisioned {
+        /// The node joining the fleet.
+        node: NodeId,
+    },
+    /// The capacity controller decommissioned an idle node (elastic
+    /// scale-down; preemptions are traced separately).
+    NodeDecommissioned {
+        /// The node leaving the fleet.
+        node: NodeId,
+    },
+    /// The provider issued a spot-preemption notice: the node drains
+    /// for the notice window, then the crash path fires.
+    PreemptionNotice {
+        /// The node being reclaimed.
+        node: NodeId,
+        /// Length of the drain window.
+        notice: SimDuration,
+    },
 }
 
 impl TraceEvent {
@@ -301,6 +320,9 @@ impl TraceEvent {
             TraceEventKind::NodeDead { .. } => "node-dead",
             TraceEventKind::NodeRecovered { .. } => "node-recovered",
             TraceEventKind::LineageRecompute { .. } => "lineage-recompute",
+            TraceEventKind::NodeProvisioned { .. } => "node-provisioned",
+            TraceEventKind::NodeDecommissioned { .. } => "node-decommissioned",
+            TraceEventKind::PreemptionNotice { .. } => "preemption-notice",
         }
     }
 }
@@ -580,6 +602,31 @@ mod tests {
             })
             .code(),
             "lineage-recompute"
+        );
+    }
+
+    #[test]
+    fn elastic_event_codes_are_stable() {
+        let ev = |kind| TraceEvent {
+            at: SimTime::ZERO,
+            round: 0,
+            kind,
+        };
+        assert_eq!(
+            ev(TraceEventKind::NodeProvisioned { node: NodeId(8) }).code(),
+            "node-provisioned"
+        );
+        assert_eq!(
+            ev(TraceEventKind::NodeDecommissioned { node: NodeId(8) }).code(),
+            "node-decommissioned"
+        );
+        assert_eq!(
+            ev(TraceEventKind::PreemptionNotice {
+                node: NodeId(8),
+                notice: SimDuration::from_secs(8)
+            })
+            .code(),
+            "preemption-notice"
         );
     }
 

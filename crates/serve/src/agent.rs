@@ -84,6 +84,7 @@ fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>
     let mut slow_until: Option<(Instant, f64)> = None;
     let mut dropout_until: Option<Instant> = None;
     let mut flaky: Option<(Instant, f64)> = None;
+    let mut preempt_at: Option<Instant> = None;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut next_hb = Instant::now() + cfg.heartbeat;
 
@@ -109,6 +110,7 @@ fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>
                     slow_until = None;
                     dropout_until = None;
                     flaky = None;
+                    preempt_at = None;
                     if !send(WorkerReport::Register) {
                         return;
                     }
@@ -122,7 +124,17 @@ fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>
                 FaultKind::FlakyOom { secs, prob } => {
                     flaky = Some((now + scaled(secs), prob));
                 }
+                FaultKind::Preempt { notice_secs } => {
+                    // capacity reclaim: the node keeps serving through
+                    // the notice window, then goes down like a crash
+                    preempt_at = Some(now + scaled(notice_secs));
+                }
             }
+        }
+        if preempt_at.is_some_and(|t| t <= now) {
+            preempt_at = None;
+            crashed = true;
+            held.clear();
         }
         if slow_until.is_some_and(|(t, _)| t <= now) {
             slow_until = None;
@@ -182,6 +194,9 @@ fn run(cfg: AgentConfig, rx: Receiver<WorkerCommand>, tx: SyncSender<ServeEvent>
         }
         if fault_idx < cfg.faults.len() {
             deadline = deadline.min(start + cfg.faults[fault_idx].0);
+        }
+        if let Some(t) = preempt_at {
+            deadline = deadline.min(t);
         }
         let wait = deadline.saturating_duration_since(Instant::now());
         match rx.recv_timeout(wait) {

@@ -19,11 +19,14 @@ use std::collections::{HashMap, HashSet};
 use std::sync::mpsc::Sender;
 use std::time::{Duration, Instant};
 
-use rupam_cluster::{ClusterSpec, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rupam_cluster::{ClusterSpec, NodeId, NodeTier};
 use rupam_dag::app::{JobId, StageId, StageKind};
 use rupam_dag::lineage::StageTracker;
 use rupam_dag::task::InputSource;
 use rupam_dag::{Locality, MergedStream, TaskRef};
+use rupam_elastic::{DemandView, PoolView, SpotPriceProcess};
 use rupam_exec::config::SimConfig;
 use rupam_exec::scheduler::{
     Command, NodeShadowTable, NodeView, OfferInput, PendingTaskView, RunningTaskView, Scheduler,
@@ -77,10 +80,17 @@ pub struct ServeConfig {
     /// replay the same input log down both paths and compare digests.
     pub debug_full_rebuild: bool,
     /// Sim tunables reused by the live mode: memory sizing/clamps
-    /// (`mem`), retry budget, and the failure-detector thresholds
+    /// (`mem`), retry budget, the failure-detector thresholds
     /// (`faults.suspect_after` / `faults.dead_after`, interpreted as
-    /// *wall* durations here).
+    /// *wall* durations here), and the elastic spot tier
+    /// (`elastic` — pool membership, prices and the scaling policy;
+    /// elastic durations are authored in sim seconds and scaled by
+    /// `time_scale` like fault-script times).
     pub sim: SimConfig,
+    /// Seed of the serve-side spot-price / preemption RNG. Elastic
+    /// stepping happens on driver ticks — internal timer events never
+    /// logged — so live and replay runs draw the identical sequence.
+    pub elastic_seed: u64,
 }
 
 impl Default for ServeConfig {
@@ -94,6 +104,7 @@ impl Default for ServeConfig {
             offer_min_interval: Duration::from_millis(2),
             debug_full_rebuild: false,
             sim: SimConfig::default(),
+            elastic_seed: 0x0E1A_571C,
         }
     }
 }
@@ -158,6 +169,67 @@ struct JobSt {
     completed: Option<SimTime>,
 }
 
+/// Serve-side capacity controller: the sim engine's elastic check
+/// re-hosted on driver ticks. All mutations happen while handling a
+/// popped event with a dedicated seeded RNG, so a replay of the input
+/// log reproduces the identical churn and the digest oracle still
+/// holds.
+struct ServeElastic {
+    rng: StdRng,
+    /// Per-pool price walks, in pool order.
+    prices: Vec<SpotPriceProcess>,
+    /// Per-pool current per-check preemption probability.
+    risk: Vec<f64>,
+    /// Per-node pool membership (`None` = on-demand tier).
+    pool_of: Vec<Option<usize>>,
+    /// Whether each node is currently part of the fleet. Spot nodes
+    /// start deprovisioned; their agents register but stay blocked.
+    provisioned: Vec<bool>,
+    /// Preemption drain deadline, when a notice is outstanding.
+    drain_deadline: Vec<Option<SimTime>>,
+    /// Last instant each node had a running attempt (idle grace).
+    last_busy: Vec<SimTime>,
+    /// Next controller check is due at this stamp.
+    next_check: SimTime,
+    /// Task slots per node assumed for backlog→nodes conversion.
+    slots_per_node: usize,
+}
+
+impl ServeElastic {
+    fn new(cfg: &ServeConfig, cluster: &ClusterSpec) -> Self {
+        let ecfg = &cfg.sim.elastic;
+        let n = cluster.len();
+        let prices: Vec<SpotPriceProcess> = ecfg.pools.iter().map(|p| p.price_process()).collect();
+        let risk = ecfg
+            .pools
+            .iter()
+            .zip(&prices)
+            .map(|(pool, p)| pool.preempt_prob(p))
+            .collect();
+        let slots_per_node =
+            (cluster.iter().map(|(_, s)| s.cores as usize).sum::<usize>() / n.max(1)).max(1);
+        ServeElastic {
+            rng: StdRng::seed_from_u64(cfg.elastic_seed),
+            prices,
+            risk,
+            pool_of: (0..n).map(|i| ecfg.pool_of(NodeId(i))).collect(),
+            provisioned: (0..n)
+                .map(|i| ecfg.tier(NodeId(i)) == NodeTier::OnDemand)
+                .collect(),
+            drain_deadline: vec![None; n],
+            last_busy: vec![SimTime::ZERO; n],
+            next_check: SimTime::ZERO + wall_secs(ecfg.check_secs, cfg.time_scale),
+            slots_per_node,
+        }
+    }
+}
+
+/// Sim seconds → wall duration under the serve time scale, floored at
+/// one microsecond so intervals never collapse to zero.
+fn wall_secs(secs: f64, time_scale: f64) -> SimDuration {
+    SimDuration(((secs * time_scale * 1e6) as u64).max(1))
+}
+
 /// Aggregate outcome of one serve run (live or replay).
 #[derive(Clone, Debug)]
 pub struct ServeReport {
@@ -199,6 +271,18 @@ pub struct ServeReport {
     /// Launch commands dropped because the target node was unregistered
     /// or declared dead — the live analogue of a lost RPC.
     pub dead_launch_drops: u64,
+    /// Launch commands dropped because the autoscaler had deprovisioned
+    /// the target node by the time the command was applied.
+    pub autoscale_launch_drops: u64,
+    /// Launch commands dropped because the target node was draining
+    /// under an outstanding preemption notice.
+    pub preempt_launch_drops: u64,
+    /// Spot nodes reclaimed after their drain notice expired.
+    pub preemptions: u64,
+    /// Autoscaler scale-up transitions applied.
+    pub provisions: u64,
+    /// Autoscaler scale-down transitions applied.
+    pub decommissions: u64,
     /// Timestamp of the last handled event (wall µs since server start
     /// in live mode).
     pub makespan: SimDuration,
@@ -263,10 +347,17 @@ pub(crate) struct ServeDriver<'a, S: EventSource<ServeEvent>> {
     /// Stamp of the already-scheduled [`ServeEvent::Offer`], if any.
     offer_due: Option<SimTime>,
     last_offer_at: Option<SimTime>,
+    // ---- elastic spot tier (absent without spot pools) ----
+    elastic: Option<ServeElastic>,
     // ---- instrumentation ----
     offer_us: Vec<u64>,
     stale_drops: u64,
     dead_drops: u64,
+    autoscale_drops: u64,
+    preempt_drops: u64,
+    preemptions: u64,
+    provisions: u64,
+    decommissions: u64,
 }
 
 impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
@@ -364,9 +455,15 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             children,
             offer_due: None,
             last_offer_at: None,
+            elastic: (!cfg.sim.elastic.is_empty()).then(|| ServeElastic::new(cfg, cluster)),
             offer_us: Vec::new(),
             stale_drops: 0,
             dead_drops: 0,
+            autoscale_drops: 0,
+            preempt_drops: 0,
+            preemptions: 0,
+            provisions: 0,
+            decommissions: 0,
         }
     }
 
@@ -412,6 +509,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                 ServeEvent::Tick => {
                     self.sched.on_heartbeat(self.now);
                     self.evaluate_detector();
+                    self.elastic_tick();
                     if let Some(max) = self.cfg.max_wall {
                         if self.now >= SimTime(max.as_micros() as u64) && !self.finished() {
                             self.aborted = true;
@@ -750,6 +848,170 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
         }
     }
 
+    // ---- elastic spot tier ----------------------------------------------
+
+    /// The serve-side capacity controller, run on every driver tick: fire
+    /// due preemption drains, and — at the (scaled) check cadence — step
+    /// spot prices, scale pools to their policy targets, and draw
+    /// price-correlated preemptions. Pure function of the popped event
+    /// order plus the dedicated seeded RNG, so replay reproduces the
+    /// identical churn.
+    fn elastic_tick(&mut self) {
+        let Some(mut el) = self.elastic.take() else {
+            return;
+        };
+        let cfg = self.cfg;
+        let ecfg = &cfg.sim.elastic;
+
+        // fire preemption drains whose notice window expired: reclaim
+        // the node through the same loss path a dead declaration takes
+        for i in 0..self.nodes.len() {
+            let due = el.drain_deadline[i].is_some_and(|d| d <= self.now);
+            if !due {
+                continue;
+            }
+            el.drain_deadline[i] = None;
+            el.provisioned[i] = false;
+            self.preemptions += 1;
+            let node = NodeId(i);
+            // free the worker's slots; its failure reports arrive as
+            // stale (the authoritative attempts are requeued below)
+            let held: Vec<TaskRef> = self.nodes[i].running.iter().map(|r| r.task).collect();
+            for task in held {
+                self.outbox.send(node, WorkerCommand::Preempt { task });
+            }
+            self.node_lost(node);
+        }
+
+        if self.now >= el.next_check && !self.aborted {
+            el.next_check = self.now + wall_secs(ecfg.check_secs, cfg.time_scale);
+            // price dynamics advance in sim seconds — the OU path is the
+            // same one the sim engine walks at this check cadence
+            for i in 0..el.prices.len() {
+                el.prices[i].step(ecfg.check_secs, &mut el.rng);
+                el.risk[i] = ecfg.pools[i].preempt_prob(&el.prices[i]);
+            }
+            for i in 0..self.nodes.len() {
+                if !self.nodes[i].running.is_empty() {
+                    el.last_busy[i] = self.now;
+                }
+            }
+
+            let backlog: usize = self
+                .stages
+                .iter()
+                .filter(|s| s.released)
+                .map(|s| {
+                    s.tasks
+                        .iter()
+                        .filter(|t| matches!(t, TaskSt::Pending { .. }))
+                        .count()
+                })
+                .sum();
+            let active_nodes = (0..self.nodes.len())
+                .filter(|&i| el.provisioned[i] && !self.detector.is_dead(NodeId(i)))
+                .count();
+            let demand = DemandView {
+                backlog,
+                active_nodes,
+                slots_per_node: el.slots_per_node,
+            };
+
+            for (pi, pool) in ecfg.pools.iter().enumerate() {
+                let members: Vec<NodeId> = pool
+                    .nodes
+                    .iter()
+                    .copied()
+                    .filter(|n| n.index() < self.nodes.len())
+                    .collect();
+                let active = members
+                    .iter()
+                    .filter(|n| el.provisioned[n.index()] && !self.detector.is_dead(**n))
+                    .count();
+                let view = PoolView {
+                    price: el.prices[pi].price,
+                    mean_price: pool.mean_price,
+                    active,
+                    capacity: members.len(),
+                };
+                let target = ecfg
+                    .policy
+                    .scaling()
+                    .target(ecfg, &view, &demand)
+                    .min(members.len());
+                if target > active {
+                    let mut to_add = target - active;
+                    for &nid in &members {
+                        if to_add == 0 {
+                            break;
+                        }
+                        let i = nid.index();
+                        if el.provisioned[i] || self.detector.is_dead(nid) {
+                            continue;
+                        }
+                        // no extra provisioning latency in serve mode:
+                        // worker registration is the real join path
+                        el.provisioned[i] = true;
+                        el.last_busy[i] = self.now;
+                        self.provisions += 1;
+                        self.record(TraceEventKind::NodeProvisioned { node: nid });
+                        self.dirty_nodes[i] = true;
+                        self.request_offers();
+                        to_add -= 1;
+                    }
+                } else if target < active {
+                    let mut to_drop = active - target;
+                    for &nid in &members {
+                        if to_drop == 0 {
+                            break;
+                        }
+                        let i = nid.index();
+                        let idle = self.now.since(el.last_busy[i]);
+                        let eligible = el.provisioned[i]
+                            && el.drain_deadline[i].is_none()
+                            && self.nodes[i].running.is_empty()
+                            && idle >= wall_secs(ecfg.scale_down_idle_secs, cfg.time_scale);
+                        if !eligible {
+                            continue;
+                        }
+                        el.provisioned[i] = false;
+                        self.decommissions += 1;
+                        self.record(TraceEventKind::NodeDecommissioned { node: nid });
+                        // map outputs leave with the node: same loss
+                        // path as a crash, lineage recompute included
+                        self.node_lost(nid);
+                        to_drop -= 1;
+                    }
+                }
+            }
+
+            // price-correlated preemptions: one draw per pool slot per
+            // check, applied only to nodes actually in the fleet, so
+            // the draw sequence never depends on scheduler behaviour
+            for (pi, pool) in ecfg.pools.iter().enumerate() {
+                let prob = el.risk[pi];
+                for &nid in &pool.nodes {
+                    let hit = el.rng.gen_range(0.0..1.0) < prob;
+                    let i = nid.index();
+                    if !hit || i >= self.nodes.len() {
+                        continue;
+                    }
+                    if el.provisioned[i]
+                        && el.drain_deadline[i].is_none()
+                        && !self.detector.is_dead(nid)
+                    {
+                        let notice = wall_secs(pool.notice_secs, cfg.time_scale);
+                        el.drain_deadline[i] = Some(self.now + notice);
+                        self.record(TraceEventKind::PreemptionNotice { node: nid, notice });
+                        self.dirty_nodes[i] = true;
+                        self.request_offers();
+                    }
+                }
+            }
+        }
+        self.elastic = Some(el);
+    }
+
     // ---- stage release & offers -----------------------------------------
 
     fn release_ready(&mut self) {
@@ -773,13 +1035,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             }
         }
         for (tidx, attempt_no) in fresh {
-            let view = self.build_pending_view(
-                TaskRef {
-                    stage,
-                    index: tidx,
-                },
-                attempt_no,
-            );
+            let view = self.build_pending_view(TaskRef { stage, index: tidx }, attempt_no);
             self.pending_new.push(view);
         }
         self.sched
@@ -887,6 +1143,27 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             })
             .collect();
         let gpus_busy = st.running.iter().filter(|r| r.use_gpu).count() as u32;
+        let (tier, draining, preempt_risk, provisioned) = match &self.elastic {
+            Some(el) => {
+                let i = id.index();
+                let tier = match el.pool_of[i] {
+                    Some(_) => NodeTier::Spot,
+                    None => NodeTier::OnDemand,
+                };
+                let risk = if el.provisioned[i] {
+                    el.pool_of[i].map_or(0.0, |pi| el.risk[pi])
+                } else {
+                    0.0
+                };
+                (
+                    tier,
+                    el.drain_deadline[i].is_some(),
+                    risk,
+                    el.provisioned[i],
+                )
+            }
+            None => (NodeTier::OnDemand, false, 0.0, true),
+        };
         NodeView {
             node: id,
             executor_mem: st.executor_mem,
@@ -897,10 +1174,13 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             disk_util: st.disk_util,
             gpus_idle: spec.gpus.saturating_sub(gpus_busy),
             running,
-            blocked: !st.registered || dead,
+            blocked: !st.registered || dead || !provisioned || draining,
             heartbeat_age: self.detector.age(id, now),
             dead,
             suspect: health == NodeHealth::Suspect,
+            tier,
+            draining,
+            preempt_risk,
         }
     }
 
@@ -1098,6 +1378,20 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     self.fresh.insert(task);
                     return;
                 }
+                if let Some(el) = &self.elastic {
+                    // elastic races mirror the dead-node race: the view
+                    // the scheduler placed against went stale mid-round
+                    if !el.provisioned[node.index()] {
+                        self.autoscale_drops += 1;
+                        self.fresh.insert(task);
+                        return;
+                    }
+                    if el.drain_deadline[node.index()].is_some() {
+                        self.preempt_drops += 1;
+                        self.fresh.insert(task);
+                        return;
+                    }
+                }
                 let stage = self.catalog.app.stage(task.stage);
                 let demand = &stage.tasks[task.index].demand;
                 let spec = self.cluster.node(node);
@@ -1238,6 +1532,11 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             },
             stale_launch_drops: self.stale_drops,
             dead_launch_drops: self.dead_drops,
+            autoscale_launch_drops: self.autoscale_drops,
+            preempt_launch_drops: self.preempt_drops,
+            preemptions: self.preemptions,
+            provisions: self.provisions,
+            decommissions: self.decommissions,
             makespan: SimDuration(self.now.0),
             clean: !self.aborted && jobs_submitted == jobs_completed,
         }

@@ -114,6 +114,51 @@ fn chaos_smoke_drains_cleanly_and_replays() {
 }
 
 #[test]
+fn elastic_churn_drains_cleanly_and_replays() {
+    // the live service under a churning spot tier: the four weakest
+    // nodes provision on backlog, drain on price-correlated preemption
+    // notices, and the whole run must still replay to an identical
+    // decision-trace digest from the stamped input log (elastic
+    // stepping rides the internally re-derived tick timers and a
+    // dedicated seeded RNG, so live and replay draw the same sequence)
+    let mut elastic =
+        rupam_elastic::ElasticConfig::spot_tail(12, 4, rupam_elastic::SpotPolicy::Greedy);
+    elastic.check_secs = 1.0;
+    elastic.scale_up_backlog = 0.0;
+    elastic.scale_down_idle_secs = 5.0;
+    elastic.provision_secs = 0.5;
+    elastic.pools[0].preempt_base = 0.1;
+    elastic.pools[0].notice_secs = 1.0;
+
+    let mut cfg = ServeConfig {
+        tick: Duration::from_millis(2),
+        worker_heartbeat: Duration::from_millis(5),
+        time_scale: 0.002,
+        max_wall: Some(Duration::from_secs(60)),
+        ..ServeConfig::default()
+    };
+    cfg.sim.elastic = elastic;
+
+    let out = run_live(12, 6, 24, &cfg, &FaultScript::empty());
+    assert!(
+        out.report.clean,
+        "churning run must still drain cleanly: {:?}",
+        out.report
+    );
+    assert_eq!(out.report.jobs_completed, 6);
+    assert_eq!(
+        out.report.lost_tasks, 0,
+        "preemption drains must re-run every killed task"
+    );
+    assert!(
+        out.report.provisions > 0,
+        "backlog must pull the spot tail into the fleet: {:?}",
+        out.report
+    );
+    check_replay(12, 6, 24, &cfg, &out);
+}
+
+#[test]
 fn drain_with_no_submissions_shuts_down() {
     let cluster = Arc::new(build_fleet(8));
     let catalog = Arc::new(pressure_stream(2, 4));

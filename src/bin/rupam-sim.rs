@@ -5,7 +5,7 @@
 //!           [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]
 //!           [--scheduler spark|rupam|fifo]
 //!           [--seed <n>] [--jobs <n>] [--arrival-secs <s>]
-//!           [--faults <script.toml>]
+//!           [--faults <script.toml>] [--elastic <script.toml>]
 //!           [--timeline] [--census] [--compare]
 //!           [--trace <path>] [--audit]
 //! ```
@@ -23,6 +23,11 @@
 //! `--faults <script.toml>` injects the chaos script (see the README
 //! for the `[[fault]]` TOML format) into every run; the report then
 //! carries fault/recovery counters.
+//!
+//! `--elastic <script.toml>` arms the spot tier: the script names spot
+//! pools (`[[pool]]`) and controller tunables (`[elastic]`), the cluster
+//! churns under seeded price-correlated preemptions and autoscaling, and
+//! the report carries a cost ledger. Composes with `--faults`.
 //!
 //! `--audit` replays every offer round through the invariant auditor and
 //! reports violations (exit code 1 if any fire); `--trace <path>` writes
@@ -43,6 +48,7 @@ use rupam_bench::{
     run_workload_observed_cfg, Sched,
 };
 use rupam_cluster::ClusterSpec;
+use rupam_elastic::ElasticConfig;
 use rupam_exec::{AuditConfig, SimConfig, SimOptions};
 use rupam_faults::FaultScript;
 use rupam_metrics::timeline;
@@ -65,6 +71,7 @@ struct Options {
     audit: bool,
     config: SimConfig,
     faults_label: Option<String>,
+    elastic_label: Option<String>,
 }
 
 fn usage() -> ! {
@@ -73,7 +80,7 @@ fn usage() -> ! {
          \x20                [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]\n\
          \x20                [--scheduler spark|rupam|fifo] [--seed <n>]\n\
          \x20                [--jobs <n>] [--arrival-secs <s>]\n\
-         \x20                [--faults <script.toml>]\n\
+         \x20                [--faults <script.toml>] [--elastic <script.toml>]\n\
          \x20                [--timeline] [--census] [--compare] [--csv <path>]\n\
          \x20                [--trace <path>] [--audit]"
     );
@@ -130,6 +137,7 @@ fn parse_args() -> Options {
         audit: false,
         config: SimConfig::default(),
         faults_label: None,
+        elastic_label: None,
     };
     let mut args = env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -199,7 +207,24 @@ fn parse_args() -> Options {
                     exit(2)
                 });
                 opts.faults_label = Some(format!("{path} ({} events)", script.len()));
-                opts.config = SimConfig::with_faults(script);
+                opts.config.faults.script = script;
+            }
+            "--elastic" => {
+                let path = args.next().unwrap_or_else(|| usage());
+                let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                    eprintln!("cannot read elasticity script {path}: {e}");
+                    exit(2)
+                });
+                let elastic = ElasticConfig::parse_toml(&text).unwrap_or_else(|e| {
+                    eprintln!("bad elasticity script {path}: {e}");
+                    exit(2)
+                });
+                opts.elastic_label = Some(format!(
+                    "{path} ({} pools, policy {})",
+                    elastic.pools.len(),
+                    elastic.policy.code()
+                ));
+                opts.config.elastic = elastic;
             }
             "--csv" => opts.csv = Some(args.next().unwrap_or_else(|| usage())),
             "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
@@ -308,6 +333,20 @@ fn run_one(opts: &Options, sched: &Sched) -> bool {
             f.map_outputs_recomputed,
         );
     }
+    if opts.elastic_label.is_some() {
+        let c = &report.cost;
+        println!(
+            "  cost: ${:.4} (on-demand ${:.4} / spot ${:.4}) over {:.0} node-s | \
+             provisions {} decommissions {} preemptions {}",
+            c.total_cost(),
+            c.on_demand_cost,
+            c.spot_cost,
+            c.total_node_secs(),
+            c.provisions,
+            c.decommissions,
+            c.preemptions,
+        );
+    }
     if opts.jobs > 1 {
         for j in &report.jobs {
             match j.jct() {
@@ -399,6 +438,9 @@ fn main() {
     }
     if let Some(label) = &opts.faults_label {
         println!("faults: {label}");
+    }
+    if let Some(label) = &opts.elastic_label {
+        println!("elastic: {label}");
     }
     let mut clean = true;
     if opts.compare {

@@ -224,6 +224,9 @@ fn node_view(id: NodeId, mem: ByteSize, dead: bool) -> NodeView {
         },
         dead,
         suspect: false,
+        tier: rupam_cluster::NodeTier::OnDemand,
+        draining: false,
+        preempt_risk: 0.0,
     }
 }
 
