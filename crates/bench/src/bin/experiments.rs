@@ -1,7 +1,7 @@
 //! `experiments` — regenerate every table and figure of the RUPAM paper.
 //!
 //! ```text
-//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation|multitenant|degraded|spot] [--quick]
+//! experiments [all|fig2|fig3|table2|table4|fig5|fig6|table5|fig7|fig8|fig9|ablation|multitenant|fairness|degraded|spot] [--quick]
 //! ```
 //!
 //! `--quick` runs one seed instead of the paper's five (for smoke runs).
@@ -10,8 +10,8 @@ use std::env;
 
 use rupam_bench::harness::{placement_census, run_workload, Sched, SEEDS};
 use rupam_bench::{
-    ablation, breakdown, degraded, hardware, locality, motivation, multitenant, overall, spot,
-    utilization,
+    ablation, breakdown, degraded, fairness, hardware, locality, motivation, multitenant, overall,
+    spot, utilization,
 };
 use rupam_cluster::ClusterSpec;
 use rupam_workloads::Workload;
@@ -157,6 +157,12 @@ fn main() {
             "  cold-DB JCT penalty: {:+.1}%\n",
             wc.cold_penalty() * 100.0
         );
+    }
+    if run("fairness") {
+        let f_seeds = &seeds[..seeds.len().min(3)];
+        let rows = fairness::run(&fairness::contended_cluster(), f_seeds);
+        fairness::table(&rows).print();
+        println!();
     }
     if run("degraded") {
         for sc in degraded::scenarios() {

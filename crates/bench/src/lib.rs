@@ -27,6 +27,7 @@ pub mod ablation;
 pub mod breakdown;
 pub mod degraded;
 pub mod digestgate;
+pub mod fairness;
 pub mod hardware;
 pub mod harness;
 pub mod locality;

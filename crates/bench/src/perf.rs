@@ -65,6 +65,14 @@ pub const SERVE_DISPATCH_CEILING_HYDRA64_US: f64 = 500_000.0;
 /// other wall-clock serve rows it is absent from `--quick` runs.
 pub const SERVE_DISPATCH_CEILING_HYDRA256_US: f64 = 2_000_000.0;
 
+/// Absolute floor for `fairness_jain_weighted`: Jain's index over
+/// per-tenant slowdowns under the weighted-fair policy on the skewed
+/// two-tenant stream (see [`crate::fairness`]). Simulated-time and
+/// deterministic, so gate-able across machines. The FIFO baseline sits
+/// near 0.81 on the same stream, so holding the floor also certifies
+/// the allocation order is actually engaged, not silently bypassed.
+pub const FAIRNESS_JAIN_FLOOR: f64 = 0.85;
+
 /// The dispatch-latency ceiling for a `serve_dispatch_p99_us_*` gate
 /// key, selected by fleet-shape suffix.
 pub fn serve_dispatch_ceiling_us(key: &str) -> f64 {
@@ -228,6 +236,14 @@ pub struct PerfReport {
     /// [`crate::spot::spot_gate`]): simulated-time, deterministic,
     /// gate-able across machines like the degraded rows.
     pub spot: Vec<(String, f64)>,
+    /// Jain's index over per-tenant slowdowns under weighted-fair
+    /// allocation (see [`crate::fairness::jain_weighted_gate`]); gated
+    /// against [`FAIRNESS_JAIN_FLOOR`].
+    pub fairness_jain: f64,
+    /// Gang-admission no-op certificate: 1.0 iff enabling
+    /// `gang_admission` on a gang-free workload leaves the decision
+    /// trace digest unchanged (see [`bench_gang_noop`]).
+    pub gang_noop: f64,
 }
 
 fn percentile(sorted: &[u64], p: f64) -> f64 {
@@ -352,6 +368,49 @@ pub fn bench_event_overhead(cluster: &ClusterSpec, jobs: usize, seed: u64) -> f6
     loaded / plain
 }
 
+/// The `gang_admission_noop` gate value: enabling gang admission on a
+/// workload with no `gang: true` stages must leave the decision trace
+/// byte-identical to the default configuration — the all-or-nothing
+/// machinery may only act when a stage asks for it. Binary and
+/// machine-independent (simulated-time digests), like the serve replay
+/// oracle: 1.0 on digest equality, 0.0 otherwise.
+pub fn bench_gang_noop() -> f64 {
+    let cluster = ClusterSpec::hydra();
+    let opts = rupam_exec::SimOptions {
+        trace_capacity: Some(0),
+        audit: None,
+    };
+    let config = SimConfig::default();
+    let gang_cfg = RupamConfig {
+        gang_admission: true,
+        ..RupamConfig::default()
+    };
+    let seed = 707;
+    let w = rupam_workloads::Workload::TeraSort;
+    let (_, gang) = crate::harness::run_workload_observed_cfg(
+        &cluster,
+        w,
+        &crate::harness::Sched::RupamWith(gang_cfg),
+        seed,
+        &opts,
+        &config,
+    );
+    let (_, plain) = crate::harness::run_workload_observed_cfg(
+        &cluster,
+        w,
+        &crate::harness::Sched::Rupam,
+        seed,
+        &opts,
+        &config,
+    );
+    let d = |o: rupam_exec::SimObservation| o.trace.expect("digest-only trace requested").digest();
+    if d(gang) == d(plain) {
+        1.0
+    } else {
+        0.0
+    }
+}
+
 /// Compare the two dispatcher paths on one cluster shape.
 pub fn bench_cluster(label: &str, cluster: ClusterSpec, jobs: usize, seed: u64) -> ClusterResult {
     let incremental = best_of(&cluster, jobs, seed, true);
@@ -449,6 +508,16 @@ pub fn run(quick: bool) -> PerfReport {
     // two seeds: single-seed spot ratios are dominated by one price
     // path's preemption luck
     let spot = crate::spot::spot_gate(&ClusterSpec::hydra(), &crate::harness::SEEDS[..2]);
+    eprintln!("perf: tenant fairness (weighted-fair Jain) …");
+    let f_seeds = if quick {
+        &crate::harness::SEEDS[..1]
+    } else {
+        &crate::harness::SEEDS[..3]
+    };
+    let fairness_jain =
+        crate::fairness::jain_weighted_gate(&crate::fairness::contended_cluster(), f_seeds);
+    eprintln!("perf: gang-admission no-op digest …");
+    let gang_noop = bench_gang_noop();
     let serve = if quick {
         Vec::new()
     } else {
@@ -461,6 +530,8 @@ pub fn run(quick: bool) -> PerfReport {
         event_overhead,
         serve,
         spot,
+        fairness_jain,
+        gang_noop,
     }
 }
 
@@ -575,6 +646,12 @@ pub fn to_json(r: &PerfReport) -> String {
             big.jobs_per_sec
         );
     }
+    let _ = writeln!(
+        s,
+        "    \"fairness_jain_weighted\": {:.3},",
+        r.fairness_jain
+    );
+    let _ = writeln!(s, "    \"gang_admission_noop\": {:.1},", r.gang_noop);
     let _ = writeln!(s, "    \"engine_event_overhead\": {:.3},", r.event_overhead);
     let _ = writeln!(
         s,
@@ -615,6 +692,8 @@ pub fn gate_keys(json: &str) -> Vec<String> {
                 || k.starts_with("offer_scaling_")
                 || k.starts_with("serve_")
                 || k.starts_with("spot_")
+                || k.starts_with("fairness_")
+                || k.starts_with("gang_")
         })
         .map(|k| k.to_string())
         .collect()
@@ -655,6 +734,29 @@ pub fn regressions(fresh: &str, baseline: &str) -> Vec<(String, f64, f64)> {
                 let ceiling = serve_dispatch_ceiling_us(&key);
                 if f > ceiling {
                     bad.push((key, f, ceiling));
+                }
+            }
+            continue;
+        }
+        // fairness gates on an absolute floor: weighted-fair must keep
+        // Jain's slowdown index above the floor on the skewed stream,
+        // regardless of the committed baseline (higher is better, and
+        // the value is deterministic simulated time)
+        if key.starts_with("fairness_") {
+            if let Some(f) = extract_number(fresh, &key) {
+                if f < FAIRNESS_JAIN_FLOOR {
+                    bad.push((key, f, FAIRNESS_JAIN_FLOOR));
+                }
+            }
+            continue;
+        }
+        // gang admission must be a decision no-op on gang-free
+        // workloads — binary and machine-independent, like the serve
+        // replay oracle below
+        if key.starts_with("gang_") {
+            if let Some(f) = extract_number(fresh, &key) {
+                if f < 1.0 {
+                    bad.push((key, f, 1.0));
                 }
             }
             continue;
@@ -767,9 +869,15 @@ mod tests {
                 clean: true,
             }],
             spot: vec![("resilience".into(), 1.08), ("cost_ratio".into(), 1.02)],
+            fairness_jain: 0.917,
+            gang_noop: 1.0,
         };
         let json = to_json(&r);
         assert_eq!(extract_number(&json, "speedup_hydra12"), Some(2.5));
+        assert_eq!(extract_number(&json, "fairness_jain_weighted"), Some(0.917));
+        assert_eq!(extract_number(&json, "gang_admission_noop"), Some(1.0));
+        assert!(gate_keys(&json).contains(&"fairness_jain_weighted".to_string()));
+        assert!(gate_keys(&json).contains(&"gang_admission_noop".to_string()));
         assert_eq!(extract_number(&json, "offer_speedup_hydra12"), Some(3.0));
         assert_eq!(extract_number(&json, "lookup_ops_per_sec_1t"), Some(1e6));
         assert_eq!(
@@ -868,6 +976,8 @@ mod tests {
             event_overhead: 1.0,
             serve: Vec::new(),
             spot: Vec::new(),
+            fairness_jain: 0.9,
+            gang_noop: 1.0,
         };
         let json = to_json(&r);
         assert_eq!(
@@ -891,6 +1001,37 @@ mod tests {
         assert_eq!(r.len(), 1);
         assert_eq!(r[0].0, "offer_scaling_256_over_64");
         assert_eq!(r[0].2, OFFER_SCALING_CEILING);
+    }
+
+    #[test]
+    fn fairness_gates_on_absolute_floor() {
+        let baseline = "{\"gate\": {\"fairness_jain_weighted\": 0.950}}";
+        // below the committed baseline but above the floor → fine
+        let ok = "{\"gate\": {\"fairness_jain_weighted\": 0.880}}";
+        assert!(regressions(ok, baseline).is_empty());
+        // under the floor → flagged even against an empty baseline
+        let bad = "{\"gate\": {\"fairness_jain_weighted\": 0.800}}";
+        let r = regressions(bad, "{\"gate\": {}}");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "fairness_jain_weighted");
+        assert_eq!(r[0].2, FAIRNESS_JAIN_FLOOR);
+    }
+
+    #[test]
+    fn gang_noop_gate_is_binary() {
+        let baseline = "{\"gate\": {}}";
+        let ok = "{\"gate\": {\"gang_admission_noop\": 1.0}}";
+        assert!(regressions(ok, baseline).is_empty());
+        let bad = "{\"gate\": {\"gang_admission_noop\": 0.0}}";
+        let r = regressions(bad, baseline);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].0, "gang_admission_noop");
+        assert_eq!(r[0].2, 1.0);
+    }
+
+    #[test]
+    fn gang_admission_is_a_decision_noop_without_gang_stages() {
+        assert_eq!(bench_gang_noop(), 1.0);
     }
 
     #[test]

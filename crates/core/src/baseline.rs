@@ -383,6 +383,7 @@ mod tests {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         }
@@ -544,6 +545,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![pending(0, 0, vec![])],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };

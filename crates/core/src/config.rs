@@ -3,6 +3,8 @@
 use rupam_simcore::time::SimDuration;
 use rupam_simcore::units::ByteSize;
 
+use crate::alloc::{AllocationPolicy, TenantSpec};
+
 /// Tunables of the RUPAM scheduler (§III).
 #[derive(Clone, Debug)]
 pub struct RupamConfig {
@@ -83,6 +85,31 @@ pub struct RupamConfig {
     /// every value — sharding changes how the global ranking is stored
     /// and scanned, never what it says.
     pub shard_count: usize,
+    /// How the per-round allocation session orders tenants before the
+    /// Dispatcher consumes their candidate slices. The default,
+    /// [`AllocationPolicy::FifoBaseline`], keeps the single shared
+    /// pending pool and is byte-identical to the pre-tenant scheduler.
+    pub allocation: AllocationPolicy,
+    /// Per-tenant weights and quotas, indexed by
+    /// [`rupam_dag::TenantId`]. Tenants beyond the vector (or an empty
+    /// vector) get [`TenantSpec::default`]: weight 1, no quota.
+    pub tenants: Vec<TenantSpec>,
+    /// Honour `gang: true` stage flags: admit such a stage only when
+    /// every one of its tasks can be co-resident in one round, with
+    /// all-or-nothing rollback. Off by default (gang stages dispatch
+    /// piecemeal exactly as before).
+    pub gang_admission: bool,
+}
+
+impl RupamConfig {
+    /// True when any tenant-scoped machinery must run: a non-FIFO
+    /// allocation policy, or at least one tenant with a quota. The
+    /// FIFO-baseline with no quotas takes exactly the pre-tenant code
+    /// paths (pinned by golden digests).
+    pub fn tenant_aware(&self) -> bool {
+        self.allocation != AllocationPolicy::FifoBaseline
+            || self.tenants.iter().any(|t| t.quota.is_some())
+    }
 }
 
 impl Default for RupamConfig {
@@ -108,6 +135,9 @@ impl Default for RupamConfig {
             cross_job_db: true,
             incremental_queues: true,
             shard_count: 0,
+            allocation: AllocationPolicy::FifoBaseline,
+            tenants: Vec::new(),
+            gang_admission: false,
         }
     }
 }
@@ -128,5 +158,25 @@ mod tests {
             c.decision_cost > SimDuration::from_millis(1),
             "RUPAM costs more per decision than stock Spark"
         );
+        assert_eq!(c.allocation, AllocationPolicy::FifoBaseline);
+        assert!(c.tenants.is_empty() && !c.gang_admission);
+        assert!(
+            !c.tenant_aware(),
+            "the default config must take the pre-tenant code paths"
+        );
+    }
+
+    #[test]
+    fn tenant_awareness_triggers() {
+        let mut c = RupamConfig {
+            allocation: AllocationPolicy::WeightedFair,
+            ..RupamConfig::default()
+        };
+        assert!(c.tenant_aware());
+        c.allocation = AllocationPolicy::FifoBaseline;
+        c.tenants = vec![TenantSpec::default()];
+        assert!(!c.tenant_aware(), "weights alone don't leave the baseline");
+        c.tenants[0].quota = Some(0.5);
+        assert!(c.tenant_aware(), "a quota arms the allocator");
     }
 }

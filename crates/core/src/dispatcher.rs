@@ -25,7 +25,8 @@ use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
-use rupam_dag::{Locality, TaskRef};
+use rupam_dag::app::StageId;
+use rupam_dag::{Locality, TaskRef, TenantId};
 use rupam_exec::scheduler::{Command, NodeView, OfferInput, PendingTaskView};
 use rupam_metrics::trace::LaunchReason;
 
@@ -111,6 +112,15 @@ pub struct Dispatcher<'a> {
     /// (see [`KindPartition`]); `None` until a kind's queue is first
     /// probed this round.
     partitions: RefCell<[Option<KindPartition>; ResourceKind::COUNT]>,
+    /// Tenant scope of the current matching pass. `None` (the default)
+    /// is the shared pool — every probe considers every pending task,
+    /// exactly the pre-tenant behaviour. Set per tenant by
+    /// [`Dispatcher::run_ordered`].
+    tenant: Option<TenantId>,
+    /// Tasks held back from piecemeal dispatch this round: members of a
+    /// gang stage whose all-or-nothing plan did not fit. Invisible to
+    /// every probe and to the safety valve.
+    held: HashSet<TaskRef>,
 }
 
 impl<'a> Dispatcher<'a> {
@@ -153,12 +163,17 @@ impl<'a> Dispatcher<'a> {
             peak_cache: RefCell::new(HashMap::new()),
             lock_cache: RefCell::new(HashMap::new()),
             partitions: RefCell::new(std::array::from_fn(|_| None)),
+            tenant: None,
+            held: HashSet::new(),
         }
     }
 
     /// The pending view for `task`, if it is still dispatchable this
     /// round.
     fn view_of(&self, task: TaskRef) -> Option<&'a PendingTaskView> {
+        if !self.held.is_empty() && self.held.contains(&task) {
+            return None;
+        }
         if !self.incremental {
             return self.pending.get(&task).copied();
         }
@@ -193,10 +208,22 @@ impl<'a> Dispatcher<'a> {
 
     /// Still dispatchable this round (safety-valve probe).
     fn is_unclaimed(&self, task: TaskRef) -> bool {
+        if self.held.contains(&task) {
+            return false;
+        }
         if self.incremental {
             !self.launched.contains(&task)
         } else {
             self.pending.contains_key(&task)
+        }
+    }
+
+    /// Whether `task` belongs to the tenant scope of the current
+    /// matching pass (vacuously true on the shared pool).
+    fn in_scope(&self, tm: &TaskManager, task: TaskRef) -> bool {
+        match self.tenant {
+            None => true,
+            Some(t) => tm.queues.tenant_of(&task) == t,
         }
     }
 
@@ -698,8 +725,14 @@ impl<'a> Dispatcher<'a> {
     ) -> Option<(TaskRef, LaunchReason)> {
         let free_mem = self.free_mem_after_claims(node);
 
+        // in a tenant pass the probe reads the tenant's own shard of the
+        // persistent split — same seat order, pre-filtered
+        let special: Box<dyn Iterator<Item = (u64, TaskRef)>> = match self.tenant {
+            Some(t) => Box::new(tm.queues.special_kind_of(kind, t)),
+            None => Box::new(tm.queues.special_kind(kind)),
+        };
         let mut best: Option<(u64, TaskRef, Locality)> = None;
-        for (seat, task) in tm.queues.special_kind(kind) {
+        for (seat, task) in special {
             let Some(view) = self.view_of(task) else {
                 continue;
             };
@@ -743,12 +776,19 @@ impl<'a> Dispatcher<'a> {
         }
 
         let mut plain_pick: Option<(u64, TaskRef)> = None;
-        if tm
-            .queues
-            .plain_floor(kind)
-            .is_some_and(|min| min <= free_mem)
-        {
-            for (seat, task, peak) in tm.queues.plain_kind(kind) {
+        let plain_floor = match self.tenant {
+            Some(t) => tm.queues.plain_floor_of(kind, t),
+            None => tm.queues.plain_floor(kind),
+        };
+        if plain_floor.is_some_and(|min| min <= free_mem) {
+            let plain: Box<dyn Iterator<Item = (u64, TaskRef, ByteSize)>> = match self.tenant {
+                Some(t) => Box::new(tm.queues.plain_kind_of(kind, t)),
+                None => Box::new(tm.queues.plain_kind(kind)),
+            };
+            for (seat, task, peak) in plain {
+                if self.held.contains(&task) {
+                    continue;
+                }
                 if peak <= free_mem {
                     plain_pick = Some((seat, task));
                     break;
@@ -779,12 +819,18 @@ impl<'a> Dispatcher<'a> {
         })
     }
 
-    /// [`Dispatcher::kind_floor_incremental`] from the persistent split.
+    /// [`Dispatcher::kind_floor_incremental`] from the persistent split
+    /// (or the tenant's shard of it during a tenant pass).
     fn kind_floor_hint(&self, tm: &TaskManager, kind: ResourceKind) -> Option<ByteSize> {
-        let plain_min = tm.queues.plain_floor(kind);
-        let special_min = tm
-            .queues
-            .special_kind(kind)
+        let plain_min = match self.tenant {
+            Some(t) => tm.queues.plain_floor_of(kind, t),
+            None => tm.queues.plain_floor(kind),
+        };
+        let special: Box<dyn Iterator<Item = (u64, TaskRef)>> = match self.tenant {
+            Some(t) => Box::new(tm.queues.special_kind_of(kind, t)),
+            None => Box::new(tm.queues.special_kind(kind)),
+        };
+        let special_min = special
             .filter_map(|(_, t)| self.view_of(t))
             .map(|v| self.peak_estimate(tm, v))
             .min();
@@ -828,6 +874,9 @@ impl<'a> Dispatcher<'a> {
         let free_mem = self.free_mem_after_claims(node);
         let mut best: Option<(TaskRef, Locality)> = None;
         for task in tm.queues.iter_kind(kind) {
+            if !self.in_scope(tm, task) {
+                continue;
+            }
             let Some(view) = self.view_of(task) else {
                 continue;
             };
@@ -920,96 +969,303 @@ impl<'a> Dispatcher<'a> {
         self.run(tm, &ranking)
     }
 
-    fn run(&mut self, tm: &mut TaskManager, ranking: &Ranking<'_>) -> Vec<Command> {
-        let mut cmds = Vec::new();
-        loop {
-            let mut launched_any = false;
-            for kind in ResourceKind::ALL {
-                // refresh this kind's floor — claims consumed since the
-                // last pass may have taken the cheapest candidate
-                self.floors[kind.index()] = if self.incremental {
-                    self.kind_floor_incremental(tm, kind)
-                } else {
-                    tm.queues
-                        .iter_kind(kind)
-                        .filter_map(|t| self.view_of(t))
-                        .map(|v| self.peak_estimate(tm, v))
-                        .min()
-                };
-                let floor = self.floors[kind.index()];
-                // next node from this kind's Resource Queue with room
-                let mut node = self.pick_node(ranking, kind, floor);
-                let mut fell_back_to_cpu = false;
-                if node.is_none() && kind == ResourceKind::Gpu {
-                    // §III-C3: GPU tasks are not held hostage by busy
-                    // GPUs — fall back to the most powerful idle CPU,
-                    // one that can still hold the GPU queue's cheapest
-                    // candidate
-                    node = self.pick_node(ranking, ResourceKind::Cpu, floor);
-                    fell_back_to_cpu = node.is_some();
+    /// [`Dispatcher::dispatch`] under a tenant allocation order: the
+    /// matching loop serves each listed tenant's candidate slice in
+    /// turn (see [`Dispatcher::run_ordered`]). Tenants absent from
+    /// `order` (over quota this round) receive nothing.
+    pub fn dispatch_ordered(&mut self, tm: &mut TaskManager, order: &[TenantId]) -> Vec<Command> {
+        let ranking =
+            Ranking::Rebuilt(ResourceQueues::build(self.input.cluster, &self.input.nodes));
+        self.run_ordered(tm, &ranking, order)
+    }
+
+    /// [`Dispatcher::dispatch_incremental`] under a tenant allocation
+    /// order.
+    pub fn dispatch_ordered_incremental(
+        &mut self,
+        tm: &mut TaskManager,
+        cache: &mut NodeQueueCache,
+        order: &[TenantId],
+    ) -> Vec<Command> {
+        cache.refresh_keys(
+            self.input.cluster,
+            &self.input.nodes,
+            self.input.changed.as_deref(),
+        );
+        if self.input.pending.is_empty() {
+            return Vec::new();
+        }
+        cache.materialize_dirty(self.input.cluster);
+        let ranking = Ranking::Cached(cache.sharded_order());
+        self.run_ordered(tm, &ranking, order)
+    }
+
+    /// All-or-nothing admission for `gang: true` stages (the GPU
+    /// Gramian sweep): every still-pending member of a gang stage must
+    /// find a co-resident slot under this round's claims, or none
+    /// launches and the whole stage is *held* out of piecemeal dispatch
+    /// for the round. Failed plans roll their tentative claims back
+    /// completely, so the ordinary dispatch that follows sees an
+    /// untouched admission ledger. Call before
+    /// [`Dispatcher::dispatch`] / [`Dispatcher::dispatch_ordered`].
+    pub fn admit_gangs(&mut self, tm: &mut TaskManager) -> Vec<Command> {
+        let mut stages: Vec<StageId> = Vec::new();
+        for p in &self.input.pending {
+            if self.input.app.stage(p.task.stage).gang && !stages.contains(&p.task.stage) {
+                stages.push(p.task.stage);
+            }
+        }
+        let mut out = Vec::new();
+        for stage in stages {
+            let members: Vec<&PendingTaskView> = self
+                .input
+                .pending
+                .iter()
+                .filter(|p| p.task.stage == stage && self.view_of(p.task).is_some())
+                .collect();
+            if members.is_empty() {
+                continue;
+            }
+            let saved = self.claims.clone();
+            let mut plan: Vec<(TaskRef, NodeId, bool, Locality)> = Vec::new();
+            let mut fits = true;
+            for view in &members {
+                let peak = self.peak_estimate(tm, view);
+                match self.gang_slot(view, peak) {
+                    Some((node, use_gpu, locality)) => {
+                        let kind = if use_gpu {
+                            ResourceKind::Gpu
+                        } else {
+                            ResourceKind::Cpu
+                        };
+                        self.note_claim(node, kind, peak);
+                        plan.push((view.task, node, use_gpu, locality));
+                    }
+                    None => {
+                        fits = false;
+                        break;
+                    }
                 }
-                let Some(node) = node else { continue };
-                let probe = if self.incremental {
-                    self.schedule_task_incremental(tm, kind, node)
-                } else {
-                    self.schedule_task(tm, kind, node)
-                };
-                let Some((task, reason)) = probe else {
-                    continue;
-                };
-                let view = self.view_of(task).expect("scheduled task is pending");
-                let use_gpu = kind == ResourceKind::Gpu
-                    && !fell_back_to_cpu
-                    && view.gpu_capable
-                    && self.input.nodes[node.index()].gpus_idle > self.claims[node.index()].gpu;
-                let mem = self.peak_estimate(tm, view);
-                let claim_kind = if fell_back_to_cpu {
-                    ResourceKind::Cpu
-                } else {
-                    kind
-                };
-                self.note_claim(node, claim_kind, mem);
+            }
+            if !fits {
+                // all-or-nothing rollback: restore the admission ledger
+                // and hold every member for the round
+                self.claims = saved;
+                for view in &members {
+                    self.held.insert(view.task);
+                }
+                continue;
+            }
+            for (task, node, use_gpu, locality) in plan {
                 tm.queues.remove(&task);
                 self.consume(task);
-                // a best-executor lock keeps its own reason even on the
-                // fallback path — the lock, not the fallback, chose it
-                let reason = match reason {
-                    LaunchReason::QueueMatch { locality, .. } if fell_back_to_cpu => {
-                        LaunchReason::GpuCpuFallback { locality }
-                    }
-                    other => other,
-                };
-                cmds.push(Command::Launch {
+                out.push(Command::Launch {
                     task,
                     node,
                     use_gpu,
                     speculative: false,
-                    reason,
+                    reason: LaunchReason::GangAdmission { locality },
                 });
-                launched_any = true;
+            }
+        }
+        out
+    }
+
+    /// One gang member's slot under the current claims: GPU slots are
+    /// preferred for GPU-capable members (mirroring the GPU queue), then
+    /// the best locality, then the node with the most post-claim free
+    /// memory; node id breaks the final tie, so the plan is a pure
+    /// function of the snapshot.
+    fn gang_slot(&self, view: &PendingTaskView, peak: ByteSize) -> Option<(NodeId, bool, Locality)> {
+        let mut best: Option<((bool, Locality, std::cmp::Reverse<ByteSize>, NodeId), bool)> = None;
+        for v in &self.input.nodes {
+            let n = v.node;
+            let gpu_ok = view.gpu_capable && self.has_room_floored(n, ResourceKind::Gpu, Some(peak));
+            let cpu_ok = self.has_room_floored(n, ResourceKind::Cpu, Some(peak));
+            if !gpu_ok && !cpu_ok {
+                continue;
+            }
+            if self.free_mem_after_claims(n) < peak {
+                continue;
+            }
+            let loc = if self.cfg.use_locality {
+                view.locality(self.input.cluster, n)
+            } else {
+                Locality::Any
+            };
+            let key = (
+                !gpu_ok,
+                loc,
+                std::cmp::Reverse(self.free_mem_after_claims(n)),
+                n,
+            );
+            if best.as_ref().map(|(bk, _)| key < *bk).unwrap_or(true) {
+                best = Some((key, gpu_ok));
+            }
+        }
+        best.map(|((_, loc, _, n), use_gpu)| (n, use_gpu, loc))
+    }
+
+    fn run(&mut self, tm: &mut TaskManager, ranking: &Ranking<'_>) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        while self.run_pass(tm, ranking, &mut cmds) {}
+        self.safety_valve(tm, &mut cmds);
+        cmds
+    }
+
+    /// The tenant-ordered matching loop: every outer pass serves each
+    /// tenant one round-robin cycle over the resource kinds, in session
+    /// order, so a burst from the first tenant cannot drain the whole
+    /// cluster before later tenants see an offer. Claims are shared
+    /// across tenants — the round admits exactly as much as the shared
+    /// pool would, only distributed by the allocation policy.
+    fn run_ordered(
+        &mut self,
+        tm: &mut TaskManager,
+        ranking: &Ranking<'_>,
+        order: &[TenantId],
+    ) -> Vec<Command> {
+        let mut cmds = Vec::new();
+        loop {
+            let mut launched_any = false;
+            for &t in order {
+                self.tenant = Some(t);
+                launched_any |= self.run_pass(tm, ranking, &mut cmds);
             }
             if !launched_any {
                 break;
             }
         }
+        self.tenant = None;
+        self.safety_valve(tm, &mut cmds);
+        cmds
+    }
 
-        // Progress safety valve: if the whole cluster is idle and policy
-        // found nothing (e.g. every estimate exceeds free memory on the
-        // preferred nodes), force the first pending task onto the node
-        // with the most free memory — a stuck cluster is strictly worse
-        // than any placement.
+    /// One round-robin cycle over the resource kinds (the body of the
+    /// matching loop). Returns whether anything launched.
+    fn run_pass(&mut self, tm: &mut TaskManager, ranking: &Ranking<'_>, cmds: &mut Vec<Command>) -> bool {
+        let mut launched_any = false;
+        for kind in ResourceKind::ALL {
+            // refresh this kind's floor — claims consumed since the
+            // last pass may have taken the cheapest candidate. A tenant
+            // pass floors on the tenant's own candidates only.
+            self.floors[kind.index()] = if self.tenant.is_some() {
+                if self.hint {
+                    self.kind_floor_hint(tm, kind)
+                } else {
+                    tm.queues
+                        .iter_kind(kind)
+                        .filter(|&t| self.in_scope(tm, t))
+                        .filter_map(|t| self.view_of(t))
+                        .map(|v| self.peak_estimate(tm, v))
+                        .min()
+                }
+            } else if self.incremental {
+                self.kind_floor_incremental(tm, kind)
+            } else {
+                tm.queues
+                    .iter_kind(kind)
+                    .filter_map(|t| self.view_of(t))
+                    .map(|v| self.peak_estimate(tm, v))
+                    .min()
+            };
+            let floor = self.floors[kind.index()];
+            // next node from this kind's Resource Queue with room
+            let mut node = self.pick_node(ranking, kind, floor);
+            let mut fell_back_to_cpu = false;
+            if node.is_none() && kind == ResourceKind::Gpu {
+                // §III-C3: GPU tasks are not held hostage by busy
+                // GPUs — fall back to the most powerful idle CPU,
+                // one that can still hold the GPU queue's cheapest
+                // candidate
+                node = self.pick_node(ranking, ResourceKind::Cpu, floor);
+                fell_back_to_cpu = node.is_some();
+            }
+            let Some(node) = node else { continue };
+            // a tenant pass probes the tenant's slice: the persistent
+            // shard when the freshness warranty holds, the filtered
+            // reference scan otherwise (the per-round KindPartition is
+            // a shared-pool structure)
+            let probe = if self.tenant.is_some() {
+                if self.hint {
+                    self.schedule_task_hint(tm, kind, node)
+                } else {
+                    self.schedule_task(tm, kind, node)
+                }
+            } else if self.incremental {
+                self.schedule_task_incremental(tm, kind, node)
+            } else {
+                self.schedule_task(tm, kind, node)
+            };
+            let Some((task, reason)) = probe else {
+                continue;
+            };
+            let view = self.view_of(task).expect("scheduled task is pending");
+            let use_gpu = kind == ResourceKind::Gpu
+                && !fell_back_to_cpu
+                && view.gpu_capable
+                && self.input.nodes[node.index()].gpus_idle > self.claims[node.index()].gpu;
+            let mem = self.peak_estimate(tm, view);
+            let claim_kind = if fell_back_to_cpu {
+                ResourceKind::Cpu
+            } else {
+                kind
+            };
+            self.note_claim(node, claim_kind, mem);
+            tm.queues.remove(&task);
+            self.consume(task);
+            // a best-executor lock keeps its own reason even on the
+            // fallback path — the lock, not the fallback, chose it
+            let reason = match reason {
+                LaunchReason::QueueMatch { locality, .. } if fell_back_to_cpu => {
+                    LaunchReason::GpuCpuFallback { locality }
+                }
+                other => other,
+            };
+            cmds.push(Command::Launch {
+                task,
+                node,
+                use_gpu,
+                speculative: false,
+                reason,
+            });
+            launched_any = true;
+        }
+        launched_any
+    }
+
+    /// Progress safety valve: if the whole cluster is idle and policy
+    /// found nothing (e.g. every estimate exceeds free memory on the
+    /// preferred nodes), force the first pending task onto the node
+    /// with the most free memory — a stuck cluster is strictly worse
+    /// than any placement. Gang-held tasks stay held: their stage
+    /// blocks on co-residency, not on this round's estimates.
+    fn safety_valve(&mut self, tm: &mut TaskManager, cmds: &mut Vec<Command>) {
         let cluster_idle = self
             .input
             .nodes
             .iter()
             .all(|v| v.running_count() + self.claims[v.node.index()].launches == 0);
         if cmds.is_empty() && cluster_idle {
-            if let Some(view) = self
+            // prefer unheld work; but an idle cluster that STILL cannot
+            // co-place a gang will never be able to — break the gang
+            // open rather than deadlock
+            let pick = self
                 .input
                 .pending
                 .iter()
                 .find(|p| self.is_unclaimed(p.task))
-            {
+                .or_else(|| {
+                    self.input.pending.iter().find(|p| {
+                        self.held.contains(&p.task)
+                            && if self.incremental {
+                                !self.launched.contains(&p.task)
+                            } else {
+                                self.pending.contains_key(&p.task)
+                            }
+                    })
+                });
+            if let Some(view) = pick {
                 if let Some(node) = self
                     .input
                     .nodes
@@ -1029,7 +1285,6 @@ impl<'a> Dispatcher<'a> {
                 }
             }
         }
-        cmds
     }
 }
 
@@ -1114,6 +1369,7 @@ mod tests {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         }

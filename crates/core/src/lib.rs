@@ -18,6 +18,9 @@
 //!   memory feasibility, best-executor locking, locality tie-breaks.
 //! * [`straggler`] — memory-straggler relocation and GPU/CPU racing
 //!   (§III-C3).
+//! * [`alloc`] — tenant allocation: fair queues (weighted-fair, DRF),
+//!   per-round session snapshots, quota preemption and gang admission
+//!   support (ROADMAP #4).
 //! * [`scheduler`] — `RupamScheduler`, tying the components together,
 //!   with ablation switches for the design-choice benchmarks.
 //!
@@ -48,6 +51,7 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc;
 pub mod baseline;
 pub mod config;
 pub mod db;
@@ -58,6 +62,7 @@ pub mod scheduler;
 pub mod straggler;
 pub mod tm;
 
+pub use alloc::{AllocationPolicy, TenantSpec};
 pub use baseline::SparkScheduler;
 pub use config::RupamConfig;
 pub use fifo::FifoScheduler;

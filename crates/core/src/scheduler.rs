@@ -25,6 +25,7 @@ use rupam_exec::scheduler::{Command, OfferInput, Scheduler};
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
 use rupam_metrics::trace::LaunchReason;
 
+use crate::alloc::{quota_preemption_commands, AllocSession, AllocationPolicy, PreemptState};
 use crate::config::RupamConfig;
 use crate::dispatcher::Dispatcher;
 use crate::rm::NodeQueueCache;
@@ -47,6 +48,8 @@ pub struct RupamScheduler {
     /// snapshots instead of re-sorted every round (when
     /// `cfg.incremental_queues`).
     node_cache: NodeQueueCache,
+    /// Per-tenant quota-preemption cooldowns (tenant-aware runs only).
+    preempt: PreemptState,
 }
 
 impl RupamScheduler {
@@ -72,12 +75,24 @@ impl RupamScheduler {
         if !cfg.incremental_queues {
             name.push_str("-rebuild");
         }
+        match cfg.allocation {
+            AllocationPolicy::FifoBaseline => {}
+            AllocationPolicy::WeightedFair => name.push_str("-wfair"),
+            AllocationPolicy::Drf => name.push_str("-drf"),
+        }
+        if cfg.tenants.iter().any(|t| t.quota.is_some()) {
+            name.push_str("-quota");
+        }
+        if cfg.gang_admission {
+            name.push_str("-gang");
+        }
         RupamScheduler {
             tm: TaskManager::new(cfg.clone()),
             straggler: StragglerState::new(0),
             stage_templates: HashMap::new(),
             min_node_mem: ByteSize::gib(16),
             node_cache: NodeQueueCache::with_shards(cfg.shard_count),
+            preempt: PreemptState::new(cfg.tenants.len()),
             cfg,
             name,
         }
@@ -128,6 +143,7 @@ impl Scheduler for RupamScheduler {
         self.straggler = StragglerState::new(cluster.len());
         self.tm.reset_run_state();
         self.node_cache.reset();
+        self.preempt = PreemptState::new(self.cfg.tenants.len());
         self.min_node_mem = cluster.min_mem();
         let smallest_exec = cluster
             .iter()
@@ -182,6 +198,13 @@ impl Scheduler for RupamScheduler {
     }
 
     fn offer_round(&mut self, input: &OfferInput<'_>) -> Vec<Command> {
+        // 0. tenant-aware runs refresh the job → tenant map before any
+        //    ingestion, so every enqueue lands in the right shard
+        let tenant_aware = self.cfg.tenant_aware();
+        if tenant_aware {
+            self.tm.note_tenants(&input.job_tenants);
+        }
+
         // 1. submit newly pending tasks to the TM queues. With the
         //    `pending_fresh` warranty the full O(pending) scan collapses
         //    to the listed tasks: anything unlisted is either already
@@ -248,13 +271,72 @@ impl Scheduler for RupamScheduler {
             }
         }
 
-        // 3. Algorithm 2 dispatch
+        // 2.5 tenant allocation: freeze the session snapshot, reclaim
+        //     capacity from over-quota tenants, and compute the order
+        //     the Dispatcher serves tenants in this round
+        let order: Option<Vec<rupam_dag::TenantId>> = if tenant_aware {
+            let tenant_count = input
+                .job_tenants
+                .iter()
+                .map(|t| t.index() + 1)
+                .max()
+                .unwrap_or(1)
+                .max(self.cfg.tenants.len());
+            let session = {
+                let tm = &self.tm;
+                AllocSession::snapshot(&self.cfg, input, tenant_count, &|stage| {
+                    tm.tenant_of_stage(stage)
+                })
+            };
+            {
+                let tm = &self.tm;
+                cmds.extend(quota_preemption_commands(
+                    &self.cfg,
+                    &session,
+                    &mut self.preempt,
+                    input,
+                    &|stage| tm.tenant_of_stage(stage),
+                ));
+            }
+            // over-quota tenants are skipped for the round: they are
+            // surrendering capacity, not receiving more
+            Some(
+                session
+                    .order(self.cfg.allocation)
+                    .into_iter()
+                    .filter(|&t| !session.over_quota(t))
+                    .collect(),
+            )
+        } else {
+            None
+        };
+
+        // 3. Algorithm 2 dispatch (gang stages first: all-or-nothing
+        //    co-residency, with failed plans held for the round)
         if self.cfg.incremental_queues {
             let mut dispatcher = Dispatcher::new_incremental(&self.cfg, input);
-            cmds.extend(dispatcher.dispatch_incremental(&mut self.tm, &mut self.node_cache));
+            if self.cfg.gang_admission {
+                cmds.extend(dispatcher.admit_gangs(&mut self.tm));
+            }
+            match &order {
+                Some(order) => cmds.extend(dispatcher.dispatch_ordered_incremental(
+                    &mut self.tm,
+                    &mut self.node_cache,
+                    order,
+                )),
+                None => {
+                    cmds.extend(dispatcher.dispatch_incremental(&mut self.tm, &mut self.node_cache))
+                }
+            }
         } else {
             let mut dispatcher = Dispatcher::new(&self.cfg, input);
-            cmds.extend(dispatcher.dispatch(&mut self.tm));
+            if self.cfg.gang_admission {
+                cmds.extend(dispatcher.admit_gangs(&mut self.tm));
+            }
+            match &order {
+                Some(order) => cmds.extend(dispatcher.dispatch_ordered(&mut self.tm, order)),
+                None => cmds.extend(dispatcher.dispatch(&mut self.tm)),
+            }
         }
 
         // 4. engine-flagged stragglers: relocate to the best node for

@@ -20,7 +20,7 @@ use rupam_simcore::units::ByteSize;
 use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
 use rupam_dag::TaskRef;
-use rupam_exec::scheduler::{Command, NodeView, OfferInput};
+use rupam_exec::scheduler::{Command, KillReason, NodeView, OfferInput};
 use rupam_metrics::trace::LaunchReason;
 
 use crate::config::RupamConfig;
@@ -102,6 +102,7 @@ pub fn memory_straggler_commands(
                 cmds.push(Command::KillAndRequeue {
                     task: victim.task,
                     node: view.node,
+                    reason: KillReason::MemoryStraggler,
                 });
             }
         }
@@ -313,6 +314,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -324,7 +326,8 @@ mod tests {
                     stage: StageId(0),
                     index: 1
                 },
-                node: NodeId(0)
+                node: NodeId(0),
+                reason: KillReason::MemoryStraggler,
             }],
             "the 8 GiB task must die, not the 2 GiB one"
         );
@@ -337,6 +340,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -360,6 +364,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -384,6 +389,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -422,6 +428,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -469,6 +476,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -486,6 +494,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -507,6 +516,7 @@ mod tests {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };

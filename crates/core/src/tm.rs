@@ -23,7 +23,7 @@ use rupam_simcore::Sym;
 
 use rupam_cluster::resources::{PerResource, ResourceKind};
 use rupam_dag::app::{JobId, Stage, StageId, StageKind};
-use rupam_dag::TaskRef;
+use rupam_dag::{TaskRef, TenantId};
 use rupam_exec::scheduler::PendingTaskView;
 use rupam_metrics::record::TaskRecord;
 
@@ -99,6 +99,27 @@ pub struct TaskQueues {
     plain_by_peak: PerResource<BTreeMap<ByteSize, usize>>,
     /// Current classification of each member: `(special, peak estimate)`.
     class: HashMap<TaskRef, (bool, ByteSize)>,
+    /// Tenant partitioning armed (set once, before any enqueue, by a
+    /// tenant-aware scheduler). Off by default: the shards below stay
+    /// empty and every path is byte-identical to the shared pool.
+    tenant_aware: bool,
+    /// Owning tenant of every task ever noted (tenant mode only).
+    tenant_of: HashMap<TaskRef, TenantId>,
+    /// Per-tenant mirror of the persistent special/plain split: shard
+    /// `t` holds exactly the global entries whose task belongs to
+    /// tenant `t`, in the same seat order. Maintained at the same
+    /// mutation points as the global split, so
+    /// `shard[t] == filter(global, tenant == t)` is an invariant.
+    shards: Vec<TenantShard>,
+}
+
+/// One tenant's slice of the persistent split (see
+/// [`TaskQueues::shards`]).
+#[derive(Default)]
+struct TenantShard {
+    special: PerResource<BTreeSet<(u64, TaskRef)>>,
+    plain: PerResource<BTreeSet<(u64, TaskRef)>>,
+    plain_by_peak: PerResource<BTreeMap<ByteSize, usize>>,
 }
 
 impl TaskQueues {
@@ -143,6 +164,7 @@ impl TaskQueues {
     /// new one, in every kind where the task is live.
     fn sync_class(&mut self, task: TaskRef, special: bool, peak: ByteSize) {
         let old = self.class.insert(task, (special, peak));
+        let shard_idx = self.shard_idx(task);
         for k in ResourceKind::ALL {
             let Some(&seat) = self.seats.get(k).get(&task) else {
                 continue;
@@ -162,7 +184,40 @@ impl TaskQueues {
             } else if self.plain.get_mut(k).insert((seat, task)) {
                 *self.plain_by_peak.get_mut(k).entry(peak).or_insert(0) += 1;
             }
+            if let Some(ti) = shard_idx {
+                let shard = &mut self.shards[ti];
+                if let Some((was_special, old_peak)) = old {
+                    if was_special {
+                        shard.special.get_mut(k).remove(&(seat, task));
+                    } else if shard.plain.get_mut(k).remove(&(seat, task)) {
+                        Self::dec_peak(shard.plain_by_peak.get_mut(k), old_peak);
+                    }
+                }
+                if special {
+                    shard.special.get_mut(k).insert((seat, task));
+                } else if shard.plain.get_mut(k).insert((seat, task)) {
+                    *shard.plain_by_peak.get_mut(k).entry(peak).or_insert(0) += 1;
+                }
+            }
         }
+    }
+
+    /// The shard index of `task` (growing the shard table on first
+    /// sight), or `None` outside tenant mode.
+    fn shard_idx(&mut self, task: TaskRef) -> Option<usize> {
+        if !self.tenant_aware {
+            return None;
+        }
+        let ti = self
+            .tenant_of
+            .get(&task)
+            .copied()
+            .unwrap_or(TenantId(0))
+            .index();
+        if ti >= self.shards.len() {
+            self.shards.resize_with(ti + 1, TenantShard::default);
+        }
+        Some(ti)
     }
 
     fn dec_peak(by_peak: &mut BTreeMap<ByteSize, usize>, peak: ByteSize) {
@@ -207,6 +262,7 @@ impl TaskQueues {
         self.members.remove(task);
         self.enqueued_at.remove(task);
         let class = self.class.remove(task);
+        let shard_idx = self.shard_idx(*task);
         for k in ResourceKind::ALL {
             if let Some(&seat) = self.seats.get(k).get(task) {
                 self.live.get_mut(k).remove(&(seat, *task));
@@ -215,6 +271,14 @@ impl TaskQueues {
                         self.special.get_mut(k).remove(&(seat, *task));
                     } else if self.plain.get_mut(k).remove(&(seat, *task)) {
                         Self::dec_peak(self.plain_by_peak.get_mut(k), peak);
+                    }
+                    if let Some(ti) = shard_idx {
+                        let shard = &mut self.shards[ti];
+                        if special {
+                            shard.special.get_mut(k).remove(&(seat, *task));
+                        } else if shard.plain.get_mut(k).remove(&(seat, *task)) {
+                            Self::dec_peak(shard.plain_by_peak.get_mut(k), peak);
+                        }
                     }
                 }
             }
@@ -253,6 +317,80 @@ impl TaskQueues {
         self.plain_by_peak.get(kind).keys().next().copied()
     }
 
+    /// Arm tenant partitioning. Must be called before any task is
+    /// enqueued (the shards only mirror mutations made after arming).
+    pub fn set_tenant_mode(&mut self) {
+        debug_assert!(
+            self.members.is_empty(),
+            "tenant mode must be armed before the first enqueue"
+        );
+        self.tenant_aware = true;
+    }
+
+    /// Whether tenant partitioning is armed.
+    pub fn tenant_mode(&self) -> bool {
+        self.tenant_aware
+    }
+
+    /// Record which tenant owns `task`. Must precede the task's first
+    /// [`TaskQueues::enqueue`]; no-op outside tenant mode. A task's
+    /// tenant never changes (stage → job → tenant is fixed at submit).
+    pub fn note_tenant(&mut self, task: TaskRef, tenant: TenantId) {
+        if !self.tenant_aware {
+            return;
+        }
+        if tenant.index() >= self.shards.len() {
+            self.shards
+                .resize_with(tenant.index() + 1, TenantShard::default);
+        }
+        self.tenant_of.insert(task, tenant);
+    }
+
+    /// The owning tenant of a noted task (`TenantId(0)` for unknown
+    /// tasks or outside tenant mode).
+    pub fn tenant_of(&self, task: &TaskRef) -> TenantId {
+        self.tenant_of.get(task).copied().unwrap_or(TenantId(0))
+    }
+
+    /// The live *special* entries of one tenant's slice of a queue,
+    /// `(seat, task)` in seat order. Empty outside tenant mode.
+    pub fn special_kind_of(
+        &self,
+        kind: ResourceKind,
+        tenant: TenantId,
+    ) -> impl Iterator<Item = (u64, TaskRef)> + '_ {
+        self.shards
+            .get(tenant.index())
+            .into_iter()
+            .flat_map(move |s| s.special.get(kind).iter().copied())
+    }
+
+    /// The live *plain* entries of one tenant's slice of a queue,
+    /// `(seat, task, peak)` in seat order. Empty outside tenant mode.
+    pub fn plain_kind_of(
+        &self,
+        kind: ResourceKind,
+        tenant: TenantId,
+    ) -> impl Iterator<Item = (u64, TaskRef, ByteSize)> + '_ {
+        self.shards
+            .get(tenant.index())
+            .into_iter()
+            .flat_map(move |s| {
+                s.plain.get(kind).iter().map(move |&(seat, t)| {
+                    let peak = self.class.get(&t).map(|&(_, p)| p).unwrap_or_default();
+                    (seat, t, peak)
+                })
+            })
+    }
+
+    /// Smallest live plain peak estimate in one tenant's slice of a
+    /// queue, if any. `None` outside tenant mode.
+    pub fn plain_floor_of(&self, kind: ResourceKind, tenant: TenantId) -> Option<ByteSize> {
+        self.shards
+            .get(tenant.index())
+            .and_then(|s| s.plain_by_peak.get(kind).keys().next().copied())
+    }
+
     /// Forget the retained seats of non-members in one queue, so a later
     /// re-enqueue joins at the back instead of its old position (the
     /// historical `compact`; never called on the production path).
@@ -289,6 +427,9 @@ pub struct TaskManager {
     /// Stream job owning each stage (multi-tenant runs; used to scope
     /// keys when `cross_job_db` is off).
     job_of_stage: HashMap<StageId, JobId>,
+    /// Tenant of each stream job, refreshed from the offer input every
+    /// round by a tenant-aware scheduler. Empty by default.
+    job_tenants: Vec<TenantId>,
     /// Memo of cold-DB scoped keys (`jN@template`), so the ablation path
     /// formats and interns each `(job, template)` pair once.
     scope_cache: RefCell<HashMap<(JobId, Sym), Sym>>,
@@ -318,14 +459,19 @@ struct ClassMeta {
 impl TaskManager {
     /// A TM with a fresh database.
     pub fn new(cfg: RupamConfig) -> Self {
+        let mut queues = TaskQueues::new();
+        if cfg.tenant_aware() {
+            queues.set_tenant_mode();
+        }
         TaskManager {
             cfg,
             db: TaskCharDb::new(),
-            queues: TaskQueues::new(),
+            queues,
             finished_secs: HashMap::new(),
             gpu_stages: HashSet::new(),
             smallest_executor: ByteSize::gib(14),
             job_of_stage: HashMap::new(),
+            job_tenants: Vec::new(),
             scope_cache: RefCell::new(HashMap::new()),
             median_cache: RefCell::new(HashMap::new()),
             class_meta: HashMap::new(),
@@ -342,6 +488,28 @@ impl TaskManager {
         for &s in stages {
             self.job_of_stage.insert(s, job);
         }
+    }
+
+    /// Refresh the job → tenant map from the offer input (tenant-aware
+    /// schedulers call this once per round, before ingesting tasks).
+    pub fn note_tenants(&mut self, job_tenants: &[TenantId]) {
+        if self.job_tenants.as_slice() != job_tenants {
+            self.job_tenants = job_tenants.to_vec();
+        }
+    }
+
+    /// The stream job owning a stage (`JobId(0)` for single-app runs).
+    pub fn job_of(&self, stage: StageId) -> JobId {
+        self.job_of_stage.get(&stage).copied().unwrap_or(JobId(0))
+    }
+
+    /// The tenant owning a stage, via its stream job (`TenantId(0)` for
+    /// single-app runs or jobs beyond the noted tenant map).
+    pub fn tenant_of_stage(&self, stage: StageId) -> TenantId {
+        self.job_tenants
+            .get(self.job_of(stage).index())
+            .copied()
+            .unwrap_or(TenantId(0))
     }
 
     /// Template key as stored in the DB / stage statistics: per-template
@@ -377,9 +545,13 @@ impl TaskManager {
     /// experiment protocol requires a cold DB.
     pub fn reset_run_state(&mut self) {
         self.queues = TaskQueues::new();
+        if self.cfg.tenant_aware() {
+            self.queues.set_tenant_mode();
+        }
         self.finished_secs.clear();
         self.gpu_stages.clear();
         self.job_of_stage.clear();
+        self.job_tenants.clear();
         self.scope_cache.borrow_mut().clear();
         self.median_cache.borrow_mut().clear();
         self.class_meta.clear();
@@ -470,6 +642,14 @@ impl TaskManager {
     }
 
     fn ingest(&mut self, view: &PendingTaskView, now: SimTime) {
+        if self.queues.tenant_mode() {
+            let tenant = self
+                .job_tenants
+                .get(view.job.index())
+                .copied()
+                .unwrap_or(TenantId(0));
+            self.queues.note_tenant(view.task, tenant);
+        }
         let char = self.lookup(view);
         let kinds = self.queues_for_char(&char, view);
         let (special, peak) = self.class_of(&char, view);
@@ -829,6 +1009,71 @@ mod tests {
         );
         q.compact(ResourceKind::Cpu);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn tenant_shards_mirror_the_global_split() {
+        let mut q = TaskQueues::new();
+        q.set_tenant_mode();
+        let t = |i| TaskRef {
+            stage: StageId(i),
+            index: 0,
+        };
+        // tenant 0: one plain, one special; tenant 1: one plain
+        q.note_tenant(t(0), TenantId(0));
+        q.enqueue(t(0), &[ResourceKind::Cpu], SimTime::ZERO, false, ByteSize::gib(2));
+        q.note_tenant(t(1), TenantId(0));
+        q.enqueue(t(1), &[ResourceKind::Cpu], SimTime::ZERO, true, ByteSize::gib(1));
+        q.note_tenant(t(2), TenantId(1));
+        q.enqueue(t(2), &[ResourceKind::Cpu], SimTime::ZERO, false, ByteSize::gib(4));
+
+        let plain0: Vec<TaskRef> = q
+            .plain_kind_of(ResourceKind::Cpu, TenantId(0))
+            .map(|(_, task, _)| task)
+            .collect();
+        assert_eq!(plain0, vec![t(0)]);
+        let special0: Vec<TaskRef> = q
+            .special_kind_of(ResourceKind::Cpu, TenantId(0))
+            .map(|(_, task)| task)
+            .collect();
+        assert_eq!(special0, vec![t(1)]);
+        assert_eq!(
+            q.plain_floor_of(ResourceKind::Cpu, TenantId(0)),
+            Some(ByteSize::gib(2))
+        );
+        assert_eq!(
+            q.plain_floor_of(ResourceKind::Cpu, TenantId(1)),
+            Some(ByteSize::gib(4))
+        );
+        // the shards always equal the tenant-filtered global split
+        let global: Vec<TaskRef> = q.plain_kind(ResourceKind::Cpu).map(|(_, task, _)| task).collect();
+        assert_eq!(global, vec![t(0), t(2)]);
+
+        // reclassify t(0) special → moves shards too
+        q.reclassify(t(0), true, ByteSize::gib(2));
+        assert_eq!(q.plain_kind_of(ResourceKind::Cpu, TenantId(0)).count(), 0);
+        assert_eq!(q.special_kind_of(ResourceKind::Cpu, TenantId(0)).count(), 2);
+        assert_eq!(q.plain_floor_of(ResourceKind::Cpu, TenantId(0)), None);
+
+        // removal drains the owning shard only
+        q.remove(&t(2));
+        assert_eq!(q.plain_kind_of(ResourceKind::Cpu, TenantId(1)).count(), 0);
+        assert_eq!(q.special_kind_of(ResourceKind::Cpu, TenantId(0)).count(), 2);
+    }
+
+    #[test]
+    fn default_mode_keeps_shards_empty() {
+        let mut q = TaskQueues::new();
+        let t = TaskRef {
+            stage: StageId(0),
+            index: 0,
+        };
+        q.note_tenant(t, TenantId(3)); // no-op outside tenant mode
+        q.enqueue(t, &ResourceKind::ALL, SimTime::ZERO, false, ByteSize::gib(1));
+        assert!(!q.tenant_mode());
+        assert_eq!(q.plain_kind_of(ResourceKind::Cpu, TenantId(0)).count(), 0);
+        assert_eq!(q.plain_floor_of(ResourceKind::Cpu, TenantId(0)), None);
+        assert_eq!(q.tenant_of(&t), TenantId(0));
     }
 
     #[test]

@@ -163,6 +163,7 @@ proptest! {
             pending: pending.clone(),
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -203,6 +204,7 @@ proptest! {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -246,6 +248,7 @@ proptest! {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };
@@ -282,6 +285,7 @@ proptest! {
             pending: vec![],
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         };

@@ -53,6 +53,11 @@ pub struct Stage {
     pub parents: Vec<StageId>,
     /// One task per partition.
     pub tasks: Vec<TaskTemplate>,
+    /// Gang-scheduled stage: under a gang-admitting scheduler its tasks
+    /// launch all-or-nothing, only when every task can be co-resident
+    /// (e.g. an iterative GPU stage whose partitions synchronise each
+    /// sweep). Schedulers without gang admission ignore the flag.
+    pub gang: bool,
 }
 
 impl Stage {
@@ -201,9 +206,23 @@ impl AppBuilder {
             kind,
             parents,
             tasks,
+            gang: false,
         });
         self.app.jobs[job.index()].stages.push(id);
         id
+    }
+
+    /// Flag an already-added stage for gang admission (see
+    /// [`Stage::gang`]).
+    ///
+    /// # Panics
+    /// Panics if `stage` doesn't exist yet.
+    pub fn mark_gang(&mut self, stage: StageId) {
+        self.app
+            .stages
+            .get_mut(stage.index())
+            .unwrap_or_else(|| panic!("unknown stage {stage}"))
+            .gang = true;
     }
 
     /// Finish, validating the whole application:
@@ -264,6 +283,18 @@ mod tests {
         assert_eq!(app.stage(r).parents, vec![m]);
         assert_eq!(app.all_task_refs().count(), 6);
         assert_eq!(app.task(TaskRef { stage: m, index: 3 }).index, 3);
+    }
+
+    #[test]
+    fn gang_flag_defaults_off_and_marks() {
+        let mut b = AppBuilder::new("t");
+        let j = b.begin_job();
+        let m = b.add_stage(j, "m", "t/m", StageKind::ShuffleMap, vec![], tasks(2));
+        let r = b.add_stage(j, "r", "t/r", StageKind::Result, vec![m], tasks(1));
+        b.mark_gang(m);
+        let app = b.build();
+        assert!(app.stage(m).gang);
+        assert!(!app.stage(r).gang, "gang is opt-in per stage");
     }
 
     #[test]

@@ -26,5 +26,5 @@ pub mod task;
 
 pub use app::{AppBuilder, Application, Job, JobId, Stage, StageId, StageKind};
 pub use data::{BlockId, DataLayout, Locality};
-pub use stream::{JobStream, MergedStream, StreamEntry, StreamJobMeta};
+pub use stream::{JobStream, MergedStream, StreamEntry, StreamJobMeta, TenantId};
 pub use task::{CacheKey, InputSource, TaskDemand, TaskRef, TaskTemplate};

@@ -16,12 +16,22 @@
 //! which is exactly the cross-job reuse under study.
 
 use rupam_simcore::time::SimTime;
+use rupam_simcore::define_id;
 
 use crate::app::{Application, Job, JobId, Stage, StageId};
 use crate::data::{BlockId, DataLayout};
 use crate::task::InputSource;
 
-/// One tenant of a [`JobStream`]: an application submitted at `arrival`.
+define_id!(
+    /// Index of a tenant sharing the cluster. Several stream jobs may
+    /// belong to one tenant (its submission queue); allocation policies
+    /// arbitrate *between* tenants, never between a tenant's own jobs.
+    TenantId,
+    "tenant"
+);
+
+/// One entry of a [`JobStream`]: an application submitted at `arrival`
+/// on behalf of `tenant`.
 #[derive(Clone, Debug)]
 pub struct StreamEntry {
     /// Display name (`"TeraSort#2"`).
@@ -32,6 +42,10 @@ pub struct StreamEntry {
     pub layout: DataLayout,
     /// Submission instant relative to the start of the run.
     pub arrival: SimTime,
+    /// Owning tenant. [`JobStream::push`] assigns each entry its own
+    /// tenant (the historical one-job-one-tenant reading); use
+    /// [`JobStream::push_as`] to submit several jobs under one tenant.
+    pub tenant: TenantId,
 }
 
 /// A stream of applications arriving at one shared cluster.
@@ -58,6 +72,25 @@ impl JobStream {
         layout: DataLayout,
         arrival: SimTime,
     ) {
+        let tenant = TenantId(self.entries.len());
+        self.push_as(name, app, layout, arrival, tenant);
+    }
+
+    /// Append an entry on behalf of an explicit tenant. Arrivals must be
+    /// non-decreasing; tenant ids may repeat (one tenant, many jobs) and
+    /// need not be contiguous, but the merge renumbers nothing — callers
+    /// should keep them dense so per-tenant tables stay small.
+    ///
+    /// # Panics
+    /// Panics if `arrival` precedes the previous entry's arrival.
+    pub fn push_as(
+        &mut self,
+        name: impl Into<String>,
+        app: Application,
+        layout: DataLayout,
+        arrival: SimTime,
+        tenant: TenantId,
+    ) {
         if let Some(last) = self.entries.last() {
             assert!(
                 arrival >= last.arrival,
@@ -70,6 +103,7 @@ impl JobStream {
             app,
             layout,
             arrival,
+            tenant,
         });
     }
 
@@ -129,6 +163,7 @@ impl JobStream {
                 name: entry.name,
                 arrival: entry.arrival,
                 app_jobs: first_app_job..app.jobs.len(),
+                tenant: entry.tenant,
             });
         }
         MergedStream {
@@ -171,6 +206,8 @@ pub struct StreamJobMeta {
     /// Those app-jobs still run sequentially *within* the entry; entries
     /// run concurrently once arrived.
     pub app_jobs: std::ops::Range<usize>,
+    /// Owning tenant.
+    pub tenant: TenantId,
 }
 
 /// A [`JobStream`] flattened for the engine: one merged application and
@@ -191,6 +228,26 @@ impl MergedStream {
     /// The stream job owning `stage`.
     pub fn stream_job(&self, stage: StageId) -> JobId {
         self.stage_jobs[stage.index()]
+    }
+
+    /// The tenant owning stream job `job`.
+    pub fn tenant_of(&self, job: JobId) -> TenantId {
+        self.jobs[job.index()].tenant
+    }
+
+    /// Tenant of each stream job, indexed by [`JobId`] — the table
+    /// offer-input builders hand to schedulers.
+    pub fn job_tenants(&self) -> Vec<TenantId> {
+        self.jobs.iter().map(|j| j.tenant).collect()
+    }
+
+    /// Number of distinct tenants (`max id + 1`; dense ids assumed).
+    pub fn tenant_count(&self) -> usize {
+        self.jobs
+            .iter()
+            .map(|j| j.tenant.index() + 1)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -290,6 +347,34 @@ mod tests {
             vec![JobId(0), JobId(0), JobId(1), JobId(1)]
         );
         assert_eq!(merged.stream_job(StageId(3)), JobId(1));
+    }
+
+    #[test]
+    fn default_push_gives_each_entry_its_own_tenant() {
+        let merged = two_entry_stream();
+        assert_eq!(merged.jobs[0].tenant, TenantId(0));
+        assert_eq!(merged.jobs[1].tenant, TenantId(1));
+        assert_eq!(merged.tenant_of(JobId(1)), TenantId(1));
+        assert_eq!(merged.job_tenants(), vec![TenantId(0), TenantId(1)]);
+        assert_eq!(merged.tenant_count(), 2);
+    }
+
+    #[test]
+    fn push_as_groups_jobs_under_one_tenant() {
+        let cluster = ClusterSpec::hydra();
+        let mut stream = JobStream::new();
+        let (a1, l1) = entry(&cluster, 1);
+        let (a2, l2) = entry(&cluster, 2);
+        let (a3, l3) = entry(&cluster, 3);
+        stream.push_as("a0", a1, l1, SimTime::ZERO, TenantId(0));
+        stream.push_as("a1", a2, l2, SimTime::from_secs_f64(5.0), TenantId(0));
+        stream.push_as("b0", a3, l3, SimTime::from_secs_f64(9.0), TenantId(1));
+        let merged = stream.merge();
+        assert_eq!(
+            merged.job_tenants(),
+            vec![TenantId(0), TenantId(0), TenantId(1)]
+        );
+        assert_eq!(merged.tenant_count(), 2);
     }
 
     #[test]

@@ -476,6 +476,7 @@ mod tests {
             pending,
             speculatable: vec![],
             job_arrivals: vec![SimTime::ZERO],
+            job_tenants: vec![rupam_dag::TenantId(0)],
             changed: None,
             pending_fresh: None,
         }

@@ -20,7 +20,7 @@ use rupam_simcore::units::ByteSize;
 use rupam_metrics::breakdown::TaskBreakdown;
 
 use crate::costmodel::{build_phases, LaunchContext, Phase};
-use crate::scheduler::Command;
+use crate::scheduler::{Command, KillReason};
 
 use rupam_simcore::source::EventSource;
 
@@ -231,7 +231,11 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
             } => {
                 self.try_launch(task, node, use_gpu, speculative, reason);
             }
-            Command::KillAndRequeue { task, node } => {
+            Command::KillAndRequeue { task, node, reason } => {
+                let outcome = match reason {
+                    KillReason::MemoryStraggler => AttemptOutcome::MemoryStragglerKilled,
+                    KillReason::QuotaPreempt => AttemptOutcome::QuotaPreempted,
+                };
                 let state = &self.state.stages[task.stage.index()].tasks[task.index];
                 if let TaskState::Running { attempts } = state {
                     let on_node: Vec<AttemptId> = attempts
@@ -243,7 +247,7 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
                         self.publish(EngineEvent::KillRequeue { task, node });
                     }
                     for id in on_node {
-                        self.fail_attempt(id, AttemptOutcome::MemoryStragglerKilled);
+                        self.fail_attempt(id, outcome);
                     }
                 }
             }

@@ -318,6 +318,7 @@ pub(crate) fn assemble<'a, 's>(
                 .iter()
                 .map(|j| JobRt {
                     name: j.name.clone(),
+                    tenant: j.tenant,
                     arrival: j.arrival,
                     completed_at: None,
                 })
@@ -331,6 +332,7 @@ pub(crate) fn assemble<'a, 's>(
         None => (
             vec![JobRt {
                 name: input.app.name.clone(),
+                tenant: rupam_dag::TenantId(0),
                 arrival: SimTime::ZERO,
                 completed_at: None,
             }],
@@ -442,6 +444,7 @@ fn run_sim(
         .enumerate()
         .map(|(i, j)| JobOutcome {
             job: JobId(i),
+            tenant: j.tenant,
             name: j.name.clone(),
             submitted_at: j.arrival,
             completed_at: j.completed_at,

@@ -281,6 +281,7 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
             pending,
             speculatable,
             job_arrivals: self.state.jobs.iter().map(|j| j.arrival).collect(),
+            job_tenants: self.state.jobs.iter().map(|j| j.tenant).collect(),
             changed,
             // The sim engine rebuilds `pending` from scratch every round and
             // offers no warranty about which tasks changed, so it always

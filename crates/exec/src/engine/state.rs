@@ -94,6 +94,7 @@ pub(crate) struct NodeRt {
 /// Runtime state of one stream job (single-app runs have exactly one).
 pub(crate) struct JobRt {
     pub(crate) name: String,
+    pub(crate) tenant: rupam_dag::TenantId,
     pub(crate) arrival: SimTime,
     pub(crate) completed_at: Option<SimTime>,
 }

@@ -46,4 +46,6 @@ pub use engine::{
     SimInput, SimObservation, SimOptions, StreamInput, Subscriber,
 };
 pub use rupam_metrics::trace::LaunchReason;
-pub use scheduler::{Command, NodeShadowTable, NodeView, OfferInput, PendingTaskView, Scheduler};
+pub use scheduler::{
+    Command, KillReason, NodeShadowTable, NodeView, OfferInput, PendingTaskView, Scheduler,
+};

@@ -15,7 +15,7 @@ use rupam_simcore::Sym;
 
 use rupam_cluster::{ClusterSpec, NodeId, NodeTier};
 use rupam_dag::app::{Application, JobId, Stage, StageId, StageKind};
-use rupam_dag::{Locality, TaskRef};
+use rupam_dag::{Locality, TaskRef, TenantId};
 use rupam_metrics::record::{AttemptOutcome, TaskRecord};
 use rupam_metrics::trace::LaunchReason;
 
@@ -161,6 +161,11 @@ pub struct OfferInput<'a> {
     /// (`[t0]` on single-app runs). No task of a job may launch before
     /// its job's arrival — the auditor enforces this.
     pub job_arrivals: Vec<SimTime>,
+    /// Tenant of each stream job, indexed by [`JobId`]
+    /// (`[TenantId(0)]` on single-app runs). Tenant-aware allocators
+    /// resolve a pending task's tenant through its `job`; FIFO-baseline
+    /// schedulers ignore the column entirely.
+    pub job_tenants: Vec<TenantId>,
     /// Engine-computed delta against the previous offer round: the nodes
     /// whose view may differ from what the scheduler last saw (the
     /// paper's collectors piggy-back exactly such deltas on heartbeats).
@@ -292,13 +297,29 @@ pub enum Command {
         reason: LaunchReason,
     },
     /// Kill a *running* attempt and requeue its task (RUPAM's
-    /// memory-straggler relocation, §III-C3).
+    /// memory-straggler relocation §III-C3, or tenant-quota preemption).
     KillAndRequeue {
         /// Task whose running attempt dies.
         task: TaskRef,
         /// Node it is running on (guards against stale views).
         node: NodeId,
+        /// Why the attempt dies — decides the recorded
+        /// [`AttemptOutcome`] and which TM statistics the kill feeds.
+        reason: KillReason,
     },
+}
+
+/// Why a [`Command::KillAndRequeue`] was issued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillReason {
+    /// RUPAM's memory-straggler relocation: the attempt grinds against
+    /// memory pressure and is re-queued for a better-fitting node. Feeds
+    /// the TM's memory-failure statistics.
+    MemoryStraggler,
+    /// The attempt's tenant ran over quota; the allocator reclaims the
+    /// capacity. Says nothing about the task's memory behaviour, so the
+    /// TM must *not* count it as a memory failure.
+    QuotaPreempt,
 }
 
 /// A task scheduler: stock Spark, RUPAM, or an ablation variant.

@@ -212,6 +212,7 @@ mod tests {
             completed: true,
             jobs: vec![JobOutcome {
                 job: JobId(0),
+                tenant: rupam_dag::TenantId(0),
                 name: "t".into(),
                 submitted_at: SimTime::ZERO,
                 completed_at: Some(SimTime::from_secs_f64(10.0)),

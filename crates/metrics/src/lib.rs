@@ -29,6 +29,6 @@ pub mod trace;
 
 pub use breakdown::{BreakdownCategory, TaskBreakdown};
 pub use record::{AttemptOutcome, TaskRecord};
-pub use report::{FaultSummary, JobOutcome, RunReport};
+pub use report::{jain_index, FaultSummary, JobOutcome, RunReport};
 pub use table::Table;
 pub use trace::{LaunchReason, TraceBuffer, TraceEvent, TraceEventKind};

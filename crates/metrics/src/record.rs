@@ -33,6 +33,11 @@ pub enum AttemptOutcome {
     /// Killed because its node crashed or was declared dead by the
     /// heartbeat failure detector; the task is re-queued.
     NodeFaulted,
+    /// Killed because its tenant ran over quota and the allocator chose
+    /// it as the preemption victim; the task is re-queued through the
+    /// lineage-recovery path. Unlike [`AttemptOutcome::OomFailure`] this
+    /// says nothing about the task's memory behaviour.
+    QuotaPreempted,
 }
 
 impl AttemptOutcome {
@@ -49,6 +54,7 @@ impl AttemptOutcome {
                 | AttemptOutcome::ExecutorLost
                 | AttemptOutcome::MemoryStragglerKilled
                 | AttemptOutcome::NodeFaulted
+                | AttemptOutcome::QuotaPreempted
         )
     }
 }
@@ -173,6 +179,8 @@ mod tests {
         assert!(AttemptOutcome::MemoryStragglerKilled.is_failure());
         assert!(AttemptOutcome::NodeFaulted.is_failure());
         assert!(!AttemptOutcome::NodeFaulted.is_success());
+        assert!(AttemptOutcome::QuotaPreempted.is_failure());
+        assert!(!AttemptOutcome::QuotaPreempted.is_success());
         assert!(!AttemptOutcome::LostRace.is_failure());
         assert!(!AttemptOutcome::LostRace.is_success());
     }

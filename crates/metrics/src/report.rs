@@ -11,7 +11,7 @@ use rupam_simcore::time::{SimDuration, SimTime};
 
 use rupam_cluster::monitor::MetricKey;
 use rupam_cluster::{NodeId, ResourceMonitor};
-use rupam_dag::{JobId, Locality};
+use rupam_dag::{JobId, Locality, TenantId};
 
 use crate::breakdown::TaskBreakdown;
 use crate::record::TaskRecord;
@@ -22,6 +22,8 @@ use crate::record::TaskRecord;
 pub struct JobOutcome {
     /// Stream job id.
     pub job: JobId,
+    /// Tenant that submitted the job (`TenantId(0)` on single-app runs).
+    pub tenant: TenantId,
     /// Display name of the job.
     pub name: String,
     /// When the job was submitted.
@@ -35,6 +37,23 @@ impl JobOutcome {
     pub fn jct(&self) -> Option<SimDuration> {
         self.completed_at.map(|t| t.since(self.submitted_at))
     }
+}
+
+/// Jain's fairness index over a vector of non-negative allocations:
+/// `(Σx)² / (n · Σx²)`. 1.0 when every entry is equal, approaching
+/// `1/n` as one entry dominates. Returns 1.0 for empty or all-zero
+/// inputs (a degenerate share-out is vacuously fair).
+pub fn jain_index(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n == 0 {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return 1.0;
+    }
+    (sum * sum) / (n as f64 * sq)
 }
 
 /// Counters for the fault-injection & recovery subsystem. All zero on a
@@ -287,6 +306,91 @@ impl RunReport {
         }
         stats::quantile(&jcts, 0.95)
     }
+
+    /// Completion times of finished jobs grouped by tenant, in tenant-id
+    /// order. Tenants none of whose jobs finished appear with an empty
+    /// vector so indices line up with the stream's tenant numbering.
+    pub fn jct_secs_by_tenant(&self) -> Vec<(TenantId, Vec<f64>)> {
+        let tenants = self
+            .jobs
+            .iter()
+            .map(|j| j.tenant.index() + 1)
+            .max()
+            .unwrap_or(0);
+        let mut by_tenant: Vec<Vec<f64>> = vec![Vec::new(); tenants];
+        for j in &self.jobs {
+            if let Some(d) = j.jct() {
+                by_tenant[j.tenant.index()].push(d.as_secs_f64());
+            }
+        }
+        by_tenant
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| (TenantId(i), v))
+            .collect()
+    }
+
+    /// Mean JCT per tenant (tenants with no finished job report 0.0).
+    pub fn tenant_jct_means(&self) -> Vec<(TenantId, f64)> {
+        self.jct_secs_by_tenant()
+            .into_iter()
+            .map(|(t, v)| (t, stats::mean(&v)))
+            .collect()
+    }
+
+    /// Jain's fairness index over per-tenant mean JCTs — 1.0 when every
+    /// tenant experiences the same mean completion time. Tenants with no
+    /// finished jobs are excluded (they have no JCT to be unfair about).
+    pub fn tenant_jain_jct(&self) -> f64 {
+        let means: Vec<f64> = self
+            .jct_secs_by_tenant()
+            .into_iter()
+            .filter(|(_, v)| !v.is_empty())
+            .map(|(_, v)| stats::mean(&v))
+            .collect();
+        jain_index(&means)
+    }
+
+    /// Per-tenant slowdown against solo-run baselines: tenant `i`'s mean
+    /// JCT divided by `solo_means[i]` (its mean JCT when running the
+    /// cluster alone). Tenants with no finished job, or with a zero /
+    /// missing baseline, are skipped.
+    pub fn tenant_slowdowns(&self, solo_means: &[f64]) -> Vec<(TenantId, f64)> {
+        self.jct_secs_by_tenant()
+            .into_iter()
+            .filter(|(t, v)| {
+                !v.is_empty() && solo_means.get(t.index()).copied().unwrap_or(0.0) > 0.0
+            })
+            .map(|(t, v)| (t, stats::mean(&v) / solo_means[t.index()]))
+            .collect()
+    }
+
+    /// Jain's fairness index over per-tenant slowdowns — the
+    /// size-normalised fairness measure. Raw JCTs conflate job size
+    /// with treatment (a tenant of small jobs always "looks" fast);
+    /// slowdown divides that out, so 1.0 means contention taxed every
+    /// tenant equally regardless of what they run.
+    pub fn tenant_jain_slowdown(&self, solo_means: &[f64]) -> f64 {
+        let s: Vec<f64> = self
+            .tenant_slowdowns(solo_means)
+            .into_iter()
+            .map(|(_, x)| x)
+            .collect();
+        jain_index(&s)
+    }
+
+    /// 95th-percentile of the per-tenant slowdowns (0.0 when none).
+    pub fn tenant_slowdown_p95(&self, solo_means: &[f64]) -> f64 {
+        let s: Vec<f64> = self
+            .tenant_slowdowns(solo_means)
+            .into_iter()
+            .map(|(_, x)| x)
+            .collect();
+        if s.is_empty() {
+            return 0.0;
+        }
+        stats::quantile(&s, 0.95)
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +439,7 @@ mod tests {
             completed: true,
             jobs: vec![JobOutcome {
                 job: JobId(0),
+                tenant: TenantId(0),
                 name: "t".into(),
                 submitted_at: SimTime::ZERO,
                 completed_at: Some(SimTime::from_secs_f64(10.0)),
@@ -429,18 +534,21 @@ mod tests {
         rep.jobs = vec![
             JobOutcome {
                 job: JobId(0),
+                tenant: TenantId(0),
                 name: "a".into(),
                 submitted_at: SimTime::ZERO,
                 completed_at: Some(SimTime::from_secs_f64(10.0)),
             },
             JobOutcome {
                 job: JobId(1),
+                tenant: TenantId(1),
                 name: "b".into(),
                 submitted_at: SimTime::from_secs_f64(5.0),
                 completed_at: Some(SimTime::from_secs_f64(25.0)),
             },
             JobOutcome {
                 job: JobId(2),
+                tenant: TenantId(1),
                 name: "c".into(),
                 submitted_at: SimTime::from_secs_f64(8.0),
                 completed_at: None, // aborted before completion
@@ -450,6 +558,52 @@ mod tests {
         assert!((rep.jct_mean() - 15.0).abs() < 1e-9);
         assert!((rep.jct_p95() - 19.5).abs() < 1e-9);
         assert_eq!(rep.jobs[2].jct(), None);
+    }
+
+    #[test]
+    fn tenant_fairness_aggregates() {
+        let mut rep = report(vec![]);
+        let job = |i: usize, tenant: usize, jct: Option<f64>| JobOutcome {
+            job: JobId(i),
+            tenant: TenantId(tenant),
+            name: format!("j{i}"),
+            submitted_at: SimTime::ZERO,
+            completed_at: jct.map(SimTime::from_secs_f64),
+        };
+        rep.jobs = vec![
+            job(0, 0, Some(10.0)),
+            job(1, 0, Some(30.0)),
+            job(2, 1, Some(20.0)),
+            job(3, 2, None), // tenant 2 never finished anything
+        ];
+        let by_tenant = rep.jct_secs_by_tenant();
+        assert_eq!(by_tenant.len(), 3);
+        assert_eq!(by_tenant[0].1, vec![10.0, 30.0]);
+        assert_eq!(by_tenant[1].1, vec![20.0]);
+        assert!(by_tenant[2].1.is_empty());
+        // both finished tenants mean 20s → perfectly fair
+        assert!((rep.tenant_jain_jct() - 1.0).abs() < 1e-12);
+        // make tenant 1 finish 3× slower → index drops below 1
+        rep.jobs[2].completed_at = Some(SimTime::from_secs_f64(60.0));
+        assert!(rep.tenant_jain_jct() < 0.95);
+        // slowdowns against solo baselines of 10s and 20s
+        let slow = rep.tenant_slowdowns(&[10.0, 20.0]);
+        assert_eq!(slow.len(), 2);
+        assert!((slow[0].1 - 2.0).abs() < 1e-12);
+        assert!((slow[1].1 - 3.0).abs() < 1e-12);
+        assert!((rep.tenant_slowdown_p95(&[10.0, 20.0]) - 2.95).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jain_index_bounds() {
+        assert_eq!(jain_index(&[]), 1.0);
+        assert_eq!(jain_index(&[0.0, 0.0]), 1.0);
+        assert!((jain_index(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        // one tenant hogging everything → 1/n
+        let skew = jain_index(&[1.0, 0.0, 0.0, 0.0]);
+        assert!((skew - 0.25).abs() < 1e-12);
+        let mid = jain_index(&[1.0, 3.0]);
+        assert!(mid > 0.25 && mid < 1.0);
     }
 
     #[test]

@@ -75,6 +75,14 @@ pub enum LaunchReason {
     /// GPU/CPU race: the original grinds on the wrong side, this copy
     /// races it on the other (§III-C3).
     GpuRace,
+    /// Gang admission: the task launched as part of an all-or-nothing
+    /// plan that co-placed every task of a `gang: true` stage in one
+    /// round (memory-feasibility checked per placement, like
+    /// `QueueMatch`).
+    GangAdmission {
+        /// Locality level of this member's placement.
+        locality: Locality,
+    },
 }
 
 impl LaunchReason {
@@ -93,6 +101,7 @@ impl LaunchReason {
             LaunchReason::FifoSlot => "fifo-slot",
             LaunchReason::Relocation { .. } => "relocation",
             LaunchReason::GpuRace => "gpu-race",
+            LaunchReason::GangAdmission { .. } => "gang-admission",
         }
     }
 
@@ -102,7 +111,9 @@ impl LaunchReason {
     pub fn claims_memory_checked(&self) -> bool {
         matches!(
             self,
-            LaunchReason::QueueMatch { .. } | LaunchReason::GpuCpuFallback { .. }
+            LaunchReason::QueueMatch { .. }
+                | LaunchReason::GpuCpuFallback { .. }
+                | LaunchReason::GangAdmission { .. }
         )
     }
 }
@@ -548,6 +559,9 @@ mod tests {
                 bottleneck: ResourceKind::Io,
             },
             LaunchReason::GpuRace,
+            LaunchReason::GangAdmission {
+                locality: Locality::Any,
+            },
         ];
         let mut codes = Vec::new();
         for r in variants {

@@ -1333,6 +1333,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             pending: std::mem::take(&mut self.pending_views),
             speculatable: Vec::new(),
             job_arrivals,
+            job_tenants: self.catalog.job_tenants(),
             changed,
             pending_fresh,
         };
@@ -1469,7 +1470,7 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                     },
                 );
             }
-            Command::KillAndRequeue { task, node } => {
+            Command::KillAndRequeue { task, node, reason: _ } => {
                 let TaskSt::Running { node: on, .. } =
                     self.stages[task.stage.index()].tasks[task.index]
                 else {

@@ -131,3 +131,152 @@ fn chaos_smoke_matches_down_both_paths() {
     assert_eq!(out.report.lost_tasks, 0);
     check_both_paths(12, 4, 24, &cfg, &out);
 }
+
+// ---------------------------------------------------------------------
+// Seat-partition property: the per-tenant shards behind the serve
+// path's `pending_fresh` warranty. The tenant-aware dispatcher probes
+// `special_kind_of` / `plain_kind_of` instead of filtering the global
+// split per round, so the shards must equal the filtered global
+// partition — same entries, same seat order, same floors — after *any*
+// interleaving of ingestion, launch/removal, and `DB_task_char`-driven
+// reclassification. The reference reconstruction below (filter the
+// global split by owner) is exactly the from-scratch scan the
+// non-incremental tenant path performs; the property pins the
+// persistent shards to it.
+
+mod seat_partition {
+    use proptest::prelude::*;
+    use rupam::tm::TaskQueues;
+    use rupam_cluster::ResourceKind;
+    use rupam_dag::app::StageId;
+    use rupam_dag::{TaskRef, TenantId};
+    use rupam_simcore::time::SimTime;
+    use rupam_simcore::units::ByteSize;
+
+    const TENANTS: usize = 3;
+    const SLOTS: usize = 24;
+
+    fn task(slot: usize) -> TaskRef {
+        TaskRef {
+            stage: StageId(slot / 8),
+            index: slot % 8,
+        }
+    }
+
+    fn tenant(slot: usize) -> TenantId {
+        TenantId(slot % TENANTS)
+    }
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// A view became pending: enqueue into a kind subset (or
+        /// resurrect the historical seats of a re-pended task).
+        Enqueue {
+            slot: usize,
+            kinds: Vec<ResourceKind>,
+            special: bool,
+            peak_mib: u64,
+        },
+        /// A `DB_task_char` write changed the classification of a
+        /// still-queued task.
+        Reclassify {
+            slot: usize,
+            special: bool,
+            peak_mib: u64,
+        },
+        /// The task launched (or its stage was cancelled): leave every
+        /// queue.
+        Remove { slot: usize },
+    }
+
+    /// Ops drawn from integer tuples (the vendored proptest carries no
+    /// oneof/subsequence combinators): `sel` weights enqueue :
+    /// reclassify : remove at 3 : 2 : 2, `bits` is a 5-bit kind mask
+    /// (empty masks fall back to the CPU queue) plus the special flag.
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u32..7, 0usize..SLOTS, 0u32..64, 64u64..512).prop_map(|(sel, slot, bits, peak_mib)| {
+            let special = bits & 32 != 0;
+            match sel {
+                0..=2 => {
+                    let mut kinds: Vec<ResourceKind> = ResourceKind::ALL
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| bits & (1 << i) != 0)
+                        .map(|(_, &k)| k)
+                        .collect();
+                    if kinds.is_empty() {
+                        kinds.push(ResourceKind::Cpu);
+                    }
+                    Op::Enqueue { slot, kinds, special, peak_mib }
+                }
+                3 | 4 => Op::Reclassify { slot, special, peak_mib },
+                _ => Op::Remove { slot },
+            }
+        })
+    }
+
+    /// `shard[t] == filter(global, tenant == t)` for both sides of the
+    /// split, plus floor agreement and exact coverage of the union.
+    fn assert_partition(q: &TaskQueues) {
+        for kind in ResourceKind::ALL {
+            let special: Vec<(u64, TaskRef)> = q.special_kind(kind).collect();
+            let plain: Vec<(u64, TaskRef, ByteSize)> = q.plain_kind(kind).collect();
+            let mut covered = 0usize;
+            for t in 0..TENANTS {
+                let t = TenantId(t);
+                let want_s: Vec<(u64, TaskRef)> = special
+                    .iter()
+                    .copied()
+                    .filter(|(_, task)| q.tenant_of(task) == t)
+                    .collect();
+                let got_s: Vec<(u64, TaskRef)> = q.special_kind_of(kind, t).collect();
+                assert_eq!(got_s, want_s, "{kind:?} special shard diverged for {t:?}");
+                let want_p: Vec<(u64, TaskRef, ByteSize)> = plain
+                    .iter()
+                    .copied()
+                    .filter(|(_, task, _)| q.tenant_of(task) == t)
+                    .collect();
+                let got_p: Vec<(u64, TaskRef, ByteSize)> = q.plain_kind_of(kind, t).collect();
+                assert_eq!(got_p, want_p, "{kind:?} plain shard diverged for {t:?}");
+                assert_eq!(
+                    q.plain_floor_of(kind, t),
+                    want_p.iter().map(|&(_, _, p)| p).min(),
+                    "{kind:?} plain floor diverged for {t:?}"
+                );
+                covered += got_s.len() + got_p.len();
+            }
+            assert_eq!(
+                covered,
+                special.len() + plain.len(),
+                "{kind:?} shards must cover the global split exactly"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+        #[test]
+        fn shards_track_filtered_global_split(ops in proptest::collection::vec(op_strategy(), 0..120)) {
+            let mut q = TaskQueues::new();
+            q.set_tenant_mode();
+            for slot in 0..SLOTS {
+                q.note_tenant(task(slot), tenant(slot));
+            }
+            for op in ops {
+                match op {
+                    Op::Enqueue { slot, kinds, special, peak_mib } => {
+                        q.enqueue(task(slot), &kinds, SimTime::ZERO, special, ByteSize::mib(peak_mib));
+                    }
+                    Op::Reclassify { slot, special, peak_mib } => {
+                        q.reclassify(task(slot), special, ByteSize::mib(peak_mib));
+                    }
+                    Op::Remove { slot } => {
+                        q.remove(&task(slot));
+                    }
+                }
+                assert_partition(&q);
+            }
+        }
+    }
+}

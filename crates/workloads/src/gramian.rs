@@ -93,6 +93,9 @@ pub fn build(
         vec![],
         outer,
     );
+    // the block outer products synchronise per sweep: under a
+    // gang-admitting scheduler they launch all-or-nothing
+    b.mark_gang(outer_stage);
     let reducers = (p.partitions / 2).max(1);
     let sum: Vec<TaskTemplate> = (0..reducers)
         .map(|i| TaskTemplate {
@@ -135,6 +138,8 @@ mod tests {
         assert_eq!(app.stages.len(), 2);
         assert_eq!(app.total_tasks(), 16 + 8);
         assert_eq!(layout.len(), 16);
+        assert!(app.stages[0].gang, "BLAS outer-product stage is gang");
+        assert!(!app.stages[1].gang);
         validate_against_cluster(&app, &cluster).unwrap();
     }
 

@@ -5,6 +5,7 @@
 //!           [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]
 //!           [--scheduler spark|rupam|fifo]
 //!           [--seed <n>] [--jobs <n>] [--arrival-secs <s>]
+//!           [--tenants a:3,b:1]
 //!           [--faults <script.toml>] [--elastic <script.toml>]
 //!           [--timeline] [--census] [--compare]
 //!           [--trace <path>] [--audit]
@@ -38,21 +39,34 @@
 //! online with seeded exponential inter-arrival gaps of mean
 //! `--arrival-secs` (default 30). One long-lived scheduler serves the
 //! whole stream and per-job completion times are reported.
+//!
+//! `--tenants a:3,b:1` names the stream's tenants and weights their
+//! arrival shares: each of the `--jobs` submissions is attributed to a
+//! tenant drawn (seeded) proportionally to its weight, instead of every
+//! job being its own tenant. With `--scheduler rupam` the same weights
+//! arm weighted-fair allocation, so tenant `a` is also *entitled* to 3x
+//! tenant `b`'s share of each offer round; other schedulers use the
+//! weights for arrival attribution only.
 
 use std::env;
 use std::process::exit;
 
+use rand::Rng;
+use rupam::{AllocationPolicy, RupamConfig, TenantSpec};
 use rupam_bench::multitenant::build_stream;
 use rupam_bench::{
     placement_census, run_stream_cfg, run_stream_observed_cfg, run_workload_cfg,
     run_workload_observed_cfg, Sched,
 };
 use rupam_cluster::ClusterSpec;
+use rupam_dag::{JobStream, MergedStream, TenantId};
 use rupam_elastic::ElasticConfig;
 use rupam_exec::{AuditConfig, SimConfig, SimOptions};
 use rupam_faults::FaultScript;
 use rupam_metrics::timeline;
 use rupam_metrics::trace::DEFAULT_TRACE_CAPACITY;
+use rupam_simcore::time::SimTime;
+use rupam_simcore::RngFactory;
 use rupam_workloads::Workload;
 
 struct Options {
@@ -63,6 +77,7 @@ struct Options {
     seed: u64,
     jobs: usize,
     arrival_secs: f64,
+    tenants: Vec<TenantArg>,
     timeline: bool,
     census: bool,
     compare: bool,
@@ -79,7 +94,7 @@ fn usage() -> ! {
         "usage: rupam-sim [--cluster hydra|two-node|uniform:<n>|mix:<t>,<h>,<s>]\n\
          \x20                [--workload LR|SQL|TeraSort|PR|TC|GM|KMeans]\n\
          \x20                [--scheduler spark|rupam|fifo] [--seed <n>]\n\
-         \x20                [--jobs <n>] [--arrival-secs <s>]\n\
+         \x20                [--jobs <n>] [--arrival-secs <s>] [--tenants a:3,b:1]\n\
          \x20                [--faults <script.toml>] [--elastic <script.toml>]\n\
          \x20                [--timeline] [--census] [--compare] [--csv <path>]\n\
          \x20                [--trace <path>] [--audit]"
@@ -120,6 +135,51 @@ fn parse_cluster(spec: &str) -> Option<(ClusterSpec, String)> {
     None
 }
 
+/// One named tenant from `--tenants`.
+struct TenantArg {
+    name: String,
+    weight: f64,
+    /// Optional dominant-share quota ceiling (`name:weight@quota`).
+    quota: Option<f64>,
+}
+
+/// Parse `a:3,b:1` (or `a:3@0.4,b:1` to cap tenant `a` at 40 % of the
+/// cluster's dominant resource) into named tenant weights. Names must
+/// be unique and non-empty; weights must be finite and positive;
+/// quotas must lie in `(0, 1]`.
+fn parse_tenants(spec: &str) -> Option<Vec<TenantArg>> {
+    let mut tenants: Vec<TenantArg> = Vec::new();
+    for part in spec.split(',') {
+        let (name, rest) = part.split_once(':')?;
+        let (weight, quota) = match rest.split_once('@') {
+            Some((w, q)) => {
+                let q: f64 = q.parse().ok()?;
+                if !q.is_finite() || q <= 0.0 || q > 1.0 {
+                    return None;
+                }
+                (w, Some(q))
+            }
+            None => (rest, None),
+        };
+        let weight: f64 = weight.parse().ok()?;
+        if name.is_empty() || !weight.is_finite() || weight <= 0.0 {
+            return None;
+        }
+        if tenants.iter().any(|t| t.name == name) {
+            return None;
+        }
+        tenants.push(TenantArg {
+            name: name.to_string(),
+            weight,
+            quota,
+        });
+    }
+    if tenants.is_empty() {
+        return None;
+    }
+    Some(tenants)
+}
+
 fn parse_args() -> Options {
     let mut opts = Options {
         cluster: ClusterSpec::hydra(),
@@ -129,6 +189,7 @@ fn parse_args() -> Options {
         seed: 101,
         jobs: 1,
         arrival_secs: 30.0,
+        tenants: Vec::new(),
         timeline: false,
         census: false,
         compare: false,
@@ -196,6 +257,19 @@ fn parse_args() -> Options {
                     .filter(|s: &f64| s.is_finite() && *s >= 0.0)
                     .unwrap_or_else(|| usage());
             }
+            "--tenants" => {
+                let v = args.next().unwrap_or_else(|| usage());
+                match parse_tenants(&v) {
+                    Some(t) => opts.tenants = t,
+                    None => {
+                        eprintln!(
+                            "bad tenant spec {v:?} (expected name:weight[,name:weight...] \
+                             with unique names and positive weights)"
+                        );
+                        usage()
+                    }
+                }
+            }
             "--faults" => {
                 let path = args.next().unwrap_or_else(|| usage());
                 let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -239,6 +313,10 @@ fn parse_args() -> Options {
             }
         }
     }
+    if !opts.tenants.is_empty() && opts.jobs <= 1 {
+        eprintln!("--tenants needs a stream: pass --jobs <n> with n > 1");
+        usage()
+    }
     opts
 }
 
@@ -254,19 +332,84 @@ fn stream_tenants(opts: &Options) -> Vec<Workload> {
         .collect()
 }
 
+/// Build the `--tenants` stream: the same cycled workloads and seeded
+/// exponential arrival gaps as [`build_stream`], but each submission is
+/// attributed to a named tenant drawn proportionally to its weight
+/// (an independent seeded draw, so the arrival times match the
+/// unweighted stream for the same seed).
+fn build_weighted_stream(opts: &Options) -> MergedStream {
+    let total: f64 = opts.tenants.iter().map(|t| t.weight).sum();
+    let mut arrivals = RngFactory::new(opts.seed).stream("stream-arrivals");
+    let mut picks = RngFactory::new(opts.seed).stream("tenant-picks");
+    let mut stream = JobStream::new();
+    let mut t = 0.0f64;
+    for (i, &w) in stream_tenants(opts).iter().enumerate() {
+        let (app, layout) = w.build(
+            &opts.cluster,
+            &RngFactory::new(opts.seed.wrapping_add(i as u64)),
+        );
+        let mut draw: f64 = picks.gen_range(0.0..total);
+        let mut tenant = opts.tenants.len() - 1;
+        for (j, spec) in opts.tenants.iter().enumerate() {
+            if draw < spec.weight {
+                tenant = j;
+                break;
+            }
+            draw -= spec.weight;
+        }
+        stream.push_as(
+            format!("{}/{}#{i}", opts.tenants[tenant].name, w.short()),
+            app,
+            layout,
+            SimTime::from_secs_f64(t),
+            TenantId(tenant),
+        );
+        let u: f64 = arrivals.gen_range(0.0..1.0);
+        t += -opts.arrival_secs * (1.0 - u).ln();
+    }
+    stream.merge()
+}
+
+/// With `--tenants`, the RUPAM scheduler inherits the tenant weights as
+/// weighted-fair shares (and any `@quota` caps as preemption-armed
+/// ceilings); every other scheduler (and every run without the flag) is
+/// passed through unchanged.
+fn effective_sched(opts: &Options, sched: &Sched) -> Sched {
+    if opts.tenants.is_empty() || !matches!(sched, Sched::Rupam) {
+        return sched.clone();
+    }
+    Sched::RupamWith(RupamConfig {
+        allocation: AllocationPolicy::WeightedFair,
+        tenants: opts
+            .tenants
+            .iter()
+            .map(|t| TenantSpec {
+                weight: t.weight,
+                quota: t.quota,
+            })
+            .collect(),
+        ..RupamConfig::default()
+    })
+}
+
 fn run_one(opts: &Options, sched: &Sched) -> bool {
+    let sched = &effective_sched(opts, sched);
     let observe = opts.trace.is_some() || opts.audit;
     let sim_opts = SimOptions {
         trace_capacity: Some(DEFAULT_TRACE_CAPACITY),
         audit: opts.audit.then(AuditConfig::default),
     };
     let (report, observation) = if opts.jobs > 1 {
-        let stream = build_stream(
-            &opts.cluster,
-            &stream_tenants(opts),
-            opts.arrival_secs,
-            opts.seed,
-        );
+        let stream = if opts.tenants.is_empty() {
+            build_stream(
+                &opts.cluster,
+                &stream_tenants(opts),
+                opts.arrival_secs,
+                opts.seed,
+            )
+        } else {
+            build_weighted_stream(opts)
+        };
         if observe {
             let (report, obs) = run_stream_observed_cfg(
                 &opts.cluster,
@@ -371,6 +514,16 @@ fn run_one(opts: &Options, sched: &Sched) -> bool {
             report.jct_p95(),
             report.jobs.len()
         );
+        if !opts.tenants.is_empty() {
+            for (tenant, mean) in report.tenant_jct_means() {
+                let t = &opts.tenants[tenant.index()];
+                println!(
+                    "  tenant {:<8} (weight {:.1}) mean JCT {mean:.1}s",
+                    t.name, t.weight
+                );
+            }
+            println!("  Jain index over per-tenant mean JCTs: {:.3}", report.tenant_jain_jct());
+        }
     }
     if opts.census {
         print!("{}", placement_census(&opts.cluster, &report));
@@ -427,6 +580,17 @@ fn main() {
             opts.arrival_secs,
             opts.seed
         );
+        if !opts.tenants.is_empty() {
+            let mix: Vec<String> = opts
+                .tenants
+                .iter()
+                .map(|t| match t.quota {
+                    Some(q) => format!("{}:{:.0}@{q}", t.name, t.weight),
+                    None => format!("{}:{:.0}", t.name, t.weight),
+                })
+                .collect();
+            println!("tenants: {} (weighted arrival shares)", mix.join(", "));
+        }
     } else {
         println!(
             "cluster: {} | workload: {} ({}) | seed {}",
