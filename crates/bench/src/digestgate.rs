@@ -4,8 +4,8 @@
 //! cluster shapes under all three schedulers, the multi-tenant stream,
 //! and the chaos-smoke fault script — and records each run's decision-
 //! trace digest. The committed golden file
-//! (`tests/golden_trace_digests.txt`) was produced before the engine
-//! was decomposed into the staged event-bus architecture; any refactor
+//! (`tests/golden_trace_digests.txt`) pins the decision stream of the
+//! tenant-aware engine (`v2`: trace events carry tenants); any refactor
 //! of the engine, bus, or schedulers that changes a single decision (or
 //! the order decisions are recorded in) flips a digest and fails the
 //! gate loudly, instead of drifting silently.
@@ -104,7 +104,7 @@ pub fn compute() -> Vec<(String, u64)> {
 /// `name digest-hex` line per scenario, plus a schema header so format
 /// drift fails loudly (same convention as the trace CSV export).
 pub fn render(digests: &[(String, u64)]) -> String {
-    let mut s = String::from("# rupam-trace-digests v1\n");
+    let mut s = String::from("# rupam-trace-digests v2\n");
     for (name, d) in digests {
         let _ = writeln!(s, "{name} {d:016x}");
     }
@@ -115,7 +115,7 @@ pub fn render(digests: &[(String, u64)]) -> String {
 /// Returns `None` on a missing/unknown schema header or a bad line.
 pub fn parse(doc: &str) -> Option<Vec<(String, u64)>> {
     let mut lines = doc.lines();
-    if lines.next()?.trim() != "# rupam-trace-digests v1" {
+    if lines.next()?.trim() != "# rupam-trace-digests v2" {
         return None;
     }
     let mut out = Vec::new();
@@ -171,14 +171,14 @@ mod tests {
             ("stream/hydra/Spark".to_string(), u64::MAX),
         ];
         let doc = render(&digests);
-        assert!(doc.starts_with("# rupam-trace-digests v1\n"));
+        assert!(doc.starts_with("# rupam-trace-digests v2\n"));
         assert_eq!(parse(&doc).unwrap(), digests);
     }
 
     #[test]
     fn parse_rejects_wrong_schema() {
         assert!(parse("suite/hydra/LR/RUPAM 0123456789abcdef").is_none());
-        assert!(parse("# rupam-trace-digests v2\na 1").is_none());
+        assert!(parse("# rupam-trace-digests v1\na 1").is_none());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 
 use rupam_cluster::NodeId;
 use rupam_dag::app::{JobId, StageId};
-use rupam_dag::{Locality, TaskRef};
+use rupam_dag::{Locality, TaskRef, TenantId};
 use rupam_faults::FaultKind;
 use rupam_metrics::report::FaultSummary;
 use rupam_metrics::trace::{AbortCause, LaunchReason, TraceBuffer, TraceEventKind};
@@ -74,11 +74,15 @@ pub enum EngineEvent {
     JobSubmitted {
         /// The arriving stream job.
         job: JobId,
+        /// Tenant submitting it (`TenantId(0)` on single-app runs).
+        tenant: TenantId,
     },
     /// A stream job ran all of its stages to completion.
     JobCompleted {
         /// The finished stream job.
         job: JobId,
+        /// Tenant the job ran for.
+        tenant: TenantId,
     },
     /// A launch command was applied.
     Launch {
@@ -86,6 +90,8 @@ pub enum EngineEvent {
         task: TaskRef,
         /// Stream job of the task (`JobId(0)` on single-app runs).
         job: JobId,
+        /// Tenant the launch serves (`TenantId(0)` on single-app runs).
+        tenant: TenantId,
         /// Target node.
         node: NodeId,
         /// Attempt number (0 = first try).
@@ -251,11 +257,18 @@ impl EngineEvent {
                 blocked: *blocked,
                 commands: *commands,
             },
-            EngineEvent::JobSubmitted { job } => TraceEventKind::JobSubmitted { job: *job },
-            EngineEvent::JobCompleted { job } => TraceEventKind::JobCompleted { job: *job },
+            EngineEvent::JobSubmitted { job, tenant } => TraceEventKind::JobSubmitted {
+                job: *job,
+                tenant: *tenant,
+            },
+            EngineEvent::JobCompleted { job, tenant } => TraceEventKind::JobCompleted {
+                job: *job,
+                tenant: *tenant,
+            },
             EngineEvent::Launch {
                 task,
                 job,
+                tenant,
                 node,
                 attempt,
                 speculative,
@@ -265,6 +278,7 @@ impl EngineEvent {
             } => TraceEventKind::Launch {
                 task: *task,
                 job: *job,
+                tenant: *tenant,
                 node: *node,
                 attempt: *attempt,
                 speculative: *speculative,

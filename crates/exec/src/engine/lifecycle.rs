@@ -34,7 +34,10 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
     /// stages it will eventually run, and release whatever is ready.
     pub(crate) fn submit_job(&mut self, job: JobId) {
         self.state.tracker.arrive(job.index());
-        self.publish(EngineEvent::JobSubmitted { job });
+        self.publish(EngineEvent::JobSubmitted {
+            job,
+            tenant: self.state.jobs[job.index()].tenant,
+        });
         let stages: Vec<StageId> = self
             .state
             .stage_jobs
@@ -148,7 +151,10 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
                 && self.state.tracker.chain_done(job.index())
             {
                 self.state.jobs[job.index()].completed_at = Some(self.now);
-                self.publish(EngineEvent::JobCompleted { job });
+                self.publish(EngineEvent::JobCompleted {
+                    job,
+                    tenant: self.state.jobs[job.index()].tenant,
+                });
             }
         } else {
             self.records.push(record);
@@ -421,9 +427,11 @@ impl<'a, 's, S: EventSource<Event>> Engine<'a, 's, S> {
             self.speculative_launched += 1;
             self.state.spec_set.remove(&task);
         }
+        let launch_job = self.state.stage_jobs[task.stage.index()];
         self.publish(EngineEvent::Launch {
             task,
-            job: self.state.stage_jobs[task.stage.index()],
+            job: launch_job,
+            tenant: self.state.jobs[launch_job.index()].tenant,
             node: node_id,
             attempt: attempt_no,
             speculative,

@@ -63,20 +63,25 @@ pub fn records_csv(report: &RunReport) -> String {
 /// Schema-version marker emitted as the first line of [`trace_csv`].
 /// Bump the version whenever columns or detail payloads change shape, so
 /// downstream tooling can refuse files it does not understand. The `#`
-/// prefix matches the digest-file convention (`# rupam-trace-digests v1`).
-pub const TRACE_CSV_SCHEMA: &str = "# rupam-trace-csv v1";
+/// prefix matches the digest-file convention (`# rupam-trace-digests v2`).
+/// v2 added the `tenant` column (and tenants on the job/launch trace
+/// events themselves, which is why the digest schema bumped in step).
+pub const TRACE_CSV_SCHEMA: &str = "# rupam-trace-csv v2";
 
 /// One CSV row per decision-trace event:
-/// `time_s,round,event,task,node,detail`, preceded by the
-/// [`TRACE_CSV_SCHEMA`] version line. The `detail` column carries the
-/// event-specific payload (launch reason code and locality, kill
-/// pressure, audit check name, …) so the trace stays greppable without
-/// a schema per event kind.
+/// `time_s,round,event,task,node,tenant,detail`, preceded by the
+/// [`TRACE_CSV_SCHEMA`] version line. The `tenant` column is filled on
+/// the events that serve an identifiable tenant (job submission and
+/// completion, launches) and empty elsewhere. The `detail` column
+/// carries the event-specific payload (launch reason code and locality,
+/// kill pressure, audit check name, …) so the trace stays greppable
+/// without a schema per event kind.
 pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
     use crate::trace::TraceEventKind as K;
     let fmt_task = |t: &rupam_dag::TaskRef| format!("{}.{}", t.stage.index(), t.index);
-    let mut out = format!("{TRACE_CSV_SCHEMA}\ntime_s,round,event,task,node,detail\n");
+    let mut out = format!("{TRACE_CSV_SCHEMA}\ntime_s,round,event,task,node,tenant,detail\n");
     for e in trace.iter() {
+        let mut tenant = String::new();
         let (task, node, detail) = match &e.kind {
             K::ExecutorSized { node, mem } => {
                 (String::new(), node.index().to_string(), format!("mem={}", mem.bytes()))
@@ -86,21 +91,36 @@ pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
                 String::new(),
                 format!("pending={pending} running={running} blocked={blocked} commands={commands}"),
             ),
-            K::JobSubmitted { job } => {
+            K::JobSubmitted { job, tenant: t } => {
+                tenant = t.index().to_string();
                 (String::new(), String::new(), format!("job={}", job.index()))
             }
-            K::JobCompleted { job } => {
+            K::JobCompleted { job, tenant: t } => {
+                tenant = t.index().to_string();
                 (String::new(), String::new(), format!("job={}", job.index()))
             }
-            K::Launch { task, job, node, attempt, speculative, use_gpu, locality, reason } => (
-                fmt_task(task),
-                node.index().to_string(),
-                format!(
-                    "reason={reason} locality={} attempt={attempt} speculative={speculative} gpu={use_gpu} job={}",
-                    locality.label(),
-                    job.index()
-                ),
-            ),
+            K::Launch {
+                task,
+                job,
+                tenant: t,
+                node,
+                attempt,
+                speculative,
+                use_gpu,
+                locality,
+                reason,
+            } => {
+                tenant = t.index().to_string();
+                (
+                    fmt_task(task),
+                    node.index().to_string(),
+                    format!(
+                        "reason={reason} locality={} attempt={attempt} speculative={speculative} gpu={use_gpu} job={}",
+                        locality.label(),
+                        job.index()
+                    ),
+                )
+            }
             K::KillRequeue { task, node } => {
                 (fmt_task(task), node.index().to_string(), String::new())
             }
@@ -156,12 +176,13 @@ pub fn trace_csv(trace: &crate::trace::TraceBuffer) -> String {
         };
         let _ = writeln!(
             out,
-            "{:.6},{},{},{},{},{}",
+            "{:.6},{},{},{},{},{},{}",
             e.at.as_secs_f64(),
             e.round,
             e.code(),
             task,
             node,
+            tenant,
             escape(&detail)
         );
     }
@@ -278,6 +299,7 @@ mod tests {
                     index: 3,
                 },
                 job: JobId(0),
+                tenant: rupam_dag::TenantId(4),
                 node: NodeId(1),
                 attempt: 0,
                 speculative: false,
@@ -297,9 +319,13 @@ mod tests {
         let csv = trace_csv(&trace);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], TRACE_CSV_SCHEMA);
-        assert_eq!(lines[1], "time_s,round,event,task,node,detail");
+        assert_eq!(lines[1], "time_s,round,event,task,node,tenant,detail");
         assert_eq!(lines.len(), 4);
-        assert!(lines[2].starts_with("0.500000,1,launch,2.3,1,"));
+        assert!(lines[2].starts_with("0.500000,1,launch,2.3,1,4,"));
+        assert!(
+            lines[3].contains(",,\"memory-feasibility"),
+            "tenant column stays empty on non-tenant events"
+        );
         assert!(lines[2].contains("reason=safety-valve"));
         assert!(lines[2].contains("locality=NODE_LOCAL"));
         assert!(lines[3].contains("audit-violation"));

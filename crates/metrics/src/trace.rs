@@ -21,7 +21,7 @@ use rupam_simcore::units::ByteSize;
 
 use rupam_cluster::resources::ResourceKind;
 use rupam_cluster::NodeId;
-use rupam_dag::{JobId, Locality, StageId, TaskRef};
+use rupam_dag::{JobId, Locality, StageId, TaskRef, TenantId};
 
 /// Why a scheduler issued a `Command::Launch` — the machine-readable
 /// reason code attached to every launch decision.
@@ -181,11 +181,15 @@ pub enum TraceEventKind {
     JobSubmitted {
         /// The arriving stream job.
         job: JobId,
+        /// Tenant submitting it (`TenantId(0)` on single-app runs).
+        tenant: TenantId,
     },
     /// A stream job ran all of its stages to completion.
     JobCompleted {
         /// The finished stream job.
         job: JobId,
+        /// Tenant the job ran for.
+        tenant: TenantId,
     },
     /// A launch command was applied.
     Launch {
@@ -193,6 +197,8 @@ pub enum TraceEventKind {
         task: TaskRef,
         /// Stream job of the task (`JobId(0)` on single-app runs).
         job: JobId,
+        /// Tenant the launch serves (`TenantId(0)` on single-app runs).
+        tenant: TenantId,
         /// Target node.
         node: NodeId,
         /// Attempt number (0 = first try).
@@ -458,6 +464,7 @@ mod tests {
                     index: i,
                 },
                 job: JobId(0),
+                tenant: TenantId(0),
                 node: NodeId(0),
                 attempt: 0,
                 speculative: false,

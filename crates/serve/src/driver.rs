@@ -565,7 +565,10 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
             return; // duplicate submission
         }
         j.submitted = Some(self.now);
-        self.record(TraceEventKind::JobSubmitted { job });
+        self.record(TraceEventKind::JobSubmitted {
+            job,
+            tenant: self.catalog.tenant_of(job),
+        });
         let stages: Vec<StageId> = (0..self.stages.len())
             .map(StageId)
             .filter(|s| self.catalog.stage_jobs[s.index()] == job)
@@ -696,7 +699,10 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
         let job = self.catalog.stage_jobs[sidx];
         if self.jobs[job.index()].completed.is_none() && self.tracker.chain_done(job.index()) {
             self.jobs[job.index()].completed = Some(self.now);
-            self.record(TraceEventKind::JobCompleted { job });
+            self.record(TraceEventKind::JobCompleted {
+                job,
+                tenant: self.catalog.tenant_of(job),
+            });
         }
         self.request_offers();
     }
@@ -1427,9 +1433,11 @@ impl<'a, S: EventSource<ServeEvent>> ServeDriver<'a, S> {
                 self.pending_gone.insert(task);
                 self.dispatch_us.push(self.now.since(since).0);
                 self.launched += 1;
+                let launch_job = self.catalog.stage_jobs[task.stage.index()];
                 self.record(TraceEventKind::Launch {
                     task,
-                    job: self.catalog.stage_jobs[task.stage.index()],
+                    job: launch_job,
+                    tenant: self.catalog.tenant_of(launch_job),
                     node,
                     attempt: attempt_no,
                     speculative: false,
